@@ -1,0 +1,26 @@
+//! Comparator storage systems from the paper's evaluation (§VI).
+//!
+//! * [`HiveHdfsTable`] — "Hive(HDFS)": ORC files on the DFS; UPDATE and
+//!   DELETE are implemented the only way stock Hive 0.11 could — a full
+//!   `INSERT OVERWRITE` rewrite of the table, regardless of how little data
+//!   changed. The paper's primary baseline.
+//! * [`HiveHbaseTable`] — "Hive(HBase)": the whole table lives in the KV
+//!   store. Row-level writes are cheap, but scans pay the LSM read path —
+//!   the paper finds it "much slower than Hive itself and DualTable" for
+//!   reads (Figure 11).
+//! * [`HiveAcidTable`] — the HIVE-5317 base+delta design the paper compares
+//!   against conceptually (§V-C): both base and delta live on the DFS;
+//!   every transaction appends a delta file holding *whole updated records*;
+//!   reads merge-sort base with all deltas; *minor* compaction folds deltas
+//!   together, *major* compaction folds them into the base.
+//!
+//! All three share the substrate crates with DualTable, so experiment
+//! comparisons measure the storage model, not the implementation quality.
+
+mod hive_acid;
+mod hive_hbase;
+mod hive_hdfs;
+
+pub use hive_acid::HiveAcidTable;
+pub use hive_hbase::HiveHbaseTable;
+pub use hive_hdfs::HiveHdfsTable;

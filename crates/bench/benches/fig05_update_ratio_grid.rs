@@ -1,0 +1,34 @@
+//! Figure 5: UPDATE performance on the grid data set for modification
+//! ratios 1/36 … 17/36 — Hive(HDFS) vs DualTable EDIT vs DualTable with
+//! the cost model.
+
+use dt_bench::datasets::grid_update_spec;
+use dt_bench::report;
+use dt_bench::sweeps::run_sweep;
+
+fn main() {
+    let spec = grid_update_spec();
+    let result = run_sweep(&spec);
+    report::header(
+        "Figure 5",
+        "Update performance for various data modification ratios (grid)",
+    );
+    let (hw, ew, cw) = result.dml_wall();
+    println!("[wall seconds on this machine]");
+    report::print_series(
+        "UPDATE ratio",
+        &result.labels,
+        &[("Hive(HDFS)", hw), ("DualTable EDIT", ew), ("DualTable Cost-Model", cw)],
+    );
+    let (hm, em, cm) = result.dml_modeled();
+    let hive = ("Hive(HDFS)", hm);
+    let edit = ("DualTable EDIT", em);
+    println!("[modeled cluster seconds]");
+    report::print_series(
+        "UPDATE ratio",
+        &result.labels,
+        &[hive.clone(), edit.clone(), ("DualTable Cost-Model", cm)],
+    );
+    report::crossover_note(&result.labels, &edit, &hive);
+    println!("-- cost-model plans: {:?}", result.dt_cost_plan);
+}

@@ -1,0 +1,35 @@
+//! Figure 6: DELETE performance on the grid data set for ratios
+//! 1/36 … 17/36. Hive's rewrite gets *cheaper* as the ratio grows (fewer
+//! surviving rows to write) while DualTable EDIT grows with the marker
+//! count.
+
+use dt_bench::datasets::grid_delete_spec;
+use dt_bench::report;
+use dt_bench::sweeps::run_sweep;
+
+fn main() {
+    let spec = grid_delete_spec();
+    let result = run_sweep(&spec);
+    report::header(
+        "Figure 6",
+        "Delete performance for various data modification ratios (grid)",
+    );
+    let (hw, ew, cw) = result.dml_wall();
+    println!("[wall seconds on this machine]");
+    report::print_series(
+        "DELETE ratio",
+        &result.labels,
+        &[("Hive(HDFS)", hw), ("DualTable EDIT", ew), ("DualTable Cost-Model", cw)],
+    );
+    let (hm, em, cm) = result.dml_modeled();
+    let hive = ("Hive(HDFS)", hm);
+    let edit = ("DualTable EDIT", em);
+    println!("[modeled cluster seconds]");
+    report::print_series(
+        "DELETE ratio",
+        &result.labels,
+        &[hive.clone(), edit.clone(), ("DualTable Cost-Model", cm)],
+    );
+    report::crossover_note(&result.labels, &edit, &hive);
+    println!("-- cost-model plans: {:?}", result.dt_cost_plan);
+}

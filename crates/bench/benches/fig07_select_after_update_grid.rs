@@ -1,0 +1,26 @@
+//! Figure 7: run time of a SELECT following the UPDATE — the UNION READ
+//! overhead as the Attached Table grows (no cost model; forced EDIT).
+
+use dt_bench::datasets::grid_update_spec;
+use dt_bench::report;
+use dt_bench::sweeps::run_sweep;
+
+fn main() {
+    let spec = grid_update_spec();
+    let result = run_sweep(&spec);
+    report::header("Figure 7", "SELECT performance after UPDATE (grid)");
+    let (hw, ew, _) = result.read_wall();
+    println!("[wall seconds on this machine]");
+    report::print_series(
+        "UPDATE ratio",
+        &result.labels,
+        &[("Read in Hive(HDFS)", hw), ("UnionRead in DualTable", ew)],
+    );
+    let (hm, em, _) = result.read_modeled();
+    println!("[modeled cluster seconds]");
+    report::print_series(
+        "UPDATE ratio",
+        &result.labels,
+        &[("Read in Hive(HDFS)", hm), ("UnionRead in DualTable", em)],
+    );
+}

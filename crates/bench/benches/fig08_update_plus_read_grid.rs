@@ -1,0 +1,35 @@
+//! Figure 8: total run time of the UPDATE plus the following SELECT —
+//! the realistic modify-then-analyze cycle.
+
+use dt_bench::datasets::grid_update_spec;
+use dt_bench::report;
+use dt_bench::sweeps::run_sweep;
+
+fn main() {
+    let spec = grid_update_spec();
+    let result = run_sweep(&spec);
+    let ((hw, ew, cw), (hm, em, cm)) = result.totals();
+    report::header(
+        "Figure 8",
+        "Total run time of UPDATE plus following SELECT (grid)",
+    );
+    println!("[wall seconds on this machine]");
+    report::print_series(
+        "UPDATE ratio",
+        &result.labels,
+        &[
+            ("Hive(HDFS)+Read", hw),
+            ("DualTable EDIT+UnionRead", ew),
+            ("DualTable+Read", cw),
+        ],
+    );
+    let hive = ("Hive(HDFS)+Read", hm);
+    let edit = ("DualTable EDIT+UnionRead", em);
+    println!("[modeled cluster seconds]");
+    report::print_series(
+        "UPDATE ratio",
+        &result.labels,
+        &[hive.clone(), edit.clone(), ("DualTable+Read", cm)],
+    );
+    report::crossover_note(&result.labels, &edit, &hive);
+}

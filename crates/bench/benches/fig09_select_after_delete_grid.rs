@@ -1,0 +1,26 @@
+//! Figure 9: run time of a SELECT following the DELETE (delete markers in
+//! the Attached Table).
+
+use dt_bench::datasets::grid_delete_spec;
+use dt_bench::report;
+use dt_bench::sweeps::run_sweep;
+
+fn main() {
+    let spec = grid_delete_spec();
+    let result = run_sweep(&spec);
+    report::header("Figure 9", "SELECT performance after DELETE (grid)");
+    let (hw, ew, _) = result.read_wall();
+    println!("[wall seconds on this machine]");
+    report::print_series(
+        "DELETE ratio",
+        &result.labels,
+        &[("Read in Hive(HDFS)", hw), ("UnionRead in DualTable", ew)],
+    );
+    let (hm, em, _) = result.read_modeled();
+    println!("[modeled cluster seconds]");
+    report::print_series(
+        "DELETE ratio",
+        &result.labels,
+        &[("Read in Hive(HDFS)", hm), ("UnionRead in DualTable", em)],
+    );
+}

@@ -1,0 +1,34 @@
+//! Figure 10: total run time of the DELETE plus the following SELECT.
+
+use dt_bench::datasets::grid_delete_spec;
+use dt_bench::report;
+use dt_bench::sweeps::run_sweep;
+
+fn main() {
+    let spec = grid_delete_spec();
+    let result = run_sweep(&spec);
+    let ((hw, ew, cw), (hm, em, cm)) = result.totals();
+    report::header(
+        "Figure 10",
+        "Total run time of DELETE plus following SELECT (grid)",
+    );
+    println!("[wall seconds on this machine]");
+    report::print_series(
+        "DELETE ratio",
+        &result.labels,
+        &[
+            ("Hive(HDFS)+Read", hw),
+            ("DualTable EDIT+UnionRead", ew),
+            ("DualTable+Read", cw),
+        ],
+    );
+    let hive = ("Hive(HDFS)+Read", hm);
+    let edit = ("DualTable EDIT+UnionRead", em);
+    println!("[modeled cluster seconds]");
+    report::print_series(
+        "DELETE ratio",
+        &result.labels,
+        &[hive.clone(), edit.clone(), ("DualTable+Read", cm)],
+    );
+    report::crossover_note(&result.labels, &edit, &hive);
+}

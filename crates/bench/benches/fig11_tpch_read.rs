@@ -1,0 +1,36 @@
+//! Figure 11: read performance on the TPC-H data set — Query a (Q1),
+//! Query b (Q12) and Query c (COUNT(*)) on Hive(HDFS), Hive(HBase) and
+//! DualTable (empty Attached Table).
+
+use dt_bench::datasets::tpch_rows_default;
+use dt_bench::report;
+use dt_bench::systems::tpch_session;
+use dt_bench::time_ok;
+use dt_workloads::tpch;
+
+fn main() {
+    report::header("Figure 11", "Read performance on the TPC-H data set");
+    let n = tpch_rows_default();
+    let mut rows = Vec::new();
+    for (label, storage) in [
+        ("Hive(HDFS)", "ORC"),
+        ("Hive(HBase)", "HBASE"),
+        ("DualTable", "DUALTABLE"),
+    ] {
+        let mut session = tpch_session(storage, n, 7);
+        let (qa, ra) = time_ok(|| session.execute(tpch::QUERY_A_Q1));
+        let (qb, rb) = time_ok(|| session.execute(tpch::QUERY_B_Q12));
+        let (qc, rc) = time_ok(|| session.execute(tpch::QUERY_C_COUNT));
+        assert!(!ra.rows().is_empty());
+        assert!(rb.rows().len() <= 2);
+        assert_eq!(rc.rows()[0][0].as_i64().unwrap() as usize, n);
+        rows.push(vec![
+            label.to_string(),
+            format!("{qa:.4}"),
+            format!("{qb:.4}"),
+            format!("{qc:.4}"),
+        ]);
+    }
+    report::print_rows(&["System", "Query-a Q1 (s)", "Query-b Q12 (s)", "Query-c count (s)"], &rows);
+    println!("-- paper shape: Hive(HBase) slowest on every query; DualTable ~= Hive(HDFS)");
+}

@@ -1,0 +1,33 @@
+//! Figure 13: UPDATE performance on 30 GB-shaped TPC-H lineitem for
+//! ratios 1% … 50%; the paper observes a crossover near 35%.
+
+use dt_bench::datasets::tpch_update_spec;
+use dt_bench::report;
+use dt_bench::sweeps::run_sweep;
+
+fn main() {
+    let spec = tpch_update_spec();
+    let result = run_sweep(&spec);
+    report::header(
+        "Figure 13",
+        "Update performance for different workloads (TPC-H lineitem)",
+    );
+    let (hw, ew, cw) = result.dml_wall();
+    println!("[wall seconds on this machine]");
+    report::print_series(
+        "UPDATE ratio",
+        &result.labels,
+        &[("DualTable EDIT", ew), ("Hive(HDFS)", hw), ("DualTable Cost-Model", cw)],
+    );
+    let (hm, em, cm) = result.dml_modeled();
+    let hive = ("Hive(HDFS)", hm);
+    let edit = ("DualTable EDIT", em);
+    println!("[modeled cluster seconds]");
+    report::print_series(
+        "UPDATE ratio",
+        &result.labels,
+        &[edit.clone(), hive.clone(), ("DualTable Cost-Model", cm)],
+    );
+    report::crossover_note(&result.labels, &edit, &hive);
+    println!("-- cost-model plans: {:?}", result.dt_cost_plan);
+}

@@ -1,0 +1,34 @@
+//! Figure 14: DELETE performance on TPC-H lineitem, ratios 1% … 50%; the
+//! crossover lands at a lower ratio than the update case because Hive's
+//! rewrite shrinks with the delete ratio.
+
+use dt_bench::datasets::tpch_delete_spec;
+use dt_bench::report;
+use dt_bench::sweeps::run_sweep;
+
+fn main() {
+    let spec = tpch_delete_spec();
+    let result = run_sweep(&spec);
+    report::header(
+        "Figure 14",
+        "Delete performance for different workloads (TPC-H lineitem)",
+    );
+    let (hw, ew, cw) = result.dml_wall();
+    println!("[wall seconds on this machine]");
+    report::print_series(
+        "DELETE ratio",
+        &result.labels,
+        &[("DualTable EDIT", ew), ("Hive(HDFS)", hw), ("DualTable Cost-Model", cw)],
+    );
+    let (hm, em, cm) = result.dml_modeled();
+    let hive = ("Hive(HDFS)", hm);
+    let edit = ("DualTable EDIT", em);
+    println!("[modeled cluster seconds]");
+    report::print_series(
+        "DELETE ratio",
+        &result.labels,
+        &[edit.clone(), hive.clone(), ("DualTable Cost-Model", cm)],
+    );
+    report::crossover_note(&result.labels, &edit, &hive);
+    println!("-- cost-model plans: {:?}", result.dt_cost_plan);
+}

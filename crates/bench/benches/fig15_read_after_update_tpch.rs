@@ -1,0 +1,27 @@
+//! Figure 15: overhead of UPDATE entries in the Attached Table for full
+//! scans (no cost model; forced EDIT). Overhead is linear in the amount
+//! of data in the Attached Table.
+
+use dt_bench::datasets::tpch_update_spec;
+use dt_bench::report;
+use dt_bench::sweeps::run_sweep;
+
+fn main() {
+    let spec = tpch_update_spec();
+    let result = run_sweep(&spec);
+    report::header("Figure 15", "Overhead of update operations for reads (TPC-H)");
+    let (hw, ew, _) = result.read_wall();
+    println!("[wall seconds on this machine]");
+    report::print_series(
+        "UPDATE ratio",
+        &result.labels,
+        &[("UnionRead in DualTable", ew), ("Read in Hive(HDFS)", hw)],
+    );
+    let (hm, em, _) = result.read_modeled();
+    println!("[modeled cluster seconds]");
+    report::print_series(
+        "UPDATE ratio",
+        &result.labels,
+        &[("UnionRead in DualTable", em), ("Read in Hive(HDFS)", hm)],
+    );
+}

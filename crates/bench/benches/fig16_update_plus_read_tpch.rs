@@ -1,0 +1,33 @@
+//! Figure 16: update and successive read, total — the crossover sits
+//! slightly below the pure-update case (Figure 13) because the UNION READ
+//! pays for the merge.
+
+use dt_bench::datasets::tpch_update_spec;
+use dt_bench::report;
+use dt_bench::sweeps::run_sweep;
+
+fn main() {
+    let spec = tpch_update_spec();
+    let result = run_sweep(&spec);
+    let ((hw, ew, cw), (hm, em, cm)) = result.totals();
+    report::header("Figure 16", "Update and successive read (TPC-H)");
+    println!("[wall seconds on this machine]");
+    report::print_series(
+        "UPDATE ratio",
+        &result.labels,
+        &[
+            ("DualTable EDIT+UnionRead", ew),
+            ("Hive(HDFS)+Read", hw),
+            ("DualTable+Read", cw),
+        ],
+    );
+    let hive = ("Hive(HDFS)+Read", hm);
+    let edit = ("DualTable EDIT+UnionRead", em);
+    println!("[modeled cluster seconds]");
+    report::print_series(
+        "UPDATE ratio",
+        &result.labels,
+        &[edit.clone(), hive.clone(), ("DualTable+Read", cm)],
+    );
+    report::crossover_note(&result.labels, &edit, &hive);
+}

@@ -1,0 +1,27 @@
+//! Figure 17: overhead of DELETE markers in the Attached Table for full
+//! scans — more pronounced at high ratios because Hive's rewritten table
+//! shrank while DualTable still scans every master row plus the markers.
+
+use dt_bench::datasets::tpch_delete_spec;
+use dt_bench::report;
+use dt_bench::sweeps::run_sweep;
+
+fn main() {
+    let spec = tpch_delete_spec();
+    let result = run_sweep(&spec);
+    report::header("Figure 17", "Overhead of delete operations for reads (TPC-H)");
+    let (hw, ew, _) = result.read_wall();
+    println!("[wall seconds on this machine]");
+    report::print_series(
+        "DELETE ratio",
+        &result.labels,
+        &[("UnionRead in DualTable", ew), ("Read in Hive(HDFS)", hw)],
+    );
+    let (hm, em, _) = result.read_modeled();
+    println!("[modeled cluster seconds]");
+    report::print_series(
+        "DELETE ratio",
+        &result.labels,
+        &[("UnionRead in DualTable", em), ("Read in Hive(HDFS)", hm)],
+    );
+}

@@ -1,0 +1,31 @@
+//! Figure 18: delete and successive read, total.
+
+use dt_bench::datasets::tpch_delete_spec;
+use dt_bench::report;
+use dt_bench::sweeps::run_sweep;
+
+fn main() {
+    let spec = tpch_delete_spec();
+    let result = run_sweep(&spec);
+    let ((hw, ew, cw), (hm, em, cm)) = result.totals();
+    report::header("Figure 18", "Delete and successive read (TPC-H)");
+    println!("[wall seconds on this machine]");
+    report::print_series(
+        "DELETE ratio",
+        &result.labels,
+        &[
+            ("DualTable EDIT+UnionRead", ew),
+            ("Hive(HDFS)+Read", hw),
+            ("DualTable+Read", cw),
+        ],
+    );
+    let hive = ("Hive(HDFS)+Read", hm);
+    let edit = ("DualTable EDIT+UnionRead", em);
+    println!("[modeled cluster seconds]");
+    report::print_series(
+        "DELETE ratio",
+        &result.labels,
+        &[edit.clone(), hive.clone(), ("DualTable+Read", cm)],
+    );
+    report::crossover_note(&result.labels, &edit, &hive);
+}

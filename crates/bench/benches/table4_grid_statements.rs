@@ -1,0 +1,79 @@
+//! Table IV: the eight representative UPDATE/DELETE statements from the
+//! line-loss and low-voltage modules, run on Hive and on DualTable, with
+//! the improvement factor.
+
+use dt_bench::report;
+use dt_bench::systems::{create_table_as, insert_direct};
+use dt_bench::{scaled, time_ok};
+use dt_hiveql::Session;
+use dt_workloads::smartgrid as grid;
+use dualtable::DualTableEnv;
+
+fn build_session(storage: &str) -> Session {
+    let mut s = Session::with_env(DualTableEnv::in_memory());
+    let n = scaled(8_000);
+    create_table_as(&mut s, "tj_tdjl", &grid::tj_tdjl_schema(), storage);
+    create_table_as(&mut s, "tj_td", &grid::tj_td_schema(), storage);
+    create_table_as(&mut s, "tj_sjwzl_r", &grid::tj_sjwzl_r_schema(), storage);
+    create_table_as(&mut s, "tj_sjwzl_y", &grid::tj_sjwzl_y_schema(), storage);
+    create_table_as(&mut s, "tj_gk", &grid::tj_gk_schema(), storage);
+    create_table_as(&mut s, "tj_dysjwzl_mx", &grid::tj_dysjwzl_mx_schema(), storage);
+    insert_direct(&mut s, "tj_tdjl", grid::tj_tdjl_rows(n, 1).collect());
+    insert_direct(&mut s, "tj_td", grid::tj_td_rows(n / 2, 2).collect());
+    insert_direct(&mut s, "tj_sjwzl_r", grid::tj_sjwzl_r_rows(n, 3).collect());
+    insert_direct(&mut s, "tj_sjwzl_y", grid::tj_sjwzl_y_rows(n / 3, 4).collect());
+    insert_direct(&mut s, "tj_gk", grid::tj_gk_rows(n / 2, 5).collect());
+    insert_direct(&mut s, "tj_dysjwzl_mx", grid::tj_dysjwzl_mx_rows(n * 2, 6).collect());
+    s
+}
+
+fn main() {
+    report::header(
+        "Table IV",
+        "Performance results for the real State Grid workload (U#1-U#4, D#1-D#4)",
+    );
+    let mut rows = Vec::new();
+    for stmt in grid::table4_statements() {
+        // Fresh sessions per statement so each starts from pristine tables.
+        let mut hive = build_session("ORC");
+        let mut dual = build_session("DUALTABLE");
+        let (hive_secs, hr) = time_ok(|| hive.execute(stmt.sql));
+        let (dual_secs, dr) = time_ok(|| dual.execute(stmt.sql));
+        assert_eq!(
+            hr.affected, dr.affected,
+            "{}: systems disagree on matched rows",
+            stmt.id
+        );
+        let measured_ratio = {
+            let total: u64 = dual
+                .execute(&format!("SELECT COUNT(*) FROM {}", stmt.table))
+                .unwrap()
+                .rows()[0][0]
+                .as_i64()
+                .unwrap() as u64
+                + if stmt.id.starts_with('D') { dr.affected } else { 0 };
+            dr.affected as f64 / total.max(1) as f64
+        };
+        rows.push(vec![
+            stmt.id.to_string(),
+            format!("{:.2}%", measured_ratio * 100.0),
+            format!("{:.2}%", stmt.paper_ratio * 100.0),
+            format!("{hive_secs:.4}"),
+            format!("{dual_secs:.4}"),
+            format!("{:.0}%", hive_secs / dual_secs * 100.0),
+            format!("{:?}", dr.dml.as_ref().map(|d| d.plan)),
+        ]);
+    }
+    report::print_rows(
+        &[
+            "Stmt",
+            "Ratio",
+            "Paper ratio",
+            "Hive (s)",
+            "DualTable (s)",
+            "Improvement",
+            "Plan",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,95 @@
+//! Ready-made sweep specifications for the two evaluation data sets.
+
+use dt_common::{Row, Value};
+use dt_workloads::{smartgrid, tpch};
+
+use crate::model::ClusterModel;
+use crate::sweeps::{grid_ratio_points, tpch_ratio_points, SweepPoint, SweepSpec};
+use crate::{scale, scaled};
+
+/// Default grid fact-table rows (36 days × 400 rows/day before scaling).
+pub fn grid_rows_default() -> usize {
+    scaled(36 * 400)
+}
+
+/// Default TPC-H lineitem rows.
+pub fn tpch_rows_default() -> usize {
+    scaled(24_000)
+}
+
+/// Sweep spec for the grid UPDATE experiments (Figures 5, 7, 8): update
+/// the sampling-rate column of rows belonging to the first k of 36 days.
+pub fn grid_update_spec() -> SweepSpec {
+    let n = grid_rows_default();
+    let schema = smartgrid::tj_gbsjwzl_mx_schema();
+    let rq_col = schema.index_of("rq").expect("rq column");
+    let rcjl_col = schema.index_of("rcjl").expect("rcjl column");
+    SweepSpec {
+        schema,
+        rows: Box::new(move || smartgrid::tj_gbsjwzl_mx_rows(n, 42).collect()),
+        points: grid_ratio_points(move |k| {
+            let cutoff = smartgrid::BASE_DATE + k;
+            Box::new(move |row: &Row| {
+                row[rq_col].as_i64().map(|d| d < cutoff).unwrap_or(false)
+            })
+        }),
+        update: Some((rcjl_col, Value::Float64(42.0))),
+        rates: dualtable::Rates::default(),
+        model: ClusterModel::default(),
+    }
+}
+
+/// Sweep spec for the grid DELETE experiments (Figures 6, 9, 10).
+pub fn grid_delete_spec() -> SweepSpec {
+    let mut spec = grid_update_spec();
+    spec.update = None;
+    spec
+}
+
+/// Sweep spec for the TPC-H UPDATE experiments (Figures 13, 15, 16):
+/// randomly update one field in 1%–50% of `lineitem`.
+pub fn tpch_update_spec() -> SweepSpec {
+    let n = tpch_rows_default();
+    let orders_n = tpch::orders_rows_for(n);
+    let schema = tpch::lineitem_schema();
+    let partkey_col = schema.index_of("l_partkey").expect("l_partkey");
+    let qty_col = schema.index_of("l_quantity").expect("l_quantity");
+    SweepSpec {
+        schema,
+        rows: Box::new(move || tpch::lineitem_rows(n, orders_n, 7).collect()),
+        points: tpch_ratio_points(move |pct| {
+            Box::new(move |row: &Row| {
+                row[partkey_col]
+                    .as_i64()
+                    .map(|k| k % 100 < pct)
+                    .unwrap_or(false)
+            })
+        }),
+        update: Some((qty_col, Value::Float64(1.0))),
+        rates: dualtable::Rates::default(),
+        model: ClusterModel::default(),
+    }
+}
+
+/// Sweep spec for the TPC-H DELETE experiments (Figures 14, 17, 18).
+pub fn tpch_delete_spec() -> SweepSpec {
+    let mut spec = tpch_update_spec();
+    spec.update = None;
+    spec
+}
+
+/// A single-point spec (used by tests).
+pub fn tiny_spec() -> SweepSpec {
+    let mut spec = tpch_update_spec();
+    let n = (240.0 * scale()) as usize;
+    let orders_n = tpch::orders_rows_for(n);
+    spec.rows = Box::new(move || tpch::lineitem_rows(n, orders_n, 7).collect());
+    spec.points.truncate(2);
+    spec
+}
+
+/// Re-exported for benches needing custom points.
+pub use crate::sweeps::SweepPoint as Point;
+
+#[allow(dead_code)]
+fn _assert_point_send(_: SweepPoint) {}

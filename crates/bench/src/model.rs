@@ -1,0 +1,196 @@
+//! The cluster-time model: estimates what each measured operation would
+//! cost on the paper's cluster.
+//!
+//! We run every system in one process, so raw wall-clock preserves *who
+//! scans and who rewrites* but compresses the gap between sequential DFS
+//! streaming and random KV writes — an in-process LSM put costs ~1 µs where
+//! an HBase put pays an RPC, WAL sync and replication. To compare against
+//! the paper's figures, each experiment therefore also reports **modeled
+//! cluster seconds**: the byte and operation volumes actually measured on
+//! our substrate, charged at the paper's §IV throughputs.
+//!
+//! Per-cell overheads are expressed *relative to the table's per-row
+//! master cost*, which keeps the model scale-invariant (our tables are
+//! thousands of rows, the paper's are hundreds of millions). The
+//! coefficients are derived from the paper's own measurements:
+//!
+//! * `put_overhead_rows` ≈ 2.9 — Figure 13 shows the EDIT plan matching
+//!   Hive's full rewrite at a 35% update ratio, so one HBase put costs
+//!   about 1/0.35 ≈ 2.9× one row's share of the rewrite;
+//! * `get_overhead_rows` ≈ 2.0 — Figure 15 shows the UNION READ at a 50%
+//!   update ratio costing about twice the plain scan, so one random
+//!   attached read costs about 2× one row's share of the scan.
+//!
+//! This is the DESIGN.md §2 substitution: the missing hardware (a 10–26
+//! node HDFS/HBase cluster) is simulated from measured I/O volumes.
+
+/// Throughput/latency constants of the modeled cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterModel {
+    /// HDFS aggregate write throughput (paper §IV: 1 GB/s).
+    pub master_write_bps: f64,
+    /// MapReduce scan (read) throughput.
+    pub master_read_bps: f64,
+    /// HBase aggregate write throughput (paper §IV: 0.8 GB/s).
+    pub attached_write_bps: f64,
+    /// HBase aggregate read throughput (paper §IV: 0.5 GB/s).
+    pub attached_read_bps: f64,
+    /// Per-put overhead, in units of "one row's master-write cost".
+    pub put_overhead_rows: f64,
+    /// Per-random-read overhead, in units of "one row's master-read cost".
+    pub get_overhead_rows: f64,
+}
+
+impl Default for ClusterModel {
+    fn default() -> Self {
+        const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+        ClusterModel {
+            master_write_bps: 1.0 * GB,
+            master_read_bps: 0.5 * GB,
+            attached_write_bps: 0.8 * GB,
+            attached_read_bps: 0.5 * GB,
+            put_overhead_rows: 2.9,
+            get_overhead_rows: 2.0,
+        }
+    }
+}
+
+/// Per-row costs of one concrete table, measured during its build/scan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TableProfile {
+    /// Master bytes written to build the table (replication included).
+    pub build_bytes: u64,
+    /// Master bytes read by one full scan.
+    pub scan_bytes: u64,
+    /// Row count.
+    pub rows: u64,
+}
+
+impl TableProfile {
+    /// Seconds one HBase put costs under `model`.
+    pub fn per_put_secs(&self, model: &ClusterModel) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        model.put_overhead_rows * self.build_bytes as f64
+            / (model.master_write_bps * self.rows as f64)
+    }
+
+    /// Seconds one random attached read costs under `model`.
+    pub fn per_get_secs(&self, model: &ClusterModel) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        model.get_overhead_rows * self.scan_bytes as f64
+            / (model.master_read_bps * self.rows as f64)
+    }
+}
+
+/// Measured volumes of one operation phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseVolumes {
+    /// Bytes read from the master (DFS) tier.
+    pub master_read: u64,
+    /// Bytes written to the master tier (replication included).
+    pub master_written: u64,
+    /// Bytes read from the attached (KV) tier.
+    pub attached_read: u64,
+    /// Bytes written to the attached tier (WAL + flush).
+    pub attached_written: u64,
+    /// Cells put into the attached tier.
+    pub attached_cells_written: u64,
+    /// Cells read back from the attached tier.
+    pub attached_cells_read: u64,
+}
+
+impl ClusterModel {
+    /// Modeled cluster seconds for a phase on a table with `profile`.
+    pub fn seconds(&self, v: &PhaseVolumes, profile: &TableProfile) -> f64 {
+        v.master_read as f64 / self.master_read_bps
+            + v.master_written as f64 / self.master_write_bps
+            + v.attached_read as f64 / self.attached_read_bps
+            + v.attached_written as f64 / self.attached_write_bps
+            + v.attached_cells_written as f64 * profile.per_put_secs(self)
+            + v.attached_cells_read as f64 * profile.per_get_secs(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> TableProfile {
+        TableProfile {
+            build_bytes: 100 << 20,
+            scan_bytes: 33 << 20,
+            rows: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn small_edit_beats_rewrite() {
+        let m = ClusterModel::default();
+        let p = profile();
+        let rewrite = PhaseVolumes {
+            master_read: p.scan_bytes,
+            master_written: p.build_bytes,
+            ..Default::default()
+        };
+        let edit_1pct = PhaseVolumes {
+            master_read: p.scan_bytes,
+            attached_cells_written: p.rows / 100,
+            ..Default::default()
+        };
+        assert!(m.seconds(&edit_1pct, &p) < m.seconds(&rewrite, &p));
+    }
+
+    #[test]
+    fn crossover_sits_near_35_percent() {
+        // With put overhead = 2.9 row-writes, EDIT matches OVERWRITE's
+        // extra write cost at ratio 1/2.9 ≈ 34% (read cost shared).
+        let m = ClusterModel::default();
+        let p = profile();
+        let edit_at = |ratio: f64| PhaseVolumes {
+            master_read: p.scan_bytes,
+            attached_cells_written: (p.rows as f64 * ratio) as u64,
+            ..Default::default()
+        };
+        let rewrite = PhaseVolumes {
+            master_read: p.scan_bytes,
+            master_written: p.build_bytes,
+            ..Default::default()
+        };
+        assert!(m.seconds(&edit_at(0.25), &p) < m.seconds(&rewrite, &p));
+        assert!(m.seconds(&edit_at(0.45), &p) > m.seconds(&rewrite, &p));
+    }
+
+    #[test]
+    fn union_read_overhead_is_moderate() {
+        // At 50% updated, UNION READ should cost roughly 2x the clean scan
+        // (paper Figure 15), not orders of magnitude more.
+        let m = ClusterModel::default();
+        let p = profile();
+        let clean = PhaseVolumes {
+            master_read: p.scan_bytes,
+            ..Default::default()
+        };
+        let union_50 = PhaseVolumes {
+            master_read: p.scan_bytes,
+            attached_cells_read: p.rows / 2,
+            ..Default::default()
+        };
+        let ratio = m.seconds(&union_50, &p) / m.seconds(&clean, &p);
+        assert!((1.5..3.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let m = ClusterModel::default();
+        let p = TableProfile::default();
+        let v = PhaseVolumes {
+            attached_cells_written: 10,
+            ..Default::default()
+        };
+        assert_eq!(m.seconds(&v, &p), 0.0);
+    }
+}

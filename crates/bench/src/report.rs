@@ -1,0 +1,68 @@
+//! Paper-style output: one table or series plot per figure, printed as
+//! aligned text so `cargo bench` output can be diffed against
+//! EXPERIMENTS.md.
+
+/// Prints a figure header.
+pub fn header(id: &str, title: &str) {
+    println!();
+    println!("=== {id}: {title} ===");
+}
+
+/// Prints an x-vs-series table (one row per x value, one column per
+/// series), e.g. run time vs UPDATE ratio for three systems.
+pub fn print_series(x_label: &str, xs: &[String], series: &[(&str, Vec<f64>)]) {
+    let mut widths = vec![x_label.len().max(xs.iter().map(String::len).max().unwrap_or(0))];
+    for (name, _) in series {
+        widths.push(name.len().max(10));
+    }
+    print!("{:<w$}", x_label, w = widths[0] + 2);
+    for (i, (name, _)) in series.iter().enumerate() {
+        print!("{:>w$}", name, w = widths[i + 1] + 2);
+    }
+    println!();
+    for (row, x) in xs.iter().enumerate() {
+        print!("{:<w$}", x, w = widths[0] + 2);
+        for (i, (_, values)) in series.iter().enumerate() {
+            let v = values.get(row).copied().unwrap_or(f64::NAN);
+            print!("{:>w$}", format!("{:.4}", v), w = widths[i + 1] + 2);
+        }
+        println!();
+    }
+}
+
+/// Prints a generic text table.
+pub fn print_rows(columns: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    for (i, c) in columns.iter().enumerate() {
+        print!("{:<w$}", c, w = widths[i] + 2);
+    }
+    println!();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            print!("{:<w$}", cell, w = widths[i] + 2);
+        }
+        println!();
+    }
+}
+
+/// Notes the observed crossover of two series (where `a` stops being
+/// smaller than `b`), if any.
+pub fn crossover_note(xs: &[String], a: &(&str, Vec<f64>), b: &(&str, Vec<f64>)) {
+    for i in 0..xs.len() {
+        if a.1[i] >= b.1[i] {
+            println!(
+                "-- crossover: '{}' overtakes '{}' at x = {}",
+                b.0, a.0, xs[i]
+            );
+            return;
+        }
+    }
+    println!("-- no crossover: '{}' stays below '{}'", a.0, b.0);
+}

@@ -1,0 +1,117 @@
+//! The error type shared across the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// All errors surfaced by the DualTable reproduction.
+///
+/// One enum is shared across crates: the layers are tightly coupled (the
+/// query engine reports storage errors verbatim) and a single type keeps
+/// `?` ergonomic without a conversion matrix.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying OS-level I/O failure.
+    Io(std::io::Error),
+    /// On-disk data failed validation (bad magic, CRC mismatch, truncation).
+    Corrupt(String),
+    /// A path, table, file or key was not found.
+    NotFound(String),
+    /// The entity being created already exists.
+    AlreadyExists(String),
+    /// Schema violation: wrong arity, type mismatch, unknown column.
+    Schema(String),
+    /// Malformed query text.
+    Parse(String),
+    /// Query is well-formed but cannot be planned/executed.
+    Plan(String),
+    /// Invalid argument to an API call.
+    InvalidArgument(String),
+    /// Operation unsupported by the selected storage handler.
+    Unsupported(String),
+    /// A concurrent operation (e.g. COMPACT) holds an exclusive lock.
+    Busy(String),
+    /// Invariant violation — a bug in this library.
+    Internal(String),
+}
+
+impl Error {
+    /// Shorthand for [`Error::Corrupt`].
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        Error::Corrupt(msg.into())
+    }
+
+    /// Shorthand for [`Error::Schema`].
+    pub fn schema(msg: impl Into<String>) -> Self {
+        Error::Schema(msg.into())
+    }
+
+    /// Shorthand for [`Error::NotFound`].
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        Error::NotFound(msg.into())
+    }
+
+    /// Shorthand for [`Error::InvalidArgument`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::InvalidArgument(msg.into())
+    }
+
+    /// Shorthand for [`Error::Internal`].
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Plan(m) => write!(f, "planning error: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Busy(m) => write!(f, "busy: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = Error::corrupt("bad magic");
+        assert_eq!(e.to_string(), "corrupt data: bad magic");
+        let e = Error::not_found("table t");
+        assert!(e.to_string().contains("table t"));
+    }
+
+    #[test]
+    fn io_error_is_source() {
+        use std::error::Error as _;
+        let e: Error = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,137 @@
+//! Per-storage-tier I/O accounting.
+//!
+//! The paper's cost model (§IV) reasons about bytes read and written per
+//! tier (Master vs Attached). Every storage layer in this workspace threads
+//! an [`IoStats`] handle through its hot paths so experiments can report I/O
+//! volumes and the cost model can calibrate per-tier throughput.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe I/O counters for one storage tier.
+#[derive(Debug, Clone, Default)]
+pub struct IoStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    read_ops: AtomicU64,
+    write_ops: AtomicU64,
+    seeks: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStatsSnapshot {
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written (replication included, where simulated).
+    pub bytes_written: u64,
+    /// Number of read calls.
+    pub read_ops: u64,
+    /// Number of write calls.
+    pub write_ops: u64,
+    /// Number of random repositionings (seeks / point lookups).
+    pub seeks: u64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read of `bytes` bytes.
+    pub fn record_read(&self, bytes: u64) {
+        self.inner.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.inner.read_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a write of `bytes` bytes.
+    pub fn record_write(&self, bytes: u64) {
+        self.inner.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.inner.write_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a random reposition (seek or point lookup).
+    pub fn record_seek(&self) {
+        self.inner.seeks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            bytes_read: self.inner.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.inner.bytes_written.load(Ordering::Relaxed),
+            read_ops: self.inner.read_ops.load(Ordering::Relaxed),
+            write_ops: self.inner.write_ops.load(Ordering::Relaxed),
+            seeks: self.inner.seeks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.inner.bytes_read.store(0, Ordering::Relaxed);
+        self.inner.bytes_written.store(0, Ordering::Relaxed);
+        self.inner.read_ops.store(0, Ordering::Relaxed);
+        self.inner.write_ops.store(0, Ordering::Relaxed);
+        self.inner.seeks.store(0, Ordering::Relaxed);
+    }
+}
+
+impl IoStatsSnapshot {
+    /// Counter deltas since `earlier`.
+    pub fn since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            read_ops: self.read_ops - earlier.read_ops,
+            write_ops: self.write_ops - earlier.write_ops,
+            seeks: self.seeks - earlier.seeks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_read(10);
+        s.record_read(5);
+        s.record_write(7);
+        s.record_seek();
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_read, 15);
+        assert_eq!(snap.read_ops, 2);
+        assert_eq!(snap.bytes_written, 7);
+        assert_eq!(snap.write_ops, 1);
+        assert_eq!(snap.seeks, 1);
+    }
+
+    #[test]
+    fn clones_share_counters_and_since_computes_delta() {
+        let s = IoStats::new();
+        let t = s.clone();
+        s.record_write(3);
+        let a = t.snapshot();
+        t.record_write(4);
+        let b = t.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.bytes_written, 4);
+        assert_eq!(d.write_ops, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = IoStats::new();
+        s.record_read(10);
+        s.reset();
+        assert_eq!(s.snapshot(), IoStatsSnapshot::default());
+    }
+}

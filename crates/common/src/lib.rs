@@ -1,0 +1,33 @@
+//! Shared foundation types for the DualTable reproduction.
+//!
+//! Everything that more than one crate needs lives here:
+//!
+//! * [`Schema`], [`Field`], [`DataType`], [`Value`], [`Row`] — the logical
+//!   data model shared by the columnar format, the KV store cell codec, the
+//!   query engine and DualTable itself.
+//! * [`RecordId`] — the `(file_id, row_number)` identifier that links a
+//!   Master-Table row to its Attached-Table entries (paper §V-B).
+//! * [`codec`] — varint / zig-zag / length-prefixed primitives used by the
+//!   on-disk formats.
+//! * [`crc32`] — CRC-32 (IEEE) for WAL and block checksums.
+//! * [`io_stats`] — per-tier byte/op counters that back the cost model's
+//!   calibration and let experiments report I/O volumes.
+//! * [`rng`] — a small deterministic PRNG so workload generation is
+//!   reproducible across platforms.
+//! * [`clock`] — a logical timestamp source for multi-version cells.
+
+pub mod clock;
+pub mod codec;
+pub mod crc32;
+pub mod error;
+pub mod io_stats;
+pub mod record_id;
+pub mod rng;
+pub mod types;
+
+pub use clock::LogicalClock;
+pub use error::{Error, Result};
+pub use io_stats::{IoStats, IoStatsSnapshot};
+pub use record_id::RecordId;
+pub use rng::Rng64;
+pub use types::{DataType, Field, Row, Schema, Value};

@@ -1,0 +1,91 @@
+//! The DualTable record identifier (paper §V-B).
+//!
+//! Every row in a DualTable gets an ID unique within the table, formed by
+//! concatenating the Master-Table **file ID** (an incrementing integer
+//! allocated from the system-wide metadata table whenever a writer creates a
+//! new master file) with the row's **row number** inside that file (computed
+//! for free while reading, so it costs no storage).
+//!
+//! The big-endian byte encoding of `(file_id, row)` sorts identically to the
+//! scan order of the master files, which is what makes UNION READ a linear
+//! two-pointer merge.
+
+use std::fmt;
+
+/// Identifier of a row within one DualTable: `(file_id, row_number)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId {
+    /// The master file's table-unique incrementing ID.
+    pub file_id: u32,
+    /// Zero-based row number within that file.
+    pub row: u32,
+}
+
+impl RecordId {
+    /// Creates a record ID.
+    pub fn new(file_id: u32, row: u32) -> Self {
+        RecordId { file_id, row }
+    }
+
+    /// Packs into a single `u64` preserving order.
+    pub fn as_u64(self) -> u64 {
+        (u64::from(self.file_id) << 32) | u64::from(self.row)
+    }
+
+    /// Inverse of [`RecordId::as_u64`].
+    pub fn from_u64(v: u64) -> Self {
+        RecordId {
+            file_id: (v >> 32) as u32,
+            row: v as u32,
+        }
+    }
+
+    /// Big-endian key bytes; lexicographic order equals numeric order, so
+    /// these can serve directly as KV-store row keys.
+    pub fn to_key(self) -> [u8; 8] {
+        self.as_u64().to_be_bytes()
+    }
+
+    /// Decodes key bytes produced by [`RecordId::to_key`].
+    pub fn from_key(key: &[u8]) -> Option<Self> {
+        let bytes: [u8; 8] = key.try_into().ok()?;
+        Some(Self::from_u64(u64::from_be_bytes(bytes)))
+    }
+
+    /// The smallest ID in file `file_id`.
+    pub fn file_start(file_id: u32) -> Self {
+        RecordId { file_id, row: 0 }
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.file_id, self.row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let id = RecordId::new(7, 123_456);
+        assert_eq!(RecordId::from_u64(id.as_u64()), id);
+        assert_eq!(RecordId::from_key(&id.to_key()), Some(id));
+    }
+
+    #[test]
+    fn key_order_matches_scan_order() {
+        let a = RecordId::new(1, u32::MAX).to_key();
+        let b = RecordId::new(2, 0).to_key();
+        assert!(a < b, "file boundary must preserve order");
+        let c = RecordId::new(2, 1).to_key();
+        assert!(b < c);
+    }
+
+    #[test]
+    fn from_key_rejects_bad_length() {
+        assert_eq!(RecordId::from_key(&[1, 2, 3]), None);
+    }
+}

@@ -1,0 +1,384 @@
+//! The logical data model: types, values, rows and schemas.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// Logical column types supported by the storage formats and the query layer.
+///
+/// The set mirrors what the paper's workloads need: Hive's `BIGINT`,
+/// `DOUBLE`, `STRING`, `BOOLEAN` and `DATE` (dates are stored as days since
+/// the epoch, as Hive's ORC writer does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (`BIGINT`).
+    Int64,
+    /// IEEE 754 double (`DOUBLE`).
+    Float64,
+    /// UTF-8 string (`STRING` / `VARCHAR`).
+    Utf8,
+    /// Boolean (`BOOLEAN`).
+    Bool,
+    /// Days since 1970-01-01 (`DATE`).
+    Date,
+}
+
+impl DataType {
+    /// The HiveQL keyword for the type.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            DataType::Int64 => "BIGINT",
+            DataType::Float64 => "DOUBLE",
+            DataType::Utf8 => "STRING",
+            DataType::Bool => "BOOLEAN",
+            DataType::Date => "DATE",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+/// A single cell value.
+///
+/// `Null` is typed dynamically: a null cell carries no type, the schema does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// `BIGINT` value.
+    Int64(i64),
+    /// `DOUBLE` value.
+    Float64(f64),
+    /// `STRING` value.
+    Utf8(String),
+    /// `BOOLEAN` value.
+    Bool(bool),
+    /// `DATE` value as days since the epoch.
+    Date(i32),
+}
+
+impl Value {
+    /// `true` iff the value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value's runtime type, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int64(_) => Some(DataType::Int64),
+            Value::Float64(_) => Some(DataType::Float64),
+            Value::Utf8(_) => Some(DataType::Utf8),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// Integer accessor; `None` for non-integers.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int64(v) => Some(*v),
+            Value::Date(v) => Some(i64::from(*v)),
+            _ => None,
+        }
+    }
+
+    /// Float accessor with implicit int → float widening.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float64(v) => Some(*v),
+            Value::Int64(v) => Some(*v as f64),
+            Value::Date(v) => Some(f64::from(*v)),
+            _ => None,
+        }
+    }
+
+    /// String accessor; `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Utf8(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean accessor; `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Checks the value can be stored in a column of type `ty`.
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        match self.data_type() {
+            None => true,
+            Some(t) => t == ty,
+        }
+    }
+
+    /// Total order used for sorting and merge joins.
+    ///
+    /// NULL sorts first (Hive's default `NULLS FIRST` for ascending order);
+    /// values of mismatched types compare by numeric widening when possible,
+    /// otherwise by type tag — the planner prevents such comparisons, this
+    /// keeps sorting total regardless.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int64(a), Int64(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Utf8(a), Utf8(b)) => a.cmp(b),
+            (Float64(a), Float64(b)) => a.total_cmp(b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                _ => type_rank(a).cmp(&type_rank(b)),
+            },
+        }
+    }
+
+    /// SQL equality (`=`): NULL never equals anything (three-valued logic is
+    /// handled by the evaluator; this returns `false` for NULL operands).
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int64(_) => 2,
+        Value::Float64(_) => 3,
+        Value::Date(_) => 4,
+        Value::Utf8(_) => 5,
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Utf8(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Date(v) => write!(f, "date#{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Utf8(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Utf8(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A row is a boxed slice of values, one per schema field.
+pub type Row = Vec<Value>;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (stored lower-cased; HiveQL identifiers are
+    /// case-insensitive).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Creates a field, lower-casing the name.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into().to_ascii_lowercase(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered list of fields describing a table or an intermediate result.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields; fails on duplicate column names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(Error::schema(format!("duplicate column name '{}'", f.name)));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Builder-style constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            fields: pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
+        }
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` iff the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field by ordinal.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Ordinal of a column by case-insensitive name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.fields.iter().position(|f| f.name == lower)
+    }
+
+    /// Like [`Schema::index_of`] but returns a schema error.
+    pub fn require(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| Error::schema(format!("unknown column '{name}'")))
+    }
+
+    /// Validates that `row` matches the schema arity and column types.
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.fields.len() {
+            return Err(Error::schema(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.fields.len()
+            )));
+        }
+        for (v, f) in row.iter().zip(&self.fields) {
+            if !v.conforms_to(f.data_type) {
+                return Err(Error::schema(format!(
+                    "value {v:?} does not conform to column '{}' of type {}",
+                    f.name, f.data_type
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Projects the schema onto the given column ordinals.
+    pub fn project(&self, ordinals: &[usize]) -> Schema {
+        Schema {
+            fields: ordinals.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        let err = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("A", DataType::Utf8),
+        ]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn index_is_case_insensitive() {
+        let s = Schema::from_pairs(&[("Id", DataType::Int64), ("Name", DataType::Utf8)]);
+        assert_eq!(s.index_of("ID"), Some(0));
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn check_row_validates_types_and_arity() {
+        let s = Schema::from_pairs(&[("a", DataType::Int64), ("b", DataType::Utf8)]);
+        assert!(s.check_row(&[Value::Int64(1), Value::from("x")]).is_ok());
+        assert!(s.check_row(&[Value::Null, Value::Null]).is_ok());
+        assert!(s.check_row(&[Value::Int64(1)]).is_err());
+        assert!(s.check_row(&[Value::from("x"), Value::from("y")]).is_err());
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vs = vec![Value::Int64(3), Value::Null, Value::Int64(-1)];
+        vs.sort_by(|a, b| a.total_cmp(b));
+        assert!(vs[0].is_null());
+        assert_eq!(vs[1], Value::Int64(-1));
+    }
+
+    #[test]
+    fn mixed_numeric_comparison_widens() {
+        assert_eq!(
+            Value::Int64(2).total_cmp(&Value::Float64(2.5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Float64(2.0).total_cmp(&Value::Int64(2)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn sql_eq_rejects_null() {
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(Value::Int64(5).sql_eq(&Value::Int64(5)));
+    }
+
+    #[test]
+    fn projection_keeps_order() {
+        let s = Schema::from_pairs(&[
+            ("a", DataType::Int64),
+            ("b", DataType::Utf8),
+            ("c", DataType::Bool),
+        ]);
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.field(0).name, "c");
+        assert_eq!(p.field(1).name, "a");
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the byte codecs in `dt-common`.
+
+use dt_common::codec::*;
+use dt_common::crc32::crc32;
+use dt_common::types::Value;
+use dt_common::RecordId;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int64),
+        any::<f64>().prop_map(Value::Float64),
+        ".{0,64}".prop_map(Value::Utf8),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(Value::Date),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn uvarint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(get_uvarint(&buf, &mut pos).unwrap(), v);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn ivarint_roundtrip(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        put_ivarint(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(get_ivarint(&buf, &mut pos).unwrap(), v);
+    }
+
+    #[test]
+    fn zigzag_is_bijective(v in any::<i64>()) {
+        prop_assert_eq!(unzigzag(zigzag(v)), v);
+    }
+
+    #[test]
+    fn value_roundtrip(v in arb_value()) {
+        let enc = encode_value(&v);
+        let dec = decode_value(&enc).unwrap();
+        match (&v, &dec) {
+            (Value::Float64(a), Value::Float64(b)) => {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            _ => prop_assert_eq!(&v, &dec),
+        }
+    }
+
+    #[test]
+    fn value_sequence_roundtrip(vs in proptest::collection::vec(arb_value(), 0..32)) {
+        let mut buf = Vec::new();
+        for v in &vs {
+            put_value(&mut buf, v);
+        }
+        let mut pos = 0;
+        for v in &vs {
+            let dec = get_value(&buf, &mut pos).unwrap();
+            match (v, &dec) {
+                (Value::Float64(a), Value::Float64(b)) => {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+                _ => prop_assert_eq!(v, &dec),
+            }
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn record_id_key_order_agrees_with_numeric_order(a in any::<u64>(), b in any::<u64>()) {
+        let ka = RecordId::from_u64(a).to_key();
+        let kb = RecordId::from_u64(b).to_key();
+        prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+    }
+
+    #[test]
+    fn crc_differs_on_mutation(data in proptest::collection::vec(any::<u8>(), 1..256), idx in any::<prop::sample::Index>()) {
+        let mut mutated = data.clone();
+        let i = idx.index(mutated.len());
+        mutated[i] ^= 0x5A;
+        prop_assert_ne!(crc32(&data), crc32(&mutated));
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Must return Ok or Err, never panic or loop.
+        let _ = decode_value(&data);
+    }
+}

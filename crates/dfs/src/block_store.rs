@@ -1,0 +1,163 @@
+//! Physical block storage behind the DFS namespace.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dt_common::{Error, Result};
+use parking_lot::RwLock;
+
+/// Opaque identifier of one stored block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+/// Storage for immutable blocks.
+///
+/// Blocks are written whole and never mutated — the datanode contract.
+pub trait BlockStore: Send + Sync {
+    /// Stores `data` as a new block.
+    fn put(&self, data: &[u8]) -> Result<BlockId>;
+
+    /// Reads `buf.len()` bytes starting at `offset` within the block.
+    fn read_at(&self, id: BlockId, offset: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Releases a block.
+    fn delete(&self, id: BlockId) -> Result<()>;
+}
+
+/// Heap-backed block store; the default for tests and deterministic
+/// experiments.
+#[derive(Default)]
+pub struct MemBlockStore {
+    next_id: AtomicU64,
+    blocks: RwLock<HashMap<BlockId, Arc<Vec<u8>>>>,
+}
+
+impl MemBlockStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live blocks (for leak tests).
+    pub fn block_count(&self) -> usize {
+        self.blocks.read().len()
+    }
+}
+
+impl BlockStore for MemBlockStore {
+    fn put(&self, data: &[u8]) -> Result<BlockId> {
+        let id = BlockId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.blocks.write().insert(id, Arc::new(data.to_vec()));
+        Ok(id)
+    }
+
+    fn read_at(&self, id: BlockId, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let block = self
+            .blocks
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::not_found(format!("block {id:?}")))?;
+        let start = offset as usize;
+        let end = start
+            .checked_add(buf.len())
+            .ok_or_else(|| Error::invalid("block read range overflow"))?;
+        if end > block.len() {
+            return Err(Error::invalid(format!(
+                "read [{start}, {end}) beyond block of {} bytes",
+                block.len()
+            )));
+        }
+        buf.copy_from_slice(&block[start..end]);
+        Ok(())
+    }
+
+    fn delete(&self, id: BlockId) -> Result<()> {
+        self.blocks
+            .write()
+            .remove(&id)
+            .map(|_| ())
+            .ok_or_else(|| Error::not_found(format!("block {id:?}")))
+    }
+}
+
+/// Block store writing one file per block under a root directory; used by
+/// benchmarks that want the OS page cache and real disk behaviour in play.
+pub struct DiskBlockStore {
+    root: PathBuf,
+    next_id: AtomicU64,
+}
+
+impl DiskBlockStore {
+    /// Creates the root directory if needed.
+    pub fn new(root: PathBuf) -> Result<Self> {
+        fs::create_dir_all(&root)?;
+        Ok(DiskBlockStore {
+            root,
+            next_id: AtomicU64::new(0),
+        })
+    }
+
+    fn path_of(&self, id: BlockId) -> PathBuf {
+        self.root.join(format!("blk_{:016x}", id.0))
+    }
+}
+
+impl BlockStore for DiskBlockStore {
+    fn put(&self, data: &[u8]) -> Result<BlockId> {
+        let id = BlockId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        fs::write(self.path_of(id), data)?;
+        Ok(id)
+    }
+
+    fn read_at(&self, id: BlockId, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let mut f = fs::File::open(self.path_of(id))
+            .map_err(|_| Error::not_found(format!("block {id:?}")))?;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn delete(&self, id: BlockId) -> Result<()> {
+        fs::remove_file(self.path_of(id))
+            .map_err(|_| Error::not_found(format!("block {id:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_roundtrip_and_delete() {
+        let store = MemBlockStore::new();
+        let id = store.put(b"hello").unwrap();
+        let mut buf = vec![0u8; 3];
+        store.read_at(id, 1, &mut buf).unwrap();
+        assert_eq!(&buf, b"ell");
+        store.delete(id).unwrap();
+        assert!(store.read_at(id, 0, &mut buf).is_err());
+        assert_eq!(store.block_count(), 0);
+    }
+
+    #[test]
+    fn mem_store_rejects_out_of_range() {
+        let store = MemBlockStore::new();
+        let id = store.put(b"abc").unwrap();
+        let mut buf = vec![0u8; 4];
+        assert!(store.read_at(id, 0, &mut buf).is_err());
+        assert!(store.read_at(id, 3, &mut buf[..1]).is_err());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let store = MemBlockStore::new();
+        let a = store.put(b"a").unwrap();
+        let b = store.put(b"b").unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! DFS tuning knobs.
+
+/// Configuration for a [`crate::Dfs`] instance.
+#[derive(Debug, Clone, Copy)]
+pub struct DfsConfig {
+    /// Block ("chunk") size in bytes. The paper's clusters use 64 MB; tests
+    /// shrink this to exercise multi-block paths.
+    pub chunk_size: usize,
+    /// Replication factor. Writes are accounted as `bytes × replication`
+    /// in the I/O statistics, mirroring the write amplification an HDFS
+    /// pipeline incurs. The paper's clusters use 3.
+    pub replication: u32,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig {
+            chunk_size: 64 * 1024 * 1024,
+            replication: 3,
+        }
+    }
+}
+
+impl DfsConfig {
+    /// A configuration with tiny chunks and no replication amplification,
+    /// for tests that want to exercise block boundaries.
+    pub fn small_chunks(chunk_size: usize) -> Self {
+        DfsConfig {
+            chunk_size,
+            replication: 1,
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! An HDFS-like file system simulator.
+//!
+//! The paper stores Master Tables on HDFS, whose essential properties are:
+//!
+//! * **write-once files** — a file is the consistency unit; once closed it is
+//!   immutable (no random writes),
+//! * **chunked storage** — files are split into fixed-size blocks (the paper's
+//!   clusters use 64 MB), each replicated,
+//! * **high-throughput streaming reads and writes**, poor at point updates.
+//!
+//! [`Dfs`] reproduces exactly that contract. Two block stores are provided:
+//! an in-memory store for tests and deterministic experiments, and a local
+//! on-disk store for benchmarks that want real file I/O. Replication is
+//! accounted in the I/O statistics (bytes × replication factor) rather than
+//! shipped over a network — the paper's experiments depend on I/O volume, not
+//! on network topology (see DESIGN.md §2).
+//!
+//! ```
+//! use dt_dfs::{Dfs, DfsConfig};
+//!
+//! let dfs = Dfs::in_memory(DfsConfig::default());
+//! let mut w = dfs.create("/warehouse/t/part-0").unwrap();
+//! w.write_all(b"hello world").unwrap();
+//! w.close().unwrap();
+//!
+//! let mut r = dfs.open("/warehouse/t/part-0").unwrap();
+//! let mut buf = vec![0u8; 5];
+//! r.read_at(6, &mut buf).unwrap();
+//! assert_eq!(&buf, b"world");
+//! ```
+
+mod block_store;
+mod config;
+mod namenode;
+mod reader;
+mod writer;
+
+pub use block_store::{BlockId, BlockStore, DiskBlockStore, MemBlockStore};
+pub use config::DfsConfig;
+pub use reader::DfsReader;
+pub use writer::DfsWriter;
+
+use std::sync::Arc;
+
+use dt_common::{Error, IoStats, Result};
+use namenode::{FileMeta, NameNode};
+
+/// Handle to a DFS namespace plus its block storage.
+///
+/// Cheap to clone; clones share the same namespace.
+#[derive(Clone)]
+pub struct Dfs {
+    inner: Arc<DfsInner>,
+}
+
+pub(crate) struct DfsInner {
+    namenode: NameNode,
+    blocks: Arc<dyn BlockStore>,
+    config: DfsConfig,
+    stats: IoStats,
+}
+
+impl Dfs {
+    /// Creates a DFS backed by in-memory blocks.
+    pub fn in_memory(config: DfsConfig) -> Self {
+        Self::with_block_store(Arc::new(MemBlockStore::new()), config)
+    }
+
+    /// Creates a DFS whose blocks live as files under `root` on the local
+    /// disk.
+    pub fn on_disk(root: impl Into<std::path::PathBuf>, config: DfsConfig) -> Result<Self> {
+        Ok(Self::with_block_store(
+            Arc::new(DiskBlockStore::new(root.into())?),
+            config,
+        ))
+    }
+
+    /// Creates a DFS over an arbitrary block store.
+    pub fn with_block_store(blocks: Arc<dyn BlockStore>, config: DfsConfig) -> Self {
+        Dfs {
+            inner: Arc::new(DfsInner {
+                namenode: NameNode::new(),
+                blocks,
+                config,
+                stats: IoStats::new(),
+            }),
+        }
+    }
+
+    /// The I/O counters for this file system (the Master tier in cost-model
+    /// terms).
+    pub fn stats(&self) -> &IoStats {
+        &self.inner.stats
+    }
+
+    /// The configured chunk size in bytes.
+    pub fn chunk_size(&self) -> usize {
+        self.inner.config.chunk_size
+    }
+
+    /// Creates a new file for writing. Fails if the path already exists
+    /// (HDFS write-once semantics).
+    pub fn create(&self, path: &str) -> Result<DfsWriter> {
+        validate_path(path)?;
+        self.inner.namenode.begin_create(path)?;
+        Ok(DfsWriter::new(self.inner.clone(), path.to_string()))
+    }
+
+    /// Opens a closed file for reading.
+    pub fn open(&self, path: &str) -> Result<DfsReader> {
+        let meta = self.inner.namenode.get_closed(path)?;
+        Ok(DfsReader::new(self.inner.clone(), meta))
+    }
+
+    /// Length in bytes of a closed file.
+    pub fn len(&self, path: &str) -> Result<u64> {
+        Ok(self.inner.namenode.get_closed(path)?.len)
+    }
+
+    /// `true` iff a closed file exists at `path`.
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.namenode.get_closed(path).is_ok()
+    }
+
+    /// Lists closed files whose path starts with `prefix`, in lexicographic
+    /// order.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner.namenode.list(prefix)
+    }
+
+    /// Deletes a file, releasing its blocks. Deleting a missing file is an
+    /// error.
+    pub fn delete(&self, path: &str) -> Result<()> {
+        let meta = self.inner.namenode.remove(path)?;
+        for (block, _, _) in &meta.blocks {
+            self.inner.blocks.delete(*block)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes every file under `prefix`; returns how many were removed.
+    pub fn delete_prefix(&self, prefix: &str) -> Result<usize> {
+        let files = self.list(prefix);
+        for f in &files {
+            self.delete(f)?;
+        }
+        Ok(files.len())
+    }
+
+    /// Atomically renames a closed file. Fails if the destination exists.
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        validate_path(to)?;
+        self.inner.namenode.rename(from, to)
+    }
+
+    /// Total bytes stored across all closed files (logical size, before
+    /// replication).
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.namenode.total_bytes()
+    }
+
+    /// Reads an entire file into memory.
+    pub fn read_to_vec(&self, path: &str) -> Result<Vec<u8>> {
+        let mut r = self.open(path)?;
+        let len = r.len() as usize;
+        let mut buf = vec![0u8; len];
+        r.read_at(0, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Creates a file holding exactly `data`.
+    pub fn write_file(&self, path: &str, data: &[u8]) -> Result<()> {
+        let mut w = self.create(path)?;
+        w.write_all(data)?;
+        w.close()
+    }
+
+    /// Integrity audit in the spirit of `hdfs fsck`: re-reads every block
+    /// of every closed file and verifies its stored CRC-32.
+    pub fn fsck(&self) -> Result<FsckReport> {
+        let mut report = FsckReport::default();
+        for path in self.list("/") {
+            report.files += 1;
+            let meta = self.inner.namenode.get_closed(&path)?;
+            for (block, len, crc) in &meta.blocks {
+                report.blocks += 1;
+                let mut buf = vec![0u8; *len as usize];
+                match self.inner.blocks.read_at(*block, 0, &mut buf) {
+                    Ok(()) if dt_common::crc32::crc32(&buf) == *crc => {}
+                    _ => {
+                        report.corrupt.push(path.clone());
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Result of [`Dfs::fsck`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Closed files audited.
+    pub files: u64,
+    /// Blocks audited.
+    pub blocks: u64,
+    /// Paths with at least one corrupt or missing block.
+    pub corrupt: Vec<String>,
+}
+
+impl FsckReport {
+    /// `true` iff every block verified.
+    pub fn healthy(&self) -> bool {
+        self.corrupt.is_empty()
+    }
+}
+
+impl DfsInner {
+    pub(crate) fn blocks(&self) -> &Arc<dyn BlockStore> {
+        &self.blocks
+    }
+
+    pub(crate) fn config(&self) -> &DfsConfig {
+        &self.config
+    }
+
+    pub(crate) fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    pub(crate) fn commit_file(&self, path: &str, meta: FileMeta) -> Result<()> {
+        self.namenode.commit(path, meta)
+    }
+
+    pub(crate) fn abort_file(&self, path: &str) {
+        self.namenode.abort(path);
+    }
+}
+
+fn validate_path(path: &str) -> Result<()> {
+    if !path.starts_with('/') || path.ends_with('/') || path.contains("//") {
+        return Err(Error::invalid(format!(
+            "invalid DFS path '{path}': must be absolute, with no trailing or doubled slashes"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let dfs = Dfs::in_memory(DfsConfig::small_chunks(8));
+        let payload: Vec<u8> = (0..100u8).collect();
+        dfs.write_file("/a/b", &payload).unwrap();
+        assert_eq!(dfs.read_to_vec("/a/b").unwrap(), payload);
+        assert_eq!(dfs.len("/a/b").unwrap(), 100);
+    }
+
+    #[test]
+    fn create_existing_fails() {
+        let dfs = Dfs::in_memory(DfsConfig::default());
+        dfs.write_file("/x", b"1").unwrap();
+        assert!(matches!(dfs.create("/x"), Err(Error::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn open_unclosed_file_fails() {
+        let dfs = Dfs::in_memory(DfsConfig::default());
+        let _w = dfs.create("/pending").unwrap();
+        assert!(dfs.open("/pending").is_err());
+        assert!(!dfs.exists("/pending"));
+    }
+
+    #[test]
+    fn dropped_writer_aborts_creation() {
+        let dfs = Dfs::in_memory(DfsConfig::default());
+        {
+            let mut w = dfs.create("/tmpfile").unwrap();
+            w.write_all(b"partial").unwrap();
+            // dropped without close()
+        }
+        assert!(!dfs.exists("/tmpfile"));
+        // The path is free again.
+        dfs.write_file("/tmpfile", b"done").unwrap();
+        assert_eq!(dfs.read_to_vec("/tmpfile").unwrap(), b"done");
+    }
+
+    #[test]
+    fn list_is_sorted_and_prefix_filtered() {
+        let dfs = Dfs::in_memory(DfsConfig::default());
+        dfs.write_file("/t/b", b"").unwrap();
+        dfs.write_file("/t/a", b"").unwrap();
+        dfs.write_file("/u/c", b"").unwrap();
+        assert_eq!(dfs.list("/t/"), vec!["/t/a".to_string(), "/t/b".to_string()]);
+    }
+
+    #[test]
+    fn delete_frees_path_and_delete_prefix_counts() {
+        let dfs = Dfs::in_memory(DfsConfig::default());
+        dfs.write_file("/d/1", b"x").unwrap();
+        dfs.write_file("/d/2", b"y").unwrap();
+        assert_eq!(dfs.delete_prefix("/d/").unwrap(), 2);
+        assert!(!dfs.exists("/d/1"));
+        assert!(dfs.delete("/d/1").is_err());
+    }
+
+    #[test]
+    fn rename_moves_and_protects_destination() {
+        let dfs = Dfs::in_memory(DfsConfig::default());
+        dfs.write_file("/old", b"data").unwrap();
+        dfs.write_file("/busy", b"").unwrap();
+        assert!(dfs.rename("/old", "/busy").is_err());
+        dfs.rename("/old", "/new").unwrap();
+        assert!(!dfs.exists("/old"));
+        assert_eq!(dfs.read_to_vec("/new").unwrap(), b"data");
+    }
+
+    #[test]
+    fn replication_is_accounted_in_write_stats() {
+        let cfg = DfsConfig {
+            chunk_size: 1024,
+            replication: 3,
+        };
+        let dfs = Dfs::in_memory(cfg);
+        dfs.write_file("/r", &[0u8; 100]).unwrap();
+        assert_eq!(dfs.stats().snapshot().bytes_written, 300);
+    }
+
+    #[test]
+    fn path_validation() {
+        let dfs = Dfs::in_memory(DfsConfig::default());
+        assert!(dfs.create("relative").is_err());
+        assert!(dfs.create("/a//b").is_err());
+        assert!(dfs.create("/a/").is_err());
+    }
+
+    #[test]
+    fn total_bytes_tracks_files() {
+        let dfs = Dfs::in_memory(DfsConfig::default());
+        dfs.write_file("/a", &[0u8; 10]).unwrap();
+        dfs.write_file("/b", &[0u8; 5]).unwrap();
+        assert_eq!(dfs.total_bytes(), 15);
+        dfs.delete("/a").unwrap();
+        assert_eq!(dfs.total_bytes(), 5);
+    }
+
+    #[test]
+    fn disk_backed_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("dt-dfs-test-{}", std::process::id()));
+        let dfs = Dfs::on_disk(&dir, DfsConfig::small_chunks(16)).unwrap();
+        let payload: Vec<u8> = (0..255u8).collect();
+        dfs.write_file("/disk/file", &payload).unwrap();
+        assert_eq!(dfs.read_to_vec("/disk/file").unwrap(), payload);
+        dfs.delete("/disk/file").unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

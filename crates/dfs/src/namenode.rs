@@ -1,0 +1,144 @@
+//! Namespace metadata: path → file → block list.
+//!
+//! Mirrors the HDFS namenode's role: a single metadata authority tracking
+//! which blocks make up each file and whether the file has been sealed.
+
+use std::collections::BTreeMap;
+
+use dt_common::{Error, Result};
+use parking_lot::RwLock;
+
+use crate::block_store::BlockId;
+
+/// Metadata of one file: ordered `(block, length, crc32)` triples plus
+/// total length. Checksums enable `fsck`-style integrity audits.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FileMeta {
+    pub blocks: Vec<(BlockId, u64, u32)>,
+    pub len: u64,
+}
+
+enum Entry {
+    /// `create()` has been called; the writer has not committed yet.
+    Pending,
+    /// Sealed, immutable file.
+    Closed(FileMeta),
+}
+
+/// The namespace table.
+pub(crate) struct NameNode {
+    files: RwLock<BTreeMap<String, Entry>>,
+}
+
+impl NameNode {
+    pub fn new() -> Self {
+        NameNode {
+            files: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Reserves `path` for a writer.
+    pub fn begin_create(&self, path: &str) -> Result<()> {
+        let mut files = self.files.write();
+        if files.contains_key(path) {
+            return Err(Error::AlreadyExists(format!("DFS path '{path}'")));
+        }
+        files.insert(path.to_string(), Entry::Pending);
+        Ok(())
+    }
+
+    /// Seals a pending file with its final block list.
+    pub fn commit(&self, path: &str, meta: FileMeta) -> Result<()> {
+        let mut files = self.files.write();
+        match files.get_mut(path) {
+            Some(entry @ Entry::Pending) => {
+                *entry = Entry::Closed(meta);
+                Ok(())
+            }
+            Some(Entry::Closed(_)) => Err(Error::internal(format!(
+                "commit of already-closed file '{path}'"
+            ))),
+            None => Err(Error::not_found(format!("pending file '{path}'"))),
+        }
+    }
+
+    /// Drops a pending reservation (writer aborted).
+    pub fn abort(&self, path: &str) {
+        let mut files = self.files.write();
+        if let Some(Entry::Pending) = files.get(path) {
+            files.remove(path);
+        }
+    }
+
+    /// Returns the metadata of a closed file.
+    pub fn get_closed(&self, path: &str) -> Result<FileMeta> {
+        match self.files.read().get(path) {
+            Some(Entry::Closed(meta)) => Ok(meta.clone()),
+            Some(Entry::Pending) => Err(Error::Busy(format!(
+                "file '{path}' is still being written"
+            ))),
+            None => Err(Error::not_found(format!("DFS file '{path}'"))),
+        }
+    }
+
+    /// Removes a closed file, returning its metadata so blocks can be freed.
+    pub fn remove(&self, path: &str) -> Result<FileMeta> {
+        let mut files = self.files.write();
+        match files.get(path) {
+            Some(Entry::Closed(_)) => {
+                if let Some(Entry::Closed(meta)) = files.remove(path) {
+                    Ok(meta)
+                } else {
+                    unreachable!("checked above")
+                }
+            }
+            Some(Entry::Pending) => Err(Error::Busy(format!(
+                "cannot delete '{path}' while it is being written"
+            ))),
+            None => Err(Error::not_found(format!("DFS file '{path}'"))),
+        }
+    }
+
+    /// Renames a closed file; destination must be free.
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut files = self.files.write();
+        if files.contains_key(to) {
+            return Err(Error::AlreadyExists(format!("DFS path '{to}'")));
+        }
+        match files.get(from) {
+            Some(Entry::Closed(_)) => {
+                if let Some(entry) = files.remove(from) {
+                    files.insert(to.to_string(), entry);
+                }
+                Ok(())
+            }
+            Some(Entry::Pending) => Err(Error::Busy(format!(
+                "cannot rename '{from}' while it is being written"
+            ))),
+            None => Err(Error::not_found(format!("DFS file '{from}'"))),
+        }
+    }
+
+    /// Sorted list of closed paths with the given prefix.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(path, _)| path.starts_with(prefix))
+            .filter(|(_, entry)| matches!(entry, Entry::Closed(_)))
+            .map(|(path, _)| path.clone())
+            .collect()
+    }
+
+    /// Sum of closed file lengths.
+    pub fn total_bytes(&self) -> u64 {
+        self.files
+            .read()
+            .values()
+            .map(|e| match e {
+                Entry::Closed(meta) => meta.len,
+                Entry::Pending => 0,
+            })
+            .sum()
+    }
+}

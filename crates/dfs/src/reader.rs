@@ -1,0 +1,192 @@
+//! Positioned and streaming reads over a closed DFS file.
+
+use std::io::{self, Read, Seek, SeekFrom};
+use std::sync::Arc;
+
+use dt_common::{Error, Result};
+
+use crate::namenode::FileMeta;
+use crate::DfsInner;
+
+/// Reader over one closed (immutable) file.
+///
+/// Supports random positioned reads ([`DfsReader::read_at`]) and implements
+/// [`std::io::Read`] + [`std::io::Seek`] for streaming consumers.
+pub struct DfsReader {
+    inner: Arc<DfsInner>,
+    meta: FileMeta,
+    pos: u64,
+}
+
+impl DfsReader {
+    pub(crate) fn new(inner: Arc<DfsInner>, meta: FileMeta) -> Self {
+        DfsReader {
+            inner,
+            meta,
+            pos: 0,
+        }
+    }
+
+    /// File length in bytes.
+    pub fn len(&self) -> u64 {
+        self.meta.len
+    }
+
+    /// `true` iff the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.meta.len == 0
+    }
+
+    /// Fills `buf` from the absolute file offset `offset`. Fails if the
+    /// range extends past end-of-file.
+    pub fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let end = offset
+            .checked_add(buf.len() as u64)
+            .ok_or_else(|| Error::invalid("read range overflow"))?;
+        if end > self.meta.len {
+            return Err(Error::invalid(format!(
+                "read [{offset}, {end}) beyond file of {} bytes",
+                self.meta.len
+            )));
+        }
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.inner.stats().record_read(buf.len() as u64);
+
+        // Walk the block list to the first block containing `offset`.
+        let mut block_start = 0u64;
+        let mut filled = 0usize;
+        for (block, block_len, _) in &self.meta.blocks {
+            let block_end = block_start + block_len;
+            if end <= block_start {
+                break;
+            }
+            if offset < block_end {
+                let from = offset.max(block_start);
+                let to = end.min(block_end);
+                let within = from - block_start;
+                let n = (to - from) as usize;
+                self.inner
+                    .blocks()
+                    .read_at(*block, within, &mut buf[filled..filled + n])?;
+                filled += n;
+            }
+            block_start = block_end;
+        }
+        debug_assert_eq!(filled, buf.len());
+        Ok(())
+    }
+
+    /// Reads the final `n` bytes of the file (ORC footers live at the tail).
+    pub fn read_tail(&mut self, n: usize) -> Result<Vec<u8>> {
+        let n = n.min(self.meta.len as usize);
+        let mut buf = vec![0u8; n];
+        let start = self.meta.len - n as u64;
+        self.read_at(start, &mut buf)?;
+        Ok(buf)
+    }
+}
+
+impl Read for DfsReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = self.meta.len.saturating_sub(self.pos);
+        let n = (buf.len() as u64).min(remaining) as usize;
+        if n == 0 {
+            return Ok(0);
+        }
+        self.read_at(self.pos, &mut buf[..n])
+            .map_err(|e| io::Error::new(io::ErrorKind::Other, e.to_string()))?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+impl Seek for DfsReader {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        let new = match pos {
+            SeekFrom::Start(o) => o as i128,
+            SeekFrom::End(o) => self.meta.len as i128 + o as i128,
+            SeekFrom::Current(o) => self.pos as i128 + o as i128,
+        };
+        if new < 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "seek before start",
+            ));
+        }
+        self.pos = new as u64;
+        Ok(self.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Dfs, DfsConfig};
+    use std::io::{Read, Seek, SeekFrom};
+
+    fn setup() -> Dfs {
+        let dfs = Dfs::in_memory(DfsConfig::small_chunks(7));
+        let data: Vec<u8> = (0..=255u8).collect();
+        dfs.write_file("/f", &data).unwrap();
+        dfs
+    }
+
+    #[test]
+    fn read_at_spans_block_boundaries() {
+        let dfs = setup();
+        let mut r = dfs.open("/f").unwrap();
+        let mut buf = vec![0u8; 20];
+        r.read_at(5, &mut buf).unwrap();
+        let expect: Vec<u8> = (5..25u8).collect();
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn streaming_read_matches_content() {
+        let dfs = setup();
+        let mut r = dfs.open("/f").unwrap();
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        let expect: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn seek_and_partial_read() {
+        let dfs = setup();
+        let mut r = dfs.open("/f").unwrap();
+        r.seek(SeekFrom::End(-4)).unwrap();
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, vec![252, 253, 254, 255]);
+    }
+
+    #[test]
+    fn read_tail_clamps() {
+        let dfs = Dfs::in_memory(DfsConfig::small_chunks(4));
+        dfs.write_file("/short", b"abc").unwrap();
+        let mut r = dfs.open("/short").unwrap();
+        assert_eq!(r.read_tail(10).unwrap(), b"abc");
+        assert_eq!(r.read_tail(2).unwrap(), b"bc");
+    }
+
+    #[test]
+    fn out_of_range_read_errors() {
+        let dfs = setup();
+        let mut r = dfs.open("/f").unwrap();
+        let mut buf = vec![0u8; 2];
+        assert!(r.read_at(255, &mut buf).is_err());
+    }
+
+    #[test]
+    fn read_stats_account_bytes() {
+        let dfs = setup();
+        let before = dfs.stats().snapshot();
+        let mut r = dfs.open("/f").unwrap();
+        let mut buf = vec![0u8; 64];
+        r.read_at(0, &mut buf).unwrap();
+        let delta = dfs.stats().snapshot().since(&before);
+        assert_eq!(delta.bytes_read, 64);
+    }
+}

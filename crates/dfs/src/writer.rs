@@ -1,0 +1,99 @@
+//! Streaming, append-only file writer.
+
+use std::sync::Arc;
+
+use dt_common::Result;
+
+use crate::namenode::FileMeta;
+use crate::DfsInner;
+
+/// Writes a new DFS file as a stream; the file becomes visible (and
+/// immutable) only when [`DfsWriter::close`] succeeds. A dropped writer
+/// aborts the file — nothing becomes visible, mimicking an HDFS client that
+/// dies before `close()`.
+pub struct DfsWriter {
+    inner: Arc<DfsInner>,
+    path: String,
+    buf: Vec<u8>,
+    meta: FileMeta,
+    state: State,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Open,
+    Closed,
+    Aborted,
+}
+
+impl DfsWriter {
+    pub(crate) fn new(inner: Arc<DfsInner>, path: String) -> Self {
+        let chunk = inner.config().chunk_size;
+        DfsWriter {
+            inner,
+            path,
+            buf: Vec::with_capacity(chunk.min(1 << 20)),
+            meta: FileMeta::default(),
+            state: State::Open,
+        }
+    }
+
+    /// Appends bytes to the file.
+    pub fn write_all(&mut self, mut data: &[u8]) -> Result<()> {
+        debug_assert!(self.state == State::Open, "write after close");
+        let chunk = self.inner.config().chunk_size;
+        while !data.is_empty() {
+            let room = chunk - self.buf.len();
+            let take = room.min(data.len());
+            self.buf.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            if self.buf.len() == chunk {
+                self.flush_block()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes written so far.
+    pub fn position(&self) -> u64 {
+        self.meta.len + self.buf.len() as u64
+    }
+
+    fn flush_block(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let crc = dt_common::crc32::crc32(&self.buf);
+        let id = self.inner.blocks().put(&self.buf)?;
+        let written = self.buf.len() as u64;
+        self.inner
+            .stats()
+            .record_write(written * u64::from(self.inner.config().replication));
+        self.meta.blocks.push((id, written, crc));
+        self.meta.len += written;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Seals the file, making it visible to readers.
+    pub fn close(mut self) -> Result<()> {
+        self.flush_block()?;
+        let meta = std::mem::take(&mut self.meta);
+        self.inner.commit_file(&self.path, meta)?;
+        self.state = State::Closed;
+        Ok(())
+    }
+}
+
+impl Drop for DfsWriter {
+    fn drop(&mut self) {
+        if self.state == State::Open {
+            // Abort: free any blocks already flushed, release the path.
+            for (block, _, _) in &self.meta.blocks {
+                let _ = self.inner.blocks().delete(*block);
+            }
+            self.inner.abort_file(&self.path);
+            self.state = State::Aborted;
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests: DFS behaves like a map from path → bytes, for any
+//! chunking, with positioned reads agreeing with slicing.
+
+use dt_dfs::{Dfs, DfsConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_read_identity(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        chunk in 1usize..257,
+    ) {
+        let dfs = Dfs::in_memory(DfsConfig::small_chunks(chunk));
+        dfs.write_file("/p", &data).unwrap();
+        prop_assert_eq!(dfs.read_to_vec("/p").unwrap(), data);
+    }
+
+    #[test]
+    fn read_at_equals_slice(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        chunk in 1usize..129,
+        a in any::<prop::sample::Index>(),
+        b in any::<prop::sample::Index>(),
+    ) {
+        let dfs = Dfs::in_memory(DfsConfig::small_chunks(chunk));
+        dfs.write_file("/p", &data).unwrap();
+        let (mut lo, mut hi) = (a.index(data.len()), b.index(data.len()));
+        if lo > hi { std::mem::swap(&mut lo, &mut hi); }
+        let mut buf = vec![0u8; hi - lo];
+        let mut r = dfs.open("/p").unwrap();
+        r.read_at(lo as u64, &mut buf).unwrap();
+        prop_assert_eq!(&buf[..], &data[lo..hi]);
+    }
+
+    #[test]
+    fn multi_write_stream_is_concatenation(
+        parts in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..300), 0..8),
+        chunk in 1usize..65,
+    ) {
+        let dfs = Dfs::in_memory(DfsConfig::small_chunks(chunk));
+        let mut w = dfs.create("/p").unwrap();
+        let mut expect = Vec::new();
+        for part in &parts {
+            w.write_all(part).unwrap();
+            expect.extend_from_slice(part);
+        }
+        prop_assert_eq!(w.position(), expect.len() as u64);
+        w.close().unwrap();
+        prop_assert_eq!(dfs.read_to_vec("/p").unwrap(), expect);
+    }
+}

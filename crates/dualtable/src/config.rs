@@ -1,0 +1,56 @@
+//! DualTable configuration.
+
+use dt_orcfile::WriterOptions;
+
+use crate::cost::Rates;
+
+/// How UPDATE/DELETE choose their implementation plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Decide per statement with the §IV cost model (the paper's default).
+    #[default]
+    CostBased,
+    /// Always write deltas to the Attached Table ("DualTable EDIT" in the
+    /// paper's figures).
+    AlwaysEdit,
+    /// Always rewrite the Master Table (Hive's behaviour).
+    AlwaysOverwrite,
+}
+
+/// Per-table configuration.
+#[derive(Debug, Clone)]
+pub struct DualTableConfig {
+    /// Maximum rows per master ORC file; inserts roll over to a new file
+    /// (and a new file ID) beyond this.
+    pub rows_per_file: usize,
+    /// ORC writer options for master files.
+    pub writer: WriterOptions,
+    /// Plan selection mode.
+    pub plan_mode: PlanMode,
+    /// The cost model's `k`: how many times the table is expected to be
+    /// read after a modification (set by the designer or inferred from the
+    /// HiveQL code, per §IV).
+    pub k_successive_reads: u32,
+    /// Throughput rates used by the cost model.
+    pub rates: Rates,
+    /// Rows sampled when a DML statement provides no ratio hint.
+    pub sample_rows: usize,
+    /// Encoded size of a delete marker in the Attached Table (the `m` of
+    /// the §IV DELETE model).
+    pub delete_marker_bytes: u64,
+}
+
+impl Default for DualTableConfig {
+    fn default() -> Self {
+        DualTableConfig {
+            rows_per_file: 1 << 20,
+            writer: WriterOptions::default(),
+            plan_mode: PlanMode::CostBased,
+            k_successive_reads: 1,
+            rates: Rates::default(),
+            sample_rows: 2_000,
+            // Row key (8) + qualifier (2) + LSM entry overhead.
+            delete_marker_bytes: 26,
+        }
+    }
+}

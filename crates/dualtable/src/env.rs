@@ -1,0 +1,47 @@
+//! The shared substrate a set of DualTables lives on: one DFS (master
+//! tier), one KV cluster (attached tier + system-wide metadata table).
+
+use dt_common::Result;
+use dt_dfs::{Dfs, DfsConfig};
+use dt_kvstore::{KvCluster, KvConfig};
+
+use crate::meta::MetadataManager;
+
+/// The deployment environment (Figure 3): HDFS for master tables, HBase
+/// for attached tables and a system-wide metadata table.
+#[derive(Clone)]
+pub struct DualTableEnv {
+    /// Master tier.
+    pub dfs: Dfs,
+    /// Attached tier.
+    pub kv: KvCluster,
+    /// The system-wide metadata manager.
+    pub meta: MetadataManager,
+}
+
+impl DualTableEnv {
+    /// Fully in-memory environment (tests, deterministic experiments).
+    pub fn in_memory() -> Self {
+        Self::new(
+            Dfs::in_memory(DfsConfig::default()),
+            KvCluster::in_memory(KvConfig::default()),
+        )
+        .expect("in-memory env cannot fail")
+    }
+
+    /// Environment over caller-provided tiers.
+    pub fn new(dfs: Dfs, kv: KvCluster) -> Result<Self> {
+        let meta = MetadataManager::open(&kv)?;
+        Ok(DualTableEnv { dfs, kv, meta })
+    }
+
+    /// On-disk environment rooted at `root` (benchmarks with real file
+    /// I/O).
+    pub fn on_disk(root: impl AsRef<std::path::Path>) -> Result<Self> {
+        let root = root.as_ref();
+        Self::new(
+            Dfs::on_disk(root.join("dfs"), DfsConfig::default())?,
+            KvCluster::on_disk(root.join("kv"), KvConfig::default())?,
+        )
+    }
+}

@@ -1,0 +1,158 @@
+//! The system-wide metadata table (paper §V-A, Figure 3).
+//!
+//! Lives in the KV tier (one HBase table in the paper). It allocates the
+//! incremental **file IDs** that make record IDs unique, and records the
+//! historical modification ratios the cost model's "historical analysis of
+//! the execution log" estimator (§IV) consumes.
+
+use dt_common::{Error, Result};
+use dt_kvstore::{KvCluster, Store};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Name of the metadata table inside the KV cluster.
+pub const META_TABLE: &str = "__dualtable_meta";
+
+const QUAL_FILE_ID: &[u8] = b"file_id_counter";
+const QUAL_RATIO_SUM: &[u8] = b"ratio_sum";
+const QUAL_RATIO_COUNT: &[u8] = b"ratio_count";
+
+/// Handle to the system-wide metadata table.
+#[derive(Clone)]
+pub struct MetadataManager {
+    store: Store,
+    // File-ID allocation is get-then-put; serialize it.
+    alloc_lock: Arc<Mutex<()>>,
+}
+
+impl MetadataManager {
+    /// Opens (creating if needed) the metadata table.
+    pub fn open(kv: &KvCluster) -> Result<Self> {
+        Ok(MetadataManager {
+            store: kv.table_or_create(META_TABLE)?,
+            alloc_lock: Arc::new(Mutex::new(())),
+        })
+    }
+
+    /// Allocates the next file ID for `table` (starting at 1; 0 is
+    /// reserved).
+    pub fn next_file_id(&self, table: &str) -> Result<u32> {
+        let _guard = self.alloc_lock.lock();
+        let row = format!("table:{table}");
+        let current = match self.store.get(row.as_bytes(), QUAL_FILE_ID)? {
+            Some(bytes) => u32::from_be_bytes(
+                bytes
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| Error::corrupt("bad file id counter"))?,
+            ),
+            None => 0,
+        };
+        let next = current
+            .checked_add(1)
+            .ok_or_else(|| Error::internal("file id space exhausted"))?;
+        self.store
+            .put(row.as_bytes(), QUAL_FILE_ID, &next.to_be_bytes())?;
+        Ok(next)
+    }
+
+    /// Records an observed modification ratio for a statement key.
+    pub fn record_ratio(&self, statement_key: &str, ratio: f64) -> Result<()> {
+        let row = format!("stmt:{statement_key}");
+        let (sum, count) = self.ratio_stats(&row)?;
+        self.store
+            .put(row.as_bytes(), QUAL_RATIO_SUM, &(sum + ratio).to_le_bytes())?;
+        self.store
+            .put(row.as_bytes(), QUAL_RATIO_COUNT, &(count + 1).to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Historical average ratio for a statement key, if any runs were
+    /// recorded.
+    pub fn historical_ratio(&self, statement_key: &str) -> Result<Option<f64>> {
+        let row = format!("stmt:{statement_key}");
+        let (sum, count) = self.ratio_stats(&row)?;
+        if count == 0 {
+            Ok(None)
+        } else {
+            Ok(Some(sum / count as f64))
+        }
+    }
+
+    fn ratio_stats(&self, row: &str) -> Result<(f64, u64)> {
+        let sum = match self.store.get(row.as_bytes(), QUAL_RATIO_SUM)? {
+            Some(bytes) => f64::from_le_bytes(
+                bytes
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| Error::corrupt("bad ratio sum"))?,
+            ),
+            None => 0.0,
+        };
+        let count = match self.store.get(row.as_bytes(), QUAL_RATIO_COUNT)? {
+            Some(bytes) => u64::from_le_bytes(
+                bytes
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| Error::corrupt("bad ratio count"))?,
+            ),
+            None => 0,
+        };
+        Ok((sum, count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_kvstore::KvConfig;
+
+    fn manager() -> MetadataManager {
+        let kv = KvCluster::in_memory(KvConfig::default());
+        MetadataManager::open(&kv).unwrap()
+    }
+
+    #[test]
+    fn file_ids_increment_per_table() {
+        let m = manager();
+        assert_eq!(m.next_file_id("a").unwrap(), 1);
+        assert_eq!(m.next_file_id("a").unwrap(), 2);
+        assert_eq!(m.next_file_id("b").unwrap(), 1);
+        assert_eq!(m.next_file_id("a").unwrap(), 3);
+    }
+
+    #[test]
+    fn historical_ratio_averages() {
+        let m = manager();
+        assert_eq!(m.historical_ratio("u1").unwrap(), None);
+        m.record_ratio("u1", 0.02).unwrap();
+        m.record_ratio("u1", 0.04).unwrap();
+        let avg = m.historical_ratio("u1").unwrap().unwrap();
+        assert!((avg - 0.03).abs() < 1e-12);
+        assert_eq!(m.historical_ratio("other").unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_allocation_is_unique() {
+        let m = manager();
+        let mut ids = std::collections::HashSet::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let m = m.clone();
+                    s.spawn(move || {
+                        (0..25)
+                            .map(|_| m.next_file_id("t").unwrap())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for id in h.join().unwrap() {
+                    assert!(ids.insert(id), "duplicate file id {id}");
+                }
+            }
+        });
+        assert_eq!(ids.len(), 100);
+    }
+}

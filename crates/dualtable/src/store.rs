@@ -1,0 +1,1220 @@
+//! The DualTable store: master + attached storage, DML plans, COMPACT.
+
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+use dt_common::{Error, RecordId, Result, Row, Schema, Value};
+use dt_orcfile::{OrcReader, OrcWriter, FILE_ID_METADATA_KEY};
+use parking_lot::RwLock;
+
+use crate::attached::{delete_cell, update_cells};
+use crate::config::{DualTableConfig, PlanMode};
+use crate::cost::{CostModel, PlanChoice, RatioHint};
+use crate::env::DualTableEnv;
+use crate::union_read::{merge_file, UnionReadOptions};
+
+/// Aggregate statistics of one DualTable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableStats {
+    /// Bytes across all master ORC files.
+    pub master_bytes: u64,
+    /// Rows across all master files (before attached deletions).
+    pub master_rows: u64,
+    /// Number of master files.
+    pub master_files: u64,
+    /// Approximate bytes in the Attached Table.
+    pub attached_bytes: u64,
+    /// Version entries in the Attached Table.
+    pub attached_entries: u64,
+}
+
+/// What the cost model *would* do for a DML statement (see
+/// [`DualTableStore::plan_preview`]) — the basis of `EXPLAIN`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanPreview {
+    /// The plan that would run.
+    pub plan: PlanChoice,
+    /// The (sampled) modification ratio.
+    pub ratio: f64,
+    /// Equation (1)/(2) difference; positive favours EDIT.
+    pub cost_diff: f64,
+    /// Master size D fed to the model.
+    pub master_bytes: u64,
+}
+
+/// Outcome of an UPDATE or DELETE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmlReport {
+    /// The plan that was executed.
+    pub plan: PlanChoice,
+    /// Rows matching the predicate.
+    pub rows_matched: u64,
+    /// Rows scanned to execute the statement.
+    pub rows_scanned: u64,
+    /// The modification ratio fed to the cost model.
+    pub ratio_used: f64,
+    /// The cost-model difference (positive favours EDIT); `None` when the
+    /// plan mode forced a plan.
+    pub cost_diff: Option<f64>,
+}
+
+struct Inner {
+    name: String,
+    schema: Schema,
+    env: DualTableEnv,
+    config: DualTableConfig,
+    /// Readers/EDIT-DML hold `read`; OVERWRITE-plan DML and COMPACT hold
+    /// `write` ("all the other operations will be blocked during COMPACT",
+    /// §III-C).
+    ops: RwLock<()>,
+}
+
+/// One DualTable (see the crate docs for the model).
+///
+/// Cheap to clone; clones share the table.
+#[derive(Clone)]
+pub struct DualTableStore {
+    inner: Arc<Inner>,
+}
+
+impl DualTableStore {
+    fn attached_name(name: &str) -> String {
+        format!("att_{name}")
+    }
+
+    fn master_dir(name: &str) -> String {
+        format!("/warehouse/{name}")
+    }
+
+    /// Creates a new, empty DualTable. Fails if it already exists.
+    pub fn create(
+        env: &DualTableEnv,
+        name: &str,
+        schema: Schema,
+        config: DualTableConfig,
+    ) -> Result<Self> {
+        if schema.is_empty() {
+            return Err(Error::schema("DualTable schema must have columns"));
+        }
+        if schema.len() >= 0xFFFF {
+            return Err(Error::schema("too many columns for qualifier encoding"));
+        }
+        env.kv.create_table(&Self::attached_name(name))?;
+        Ok(DualTableStore {
+            inner: Arc::new(Inner {
+                name: name.to_string(),
+                schema,
+                env: env.clone(),
+                config,
+                ops: RwLock::new(()),
+            }),
+        })
+    }
+
+    /// Opens an existing DualTable.
+    pub fn open(
+        env: &DualTableEnv,
+        name: &str,
+        schema: Schema,
+        config: DualTableConfig,
+    ) -> Result<Self> {
+        env.kv.table(&Self::attached_name(name))?;
+        Ok(DualTableStore {
+            inner: Arc::new(Inner {
+                name: name.to_string(),
+                schema,
+                env: env.clone(),
+                config,
+                ops: RwLock::new(()),
+            }),
+        })
+    }
+
+    /// Drops the table: master files and the attached table (paper §III-C,
+    /// DROP).
+    pub fn drop_table(self) -> Result<()> {
+        let _guard = self.inner.ops.write();
+        self.inner
+            .env
+            .dfs
+            .delete_prefix(&format!("{}/", Self::master_dir(&self.inner.name)))?;
+        self.inner
+            .env
+            .kv
+            .drop_table(&Self::attached_name(&self.inner.name))
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.inner.schema
+    }
+
+    /// The underlying environment (exposed for experiments measuring
+    /// per-tier I/O).
+    pub fn env(&self) -> &DualTableEnv {
+        &self.inner.env
+    }
+
+    /// The current attached-table handle. Resolved per call: TRUNCATE
+    /// (after OVERWRITE/COMPACT) replaces the store inside the cluster, so
+    /// caching a handle would go stale.
+    fn attached(&self) -> Result<dt_kvstore::Store> {
+        self.inner.env.kv.table(&Self::attached_name(&self.inner.name))
+    }
+
+    fn file_path(&self, file_id: u32) -> String {
+        format!(
+            "{}/part-{file_id:010}",
+            Self::master_dir(&self.inner.name)
+        )
+    }
+
+    /// Master file IDs in ascending order (== record-ID scan order).
+    pub fn master_file_ids(&self) -> Vec<u32> {
+        let prefix = format!("{}/part-", Self::master_dir(&self.inner.name));
+        self.inner
+            .env
+            .dfs
+            .list(&prefix)
+            .iter()
+            .filter_map(|path| path.strip_prefix(&prefix)?.parse::<u32>().ok())
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Ingest (LOAD / INSERT INTO / INSERT OVERWRITE)
+    // ------------------------------------------------------------------
+
+    /// Appends rows, creating one or more new master files (the paper's
+    /// LOAD / INSERT INTO: "data are loaded and inserted into the Master
+    /// Table").
+    pub fn insert_rows<I>(&self, rows: I) -> Result<u64>
+    where
+        I: IntoIterator<Item = Row>,
+    {
+        let _guard = self.inner.ops.read();
+        self.write_master_files(rows)
+    }
+
+    fn write_master_files<I>(&self, rows: I) -> Result<u64>
+    where
+        I: IntoIterator<Item = Row>,
+    {
+        let mut written = 0u64;
+        let mut writer: Option<OrcWriter> = None;
+        let mut in_file = 0usize;
+        for row in rows {
+            if writer.is_none() {
+                let file_id = self.inner.env.meta.next_file_id(&self.inner.name)?;
+                let mut w = OrcWriter::create(
+                    &self.inner.env.dfs,
+                    &self.file_path(file_id),
+                    self.inner.schema.clone(),
+                    self.inner.config.writer.clone(),
+                )?;
+                w.set_metadata(FILE_ID_METADATA_KEY, file_id.to_be_bytes().to_vec());
+                writer = Some(w);
+                in_file = 0;
+            }
+            writer.as_mut().expect("writer just created").write_row(row)?;
+            written += 1;
+            in_file += 1;
+            if in_file >= self.inner.config.rows_per_file {
+                writer.take().expect("writer exists").finish()?;
+            }
+        }
+        if let Some(w) = writer {
+            w.finish()?;
+        }
+        Ok(written)
+    }
+
+    /// Replaces the whole table content (Hive's `INSERT OVERWRITE TABLE`):
+    /// new master files, cleared attached table.
+    pub fn insert_overwrite<I>(&self, rows: I) -> Result<u64>
+    where
+        I: IntoIterator<Item = Row>,
+    {
+        let _guard = self.inner.ops.write();
+        let old_files = self.master_file_ids();
+        let written = self.write_master_files(rows)?;
+        for file_id in old_files {
+            self.inner.env.dfs.delete(&self.file_path(file_id))?;
+        }
+        self.truncate_attached()?;
+        Ok(written)
+    }
+
+    fn truncate_attached(&self) -> Result<()> {
+        self.inner
+            .env
+            .kv
+            .truncate_table(&Self::attached_name(&self.inner.name))
+    }
+
+    // ------------------------------------------------------------------
+    // UNION READ
+    // ------------------------------------------------------------------
+
+    /// Streams every visible row through `f` (which may stop the scan by
+    /// returning `Break`). This is the UNION READ operation.
+    pub fn for_each(
+        &self,
+        opts: &UnionReadOptions,
+        mut f: impl FnMut(RecordId, Row) -> Result<ControlFlow<()>>,
+    ) -> Result<()> {
+        let _guard = self.inner.ops.read();
+        self.for_each_locked(opts, &mut f)
+    }
+
+    fn for_each_locked(
+        &self,
+        opts: &UnionReadOptions,
+        f: &mut dyn FnMut(RecordId, Row) -> Result<ControlFlow<()>>,
+    ) -> Result<()> {
+        let projection: Vec<usize> = match &opts.projection {
+            Some(p) => p.clone(),
+            None => (0..self.inner.schema.len()).collect(),
+        };
+        // Push-down is only sound when no *update* overlays exist (see
+        // UnionReadOptions); checking for a fully-empty attached table is a
+        // cheap conservative test.
+        let attached_store = self.attached()?;
+        let pushdown_ok = attached_store.is_empty();
+        let predicates = if pushdown_ok {
+            opts.predicates.as_deref()
+        } else {
+            None
+        };
+        for file_id in self.master_file_ids() {
+            let reader = self.open_master(file_id)?;
+            let attached = attached_store.scan_at(
+                Some(&RecordId::file_start(file_id).to_key()[..]),
+                Some(&RecordId::file_start(file_id.wrapping_add(1)).to_key()[..]),
+                opts.snapshot_ts,
+            )?;
+            if let ControlFlow::Break(()) =
+                merge_file(file_id, &reader, &projection, predicates, attached, f)?
+            {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    fn open_master(&self, file_id: u32) -> Result<OrcReader> {
+        let reader = OrcReader::open(&self.inner.env.dfs, &self.file_path(file_id))?;
+        // The file ID in user metadata must agree with the file name.
+        match reader.metadata(FILE_ID_METADATA_KEY) {
+            Some(bytes) if bytes == file_id.to_be_bytes() => Ok(reader),
+            _ => Err(Error::corrupt(format!(
+                "master file {} has inconsistent file-ID metadata",
+                self.file_path(file_id)
+            ))),
+        }
+    }
+
+    /// Materializes the whole table: `(record id, row)` pairs in record-ID
+    /// order.
+    pub fn scan_all(&self) -> Result<Vec<(RecordId, Row)>> {
+        self.scan(&UnionReadOptions::all())
+    }
+
+    /// Parallel UNION READ: one map task per master file, each merging its
+    /// file with the matching attached range — "a simple Map Reduce
+    /// algorithm using a divide-and-conquer strategy" (paper §III-C).
+    /// Output order equals [`DualTableStore::scan`].
+    pub fn scan_parallel(
+        &self,
+        opts: &UnionReadOptions,
+        job: &dt_engine::JobConfig,
+    ) -> Result<Vec<(RecordId, Row)>> {
+        let _guard = self.inner.ops.read();
+        let projection: Vec<usize> = match &opts.projection {
+            Some(p) => p.clone(),
+            None => (0..self.inner.schema.len()).collect(),
+        };
+        let attached_store = self.attached()?;
+        let pushdown_ok = attached_store.is_empty();
+        let predicates = if pushdown_ok {
+            opts.predicates.clone()
+        } else {
+            None
+        };
+        let snapshot_ts = opts.snapshot_ts;
+        let per_file = dt_engine::parallel_map_fallible(
+            job,
+            self.master_file_ids(),
+            |file_id| {
+                let reader = self.open_master(file_id)?;
+                let attached = attached_store.scan_at(
+                    Some(&RecordId::file_start(file_id).to_key()[..]),
+                    Some(&RecordId::file_start(file_id.wrapping_add(1)).to_key()[..]),
+                    snapshot_ts,
+                )?;
+                let mut out = Vec::new();
+                let flow = merge_file(
+                    file_id,
+                    &reader,
+                    &projection,
+                    predicates.as_deref(),
+                    attached,
+                    &mut |id, row| {
+                        out.push((id, row));
+                        Ok(ControlFlow::Continue(()))
+                    },
+                )?;
+                debug_assert!(flow.is_continue(), "collector never breaks");
+                Ok(out)
+            },
+        )?;
+        Ok(per_file.into_iter().flatten().collect())
+    }
+
+    /// Materializes a scan with options.
+    pub fn scan(&self, opts: &UnionReadOptions) -> Result<Vec<(RecordId, Row)>> {
+        let mut out = Vec::new();
+        self.for_each(opts, |id, row| {
+            out.push((id, row));
+            Ok(ControlFlow::Continue(()))
+        })?;
+        Ok(out)
+    }
+
+    /// Counts visible rows.
+    pub fn count(&self) -> Result<u64> {
+        let mut n = 0u64;
+        // Project a single column; the merge still sees delete markers.
+        let opts = UnionReadOptions::all().with_projection(vec![0]);
+        self.for_each(&opts, |_, _| {
+            n += 1;
+            Ok(ControlFlow::Continue(()))
+        })?;
+        Ok(n)
+    }
+
+    /// The attached-tier multi-version history of one cell, newest first:
+    /// `(timestamp, value)` pairs (paper §V-C: "DualTable can make use of
+    /// HBase's multiple-version feature to track data change history").
+    pub fn cell_history(
+        &self,
+        record: RecordId,
+        column: usize,
+        max: usize,
+    ) -> Result<Vec<(u64, Value)>> {
+        let qual = crate::attached::update_qualifier(column);
+        let versions = self
+            .attached()?
+            .get_versions(&record.to_key(), &qual, max)?;
+        versions
+            .into_iter()
+            .filter_map(|(ts, bytes)| bytes.map(|b| (ts, b)))
+            .map(|(ts, b)| Ok((ts, dt_common::codec::decode_value(&b)?)))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // UPDATE / DELETE / COMPACT
+    // ------------------------------------------------------------------
+
+    /// Statistics used by the cost model and experiments.
+    pub fn stats(&self) -> Result<TableStats> {
+        let mut master_bytes = 0u64;
+        let mut master_rows = 0u64;
+        let mut master_files = 0u64;
+        for file_id in self.master_file_ids() {
+            let path = self.file_path(file_id);
+            master_bytes += self.inner.env.dfs.len(&path)?;
+            master_rows += OrcReader::open(&self.inner.env.dfs, &path)?.num_rows();
+            master_files += 1;
+        }
+        Ok(TableStats {
+            master_bytes,
+            master_rows,
+            master_files,
+            attached_bytes: self.attached()?.approximate_bytes(),
+            attached_entries: self.attached()?.entry_count(),
+        })
+    }
+
+    fn resolve_ratio(
+        &self,
+        hint: &RatioHint,
+        statement_key: Option<&str>,
+        predicate: &dyn Fn(&Row) -> bool,
+    ) -> Result<f64> {
+        match hint {
+            RatioHint::Explicit(r) => Ok(r.clamp(0.0, 1.0)),
+            RatioHint::Historical => {
+                if let Some(key) = statement_key {
+                    if let Some(r) = self.inner.env.meta.historical_ratio(key)? {
+                        return Ok(r);
+                    }
+                }
+                self.sample_ratio(predicate)
+            }
+            RatioHint::Sample => self.sample_ratio(predicate),
+        }
+    }
+
+    fn sample_ratio(&self, predicate: &dyn Fn(&Row) -> bool) -> Result<f64> {
+        let limit = self.inner.config.sample_rows.max(1);
+        let mut seen = 0u64;
+        let mut matched = 0u64;
+        self.for_each(&UnionReadOptions::all(), |_, row| {
+            seen += 1;
+            if predicate(&row) {
+                matched += 1;
+            }
+            Ok(if seen as usize >= limit {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            })
+        })?;
+        if seen == 0 {
+            return Ok(0.0);
+        }
+        Ok(matched as f64 / seen as f64)
+    }
+
+    /// Previews the cost-model decision for an UPDATE (`is_update`) or
+    /// DELETE with the given predicate, sampling the modification ratio —
+    /// without executing anything. Powers `EXPLAIN UPDATE/DELETE`.
+    pub fn plan_preview(
+        &self,
+        predicate: &dyn Fn(&Row) -> bool,
+        is_update: bool,
+    ) -> Result<PlanPreview> {
+        let ratio = self.sample_ratio(predicate)?;
+        let stats = self.stats()?;
+        let model = CostModel::new(self.inner.config.rates);
+        let k = self.inner.config.k_successive_reads;
+        let (plan, cost_diff) = if is_update {
+            (
+                model.choose_update(stats.master_bytes, ratio, k),
+                model.update_cost_diff(stats.master_bytes, ratio, k),
+            )
+        } else {
+            let avg_row = if stats.master_rows > 0 {
+                (stats.master_bytes / stats.master_rows).max(1)
+            } else {
+                1
+            };
+            let marker_ratio = self.inner.config.delete_marker_bytes as f64 / avg_row as f64;
+            (
+                model.choose_delete(stats.master_bytes, ratio, k, marker_ratio),
+                model.delete_cost_diff(stats.master_bytes, ratio, k, marker_ratio),
+            )
+        };
+        let plan = match self.inner.config.plan_mode {
+            PlanMode::CostBased => plan,
+            PlanMode::AlwaysEdit => PlanChoice::Edit,
+            PlanMode::AlwaysOverwrite => PlanChoice::Overwrite,
+        };
+        Ok(PlanPreview {
+            plan,
+            ratio,
+            cost_diff,
+            master_bytes: stats.master_bytes,
+        })
+    }
+
+    /// Executes `UPDATE <table> SET ... WHERE <predicate>`.
+    ///
+    /// * `predicate` selects rows (evaluated against full rows);
+    /// * `assignments` are `(column ordinal, value function)` pairs;
+    /// * `ratio` is the α hint for the cost model.
+    ///
+    /// The plan is chosen per [`PlanMode`]; see [`DmlReport`].
+    pub fn update(
+        &self,
+        predicate: impl Fn(&Row) -> bool,
+        assignments: &[(usize, Box<dyn Fn(&Row) -> Value + '_>)],
+        ratio: RatioHint,
+    ) -> Result<DmlReport> {
+        self.update_keyed(predicate, assignments, ratio, None)
+    }
+
+    /// Like [`DualTableStore::update`] with a statement key for the
+    /// historical-ratio log.
+    pub fn update_keyed(
+        &self,
+        predicate: impl Fn(&Row) -> bool,
+        assignments: &[(usize, Box<dyn Fn(&Row) -> Value + '_>)],
+        ratio: RatioHint,
+        statement_key: Option<&str>,
+    ) -> Result<DmlReport> {
+        for (col, _) in assignments {
+            if *col >= self.inner.schema.len() {
+                return Err(Error::schema(format!("assignment to unknown column {col}")));
+            }
+        }
+        let alpha = self.resolve_ratio(&ratio, statement_key, &predicate)?;
+        let stats = self.stats()?;
+        let model = CostModel::new(self.inner.config.rates);
+        let k = self.inner.config.k_successive_reads;
+        let (plan, cost_diff) = match self.inner.config.plan_mode {
+            PlanMode::AlwaysEdit => (PlanChoice::Edit, None),
+            PlanMode::AlwaysOverwrite => (PlanChoice::Overwrite, None),
+            PlanMode::CostBased => {
+                let diff = model.update_cost_diff(stats.master_bytes, alpha, k);
+                (
+                    model.choose_update(stats.master_bytes, alpha, k),
+                    Some(diff),
+                )
+            }
+        };
+
+        let report = match plan {
+            PlanChoice::Edit => self.update_edit(&predicate, assignments)?,
+            PlanChoice::Overwrite => self.update_overwrite(&predicate, assignments)?,
+        };
+        if let (Some(key), true) = (statement_key, report.1 > 0) {
+            self.inner
+                .env
+                .meta
+                .record_ratio(key, report.0 as f64 / report.1 as f64)?;
+        }
+        Ok(DmlReport {
+            plan,
+            rows_matched: report.0,
+            rows_scanned: report.1,
+            ratio_used: alpha,
+            cost_diff,
+        })
+    }
+
+    /// EDIT plan for UPDATE: the UPDATE UDTF of §V-A — store the updated
+    /// columns' new values in the Attached Table.
+    fn update_edit(
+        &self,
+        predicate: &dyn Fn(&Row) -> bool,
+        assignments: &[(usize, Box<dyn Fn(&Row) -> Value + '_>)],
+    ) -> Result<(u64, u64)> {
+        let mut matched = 0u64;
+        let mut scanned = 0u64;
+        let mut batch: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut flush_err: Option<Error> = None;
+        let attached = self.attached()?;
+        self.for_each(&UnionReadOptions::all(), |record, row| {
+            scanned += 1;
+            if predicate(&row) {
+                matched += 1;
+                let values: Vec<(usize, Value)> = assignments
+                    .iter()
+                    .map(|(col, f)| (*col, f(&row)))
+                    .collect();
+                for (col, value) in &values {
+                    if !value.conforms_to(self.inner.schema.field(*col).data_type) {
+                        return Err(Error::schema(format!(
+                            "UPDATE value {value:?} does not fit column '{}'",
+                            self.inner.schema.field(*col).name
+                        )));
+                    }
+                }
+                batch.extend(update_cells(record, &values));
+                if batch.len() >= 4096 {
+                    if let Err(e) = attached.put_batch(std::mem::take(&mut batch)) {
+                        flush_err = Some(e);
+                        return Ok(ControlFlow::Break(()));
+                    }
+                }
+            }
+            Ok(ControlFlow::Continue(()))
+        })?;
+        if let Some(e) = flush_err {
+            return Err(e);
+        }
+        if !batch.is_empty() {
+            attached.put_batch(batch)?;
+        }
+        Ok((matched, scanned))
+    }
+
+    /// OVERWRITE plan for UPDATE: Hive's INSERT OVERWRITE — rewrite the
+    /// master with updated values, then clear the attached table.
+    fn update_overwrite(
+        &self,
+        predicate: &dyn Fn(&Row) -> bool,
+        assignments: &[(usize, Box<dyn Fn(&Row) -> Value + '_>)],
+    ) -> Result<(u64, u64)> {
+        let _guard = self.inner.ops.write();
+        let mut matched = 0u64;
+        let mut scanned = 0u64;
+        let mut rows: Vec<Row> = Vec::new();
+        self.for_each_locked(&UnionReadOptions::all(), &mut |_, mut row| {
+            scanned += 1;
+            if predicate(&row) {
+                matched += 1;
+                for (col, f) in assignments {
+                    let value = f(&row);
+                    if !value.conforms_to(self.inner.schema.field(*col).data_type) {
+                        return Err(Error::schema(format!(
+                            "UPDATE value {value:?} does not fit column '{}'",
+                            self.inner.schema.field(*col).name
+                        )));
+                    }
+                    row[*col] = value;
+                }
+            }
+            rows.push(row);
+            Ok(ControlFlow::Continue(()))
+        })?;
+        self.swap_in(rows)?;
+        Ok((matched, scanned))
+    }
+
+    /// Executes `DELETE FROM <table> WHERE <predicate>`.
+    pub fn delete(
+        &self,
+        predicate: impl Fn(&Row) -> bool,
+        ratio: RatioHint,
+    ) -> Result<DmlReport> {
+        self.delete_keyed(predicate, ratio, None)
+    }
+
+    /// Like [`DualTableStore::delete`] with a statement key for the
+    /// historical-ratio log.
+    pub fn delete_keyed(
+        &self,
+        predicate: impl Fn(&Row) -> bool,
+        ratio: RatioHint,
+        statement_key: Option<&str>,
+    ) -> Result<DmlReport> {
+        let beta = self.resolve_ratio(&ratio, statement_key, &predicate)?;
+        let stats = self.stats()?;
+        let model = CostModel::new(self.inner.config.rates);
+        let k = self.inner.config.k_successive_reads;
+        let avg_row = if stats.master_rows > 0 {
+            (stats.master_bytes / stats.master_rows).max(1)
+        } else {
+            1
+        };
+        let marker_ratio = self.inner.config.delete_marker_bytes as f64 / avg_row as f64;
+        let (plan, cost_diff) = match self.inner.config.plan_mode {
+            PlanMode::AlwaysEdit => (PlanChoice::Edit, None),
+            PlanMode::AlwaysOverwrite => (PlanChoice::Overwrite, None),
+            PlanMode::CostBased => {
+                let diff =
+                    model.delete_cost_diff(stats.master_bytes, beta, k, marker_ratio);
+                (
+                    model.choose_delete(stats.master_bytes, beta, k, marker_ratio),
+                    Some(diff),
+                )
+            }
+        };
+
+        let report = match plan {
+            PlanChoice::Edit => self.delete_edit(&predicate)?,
+            PlanChoice::Overwrite => self.delete_overwrite(&predicate)?,
+        };
+        if let (Some(key), true) = (statement_key, report.1 > 0) {
+            self.inner
+                .env
+                .meta
+                .record_ratio(key, report.0 as f64 / report.1 as f64)?;
+        }
+        Ok(DmlReport {
+            plan,
+            rows_matched: report.0,
+            rows_scanned: report.1,
+            ratio_used: beta,
+            cost_diff,
+        })
+    }
+
+    /// EDIT plan for DELETE: the DELETE UDTF — put a delete marker per
+    /// removed row.
+    fn delete_edit(&self, predicate: &dyn Fn(&Row) -> bool) -> Result<(u64, u64)> {
+        let mut matched = 0u64;
+        let mut scanned = 0u64;
+        let mut batch: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut flush_err: Option<Error> = None;
+        let attached = self.attached()?;
+        self.for_each(&UnionReadOptions::all(), |record, row| {
+            scanned += 1;
+            if predicate(&row) {
+                matched += 1;
+                batch.push(delete_cell(record));
+                if batch.len() >= 4096 {
+                    if let Err(e) = attached.put_batch(std::mem::take(&mut batch)) {
+                        flush_err = Some(e);
+                        return Ok(ControlFlow::Break(()));
+                    }
+                }
+            }
+            Ok(ControlFlow::Continue(()))
+        })?;
+        if let Some(e) = flush_err {
+            return Err(e);
+        }
+        if !batch.is_empty() {
+            attached.put_batch(batch)?;
+        }
+        Ok((matched, scanned))
+    }
+
+    /// OVERWRITE plan for DELETE: rewrite the master keeping only
+    /// surviving rows.
+    fn delete_overwrite(&self, predicate: &dyn Fn(&Row) -> bool) -> Result<(u64, u64)> {
+        let _guard = self.inner.ops.write();
+        let mut matched = 0u64;
+        let mut scanned = 0u64;
+        let mut rows: Vec<Row> = Vec::new();
+        self.for_each_locked(&UnionReadOptions::all(), &mut |_, row| {
+            scanned += 1;
+            if predicate(&row) {
+                matched += 1;
+            } else {
+                rows.push(row);
+            }
+            Ok(ControlFlow::Continue(()))
+        })?;
+        self.swap_in(rows)?;
+        Ok((matched, scanned))
+    }
+
+    /// Replaces all master files with `rows` and clears the attached table.
+    /// Caller must hold the write lock.
+    fn swap_in(&self, rows: Vec<Row>) -> Result<()> {
+        let old_files = self.master_file_ids();
+        self.write_master_files(rows)?;
+        for file_id in old_files {
+            self.inner.env.dfs.delete(&self.file_path(file_id))?;
+        }
+        self.truncate_attached()
+    }
+
+    /// COMPACT (paper §III-C): UNION READ everything into a fresh Master
+    /// Table and clear the Attached Table. Blocks all other operations.
+    pub fn compact(&self) -> Result<()> {
+        let _guard = self.inner.ops.write();
+        let mut rows: Vec<Row> = Vec::new();
+        self.for_each_locked(&UnionReadOptions::all(), &mut |_, row| {
+            rows.push(row);
+            Ok(ControlFlow::Continue(()))
+        })?;
+        self.swap_in(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_common::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("name", DataType::Utf8),
+            ("v", DataType::Float64),
+        ])
+    }
+
+    fn row(i: i64) -> Row {
+        vec![
+            Value::Int64(i),
+            Value::Utf8(format!("n{}", i % 7)),
+            Value::Float64(i as f64),
+        ]
+    }
+
+    fn table_with(n: i64, config: DualTableConfig) -> DualTableStore {
+        let env = DualTableEnv::in_memory();
+        let t = DualTableStore::create(&env, "t", schema(), config).unwrap();
+        t.insert_rows((0..n).map(row)).unwrap();
+        t
+    }
+
+    fn small_files() -> DualTableConfig {
+        DualTableConfig {
+            rows_per_file: 32,
+            ..DualTableConfig::default()
+        }
+    }
+
+    #[test]
+    fn insert_and_scan_roundtrip() {
+        let t = table_with(100, small_files());
+        assert_eq!(t.master_file_ids().len(), 4);
+        let rows = t.scan_all().unwrap();
+        assert_eq!(rows.len(), 100);
+        for (i, (id, r)) in rows.iter().enumerate() {
+            assert_eq!(r, &row(i as i64));
+            assert_eq!(id.row as usize, i % 32);
+        }
+        // Record IDs ascend.
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(t.count().unwrap(), 100);
+    }
+
+    #[test]
+    fn update_edit_plan_overlays_values() {
+        let mut config = small_files();
+        config.plan_mode = PlanMode::AlwaysEdit;
+        let t = table_with(100, config);
+        let report = t
+            .update(
+                |r| r[0].as_i64().unwrap() % 10 == 0,
+                &[(2, Box::new(|r: &Row| Value::Float64(r[0].as_f64().unwrap() * 100.0)))],
+                RatioHint::Explicit(0.1),
+            )
+            .unwrap();
+        assert_eq!(report.plan, PlanChoice::Edit);
+        assert_eq!(report.rows_matched, 10);
+        // Master untouched, attached populated.
+        let stats = t.stats().unwrap();
+        assert_eq!(stats.master_rows, 100);
+        assert!(stats.attached_entries >= 10);
+        let rows = t.scan_all().unwrap();
+        assert_eq!(rows[30].1[2], Value::Float64(3000.0));
+        assert_eq!(rows[31].1[2], Value::Float64(31.0));
+    }
+
+    #[test]
+    fn update_overwrite_plan_rewrites_master() {
+        let mut config = small_files();
+        config.plan_mode = PlanMode::AlwaysOverwrite;
+        let t = table_with(100, config);
+        let report = t
+            .update(
+                |r| r[0].as_i64().unwrap() < 50,
+                &[(1, Box::new(|_| Value::from("updated")))],
+                RatioHint::Explicit(0.5),
+            )
+            .unwrap();
+        assert_eq!(report.plan, PlanChoice::Overwrite);
+        assert_eq!(report.rows_matched, 50);
+        let stats = t.stats().unwrap();
+        assert_eq!(stats.attached_entries, 0, "overwrite clears attached");
+        let rows = t.scan_all().unwrap();
+        assert_eq!(rows.len(), 100);
+        assert_eq!(rows[0].1[1], Value::from("updated"));
+        assert_eq!(rows[99].1[1], Value::Utf8("n1".into()));
+    }
+
+    #[test]
+    fn delete_edit_hides_rows_and_compact_materializes() {
+        let mut config = small_files();
+        config.plan_mode = PlanMode::AlwaysEdit;
+        let t = table_with(100, config);
+        let report = t
+            .delete(|r| r[0].as_i64().unwrap() >= 90, RatioHint::Explicit(0.1))
+            .unwrap();
+        assert_eq!(report.rows_matched, 10);
+        assert_eq!(t.count().unwrap(), 90);
+        let stats = t.stats().unwrap();
+        assert_eq!(stats.master_rows, 100, "masters keep deleted rows");
+
+        t.compact().unwrap();
+        let stats = t.stats().unwrap();
+        assert_eq!(stats.master_rows, 90);
+        assert_eq!(stats.attached_entries, 0);
+        assert_eq!(t.count().unwrap(), 90);
+        // Values preserved.
+        let rows = t.scan_all().unwrap();
+        assert_eq!(rows[89].1[0], Value::Int64(89));
+    }
+
+    #[test]
+    fn cost_based_mode_picks_edit_for_small_ratio_and_overwrite_for_large() {
+        let t = table_with(200, small_files());
+        let r1 = t
+            .update(
+                |r| r[0].as_i64().unwrap() == 0,
+                &[(2, Box::new(|_| Value::Float64(1.0)))],
+                RatioHint::Explicit(0.005),
+            )
+            .unwrap();
+        assert_eq!(r1.plan, PlanChoice::Edit);
+        assert!(r1.cost_diff.unwrap() > 0.0);
+        let r2 = t
+            .update(
+                |r| r[0].as_i64().unwrap() >= 0,
+                &[(2, Box::new(|_| Value::Float64(2.0)))],
+                RatioHint::Explicit(1.0),
+            )
+            .unwrap();
+        assert_eq!(r2.plan, PlanChoice::Overwrite);
+        assert!(r2.cost_diff.unwrap() <= 0.0);
+        assert_eq!(t.scan_all().unwrap()[0].1[2], Value::Float64(2.0));
+    }
+
+    #[test]
+    fn sampling_estimates_ratio() {
+        let mut config = small_files();
+        config.sample_rows = 50;
+        let t = table_with(100, config);
+        // Predicate matches ~half; sampled alpha should land near 0.5 and
+        // the report must carry it.
+        let report = t
+            .update(
+                |r| r[0].as_i64().unwrap() % 2 == 0,
+                &[(2, Box::new(|_| Value::Float64(0.0)))],
+                RatioHint::Sample,
+            )
+            .unwrap();
+        assert!((report.ratio_used - 0.5).abs() < 0.1, "alpha={}", report.ratio_used);
+    }
+
+    #[test]
+    fn historical_ratio_feeds_cost_model() {
+        let t = table_with(100, small_files());
+        let key = "stmt-u1";
+        // First run records the true ratio (falls back to sampling).
+        t.update_keyed(
+            |r| r[0].as_i64().unwrap() < 5,
+            &[(2, Box::new(|_| Value::Float64(9.0)))],
+            RatioHint::Historical,
+            Some(key),
+        )
+        .unwrap();
+        let hist = t.env().meta.historical_ratio(key).unwrap().unwrap();
+        assert!((hist - 0.05).abs() < 1e-9);
+        // Second run uses the recorded history.
+        let r = t
+            .update_keyed(
+                |r| r[0].as_i64().unwrap() < 5,
+                &[(2, Box::new(|_| Value::Float64(10.0)))],
+                RatioHint::Historical,
+                Some(key),
+            )
+            .unwrap();
+        assert!((r.ratio_used - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_then_delete_interleaving() {
+        let mut config = small_files();
+        config.plan_mode = PlanMode::AlwaysEdit;
+        let t = table_with(50, config);
+        t.update(
+            |r| r[0].as_i64().unwrap() == 7,
+            &[(2, Box::new(|_| Value::Float64(700.0)))],
+            RatioHint::Explicit(0.02),
+        )
+        .unwrap();
+        t.delete(|r| r[0].as_i64().unwrap() == 7, RatioHint::Explicit(0.02))
+            .unwrap();
+        let rows = t.scan_all().unwrap();
+        assert_eq!(rows.len(), 49);
+        assert!(rows.iter().all(|(_, r)| r[0] != Value::Int64(7)));
+    }
+
+    #[test]
+    fn updates_accumulate_latest_wins() {
+        let mut config = small_files();
+        config.plan_mode = PlanMode::AlwaysEdit;
+        let t = table_with(10, config);
+        for round in 0..3 {
+            t.update(
+                |r| r[0].as_i64().unwrap() == 3,
+                &[(2, Box::new(move |_| Value::Float64(round as f64)))],
+                RatioHint::Explicit(0.1),
+            )
+            .unwrap();
+        }
+        let rows = t.scan_all().unwrap();
+        assert_eq!(rows[3].1[2], Value::Float64(2.0));
+        // History preserved in the attached tier.
+        let record = rows[3].0;
+        let history = t.cell_history(record, 2, 10).unwrap();
+        assert_eq!(history.len(), 3);
+        assert_eq!(history[0].1, Value::Float64(2.0));
+        assert_eq!(history[2].1, Value::Float64(0.0));
+    }
+
+    #[test]
+    fn projection_scan_applies_overlays() {
+        let mut config = small_files();
+        config.plan_mode = PlanMode::AlwaysEdit;
+        let t = table_with(20, config);
+        t.update(
+            |r| r[0].as_i64().unwrap() == 5,
+            &[(2, Box::new(|_| Value::Float64(-1.0)))],
+            RatioHint::Explicit(0.05),
+        )
+        .unwrap();
+        let rows = t
+            .scan(&UnionReadOptions::all().with_projection(vec![2, 0]))
+            .unwrap();
+        assert_eq!(rows[5].1, vec![Value::Float64(-1.0), Value::Int64(5)]);
+        assert_eq!(rows[6].1, vec![Value::Float64(6.0), Value::Int64(6)]);
+    }
+
+    #[test]
+    fn insert_overwrite_replaces_everything() {
+        let mut config = small_files();
+        config.plan_mode = PlanMode::AlwaysEdit;
+        let t = table_with(40, config);
+        t.delete(|r| r[0].as_i64().unwrap() == 0, RatioHint::Explicit(0.02))
+            .unwrap();
+        t.insert_overwrite((100..110).map(row)).unwrap();
+        let rows = t.scan_all().unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].1[0], Value::Int64(100));
+        assert_eq!(t.stats().unwrap().attached_entries, 0);
+    }
+
+    #[test]
+    fn drop_table_removes_storage() {
+        let env = DualTableEnv::in_memory();
+        let t =
+            DualTableStore::create(&env, "gone", schema(), small_files()).unwrap();
+        t.insert_rows((0..10).map(row)).unwrap();
+        t.clone().drop_table().unwrap();
+        assert!(env.dfs.list("/warehouse/gone/").is_empty());
+        assert!(env.kv.table("att_gone").is_err());
+        // Name reusable.
+        DualTableStore::create(&env, "gone", schema(), small_files()).unwrap();
+    }
+
+    #[test]
+    fn create_duplicate_fails_and_open_finds_existing() {
+        let env = DualTableEnv::in_memory();
+        let t = DualTableStore::create(&env, "x", schema(), small_files()).unwrap();
+        t.insert_rows((0..5).map(row)).unwrap();
+        assert!(DualTableStore::create(&env, "x", schema(), small_files()).is_err());
+        let t2 = DualTableStore::open(&env, "x", schema(), small_files()).unwrap();
+        assert_eq!(t2.count().unwrap(), 5);
+        assert!(DualTableStore::open(&env, "missing", schema(), small_files()).is_err());
+    }
+
+    #[test]
+    fn empty_table_operations() {
+        let env = DualTableEnv::in_memory();
+        let t = DualTableStore::create(&env, "e", schema(), small_files()).unwrap();
+        assert_eq!(t.count().unwrap(), 0);
+        assert_eq!(t.scan_all().unwrap().len(), 0);
+        let r = t
+            .update(
+                |_| true,
+                &[(2, Box::new(|_| Value::Float64(0.0)))],
+                RatioHint::Sample,
+            )
+            .unwrap();
+        assert_eq!(r.rows_matched, 0);
+        t.compact().unwrap();
+        assert_eq!(t.count().unwrap(), 0);
+    }
+
+    #[test]
+    fn update_type_mismatch_rejected() {
+        let t = table_with(10, small_files());
+        let err = t.update(
+            |_| true,
+            &[(2, Box::new(|_| Value::from("wrong type")))],
+            RatioHint::Explicit(1.0),
+        );
+        assert!(err.is_err());
+        let err = t.update(
+            |_| true,
+            &[(9, Box::new(|_| Value::Null))],
+            RatioHint::Explicit(1.0),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn snapshot_scan_sees_pre_update_state() {
+        let mut config = small_files();
+        config.plan_mode = PlanMode::AlwaysEdit;
+        let t = table_with(10, config);
+        let snapshot_ts = t.env().kv.clock().tick();
+        t.update(
+            |r| r[0].as_i64().unwrap() == 1,
+            &[(2, Box::new(|_| Value::Float64(99.0)))],
+            RatioHint::Explicit(0.1),
+        )
+        .unwrap();
+        let mut opts = UnionReadOptions::all();
+        opts.snapshot_ts = snapshot_ts;
+        let old = t.scan(&opts).unwrap();
+        assert_eq!(old[1].1[2], Value::Float64(1.0), "snapshot must predate update");
+        let new = t.scan_all().unwrap();
+        assert_eq!(new[1].1[2], Value::Float64(99.0));
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use dt_common::DataType;
+
+    #[test]
+    fn parallel_scan_equals_sequential() {
+        let env = DualTableEnv::in_memory();
+        let schema =
+            Schema::from_pairs(&[("id", DataType::Int64), ("v", DataType::Float64)]);
+        let config = DualTableConfig {
+            rows_per_file: 50,
+            plan_mode: PlanMode::AlwaysEdit,
+            ..DualTableConfig::default()
+        };
+        let t = DualTableStore::create(&env, "p", schema, config).unwrap();
+        t.insert_rows((0..500).map(|i| vec![Value::Int64(i), Value::Float64(0.0)]))
+            .unwrap();
+        t.update(
+            |r| r[0].as_i64().unwrap() % 9 == 0,
+            &[(1, Box::new(|_| Value::Float64(9.0)))],
+            RatioHint::Explicit(0.11),
+        )
+        .unwrap();
+        t.delete(|r| r[0].as_i64().unwrap() % 13 == 0, RatioHint::Explicit(0.08))
+            .unwrap();
+
+        let sequential = t.scan_all().unwrap();
+        let job = dt_engine::JobConfig {
+            max_mappers: 4,
+            num_reducers: 2,
+        };
+        let parallel = t.scan_parallel(&UnionReadOptions::all(), &job).unwrap();
+        assert_eq!(sequential, parallel);
+
+        // Projection path too.
+        let opts = UnionReadOptions::all().with_projection(vec![1]);
+        let seq = t.scan(&opts).unwrap();
+        let par = t.scan_parallel(&opts, &job).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn plan_preview_matches_execution() {
+        let env = DualTableEnv::in_memory();
+        let schema =
+            Schema::from_pairs(&[("id", DataType::Int64), ("v", DataType::Float64)]);
+        let t = DualTableStore::create(
+            &env,
+            "pv",
+            schema,
+            DualTableConfig {
+                rows_per_file: 64,
+                ..DualTableConfig::default()
+            },
+        )
+        .unwrap();
+        t.insert_rows((0..300).map(|i| vec![Value::Int64(i), Value::Float64(0.0)]))
+            .unwrap();
+
+        let small = |r: &Row| r[0].as_i64().unwrap() < 3;
+        let preview = t.plan_preview(&small, true).unwrap();
+        assert_eq!(preview.plan, PlanChoice::Edit);
+        assert!(preview.cost_diff > 0.0);
+        assert!(preview.ratio < 0.05);
+        let report = t
+            .update(small, &[(1, Box::new(|_| Value::Float64(1.0)))], RatioHint::Sample)
+            .unwrap();
+        assert_eq!(report.plan, preview.plan);
+
+        let huge = |_: &Row| true;
+        let preview = t.plan_preview(&huge, false).unwrap();
+        assert_eq!(preview.plan, PlanChoice::Overwrite);
+        assert!(preview.cost_diff < 0.0);
+    }
+}

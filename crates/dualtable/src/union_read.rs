@@ -1,0 +1,129 @@
+//! UNION READ (paper §III-C): merge one master file's rows with the
+//! Attached Table entries for its record-ID range.
+//!
+//! Record IDs within an ORC file ascend with the row number, and attached
+//! row keys are big-endian record IDs, so both inputs arrive sorted and a
+//! single forward pass suffices — "it only needs to read through and merge
+//! two sorted ID lists" (§V-B).
+
+use std::ops::ControlFlow;
+
+use dt_common::{Error, RecordId, Result, Row};
+use dt_kvstore::ScanIter;
+use dt_orcfile::{ColumnPredicate, OrcReader};
+
+use crate::attached::AttachedEntry;
+
+/// Options for UNION READ scans.
+#[derive(Debug, Clone, Default)]
+pub struct UnionReadOptions {
+    /// Columns to materialize, in order; `None` = all columns.
+    pub projection: Option<Vec<usize>>,
+    /// Stripe-skipping predicates.
+    ///
+    /// Only sound while the Attached Table holds no *updates* for the file
+    /// (updated cells can move a row into a range its stripe stats
+    /// exclude); the store checks this and ignores the predicates
+    /// otherwise. Delete markers never un-skip a stripe, so they are safe.
+    pub predicates: Option<Vec<ColumnPredicate>>,
+    /// Read at this attached-tier snapshot timestamp (`u64::MAX` = latest)
+    /// — time-travel over the attached table's multi-version history.
+    pub snapshot_ts: u64,
+}
+
+impl UnionReadOptions {
+    /// Default options reading everything at the latest snapshot.
+    pub fn all() -> Self {
+        UnionReadOptions {
+            projection: None,
+            predicates: None,
+            snapshot_ts: u64::MAX,
+        }
+    }
+
+    /// Restricts to the given columns.
+    pub fn with_projection(mut self, projection: Vec<usize>) -> Self {
+        self.projection = Some(projection);
+        self
+    }
+}
+
+/// Merges one master file with its attached entries, invoking `f` per
+/// surviving row. Returns `Break` if the callback stopped the scan.
+///
+/// `attached` must be a scan over exactly this file's record-ID range.
+/// `projection` is the list of materialized column ordinals (absolute),
+/// matching the ORC reader's projection; update overlays are mapped through
+/// it. `apply_pushdown` tells whether the ORC reader was given predicates
+/// (in which case skipped rows simply never surface here).
+pub(crate) fn merge_file(
+    file_id: u32,
+    reader: &OrcReader,
+    projection: &[usize],
+    predicates: Option<&[ColumnPredicate]>,
+    attached: ScanIter,
+    f: &mut dyn FnMut(RecordId, Row) -> Result<ControlFlow<()>>,
+) -> Result<ControlFlow<()>> {
+    let mut attached = attached.peekable();
+    let mut rows = reader.rows(Some(projection), predicates)?;
+    // Position of each absolute column ordinal within the projected row.
+    let mut pos_of = vec![usize::MAX; reader.schema().len()];
+    for (pos, col) in projection.iter().enumerate() {
+        pos_of[*col] = pos;
+    }
+
+    loop {
+        let (row_number, mut row) = match rows.next() {
+            None => break,
+            Some(r) => r?,
+        };
+        let record = RecordId::new(file_id, u32::try_from(row_number).map_err(|_| {
+            Error::corrupt("row number exceeds record-ID range")
+        })?);
+        let key = record.to_key();
+
+        // Advance the attached scan to this record, discarding any entries
+        // for record IDs the master scan has already passed (these can only
+        // be rows hidden by stripe skipping).
+        let mut entry: Option<AttachedEntry> = None;
+        loop {
+            match attached.peek() {
+                None => break,
+                Some(Err(_)) => {
+                    // Surface the error.
+                    return Err(attached
+                        .next()
+                        .expect("peeked Some")
+                        .expect_err("peeked Err"));
+                }
+                Some(Ok(kv_row)) => {
+                    if kv_row.row.as_slice() < key.as_slice() {
+                        attached.next();
+                    } else if kv_row.row.as_slice() == key.as_slice() {
+                        let kv_row = attached.next().expect("peeked Some")?;
+                        entry = Some(AttachedEntry::from_row(&kv_row)?);
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+
+        if let Some(entry) = entry {
+            if entry.deleted {
+                continue;
+            }
+            for (column, value) in entry.updates {
+                let pos = pos_of.get(column).copied().unwrap_or(usize::MAX);
+                if pos != usize::MAX {
+                    row[pos] = value;
+                }
+            }
+        }
+        if let ControlFlow::Break(()) = f(record, row)? {
+            return Ok(ControlFlow::Break(()));
+        }
+    }
+    Ok(ControlFlow::Continue(()))
+}

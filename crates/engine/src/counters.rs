@@ -1,0 +1,49 @@
+//! Job counters, in the spirit of Hadoop's counter facility.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters accumulated across all tasks of one job.
+#[derive(Debug, Default)]
+pub struct JobCounters {
+    /// Records consumed by mappers.
+    pub map_input_records: AtomicU64,
+    /// Key/value pairs emitted by mappers.
+    pub map_output_records: AtomicU64,
+    /// Distinct keys seen by reducers.
+    pub reduce_input_groups: AtomicU64,
+    /// Records produced by reducers.
+    pub reduce_output_records: AtomicU64,
+}
+
+impl JobCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add_map_input(&self, n: u64) {
+        self.map_input_records.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_map_output(&self, n: u64) {
+        self.map_output_records.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_reduce_groups(&self, n: u64) {
+        self.reduce_input_groups.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_reduce_output(&self, n: u64) {
+        self.reduce_output_records.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot of (map input, map output, reduce groups, reduce output).
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.map_input_records.load(Ordering::Relaxed),
+            self.map_output_records.load(Ordering::Relaxed),
+            self.reduce_input_groups.load(Ordering::Relaxed),
+            self.reduce_output_records.load(Ordering::Relaxed),
+        )
+    }
+}

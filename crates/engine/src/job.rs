@@ -1,0 +1,319 @@
+//! Job execution: map, shuffle, sort, reduce.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use dt_common::{Error, Result};
+
+use crate::counters::JobCounters;
+
+/// Parallelism configuration for one job.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Maximum concurrent map tasks (the paper's workers run up to 6
+    /// mappers each).
+    pub max_mappers: usize,
+    /// Number of reduce partitions (and concurrent reduce tasks).
+    pub num_reducers: usize,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        JobConfig {
+            max_mappers: cores,
+            num_reducers: (cores / 2).max(2),
+        }
+    }
+}
+
+/// Runs `task` over every split in parallel (bounded by `max_mappers`),
+/// returning one output per split, in split order. Panics in tasks are
+/// converted into errors.
+pub fn parallel_map<I, O, F>(config: &JobConfig, splits: Vec<I>, task: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    // The infallible wrapper re-panics only on bugs in `task` itself.
+    parallel_map_fallible(config, splits, |i| Ok(task(i)))
+        .expect("infallible task failed")
+        .into_iter()
+        .collect()
+}
+
+/// Like [`parallel_map`] but tasks may fail; the first error is returned.
+pub fn parallel_map_fallible<I, O, F>(
+    config: &JobConfig,
+    splits: Vec<I>,
+    task: F,
+) -> Result<Vec<O>>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> Result<O> + Sync,
+{
+    let n = splits.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = config.max_mappers.max(1).min(n);
+    if workers == 1 {
+        return splits.into_iter().map(&task).collect();
+    }
+    let inputs: Vec<Mutex<Option<I>>> = splits
+        .into_iter()
+        .map(|s| Mutex::new(Some(s)))
+        .collect();
+    let outputs: Vec<Mutex<Option<Result<O>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let input = inputs[i]
+                    .lock()
+                    .expect("input mutex poisoned")
+                    .take()
+                    .expect("split taken twice");
+                let out = task(input);
+                *outputs[i].lock().expect("output mutex poisoned") = Some(out);
+            });
+        }
+    })
+    .map_err(|_| Error::internal("a map task panicked"))?;
+
+    outputs
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("output mutex poisoned")
+                .expect("task completed without output")
+        })
+        .collect()
+}
+
+fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+/// Runs a full map-shuffle-sort-reduce job.
+///
+/// * `splits`: the inputs, one per map task;
+/// * `mapper`: consumes a split, emitting `(key, value)` pairs;
+/// * `reducer`: consumes one key with all its values (keys arrive sorted
+///   within a partition) and returns any number of output records.
+///
+/// Output records from all partitions are concatenated (partition order),
+/// matching the "part files" a Hadoop job leaves behind.
+pub fn run_map_reduce<I, K, V, O, M, R>(
+    config: &JobConfig,
+    counters: &JobCounters,
+    splits: Vec<I>,
+    mapper: M,
+    reducer: R,
+) -> Result<Vec<O>>
+where
+    I: Send,
+    K: Ord + Hash + Clone + Send,
+    V: Send,
+    O: Send,
+    M: Fn(I, &mut dyn FnMut(K, V)) -> Result<()> + Sync,
+    R: Fn(K, Vec<V>) -> Result<Vec<O>> + Sync,
+{
+    let partitions = config.num_reducers.max(1);
+
+    // Map phase: each task produces `partitions` buckets.
+    let bucketed: Vec<Vec<(K, V)>> = {
+        let per_task: Vec<Vec<Vec<(K, V)>>> =
+            parallel_map_fallible(config, splits, |split| {
+                let mut buckets: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
+                let mut emitted = 0u64;
+                mapper(split, &mut |k, v| {
+                    emitted += 1;
+                    let p = partition_of(&k, partitions);
+                    buckets[p].push((k, v));
+                })?;
+                counters.add_map_input(1);
+                counters.add_map_output(emitted);
+                Ok(buckets)
+            })?;
+        // Shuffle: concatenate each partition across tasks.
+        let mut merged: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
+        for task_buckets in per_task {
+            for (p, bucket) in task_buckets.into_iter().enumerate() {
+                merged[p].extend(bucket);
+            }
+        }
+        merged
+    };
+
+    // Reduce phase: sort each partition by key, group, reduce.
+    let reduced: Vec<Vec<O>> = parallel_map_fallible(config, bucketed, |mut bucket| {
+        bucket.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = Vec::new();
+        let mut iter = bucket.into_iter().peekable();
+        let mut groups = 0u64;
+        while let Some((key, first)) = iter.next() {
+            let mut values = vec![first];
+            while matches!(iter.peek(), Some((k, _)) if *k == key) {
+                values.push(iter.next().expect("peeked").1);
+            }
+            groups += 1;
+            let produced = reducer(key, values)?;
+            counters.add_reduce_output(produced.len() as u64);
+            out.extend(produced);
+        }
+        counters.add_reduce_groups(groups);
+        Ok(out)
+    })?;
+
+    Ok(reduced.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> JobConfig {
+        JobConfig {
+            max_mappers: 4,
+            num_reducers: 3,
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(&config(), (0..100).collect(), |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<i32> = parallel_map(&config(), Vec::<i32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_fallible_propagates_error() {
+        let r = parallel_map_fallible(&config(), (0..10).collect(), |i| {
+            if i == 7 {
+                Err(Error::invalid("boom"))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn word_count() {
+        let splits = vec![
+            vec!["a", "b", "a"],
+            vec!["b", "c"],
+            vec!["a"],
+        ];
+        let counters = JobCounters::new();
+        let mut out = run_map_reduce(
+            &config(),
+            &counters,
+            splits,
+            |words, emit| {
+                for w in words {
+                    emit(w.to_string(), 1u64);
+                }
+                Ok(())
+            },
+            |word, counts| Ok(vec![(word, counts.iter().sum::<u64>())]),
+        )
+        .unwrap();
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 2),
+                ("c".to_string(), 1)
+            ]
+        );
+        let (mi, mo, rg, ro) = counters.snapshot();
+        assert_eq!(mi, 3);
+        assert_eq!(mo, 6);
+        assert_eq!(rg, 3);
+        assert_eq!(ro, 3);
+    }
+
+    #[test]
+    fn reduce_sees_sorted_keys_within_partition() {
+        // With a single reducer, output order equals sorted key order.
+        let cfg = JobConfig {
+            max_mappers: 4,
+            num_reducers: 1,
+        };
+        let counters = JobCounters::new();
+        let out = run_map_reduce(
+            &cfg,
+            &counters,
+            vec![vec![5, 3, 9, 1], vec![7, 2]],
+            |nums, emit| {
+                for n in nums {
+                    emit(n, ());
+                }
+                Ok(())
+            },
+            |k, _| Ok(vec![k]),
+        )
+        .unwrap();
+        assert_eq!(out, vec![1, 2, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn reducer_error_propagates() {
+        let counters = JobCounters::new();
+        let r: Result<Vec<u64>> = run_map_reduce(
+            &config(),
+            &counters,
+            vec![vec![1u64]],
+            |nums, emit| {
+                for n in nums {
+                    emit(n, n);
+                }
+                Ok(())
+            },
+            |_, _| Err(Error::invalid("reduce failure")),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn large_job_is_consistent() {
+        let splits: Vec<Vec<u64>> = (0..32).map(|s| (0..1000).map(|i| (s * 1000 + i) % 97).collect()).collect();
+        let counters = JobCounters::new();
+        let out = run_map_reduce(
+            &config(),
+            &counters,
+            splits,
+            |nums, emit| {
+                for n in nums {
+                    emit(n, 1u64);
+                }
+                Ok(())
+            },
+            |k, vs| Ok(vec![(k, vs.len() as u64)]),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 97);
+        let total: u64 = out.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 32_000);
+    }
+}

@@ -1,0 +1,23 @@
+//! A MapReduce-style parallel execution engine.
+//!
+//! Hive compiles HiveQL into a DAG of MapReduce jobs; the paper's UNION READ
+//! is likewise "a simple Map Reduce algorithm using a divide-and-conquer
+//! strategy" (§III-C). This crate supplies that substrate as a library:
+//!
+//! * [`run_map_reduce`] — the full phase sequence: parallel **map** over
+//!   input splits, hash-**partitioned shuffle**, per-partition **sort**,
+//!   parallel **reduce**;
+//! * [`parallel_map`] — map-only jobs (scans, filters, per-split DML), the
+//!   shape most Hive stages take;
+//! * [`JobCounters`] — per-job record counters, mirroring Hadoop's counter
+//!   facility.
+//!
+//! Tasks run on crossbeam scoped threads; "splits" model HDFS blocks or ORC
+//! stripes and determine the parallelism, exactly as mapper counts do on a
+//! real cluster.
+
+mod counters;
+mod job;
+
+pub use counters::JobCounters;
+pub use job::{parallel_map, parallel_map_fallible, run_map_reduce, JobConfig};

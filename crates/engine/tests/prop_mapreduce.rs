@@ -1,0 +1,43 @@
+//! Property test: the MapReduce engine computes the same aggregates as a
+//! sequential reference for arbitrary inputs and parallelism.
+
+use std::collections::BTreeMap;
+
+use dt_engine::{run_map_reduce, JobConfig, JobCounters};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn grouped_sums_match_reference(
+        splits in proptest::collection::vec(
+            proptest::collection::vec((0u8..32, -100i64..100), 0..50),
+            0..8,
+        ),
+        mappers in 1usize..6,
+        reducers in 1usize..5,
+    ) {
+        let mut expect: BTreeMap<u8, i64> = BTreeMap::new();
+        for split in &splits {
+            for (k, v) in split {
+                *expect.entry(*k).or_default() += v;
+            }
+        }
+        let counters = JobCounters::new();
+        let out = run_map_reduce(
+            &JobConfig { max_mappers: mappers, num_reducers: reducers },
+            &counters,
+            splits,
+            |pairs: Vec<(u8, i64)>, emit: &mut dyn FnMut(u8, i64)| {
+                for (k, v) in pairs {
+                    emit(k, v);
+                }
+                Ok(())
+            },
+            |k, vs| Ok(vec![(k, vs.iter().sum::<i64>())]),
+        ).unwrap();
+        let got: BTreeMap<u8, i64> = out.into_iter().collect();
+        prop_assert_eq!(got, expect);
+    }
+}

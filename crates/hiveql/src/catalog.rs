@@ -1,0 +1,300 @@
+//! The catalog: table name → storage handler.
+//!
+//! The handler enum mirrors Hive's storage-handler abstraction
+//! (InputFormat/OutputFormat/SerDe, §V-A): every variant exposes the same
+//! scan/insert/update/delete surface, dispatching to one of the four
+//! storage systems.
+
+use std::collections::BTreeMap;
+use std::ops::ControlFlow;
+
+use dt_baselines::{HiveAcidTable, HiveHbaseTable, HiveHdfsTable};
+use dt_common::{Error, Result, Row, Schema, Value};
+use dt_orcfile::ColumnPredicate;
+use dualtable::{DmlReport, DualTableStore, PlanChoice, RatioHint};
+
+use crate::ast::StorageKind;
+
+/// A table's storage handler.
+#[derive(Clone)]
+pub enum TableHandle {
+    /// Stock Hive: ORC on the DFS.
+    Orc(HiveHdfsTable),
+    /// HBase storage handler.
+    HBase(HiveHbaseTable),
+    /// The paper's hybrid model.
+    Dual(DualTableStore),
+    /// Hive-ACID base+delta.
+    Acid(HiveAcidTable),
+}
+
+/// Outcome of a DML statement, storage-agnostic.
+#[derive(Debug, Clone)]
+pub struct DmlOutcome {
+    /// Rows matched by the predicate.
+    pub rows_matched: u64,
+    /// Rows scanned.
+    pub rows_scanned: u64,
+    /// DualTable's plan report, when the handler has a cost model.
+    pub report: Option<DmlReport>,
+}
+
+impl TableHandle {
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            TableHandle::Orc(t) => t.schema(),
+            TableHandle::HBase(t) => t.schema(),
+            TableHandle::Dual(t) => t.schema(),
+            TableHandle::Acid(t) => t.schema(),
+        }
+    }
+
+    /// Which storage this handler uses.
+    pub fn storage_kind(&self) -> StorageKind {
+        match self {
+            TableHandle::Orc(_) => StorageKind::Orc,
+            TableHandle::HBase(_) => StorageKind::HBase,
+            TableHandle::Dual(_) => StorageKind::DualTable,
+            TableHandle::Acid(_) => StorageKind::Acid,
+        }
+    }
+
+    /// Materializes a scan. `projection` gives absolute column ordinals;
+    /// `predicates` may be used for stripe skipping where the format
+    /// supports it (rows still require re-filtering).
+    pub fn scan(
+        &self,
+        projection: Option<&[usize]>,
+        predicates: Option<&[ColumnPredicate]>,
+    ) -> Result<Vec<Row>> {
+        match self {
+            TableHandle::Orc(t) => t.scan(projection, predicates),
+            TableHandle::HBase(t) => t.scan(projection),
+            TableHandle::Dual(t) => {
+                let mut opts = dualtable::UnionReadOptions::all();
+                if let Some(p) = projection {
+                    opts.projection = Some(p.to_vec());
+                }
+                opts.predicates = predicates.map(<[ColumnPredicate]>::to_vec);
+                Ok(t.scan(&opts)?.into_iter().map(|(_, row)| row).collect())
+            }
+            TableHandle::Acid(t) => {
+                let mut out = Vec::new();
+                t.for_each(|row| {
+                    out.push(match projection {
+                        Some(p) => p.iter().map(|&c| row[c].clone()).collect(),
+                        None => row,
+                    });
+                    Ok(ControlFlow::Continue(()))
+                })?;
+                Ok(out)
+            }
+        }
+    }
+
+    /// Row count.
+    pub fn count(&self) -> Result<u64> {
+        match self {
+            TableHandle::Orc(t) => t.count(),
+            TableHandle::HBase(t) => t.count(),
+            TableHandle::Dual(t) => t.count(),
+            TableHandle::Acid(t) => t.count(),
+        }
+    }
+
+    /// Appends rows.
+    pub fn insert(&self, rows: Vec<Row>) -> Result<u64> {
+        for row in &rows {
+            self.schema().check_row(row)?;
+        }
+        match self {
+            TableHandle::Orc(t) => t.insert_rows(rows),
+            TableHandle::HBase(t) => t.insert_rows(rows),
+            TableHandle::Dual(t) => t.insert_rows(rows),
+            TableHandle::Acid(t) => t.insert_rows(rows),
+        }
+    }
+
+    /// Replaces the content.
+    pub fn insert_overwrite(&self, rows: Vec<Row>) -> Result<u64> {
+        for row in &rows {
+            self.schema().check_row(row)?;
+        }
+        match self {
+            TableHandle::Orc(t) => t.insert_overwrite(rows),
+            TableHandle::HBase(t) => t.insert_overwrite(rows),
+            TableHandle::Dual(t) => t.insert_overwrite(rows),
+            TableHandle::Acid(t) => {
+                // ACID has no overwrite path; emulate with delete-all +
+                // insert (two transactions).
+                t.delete(|_| true)?;
+                t.insert_rows(rows)
+            }
+        }
+    }
+
+    /// Executes an UPDATE.
+    pub fn update(
+        &self,
+        predicate: &dyn Fn(&Row) -> bool,
+        assignments: &[(usize, Box<dyn Fn(&Row) -> Value + '_>)],
+        ratio: RatioHint,
+        statement_key: Option<&str>,
+    ) -> Result<DmlOutcome> {
+        match self {
+            TableHandle::Orc(t) => {
+                let (m, s) = t.update(predicate, assignments)?;
+                Ok(DmlOutcome {
+                    rows_matched: m,
+                    rows_scanned: s,
+                    report: None,
+                })
+            }
+            TableHandle::HBase(t) => {
+                let (m, s) = t.update(predicate, assignments)?;
+                Ok(DmlOutcome {
+                    rows_matched: m,
+                    rows_scanned: s,
+                    report: None,
+                })
+            }
+            TableHandle::Acid(t) => {
+                let (m, s) = t.update(predicate, assignments)?;
+                Ok(DmlOutcome {
+                    rows_matched: m,
+                    rows_scanned: s,
+                    report: None,
+                })
+            }
+            TableHandle::Dual(t) => {
+                let report = t.update_keyed(predicate, assignments, ratio, statement_key)?;
+                Ok(DmlOutcome {
+                    rows_matched: report.rows_matched,
+                    rows_scanned: report.rows_scanned,
+                    report: Some(report),
+                })
+            }
+        }
+    }
+
+    /// Executes a DELETE.
+    pub fn delete(
+        &self,
+        predicate: &dyn Fn(&Row) -> bool,
+        ratio: RatioHint,
+        statement_key: Option<&str>,
+    ) -> Result<DmlOutcome> {
+        match self {
+            TableHandle::Orc(t) => {
+                let (m, s) = t.delete(predicate)?;
+                Ok(DmlOutcome {
+                    rows_matched: m,
+                    rows_scanned: s,
+                    report: None,
+                })
+            }
+            TableHandle::HBase(t) => {
+                let (m, s) = t.delete(predicate)?;
+                Ok(DmlOutcome {
+                    rows_matched: m,
+                    rows_scanned: s,
+                    report: None,
+                })
+            }
+            TableHandle::Acid(t) => {
+                let (m, s) = t.delete(predicate)?;
+                Ok(DmlOutcome {
+                    rows_matched: m,
+                    rows_scanned: s,
+                    report: None,
+                })
+            }
+            TableHandle::Dual(t) => {
+                let report = t.delete_keyed(predicate, ratio, statement_key)?;
+                Ok(DmlOutcome {
+                    rows_matched: report.rows_matched,
+                    rows_scanned: report.rows_scanned,
+                    report: Some(report),
+                })
+            }
+        }
+    }
+
+    /// Compacts the table (DualTable COMPACT; ACID major compaction).
+    pub fn compact(&self) -> Result<()> {
+        match self {
+            TableHandle::Dual(t) => t.compact(),
+            TableHandle::Acid(t) => t.major_compact(),
+            _ => Err(Error::Unsupported(
+                "COMPACT is only meaningful for DUALTABLE and ACID tables".into(),
+            )),
+        }
+    }
+
+    /// Drops the storage.
+    pub fn drop_storage(self) -> Result<()> {
+        match self {
+            TableHandle::Orc(t) => t.drop_table(),
+            TableHandle::HBase(t) => t.drop_table(),
+            TableHandle::Dual(t) => t.drop_table(),
+            TableHandle::Acid(t) => t.drop_table(),
+        }
+    }
+
+    /// The last cost-model plan is only observable through
+    /// [`DmlOutcome::report`]; this helper names plans for messages.
+    pub fn plan_name(plan: Option<PlanChoice>) -> &'static str {
+        match plan {
+            Some(PlanChoice::Edit) => "EDIT",
+            Some(PlanChoice::Overwrite) => "OVERWRITE",
+            None => "REWRITE",
+        }
+    }
+}
+
+/// Name → handler registry.
+#[derive(Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableHandle>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table.
+    pub fn register(&mut self, name: &str, handle: TableHandle) -> Result<()> {
+        if self.tables.contains_key(name) {
+            return Err(Error::AlreadyExists(format!("table '{name}'")));
+        }
+        self.tables.insert(name.to_string(), handle);
+        Ok(())
+    }
+
+    /// Looks a table up.
+    pub fn get(&self, name: &str) -> Result<&TableHandle> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::not_found(format!("table '{name}'")))
+    }
+
+    /// `true` iff the table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Unregisters and returns a table.
+    pub fn remove(&mut self, name: &str) -> Result<TableHandle> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| Error::not_found(format!("table '{name}'")))
+    }
+
+    /// Sorted table names.
+    pub fn names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+}

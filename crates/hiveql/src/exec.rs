@@ -1,0 +1,1183 @@
+//! Statement execution: SELECT pipelines and DML dispatch.
+
+use std::collections::HashMap;
+
+use dt_common::{DataType, Error, Field, Result, Row, Schema, Value};
+use dt_engine::{run_map_reduce, JobConfig, JobCounters};
+use dt_orcfile::{ColumnPredicate, PredicateOp};
+use dualtable::RatioHint;
+
+use crate::ast::*;
+use crate::catalog::Catalog;
+use crate::expr::{
+    eval, is_true, normalize_numeric, Binding, EvalContext, GroupKey, HashableValue,
+};
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output schema (inferred for query results).
+    pub schema: Schema,
+    rows: Vec<Row>,
+    /// Rows affected by DML/DDL.
+    pub affected: u64,
+    /// Human-readable execution note (e.g. the DML plan chosen).
+    pub message: Option<String>,
+    /// DualTable plan report, for DML on DualTable storage.
+    pub dml: Option<dualtable::DmlReport>,
+}
+
+impl QueryResult {
+    /// An empty result (DDL acknowledgements).
+    pub fn empty() -> Self {
+        QueryResult {
+            schema: Schema::default(),
+            rows: Vec::new(),
+            affected: 0,
+            message: None,
+            dml: None,
+        }
+    }
+
+    /// A result with a schema and rows.
+    pub fn from_parts(schema: Schema, rows: Vec<Row>) -> Self {
+        QueryResult {
+            schema,
+            rows,
+            affected: 0,
+            message: None,
+            dml: None,
+        }
+    }
+
+    /// The result rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Consumes the result, returning its rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Parallelism for aggregation jobs.
+    pub job: JobConfig,
+    /// Ratio hint passed to DualTable DML.
+    pub ratio_hint: RatioHint,
+    /// Rows per map split when aggregating.
+    pub agg_split_rows: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            job: JobConfig::default(),
+            ratio_hint: RatioHint::Sample,
+            agg_split_rows: 64 * 1024,
+        }
+    }
+}
+
+/// Executes one parsed statement against the catalog. DDL mutates the
+/// catalog through the caller (`create_fn` handles CREATE since storage
+/// construction needs the session's environment).
+pub struct Executor<'a> {
+    /// The table registry.
+    pub catalog: &'a Catalog,
+    /// Tuning.
+    pub config: &'a ExecConfig,
+}
+
+impl Executor<'_> {
+    /// Runs a SELECT.
+    pub fn select(&self, stmt: &SelectStmt) -> Result<QueryResult> {
+        let mut ctx = EvalContext::default();
+        let stmt = self.plan_subqueries_select(stmt.clone(), &mut ctx)?;
+        self.select_with_ctx(&stmt, &ctx)
+    }
+
+    fn select_with_ctx(&self, stmt: &SelectStmt, ctx: &EvalContext) -> Result<QueryResult> {
+        // 1. FROM + JOIN → working set and its binding.
+        let (mut rows, binding) = self.scan_from(stmt, ctx)?;
+
+        // 2. WHERE.
+        if let Some(filter) = &stmt.where_clause {
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                if is_true(&eval(filter, &row, &binding, ctx)?) {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+        }
+
+        // 3. Projection / aggregation.
+        let items = expand_wildcards(&stmt.items, &binding)?;
+        for (expr, _) in &items {
+            validate_columns(expr, &binding)?;
+        }
+        if let Some(w) = &stmt.where_clause {
+            validate_columns(w, &binding)?;
+        }
+        for g in &stmt.group_by {
+            validate_columns(g, &binding)?;
+        }
+        let has_aggs = items.iter().any(|(e, _)| e.contains_aggregate())
+            || stmt
+                .having
+                .as_ref()
+                .is_some_and(Expr::contains_aggregate);
+        let (mut out_rows, out_names, mut order_keys) = if has_aggs || !stmt.group_by.is_empty() {
+            self.aggregate(stmt, &items, rows, &binding, ctx)?
+        } else {
+            let mut out = Vec::with_capacity(rows.len());
+            let mut order_keys = Vec::with_capacity(rows.len());
+            for row in &rows {
+                let mut projected = Vec::with_capacity(items.len());
+                for (expr, _) in &items {
+                    projected.push(eval(expr, row, &binding, ctx)?);
+                }
+                if !stmt.order_by.is_empty() {
+                    let mut key = Vec::with_capacity(stmt.order_by.len());
+                    for (expr, _) in &stmt.order_by {
+                        key.push(HashableValue(
+                            self.order_key(expr, row, &binding, &projected, &items, ctx)?,
+                        ));
+                    }
+                    order_keys.push(GroupKey(key));
+                }
+                out.push(projected);
+            }
+            let names = items.iter().map(|(_, n)| n.clone()).collect();
+            (out, names, order_keys)
+        };
+
+        // 3b. DISTINCT: keep the first occurrence of each output row.
+        if stmt.distinct {
+            let mut seen = std::collections::HashSet::new();
+            let mut kept_rows = Vec::with_capacity(out_rows.len());
+            let mut kept_keys = Vec::new();
+            for (i, row) in out_rows.into_iter().enumerate() {
+                let key = GroupKey(row.iter().cloned().map(HashableValue).collect());
+                if seen.insert(key) {
+                    if !order_keys.is_empty() {
+                        kept_keys.push(order_keys[i].clone());
+                    }
+                    kept_rows.push(row);
+                }
+            }
+            out_rows = kept_rows;
+            order_keys = kept_keys;
+        }
+
+        // 4. ORDER BY.
+        if !stmt.order_by.is_empty() {
+            let ascending: Vec<bool> = stmt.order_by.iter().map(|(_, asc)| *asc).collect();
+            let mut indexed: Vec<(GroupKey, Row)> =
+                order_keys.into_iter().zip(out_rows).collect();
+            indexed.sort_by(|(a, _), (b, _)| {
+                for (i, (ka, kb)) in a.0.iter().zip(&b.0).enumerate() {
+                    let ord = ka.0.total_cmp(&kb.0);
+                    let ord = if ascending.get(i).copied().unwrap_or(true) {
+                        ord
+                    } else {
+                        ord.reverse()
+                    };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            out_rows = indexed.into_iter().map(|(_, r)| r).collect();
+        }
+
+        // 5. LIMIT.
+        if let Some(limit) = stmt.limit {
+            out_rows.truncate(limit as usize);
+        }
+
+        Ok(QueryResult {
+            schema: infer_schema(&out_names, &out_rows),
+            rows: out_rows,
+            affected: 0,
+            message: None,
+            dml: None,
+        })
+    }
+
+    /// Resolves an ORDER BY key: input binding first, then output aliases.
+    fn order_key(
+        &self,
+        expr: &Expr,
+        row: &Row,
+        binding: &Binding,
+        projected: &Row,
+        items: &[(Expr, String)],
+        ctx: &EvalContext,
+    ) -> Result<Value> {
+        if let Ok(v) = eval(expr, row, binding, ctx) {
+            return Ok(v);
+        }
+        if let Expr::Column {
+            qualifier: None,
+            name,
+        } = expr
+        {
+            if let Some(pos) = items.iter().position(|(_, n)| n == name) {
+                return Ok(projected[pos].clone());
+            }
+        }
+        eval(expr, row, binding, ctx)
+    }
+
+    fn scan_from(
+        &self,
+        stmt: &SelectStmt,
+        ctx: &EvalContext,
+    ) -> Result<(Vec<Row>, Binding)> {
+        let Some(from) = &stmt.from else {
+            // SELECT without FROM: one empty row.
+            return Ok((vec![Vec::new()], Binding::default()));
+        };
+        let base = self.catalog.get(&from.name)?;
+        let base_binding = Binding::from_schema(from.binding_name(), base.schema());
+        // Push-down: only for single-table queries, from WHERE conjuncts of
+        // the form column <op> literal.
+        let predicates = if stmt.joins.is_empty() {
+            stmt.where_clause
+                .as_ref()
+                .map(|w| extract_pushdown(w, &base_binding, base.schema()))
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        let mut rows = base.scan(
+            None,
+            if predicates.is_empty() {
+                None
+            } else {
+                Some(&predicates)
+            },
+        )?;
+        let mut binding = base_binding;
+
+        for join in &stmt.joins {
+            let right = self.catalog.get(&join.table.name)?;
+            let right_binding =
+                Binding::from_schema(join.table.binding_name(), right.schema());
+            let right_rows = right.scan(None, None)?;
+            let joined_binding = binding.join(&right_binding);
+            rows = self.join_rows(
+                rows,
+                &binding,
+                right_rows,
+                &right_binding,
+                &joined_binding,
+                join,
+                ctx,
+            )?;
+            binding = joined_binding;
+        }
+        Ok((rows, binding))
+    }
+
+    /// Hash join on equi-conditions where possible, else nested loop.
+    #[allow(clippy::too_many_arguments)]
+    fn join_rows(
+        &self,
+        left: Vec<Row>,
+        left_binding: &Binding,
+        right: Vec<Row>,
+        right_binding: &Binding,
+        joined_binding: &Binding,
+        join: &Join,
+        ctx: &EvalContext,
+    ) -> Result<Vec<Row>> {
+        let right_width = right_binding.len();
+        // Find equi-join keys: conjuncts `l = r` with one side resolving in
+        // the left binding and the other in the right.
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        for conjunct in conjuncts(&join.on) {
+            if let Expr::Binary {
+                op: BinOp::Eq,
+                left: a,
+                right: b,
+            } = conjunct
+            {
+                let sides = [(a, b), (b, a)];
+                for (l, r) in sides {
+                    if resolves_in(l, left_binding) && resolves_in(r, right_binding) {
+                        left_keys.push((**l).clone());
+                        right_keys.push((**r).clone());
+                        break;
+                    }
+                }
+            }
+        }
+
+        let mut out = Vec::new();
+        if !left_keys.is_empty() {
+            // Hash join; residual ON conjuncts re-checked on the joined row.
+            let mut table: HashMap<GroupKey, Vec<&Row>> = HashMap::new();
+            for r in &right {
+                let mut key = Vec::with_capacity(right_keys.len());
+                let mut has_null = false;
+                for k in &right_keys {
+                    let v = eval(k, r, right_binding, ctx)?;
+                    has_null |= v.is_null();
+                    key.push(HashableValue(normalize_numeric(v)));
+                }
+                if !has_null {
+                    table.entry(GroupKey(key)).or_default().push(r);
+                }
+            }
+            for l in &left {
+                let mut key = Vec::with_capacity(left_keys.len());
+                let mut has_null = false;
+                for k in &left_keys {
+                    let v = eval(k, l, left_binding, ctx)?;
+                    has_null |= v.is_null();
+                    key.push(HashableValue(normalize_numeric(v)));
+                }
+                let mut matched = false;
+                if !has_null {
+                    if let Some(candidates) = table.get(&GroupKey(key)) {
+                        for r in candidates {
+                            let mut combined = l.clone();
+                            combined.extend_from_slice(r);
+                            if is_true(&eval(&join.on, &combined, joined_binding, ctx)?) {
+                                out.push(combined);
+                                matched = true;
+                            }
+                        }
+                    }
+                }
+                if !matched && join.kind == JoinKind::LeftOuter {
+                    let mut combined = l.clone();
+                    combined.extend(std::iter::repeat_n(Value::Null, right_width));
+                    out.push(combined);
+                }
+            }
+        } else {
+            // Nested loop.
+            for l in &left {
+                let mut matched = false;
+                for r in &right {
+                    let mut combined = l.clone();
+                    combined.extend_from_slice(r);
+                    if is_true(&eval(&join.on, &combined, joined_binding, ctx)?) {
+                        out.push(combined);
+                        matched = true;
+                    }
+                }
+                if !matched && join.kind == JoinKind::LeftOuter {
+                    let mut combined = l.clone();
+                    combined.extend(std::iter::repeat_n(Value::Null, right_width));
+                    out.push(combined);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// GROUP BY / aggregation through the MapReduce engine: map tasks
+    /// pre-aggregate row chunks (combiner-style), reducers merge partial
+    /// states — the same shape Hive compiles a GROUP BY into.
+    fn aggregate(
+        &self,
+        stmt: &SelectStmt,
+        items: &[(Expr, String)],
+        rows: Vec<Row>,
+        binding: &Binding,
+        ctx: &EvalContext,
+    ) -> Result<(Vec<Row>, Vec<String>, Vec<GroupKey>)> {
+        // Collect the distinct aggregate calls across items + HAVING.
+        let mut specs: Vec<Expr> = Vec::new();
+        for (e, _) in items {
+            collect_aggregates(e, &mut specs);
+        }
+        if let Some(h) = &stmt.having {
+            collect_aggregates(h, &mut specs);
+        }
+        for (e, _) in &stmt.order_by {
+            collect_aggregates(e, &mut specs);
+        }
+
+        let split_rows = self.config.agg_split_rows.max(1);
+        let splits: Vec<Vec<Row>> = if rows.is_empty() {
+            vec![Vec::new()]
+        } else {
+            rows.chunks(split_rows).map(<[Row]>::to_vec).collect()
+        };
+
+        let counters = JobCounters::new();
+        let group_by = &stmt.group_by;
+        let specs_ref = &specs;
+        // One group = (key, representative row, per-spec state).
+        type GroupVal = (Vec<Value>, Vec<AggState>);
+        let reduced: Vec<(GroupKey, GroupVal)> = run_map_reduce(
+            &self.config.job,
+            &counters,
+            splits,
+            |chunk: Vec<Row>, emit: &mut dyn FnMut(GroupKey, GroupVal)| {
+                let mut local: HashMap<GroupKey, GroupVal> = HashMap::new();
+                for row in &chunk {
+                    let mut key = Vec::with_capacity(group_by.len());
+                    for g in group_by {
+                        key.push(HashableValue(eval(g, row, binding, ctx)?));
+                    }
+                    let entry = local.entry(GroupKey(key)).or_insert_with(|| {
+                        (
+                            row.clone(),
+                            specs_ref.iter().map(AggState::for_spec).collect(),
+                        )
+                    });
+                    for (state, spec) in entry.1.iter_mut().zip(specs_ref) {
+                        state.update(spec, row, binding, ctx)?;
+                    }
+                }
+                // The global aggregate (no GROUP BY) needs a group even for
+                // empty input; handled after the job.
+                for (k, v) in local {
+                    emit(k, v);
+                }
+                Ok(())
+            },
+            |key, mut partials: Vec<GroupVal>| {
+                let mut merged = partials.pop().expect("at least one partial");
+                for partial in partials {
+                    for (into, from) in merged.1.iter_mut().zip(partial.1) {
+                        into.merge(from);
+                    }
+                }
+                Ok(vec![(key, merged)])
+            },
+        )?;
+
+        let mut groups: Vec<(GroupKey, GroupVal)> = reduced;
+        if groups.is_empty() && group_by.is_empty() {
+            // Global aggregate over zero rows: one empty group.
+            groups.push((
+                GroupKey(Vec::new()),
+                (
+                    Vec::new(),
+                    specs.iter().map(AggState::for_spec).collect(),
+                ),
+            ));
+        }
+        groups.sort_by(|(a, _), (b, _)| a.cmp(b));
+
+        let mut out_rows = Vec::with_capacity(groups.len());
+        let mut order_keys = Vec::with_capacity(groups.len());
+        for (_, (rep, states)) in &groups {
+            let agg_values: Vec<Value> =
+                states.iter().map(AggState::finish).collect::<Result<_>>()?;
+            // HAVING.
+            if let Some(h) = &stmt.having {
+                let v = eval_with_aggs(h, rep, binding, &specs, &agg_values, ctx)?;
+                if !is_true(&v) {
+                    continue;
+                }
+            }
+            let mut projected = Vec::with_capacity(items.len());
+            for (e, _) in items {
+                projected.push(eval_with_aggs(e, rep, binding, &specs, &agg_values, ctx)?);
+            }
+            if !stmt.order_by.is_empty() {
+                let mut key = Vec::with_capacity(stmt.order_by.len());
+                for (e, _) in &stmt.order_by {
+                    // Aliases refer to projected columns; otherwise evaluate
+                    // with aggregates against the representative row.
+                    let v = if let Expr::Column {
+                        qualifier: None,
+                        name,
+                    } = e
+                    {
+                        match items.iter().position(|(_, n)| n == name) {
+                            Some(pos) => projected[pos].clone(),
+                            None => {
+                                eval_with_aggs(e, rep, binding, &specs, &agg_values, ctx)?
+                            }
+                        }
+                    } else {
+                        eval_with_aggs(e, rep, binding, &specs, &agg_values, ctx)?
+                    };
+                    key.push(HashableValue(v));
+                }
+                order_keys.push(GroupKey(key));
+            }
+            out_rows.push(projected);
+        }
+        let names = items.iter().map(|(_, n)| n.clone()).collect();
+        Ok((out_rows, names, order_keys))
+    }
+
+    // ------------------------------------------------------------------
+    // Subquery planning
+    // ------------------------------------------------------------------
+
+    fn plan_subqueries_select(
+        &self,
+        mut stmt: SelectStmt,
+        ctx: &mut EvalContext,
+    ) -> Result<SelectStmt> {
+        if let Some(w) = stmt.where_clause.take() {
+            stmt.where_clause = Some(self.plan_subqueries(w, ctx)?);
+        }
+        if let Some(h) = stmt.having.take() {
+            stmt.having = Some(self.plan_subqueries(h, ctx)?);
+        }
+        Ok(stmt)
+    }
+
+    /// Replaces `IN (SELECT …)` with a precomputed set (uncorrelated
+    /// subqueries only — column references inside the subquery resolve
+    /// against the subquery's own tables).
+    pub fn plan_subqueries(&self, expr: Expr, ctx: &mut EvalContext) -> Result<Expr> {
+        Ok(match expr {
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
+                let result = self.select(&subquery)?;
+                if result.schema.len() != 1 {
+                    return Err(Error::Plan(
+                        "IN subquery must produce exactly one column".into(),
+                    ));
+                }
+                let set = result
+                    .into_rows()
+                    .into_iter()
+                    .map(|mut row| HashableValue(normalize_numeric(row.remove(0))))
+                    .collect();
+                let idx = ctx.sets.len();
+                ctx.sets.push(set);
+                Expr::InSet {
+                    expr: Box::new(self.plan_subqueries(*expr, ctx)?),
+                    set_index: idx,
+                    negated,
+                }
+            }
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op,
+                left: Box::new(self.plan_subqueries(*left, ctx)?),
+                right: Box::new(self.plan_subqueries(*right, ctx)?),
+            },
+            Expr::Unary { op, operand } => Expr::Unary {
+                op,
+                operand: Box::new(self.plan_subqueries(*operand, ctx)?),
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(self.plan_subqueries(*expr, ctx)?),
+                negated,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(self.plan_subqueries(*expr, ctx)?),
+                low: Box::new(self.plan_subqueries(*low, ctx)?),
+                high: Box::new(self.plan_subqueries(*high, ctx)?),
+                negated,
+            },
+            other => other,
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Aggregates
+// ----------------------------------------------------------------------
+
+/// Partial state of one aggregate call.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(u64),
+    Sum { sum: f64, seen: bool, integral: bool },
+    Avg { sum: f64, count: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn for_spec(spec: &Expr) -> AggState {
+        let Expr::Function { name, .. } = spec else {
+            unreachable!("aggregate specs are function calls");
+        };
+        match name.as_str() {
+            "count" => AggState::Count(0),
+            "sum" => AggState::Sum {
+                sum: 0.0,
+                seen: false,
+                integral: true,
+            },
+            "avg" => AggState::Avg { sum: 0.0, count: 0 },
+            "min" => AggState::Min(None),
+            "max" => AggState::Max(None),
+            other => unreachable!("not an aggregate: {other}"),
+        }
+    }
+
+    fn update(
+        &mut self,
+        spec: &Expr,
+        row: &Row,
+        binding: &Binding,
+        ctx: &EvalContext,
+    ) -> Result<()> {
+        let Expr::Function {
+            args, wildcard, ..
+        } = spec
+        else {
+            unreachable!()
+        };
+        let arg_value = if *wildcard {
+            Some(Value::Bool(true)) // COUNT(*): every row counts.
+        } else {
+            let v = eval(&args[0], row, binding, ctx)?;
+            if v.is_null() {
+                None
+            } else {
+                Some(v)
+            }
+        };
+        let Some(v) = arg_value else { return Ok(()) };
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Sum {
+                sum,
+                seen,
+                integral,
+            } => {
+                let x = v
+                    .as_f64()
+                    .ok_or_else(|| Error::Plan(format!("SUM of {v:?}")))?;
+                *sum += x;
+                *seen = true;
+                *integral &= matches!(v, Value::Int64(_));
+            }
+            AggState::Avg { sum, count } => {
+                let x = v
+                    .as_f64()
+                    .ok_or_else(|| Error::Plan(format!("AVG of {v:?}")))?;
+                *sum += x;
+                *count += 1;
+            }
+            AggState::Min(cur) => {
+                if cur.as_ref().is_none_or(|c| v.total_cmp(c).is_lt()) {
+                    *cur = Some(v);
+                }
+            }
+            AggState::Max(cur) => {
+                if cur.as_ref().is_none_or(|c| v.total_cmp(c).is_gt()) {
+                    *cur = Some(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (
+                AggState::Sum {
+                    sum: a,
+                    seen: sa,
+                    integral: ia,
+                },
+                AggState::Sum {
+                    sum: b,
+                    seen: sb,
+                    integral: ib,
+                },
+            ) => {
+                *a += b;
+                *sa |= sb;
+                *ia &= ib;
+            }
+            (AggState::Avg { sum: a, count: ca }, AggState::Avg { sum: b, count: cb }) => {
+                *a += b;
+                *ca += cb;
+            }
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(bv) = b {
+                    if a.as_ref().is_none_or(|av| bv.total_cmp(av).is_lt()) {
+                        *a = Some(bv);
+                    }
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(bv) = b {
+                    if a.as_ref().is_none_or(|av| bv.total_cmp(av).is_gt()) {
+                        *a = Some(bv);
+                    }
+                }
+            }
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+    }
+
+    fn finish(&self) -> Result<Value> {
+        Ok(match self {
+            AggState::Count(n) => Value::Int64(*n as i64),
+            AggState::Sum {
+                sum,
+                seen,
+                integral,
+            } => {
+                if !seen {
+                    Value::Null
+                } else if *integral {
+                    Value::Int64(*sum as i64)
+                } else {
+                    Value::Float64(*sum)
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(sum / *count as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
+        })
+    }
+}
+
+fn collect_aggregates(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Function { name, args, .. } if is_aggregate_name(name) => {
+            if !out.contains(expr) {
+                out.push(expr.clone());
+            }
+            for a in args {
+                collect_aggregates(a, out);
+            }
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                collect_aggregates(a, out);
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_aggregates(left, out);
+            collect_aggregates(right, out);
+        }
+        Expr::Unary { operand, .. } => collect_aggregates(operand, out),
+        Expr::IsNull { expr, .. }
+        | Expr::Like { expr, .. }
+        | Expr::InSet { expr, .. }
+        | Expr::InSubquery { expr, .. } => collect_aggregates(expr, out),
+        Expr::InList { expr, list, .. } => {
+            collect_aggregates(expr, out);
+            for e in list {
+                collect_aggregates(e, out);
+            }
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_aggregates(expr, out);
+            collect_aggregates(low, out);
+            collect_aggregates(high, out);
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_result,
+        } => {
+            if let Some(o) = operand {
+                collect_aggregates(o, out);
+            }
+            for (w, t) in branches {
+                collect_aggregates(w, out);
+                collect_aggregates(t, out);
+            }
+            if let Some(e) = else_result {
+                collect_aggregates(e, out);
+            }
+        }
+        Expr::Column { .. } | Expr::Literal(_) => {}
+    }
+}
+
+/// Evaluates an expression in which aggregate calls are replaced by their
+/// computed values; non-aggregate column references resolve against the
+/// group's representative row (first-row semantics for grouped columns).
+fn eval_with_aggs(
+    expr: &Expr,
+    rep: &Row,
+    binding: &Binding,
+    specs: &[Expr],
+    agg_values: &[Value],
+    ctx: &EvalContext,
+) -> Result<Value> {
+    if let Some(i) = specs.iter().position(|s| s == expr) {
+        return Ok(agg_values[i].clone());
+    }
+    match expr {
+        Expr::Binary { op, left, right } => {
+            // Recreate with pre-substituted children via a small detour:
+            // evaluate children first, then fold through a literal tree.
+            let l = eval_with_aggs(left, rep, binding, specs, agg_values, ctx)?;
+            let r = eval_with_aggs(right, rep, binding, specs, agg_values, ctx)?;
+            let folded = Expr::Binary {
+                op: *op,
+                left: Box::new(Expr::Literal(l)),
+                right: Box::new(Expr::Literal(r)),
+            };
+            eval(&folded, rep, binding, ctx)
+        }
+        Expr::Unary { op, operand } => {
+            let v = eval_with_aggs(operand, rep, binding, specs, agg_values, ctx)?;
+            eval(
+                &Expr::Unary {
+                    op: *op,
+                    operand: Box::new(Expr::Literal(v)),
+                },
+                rep,
+                binding,
+                ctx,
+            )
+        }
+        Expr::Function {
+            name,
+            args,
+            wildcard,
+        } if !is_aggregate_name(name) => {
+            let folded: Vec<Expr> = args
+                .iter()
+                .map(|a| {
+                    eval_with_aggs(a, rep, binding, specs, agg_values, ctx).map(Expr::Literal)
+                })
+                .collect::<Result<_>>()?;
+            eval(
+                &Expr::Function {
+                    name: name.clone(),
+                    args: folded,
+                    wildcard: *wildcard,
+                },
+                rep,
+                binding,
+                ctx,
+            )
+        }
+        other => eval(other, rep, binding, ctx),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Helpers
+// ----------------------------------------------------------------------
+
+/// Bind-time check that every column reference resolves — catches typos
+/// even when the input has zero rows.
+fn validate_columns(expr: &Expr, binding: &Binding) -> Result<()> {
+    match expr {
+        Expr::Column { qualifier, name } => {
+            binding.resolve(qualifier.as_deref(), name).map(|_| ())
+        }
+        Expr::Literal(_) => Ok(()),
+        Expr::Binary { left, right, .. } => {
+            validate_columns(left, binding)?;
+            validate_columns(right, binding)
+        }
+        Expr::Unary { operand, .. } => validate_columns(operand, binding),
+        Expr::Function { args, .. } => {
+            args.iter().try_for_each(|a| validate_columns(a, binding))
+        }
+        Expr::IsNull { expr, .. }
+        | Expr::Like { expr, .. }
+        | Expr::InSet { expr, .. }
+        | Expr::InSubquery { expr, .. } => validate_columns(expr, binding),
+        Expr::InList { expr, list, .. } => {
+            validate_columns(expr, binding)?;
+            list.iter().try_for_each(|e| validate_columns(e, binding))
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            validate_columns(expr, binding)?;
+            validate_columns(low, binding)?;
+            validate_columns(high, binding)
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_result,
+        } => {
+            if let Some(o) = operand {
+                validate_columns(o, binding)?;
+            }
+            for (w, t) in branches {
+                validate_columns(w, binding)?;
+                validate_columns(t, binding)?;
+            }
+            match else_result {
+                Some(e) => validate_columns(e, binding),
+                None => Ok(()),
+            }
+        }
+    }
+}
+
+/// Splits an expression into top-level AND conjuncts.
+pub fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+    match expr {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            let mut out = conjuncts(left);
+            out.extend(conjuncts(right));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+fn resolves_in(expr: &Expr, binding: &Binding) -> bool {
+    match expr {
+        Expr::Column { qualifier, name } => {
+            binding.resolve(qualifier.as_deref(), name).is_ok()
+        }
+        Expr::Literal(_) => false,
+        _ => false,
+    }
+}
+
+/// Extracts stripe-skipping predicates (`col <op> literal`) from the WHERE
+/// conjuncts of a single-table query.
+pub fn extract_pushdown(
+    where_clause: &Expr,
+    binding: &Binding,
+    schema: &Schema,
+) -> Vec<ColumnPredicate> {
+    let mut out = Vec::new();
+    for conjunct in conjuncts(where_clause) {
+        let Expr::Binary { op, left, right } = conjunct else {
+            continue;
+        };
+        let mapped = match op {
+            BinOp::Eq => PredicateOp::Eq,
+            BinOp::Lt => PredicateOp::Lt,
+            BinOp::LtEq => PredicateOp::Le,
+            BinOp::Gt => PredicateOp::Gt,
+            BinOp::GtEq => PredicateOp::Ge,
+            _ => continue,
+        };
+        // col op lit, or lit op col (flipped).
+        let (col_expr, lit_expr, op) = match (&**left, &**right) {
+            (Expr::Column { .. }, Expr::Literal(_)) => (left, right, mapped),
+            (Expr::Literal(_), Expr::Column { .. }) => (
+                right,
+                left,
+                match mapped {
+                    PredicateOp::Lt => PredicateOp::Gt,
+                    PredicateOp::Le => PredicateOp::Ge,
+                    PredicateOp::Gt => PredicateOp::Lt,
+                    PredicateOp::Ge => PredicateOp::Le,
+                    PredicateOp::Eq => PredicateOp::Eq,
+                },
+            ),
+            _ => continue,
+        };
+        let Expr::Column { qualifier, name } = &**col_expr else {
+            continue;
+        };
+        let Expr::Literal(lit) = &**lit_expr else {
+            continue;
+        };
+        if binding.resolve(qualifier.as_deref(), name).is_err() {
+            continue;
+        }
+        if let Some(ordinal) = schema.index_of(name) {
+            // Stripe stats compare by stored type; skip mixed-type literals
+            // except int/float widening which total_cmp handles.
+            out.push(ColumnPredicate::new(ordinal, op, lit.clone()));
+        }
+    }
+    out
+}
+
+fn expand_wildcards(
+    items: &[SelectItem],
+    binding: &Binding,
+) -> Result<Vec<(Expr, String)>> {
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, name) in binding.names().iter().enumerate() {
+                    let _ = i;
+                    out.push((Expr::col(name), name.clone()));
+                }
+                // Wildcard over joined tables with duplicate names would be
+                // ambiguous; qualify instead.
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let positions = binding.positions_of_table(q);
+                if positions.is_empty() {
+                    return Err(Error::Plan(format!("unknown table alias '{q}'")));
+                }
+                let names = binding.names();
+                for p in positions {
+                    out.push((
+                        Expr::Column {
+                            qualifier: Some(q.clone()),
+                            name: names[p].clone(),
+                        },
+                        names[p].clone(),
+                    ));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| default_name(expr, out.len()));
+                out.push((expr.clone(), name));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn default_name(expr: &Expr, position: usize) -> String {
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Function { name, .. } => name.clone(),
+        _ => format!("_c{position}"),
+    }
+}
+
+/// Infers an output schema from names and materialized rows.
+fn infer_schema(names: &[String], rows: &[Row]) -> Schema {
+    let mut fields = Vec::with_capacity(names.len());
+    for (i, name) in names.iter().enumerate() {
+        let ty = rows
+            .iter()
+            .find_map(|r| r.get(i).and_then(Value::data_type))
+            .unwrap_or(DataType::Utf8);
+        // Names may repeat after joins; disambiguate.
+        let mut unique = name.clone();
+        let mut n = 1;
+        while fields
+            .iter()
+            .any(|f: &Field| f.name == unique.to_ascii_lowercase())
+        {
+            unique = format!("{name}_{n}");
+            n += 1;
+        }
+        fields.push(Field::new(unique, ty));
+    }
+    Schema::new(fields).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn where_of(sql: &str) -> Expr {
+        let Statement::Select(sel) = parse(sql).unwrap() else {
+            panic!()
+        };
+        sel.where_clause.expect("has WHERE")
+    }
+
+    #[test]
+    fn conjuncts_split_only_top_level_ands() {
+        let w = where_of("SELECT 1 FROM t WHERE a = 1 AND (b = 2 OR c = 3) AND d < 4");
+        assert_eq!(conjuncts(&w).len(), 3);
+        let w = where_of("SELECT 1 FROM t WHERE a = 1 OR b = 2");
+        assert_eq!(conjuncts(&w).len(), 1);
+    }
+
+    #[test]
+    fn pushdown_extracts_comparisons_and_flips_reversed_literals() {
+        let schema = Schema::from_pairs(&[
+            ("a", DataType::Int64),
+            ("b", DataType::Int64),
+        ]);
+        let binding = Binding::from_schema("t", &schema);
+        let w = where_of("SELECT 1 FROM t WHERE a >= 5 AND 10 > b AND a + 1 = 3 AND b IN (1,2)");
+        let preds = extract_pushdown(&w, &binding, &schema);
+        // a >= 5 and (10 > b ⇒ b < 10); the arithmetic and IN conjuncts
+        // are not push-downable.
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[0].column, 0);
+        assert_eq!(preds[0].op, PredicateOp::Ge);
+        assert_eq!(preds[1].column, 1);
+        assert_eq!(preds[1].op, PredicateOp::Lt);
+    }
+
+    #[test]
+    fn pushdown_ignores_unknown_columns() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int64)]);
+        let binding = Binding::from_schema("t", &schema);
+        let w = where_of("SELECT 1 FROM t WHERE zz = 5");
+        assert!(extract_pushdown(&w, &binding, &schema).is_empty());
+    }
+
+    #[test]
+    fn agg_state_merge_matches_single_pass() {
+        let spec = Expr::Function {
+            name: "sum".into(),
+            args: vec![Expr::col("x")],
+            wildcard: false,
+        };
+        let schema = Schema::from_pairs(&[("x", DataType::Int64)]);
+        let binding = Binding::from_schema("t", &schema);
+        let ctx = EvalContext::default();
+        let values: Vec<i64> = vec![1, 2, 3, 4, 5, 6];
+
+        let mut single = AggState::for_spec(&spec);
+        for v in &values {
+            single
+                .update(&spec, &vec![Value::Int64(*v)], &binding, &ctx)
+                .unwrap();
+        }
+        let mut left = AggState::for_spec(&spec);
+        let mut right = AggState::for_spec(&spec);
+        for v in &values[..3] {
+            left.update(&spec, &vec![Value::Int64(*v)], &binding, &ctx)
+                .unwrap();
+        }
+        for v in &values[3..] {
+            right
+                .update(&spec, &vec![Value::Int64(*v)], &binding, &ctx)
+                .unwrap();
+        }
+        left.merge(right);
+        assert_eq!(left.finish().unwrap(), single.finish().unwrap());
+        assert_eq!(left.finish().unwrap(), Value::Int64(21));
+    }
+
+    #[test]
+    fn infer_schema_dedupes_join_column_names() {
+        let names = vec!["id".to_string(), "id".to_string(), "v".to_string()];
+        let rows = vec![vec![Value::Int64(1), Value::Int64(2), Value::from("x")]];
+        let s = infer_schema(&names, &rows);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.field(0).name, "id");
+        assert_eq!(s.field(1).name, "id_1");
+        assert_eq!(s.field(0).data_type, DataType::Int64);
+        assert_eq!(s.field(2).data_type, DataType::Utf8);
+    }
+
+    #[test]
+    fn infer_schema_on_empty_result_defaults() {
+        let s = infer_schema(&["c".to_string()], &[]);
+        assert_eq!(s.field(0).data_type, DataType::Utf8);
+    }
+}

@@ -1,0 +1,960 @@
+//! Recursive-descent parser for the HiveQL dialect.
+//!
+//! Grammar highlights (beyond stock HiveQL 0.11): `UPDATE`, `DELETE` and
+//! `COMPACT TABLE` statements — the DualTable extensions of paper §V-A —
+//! and `STORED AS ORC | HBASE | DUALTABLE | ACID` storage selection.
+
+use dt_common::{DataType, Error, Result, Value};
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+
+/// Parses a single statement (a trailing `;` is allowed).
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.accept_token(&Token::Semicolon);
+    p.expect_token(&Token::Eof)?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::Parse(format!("{msg} near {:?}", self.peek()))
+    }
+
+    /// Consumes the next token if it is the given keyword.
+    fn accept(&mut self, keyword: &str) -> bool {
+        if let Token::Ident(word) = self.peek() {
+            if word.eq_ignore_ascii_case(keyword) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect(&mut self, keyword: &str) -> Result<()> {
+        if self.accept(keyword) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {keyword}")))
+        }
+    }
+
+    fn accept_token(&mut self, token: &Token) -> bool {
+        if self.peek() == token {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, token: &Token) -> Result<()> {
+        if self.accept_token(token) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {token:?}")))
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String> {
+        match self.next() {
+            Token::Ident(name) => Ok(name.to_ascii_lowercase()),
+            other => Err(Error::Parse(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Statements
+    // --------------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.accept("explain") {
+            return Ok(Statement::Explain(Box::new(self.statement()?)));
+        }
+        if self.accept("select") {
+            return Ok(Statement::Select(Box::new(self.select_body()?)));
+        }
+        if self.accept("create") {
+            return self.create_table();
+        }
+        if self.accept("drop") {
+            self.expect("table")?;
+            let if_exists = self.accept("if") && {
+                self.expect("exists")?;
+                true
+            };
+            return Ok(Statement::DropTable {
+                name: self.identifier()?,
+                if_exists,
+            });
+        }
+        if self.accept("show") {
+            self.expect("tables")?;
+            return Ok(Statement::ShowTables);
+        }
+        if self.accept("describe") || self.accept("desc") {
+            return Ok(Statement::Describe {
+                name: self.identifier()?,
+            });
+        }
+        if self.accept("insert") {
+            return self.insert();
+        }
+        if self.accept("update") {
+            return self.update();
+        }
+        if self.accept("delete") {
+            self.expect("from")?;
+            let table = self.identifier()?;
+            let predicate = if self.accept("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete { table, predicate });
+        }
+        if self.accept("compact") {
+            self.expect("table")?;
+            return Ok(Statement::Compact {
+                table: self.identifier()?,
+            });
+        }
+        if self.accept("merge") {
+            return self.merge();
+        }
+        Err(self.err("expected a statement"))
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        self.expect("table")?;
+        let if_not_exists = if self.accept("if") {
+            self.expect("not")?;
+            self.expect("exists")?;
+            true
+        } else {
+            false
+        };
+        let name = self.identifier()?;
+        self.expect_token(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.identifier()?;
+            let ty = self.data_type()?;
+            columns.push((col, ty));
+            if !self.accept_token(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_token(&Token::RParen)?;
+        let storage = if self.accept("stored") {
+            self.expect("as")?;
+            let kind = self.identifier()?;
+            match kind.as_str() {
+                "orc" | "textfile" => StorageKind::Orc,
+                "hbase" => StorageKind::HBase,
+                "dualtable" => StorageKind::DualTable,
+                "acid" => StorageKind::Acid,
+                other => {
+                    return Err(Error::Parse(format!("unknown storage format '{other}'")))
+                }
+            }
+        } else {
+            StorageKind::Orc
+        };
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            storage,
+            if_not_exists,
+        })
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let name = self.identifier()?;
+        Ok(match name.as_str() {
+            "bigint" | "int" | "integer" | "smallint" | "tinyint" => DataType::Int64,
+            "double" | "float" | "decimal" => DataType::Float64,
+            "string" | "varchar" | "char" | "text" => {
+                // Optional length parameter: VARCHAR(32).
+                if self.accept_token(&Token::LParen) {
+                    self.next();
+                    self.expect_token(&Token::RParen)?;
+                }
+                DataType::Utf8
+            }
+            "boolean" | "bool" => DataType::Bool,
+            "date" => DataType::Date,
+            other => return Err(Error::Parse(format!("unknown type '{other}'"))),
+        })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        let overwrite = if self.accept("overwrite") {
+            true
+        } else {
+            self.expect("into")?;
+            false
+        };
+        self.accept("table");
+        let table = self.identifier()?;
+        let source = if self.accept("values") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect_token(&Token::LParen)?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.expr()?);
+                    if !self.accept_token(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect_token(&Token::RParen)?;
+                rows.push(row);
+                if !self.accept_token(&Token::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else if self.accept("select") {
+            InsertSource::Select(Box::new(self.select_body()?))
+        } else {
+            return Err(self.err("expected VALUES or SELECT"));
+        };
+        Ok(Statement::Insert {
+            table,
+            overwrite,
+            source,
+        })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.identifier()?;
+        self.expect("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.identifier()?;
+            self.expect_token(&Token::Eq)?;
+            assignments.push((col, self.expr()?));
+            if !self.accept_token(&Token::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.accept("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            predicate,
+        })
+    }
+
+    /// `CASE [operand] WHEN … THEN … [ELSE …] END`.
+    fn case_expr(&mut self) -> Result<Expr> {
+        let operand = if self.peek_is_keyword("when") {
+            None
+        } else {
+            Some(Box::new(self.expr()?))
+        };
+        let mut branches = Vec::new();
+        while self.accept("when") {
+            let when = self.expr()?;
+            self.expect("then")?;
+            let then = self.expr()?;
+            branches.push((when, then));
+        }
+        if branches.is_empty() {
+            return Err(self.err("CASE needs at least one WHEN branch"));
+        }
+        let else_result = if self.accept("else") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect("end")?;
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_result,
+        })
+    }
+
+    fn peek_is_keyword(&self, keyword: &str) -> bool {
+        matches!(self.peek(), Token::Ident(w) if w.eq_ignore_ascii_case(keyword))
+    }
+
+    fn merge(&mut self) -> Result<Statement> {
+        self.expect("into")?;
+        let target = self.identifier()?;
+        self.expect("using")?;
+        let source = self.table_ref()?;
+        self.expect("on")?;
+        let on = self.expr()?;
+        let mut matched_set = Vec::new();
+        let mut not_matched_insert = None;
+        while self.accept("when") {
+            if self.accept("matched") {
+                self.expect("then")?;
+                self.expect("update")?;
+                self.expect("set")?;
+                loop {
+                    let col = self.identifier()?;
+                    self.expect_token(&Token::Eq)?;
+                    matched_set.push((col, self.expr()?));
+                    if !self.accept_token(&Token::Comma) {
+                        break;
+                    }
+                }
+            } else if self.accept("not") {
+                self.expect("matched")?;
+                self.expect("then")?;
+                self.expect("insert")?;
+                self.expect("values")?;
+                self.expect_token(&Token::LParen)?;
+                let mut exprs = Vec::new();
+                loop {
+                    exprs.push(self.expr()?);
+                    if !self.accept_token(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect_token(&Token::RParen)?;
+                not_matched_insert = Some(exprs);
+            } else {
+                return Err(self.err("expected MATCHED or NOT MATCHED"));
+            }
+        }
+        if matched_set.is_empty() && not_matched_insert.is_none() {
+            return Err(Error::Parse(
+                "MERGE needs at least one WHEN clause".into(),
+            ));
+        }
+        Ok(Statement::Merge {
+            target,
+            source,
+            on,
+            matched_set,
+            not_matched_insert,
+        })
+    }
+
+    // --------------------------------------------------------------
+    // SELECT
+    // --------------------------------------------------------------
+
+    fn select_body(&mut self) -> Result<SelectStmt> {
+        let mut stmt = SelectStmt::default();
+        stmt.distinct = self.accept("distinct");
+        loop {
+            stmt.items.push(self.select_item()?);
+            if !self.accept_token(&Token::Comma) {
+                break;
+            }
+        }
+        if self.accept("from") {
+            stmt.from = Some(self.table_ref()?);
+            loop {
+                let kind = if self.accept("join") || {
+                    if self.accept("inner") {
+                        self.expect("join")?;
+                        true
+                    } else {
+                        false
+                    }
+                } {
+                    JoinKind::Inner
+                } else if self.accept("left") {
+                    self.accept("outer");
+                    self.expect("join")?;
+                    JoinKind::LeftOuter
+                } else {
+                    break;
+                };
+                let table = self.table_ref()?;
+                self.expect("on")?;
+                let on = self.expr()?;
+                stmt.joins.push(Join { kind, table, on });
+            }
+        }
+        if self.accept("where") {
+            stmt.where_clause = Some(self.expr()?);
+        }
+        if self.accept("group") {
+            self.expect("by")?;
+            loop {
+                stmt.group_by.push(self.expr()?);
+                if !self.accept_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.accept("having") {
+            stmt.having = Some(self.expr()?);
+        }
+        if self.accept("order") {
+            self.expect("by")?;
+            loop {
+                let e = self.expr()?;
+                let asc = if self.accept("desc") {
+                    false
+                } else {
+                    self.accept("asc");
+                    true
+                };
+                stmt.order_by.push((e, asc));
+                if !self.accept_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.accept("limit") {
+            match self.next() {
+                Token::Number(n) => {
+                    stmt.limit = Some(
+                        n.parse()
+                            .map_err(|_| Error::Parse(format!("bad LIMIT '{n}'")))?,
+                    );
+                }
+                other => return Err(Error::Parse(format!("expected LIMIT count, got {other:?}"))),
+            }
+        }
+        Ok(stmt)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.accept_token(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // alias.* ?
+        if let (Token::Ident(q), Token::Dot, Token::Star) = (
+            self.tokens[self.pos].clone(),
+            self.tokens
+                .get(self.pos + 1)
+                .cloned()
+                .unwrap_or(Token::Eof),
+            self.tokens
+                .get(self.pos + 2)
+                .cloned()
+                .unwrap_or(Token::Eof),
+        ) {
+            self.pos += 3;
+            return Ok(SelectItem::QualifiedWildcard(q.to_ascii_lowercase()));
+        }
+        let expr = self.expr()?;
+        let alias = if self.accept("as")
+            || matches!(self.peek(), Token::Ident(w) if !is_reserved(w))
+        {
+            Some(self.identifier()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.identifier()?;
+        let alias = if self.accept("as")
+            || matches!(self.peek(), Token::Ident(w) if !is_reserved(w))
+        {
+            Some(self.identifier()?)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // --------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // --------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.accept("or") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.accept("and") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.accept("not") {
+            let operand = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // Postfix predicates.
+        if self.accept("is") {
+            let negated = self.accept("not");
+            self.expect("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated = self.accept("not");
+        if self.accept("between") {
+            let low = self.additive()?;
+            self.expect("and")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.accept("in") {
+            self.expect_token(&Token::LParen)?;
+            if self.accept("select") {
+                let sub = self.select_body()?;
+                self.expect_token(&Token::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    subquery: Box::new(sub),
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.accept_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.accept("like") {
+            let pattern = match self.next() {
+                Token::Str(s) => s,
+                other => {
+                    return Err(Error::Parse(format!(
+                        "LIKE expects a string pattern, got {other:?}"
+                    )))
+                }
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.err("expected BETWEEN, IN or LIKE after NOT"));
+        }
+        let op = match self.peek() {
+            Token::Eq => BinOp::Eq,
+            Token::NotEq => BinOp::NotEq,
+            Token::Lt => BinOp::Lt,
+            Token::LtEq => BinOp::LtEq,
+            Token::Gt => BinOp::Gt,
+            Token::GtEq => BinOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.additive()?;
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => return Ok(left),
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Mod,
+                _ => return Ok(left),
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.accept_token(&Token::Minus) {
+            let operand = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(operand),
+            });
+        }
+        if self.accept_token(&Token::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Token::Number(n) => {
+                if n.contains('.') || n.contains('e') || n.contains('E') {
+                    let v: f64 = n
+                        .parse()
+                        .map_err(|_| Error::Parse(format!("bad number '{n}'")))?;
+                    Ok(Expr::Literal(Value::Float64(v)))
+                } else {
+                    let v: i64 = n
+                        .parse()
+                        .map_err(|_| Error::Parse(format!("bad number '{n}'")))?;
+                    Ok(Expr::Literal(Value::Int64(v)))
+                }
+            }
+            Token::Str(s) => Ok(Expr::Literal(Value::Utf8(s))),
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect_token(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(word) => {
+                let lower = word.to_ascii_lowercase();
+                match lower.as_str() {
+                    "null" => return Ok(Expr::Literal(Value::Null)),
+                    "case" => return self.case_expr(),
+                    "true" => return Ok(Expr::Literal(Value::Bool(true))),
+                    "false" => return Ok(Expr::Literal(Value::Bool(false))),
+                    "date" => {
+                        // DATE 'literal' → days since epoch are not parsed
+                        // from calendars here; DATE n uses the integer form.
+                        if let Token::Number(n) = self.peek().clone() {
+                            self.pos += 1;
+                            let days: i32 = n
+                                .parse()
+                                .map_err(|_| Error::Parse(format!("bad DATE '{n}'")))?;
+                            return Ok(Expr::Literal(Value::Date(days)));
+                        }
+                    }
+                    _ => {}
+                }
+                if is_reserved(&lower) {
+                    return Err(Error::Parse(format!(
+                        "unexpected keyword '{word}' in expression"
+                    )));
+                }
+                // Function call?
+                if self.accept_token(&Token::LParen) {
+                    if self.accept_token(&Token::Star) {
+                        self.expect_token(&Token::RParen)?;
+                        return Ok(Expr::Function {
+                            name: lower,
+                            args: Vec::new(),
+                            wildcard: true,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if !self.accept_token(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.accept_token(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect_token(&Token::RParen)?;
+                    }
+                    return Ok(Expr::Function {
+                        name: lower,
+                        args,
+                        wildcard: false,
+                    });
+                }
+                // Qualified column?
+                if self.accept_token(&Token::Dot) {
+                    let col = self.identifier()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(lower),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name: lower,
+                })
+            }
+            other => Err(Error::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+fn is_reserved(word: &str) -> bool {
+    matches!(
+        word.to_ascii_lowercase().as_str(),
+        "select"
+            | "from"
+            | "where"
+            | "group"
+            | "having"
+            | "order"
+            | "limit"
+            | "join"
+            | "inner"
+            | "left"
+            | "outer"
+            | "on"
+            | "as"
+            | "and"
+            | "or"
+            | "not"
+            | "in"
+            | "is"
+            | "null"
+            | "between"
+            | "like"
+            | "union"
+            | "values"
+            | "set"
+            | "asc"
+            | "desc"
+            | "case"
+            | "when"
+            | "then"
+            | "else"
+            | "end"
+            | "distinct"
+            | "using"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_table() {
+        let stmt = parse(
+            "CREATE TABLE IF NOT EXISTS t (id BIGINT, name STRING, v DOUBLE) STORED AS DUALTABLE;",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                storage,
+                if_not_exists,
+            } => {
+                assert_eq!(name, "t");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[2], ("v".to_string(), DataType::Float64));
+                assert_eq!(storage, StorageKind::DualTable);
+                assert!(if_not_exists);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_select_with_everything() {
+        let stmt = parse(
+            "SELECT t.a, SUM(u.b) AS total FROM t1 t JOIN t2 u ON t.id = u.id \
+             WHERE t.a > 5 AND u.c LIKE 'x%' GROUP BY t.a HAVING SUM(u.b) > 0 \
+             ORDER BY total DESC LIMIT 10",
+        )
+        .unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!("not a select");
+        };
+        assert_eq!(sel.items.len(), 2);
+        assert_eq!(sel.joins.len(), 1);
+        assert!(sel.where_clause.is_some());
+        assert_eq!(sel.group_by.len(), 1);
+        assert!(sel.having.is_some());
+        assert_eq!(sel.order_by.len(), 1);
+        assert!(!sel.order_by[0].1, "DESC");
+        assert_eq!(sel.limit, Some(10));
+    }
+
+    #[test]
+    fn parse_update_and_delete() {
+        let stmt =
+            parse("UPDATE t SET a = a + 1, b = 'x' WHERE id BETWEEN 3 AND 7").unwrap();
+        match stmt {
+            Statement::Update {
+                table, assignments, predicate,
+            } => {
+                assert_eq!(table, "t");
+                assert_eq!(assignments.len(), 2);
+                assert!(matches!(predicate, Some(Expr::Between { .. })));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stmt = parse("DELETE FROM t WHERE id IN (1, 2, 3)").unwrap();
+        assert!(matches!(stmt, Statement::Delete { .. }));
+    }
+
+    #[test]
+    fn parse_in_subquery() {
+        let stmt =
+            parse("DELETE FROM orders WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem WHERE l_quantity > 40)")
+                .unwrap();
+        let Statement::Delete { predicate, .. } = stmt else {
+            panic!()
+        };
+        assert!(matches!(predicate, Some(Expr::InSubquery { .. })));
+    }
+
+    #[test]
+    fn parse_insert_values_and_select() {
+        let stmt = parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+        match stmt {
+            Statement::Insert {
+                overwrite, source, ..
+            } => {
+                assert!(!overwrite);
+                assert!(matches!(source, InsertSource::Values(rows) if rows.len() == 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stmt = parse("INSERT OVERWRITE TABLE t SELECT * FROM u").unwrap();
+        assert!(matches!(
+            stmt,
+            Statement::Insert {
+                overwrite: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_compact_and_misc() {
+        assert!(matches!(
+            parse("COMPACT TABLE t").unwrap(),
+            Statement::Compact { .. }
+        ));
+        assert!(matches!(parse("SHOW TABLES").unwrap(), Statement::ShowTables));
+        assert!(matches!(
+            parse("DESCRIBE t").unwrap(),
+            Statement::Describe { .. }
+        ));
+        assert!(matches!(
+            parse("DROP TABLE IF EXISTS t").unwrap(),
+            Statement::DropTable { if_exists: true, .. }
+        ));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let Statement::Select(sel) = parse("SELECT 1 + 2 * 3").unwrap() else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!()
+        };
+        // Must parse as 1 + (2 * 3).
+        match expr {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
+                assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("CREATE TABLE t ()").is_err());
+        assert!(parse("UPDATE t").is_err());
+        assert!(parse("SELECT 1 SELECT 2").is_err());
+        assert!(parse("SELECT a NOT 5").is_err());
+    }
+
+    #[test]
+    fn count_star_and_if() {
+        let Statement::Select(sel) =
+            parse("SELECT COUNT(*), IF(a > 1, 'big', 'small') FROM t").unwrap()
+        else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            expr,
+            Expr::Function {
+                wildcard: true,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,695 @@
+//! The user-facing session: parse → plan → execute over one environment.
+
+use dt_baselines::{HiveAcidTable, HiveHbaseTable, HiveHdfsTable};
+use dt_common::{Error, Field, Result, Row, Schema, Value};
+use dualtable::{DualTableConfig, DualTableEnv, DualTableStore, RatioHint};
+
+use crate::ast::{InsertSource, Statement, StorageKind};
+use crate::catalog::{Catalog, TableHandle};
+use crate::exec::{ExecConfig, Executor, QueryResult};
+use crate::expr::{eval, is_true, Binding, EvalContext};
+use crate::parser::parse;
+
+/// Session-level configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// DualTable table configuration (plan mode, cost-model rates, `k`).
+    pub dualtable: DualTableConfig,
+    /// Rows per file for ORC-backed tables.
+    pub rows_per_file: usize,
+    /// Executor tuning.
+    pub exec: ExecConfig,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            dualtable: DualTableConfig::default(),
+            rows_per_file: 1 << 20,
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+/// An interactive HiveQL session.
+///
+/// ```
+/// use dt_hiveql::Session;
+/// let mut s = Session::in_memory();
+/// s.execute("CREATE TABLE t (id BIGINT, v DOUBLE) STORED AS DUALTABLE").unwrap();
+/// s.execute("INSERT INTO t VALUES (1, 0.5), (2, 1.5)").unwrap();
+/// let r = s.execute("SELECT SUM(v) FROM t").unwrap();
+/// assert_eq!(r.rows()[0][0].as_f64().unwrap(), 2.0);
+/// ```
+pub struct Session {
+    env: DualTableEnv,
+    catalog: Catalog,
+    /// Session configuration; mutable between statements.
+    pub config: SessionConfig,
+}
+
+impl Session {
+    /// A session over fresh in-memory storage.
+    pub fn in_memory() -> Self {
+        Self::with_env(DualTableEnv::in_memory())
+    }
+
+    /// A session over an existing environment (shared storage).
+    pub fn with_env(env: DualTableEnv) -> Self {
+        Session {
+            env,
+            catalog: Catalog::new(),
+            config: SessionConfig::default(),
+        }
+    }
+
+    /// The underlying environment.
+    pub fn env(&self) -> &DualTableEnv {
+        &self.env
+    }
+
+    /// Direct access to a table's storage handler (for experiments mixing
+    /// SQL and API access).
+    pub fn table(&self, name: &str) -> Result<&TableHandle> {
+        self.catalog.get(name)
+    }
+
+    /// Parses and executes one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        self.execute_statement(stmt, sql)
+    }
+
+    fn executor(&self) -> Executor<'_> {
+        Executor {
+            catalog: &self.catalog,
+            config: &self.config.exec,
+        }
+    }
+
+    fn execute_statement(&mut self, stmt: Statement, sql: &str) -> Result<QueryResult> {
+        match stmt {
+            Statement::Explain(inner) => self.explain_statement(&inner),
+            Statement::Select(sel) => self.executor().select(&sel),
+            Statement::ShowTables => {
+                let rows: Vec<Row> = self
+                    .catalog
+                    .names()
+                    .into_iter()
+                    .map(|n| vec![Value::Utf8(n)])
+                    .collect();
+                Ok(result_with_rows(
+                    Schema::from_pairs(&[("table_name", dt_common::DataType::Utf8)]),
+                    rows,
+                ))
+            }
+            Statement::Describe { name } => {
+                let handle = self.catalog.get(&name)?;
+                let rows: Vec<Row> = handle
+                    .schema()
+                    .fields()
+                    .iter()
+                    .map(|f| {
+                        vec![
+                            Value::Utf8(f.name.clone()),
+                            Value::Utf8(f.data_type.sql_name().to_string()),
+                        ]
+                    })
+                    .collect();
+                Ok(result_with_rows(
+                    Schema::from_pairs(&[
+                        ("col_name", dt_common::DataType::Utf8),
+                        ("data_type", dt_common::DataType::Utf8),
+                    ]),
+                    rows,
+                ))
+            }
+            Statement::CreateTable {
+                name,
+                columns,
+                storage,
+                if_not_exists,
+            } => {
+                if self.catalog.contains(&name) {
+                    if if_not_exists {
+                        return Ok(default_message_result(format!(
+                            "table '{name}' already exists"
+                        )));
+                    }
+                    return Err(Error::AlreadyExists(format!("table '{name}'")));
+                }
+                let schema = Schema::new(
+                    columns
+                        .iter()
+                        .map(|(n, t)| Field::new(n.clone(), *t))
+                        .collect(),
+                )?;
+                let handle = self.create_storage(&name, schema, storage)?;
+                self.catalog.register(&name, handle)?;
+                Ok(default_message_result(format!(
+                    "created table '{name}' stored as {storage:?}"
+                )))
+            }
+            Statement::DropTable { name, if_exists } => {
+                if !self.catalog.contains(&name) {
+                    if if_exists {
+                        return Ok(default_message_result(format!(
+                            "table '{name}' does not exist"
+                        )));
+                    }
+                    return Err(Error::not_found(format!("table '{name}'")));
+                }
+                let handle = self.catalog.remove(&name)?;
+                handle.drop_storage()?;
+                Ok(default_message_result(format!("dropped '{name}'")))
+            }
+            Statement::Insert {
+                table,
+                overwrite,
+                source,
+            } => {
+                let rows = match source {
+                    InsertSource::Values(tuples) => {
+                        let binding = Binding::default();
+                        let ctx = EvalContext::default();
+                        let empty: Row = Vec::new();
+                        tuples
+                            .iter()
+                            .map(|tuple| {
+                                tuple
+                                    .iter()
+                                    .map(|e| eval(e, &empty, &binding, &ctx))
+                                    .collect::<Result<Row>>()
+                            })
+                            .collect::<Result<Vec<Row>>>()?
+                    }
+                    InsertSource::Select(sel) => {
+                        self.executor().select(&sel)?.into_rows()
+                    }
+                };
+                let coerced = {
+                    let handle = self.catalog.get(&table)?;
+                    coerce_rows(rows, handle.schema())?
+                };
+                let handle = self.catalog.get(&table)?;
+                let n = if overwrite {
+                    handle.insert_overwrite(coerced)?
+                } else {
+                    handle.insert(coerced)?
+                };
+                Ok(dml_result(n, format!("inserted {n} rows")))
+            }
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
+                let handle = self.catalog.get(&table)?.clone();
+                let schema = handle.schema().clone();
+                let binding = Binding::from_schema(&table, &schema);
+                let mut ctx = EvalContext::default();
+                let predicate = match predicate {
+                    Some(p) => Some(self.executor().plan_subqueries(p, &mut ctx)?),
+                    None => None,
+                };
+                // Resolve assignments to (ordinal, evaluator).
+                let mut resolved: Vec<(usize, crate::ast::Expr)> = Vec::new();
+                for (col, e) in &assignments {
+                    let idx = schema.require(col)?;
+                    resolved.push((idx, e.clone()));
+                }
+                let pred_fn = |row: &Row| -> bool {
+                    match &predicate {
+                        None => true,
+                        Some(p) => eval(p, row, &binding, &ctx).map(|v| is_true(&v)).unwrap_or(false),
+                    }
+                };
+                let assign_fns: Vec<(usize, Box<dyn Fn(&Row) -> Value + '_>)> = resolved
+                    .iter()
+                    .map(|(idx, e)| {
+                        let binding = &binding;
+                        let ctx = &ctx;
+                        (
+                            *idx,
+                            Box::new(move |row: &Row| {
+                                eval(e, row, binding, ctx).unwrap_or(Value::Null)
+                            }) as Box<dyn Fn(&Row) -> Value + '_>,
+                        )
+                    })
+                    .collect();
+                let outcome = handle.update(
+                    &pred_fn,
+                    &assign_fns,
+                    self.config.exec.ratio_hint,
+                    Some(&statement_key(sql)),
+                )?;
+                let mut result = dml_result(
+                    outcome.rows_matched,
+                    match &outcome.report {
+                        Some(r) => format!(
+                            "updated {} rows via {:?} plan",
+                            outcome.rows_matched, r.plan
+                        ),
+                        None => format!("updated {} rows (full rewrite)", outcome.rows_matched),
+                    },
+                );
+                result.dml = outcome.report;
+                Ok(result)
+            }
+            Statement::Delete { table, predicate } => {
+                let handle = self.catalog.get(&table)?.clone();
+                let schema = handle.schema().clone();
+                let binding = Binding::from_schema(&table, &schema);
+                let mut ctx = EvalContext::default();
+                let predicate = match predicate {
+                    Some(p) => Some(self.executor().plan_subqueries(p, &mut ctx)?),
+                    None => None,
+                };
+                let pred_fn = |row: &Row| -> bool {
+                    match &predicate {
+                        None => true,
+                        Some(p) => eval(p, row, &binding, &ctx).map(|v| is_true(&v)).unwrap_or(false),
+                    }
+                };
+                let outcome = handle.delete(
+                    &pred_fn,
+                    self.config.exec.ratio_hint,
+                    Some(&statement_key(sql)),
+                )?;
+                let mut result = dml_result(
+                    outcome.rows_matched,
+                    match &outcome.report {
+                        Some(r) => format!(
+                            "deleted {} rows via {:?} plan",
+                            outcome.rows_matched, r.plan
+                        ),
+                        None => format!("deleted {} rows (full rewrite)", outcome.rows_matched),
+                    },
+                );
+                result.dml = outcome.report;
+                Ok(result)
+            }
+            Statement::Compact { table } => {
+                self.catalog.get(&table)?.compact()?;
+                Ok(default_message_result(format!("compacted '{table}'")))
+            }
+            Statement::Merge {
+                target,
+                source,
+                on,
+                matched_set,
+                not_matched_insert,
+            } => self.execute_merge(&target, &source, &on, &matched_set, not_matched_insert),
+        }
+    }
+
+    /// `EXPLAIN`: renders the plan as rows of `(step, detail)` without
+    /// executing. For UPDATE/DELETE on a DualTable, previews the §IV
+    /// cost-model decision (sampled ratio, cost difference, chosen plan).
+    fn explain_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        use crate::exec::extract_pushdown;
+        let mut lines: Vec<(String, String)> = Vec::new();
+        match stmt {
+            Statement::Select(sel) => {
+                if let Some(from) = &sel.from {
+                    let handle = self.catalog.get(&from.name)?;
+                    lines.push((
+                        "scan".into(),
+                        format!(
+                            "{} [{:?}] ({} columns)",
+                            from.name,
+                            handle.storage_kind(),
+                            handle.schema().len()
+                        ),
+                    ));
+                    if sel.joins.is_empty() {
+                        if let Some(w) = &sel.where_clause {
+                            let binding = Binding::from_schema(
+                                from.binding_name(),
+                                handle.schema(),
+                            );
+                            let preds = extract_pushdown(w, &binding, handle.schema());
+                            if !preds.is_empty() {
+                                lines.push((
+                                    "pushdown".into(),
+                                    format!("{} stripe-skipping predicate(s)", preds.len()),
+                                ));
+                            }
+                        }
+                    }
+                    for join in &sel.joins {
+                        lines.push((
+                            "join".into(),
+                            format!("{:?} {} ON …", join.kind, join.table.name),
+                        ));
+                    }
+                }
+                if sel.where_clause.is_some() {
+                    lines.push(("filter".into(), "WHERE predicate".into()));
+                }
+                if !sel.group_by.is_empty()
+                    || sel.items.iter().any(|i| match i {
+                        crate::ast::SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                        _ => false,
+                    })
+                {
+                    lines.push((
+                        "aggregate".into(),
+                        format!("{} group key(s), MapReduce job", sel.group_by.len()),
+                    ));
+                }
+                if sel.distinct {
+                    lines.push(("distinct".into(), "deduplicate output rows".into()));
+                }
+                if !sel.order_by.is_empty() {
+                    lines.push(("sort".into(), format!("{} key(s)", sel.order_by.len())));
+                }
+                if let Some(l) = sel.limit {
+                    lines.push(("limit".into(), l.to_string()));
+                }
+            }
+            Statement::Update {
+                table, predicate, ..
+            }
+            | Statement::Delete { table, predicate } => {
+                let is_update = matches!(stmt, Statement::Update { .. });
+                let op = if is_update { "UPDATE" } else { "DELETE" };
+                let handle = self.catalog.get(table)?.clone();
+                lines.push((
+                    "dml".into(),
+                    format!("{op} {table} [{:?}]", handle.storage_kind()),
+                ));
+                if let TableHandle::Dual(t) = &handle {
+                    let schema = t.schema().clone();
+                    let binding = Binding::from_schema(table, &schema);
+                    let mut ctx = EvalContext::default();
+                    let predicate = match predicate.clone() {
+                        Some(p) => Some(self.executor().plan_subqueries(p, &mut ctx)?),
+                        None => None,
+                    };
+                    let pred_fn = |row: &Row| -> bool {
+                        match &predicate {
+                            None => true,
+                            Some(p) => eval(p, row, &binding, &ctx)
+                                .map(|v| is_true(&v))
+                                .unwrap_or(false),
+                        }
+                    };
+                    let preview = t.plan_preview(&pred_fn, is_update)?;
+                    lines.push((
+                        "cost-model".into(),
+                        format!(
+                            "sampled ratio {:.4}, D = {} bytes, cost diff {:+.4}s",
+                            preview.ratio, preview.master_bytes, preview.cost_diff
+                        ),
+                    ));
+                    lines.push(("plan".into(), format!("{:?}", preview.plan)));
+                } else {
+                    lines.push(("plan".into(), "full INSERT OVERWRITE rewrite".into()));
+                }
+            }
+            other => lines.push(("statement".into(), format!("{other:?}"))),
+        }
+        let rows: Vec<Row> = lines
+            .into_iter()
+            .map(|(step, detail)| vec![Value::Utf8(step), Value::Utf8(detail)])
+            .collect();
+        Ok(result_with_rows(
+            Schema::from_pairs(&[
+                ("step", dt_common::DataType::Utf8),
+                ("detail", dt_common::DataType::Utf8),
+            ]),
+            rows,
+        ))
+    }
+
+    /// `MERGE INTO`: hash the source on the ON equi-keys, update matched
+    /// target rows through the storage handler (cost model and all), then
+    /// insert source rows that matched nothing.
+    fn execute_merge(
+        &mut self,
+        target: &str,
+        source: &crate::ast::TableRef,
+        on: &crate::ast::Expr,
+        matched_set: &[(String, crate::ast::Expr)],
+        not_matched_insert: Option<Vec<crate::ast::Expr>>,
+    ) -> Result<QueryResult> {
+        use crate::ast::{BinOp, Expr};
+        use crate::exec::conjuncts;
+        use crate::expr::{normalize_numeric, GroupKey, HashableValue};
+        use std::collections::{HashMap, HashSet};
+
+        let target_handle = self.catalog.get(target)?.clone();
+        let target_schema = target_handle.schema().clone();
+        let source_handle = self.catalog.get(&source.name)?;
+        let source_schema = source_handle.schema().clone();
+        let source_rows = source_handle.scan(None, None)?;
+
+        let target_binding = Binding::from_schema(target, &target_schema);
+        let source_binding = Binding::from_schema(source.binding_name(), &source_schema);
+        let combined_binding = target_binding.join(&source_binding);
+        let ctx = EvalContext::default();
+
+        // Equi-keys: conjuncts `a = b` with one side in the target binding
+        // and the other in the source binding.
+        let mut target_keys: Vec<Expr> = Vec::new();
+        let mut source_keys: Vec<Expr> = Vec::new();
+        let resolves = |e: &Expr, b: &Binding| -> bool {
+            matches!(e, Expr::Column { qualifier, name }
+                if b.resolve(qualifier.as_deref(), name).is_ok())
+        };
+        for conjunct in conjuncts(on) {
+            if let Expr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } = conjunct
+            {
+                for (a, b) in [(left, right), (right, left)] {
+                    if resolves(a, &target_binding) && resolves(b, &source_binding) {
+                        target_keys.push((**a).clone());
+                        source_keys.push((**b).clone());
+                        break;
+                    }
+                }
+            }
+        }
+        if target_keys.is_empty() {
+            return Err(Error::Plan(
+                "MERGE ON must contain at least one target.col = source.col equality".into(),
+            ));
+        }
+
+        let key_of = |exprs: &[Expr], row: &Row, binding: &Binding| -> Result<Option<GroupKey>> {
+            let mut key = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                let v = eval(e, row, binding, &ctx)?;
+                if v.is_null() {
+                    return Ok(None); // NULL keys never match.
+                }
+                key.push(HashableValue(normalize_numeric(v)));
+            }
+            Ok(Some(GroupKey(key)))
+        };
+
+        // Source hash table (first row per key wins, like Hive's MERGE
+        // cardinality check would reject duplicates; we take the first).
+        let mut source_map: HashMap<GroupKey, Row> = HashMap::new();
+        for row in &source_rows {
+            if let Some(key) = key_of(&source_keys, row, &source_binding)? {
+                source_map.entry(key).or_insert_with(|| row.clone());
+            }
+        }
+
+        // Which source keys have a target partner (for the insert branch)?
+        let mut matched_keys: HashSet<GroupKey> = HashSet::new();
+        for row in target_handle.scan(None, None)? {
+            if let Some(key) = key_of(&target_keys, &row, &target_binding)? {
+                if source_map.contains_key(&key) {
+                    matched_keys.insert(key);
+                }
+            }
+        }
+
+        // WHEN MATCHED THEN UPDATE: route through the handler so DualTable
+        // applies its cost model.
+        let mut updated = 0u64;
+        if !matched_set.is_empty() {
+            let full_match = |row: &Row| -> Option<Row> {
+                let key = key_of(&target_keys, row, &target_binding).ok()??;
+                let src = source_map.get(&key)?;
+                let mut combined = row.clone();
+                combined.extend(src.iter().cloned());
+                // Residual ON conditions must hold too.
+                match eval(on, &combined, &combined_binding, &ctx) {
+                    Ok(v) if is_true(&v) => Some(combined),
+                    _ => None,
+                }
+            };
+            let mut resolved: Vec<(usize, &crate::ast::Expr)> = Vec::new();
+            for (col, e) in matched_set {
+                resolved.push((target_schema.require(col)?, e));
+            }
+            let pred = |row: &Row| full_match(row).is_some();
+            let assigns: Vec<(usize, Box<dyn Fn(&Row) -> Value + '_>)> = resolved
+                .iter()
+                .map(|(idx, e)| {
+                    let combined_binding = &combined_binding;
+                    let ctx = &ctx;
+                    let full_match = &full_match;
+                    (
+                        *idx,
+                        Box::new(move |row: &Row| {
+                            full_match(row)
+                                .and_then(|combined| {
+                                    eval(e, &combined, combined_binding, ctx).ok()
+                                })
+                                .unwrap_or(Value::Null)
+                        }) as Box<dyn Fn(&Row) -> Value + '_>,
+                    )
+                })
+                .collect();
+            let outcome = target_handle.update(
+                &pred,
+                &assigns,
+                self.config.exec.ratio_hint,
+                None,
+            )?;
+            updated = outcome.rows_matched;
+        }
+
+        // WHEN NOT MATCHED THEN INSERT: source rows without a partner.
+        let mut inserted = 0u64;
+        if let Some(exprs) = not_matched_insert {
+            if exprs.len() != target_schema.len() {
+                return Err(Error::schema(format!(
+                    "MERGE INSERT provides {} values for {} columns",
+                    exprs.len(),
+                    target_schema.len()
+                )));
+            }
+            let mut new_rows = Vec::new();
+            for row in &source_rows {
+                let matched = match key_of(&source_keys, row, &source_binding)? {
+                    Some(key) => matched_keys.contains(&key),
+                    None => false,
+                };
+                if !matched {
+                    let values: Row = exprs
+                        .iter()
+                        .map(|e| eval(e, row, &source_binding, &ctx))
+                        .collect::<Result<_>>()?;
+                    new_rows.push(values);
+                }
+            }
+            inserted = new_rows.len() as u64;
+            if !new_rows.is_empty() {
+                target_handle.insert(coerce_rows(new_rows, &target_schema)?)?;
+            }
+        }
+
+        Ok(dml_result(
+            updated + inserted,
+            format!("merge: {updated} rows updated, {inserted} rows inserted"),
+        ))
+    }
+
+    fn create_storage(
+        &self,
+        name: &str,
+        schema: Schema,
+        storage: StorageKind,
+    ) -> Result<TableHandle> {
+        Ok(match storage {
+            StorageKind::Orc => TableHandle::Orc(HiveHdfsTable::create(
+                &self.env.dfs,
+                name,
+                schema,
+                self.config.dualtable.writer.clone(),
+                self.config.rows_per_file,
+            )?),
+            StorageKind::HBase => {
+                TableHandle::HBase(HiveHbaseTable::create(&self.env.kv, name, schema)?)
+            }
+            StorageKind::DualTable => TableHandle::Dual(DualTableStore::create(
+                &self.env,
+                name,
+                schema,
+                self.config.dualtable.clone(),
+            )?),
+            StorageKind::Acid => TableHandle::Acid(HiveAcidTable::create(
+                &self.env.dfs,
+                &format!("{name}_acid"),
+                schema,
+                self.config.dualtable.writer.clone(),
+                self.config.rows_per_file,
+            )?),
+        })
+    }
+
+    /// Registers an externally-created DualTable under a name (experiments
+    /// build tables via the API, then query them via SQL).
+    pub fn register_dualtable(&mut self, name: &str, store: DualTableStore) -> Result<()> {
+        self.catalog.register(name, TableHandle::Dual(store))
+    }
+
+    /// Overrides the ratio hint used for subsequent DualTable DML.
+    pub fn set_ratio_hint(&mut self, hint: RatioHint) {
+        self.config.exec.ratio_hint = hint;
+    }
+}
+
+fn default_message_result(msg: String) -> QueryResult {
+    let mut r = QueryResult::empty();
+    r.message = Some(msg);
+    r
+}
+
+fn dml_result(affected: u64, msg: String) -> QueryResult {
+    let mut r = QueryResult::empty();
+    r.affected = affected;
+    r.message = Some(msg);
+    r
+}
+
+fn result_with_rows(schema: Schema, rows: Vec<Row>) -> QueryResult {
+    QueryResult::from_parts(schema, rows)
+}
+
+/// Normalized statement text used as the historical-ratio log key
+/// (whitespace-insensitive, case-insensitive).
+fn statement_key(sql: &str) -> String {
+    sql.split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .to_ascii_lowercase()
+}
+
+/// Coerces literal rows to the target schema (int → float/date widening,
+/// arity check) so `INSERT INTO t VALUES (1, 2)` works for DOUBLE columns.
+fn coerce_rows(rows: Vec<Row>, schema: &Schema) -> Result<Vec<Row>> {
+    rows.into_iter()
+        .map(|row| {
+            if row.len() != schema.len() {
+                return Err(Error::schema(format!(
+                    "INSERT provides {} values for {} columns",
+                    row.len(),
+                    schema.len()
+                )));
+            }
+            Ok(row
+                .into_iter()
+                .zip(schema.fields())
+                .map(|(v, f)| match (v, f.data_type) {
+                    (Value::Int64(x), dt_common::DataType::Float64) => {
+                        Value::Float64(x as f64)
+                    }
+                    (Value::Int64(x), dt_common::DataType::Date) => {
+                        Value::Date(x as i32)
+                    }
+                    (v, _) => v,
+                })
+                .collect())
+        })
+        .collect()
+}

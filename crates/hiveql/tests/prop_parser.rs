@@ -1,0 +1,80 @@
+//! Parser robustness and expression-evaluator property tests.
+
+use dt_common::{DataType, Schema, Value};
+use dt_hiveql::expr::{eval, Binding, EvalContext};
+use dt_hiveql::parse;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary input must never panic the lexer/parser — only return
+    /// Ok or Err.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// SQL-looking token soup must never panic either.
+    #[test]
+    fn parser_never_panics_on_sql_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("AND"),
+                Just("OR"), Just("NOT"), Just("("), Just(")"), Just(","),
+                Just("*"), Just("="), Just("<"), Just("JOIN"), Just("ON"),
+                Just("GROUP"), Just("BY"), Just("1"), Just("'x'"), Just("a"),
+                Just("UPDATE"), Just("SET"), Just("DELETE"), Just("MERGE"),
+                Just("t"), Just("+"), Just("-"), Just("IN"), Just("BETWEEN"),
+            ],
+            0..40,
+        )
+    ) {
+        let _ = parse(&words.join(" "));
+    }
+
+    /// Integer arithmetic through the full parse→eval pipeline matches
+    /// direct evaluation (no overflow panics: wrapping semantics).
+    #[test]
+    fn arithmetic_matches_reference(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        let schema = Schema::from_pairs(&[("a", DataType::Int64), ("b", DataType::Int64)]);
+        let binding = Binding::from_schema("t", &schema);
+        let row = vec![Value::Int64(a), Value::Int64(b)];
+        let ctx = EvalContext::default();
+
+        let eval_sql = |sql: &str| -> Value {
+            let stmt = parse(&format!("SELECT {sql}")).unwrap();
+            let dt_hiveql::ast::Statement::Select(sel) = stmt else { panic!() };
+            let dt_hiveql::ast::SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
+            eval(expr, &row, &binding, &ctx).unwrap()
+        };
+
+        prop_assert_eq!(eval_sql("a + b"), Value::Int64(a.wrapping_add(b)));
+        prop_assert_eq!(eval_sql("a * b"), Value::Int64(a.wrapping_mul(b)));
+        prop_assert_eq!(eval_sql("a - b"), Value::Int64(a.wrapping_sub(b)));
+        let div = if b == 0 { Value::Null } else { Value::Int64(a / b) };
+        prop_assert_eq!(eval_sql("a / b"), div);
+        prop_assert_eq!(eval_sql("a < b"), Value::Bool(a < b));
+        prop_assert_eq!(eval_sql("a = b OR a != b"), Value::Bool(true));
+    }
+
+    /// Comparison chains respect trichotomy through SQL semantics.
+    #[test]
+    fn comparisons_are_coherent(a in any::<i32>(), b in any::<i32>()) {
+        let schema = Schema::from_pairs(&[("a", DataType::Int64), ("b", DataType::Int64)]);
+        let binding = Binding::from_schema("t", &schema);
+        let row = vec![Value::Int64(a.into()), Value::Int64(b.into())];
+        let ctx = EvalContext::default();
+        let check = |sql: &str| -> bool {
+            let stmt = parse(&format!("SELECT {sql}")).unwrap();
+            let dt_hiveql::ast::Statement::Select(sel) = stmt else { panic!() };
+            let dt_hiveql::ast::SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
+            matches!(eval(expr, &row, &binding, &ctx).unwrap(), Value::Bool(true))
+        };
+        let (lt, eq, gt) = (check("a < b"), check("a = b"), check("a > b"));
+        prop_assert_eq!([lt, eq, gt].iter().filter(|x| **x).count(), 1);
+        prop_assert_eq!(check("a <= b"), lt || eq);
+        prop_assert_eq!(check("a >= b"), gt || eq);
+        prop_assert_eq!(check("a BETWEEN b AND b"), eq);
+    }
+}

@@ -1,0 +1,146 @@
+//! A classic Bloom filter with double hashing, used per-SSTable to skip
+//! files that cannot contain a row key.
+
+use dt_common::codec::{get_uvarint, put_uvarint};
+use dt_common::{Error, Result};
+
+/// Immutable-after-build Bloom filter over byte strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+}
+
+fn fnv1a(data: &[u8], seed: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+impl BloomFilter {
+    /// Builds an empty filter sized for `expected` keys at `bits_per_key`
+    /// bits each (10 bits/key ≈ 1% false-positive rate).
+    pub fn new(expected: usize, bits_per_key: usize) -> Self {
+        let num_bits = (expected.max(1) * bits_per_key.max(1)).max(64) as u64;
+        let num_hashes = ((bits_per_key as f64) * std::f64::consts::LN_2)
+            .round()
+            .clamp(1.0, 30.0) as u32;
+        BloomFilter {
+            bits: vec![0u64; num_bits.div_ceil(64) as usize],
+            num_bits,
+            num_hashes,
+        }
+    }
+
+    fn positions(&self, key: &[u8]) -> impl Iterator<Item = u64> + '_ {
+        // Kirsch–Mitzenmacher double hashing: g_i(x) = h1(x) + i·h2(x).
+        let h1 = fnv1a(key, 0);
+        let h2 = fnv1a(key, 0x9E37_79B9_7F4A_7C15) | 1;
+        let num_bits = self.num_bits;
+        (0..self.num_hashes).map(move |i| {
+            h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % num_bits
+        })
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let positions: Vec<u64> = self.positions(key).collect();
+        for p in positions {
+            self.bits[(p / 64) as usize] |= 1u64 << (p % 64);
+        }
+    }
+
+    /// `false` means the key is definitely absent; `true` means maybe
+    /// present.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.positions(key)
+            .all(|p| self.bits[(p / 64) as usize] & (1u64 << (p % 64)) != 0)
+    }
+
+    /// Serializes the filter.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        put_uvarint(buf, self.num_bits);
+        put_uvarint(buf, u64::from(self.num_hashes));
+        put_uvarint(buf, self.bits.len() as u64);
+        for w in &self.bits {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Deserializes a filter written by [`BloomFilter::encode`].
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Self> {
+        let num_bits = get_uvarint(buf, pos)?;
+        let num_hashes = get_uvarint(buf, pos)? as u32;
+        let words = get_uvarint(buf, pos)? as usize;
+        let need = words * 8;
+        if *pos + need > buf.len() {
+            return Err(Error::corrupt("truncated bloom filter"));
+        }
+        let mut bits = Vec::with_capacity(words);
+        for _ in 0..words {
+            let mut arr = [0u8; 8];
+            arr.copy_from_slice(&buf[*pos..*pos + 8]);
+            *pos += 8;
+            bits.push(u64::from_le_bytes(arr));
+        }
+        Ok(BloomFilter {
+            bits,
+            num_bits,
+            num_hashes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1000, 10);
+        for i in 0..1000u32 {
+            f.insert(&i.to_be_bytes());
+        }
+        for i in 0..1000u32 {
+            assert!(f.may_contain(&i.to_be_bytes()));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = BloomFilter::new(1000, 10);
+        for i in 0..1000u32 {
+            f.insert(&i.to_be_bytes());
+        }
+        let fp = (1000..11_000u32)
+            .filter(|i| f.may_contain(&i.to_be_bytes()))
+            .count();
+        // 10 bits/key targets ~1%; allow generous slack.
+        assert!(fp < 500, "false positive count too high: {fp}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut f = BloomFilter::new(100, 10);
+        for i in 0..100u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let mut buf = Vec::new();
+        f.encode(&mut buf);
+        let mut pos = 0;
+        let g = BloomFilter::decode(&buf, &mut pos).unwrap();
+        assert_eq!(f, g);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing_inserted() {
+        let f = BloomFilter::new(10, 10);
+        // An empty filter must reject everything (all bits zero).
+        assert!(!f.may_contain(b"anything"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Cell keys, versions and mutations.
+
+use dt_common::codec::{get_bytes, get_uvarint, put_bytes, put_uvarint};
+use dt_common::{Error, Result};
+
+/// Qualifier reserved for row-level tombstones (HBase's `DeleteFamily`
+/// marker). User qualifiers must not collide; the store rejects puts with
+/// this qualifier.
+pub const ROW_TOMBSTONE_QUALIFIER: &[u8] = b"\xff\xff\xff\xf0row-tomb";
+
+/// Addresses one logical cell: `(row key, column qualifier)`.
+///
+/// Ordering is `(row, qualifier)` lexicographic — scan order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellKey {
+    /// Row key bytes.
+    pub row: Vec<u8>,
+    /// Column qualifier bytes.
+    pub qual: Vec<u8>,
+}
+
+impl CellKey {
+    /// Creates a cell key.
+    pub fn new(row: impl Into<Vec<u8>>, qual: impl Into<Vec<u8>>) -> Self {
+        CellKey {
+            row: row.into(),
+            qual: qual.into(),
+        }
+    }
+}
+
+/// One timestamped version of a cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Version {
+    /// Logical timestamp assigned at write time; larger = newer.
+    pub ts: u64,
+    /// The mutation recorded at that timestamp.
+    pub mutation: Mutation,
+}
+
+/// What a write did to a cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Sets the cell to a value.
+    Put(Vec<u8>),
+    /// Deletes the cell (tombstone).
+    Delete,
+}
+
+impl Mutation {
+    /// `true` iff this is a tombstone.
+    pub fn is_delete(&self) -> bool {
+        matches!(self, Mutation::Delete)
+    }
+
+    /// The put payload, if any.
+    pub fn value(&self) -> Option<&[u8]> {
+        match self {
+            Mutation::Put(v) => Some(v),
+            Mutation::Delete => None,
+        }
+    }
+}
+
+const KIND_PUT: u8 = 0;
+const KIND_DELETE: u8 = 1;
+
+/// Serializes one `(key, version)` entry (shared by the WAL and SSTables).
+pub(crate) fn encode_entry(buf: &mut Vec<u8>, key: &CellKey, version: &Version) {
+    put_bytes(buf, &key.row);
+    put_bytes(buf, &key.qual);
+    put_uvarint(buf, version.ts);
+    match &version.mutation {
+        Mutation::Put(v) => {
+            buf.push(KIND_PUT);
+            put_bytes(buf, v);
+        }
+        Mutation::Delete => buf.push(KIND_DELETE),
+    }
+}
+
+/// Inverse of [`encode_entry`].
+pub(crate) fn decode_entry(buf: &[u8], pos: &mut usize) -> Result<(CellKey, Version)> {
+    let row = get_bytes(buf, pos)?.to_vec();
+    let qual = get_bytes(buf, pos)?.to_vec();
+    let ts = get_uvarint(buf, pos)?;
+    let kind = *buf
+        .get(*pos)
+        .ok_or_else(|| Error::corrupt("truncated entry kind"))?;
+    *pos += 1;
+    let mutation = match kind {
+        KIND_PUT => Mutation::Put(get_bytes(buf, pos)?.to_vec()),
+        KIND_DELETE => Mutation::Delete,
+        other => return Err(Error::corrupt(format!("unknown entry kind {other}"))),
+    };
+    Ok((CellKey { row, qual }, Version { ts, mutation }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_roundtrip() {
+        let key = CellKey::new(b"row".to_vec(), b"qual".to_vec());
+        for mutation in [Mutation::Put(b"value".to_vec()), Mutation::Delete] {
+            let v = Version { ts: 42, mutation };
+            let mut buf = Vec::new();
+            encode_entry(&mut buf, &key, &v);
+            let mut pos = 0;
+            let (k2, v2) = decode_entry(&buf, &mut pos).unwrap();
+            assert_eq!(k2, key);
+            assert_eq!(v2, v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn cell_key_orders_row_then_qual() {
+        let a = CellKey::new(b"a".to_vec(), b"z".to_vec());
+        let b = CellKey::new(b"b".to_vec(), b"a".to_vec());
+        assert!(a < b);
+        let c = CellKey::new(b"a".to_vec(), b"a".to_vec());
+        assert!(c < a);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_kind() {
+        let key = CellKey::new(b"r".to_vec(), b"q".to_vec());
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, &key, &Version { ts: 1, mutation: Mutation::Delete });
+        let last = buf.len() - 1;
+        buf[last] = 99;
+        let mut pos = 0;
+        assert!(decode_entry(&buf, &mut pos).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Storage environment for a single store: a flat namespace of files
+//! (WAL segments and SSTables) with append, whole-file write, ranged read
+//! and delete.
+//!
+//! Two implementations: [`MemEnv`] (tests, deterministic experiments —
+//! also how crash-recovery is simulated: reopen a `Store` over the same
+//! env) and [`DiskEnv`] (real files for benchmarks).
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use dt_common::{Error, Result};
+use parking_lot::RwLock;
+
+/// File namespace abstraction for one store.
+pub trait Env: Send + Sync {
+    /// Appends bytes to a file, creating it if missing.
+    fn append(&self, name: &str, data: &[u8]) -> Result<()>;
+
+    /// Atomically creates a file with exactly `data` (fails if it exists).
+    fn write_file(&self, name: &str, data: &[u8]) -> Result<()>;
+
+    /// Reads `buf.len()` bytes at `offset`.
+    fn read_at(&self, name: &str, offset: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Reads an entire file.
+    fn read_file(&self, name: &str) -> Result<Vec<u8>>;
+
+    /// File length.
+    fn len(&self, name: &str) -> Result<u64>;
+
+    /// Sorted list of file names.
+    fn list(&self) -> Vec<String>;
+
+    /// Deletes a file.
+    fn delete(&self, name: &str) -> Result<()>;
+}
+
+/// In-memory environment.
+#[derive(Default)]
+pub struct MemEnv {
+    files: RwLock<HashMap<String, Vec<u8>>>,
+}
+
+impl MemEnv {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Env for MemEnv {
+    fn append(&self, name: &str, data: &[u8]) -> Result<()> {
+        self.files
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn write_file(&self, name: &str, data: &[u8]) -> Result<()> {
+        let mut files = self.files.write();
+        if files.contains_key(name) {
+            return Err(Error::AlreadyExists(format!("env file '{name}'")));
+        }
+        files.insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn read_at(&self, name: &str, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let files = self.files.read();
+        let data = files
+            .get(name)
+            .ok_or_else(|| Error::not_found(format!("env file '{name}'")))?;
+        let start = offset as usize;
+        let end = start + buf.len();
+        if end > data.len() {
+            return Err(Error::corrupt(format!(
+                "read [{start},{end}) beyond '{name}' of {} bytes",
+                data.len()
+            )));
+        }
+        buf.copy_from_slice(&data[start..end]);
+        Ok(())
+    }
+
+    fn read_file(&self, name: &str) -> Result<Vec<u8>> {
+        self.files
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::not_found(format!("env file '{name}'")))
+    }
+
+    fn len(&self, name: &str) -> Result<u64> {
+        self.files
+            .read()
+            .get(name)
+            .map(|d| d.len() as u64)
+            .ok_or_else(|| Error::not_found(format!("env file '{name}'")))
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut names: Vec<_> = self.files.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        self.files
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| Error::not_found(format!("env file '{name}'")))
+    }
+}
+
+/// Directory-backed environment.
+pub struct DiskEnv {
+    dir: PathBuf,
+}
+
+impl DiskEnv {
+    /// Creates the directory if needed.
+    pub fn new(dir: PathBuf) -> Result<Self> {
+        fs::create_dir_all(&dir)?;
+        Ok(DiskEnv { dir })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+impl Env for DiskEnv {
+    fn append(&self, name: &str, data: &[u8]) -> Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))?;
+        f.write_all(data)?;
+        Ok(())
+    }
+
+    fn write_file(&self, name: &str, data: &[u8]) -> Result<()> {
+        let path = self.path(name);
+        if path.exists() {
+            return Err(Error::AlreadyExists(format!("env file '{name}'")));
+        }
+        fs::write(path, data)?;
+        Ok(())
+    }
+
+    fn read_at(&self, name: &str, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let mut f = fs::File::open(self.path(name))
+            .map_err(|_| Error::not_found(format!("env file '{name}'")))?;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+            .map_err(|_| Error::corrupt(format!("short read from '{name}'")))?;
+        Ok(())
+    }
+
+    fn read_file(&self, name: &str) -> Result<Vec<u8>> {
+        fs::read(self.path(name)).map_err(|_| Error::not_found(format!("env file '{name}'")))
+    }
+
+    fn len(&self, name: &str) -> Result<u64> {
+        Ok(fs::metadata(self.path(name))
+            .map_err(|_| Error::not_found(format!("env file '{name}'")))?
+            .len())
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.path().is_file())
+                    .filter_map(|e| e.file_name().into_string().ok())
+                    .collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        names
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        fs::remove_file(self.path(name))
+            .map_err(|_| Error::not_found(format!("env file '{name}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(env: &dyn Env) {
+        env.append("wal", b"abc").unwrap();
+        env.append("wal", b"def").unwrap();
+        assert_eq!(env.read_file("wal").unwrap(), b"abcdef");
+        assert_eq!(env.len("wal").unwrap(), 6);
+
+        env.write_file("sst_1", b"table").unwrap();
+        assert!(env.write_file("sst_1", b"dupe").is_err());
+        let mut buf = vec![0u8; 3];
+        env.read_at("sst_1", 1, &mut buf).unwrap();
+        assert_eq!(&buf, b"abl");
+
+        assert_eq!(env.list(), vec!["sst_1".to_string(), "wal".to_string()]);
+        env.delete("wal").unwrap();
+        assert!(env.read_file("wal").is_err());
+        assert!(env.delete("wal").is_err());
+    }
+
+    #[test]
+    fn mem_env_contract() {
+        exercise(&MemEnv::new());
+    }
+
+    #[test]
+    fn disk_env_contract() {
+        let dir = std::env::temp_dir().join(format!("dt-kv-env-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        exercise(&DiskEnv::new(dir.clone()).unwrap());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_at_out_of_range_is_error() {
+        let env = MemEnv::new();
+        env.write_file("f", b"abc").unwrap();
+        let mut buf = vec![0u8; 4];
+        assert!(env.read_at("f", 0, &mut buf).is_err());
+    }
+}

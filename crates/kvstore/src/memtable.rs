@@ -1,0 +1,174 @@
+//! The in-memory write buffer: a sorted multi-version map.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use crate::cell::{CellKey, Mutation, Version};
+
+/// Sorted map from cell key to its versions, newest first.
+#[derive(Debug, Default)]
+pub(crate) struct MemTable {
+    cells: BTreeMap<CellKey, Vec<Version>>,
+    approx_bytes: usize,
+    entry_count: usize,
+}
+
+impl MemTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a version, keeping the per-cell list sorted newest-first.
+    pub fn insert(&mut self, key: CellKey, version: Version) {
+        self.approx_bytes += key.row.len()
+            + key.qual.len()
+            + 16
+            + version.mutation.value().map_or(0, <[u8]>::len);
+        self.entry_count += 1;
+        let versions = self.cells.entry(key).or_default();
+        // Timestamps are handed out by a monotone clock, so pushing onto the
+        // front is the common case; fall back to insertion sort for replays.
+        let at = versions
+            .iter()
+            .position(|v| v.ts <= version.ts)
+            .unwrap_or(versions.len());
+        versions.insert(at, version);
+    }
+
+    /// All versions of one cell, newest first.
+    pub fn get(&self, key: &CellKey) -> Option<&[Version]> {
+        self.cells.get(key).map(Vec::as_slice)
+    }
+
+    /// Iterates cells with row keys in `[start, end)` (entire table when
+    /// both bounds are `None`), in key order, versions newest first.
+    pub fn range<'a>(
+        &'a self,
+        start: Option<&[u8]>,
+        end: Option<&'a [u8]>,
+    ) -> impl Iterator<Item = (&'a CellKey, &'a [Version])> + 'a {
+        let lower = match start {
+            Some(s) => Bound::Included(CellKey::new(s.to_vec(), Vec::new())),
+            None => Bound::Unbounded,
+        };
+        self.cells
+            .range((lower, Bound::Unbounded))
+            .take_while(move |(k, _)| match end {
+                Some(e) => k.row.as_slice() < e,
+                None => true,
+            })
+            .map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Approximate heap footprint, used for flush triggering.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Number of versions stored.
+    pub fn entry_count(&self) -> usize {
+        self.entry_count
+    }
+
+    /// `true` iff no entries are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Drains into a sorted list of `(key, versions-newest-first)`.
+    pub fn drain_sorted(&mut self) -> Vec<(CellKey, Vec<Version>)> {
+        self.approx_bytes = 0;
+        self.entry_count = 0;
+        std::mem::take(&mut self.cells).into_iter().collect()
+    }
+}
+
+/// Resolves the visible state of a version list (newest-first) at
+/// `snapshot_ts`: the newest version with `ts <= snapshot_ts`.
+pub(crate) fn visible_at(versions: &[Version], snapshot_ts: u64) -> Option<&Version> {
+    versions.iter().find(|v| v.ts <= snapshot_ts)
+}
+
+/// Like [`visible_at`] but resolves tombstones into `None`.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn visible_value_at(versions: &[Version], snapshot_ts: u64) -> Option<&[u8]> {
+    match visible_at(versions, snapshot_ts) {
+        Some(Version {
+            mutation: Mutation::Put(v),
+            ..
+        }) => Some(v),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(ts: u64, val: &[u8]) -> Version {
+        Version {
+            ts,
+            mutation: Mutation::Put(val.to_vec()),
+        }
+    }
+
+    #[test]
+    fn versions_sorted_newest_first() {
+        let mut m = MemTable::new();
+        let k = CellKey::new(b"r".to_vec(), b"q".to_vec());
+        m.insert(k.clone(), put(1, b"a"));
+        m.insert(k.clone(), put(3, b"c"));
+        m.insert(k.clone(), put(2, b"b"));
+        let vs = m.get(&k).unwrap();
+        assert_eq!(vs.iter().map(|v| v.ts).collect::<Vec<_>>(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn visibility_respects_snapshot() {
+        let vs = vec![put(5, b"new"), put(2, b"old")];
+        assert_eq!(visible_value_at(&vs, 10).unwrap(), b"new");
+        assert_eq!(visible_value_at(&vs, 4).unwrap(), b"old");
+        assert!(visible_value_at(&vs, 1).is_none());
+    }
+
+    #[test]
+    fn tombstone_hides_value() {
+        let vs = vec![
+            Version {
+                ts: 6,
+                mutation: Mutation::Delete,
+            },
+            put(2, b"old"),
+        ];
+        assert!(visible_value_at(&vs, 10).is_none());
+        assert_eq!(visible_value_at(&vs, 5).unwrap(), b"old");
+    }
+
+    #[test]
+    fn range_respects_bounds_and_order() {
+        let mut m = MemTable::new();
+        for row in ["a", "b", "c", "d"] {
+            m.insert(CellKey::new(row.as_bytes().to_vec(), b"q".to_vec()), put(1, b"v"));
+        }
+        let rows: Vec<_> = m
+            .range(Some(b"b"), Some(b"d"))
+            .map(|(k, _)| k.row.clone())
+            .collect();
+        assert_eq!(rows, vec![b"b".to_vec(), b"c".to_vec()]);
+        assert_eq!(m.range(None, None).count(), 4);
+    }
+
+    #[test]
+    fn drain_empties_and_sorts() {
+        let mut m = MemTable::new();
+        m.insert(CellKey::new(b"b".to_vec(), b"q".to_vec()), put(1, b"v"));
+        m.insert(CellKey::new(b"a".to_vec(), b"q".to_vec()), put(2, b"w"));
+        assert!(m.approx_bytes() > 0);
+        let drained = m.drain_sorted();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0.row, b"a");
+        assert!(m.is_empty());
+        assert_eq!(m.approx_bytes(), 0);
+        assert_eq!(m.entry_count(), 0);
+    }
+}

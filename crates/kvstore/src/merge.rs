@@ -1,0 +1,125 @@
+//! K-way merge of sorted entry streams into per-cell version groups.
+//!
+//! Inputs: any number of iterators yielding `(CellKey, Version)` in
+//! `(key asc)` order — the memtable snapshot and one stream per SSTable.
+//! Output: one `(CellKey, Vec<Version>)` per distinct cell, keys ascending,
+//! versions merged newest-first across all sources.
+
+use dt_common::Result;
+
+use crate::cell::{CellKey, Version};
+
+type EntryStream = Box<dyn Iterator<Item = Result<(CellKey, Version)>> + Send>;
+
+/// Merges K sorted entry streams, grouping versions per cell key.
+pub(crate) struct MergeScanner {
+    streams: Vec<std::iter::Peekable<EntryStream>>,
+    failed: bool,
+}
+
+impl MergeScanner {
+    pub fn new(streams: Vec<EntryStream>) -> Self {
+        MergeScanner {
+            streams: streams.into_iter().map(Iterator::peekable).collect(),
+            failed: false,
+        }
+    }
+
+    fn min_key(&mut self) -> Result<Option<CellKey>> {
+        let mut min: Option<CellKey> = None;
+        for s in &mut self.streams {
+            match s.peek() {
+                None => {}
+                Some(Err(_)) => {
+                    // Surface the error by consuming it.
+                    if let Some(Err(e)) = s.next() {
+                        return Err(e);
+                    }
+                    unreachable!("peeked Err must yield Err");
+                }
+                Some(Ok((k, _))) => {
+                    if min.as_ref().is_none_or(|m| k < m) {
+                        min = Some(k.clone());
+                    }
+                }
+            }
+        }
+        Ok(min)
+    }
+}
+
+impl Iterator for MergeScanner {
+    type Item = Result<(CellKey, Vec<Version>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let key = match self.min_key() {
+            Ok(None) => return None,
+            Ok(Some(k)) => k,
+            Err(e) => {
+                self.failed = true;
+                return Some(Err(e));
+            }
+        };
+        let mut versions: Vec<Version> = Vec::new();
+        for s in &mut self.streams {
+            while matches!(s.peek(), Some(Ok((k, _))) if *k == key) {
+                match s.next() {
+                    Some(Ok((_, v))) => versions.push(v),
+                    _ => unreachable!("peeked Ok must yield Ok"),
+                }
+            }
+        }
+        // Newest first; stable so identical timestamps keep source order
+        // (streams are passed memtable-first, i.e. freshest source first).
+        versions.sort_by(|a, b| b.ts.cmp(&a.ts));
+        Some(Ok((key, versions)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Mutation;
+
+    fn stream(entries: Vec<(&'static str, u64)>) -> EntryStream {
+        Box::new(entries.into_iter().map(|(row, ts)| {
+            Ok((
+                CellKey::new(row.as_bytes().to_vec(), b"q".to_vec()),
+                Version {
+                    ts,
+                    mutation: Mutation::Put(vec![ts as u8]),
+                },
+            ))
+        }))
+    }
+
+    #[test]
+    fn merges_and_groups() {
+        let m = MergeScanner::new(vec![
+            stream(vec![("a", 5), ("c", 1)]),
+            stream(vec![("a", 2), ("b", 3)]),
+        ]);
+        let got: Vec<_> = m.map(|r| r.unwrap()).collect();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].0.row, b"a");
+        assert_eq!(got[0].1.iter().map(|v| v.ts).collect::<Vec<_>>(), vec![5, 2]);
+        assert_eq!(got[1].0.row, b"b");
+        assert_eq!(got[2].0.row, b"c");
+    }
+
+    #[test]
+    fn empty_streams_yield_nothing() {
+        let m = MergeScanner::new(vec![stream(vec![]), stream(vec![])]);
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn single_stream_passthrough() {
+        let m = MergeScanner::new(vec![stream(vec![("a", 1), ("b", 2)])]);
+        let rows: Vec<_> = m.map(|r| r.unwrap().0.row).collect();
+        assert_eq!(rows, vec![b"a".to_vec(), b"b".to_vec()]);
+    }
+}

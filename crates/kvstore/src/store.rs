@@ -1,0 +1,864 @@
+//! One table's storage engine: WAL + memtable + SSTables.
+
+use std::sync::Arc;
+
+use dt_common::{Error, IoStats, LogicalClock, Result};
+use parking_lot::{Mutex, RwLock};
+
+use crate::cell::{CellKey, Mutation, Version, ROW_TOMBSTONE_QUALIFIER};
+use crate::compaction;
+use crate::env::Env;
+use crate::memtable::{visible_at, MemTable};
+use crate::merge::MergeScanner;
+use crate::sstable::{SsTable, SsTableBuilder};
+use crate::wal::Wal;
+
+/// Tuning knobs for one store.
+#[derive(Debug, Clone)]
+pub struct KvConfig {
+    /// Flush the memtable to an SSTable once it holds this many bytes.
+    pub memtable_flush_bytes: usize,
+    /// Target data-block size inside SSTables.
+    pub block_size: usize,
+    /// Trigger a full compaction when this many SSTables accumulate.
+    pub max_sstables: usize,
+    /// Number of put versions retained per cell across compactions
+    /// (HBase's `VERSIONS`; the paper leans on multi-versioning for change
+    /// history).
+    pub max_versions: usize,
+    /// Whether flush/compaction happen automatically on write thresholds.
+    pub auto_maintenance: bool,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            memtable_flush_bytes: 4 << 20,
+            block_size: 16 << 10,
+            max_sstables: 8,
+            max_versions: 3,
+            auto_maintenance: true,
+        }
+    }
+}
+
+/// The resolved latest state of one row, as returned by scans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowEntry {
+    /// Row key.
+    pub row: Vec<u8>,
+    /// Live cells: `(qualifier, timestamp, value)`, qualifiers ascending.
+    pub cells: Vec<(Vec<u8>, u64, Vec<u8>)>,
+}
+
+struct State {
+    memtable: MemTable,
+    sstables: Vec<Arc<SsTable>>,
+    next_file_no: u64,
+}
+
+struct StoreInner {
+    env: Arc<dyn Env>,
+    config: KvConfig,
+    clock: LogicalClock,
+    stats: IoStats,
+    state: RwLock<State>,
+    // Serializes flush/compaction against each other.
+    maintenance: Mutex<()>,
+}
+
+/// A single sorted table — the unit the paper calls "an HBase table".
+///
+/// Cheap to clone (shared handle). All operations are thread-safe; scans
+/// never block writers (they snapshot the memtable and share immutable
+/// SSTables).
+#[derive(Clone)]
+pub struct Store {
+    inner: Arc<StoreInner>,
+}
+
+impl Store {
+    /// Opens (or creates) a store over `env`, replaying any WAL left by a
+    /// crash.
+    pub fn open(
+        env: Arc<dyn Env>,
+        config: KvConfig,
+        clock: LogicalClock,
+        stats: IoStats,
+    ) -> Result<Self> {
+        let mut memtable = MemTable::new();
+        let mut max_ts = 0u64;
+        for (key, version) in Wal::replay(env.as_ref())? {
+            max_ts = max_ts.max(version.ts);
+            memtable.insert(key, version);
+        }
+        let mut sstables = Vec::new();
+        let mut next_file_no = 0u64;
+        for name in env.list() {
+            if let Some(num) = name.strip_prefix("sst_") {
+                let table = Arc::new(SsTable::open(env.clone(), name.clone(), stats.clone())?);
+                max_ts = max_ts.max(table.max_ts());
+                if let Ok(n) = num.parse::<u64>() {
+                    next_file_no = next_file_no.max(n + 1);
+                }
+                sstables.push(table);
+            }
+        }
+        // Older files first so identical timestamps resolve newest-source
+        // first in merges (not that a monotone clock produces any).
+        sstables.sort_by(|a, b| a.name().cmp(b.name()));
+        clock.advance_past(max_ts);
+        Ok(Store {
+            inner: Arc::new(StoreInner {
+                env,
+                config,
+                clock,
+                stats,
+                state: RwLock::new(State {
+                    memtable,
+                    sstables,
+                    next_file_no,
+                }),
+                maintenance: Mutex::new(()),
+            }),
+        })
+    }
+
+    fn check_qualifier(qual: &[u8]) -> Result<()> {
+        if qual == ROW_TOMBSTONE_QUALIFIER {
+            return Err(Error::invalid("reserved qualifier"));
+        }
+        Ok(())
+    }
+
+    /// Writes one cell. Returns the assigned timestamp.
+    pub fn put(&self, row: &[u8], qual: &[u8], value: &[u8]) -> Result<u64> {
+        Self::check_qualifier(qual)?;
+        self.apply(vec![(
+            CellKey::new(row.to_vec(), qual.to_vec()),
+            Mutation::Put(value.to_vec()),
+        )])
+    }
+
+    /// Writes many cells atomically w.r.t. the WAL (one fsync'd record).
+    /// Each cell still gets its own timestamp.
+    pub fn put_batch(&self, cells: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>) -> Result<u64> {
+        let mut batch = Vec::with_capacity(cells.len());
+        for (row, qual, value) in cells {
+            Self::check_qualifier(&qual)?;
+            batch.push((CellKey::new(row, qual), Mutation::Put(value)));
+        }
+        self.apply(batch)
+    }
+
+    /// Tombstones one cell.
+    pub fn delete_cell(&self, row: &[u8], qual: &[u8]) -> Result<u64> {
+        Self::check_qualifier(qual)?;
+        self.apply(vec![(
+            CellKey::new(row.to_vec(), qual.to_vec()),
+            Mutation::Delete,
+        )])
+    }
+
+    /// Tombstones an entire row (all qualifiers, past and future-unknown).
+    pub fn delete_row(&self, row: &[u8]) -> Result<u64> {
+        self.apply(vec![(
+            CellKey::new(row.to_vec(), ROW_TOMBSTONE_QUALIFIER.to_vec()),
+            Mutation::Delete,
+        )])
+    }
+
+    fn apply(&self, mutations: Vec<(CellKey, Mutation)>) -> Result<u64> {
+        if mutations.is_empty() {
+            return Ok(self.inner.clock.peek());
+        }
+        let batch: Vec<(CellKey, Version)> = mutations
+            .into_iter()
+            .map(|(key, mutation)| {
+                (
+                    key,
+                    Version {
+                        ts: self.inner.clock.tick(),
+                        mutation,
+                    },
+                )
+            })
+            .collect();
+        let last_ts = batch.last().map(|(_, v)| v.ts).unwrap_or(0);
+        Wal::new(self.inner.env.clone(), self.inner.stats.clone()).append_batch(&batch)?;
+        let should_flush;
+        {
+            let mut state = self.inner.state.write();
+            for (key, version) in batch {
+                state.memtable.insert(key, version);
+            }
+            should_flush = self.inner.config.auto_maintenance
+                && state.memtable.approx_bytes() >= self.inner.config.memtable_flush_bytes;
+        }
+        if should_flush {
+            self.flush()?;
+            let should_compact = {
+                let state = self.inner.state.read();
+                state.sstables.len() > self.inner.config.max_sstables
+            };
+            if should_compact {
+                self.compact()?;
+            }
+        }
+        Ok(last_ts)
+    }
+
+    /// Latest visible value of a cell (respecting tombstones), or `None`.
+    pub fn get(&self, row: &[u8], qual: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_at(row, qual, u64::MAX)
+    }
+
+    /// Latest value visible at `snapshot_ts`.
+    pub fn get_at(&self, row: &[u8], qual: &[u8], snapshot_ts: u64) -> Result<Option<Vec<u8>>> {
+        let key = CellKey::new(row.to_vec(), qual.to_vec());
+        let tomb_key = CellKey::new(row.to_vec(), ROW_TOMBSTONE_QUALIFIER.to_vec());
+        let versions = self.collect_versions(&key)?;
+        let tombs = self.collect_versions(&tomb_key)?;
+        let row_tomb_ts = visible_at(&tombs, snapshot_ts).map_or(0, |v| v.ts);
+        Ok(match visible_at(&versions, snapshot_ts) {
+            Some(Version {
+                ts,
+                mutation: Mutation::Put(v),
+            }) if *ts > row_tomb_ts => Some(v.clone()),
+            _ => None,
+        })
+    }
+
+    /// Up to `max` historical versions of a cell, newest first, as
+    /// `(timestamp, value-or-tombstone)` pairs — the multi-version history
+    /// read the paper highlights (§V-C).
+    pub fn get_versions(
+        &self,
+        row: &[u8],
+        qual: &[u8],
+        max: usize,
+    ) -> Result<Vec<(u64, Option<Vec<u8>>)>> {
+        let key = CellKey::new(row.to_vec(), qual.to_vec());
+        let versions = self.collect_versions(&key)?;
+        Ok(versions
+            .into_iter()
+            .take(max)
+            .map(|v| {
+                let ts = v.ts;
+                match v.mutation {
+                    Mutation::Put(val) => (ts, Some(val)),
+                    Mutation::Delete => (ts, None),
+                }
+            })
+            .collect())
+    }
+
+    /// All versions of one cell across memtable and SSTables, newest first.
+    fn collect_versions(&self, key: &CellKey) -> Result<Vec<Version>> {
+        let state = self.inner.state.read();
+        let mut versions: Vec<Version> = state
+            .memtable
+            .get(key)
+            .map(<[Version]>::to_vec)
+            .unwrap_or_default();
+        for table in &state.sstables {
+            if table.may_contain_row(&key.row) {
+                self.inner.stats.record_seek();
+                versions.extend(table.get(key)?);
+            }
+        }
+        versions.sort_by(|a, b| b.ts.cmp(&a.ts));
+        Ok(versions)
+    }
+
+    /// Scans rows with keys in `[start, end)` (unbounded when `None`),
+    /// resolving each row to its latest visible cells.
+    pub fn scan(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> Result<ScanIter> {
+        self.scan_at(start, end, u64::MAX)
+    }
+
+    /// Like [`Store::scan`] at a historical snapshot.
+    pub fn scan_at(
+        &self,
+        start: Option<&[u8]>,
+        end: Option<&[u8]>,
+        snapshot_ts: u64,
+    ) -> Result<ScanIter> {
+        let (mem_entries, sstables) = {
+            let state = self.inner.state.read();
+            let mem: Vec<(CellKey, Version)> = state
+                .memtable
+                .range(start, end)
+                .flat_map(|(k, vs)| vs.iter().map(move |v| (k.clone(), v.clone())))
+                .collect();
+            (mem, state.sstables.clone())
+        };
+        let mut streams: Vec<Box<dyn Iterator<Item = Result<(CellKey, Version)>> + Send>> =
+            vec![Box::new(mem_entries.into_iter().map(Ok))];
+        for table in &sstables {
+            streams.push(Box::new(table.iter(
+                start.map(<[u8]>::to_vec),
+                end.map(<[u8]>::to_vec),
+            )));
+        }
+        Ok(ScanIter {
+            merge: MergeScanner::new(streams),
+            pending: None,
+            snapshot_ts,
+            done: false,
+        })
+    }
+
+    /// Moves the memtable into a new SSTable and truncates the WAL.
+    pub fn flush(&self) -> Result<()> {
+        let _guard = self.inner.maintenance.lock();
+        let drained = {
+            let mut state = self.inner.state.write();
+            if state.memtable.is_empty() {
+                return Ok(());
+            }
+            state.memtable.drain_sorted()
+        };
+        let entry_count: usize = drained.iter().map(|(_, vs)| vs.len()).sum();
+        let mut builder = SsTableBuilder::new(entry_count, self.inner.config.block_size);
+        for (key, versions) in &drained {
+            for version in versions {
+                builder.add(key, version)?;
+            }
+        }
+        let bytes = builder.finish();
+        let name = {
+            let mut state = self.inner.state.write();
+            let name = format!("sst_{:010}", state.next_file_no);
+            state.next_file_no += 1;
+            name
+        };
+        self.inner.stats.record_write(bytes.len() as u64);
+        self.inner.env.write_file(&name, &bytes)?;
+        let table = Arc::new(SsTable::open(
+            self.inner.env.clone(),
+            name,
+            self.inner.stats.clone(),
+        )?);
+        {
+            let mut state = self.inner.state.write();
+            state.sstables.push(table);
+        }
+        Wal::new(self.inner.env.clone(), self.inner.stats.clone()).reset()?;
+        Ok(())
+    }
+
+    /// Minor compaction: merges the *newest half* of the SSTables into one
+    /// (HBase minor-compaction style). Preserves tombstones and all
+    /// versions — only a full [`Store::compact`] may garbage-collect,
+    /// since older tables may hold data the tombstones suppress.
+    pub fn minor_compact(&self) -> Result<()> {
+        self.flush()?;
+        let _guard = self.inner.maintenance.lock();
+        let newest: Vec<Arc<SsTable>> = {
+            let state = self.inner.state.read();
+            if state.sstables.len() <= 1 {
+                return Ok(());
+            }
+            let half = state.sstables.len().div_ceil(2);
+            state.sstables[state.sstables.len() - half..].to_vec()
+        };
+        let file_no = {
+            let mut state = self.inner.state.write();
+            let n = state.next_file_no;
+            state.next_file_no += 1;
+            n
+        };
+        let (_, table) = compaction::merge_tables_keep_all(
+            &self.inner.env,
+            &newest,
+            &self.inner.config,
+            &self.inner.stats,
+            file_no,
+        )?;
+        {
+            let mut state = self.inner.state.write();
+            state
+                .sstables
+                .retain(|t| !newest.iter().any(|o| o.name() == t.name()));
+            // The merged table replaces the newest inputs; it must stay
+            // *after* the untouched older tables in recency order.
+            state.sstables.push(table);
+        }
+        for t in &newest {
+            t.mark_obsolete();
+        }
+        Ok(())
+    }
+
+    /// Full compaction: merges all SSTables into one, dropping shadowed
+    /// versions beyond `max_versions` and garbage-collecting tombstones.
+    pub fn compact(&self) -> Result<()> {
+        self.flush()?;
+        let _guard = self.inner.maintenance.lock();
+        let old = { self.inner.state.read().sstables.clone() };
+        if old.len() <= 1 {
+            return Ok(());
+        }
+        let (name, table) = compaction::compact_tables(
+            &self.inner.env,
+            &old,
+            &self.inner.config,
+            &self.inner.stats,
+            {
+                let mut state = self.inner.state.write();
+                let n = state.next_file_no;
+                state.next_file_no += 1;
+                n
+            },
+        )?;
+        {
+            let mut state = self.inner.state.write();
+            // Writers only append to `sstables` (flush); replace the old
+            // prefix we compacted, keep any tables flushed meanwhile.
+            state.sstables.retain(|t| {
+                !old.iter().any(|o| o.name() == t.name())
+            });
+            state.sstables.insert(0, table);
+        }
+        let _ = name;
+        // Deferred deletion: in-flight scans may still hold these tables;
+        // each file is removed when its last handle drops.
+        for t in &old {
+            t.mark_obsolete();
+        }
+        Ok(())
+    }
+
+    /// Approximate stored bytes (memtable + SSTable files).
+    pub fn approximate_bytes(&self) -> u64 {
+        let state = self.inner.state.read();
+        let sst: u64 = state
+            .sstables
+            .iter()
+            .map(|t| t.file_len().unwrap_or(0))
+            .sum();
+        sst + state.memtable.approx_bytes() as u64
+    }
+
+    /// Number of version entries currently stored (pre-resolution;
+    /// overcounts rows with history).
+    pub fn entry_count(&self) -> u64 {
+        let state = self.inner.state.read();
+        let sst: u64 = state.sstables.iter().map(|t| t.entry_count()).sum();
+        sst + state.memtable.entry_count() as u64
+    }
+
+    /// Number of SSTables currently live (for compaction tests).
+    pub fn sstable_count(&self) -> usize {
+        self.inner.state.read().sstables.len()
+    }
+
+    /// `true` iff no entries exist at all.
+    pub fn is_empty(&self) -> bool {
+        self.entry_count() == 0
+    }
+
+    /// Deletes every file backing this store.
+    pub fn destroy(self) -> Result<()> {
+        let _guard = self.inner.maintenance.lock();
+        for name in self.inner.env.list() {
+            self.inner.env.delete(&name)?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over resolved rows, produced by [`Store::scan`].
+pub struct ScanIter {
+    merge: MergeScanner,
+    pending: Option<(CellKey, Vec<Version>)>,
+    snapshot_ts: u64,
+    done: bool,
+}
+
+impl ScanIter {
+    /// Collects the whole scan into memory.
+    pub fn collect_rows(self) -> Result<Vec<RowEntry>> {
+        let mut out = Vec::new();
+        for row in self {
+            out.push(row?);
+        }
+        Ok(out)
+    }
+
+    fn next_row(&mut self) -> Result<Option<RowEntry>> {
+        loop {
+            // Gather every cell group belonging to the next row.
+            let first = match self.pending.take() {
+                Some(g) => g,
+                None => match self.merge.next() {
+                    None => return Ok(None),
+                    Some(g) => g?,
+                },
+            };
+            let row_key = first.0.row.clone();
+            let mut groups = vec![first];
+            loop {
+                match self.merge.next() {
+                    None => break,
+                    Some(g) => {
+                        let g = g?;
+                        if g.0.row == row_key {
+                            groups.push(g);
+                        } else {
+                            self.pending = Some(g);
+                            break;
+                        }
+                    }
+                }
+            }
+            // Resolve: find the row tombstone, then each cell's visible
+            // version newer than it.
+            let mut row_tomb_ts = 0u64;
+            for (key, versions) in &groups {
+                if key.qual == ROW_TOMBSTONE_QUALIFIER {
+                    if let Some(v) = visible_at(versions, self.snapshot_ts) {
+                        row_tomb_ts = row_tomb_ts.max(v.ts);
+                    }
+                }
+            }
+            let mut cells = Vec::new();
+            for (key, versions) in &groups {
+                if key.qual == ROW_TOMBSTONE_QUALIFIER {
+                    continue;
+                }
+                if let Some(Version {
+                    ts,
+                    mutation: Mutation::Put(value),
+                }) = visible_at(versions, self.snapshot_ts)
+                {
+                    if *ts > row_tomb_ts {
+                        cells.push((key.qual.clone(), *ts, value.clone()));
+                    }
+                }
+            }
+            if !cells.is_empty() {
+                return Ok(Some(RowEntry { row: row_key, cells }));
+            }
+            // Fully-deleted row: keep scanning.
+        }
+    }
+}
+
+impl Iterator for ScanIter {
+    type Item = Result<RowEntry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_row() {
+            Ok(Some(row)) => Some(Ok(row)),
+            Ok(None) => None,
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::MemEnv;
+
+    fn fresh() -> Store {
+        Store::open(
+            Arc::new(MemEnv::new()),
+            KvConfig {
+                memtable_flush_bytes: 1 << 20,
+                block_size: 256,
+                max_sstables: 4,
+                max_versions: 3,
+                auto_maintenance: false,
+            },
+            LogicalClock::new(),
+            IoStats::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip_memtable_and_sstable() {
+        let s = fresh();
+        s.put(b"r1", b"a", b"v1").unwrap();
+        assert_eq!(s.get(b"r1", b"a").unwrap().unwrap(), b"v1");
+        s.flush().unwrap();
+        assert_eq!(s.get(b"r1", b"a").unwrap().unwrap(), b"v1");
+        // Overwrite lands in the fresh memtable but shadows the SSTable.
+        s.put(b"r1", b"a", b"v2").unwrap();
+        assert_eq!(s.get(b"r1", b"a").unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn delete_cell_hides_value_across_flushes() {
+        let s = fresh();
+        s.put(b"r", b"q", b"v").unwrap();
+        s.flush().unwrap();
+        s.delete_cell(b"r", b"q").unwrap();
+        assert!(s.get(b"r", b"q").unwrap().is_none());
+        s.flush().unwrap();
+        assert!(s.get(b"r", b"q").unwrap().is_none());
+    }
+
+    #[test]
+    fn delete_row_hides_all_cells_but_allows_rebirth() {
+        let s = fresh();
+        s.put(b"r", b"a", b"1").unwrap();
+        s.put(b"r", b"b", b"2").unwrap();
+        s.delete_row(b"r").unwrap();
+        assert!(s.get(b"r", b"a").unwrap().is_none());
+        assert!(s.get(b"r", b"b").unwrap().is_none());
+        let rows = s.scan(None, None).unwrap().collect_rows().unwrap();
+        assert!(rows.is_empty());
+        // A later put resurrects the row.
+        s.put(b"r", b"a", b"3").unwrap();
+        assert_eq!(s.get(b"r", b"a").unwrap().unwrap(), b"3");
+        assert!(s.get(b"r", b"b").unwrap().is_none());
+    }
+
+    #[test]
+    fn scan_merges_memtable_and_sstables_in_order() {
+        let s = fresh();
+        s.put(b"b", b"q", b"sst").unwrap();
+        s.flush().unwrap();
+        s.put(b"a", b"q", b"mem").unwrap();
+        s.put(b"b", b"q", b"newer").unwrap();
+        let rows = s.scan(None, None).unwrap().collect_rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].row, b"a");
+        assert_eq!(rows[1].row, b"b");
+        assert_eq!(rows[1].cells[0].2, b"newer");
+    }
+
+    #[test]
+    fn scan_range_bounds() {
+        let s = fresh();
+        for i in 0..10u8 {
+            s.put(&[i], b"q", &[i]).unwrap();
+        }
+        let rows = s
+            .scan(Some(&[3u8][..]), Some(&[7u8][..]))
+            .unwrap()
+            .collect_rows()
+            .unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].row, vec![3u8]);
+        assert_eq!(rows[3].row, vec![6u8]);
+    }
+
+    #[test]
+    fn snapshot_reads_see_the_past() {
+        let s = fresh();
+        let t1 = s.put(b"r", b"q", b"old").unwrap();
+        let _t2 = s.put(b"r", b"q", b"new").unwrap();
+        assert_eq!(s.get_at(b"r", b"q", t1).unwrap().unwrap(), b"old");
+        assert_eq!(s.get(b"r", b"q").unwrap().unwrap(), b"new");
+        let hist = s.get_versions(b"r", b"q", 10).unwrap();
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[0].1.as_deref().unwrap(), b"new");
+        assert_eq!(hist[1].1.as_deref().unwrap(), b"old");
+    }
+
+    #[test]
+    fn wal_recovery_after_crash() {
+        let env: Arc<MemEnv> = Arc::new(MemEnv::new());
+        let clock = LogicalClock::new();
+        {
+            let s = Store::open(
+                env.clone(),
+                KvConfig::default(),
+                clock.clone(),
+                IoStats::new(),
+            )
+            .unwrap();
+            s.put(b"r", b"q", b"survives").unwrap();
+            // No flush: data only in WAL + memtable. Store handle dropped =
+            // process crash.
+        }
+        let s = Store::open(env, KvConfig::default(), clock, IoStats::new()).unwrap();
+        assert_eq!(s.get(b"r", b"q").unwrap().unwrap(), b"survives");
+    }
+
+    #[test]
+    fn reopen_resumes_clock_beyond_persisted_timestamps() {
+        let env: Arc<MemEnv> = Arc::new(MemEnv::new());
+        let ts = {
+            let s = Store::open(
+                env.clone(),
+                KvConfig::default(),
+                LogicalClock::new(),
+                IoStats::new(),
+            )
+            .unwrap();
+            let ts = s.put(b"r", b"q", b"v1").unwrap();
+            s.flush().unwrap();
+            ts
+        };
+        // A brand-new clock would restart at 1 and write "older" data; the
+        // store must fast-forward it.
+        let clock = LogicalClock::new();
+        let s = Store::open(env, KvConfig::default(), clock, IoStats::new()).unwrap();
+        let ts2 = s.put(b"r", b"q", b"v2").unwrap();
+        assert!(ts2 > ts);
+        assert_eq!(s.get(b"r", b"q").unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn compaction_reduces_tables_and_preserves_data() {
+        let s = fresh();
+        for round in 0..5u8 {
+            for i in 0..20u8 {
+                s.put(&[i], b"q", &[round]).unwrap();
+            }
+            s.flush().unwrap();
+        }
+        assert_eq!(s.sstable_count(), 5);
+        s.compact().unwrap();
+        assert_eq!(s.sstable_count(), 1);
+        for i in 0..20u8 {
+            assert_eq!(s.get(&[i], b"q").unwrap().unwrap(), vec![4u8]);
+        }
+    }
+
+    #[test]
+    fn compaction_garbage_collects_tombstones() {
+        let s = fresh();
+        s.put(b"dead", b"q", b"v").unwrap();
+        s.flush().unwrap();
+        s.delete_row(b"dead").unwrap();
+        s.put(b"alive", b"q", b"v").unwrap();
+        s.flush().unwrap();
+        let before = s.entry_count();
+        s.compact().unwrap();
+        let after = s.entry_count();
+        assert!(after < before, "compaction should drop dead entries");
+        assert!(s.get(b"dead", b"q").unwrap().is_none());
+        assert_eq!(s.get(b"alive", b"q").unwrap().unwrap(), b"v");
+    }
+
+    #[test]
+    fn auto_flush_triggers_on_threshold() {
+        let env: Arc<MemEnv> = Arc::new(MemEnv::new());
+        let s = Store::open(
+            env,
+            KvConfig {
+                memtable_flush_bytes: 256,
+                block_size: 128,
+                max_sstables: 100,
+                max_versions: 1,
+                auto_maintenance: true,
+            },
+            LogicalClock::new(),
+            IoStats::new(),
+        )
+        .unwrap();
+        for i in 0..64u32 {
+            s.put(&i.to_be_bytes(), b"q", &[0u8; 16]).unwrap();
+        }
+        assert!(s.sstable_count() > 0, "expected automatic flushes");
+    }
+
+    #[test]
+    fn reserved_qualifier_rejected() {
+        let s = fresh();
+        assert!(s.put(b"r", ROW_TOMBSTONE_QUALIFIER, b"v").is_err());
+        assert!(s.delete_cell(b"r", ROW_TOMBSTONE_QUALIFIER).is_err());
+    }
+
+    #[test]
+    fn multi_qualifier_rows_group_into_one_entry() {
+        let s = fresh();
+        s.put(b"r", b"a", b"1").unwrap();
+        s.put(b"r", b"c", b"3").unwrap();
+        s.put(b"r", b"b", b"2").unwrap();
+        let rows = s.scan(None, None).unwrap().collect_rows().unwrap();
+        assert_eq!(rows.len(), 1);
+        let quals: Vec<_> = rows[0].cells.iter().map(|(q, _, _)| q.clone()).collect();
+        assert_eq!(quals, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+    }
+}
+
+
+#[cfg(test)]
+mod minor_compact_tests {
+    use super::*;
+    use crate::env::MemEnv;
+
+    fn fresh() -> Store {
+        Store::open(
+            Arc::new(MemEnv::new()),
+            KvConfig {
+                memtable_flush_bytes: 1 << 20,
+                block_size: 256,
+                max_sstables: 64,
+                max_versions: 3,
+                auto_maintenance: false,
+            },
+            LogicalClock::new(),
+            IoStats::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn minor_compact_halves_table_count_and_preserves_data() {
+        let s = fresh();
+        for round in 0..6u8 {
+            for i in 0..10u8 {
+                s.put(&[i], b"q", &[round]).unwrap();
+            }
+            s.flush().unwrap();
+        }
+        assert_eq!(s.sstable_count(), 6);
+        s.minor_compact().unwrap();
+        assert_eq!(s.sstable_count(), 4, "newest 3 merged into 1");
+        for i in 0..10u8 {
+            assert_eq!(s.get(&[i], b"q").unwrap().unwrap(), vec![5u8]);
+        }
+        // Versions survive a minor compaction (no GC).
+        let hist = s.get_versions(&[0], b"q", 10).unwrap();
+        assert_eq!(hist.len(), 6);
+    }
+
+    #[test]
+    fn minor_compact_preserves_tombstone_effect() {
+        let s = fresh();
+        s.put(b"victim", b"q", b"old").unwrap();
+        s.flush().unwrap();
+        // Tombstone lands in a newer table; the put it shadows sits in the
+        // oldest table, which minor compaction will NOT touch.
+        s.delete_cell(b"victim", b"q").unwrap();
+        s.flush().unwrap();
+        s.put(b"other", b"q", b"x").unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.sstable_count(), 3);
+        s.minor_compact().unwrap();
+        assert!(s.sstable_count() < 3);
+        assert!(
+            s.get(b"victim", b"q").unwrap().is_none(),
+            "tombstone must keep suppressing the old value"
+        );
+        assert_eq!(s.get(b"other", b"q").unwrap().unwrap(), b"x");
+        // A later full compaction GCs it for real.
+        s.compact().unwrap();
+        assert!(s.get(b"victim", b"q").unwrap().is_none());
+    }
+
+    #[test]
+    fn minor_compact_on_single_table_is_noop() {
+        let s = fresh();
+        s.put(b"a", b"q", b"v").unwrap();
+        s.flush().unwrap();
+        s.minor_compact().unwrap();
+        assert_eq!(s.sstable_count(), 1);
+        assert_eq!(s.get(b"a", b"q").unwrap().unwrap(), b"v");
+    }
+}

@@ -1,0 +1,159 @@
+//! Write-ahead log: CRC-framed batches of cell mutations.
+//!
+//! Record framing: `[payload_len: u32 LE][crc32(payload): u32 LE][payload]`.
+//! The payload is a varint entry count followed by encoded entries. On
+//! replay, a truncated or corrupt tail record is treated as a crash during
+//! the final write and ignored — everything before it is recovered.
+
+use std::sync::Arc;
+
+use dt_common::crc32::crc32;
+use dt_common::{IoStats, Result};
+
+use crate::cell::{decode_entry, encode_entry, CellKey, Version};
+use crate::env::Env;
+
+pub(crate) const WAL_FILE: &str = "wal.log";
+
+/// Appender for the write-ahead log.
+pub(crate) struct Wal {
+    env: Arc<dyn Env>,
+    stats: IoStats,
+}
+
+impl Wal {
+    pub fn new(env: Arc<dyn Env>, stats: IoStats) -> Self {
+        Wal { env, stats }
+    }
+
+    /// Durably appends a batch of mutations.
+    pub fn append_batch(&self, batch: &[(CellKey, Version)]) -> Result<()> {
+        let mut payload = Vec::with_capacity(64 * batch.len());
+        dt_common::codec::put_uvarint(&mut payload, batch.len() as u64);
+        for (key, version) in batch {
+            encode_entry(&mut payload, key, version);
+        }
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.stats.record_write(frame.len() as u64);
+        self.env.append(WAL_FILE, &frame)
+    }
+
+    /// Deletes the log after a successful memtable flush.
+    pub fn reset(&self) -> Result<()> {
+        match self.env.delete(WAL_FILE) {
+            Ok(()) => Ok(()),
+            // Nothing was ever logged: fine.
+            Err(dt_common::Error::NotFound(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Replays all intact records, in order.
+    pub fn replay(env: &dyn Env) -> Result<Vec<(CellKey, Version)>> {
+        let data = match env.read_file(WAL_FILE) {
+            Ok(d) => d,
+            Err(dt_common::Error::NotFound(_)) => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos + 8 <= data.len() {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+            let body_start = pos + 8;
+            let body_end = match body_start.checked_add(len) {
+                Some(e) if e <= data.len() => e,
+                // Truncated tail — crash mid-write; stop here.
+                _ => break,
+            };
+            let payload = &data[body_start..body_end];
+            if crc32(payload) != crc {
+                // Torn or corrupt tail record: stop replay.
+                break;
+            }
+            let mut p = 0usize;
+            let count = dt_common::codec::get_uvarint(payload, &mut p)?;
+            for _ in 0..count {
+                out.push(decode_entry(payload, &mut p)?);
+            }
+            pos = body_end;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Mutation;
+    use crate::env::MemEnv;
+    use dt_common::IoStats;
+
+    fn kv(ts: u64) -> (CellKey, Version) {
+        (
+            CellKey::new(format!("row{ts}").into_bytes(), b"q".to_vec()),
+            Version {
+                ts,
+                mutation: Mutation::Put(vec![ts as u8]),
+            },
+        )
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let env = Arc::new(MemEnv::new());
+        let wal = Wal::new(env.clone(), IoStats::new());
+        wal.append_batch(&[kv(1), kv(2)]).unwrap();
+        wal.append_batch(&[kv(3)]).unwrap();
+        let replayed = Wal::replay(env.as_ref()).unwrap();
+        assert_eq!(replayed, vec![kv(1), kv(2), kv(3)]);
+    }
+
+    #[test]
+    fn replay_empty_env_is_empty() {
+        let env = MemEnv::new();
+        assert!(Wal::replay(&env).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_tail_is_ignored() {
+        let env = Arc::new(MemEnv::new());
+        let wal = Wal::new(env.clone(), IoStats::new());
+        wal.append_batch(&[kv(1)]).unwrap();
+        wal.append_batch(&[kv(2)]).unwrap();
+        // Simulate a crash mid-append by truncating the file.
+        let data = env.read_file(WAL_FILE).unwrap();
+        env.delete(WAL_FILE).unwrap();
+        env.append(WAL_FILE, &data[..data.len() - 3]).unwrap();
+        let replayed = Wal::replay(env.as_ref()).unwrap();
+        assert_eq!(replayed, vec![kv(1)]);
+    }
+
+    #[test]
+    fn corrupt_tail_is_ignored() {
+        let env = Arc::new(MemEnv::new());
+        let wal = Wal::new(env.clone(), IoStats::new());
+        wal.append_batch(&[kv(1)]).unwrap();
+        wal.append_batch(&[kv(2)]).unwrap();
+        let mut data = env.read_file(WAL_FILE).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0xFF; // flip a bit in the last record's payload
+        env.delete(WAL_FILE).unwrap();
+        env.append(WAL_FILE, &data).unwrap();
+        let replayed = Wal::replay(env.as_ref()).unwrap();
+        assert_eq!(replayed, vec![kv(1)]);
+    }
+
+    #[test]
+    fn reset_clears_log_idempotently() {
+        let env = Arc::new(MemEnv::new());
+        let wal = Wal::new(env.clone(), IoStats::new());
+        wal.append_batch(&[kv(1)]).unwrap();
+        wal.reset().unwrap();
+        wal.reset().unwrap();
+        assert!(Wal::replay(env.as_ref()).unwrap().is_empty());
+    }
+}

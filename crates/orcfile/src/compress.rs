@@ -1,0 +1,230 @@
+//! Block compression for column streams.
+//!
+//! A byte-oriented LZ77 variant in the spirit of Snappy/LZ4 (ORC compresses
+//! streams with zlib or Snappy): greedy hash-chain matching, sequences of
+//! `(literal run, back-reference)`. Each compressed block is framed as
+//! `[raw_len varint][mode byte][payload]`; when compression does not pay,
+//! the raw bytes are stored (`mode = 0`).
+
+use dt_common::codec::{get_uvarint, put_uvarint};
+use dt_common::{Error, Result};
+
+/// Compression codec selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Codec {
+    /// Store raw bytes.
+    None,
+    /// LZ77-style compression (default).
+    #[default]
+    Lz,
+}
+
+const MODE_RAW: u8 = 0;
+const MODE_LZ: u8 = 1;
+
+const MIN_MATCH: usize = 4;
+const HASH_BITS: u32 = 14;
+const MAX_OFFSET: usize = 0xFFFF;
+
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// LZ payload grammar, repeated until input is exhausted:
+/// `[lit_len varint][lit bytes][match_len varint][offset u16 LE]`.
+/// A `match_len` of 0 terminates (trailing literals only).
+fn lz_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    while i + MIN_MATCH <= data.len() {
+        let h = hash4(data, i);
+        let cand = table[h];
+        table[h] = i;
+        if cand != usize::MAX
+            && i - cand <= MAX_OFFSET
+            && data[cand..cand + MIN_MATCH] == data[i..i + MIN_MATCH]
+        {
+            // Extend the match.
+            let mut len = MIN_MATCH;
+            while i + len < data.len() && data[cand + len] == data[i + len] {
+                len += 1;
+            }
+            // Emit literals then the match.
+            put_uvarint(&mut out, (i - lit_start) as u64);
+            out.extend_from_slice(&data[lit_start..i]);
+            put_uvarint(&mut out, len as u64);
+            out.extend_from_slice(&((i - cand) as u16).to_le_bytes());
+            // Seed the table sparsely inside the match.
+            let end = i + len;
+            while i < end.min(data.len().saturating_sub(MIN_MATCH)) {
+                table[hash4(data, i)] = i;
+                i += 2;
+            }
+            i = end;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    // Trailing literals with terminating zero-length match.
+    put_uvarint(&mut out, (data.len() - lit_start) as u64);
+    out.extend_from_slice(&data[lit_start..]);
+    put_uvarint(&mut out, 0);
+    out
+}
+
+fn lz_decompress(mut input: &[u8], raw_len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(raw_len);
+    loop {
+        let mut pos = 0usize;
+        let lit_len = get_uvarint(input, &mut pos)? as usize;
+        if pos + lit_len > input.len() {
+            return Err(Error::corrupt("LZ literal run overruns input"));
+        }
+        out.extend_from_slice(&input[pos..pos + lit_len]);
+        pos += lit_len;
+        input = &input[pos..];
+
+        let mut pos = 0usize;
+        let match_len = get_uvarint(input, &mut pos)? as usize;
+        input = &input[pos..];
+        if match_len == 0 {
+            break;
+        }
+        if input.len() < 2 {
+            return Err(Error::corrupt("LZ match offset truncated"));
+        }
+        let offset = u16::from_le_bytes([input[0], input[1]]) as usize;
+        input = &input[2..];
+        if offset == 0 || offset > out.len() {
+            return Err(Error::corrupt("LZ match offset out of range"));
+        }
+        // Overlapping copies are legal (RLE-style matches).
+        let start = out.len() - offset;
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+    if out.len() != raw_len {
+        return Err(Error::corrupt(format!(
+            "LZ decompressed {} bytes, expected {raw_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Compresses `data` into a framed block.
+pub fn compress_block(codec: Codec, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    put_uvarint(&mut out, data.len() as u64);
+    match codec {
+        Codec::None => {
+            out.push(MODE_RAW);
+            out.extend_from_slice(data);
+        }
+        Codec::Lz => {
+            let lz = lz_compress(data);
+            if lz.len() < data.len() {
+                out.push(MODE_LZ);
+                out.extend_from_slice(&lz);
+            } else {
+                out.push(MODE_RAW);
+                out.extend_from_slice(data);
+            }
+        }
+    }
+    out
+}
+
+/// Decompresses a block written by [`compress_block`].
+pub fn decompress_block(data: &[u8]) -> Result<Vec<u8>> {
+    let mut pos = 0usize;
+    let raw_len = get_uvarint(data, &mut pos)? as usize;
+    let mode = *data
+        .get(pos)
+        .ok_or_else(|| Error::corrupt("truncated compression mode"))?;
+    pos += 1;
+    let payload = &data[pos..];
+    match mode {
+        MODE_RAW => {
+            if payload.len() != raw_len {
+                return Err(Error::corrupt("raw block length mismatch"));
+            }
+            Ok(payload.to_vec())
+        }
+        MODE_LZ => lz_decompress(payload, raw_len),
+        other => Err(Error::corrupt(format!("unknown compression mode {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(codec: Codec, data: &[u8]) {
+        let c = compress_block(codec, data);
+        let d = decompress_block(&c).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_and_small() {
+        roundtrip(Codec::Lz, b"");
+        roundtrip(Codec::Lz, b"a");
+        roundtrip(Codec::None, b"abc");
+    }
+
+    #[test]
+    fn repetitive_data_shrinks() {
+        let data: Vec<u8> = b"abcdefgh".repeat(1000);
+        let c = compress_block(Codec::Lz, &data);
+        assert!(c.len() < data.len() / 4, "compressed {} of {}", c.len(), data.len());
+        assert_eq!(decompress_block(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_style_overlap() {
+        let data = vec![7u8; 10_000];
+        roundtrip(Codec::Lz, &data);
+    }
+
+    #[test]
+    fn incompressible_data_stored_raw() {
+        // Pseudo-random bytes.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..1000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        let c = compress_block(Codec::Lz, &data);
+        assert!(c.len() <= data.len() + 16);
+        assert_eq!(decompress_block(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_blocks_rejected() {
+        let c = compress_block(Codec::Lz, &b"hello world hello world hello"[..]);
+        assert!(decompress_block(&c[..c.len() - 2]).is_err());
+        let mut bad = c.clone();
+        bad[0] ^= 0x7F; // mangle raw_len
+        assert!(decompress_block(&bad).is_err());
+    }
+
+    #[test]
+    fn long_matches_cross_block_structures() {
+        let mut data = Vec::new();
+        for i in 0..500u32 {
+            data.extend_from_slice(format!("row-{}-{}", i % 7, i % 3).as_bytes());
+        }
+        roundtrip(Codec::Lz, &data);
+    }
+}

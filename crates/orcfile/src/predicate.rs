@@ -1,0 +1,134 @@
+//! Search arguments (ORC "SArgs"): column-vs-literal predicates that the
+//! reader evaluates against stripe statistics to skip stripes.
+
+use dt_common::Value;
+
+use crate::stats::ColumnStats;
+
+/// Comparison operator of a push-down predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateOp {
+    /// `col = lit`
+    Eq,
+    /// `col < lit`
+    Lt,
+    /// `col <= lit`
+    Le,
+    /// `col > lit`
+    Gt,
+    /// `col >= lit`
+    Ge,
+}
+
+/// `column <op> literal`, used only to *exclude* stripes — a stripe that
+/// "may match" must still be filtered row-by-row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnPredicate {
+    /// Column ordinal in the file schema.
+    pub column: usize,
+    /// Comparison operator.
+    pub op: PredicateOp,
+    /// Literal to compare against.
+    pub literal: Value,
+}
+
+impl ColumnPredicate {
+    /// Creates a predicate.
+    pub fn new(column: usize, op: PredicateOp, literal: Value) -> Self {
+        ColumnPredicate {
+            column,
+            op,
+            literal,
+        }
+    }
+
+    /// Conservatively decides whether a row range with these stats could
+    /// contain a matching row. `true` means "cannot rule out".
+    pub fn may_match(&self, stats: &[ColumnStats]) -> bool {
+        let Some(s) = stats.get(self.column) else {
+            return true;
+        };
+        let (Some(min), Some(max)) = (&s.min, &s.max) else {
+            // All-null (or empty) column: no non-null value can satisfy a
+            // comparison.
+            return false;
+        };
+        if self.literal.is_null() {
+            return false;
+        }
+        match self.op {
+            PredicateOp::Eq => {
+                min.total_cmp(&self.literal).is_le() && max.total_cmp(&self.literal).is_ge()
+            }
+            PredicateOp::Lt => min.total_cmp(&self.literal).is_lt(),
+            PredicateOp::Le => min.total_cmp(&self.literal).is_le(),
+            PredicateOp::Gt => max.total_cmp(&self.literal).is_gt(),
+            PredicateOp::Ge => max.total_cmp(&self.literal).is_ge(),
+        }
+    }
+}
+
+/// `true` iff every predicate in the conjunction may match.
+pub fn conjunction_may_match(predicates: &[ColumnPredicate], stats: &[ColumnStats]) -> bool {
+    predicates.iter().all(|p| p.may_match(stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(min: i64, max: i64) -> Vec<ColumnStats> {
+        let mut s = ColumnStats::new();
+        s.update(&Value::Int64(min));
+        s.update(&Value::Int64(max));
+        vec![s]
+    }
+
+    #[test]
+    fn eq_inside_and_outside_range() {
+        let s = stats(10, 20);
+        assert!(ColumnPredicate::new(0, PredicateOp::Eq, Value::Int64(15)).may_match(&s));
+        assert!(ColumnPredicate::new(0, PredicateOp::Eq, Value::Int64(10)).may_match(&s));
+        assert!(!ColumnPredicate::new(0, PredicateOp::Eq, Value::Int64(9)).may_match(&s));
+        assert!(!ColumnPredicate::new(0, PredicateOp::Eq, Value::Int64(21)).may_match(&s));
+    }
+
+    #[test]
+    fn inequalities() {
+        let s = stats(10, 20);
+        assert!(!ColumnPredicate::new(0, PredicateOp::Lt, Value::Int64(10)).may_match(&s));
+        assert!(ColumnPredicate::new(0, PredicateOp::Le, Value::Int64(10)).may_match(&s));
+        assert!(!ColumnPredicate::new(0, PredicateOp::Gt, Value::Int64(20)).may_match(&s));
+        assert!(ColumnPredicate::new(0, PredicateOp::Ge, Value::Int64(20)).may_match(&s));
+        assert!(ColumnPredicate::new(0, PredicateOp::Gt, Value::Int64(0)).may_match(&s));
+    }
+
+    #[test]
+    fn all_null_column_never_matches() {
+        let mut s = ColumnStats::new();
+        s.update(&Value::Null);
+        assert!(!ColumnPredicate::new(0, PredicateOp::Eq, Value::Int64(1)).may_match(&[s]));
+    }
+
+    #[test]
+    fn null_literal_never_matches() {
+        let s = stats(1, 2);
+        assert!(!ColumnPredicate::new(0, PredicateOp::Eq, Value::Null).may_match(&s));
+    }
+
+    #[test]
+    fn unknown_column_is_conservative() {
+        let s = stats(1, 2);
+        assert!(ColumnPredicate::new(9, PredicateOp::Eq, Value::Int64(5)).may_match(&s));
+    }
+
+    #[test]
+    fn conjunction_requires_all() {
+        let s = stats(10, 20);
+        let p1 = ColumnPredicate::new(0, PredicateOp::Ge, Value::Int64(15));
+        let p2 = ColumnPredicate::new(0, PredicateOp::Eq, Value::Int64(99));
+        assert!(conjunction_may_match(&[p1.clone()], &s));
+        assert!(!conjunction_may_match(&[p1, p2], &s));
+        assert!(conjunction_may_match(&[], &s));
+    }
+}

@@ -1,0 +1,235 @@
+//! Light-weight encodings for column streams: integer run-length encoding
+//! (modelled after ORC RLE v1) and bit-packing for booleans/presence maps.
+
+use dt_common::codec::{get_ivarint, get_uvarint, put_ivarint, put_uvarint};
+use dt_common::{Error, Result};
+
+/// Encodes a sequence of `i64` with ORC-v1-style RLE:
+///
+/// * **run**: control byte `0..=127` = run length − 3 (3..=130 values),
+///   followed by an `i8` delta and the varint base value;
+/// * **literals**: control byte `0x80 | (count − 1)` (1..=128 values),
+///   followed by that many signed varints.
+pub fn encode_i64s(values: &[i64], out: &mut Vec<u8>) {
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    while i < values.len() {
+        // Try to detect a run of >= 3 values with a constant small delta.
+        let run_len = run_length_at(values, i);
+        if run_len >= 3 {
+            flush_literals(&values[lit_start..i], out);
+            let delta = if run_len > 1 {
+                (values[i + 1] - values[i]) as i8
+            } else {
+                0
+            };
+            let capped = run_len.min(130);
+            out.push((capped - 3) as u8);
+            out.push(delta as u8);
+            put_ivarint(out, values[i]);
+            i += capped;
+            lit_start = i;
+        } else {
+            i += 1;
+            if i - lit_start == 128 {
+                flush_literals(&values[lit_start..i], out);
+                lit_start = i;
+            }
+        }
+    }
+    flush_literals(&values[lit_start..], out);
+}
+
+/// Length of the constant-delta run starting at `i` (delta must fit i8).
+fn run_length_at(values: &[i64], i: usize) -> usize {
+    if i + 2 >= values.len() {
+        return 0;
+    }
+    let delta = match values[i + 1].checked_sub(values[i]) {
+        Some(d) if i8::try_from(d).is_ok() => d,
+        _ => return 0,
+    };
+    if values[i + 2].checked_sub(values[i + 1]) != Some(delta) {
+        return 0;
+    }
+    let mut len = 3;
+    while i + len < values.len()
+        && values[i + len].checked_sub(values[i + len - 1]) == Some(delta)
+    {
+        len += 1;
+    }
+    len
+}
+
+fn flush_literals(lits: &[i64], out: &mut Vec<u8>) {
+    for chunk in lits.chunks(128) {
+        if chunk.is_empty() {
+            continue;
+        }
+        out.push(0x80 | (chunk.len() - 1) as u8);
+        for v in chunk {
+            put_ivarint(out, *v);
+        }
+    }
+}
+
+/// Decodes exactly `count` values written by [`encode_i64s`].
+pub fn decode_i64s(buf: &[u8], pos: &mut usize, count: usize) -> Result<Vec<i64>> {
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let control = *buf
+            .get(*pos)
+            .ok_or_else(|| Error::corrupt("truncated RLE control byte"))?;
+        *pos += 1;
+        if control & 0x80 != 0 {
+            let n = (control & 0x7F) as usize + 1;
+            for _ in 0..n {
+                out.push(get_ivarint(buf, pos)?);
+            }
+        } else {
+            let n = control as usize + 3;
+            let delta = *buf
+                .get(*pos)
+                .ok_or_else(|| Error::corrupt("truncated RLE delta"))? as i8;
+            *pos += 1;
+            let base = get_ivarint(buf, pos)?;
+            let mut v = base;
+            for k in 0..n {
+                if k > 0 {
+                    v = v
+                        .checked_add(i64::from(delta))
+                        .ok_or_else(|| Error::corrupt("RLE run overflow"))?;
+                }
+                out.push(v);
+            }
+        }
+    }
+    if out.len() != count {
+        return Err(Error::corrupt("RLE produced more values than expected"));
+    }
+    Ok(out)
+}
+
+/// Bit-packs booleans MSB-first, prefixed with the value count.
+pub fn encode_bools(values: &[bool], out: &mut Vec<u8>) {
+    put_uvarint(out, values.len() as u64);
+    let mut byte = 0u8;
+    for (i, &b) in values.iter().enumerate() {
+        if b {
+            byte |= 0x80 >> (i % 8);
+        }
+        if i % 8 == 7 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if values.len() % 8 != 0 {
+        out.push(byte);
+    }
+}
+
+/// Decodes booleans written by [`encode_bools`].
+pub fn decode_bools(buf: &[u8], pos: &mut usize) -> Result<Vec<bool>> {
+    let count = get_uvarint(buf, pos)? as usize;
+    let bytes = count.div_ceil(8);
+    if *pos + bytes > buf.len() {
+        return Err(Error::corrupt("truncated bool stream"));
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let byte = buf[*pos + i / 8];
+        out.push(byte & (0x80 >> (i % 8)) != 0);
+    }
+    *pos += bytes;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_ints(values: &[i64]) {
+        let mut buf = Vec::new();
+        encode_i64s(values, &mut buf);
+        let mut pos = 0;
+        let got = decode_i64s(&buf, &mut pos, values.len()).unwrap();
+        assert_eq!(got, values);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn constant_run_compresses_well() {
+        let values = vec![42i64; 1000];
+        let mut buf = Vec::new();
+        encode_i64s(&values, &mut buf);
+        assert!(buf.len() < 40, "encoded {} bytes", buf.len());
+        roundtrip_ints(&values);
+    }
+
+    #[test]
+    fn ascending_run_compresses_well() {
+        let values: Vec<i64> = (0..1000).collect();
+        let mut buf = Vec::new();
+        encode_i64s(&values, &mut buf);
+        assert!(buf.len() < 40, "encoded {} bytes", buf.len());
+        roundtrip_ints(&values);
+    }
+
+    #[test]
+    fn literals_and_extremes() {
+        roundtrip_ints(&[]);
+        roundtrip_ints(&[i64::MIN, i64::MAX, 0, -1, 1]);
+        roundtrip_ints(&[5]);
+        roundtrip_ints(&[1, 2]); // too short for a run
+    }
+
+    #[test]
+    fn mixed_runs_and_literals() {
+        let mut values = Vec::new();
+        values.extend([9, -3, 77]);
+        values.extend(std::iter::repeat_n(5i64, 50));
+        values.extend([1000, -1000]);
+        values.extend((0..200).map(|i| i * 2));
+        roundtrip_ints(&values);
+    }
+
+    #[test]
+    fn overflow_delta_falls_back_to_literals() {
+        // Deltas outside i8 can't use run encoding; must still roundtrip.
+        let values: Vec<i64> = (0..10).map(|i| i * 1000).collect();
+        roundtrip_ints(&values);
+        // Wrap-around pairs.
+        roundtrip_ints(&[i64::MAX - 1, i64::MAX, i64::MIN, i64::MIN + 1]);
+    }
+
+    #[test]
+    fn long_runs_split_at_130() {
+        let values = vec![7i64; 500];
+        roundtrip_ints(&values);
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        for n in [0usize, 1, 7, 8, 9, 64, 1000] {
+            let values: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let mut buf = Vec::new();
+            encode_bools(&values, &mut buf);
+            let mut pos = 0;
+            assert_eq!(decode_bools(&buf, &mut pos).unwrap(), values);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_streams_error() {
+        let mut buf = Vec::new();
+        encode_i64s(&[1, 2, 3, 4, 5], &mut buf);
+        let mut pos = 0;
+        assert!(decode_i64s(&buf[..buf.len() - 1], &mut pos, 5).is_err());
+
+        let mut buf = Vec::new();
+        encode_bools(&[true; 20], &mut buf);
+        let mut pos = 0;
+        assert!(decode_bools(&buf[..1], &mut pos).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Schema (de)serialization for the file footer.
+
+use dt_common::codec::{get_bytes, get_uvarint, put_bytes, put_uvarint};
+use dt_common::{DataType, Error, Field, Result, Schema};
+
+fn type_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Int64 => 0,
+        DataType::Float64 => 1,
+        DataType::Utf8 => 2,
+        DataType::Bool => 3,
+        DataType::Date => 4,
+    }
+}
+
+fn tag_type(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        0 => DataType::Int64,
+        1 => DataType::Float64,
+        2 => DataType::Utf8,
+        3 => DataType::Bool,
+        4 => DataType::Date,
+        other => return Err(Error::corrupt(format!("unknown type tag {other}"))),
+    })
+}
+
+/// Writes the schema.
+pub(crate) fn encode_schema(schema: &Schema, out: &mut Vec<u8>) {
+    put_uvarint(out, schema.len() as u64);
+    for field in schema.fields() {
+        put_bytes(out, field.name.as_bytes());
+        out.push(type_tag(field.data_type));
+    }
+}
+
+/// Reads a schema written by [`encode_schema`].
+pub(crate) fn decode_schema(buf: &[u8], pos: &mut usize) -> Result<Schema> {
+    let n = get_uvarint(buf, pos)? as usize;
+    let mut fields = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = std::str::from_utf8(get_bytes(buf, pos)?)
+            .map_err(|_| Error::corrupt("invalid UTF-8 in field name"))?
+            .to_string();
+        let tag = *buf
+            .get(*pos)
+            .ok_or_else(|| Error::corrupt("truncated type tag"))?;
+        *pos += 1;
+        fields.push(Field::new(name, tag_type(tag)?));
+    }
+    Schema::new(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let schema = Schema::from_pairs(&[
+            ("a", DataType::Int64),
+            ("b", DataType::Float64),
+            ("c", DataType::Utf8),
+            ("d", DataType::Bool),
+            ("e", DataType::Date),
+        ]);
+        let mut buf = Vec::new();
+        encode_schema(&schema, &mut buf);
+        let mut pos = 0;
+        let got = decode_schema(&buf, &mut pos).unwrap();
+        assert_eq!(got, schema);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn empty_schema() {
+        let schema = Schema::default();
+        let mut buf = Vec::new();
+        encode_schema(&schema, &mut buf);
+        let mut pos = 0;
+        assert_eq!(decode_schema(&buf, &mut pos).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-column statistics: the basis of predicate push-down stripe skipping.
+
+use dt_common::codec::{get_uvarint, get_value, put_uvarint, put_value};
+use dt_common::{Result, Value};
+
+/// Min/max/null statistics for one column over some row range (a stripe or
+/// the whole file).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnStats {
+    /// Total values (including nulls).
+    pub count: u64,
+    /// Number of nulls.
+    pub null_count: u64,
+    /// Minimum non-null value, if any non-null value was seen.
+    pub min: Option<Value>,
+    /// Maximum non-null value, if any non-null value was seen.
+    pub max: Option<Value>,
+}
+
+impl ColumnStats {
+    /// Fresh empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one value into the statistics.
+    pub fn update(&mut self, value: &Value) {
+        self.count += 1;
+        if value.is_null() {
+            self.null_count += 1;
+            return;
+        }
+        match &self.min {
+            None => self.min = Some(value.clone()),
+            Some(m) if value.total_cmp(m).is_lt() => self.min = Some(value.clone()),
+            _ => {}
+        }
+        match &self.max {
+            None => self.max = Some(value.clone()),
+            Some(m) if value.total_cmp(m).is_gt() => self.max = Some(value.clone()),
+            _ => {}
+        }
+    }
+
+    /// Merges another stats object (e.g. stripe stats into file stats).
+    pub fn merge(&mut self, other: &ColumnStats) {
+        self.count += other.count;
+        self.null_count += other.null_count;
+        if let Some(m) = &other.min {
+            match &self.min {
+                None => self.min = Some(m.clone()),
+                Some(cur) if m.total_cmp(cur).is_lt() => self.min = Some(m.clone()),
+                _ => {}
+            }
+        }
+        if let Some(m) = &other.max {
+            match &self.max {
+                None => self.max = Some(m.clone()),
+                Some(cur) if m.total_cmp(cur).is_gt() => self.max = Some(m.clone()),
+                _ => {}
+            }
+        }
+    }
+
+    /// Serializes the stats.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.count);
+        put_uvarint(out, self.null_count);
+        put_value(out, self.min.as_ref().unwrap_or(&Value::Null));
+        put_value(out, self.max.as_ref().unwrap_or(&Value::Null));
+    }
+
+    /// Deserializes stats written by [`ColumnStats::encode`].
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Self> {
+        let count = get_uvarint(buf, pos)?;
+        let null_count = get_uvarint(buf, pos)?;
+        let min = match get_value(buf, pos)? {
+            Value::Null => None,
+            v => Some(v),
+        };
+        let max = match get_value(buf, pos)? {
+            Value::Null => None,
+            v => Some(v),
+        };
+        Ok(ColumnStats {
+            count,
+            null_count,
+            min,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_tracks_min_max_nulls() {
+        let mut s = ColumnStats::new();
+        s.update(&Value::Int64(5));
+        s.update(&Value::Null);
+        s.update(&Value::Int64(-2));
+        s.update(&Value::Int64(9));
+        assert_eq!(s.count, 4);
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.min, Some(Value::Int64(-2)));
+        assert_eq!(s.max, Some(Value::Int64(9)));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = ColumnStats::new();
+        a.update(&Value::from("m"));
+        let mut b = ColumnStats::new();
+        b.update(&Value::from("a"));
+        b.update(&Value::from("z"));
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min, Some(Value::from("a")));
+        assert_eq!(a.max, Some(Value::from("z")));
+    }
+
+    #[test]
+    fn all_null_column_has_no_range() {
+        let mut s = ColumnStats::new();
+        s.update(&Value::Null);
+        s.update(&Value::Null);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+        assert_eq!(s.null_count, 2);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut s = ColumnStats::new();
+        s.update(&Value::Float64(1.5));
+        s.update(&Value::Null);
+        s.update(&Value::Float64(-0.5));
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        let mut pos = 0;
+        let t = ColumnStats::decode(&buf, &mut pos).unwrap();
+        assert_eq!(s, t);
+        assert_eq!(pos, buf.len());
+    }
+}

@@ -1,0 +1,304 @@
+//! Column stream encoding/decoding within one stripe.
+//!
+//! Every column is one independent stream:
+//!
+//! ```text
+//! [presence bitmap][type-specific payload]
+//! ```
+//!
+//! * integers/dates: RLE varints of the non-null values;
+//! * doubles: raw little-endian bytes;
+//! * booleans: bit-packed;
+//! * strings: a mode byte selecting *direct* (lengths + concatenated bytes)
+//!   or *dictionary* (sorted dictionary + RLE indexes) encoding, chosen by
+//!   the observed distinct ratio.
+//!
+//! The whole stream is block-compressed by the writer.
+
+use dt_common::codec::{get_bytes, get_uvarint, put_bytes, put_uvarint};
+use dt_common::{DataType, Error, Result, Value};
+
+use crate::rle;
+
+const STR_DIRECT: u8 = 0;
+const STR_DICT: u8 = 1;
+
+/// Encodes one column's values into a stream.
+pub(crate) fn encode_column(data_type: DataType, values: &[Value]) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    let presence: Vec<bool> = values.iter().map(|v| !v.is_null()).collect();
+    rle::encode_bools(&presence, &mut out);
+    match data_type {
+        DataType::Int64 | DataType::Date => {
+            let ints: Vec<i64> = values
+                .iter()
+                .filter(|v| !v.is_null())
+                .map(|v| v.as_i64().ok_or_else(|| type_err(data_type, v)))
+                .collect::<Result<_>>()?;
+            rle::encode_i64s(&ints, &mut out);
+        }
+        DataType::Float64 => {
+            for v in values.iter().filter(|v| !v.is_null()) {
+                match v {
+                    Value::Float64(f) => out.extend_from_slice(&f.to_le_bytes()),
+                    other => return Err(type_err(data_type, other)),
+                }
+            }
+        }
+        DataType::Bool => {
+            let bools: Vec<bool> = values
+                .iter()
+                .filter(|v| !v.is_null())
+                .map(|v| v.as_bool().ok_or_else(|| type_err(data_type, v)))
+                .collect::<Result<_>>()?;
+            rle::encode_bools(&bools, &mut out);
+        }
+        DataType::Utf8 => encode_strings(values, &mut out)?,
+    }
+    Ok(out)
+}
+
+fn type_err(expected: DataType, got: &Value) -> Error {
+    Error::schema(format!("expected {expected}, got {got:?}"))
+}
+
+fn encode_strings(values: &[Value], out: &mut Vec<u8>) -> Result<()> {
+    let strings: Vec<&str> = values
+        .iter()
+        .filter(|v| !v.is_null())
+        .map(|v| v.as_str().ok_or_else(|| type_err(DataType::Utf8, v)))
+        .collect::<Result<_>>()?;
+    // Count distincts to choose the encoding.
+    let mut sorted: Vec<&str> = strings.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let use_dict = !strings.is_empty() && sorted.len() * 2 <= strings.len();
+    if use_dict {
+        out.push(STR_DICT);
+        put_uvarint(out, sorted.len() as u64);
+        for s in &sorted {
+            put_bytes(out, s.as_bytes());
+        }
+        let indexes: Vec<i64> = strings
+            .iter()
+            .map(|s| sorted.binary_search(s).expect("dict must contain value") as i64)
+            .collect();
+        rle::encode_i64s(&indexes, out);
+    } else {
+        out.push(STR_DIRECT);
+        let lengths: Vec<i64> = strings.iter().map(|s| s.len() as i64).collect();
+        rle::encode_i64s(&lengths, out);
+        for s in &strings {
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+    Ok(())
+}
+
+/// Decodes one column stream back into `row_count` values.
+// `pos` bookkeeping is kept symmetric across arms even where the final
+// value is unused.
+#[allow(unused_assignments)]
+pub(crate) fn decode_column(
+    data_type: DataType,
+    buf: &[u8],
+    row_count: usize,
+) -> Result<Vec<Value>> {
+    let mut pos = 0usize;
+    let presence = rle::decode_bools(buf, &mut pos)?;
+    if presence.len() != row_count {
+        return Err(Error::corrupt(format!(
+            "presence bitmap has {} entries, stripe has {row_count} rows",
+            presence.len()
+        )));
+    }
+    let non_null = presence.iter().filter(|p| **p).count();
+    let mut dense: Vec<Value> = match data_type {
+        DataType::Int64 => rle::decode_i64s(buf, &mut pos, non_null)?
+            .into_iter()
+            .map(Value::Int64)
+            .collect(),
+        DataType::Date => rle::decode_i64s(buf, &mut pos, non_null)?
+            .into_iter()
+            .map(|v| {
+                i32::try_from(v)
+                    .map(Value::Date)
+                    .map_err(|_| Error::corrupt("date out of range"))
+            })
+            .collect::<Result<_>>()?,
+        DataType::Float64 => {
+            let need = non_null * 8;
+            if pos + need > buf.len() {
+                return Err(Error::corrupt("truncated float64 stream"));
+            }
+            let mut vals = Vec::with_capacity(non_null);
+            for i in 0..non_null {
+                let mut arr = [0u8; 8];
+                arr.copy_from_slice(&buf[pos + i * 8..pos + i * 8 + 8]);
+                vals.push(Value::Float64(f64::from_le_bytes(arr)));
+            }
+            pos += need;
+            vals
+        }
+        DataType::Bool => {
+            let bools = rle::decode_bools(buf, &mut pos)?;
+            if bools.len() != non_null {
+                return Err(Error::corrupt("bool stream length mismatch"));
+            }
+            bools.into_iter().map(Value::Bool).collect()
+        }
+        DataType::Utf8 => decode_strings(buf, &mut pos, non_null)?,
+    };
+    // Re-expand nulls.
+    let mut out = Vec::with_capacity(row_count);
+    let mut dense_iter = dense.drain(..);
+    for present in presence {
+        if present {
+            out.push(
+                dense_iter
+                    .next()
+                    .ok_or_else(|| Error::corrupt("value stream shorter than presence map"))?,
+            );
+        } else {
+            out.push(Value::Null);
+        }
+    }
+    Ok(out)
+}
+
+fn decode_strings(buf: &[u8], pos: &mut usize, non_null: usize) -> Result<Vec<Value>> {
+    let mode = *buf
+        .get(*pos)
+        .ok_or_else(|| Error::corrupt("truncated string mode"))?;
+    *pos += 1;
+    match mode {
+        STR_DICT => {
+            let dict_len = get_uvarint(buf, pos)? as usize;
+            let mut dict = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                let bytes = get_bytes(buf, pos)?;
+                dict.push(
+                    std::str::from_utf8(bytes)
+                        .map_err(|_| Error::corrupt("invalid UTF-8 in dictionary"))?
+                        .to_string(),
+                );
+            }
+            let indexes = rle::decode_i64s(buf, pos, non_null)?;
+            indexes
+                .into_iter()
+                .map(|i| {
+                    dict.get(i as usize)
+                        .map(|s| Value::Utf8(s.clone()))
+                        .ok_or_else(|| Error::corrupt("dictionary index out of range"))
+                })
+                .collect()
+        }
+        STR_DIRECT => {
+            let lengths = rle::decode_i64s(buf, pos, non_null)?;
+            let mut out = Vec::with_capacity(non_null);
+            for len in lengths {
+                let len =
+                    usize::try_from(len).map_err(|_| Error::corrupt("negative string length"))?;
+                if *pos + len > buf.len() {
+                    return Err(Error::corrupt("truncated string data"));
+                }
+                let s = std::str::from_utf8(&buf[*pos..*pos + len])
+                    .map_err(|_| Error::corrupt("invalid UTF-8 in string data"))?;
+                out.push(Value::Utf8(s.to_string()));
+                *pos += len;
+            }
+            Ok(out)
+        }
+        other => Err(Error::corrupt(format!("unknown string mode {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ty: DataType, values: Vec<Value>) {
+        let enc = encode_column(ty, &values).unwrap();
+        let dec = decode_column(ty, &enc, values.len()).unwrap();
+        assert_eq!(dec, values);
+    }
+
+    #[test]
+    fn int_column_with_nulls() {
+        roundtrip(
+            DataType::Int64,
+            vec![
+                Value::Int64(1),
+                Value::Null,
+                Value::Int64(-5),
+                Value::Int64(1_000_000),
+            ],
+        );
+    }
+
+    #[test]
+    fn date_column() {
+        roundtrip(
+            DataType::Date,
+            vec![Value::Date(19_000), Value::Date(19_001), Value::Null],
+        );
+    }
+
+    #[test]
+    fn float_column() {
+        roundtrip(
+            DataType::Float64,
+            vec![Value::Float64(1.5), Value::Null, Value::Float64(-0.0)],
+        );
+    }
+
+    #[test]
+    fn bool_column() {
+        roundtrip(
+            DataType::Bool,
+            vec![Value::Bool(true), Value::Null, Value::Bool(false)],
+        );
+    }
+
+    #[test]
+    fn string_direct_low_repetition() {
+        let values: Vec<Value> = (0..50).map(|i| Value::Utf8(format!("unique-{i}"))).collect();
+        roundtrip(DataType::Utf8, values);
+    }
+
+    #[test]
+    fn string_dictionary_high_repetition() {
+        let values: Vec<Value> = (0..100)
+            .map(|i| Value::Utf8(format!("val-{}", i % 3)))
+            .collect();
+        let enc = encode_column(DataType::Utf8, &values).unwrap();
+        assert_eq!(enc[enc.len().min(1)..][..0].len(), 0); // no-op, readability
+        // Dictionary mode should be chosen (mode byte after presence map).
+        let dec = decode_column(DataType::Utf8, &enc, values.len()).unwrap();
+        assert_eq!(dec, values);
+        // A direct encoding of the same data is longer.
+        let unique: Vec<Value> = (0..100).map(|i| Value::Utf8(format!("val-{i}"))).collect();
+        let enc_unique = encode_column(DataType::Utf8, &unique).unwrap();
+        assert!(enc.len() < enc_unique.len());
+    }
+
+    #[test]
+    fn empty_and_all_null_columns() {
+        roundtrip(DataType::Int64, vec![]);
+        roundtrip(DataType::Utf8, vec![Value::Null, Value::Null]);
+        roundtrip(DataType::Float64, vec![Value::Null]);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        assert!(encode_column(DataType::Int64, &[Value::from("oops")]).is_err());
+        assert!(encode_column(DataType::Utf8, &[Value::Int64(5)]).is_err());
+        assert!(encode_column(DataType::Float64, &[Value::Int64(5)]).is_err());
+    }
+
+    #[test]
+    fn wrong_row_count_rejected() {
+        let enc = encode_column(DataType::Int64, &[Value::Int64(1)]).unwrap();
+        assert!(decode_column(DataType::Int64, &enc, 2).is_err());
+    }
+}

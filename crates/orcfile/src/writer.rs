@@ -1,0 +1,186 @@
+//! The ORC file writer.
+
+use std::collections::BTreeMap;
+
+use dt_common::codec::{put_bytes, put_uvarint};
+use dt_common::{Error, Result, Row, Schema, Value};
+use dt_dfs::{Dfs, DfsWriter};
+
+use crate::compress::{compress_block, Codec};
+use crate::schema_io::encode_schema;
+use crate::stats::ColumnStats;
+use crate::stripe::encode_column;
+
+pub(crate) const MAGIC: &[u8; 8] = b"DTORC\0\0\x01";
+
+/// Writer tuning knobs.
+#[derive(Debug, Clone)]
+pub struct WriterOptions {
+    /// Rows per stripe (ORC's default stripe is sized in bytes; rows keep
+    /// record-ID arithmetic simple and tests deterministic).
+    pub stripe_rows: usize,
+    /// Stream compression codec.
+    pub codec: Codec,
+}
+
+impl Default for WriterOptions {
+    fn default() -> Self {
+        WriterOptions {
+            stripe_rows: 64 * 1024,
+            codec: Codec::Lz,
+        }
+    }
+}
+
+/// Metadata of one written stripe, recorded in the footer.
+pub(crate) struct StripeInfo {
+    /// Absolute file offset of the stripe's first byte.
+    pub offset: u64,
+    /// Number of rows in the stripe.
+    pub rows: u64,
+    /// Per column: `(offset within stripe, compressed length)`.
+    pub streams: Vec<(u64, u64)>,
+    /// Per column statistics.
+    pub stats: Vec<ColumnStats>,
+}
+
+/// Streaming row writer producing one ORC file on the DFS.
+pub struct OrcWriter {
+    out: DfsWriter,
+    schema: Schema,
+    options: WriterOptions,
+    buffer: Vec<Row>,
+    stripes: Vec<StripeInfo>,
+    file_stats: Vec<ColumnStats>,
+    metadata: BTreeMap<String, Vec<u8>>,
+    total_rows: u64,
+}
+
+impl OrcWriter {
+    /// Creates a new file at `path`.
+    pub fn create(
+        dfs: &Dfs,
+        path: &str,
+        schema: Schema,
+        options: WriterOptions,
+    ) -> Result<Self> {
+        if schema.is_empty() {
+            return Err(Error::schema("ORC schema must have at least one column"));
+        }
+        if options.stripe_rows == 0 {
+            return Err(Error::invalid("stripe_rows must be positive"));
+        }
+        let out = dfs.create(path)?;
+        let file_stats = schema.fields().iter().map(|_| ColumnStats::new()).collect();
+        Ok(OrcWriter {
+            out,
+            schema,
+            options,
+            buffer: Vec::new(),
+            stripes: Vec::new(),
+            file_stats,
+            metadata: BTreeMap::new(),
+            total_rows: 0,
+        })
+    }
+
+    /// Attaches a user-metadata entry (e.g. the DualTable file ID).
+    pub fn set_metadata(&mut self, key: &str, value: impl Into<Vec<u8>>) {
+        self.metadata.insert(key.to_string(), value.into());
+    }
+
+    /// Appends one row; must match the schema.
+    pub fn write_row(&mut self, row: Row) -> Result<()> {
+        self.schema.check_row(&row)?;
+        self.buffer.push(row);
+        self.total_rows += 1;
+        if self.buffer.len() >= self.options.stripe_rows {
+            self.flush_stripe()?;
+        }
+        Ok(())
+    }
+
+    /// Appends many rows.
+    pub fn write_rows<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> Result<()> {
+        for row in rows {
+            self.write_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// Rows written so far.
+    pub fn row_count(&self) -> u64 {
+        self.total_rows
+    }
+
+    fn flush_stripe(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let rows = std::mem::take(&mut self.buffer);
+        let stripe_offset = self.out.position();
+        let ncols = self.schema.len();
+        let mut streams = Vec::with_capacity(ncols);
+        let mut stats = Vec::with_capacity(ncols);
+        let mut within = 0u64;
+        // Column-at-a-time: transpose and encode.
+        let mut column: Vec<Value> = Vec::with_capacity(rows.len());
+        for col in 0..ncols {
+            column.clear();
+            let mut col_stats = ColumnStats::new();
+            for row in &rows {
+                col_stats.update(&row[col]);
+                column.push(row[col].clone());
+            }
+            let raw = encode_column(self.schema.field(col).data_type, &column)?;
+            let compressed = compress_block(self.options.codec, &raw);
+            self.out.write_all(&compressed)?;
+            streams.push((within, compressed.len() as u64));
+            within += compressed.len() as u64;
+            stats.push(col_stats);
+        }
+        for (file_col, stripe_col) in self.file_stats.iter_mut().zip(&stats) {
+            file_col.merge(stripe_col);
+        }
+        self.stripes.push(StripeInfo {
+            offset: stripe_offset,
+            rows: rows.len() as u64,
+            streams,
+            stats,
+        });
+        Ok(())
+    }
+
+    /// Flushes the final stripe, writes the footer and seals the file.
+    pub fn finish(mut self) -> Result<()> {
+        self.flush_stripe()?;
+        let mut footer = Vec::new();
+        encode_schema(&self.schema, &mut footer);
+        put_uvarint(&mut footer, self.stripes.len() as u64);
+        for stripe in &self.stripes {
+            put_uvarint(&mut footer, stripe.offset);
+            put_uvarint(&mut footer, stripe.rows);
+            for (off, len) in &stripe.streams {
+                put_uvarint(&mut footer, *off);
+                put_uvarint(&mut footer, *len);
+            }
+            for s in &stripe.stats {
+                s.encode(&mut footer);
+            }
+        }
+        for s in &self.file_stats {
+            s.encode(&mut footer);
+        }
+        put_uvarint(&mut footer, self.metadata.len() as u64);
+        for (key, value) in &self.metadata {
+            put_bytes(&mut footer, key.as_bytes());
+            put_bytes(&mut footer, value);
+        }
+        self.out.write_all(&footer)?;
+        // Postscript: footer length + magic, fixed 12 bytes.
+        self.out
+            .write_all(&(footer.len() as u32).to_le_bytes())?;
+        self.out.write_all(MAGIC)?;
+        self.out.close()
+    }
+}

@@ -1,0 +1,508 @@
+//! The Zhejiang-Grid synthetic data set.
+//!
+//! Reproduces the schemas of the paper's Tables II and III (the listed
+//! experiment columns plus realistic filler columns — the paper notes grid
+//! tables typically exceed 50 columns while statements touch fewer than 3)
+//! and the statement workloads:
+//!
+//! * the two read statements of Figure 4,
+//! * the ratio sweeps of Figures 5–10 (data spread uniformly over 36 days,
+//!   modifying 1/36 … 18/36 of it),
+//! * the U#1–U#4 / D#1–D#4 statements of Table IV with the paper's
+//!   modification ratios (2%, 5%, 0.1%, 3%, 4%, 5%, 3%, 0.01%).
+
+use dt_common::{DataType, Row, Rng64, Schema, Value};
+
+/// Number of distinct days in the fact tables (the paper's experiments
+/// modify k/36 of the data).
+pub const DAYS: i64 = 36;
+
+/// Base date for generated `rq`/date columns (2014-01-01).
+pub const BASE_DATE: i64 = 16_071;
+
+const ORG_CODES: [&str; 8] = [
+    "33401", "33402", "33403", "33404", "33405", "33406", "33407", "33408",
+];
+const USER_TYPES: [&str; 4] = ["resident", "industry", "commerce", "agric"];
+const COLLECT_METHODS: [&str; 3] = ["230M", "GPRS", "PLC"];
+const AREA_CODES: [&str; 6] = ["HZ", "NB", "WZ", "JX", "SX", "TZ"];
+
+fn filler_fields(n: usize) -> Vec<(String, DataType)> {
+    (0..n)
+        .map(|i| {
+            let ty = match i % 3 {
+                0 => DataType::Float64,
+                1 => DataType::Int64,
+                _ => DataType::Utf8,
+            };
+            (format!("flr_{i:02}"), ty)
+        })
+        .collect()
+}
+
+fn schema_with_filler(named: &[(&str, DataType)], filler: usize) -> Schema {
+    let mut fields: Vec<(String, DataType)> = named
+        .iter()
+        .map(|(n, t)| ((*n).to_string(), *t))
+        .collect();
+    fields.extend(filler_fields(filler));
+    let pairs: Vec<(&str, DataType)> =
+        fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    Schema::from_pairs(&pairs)
+}
+
+fn push_filler(row: &mut Row, rng: &mut Rng64, filler: usize) {
+    for i in 0..filler {
+        row.push(match i % 3 {
+            0 => Value::Float64(rng.next_f64() * 1000.0),
+            1 => Value::Int64(rng.range_i64(0, 10_000)),
+            _ => Value::Utf8(rng.ascii_string(10)),
+        });
+    }
+}
+
+const FILLER_COLS: usize = 18;
+
+// ----------------------------------------------------------------------
+// Figure 4–10 tables (Table II schema excerpt)
+// ----------------------------------------------------------------------
+
+/// `tj_gbsjwzl_mx` — the big measurement-quality fact table (239M rows in
+/// the paper; Figures 5–10 modify k/36 of it).
+pub fn tj_gbsjwzl_mx_schema() -> Schema {
+    schema_with_filler(
+        &[
+            ("yhlx", DataType::Utf8),  // user type
+            ("rq", DataType::Date),    // date
+            ("dwdm", DataType::Utf8),  // organization code
+            ("cjbm", DataType::Utf8),  // manufacture code
+            ("rcjl", DataType::Float64), // daily sampling rate
+            ("cjfs", DataType::Utf8),  // collection method
+        ],
+        FILLER_COLS,
+    )
+}
+
+/// Rows for `tj_gbsjwzl_mx`, dates uniform over [`DAYS`] days.
+pub fn tj_gbsjwzl_mx_rows(n: usize, seed: u64) -> impl Iterator<Item = Row> {
+    let mut rng = Rng64::new(seed ^ 0x5697_11D0);
+    (0..n).map(move |i| {
+        let day = (i as i64) % DAYS; // exact uniform day spread
+        let mut row = vec![
+            Value::Utf8((*rng.choose(&USER_TYPES)).to_string()),
+            Value::Date((BASE_DATE + day) as i32),
+            Value::Utf8((*rng.choose(&ORG_CODES)).to_string()),
+            Value::Utf8(format!("mfg{:02}", rng.range_i64(0, 30))),
+            Value::Float64(rng.range_i64(90, 96) as f64),
+            Value::Utf8((*rng.choose(&COLLECT_METHODS)).to_string()),
+        ];
+        push_filler(&mut row, &mut rng, FILLER_COLS);
+        row
+    })
+}
+
+/// `yh_gbjld` — family/meter archive (the base table of Figure 4's
+/// statement #1, joined with `zc_zdzc` and `zd_gbcld`).
+pub fn yh_gbjld_schema() -> Schema {
+    schema_with_filler(
+        &[
+            ("dwdm", DataType::Utf8),
+            ("gddy", DataType::Float64), // voltage
+            ("hh", DataType::Int64),     // family id
+            ("sfyzx", DataType::Bool),   // withdrawn or not
+        ],
+        FILLER_COLS,
+    )
+}
+
+/// Rows for `yh_gbjld` with family ids `0..n`.
+pub fn yh_gbjld_rows(n: usize, seed: u64) -> impl Iterator<Item = Row> {
+    let mut rng = Rng64::new(seed ^ 0x9811_AA01);
+    (0..n).map(move |i| {
+        let mut row = vec![
+            Value::Utf8((*rng.choose(&ORG_CODES)).to_string()),
+            Value::Float64(*rng.choose(&[220.0, 380.0, 10_000.0])),
+            Value::Int64(i as i64),
+            Value::Bool(rng.chance(0.02)),
+        ];
+        push_filler(&mut row, &mut rng, FILLER_COLS);
+        row
+    })
+}
+
+/// `zd_gbcld` — measure-point/terminal mapping.
+pub fn zd_gbcld_schema() -> Schema {
+    schema_with_filler(
+        &[
+            ("cldjh", DataType::Int64), // measure point id
+            ("zdjh", DataType::Int64),  // terminal code
+            ("dwdm", DataType::Utf8),
+        ],
+        FILLER_COLS,
+    )
+}
+
+/// Rows for `zd_gbcld`; terminal codes `0..terminals`.
+pub fn zd_gbcld_rows(n: usize, terminals: usize, seed: u64) -> impl Iterator<Item = Row> {
+    let mut rng = Rng64::new(seed ^ 0x77AB_10FF);
+    (0..n).map(move |i| {
+        let mut row = vec![
+            Value::Int64(i as i64),
+            Value::Int64(rng.range_i64(0, terminals.max(1) as i64 - 1)),
+            Value::Utf8((*rng.choose(&ORG_CODES)).to_string()),
+        ];
+        push_filler(&mut row, &mut rng, FILLER_COLS);
+        row
+    })
+}
+
+/// `zc_zdzc` — terminal asset archive.
+pub fn zc_zdzc_schema() -> Schema {
+    schema_with_filler(
+        &[
+            ("dwdm", DataType::Utf8),
+            ("zdjh", DataType::Int64),
+            ("zzcjbm", DataType::Utf8), // manufacture code
+            ("cjfs", DataType::Utf8),
+            ("zdlx", DataType::Utf8), // terminal type
+        ],
+        FILLER_COLS,
+    )
+}
+
+/// Rows for `zc_zdzc` with terminal codes `0..n`.
+pub fn zc_zdzc_rows(n: usize, seed: u64) -> impl Iterator<Item = Row> {
+    let mut rng = Rng64::new(seed ^ 0x3D5C_0401);
+    (0..n).map(move |i| {
+        let mut row = vec![
+            Value::Utf8((*rng.choose(&ORG_CODES)).to_string()),
+            Value::Int64(i as i64),
+            Value::Utf8(format!("mfg{:02}", rng.range_i64(0, 30))),
+            Value::Utf8((*rng.choose(&COLLECT_METHODS)).to_string()),
+            Value::Utf8(format!("type{}", rng.range_i64(0, 5))),
+        ];
+        push_filler(&mut row, &mut rng, FILLER_COLS);
+        row
+    })
+}
+
+/// Figure 4, statement #1: retrieve archive records by predicate, joining
+/// `yh_gbjld` with `zc_zdzc` and `zd_gbcld` (family → measure point →
+/// terminal asset).
+pub const GRID_SELECT_1: &str = "\
+SELECT y.hh, y.gddy, z.zdlx, c.cldjh \
+FROM yh_gbjld y \
+JOIN zd_gbcld c ON c.cldjh = y.hh AND c.dwdm = y.dwdm \
+JOIN zc_zdzc z ON c.zdjh = z.zdjh \
+WHERE y.sfyzx = FALSE AND y.gddy = 220.0";
+
+/// Figure 4, statement #2: total record count of the big fact table.
+pub const GRID_SELECT_2: &str = "SELECT COUNT(*) FROM tj_gbsjwzl_mx";
+
+// ----------------------------------------------------------------------
+// Table III tables + Table IV statements
+// ----------------------------------------------------------------------
+
+/// `tj_tdjl` — outage event log (58M rows in the paper).
+pub fn tj_tdjl_schema() -> Schema {
+    schema_with_filler(
+        &[
+            ("tdsj", DataType::Date),  // outage time
+            ("qym", DataType::Utf8),   // area code
+            ("zdjh", DataType::Int64), // terminal code
+        ],
+        FILLER_COLS,
+    )
+}
+
+/// Rows for `tj_tdjl`.
+pub fn tj_tdjl_rows(n: usize, seed: u64) -> impl Iterator<Item = Row> {
+    let mut rng = Rng64::new(seed ^ 0x00D1_77EE);
+    (0..n).map(move |_| {
+        let mut row = vec![
+            Value::Date((BASE_DATE + rng.range_i64(0, 99)) as i32),
+            Value::Utf8((*rng.choose(&AREA_CODES)).to_string()),
+            Value::Int64(rng.range_i64(0, 100_000)),
+        ];
+        push_filler(&mut row, &mut rng, FILLER_COLS);
+        row
+    })
+}
+
+/// `tj_td` — outage/recovery pairs.
+pub fn tj_td_schema() -> Schema {
+    schema_with_filler(
+        &[
+            ("hfsj", DataType::Date), // recovery time
+            ("tdsj", DataType::Date), // outage time
+        ],
+        FILLER_COLS,
+    )
+}
+
+/// Rows for `tj_td`; ~5% have a recovery time before the outage time (the
+/// error condition of U#2).
+pub fn tj_td_rows(n: usize, seed: u64) -> impl Iterator<Item = Row> {
+    let mut rng = Rng64::new(seed ^ 0xBE11_0770);
+    (0..n).map(move |_| {
+        let outage = BASE_DATE + rng.range_i64(0, 99);
+        let recovery = if rng.chance(0.05) {
+            outage - rng.range_i64(1, 5) // erroneous: before the outage
+        } else {
+            outage + rng.range_i64(0, 3)
+        };
+        let mut row = vec![
+            Value::Date(recovery as i32),
+            Value::Date(outage as i32),
+        ];
+        push_filler(&mut row, &mut rng, FILLER_COLS);
+        row
+    })
+}
+
+/// `tj_sjwzl_r` — daily sampling-rate table.
+pub fn tj_sjwzl_r_schema() -> Schema {
+    schema_with_filler(
+        &[
+            ("rq", DataType::Date),
+            ("rcjl", DataType::Float64), // sampling rate of a day
+            ("yhlx", DataType::Utf8),
+        ],
+        FILLER_COLS,
+    )
+}
+
+/// Rows for `tj_sjwzl_r` spread over ~1000 day/user-type combinations.
+pub fn tj_sjwzl_r_rows(n: usize, seed: u64) -> impl Iterator<Item = Row> {
+    let mut rng = Rng64::new(seed ^ 0x0FF1_CE00);
+    (0..n).map(move |_| {
+        let mut row = vec![
+            Value::Date((BASE_DATE + rng.range_i64(0, 999)) as i32),
+            Value::Float64(rng.range_i64(80, 100) as f64),
+            Value::Utf8((*rng.choose(&USER_TYPES)).to_string()),
+        ];
+        push_filler(&mut row, &mut rng, FILLER_COLS);
+        row
+    })
+}
+
+/// `tj_sjwzl_y` — monthly summary (the paper's smallest table, 2.6M rows).
+pub fn tj_sjwzl_y_schema() -> Schema {
+    schema_with_filler(&[("rq", DataType::Date)], FILLER_COLS)
+}
+
+/// Rows for `tj_sjwzl_y` over ~25 months (D#1 deletes one month ≈ 4%).
+pub fn tj_sjwzl_y_rows(n: usize, seed: u64) -> impl Iterator<Item = Row> {
+    let mut rng = Rng64::new(seed ^ 0x715A_66EE);
+    (0..n).map(move |_| {
+        let month = rng.range_i64(0, 24);
+        let mut row = vec![Value::Date((BASE_DATE + month * 30) as i32)];
+        push_filler(&mut row, &mut rng, FILLER_COLS);
+        row
+    })
+}
+
+/// `tj_gk` — overview table.
+pub fn tj_gk_schema() -> Schema {
+    schema_with_filler(
+        &[
+            ("rq", DataType::Date),
+            ("dwdm", DataType::Utf8),
+            ("marker", DataType::Bool),
+        ],
+        FILLER_COLS,
+    )
+}
+
+/// Rows for `tj_gk`.
+pub fn tj_gk_rows(n: usize, seed: u64) -> impl Iterator<Item = Row> {
+    let mut rng = Rng64::new(seed ^ 0x6070_1234);
+    (0..n).map(move |_| {
+        let mut row = vec![
+            Value::Date((BASE_DATE + rng.range_i64(0, 99)) as i32),
+            Value::Utf8((*rng.choose(&ORG_CODES)).to_string()),
+            Value::Bool(rng.chance(0.25)),
+        ];
+        push_filler(&mut row, &mut rng, FILLER_COLS);
+        row
+    })
+}
+
+/// `tj_dysjwzl_mx` — the 383M-row table behind U#3/U#4.
+pub fn tj_dysjwzl_mx_schema() -> Schema {
+    schema_with_filler(
+        &[
+            ("rq", DataType::Date),
+            ("sfld", DataType::Bool), // missed a point or not
+            ("cjfs", DataType::Utf8),
+            ("yhlx", DataType::Utf8),
+            ("rcjl", DataType::Float64),
+        ],
+        FILLER_COLS,
+    )
+}
+
+/// Rows for `tj_dysjwzl_mx` over 1000 days and 4 user types.
+pub fn tj_dysjwzl_mx_rows(n: usize, seed: u64) -> impl Iterator<Item = Row> {
+    let mut rng = Rng64::new(seed ^ 0xD15C_0BEE);
+    (0..n).map(move |_| {
+        let mut row = vec![
+            Value::Date((BASE_DATE + rng.range_i64(0, 999)) as i32),
+            Value::Bool(rng.chance(0.1)),
+            Value::Utf8((*rng.choose(&COLLECT_METHODS)).to_string()),
+            Value::Utf8((*rng.choose(&USER_TYPES)).to_string()),
+            Value::Float64(rng.range_i64(80, 100) as f64),
+        ];
+        push_filler(&mut row, &mut rng, FILLER_COLS);
+        row
+    })
+}
+
+/// One Table IV statement: id, semantics, target table, expected
+/// modification ratio, and the HiveQL text (parameterized on our synthetic
+/// distributions to land near the paper's ratio).
+#[derive(Debug, Clone)]
+pub struct GridStatement {
+    /// Paper id: "U#1" … "D#4".
+    pub id: &'static str,
+    /// Target table name.
+    pub table: &'static str,
+    /// The paper's reported modification ratio.
+    pub paper_ratio: f64,
+    /// The statement.
+    pub sql: &'static str,
+}
+
+/// The eight representative statements of Table IV.
+pub fn table4_statements() -> Vec<GridStatement> {
+    vec![
+        GridStatement {
+            id: "U#1",
+            table: "tj_tdjl",
+            paper_ratio: 0.02,
+            // Set the area code of outage events at a specified time.
+            sql: "UPDATE tj_tdjl SET qym = 'QZ' WHERE tdsj = DATE 16073 AND zdjh < 95000",
+        },
+        GridStatement {
+            id: "U#2",
+            table: "tj_td",
+            paper_ratio: 0.05,
+            // Recovery earlier than outage ⇒ mark as error.
+            sql: "UPDATE tj_td SET hfsj = DATE 0 WHERE hfsj < tdsj",
+        },
+        GridStatement {
+            id: "U#3",
+            table: "tj_sjwzl_r",
+            paper_ratio: 0.001,
+            // New sampling rate for one date and user type.
+            sql: "UPDATE tj_sjwzl_r SET rcjl = 99.0 WHERE rq = DATE 16100 AND yhlx = 'industry'",
+        },
+        GridStatement {
+            id: "U#4",
+            table: "tj_dysjwzl_mx",
+            paper_ratio: 0.03,
+            // New collection method for a date range and user type (the
+            // paper's biggest table; 3%).
+            sql: "UPDATE tj_dysjwzl_mx SET cjfs = 'HPLC' WHERE rq BETWEEN DATE 16071 AND DATE 16190 AND yhlx = 'resident'",
+        },
+        GridStatement {
+            id: "D#1",
+            table: "tj_sjwzl_y",
+            paper_ratio: 0.04,
+            // Delete one month.
+            sql: "DELETE FROM tj_sjwzl_y WHERE rq = DATE 16131",
+        },
+        GridStatement {
+            id: "D#2",
+            table: "tj_tdjl",
+            paper_ratio: 0.05,
+            // Delete one area code (6 areas ⇒ ~1/6; restricted by terminal
+            // range to land at ~5%).
+            sql: "DELETE FROM tj_tdjl WHERE qym = 'HZ' AND zdjh < 30000",
+        },
+        GridStatement {
+            id: "D#3",
+            table: "tj_gk",
+            paper_ratio: 0.03,
+            // Delete by organization code and marker.
+            sql: "DELETE FROM tj_gk WHERE dwdm = '33401' AND marker = TRUE",
+        },
+        GridStatement {
+            id: "D#4",
+            table: "tj_tdjl",
+            paper_ratio: 0.0001,
+            // Delete one terminal's outages at one time.
+            sql: "DELETE FROM tj_tdjl WHERE zdjh = 12345 AND tdsj >= DATE 16071",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_generators_conform_to_their_schemas() {
+        let checks: Vec<(Schema, Vec<Row>)> = vec![
+            (tj_gbsjwzl_mx_schema(), tj_gbsjwzl_mx_rows(100, 1).collect()),
+            (yh_gbjld_schema(), yh_gbjld_rows(100, 1).collect()),
+            (zd_gbcld_schema(), zd_gbcld_rows(100, 50, 1).collect()),
+            (zc_zdzc_schema(), zc_zdzc_rows(100, 1).collect()),
+            (tj_tdjl_schema(), tj_tdjl_rows(100, 1).collect()),
+            (tj_td_schema(), tj_td_rows(100, 1).collect()),
+            (tj_sjwzl_r_schema(), tj_sjwzl_r_rows(100, 1).collect()),
+            (tj_sjwzl_y_schema(), tj_sjwzl_y_rows(100, 1).collect()),
+            (tj_gk_schema(), tj_gk_rows(100, 1).collect()),
+            (tj_dysjwzl_mx_schema(), tj_dysjwzl_mx_rows(100, 1).collect()),
+        ];
+        for (schema, rows) in checks {
+            assert_eq!(rows.len(), 100);
+            for row in &rows {
+                schema.check_row(row).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn fact_table_days_are_uniform() {
+        let rows: Vec<Row> = tj_gbsjwzl_mx_rows(3600, 42).collect();
+        let mut per_day = std::collections::HashMap::new();
+        for r in &rows {
+            *per_day.entry(r[1].as_i64().unwrap()).or_insert(0usize) += 1;
+        }
+        assert_eq!(per_day.len(), DAYS as usize);
+        assert!(per_day.values().all(|&c| c == 100));
+    }
+
+    #[test]
+    fn u2_error_rate_near_five_percent() {
+        let rows: Vec<Row> = tj_td_rows(10_000, 3).collect();
+        let bad = rows
+            .iter()
+            .filter(|r| r[0].as_i64().unwrap() < r[1].as_i64().unwrap())
+            .count();
+        let ratio = bad as f64 / rows.len() as f64;
+        assert!((0.03..0.07).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn table4_covers_all_eight_statements() {
+        let stmts = table4_statements();
+        assert_eq!(stmts.len(), 8);
+        assert_eq!(stmts.iter().filter(|s| s.id.starts_with('U')).count(), 4);
+        assert_eq!(stmts.iter().filter(|s| s.id.starts_with('D')).count(), 4);
+        // Every statement parses in our dialect.
+        for s in &stmts {
+            dt_common::Result::Ok(()).unwrap();
+            assert!(!s.sql.is_empty());
+        }
+    }
+
+    #[test]
+    fn schemas_are_wide_like_grid_tables() {
+        // The paper: most grid tables exceed 50 columns, statements touch
+        // < 3. We model width with filler columns (> 20 total).
+        assert!(tj_gbsjwzl_mx_schema().len() > 20);
+        assert!(tj_dysjwzl_mx_schema().len() > 20);
+    }
+}

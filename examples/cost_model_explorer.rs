@@ -1,0 +1,60 @@
+//! Explore the §IV cost model: reproduce the paper's worked example and
+//! chart the plan-choice boundary across update/delete ratios and `k`.
+//!
+//! ```sh
+//! cargo run --example cost_model_explorer
+//! ```
+
+use dualtable_repro::dualtable::{CostModel, PlanChoice, Rates};
+
+const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+fn main() {
+    // The paper's worked example: D = 100 GB, α = 0.01, k = 30, HDFS write
+    // 1 GB/s, HBase write 0.8 GB/s, HBase read 0.5 GB/s ⇒ Cost_U = 38.75 s.
+    let model = CostModel::new(Rates {
+        master_write_bps: 1.0 * GB,
+        master_read_bps: 0.5 * GB,
+        attached_write_bps: 0.8 * GB,
+        attached_read_bps: 0.5 * GB,
+    });
+    let d = (100.0 * GB) as u64;
+    println!(
+        "paper worked example: Cost_U(D=100GB, α=0.01, k=30) = {:.2} s  (paper: 38.75 s)",
+        model.update_cost_diff(d, 0.01, 30)
+    );
+    println!();
+
+    // Plan-choice boundary: for each k, the α below which EDIT wins.
+    println!("k (reads after update)   update crossover α*   delete crossover β* (m/d = 0.1)");
+    for k in [0u32, 1, 2, 5, 10, 30, 100] {
+        println!(
+            "{k:>22}   {:>18.4}   {:>18.4}",
+            model.update_crossover_ratio(k),
+            model.delete_crossover_ratio(k, 0.1)
+        );
+    }
+    println!();
+
+    // A decision table like the one the DualTable parser consults.
+    println!("plan chosen for D = 64 GB, k = 1:");
+    println!("{:>8}  {:>10}  {:>10}", "ratio", "UPDATE", "DELETE");
+    let d = (64.0 * GB) as u64;
+    for pct in [0.1f64, 1.0, 5.0, 10.0, 20.0, 30.0, 35.0, 40.0, 50.0] {
+        let ratio = pct / 100.0;
+        let u = model.choose_update(d, ratio, 1);
+        let del = model.choose_delete(d, ratio, 1, 0.1);
+        println!(
+            "{pct:>7}%  {:>10}  {:>10}",
+            plan_name(u),
+            plan_name(del)
+        );
+    }
+}
+
+fn plan_name(p: PlanChoice) -> &'static str {
+    match p {
+        PlanChoice::Edit => "EDIT",
+        PlanChoice::Overwrite => "OVERWRITE",
+    }
+}

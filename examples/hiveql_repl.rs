@@ -1,0 +1,84 @@
+//! An interactive HiveQL shell over an in-memory environment — handy for
+//! poking at the dialect and watching the DualTable cost model decide.
+//!
+//! ```sh
+//! cargo run --example hiveql_repl
+//! dualtable> CREATE TABLE t (id BIGINT, v DOUBLE) STORED AS DUALTABLE;
+//! dualtable> INSERT INTO t VALUES (1, 2.5), (2, 5.0);
+//! dualtable> UPDATE t SET v = 0 WHERE id = 1;
+//! dualtable> SELECT * FROM t;
+//! ```
+
+use std::io::{BufRead, Write};
+
+use dualtable_repro::hiveql::Session;
+
+fn main() {
+    let mut session = Session::in_memory();
+    println!("DualTable HiveQL shell — statements end with ';', Ctrl-D to exit.");
+    println!("Storage handlers: STORED AS ORC | HBASE | DUALTABLE | ACID\n");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if !line.trim_end().ends_with(';') {
+            prompt(&buffer);
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        let sql = sql.trim();
+        if sql == ";" || sql.is_empty() {
+            prompt(&buffer);
+            continue;
+        }
+        match session.execute(sql) {
+            Ok(result) => {
+                if let Some(msg) = &result.message {
+                    println!("-- {msg}");
+                }
+                if !result.rows().is_empty() {
+                    let names: Vec<&str> = result
+                        .schema
+                        .fields()
+                        .iter()
+                        .map(|f| f.name.as_str())
+                        .collect();
+                    println!("{}", names.join("\t"));
+                    for row in result.rows().iter().take(50) {
+                        let cells: Vec<String> =
+                            row.iter().map(|v| format!("{v}")).collect();
+                        println!("{}", cells.join("\t"));
+                    }
+                    if result.rows().len() > 50 {
+                        println!("… ({} rows total)", result.rows().len());
+                    }
+                }
+                if let Some(report) = &result.dml {
+                    println!(
+                        "-- cost model: plan={:?} ratio={:.4} diff={:?}",
+                        report.plan, report.ratio_used, report.cost_diff
+                    );
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+        prompt(&buffer);
+    }
+    println!("\nbye");
+}
+
+fn prompt(buffer: &str) {
+    if buffer.is_empty() {
+        print!("dualtable> ");
+    } else {
+        print!("       ...> ");
+    }
+    std::io::stdout().flush().ok();
+}

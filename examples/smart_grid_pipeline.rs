@@ -1,0 +1,95 @@
+//! The paper's Smart Grid scenario (§II): a daily collection pipeline with
+//! recollection updates, archive synchronization and analytic reads.
+//!
+//! Flow (Figure 1): (1) recollected measurements update a tiny slice of the
+//! fact table; (2) archive changes update the device table; (3) analytics
+//! read the merged view and write summaries back.
+//!
+//! ```sh
+//! cargo run --example smart_grid_pipeline
+//! ```
+
+use dualtable_repro::common::Value;
+use dualtable_repro::hiveql::Session;
+use dualtable_repro::workloads::smartgrid as grid;
+
+fn main() {
+    let mut session = Session::in_memory();
+
+    // Fact table (measurement quality per user/day) as a DualTable, archive
+    // table too — both receive point updates.
+    create(&mut session, "tj_gbsjwzl_mx", &grid::tj_gbsjwzl_mx_schema());
+    create(&mut session, "zc_zdzc", &grid::zc_zdzc_schema());
+
+    let fact_rows: Vec<_> = grid::tj_gbsjwzl_mx_rows(36 * 200, 1).collect();
+    let device_rows: Vec<_> = grid::zc_zdzc_rows(2_000, 2).collect();
+    session.table("tj_gbsjwzl_mx").unwrap().insert(fact_rows).unwrap();
+    session.table("zc_zdzc").unwrap().insert(device_rows).unwrap();
+
+    // (1) Recollection: a handful of meters re-sent data for one day —
+    // under 0.01% of the table in production, a few rows here.
+    let r = session
+        .execute(&format!(
+            "UPDATE tj_gbsjwzl_mx SET rcjl = 96.0 \
+             WHERE rq = DATE {} AND dwdm = '33401' AND yhlx = 'resident'",
+            grid::BASE_DATE + 3
+        ))
+        .unwrap();
+    println!(
+        "recollection: {} rows corrected via {:?} plan",
+        r.affected,
+        r.dml.as_ref().map(|d| d.plan)
+    );
+
+    // (2) Archive sync: ~500 of 22M devices change per day in the paper.
+    let r = session
+        .execute("UPDATE zc_zdzc SET cjfs = 'HPLC' WHERE zdjh < 20")
+        .unwrap();
+    println!(
+        "archive sync: {} devices upgraded via {:?} plan",
+        r.affected,
+        r.dml.as_ref().map(|d| d.plan)
+    );
+
+    // (3) Analytics: data-integrity ratio per organization, reading the
+    // merged (UNION READ) view.
+    let r = session
+        .execute(
+            "SELECT dwdm, COUNT(*) AS meters, AVG(rcjl) AS avg_rate \
+             FROM tj_gbsjwzl_mx GROUP BY dwdm ORDER BY dwdm",
+        )
+        .unwrap();
+    println!("\norg     meters  avg collection rate");
+    for row in r.rows() {
+        println!(
+            "{}   {:>5}  {:>6.2}",
+            row[0].as_str().unwrap(),
+            row[1].as_i64().unwrap(),
+            row[2].as_f64().unwrap()
+        );
+    }
+
+    // Nightly maintenance window: fold the day's deltas into the master.
+    session.execute("COMPACT TABLE tj_gbsjwzl_mx").unwrap();
+    session.execute("COMPACT TABLE zc_zdzc").unwrap();
+    let stats = session.execute("SELECT COUNT(*) FROM tj_gbsjwzl_mx").unwrap();
+    println!(
+        "\nafter COMPACT: fact table holds {} rows, attached tables empty",
+        stats.rows()[0][0]
+    );
+}
+
+fn create(session: &mut Session, name: &str, schema: &dualtable_repro::common::Schema) {
+    let cols: Vec<String> = schema
+        .fields()
+        .iter()
+        .map(|f| format!("{} {}", f.name, f.data_type.sql_name()))
+        .collect();
+    session
+        .execute(&format!(
+            "CREATE TABLE {name} ({}) STORED AS DUALTABLE",
+            cols.join(", ")
+        ))
+        .unwrap();
+    let _ = Value::Null; // re-exported API sanity
+}

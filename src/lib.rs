@@ -1,0 +1,49 @@
+//! # dualtable-repro
+//!
+//! A from-scratch Rust reproduction of *DualTable: A Hybrid Storage Model for
+//! Update Optimization in Hive* (Hu, Liu, Rabl, et al., ICDE 2015).
+//!
+//! This façade crate re-exports the public API of every workspace crate so
+//! downstream users can depend on a single crate:
+//!
+//! * [`common`] — shared types: [`common::Schema`], [`common::Value`],
+//!   [`common::Row`], record IDs, errors, I/O statistics.
+//! * [`dfs`] — an HDFS-like append-only, chunked, write-once file system.
+//! * [`kvstore`] — an HBase-like log-structured merge key-value store.
+//! * [`orcfile`] — an ORC-like columnar file format with stripe statistics.
+//! * [`engine`] — a MapReduce-style parallel execution engine.
+//! * [`dualtable`] — the paper's contribution: the hybrid Master/Attached
+//!   storage model, UNION READ, COMPACT, and the §IV cost model.
+//! * [`hiveql`] — a HiveQL dialect (parser, planner, executor) with
+//!   `UPDATE` / `DELETE` / `COMPACT` extensions.
+//! * [`baselines`] — Hive-on-HDFS, Hive-on-HBase and Hive-ACID comparators.
+//! * [`workloads`] — TPC-H and Zhejiang-Grid synthetic data generators and
+//!   the paper's DML statement workloads.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dualtable_repro::hiveql::Session;
+//!
+//! let mut session = Session::in_memory();
+//! session
+//!     .execute("CREATE TABLE t (id BIGINT, name STRING, v DOUBLE) STORED AS DUALTABLE")
+//!     .unwrap();
+//! session
+//!     .execute("INSERT INTO t VALUES (1, 'a', 1.5), (2, 'b', 2.5)")
+//!     .unwrap();
+//! session.execute("UPDATE t SET v = 9.0 WHERE id = 2").unwrap();
+//! let result = session.execute("SELECT id, v FROM t ORDER BY id").unwrap();
+//! assert_eq!(result.rows()[1][1].as_f64().unwrap(), 9.0);
+//! ```
+
+pub use dt_common as common;
+pub use dt_dfs as dfs;
+pub use dt_engine as engine;
+pub use dt_hiveql as hiveql;
+pub use dt_kvstore as kvstore;
+pub use dt_orcfile as orcfile;
+pub use dt_workloads as workloads;
+pub use dualtable;
+
+pub use dt_baselines as baselines;

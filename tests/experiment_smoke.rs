@@ -1,0 +1,111 @@
+//! Tiny-scale smoke tests of the experiment harness: every sweep and
+//! dataset builder must run end-to-end and produce sane shapes, so
+//! `cargo bench` cannot bit-rot.
+
+use dt_bench::datasets;
+use dt_bench::sweeps::run_sweep;
+use dualtable_repro::workloads::{scenarios, smartgrid, tpch};
+
+#[test]
+fn tiny_update_sweep_runs_and_has_paper_shape() {
+    let mut spec = datasets::tiny_spec();
+    spec.points.truncate(2); // 1% and 5%
+    let result = run_sweep(&spec);
+    assert_eq!(result.labels, vec!["1%", "5%"]);
+    let (hive, edit, cost) = result.dml_modeled();
+    // Modeled: Hive flat-ish; EDIT below Hive at small ratios.
+    assert!(edit[0] < hive[0], "EDIT must beat Hive at 1%: {edit:?} vs {hive:?}");
+    assert!(cost[0] <= hive[0] * 1.1);
+    // Wall times are positive and finite.
+    let (hw, ew, cw) = result.dml_wall();
+    for series in [hw, ew, cw] {
+        assert!(series.iter().all(|s| s.is_finite() && *s > 0.0));
+    }
+}
+
+#[test]
+fn grid_spec_points_cover_the_paper_axis() {
+    let spec = datasets::grid_update_spec();
+    let labels: Vec<&str> = spec.points.iter().map(|p| p.label.as_str()).collect();
+    assert_eq!(labels.first(), Some(&"1/36"));
+    assert_eq!(labels.last(), Some(&"17/36"));
+    assert_eq!(spec.points.len(), 9);
+    // Predicate at k/36 selects ~k/36 of generated data.
+    let rows = (spec.rows)();
+    let p = &spec.points[2]; // 5/36
+    let matched = rows.iter().filter(|r| (p.predicate)(r)).count();
+    let ratio = matched as f64 / rows.len() as f64;
+    assert!((ratio - 5.0 / 36.0).abs() < 0.02, "ratio {ratio}");
+}
+
+#[test]
+fn tpch_spec_predicates_track_their_ratios() {
+    let spec = datasets::tpch_update_spec();
+    let rows = (spec.rows)();
+    for point in &spec.points {
+        let matched = rows.iter().filter(|r| (point.predicate)(r)).count();
+        let ratio = matched as f64 / rows.len() as f64;
+        assert!(
+            (ratio - point.ratio).abs() < 0.05,
+            "{}: predicate selects {ratio}, wants {}",
+            point.label,
+            point.ratio
+        );
+    }
+}
+
+#[test]
+fn table1_analyzer_reproduces_paper_percentages() {
+    for mix in scenarios::paper_mixes() {
+        let corpus = scenarios::generate_corpus(&mix, 1);
+        let got = scenarios::analyze(mix.scenario, &corpus);
+        assert_eq!(got, mix);
+        assert!(got.dml_percent() >= 50, "every scenario is DML-heavy");
+    }
+}
+
+#[test]
+fn table4_statements_execute_on_both_systems() {
+    use dt_bench::systems::{create_table_as, insert_direct};
+    use dualtable_repro::hiveql::Session;
+
+    for storage in ["ORC", "DUALTABLE"] {
+        let mut s = Session::in_memory();
+        create_table_as(&mut s, "tj_tdjl", &smartgrid::tj_tdjl_schema(), storage);
+        create_table_as(&mut s, "tj_td", &smartgrid::tj_td_schema(), storage);
+        create_table_as(&mut s, "tj_sjwzl_r", &smartgrid::tj_sjwzl_r_schema(), storage);
+        create_table_as(&mut s, "tj_sjwzl_y", &smartgrid::tj_sjwzl_y_schema(), storage);
+        create_table_as(&mut s, "tj_gk", &smartgrid::tj_gk_schema(), storage);
+        create_table_as(
+            &mut s,
+            "tj_dysjwzl_mx",
+            &smartgrid::tj_dysjwzl_mx_schema(),
+            storage,
+        );
+        insert_direct(&mut s, "tj_tdjl", smartgrid::tj_tdjl_rows(400, 1).collect());
+        insert_direct(&mut s, "tj_td", smartgrid::tj_td_rows(400, 2).collect());
+        insert_direct(&mut s, "tj_sjwzl_r", smartgrid::tj_sjwzl_r_rows(400, 3).collect());
+        insert_direct(&mut s, "tj_sjwzl_y", smartgrid::tj_sjwzl_y_rows(400, 4).collect());
+        insert_direct(&mut s, "tj_gk", smartgrid::tj_gk_rows(400, 5).collect());
+        insert_direct(
+            &mut s,
+            "tj_dysjwzl_mx",
+            smartgrid::tj_dysjwzl_mx_rows(400, 6).collect(),
+        );
+        for stmt in smartgrid::table4_statements() {
+            let r = s.execute(stmt.sql);
+            assert!(r.is_ok(), "{} failed on {storage}: {:?}", stmt.id, r.err());
+        }
+    }
+}
+
+#[test]
+fn tpch_queries_parse_and_run_at_tiny_scale() {
+    let mut session = dt_bench::systems::tpch_session("DUALTABLE", 200, 3);
+    for q in [tpch::QUERY_A_Q1, tpch::QUERY_B_Q12, tpch::QUERY_C_COUNT] {
+        session.execute(q).unwrap();
+    }
+    for d in [tpch::DML_A_UPDATE, tpch::DML_B_DELETE, tpch::DML_C_JOIN_UPDATE] {
+        session.execute(d).unwrap();
+    }
+}
