@@ -165,7 +165,7 @@ impl HiveHbaseTable {
     pub fn update(
         &self,
         predicate: impl Fn(&Row) -> bool,
-        assignments: &[(usize, Box<dyn Fn(&Row) -> Value + '_>)],
+        assignments: &[dualtable::Assignment<'_>],
     ) -> Result<(u64, u64)> {
         let mut matched = 0u64;
         let mut scanned = 0u64;

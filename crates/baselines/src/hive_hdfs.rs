@@ -2,7 +2,7 @@
 
 use std::ops::ControlFlow;
 
-use dt_common::{Error, Result, Row, Schema, Value};
+use dt_common::{Error, Result, Row, Schema};
 use dt_dfs::Dfs;
 use dt_orcfile::{ColumnPredicate, OrcReader, OrcWriter, WriterOptions};
 
@@ -206,7 +206,7 @@ impl HiveHdfsTable {
     pub fn update(
         &self,
         predicate: impl Fn(&Row) -> bool,
-        assignments: &[(usize, Box<dyn Fn(&Row) -> Value + '_>)],
+        assignments: &[dualtable::Assignment<'_>],
     ) -> Result<(u64, u64)> {
         let mut matched = 0u64;
         let mut scanned = 0u64;
@@ -261,6 +261,7 @@ impl HiveHdfsTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dt_common::Value;
     use dt_common::DataType;
     use dt_dfs::DfsConfig;
 

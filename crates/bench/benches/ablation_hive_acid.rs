@@ -36,7 +36,7 @@ fn main() {
     for k in [1i64, 4, 8, 12] {
         let cutoff = grid::BASE_DATE + k;
         let pred = move |row: &Row| row[rq].as_i64().map(|d| d < cutoff).unwrap_or(false);
-        let assignments: Vec<(usize, Box<dyn Fn(&Row) -> Value>)> =
+        let assignments: Vec<dualtable::Assignment<'static>> =
             vec![(rcjl, Box::new(|_| Value::Float64(1.0)))];
 
         // Hive ACID.

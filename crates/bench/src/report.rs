@@ -55,12 +55,9 @@ pub fn print_rows(columns: &[&str], rows: &[Vec<String>]) {
 /// Notes the observed crossover of two series (where `a` stops being
 /// smaller than `b`), if any.
 pub fn crossover_note(xs: &[String], a: &(&str, Vec<f64>), b: &(&str, Vec<f64>)) {
-    for i in 0..xs.len() {
+    for (i, x) in xs.iter().enumerate() {
         if a.1[i] >= b.1[i] {
-            println!(
-                "-- crossover: '{}' overtakes '{}' at x = {}",
-                b.0, a.0, xs[i]
-            );
+            println!("-- crossover: '{}' overtakes '{}' at x = {}", b.0, a.0, x);
             return;
         }
     }

@@ -9,7 +9,7 @@
 //! [`crate::model`]).
 
 use dt_common::{Row, Schema, Value};
-use dualtable::{DualTableEnv, PlanChoice, PlanMode, Rates, RatioHint};
+use dualtable::{Assignment, DualTableEnv, PlanChoice, PlanMode, Rates, RatioHint};
 
 use crate::model::{ClusterModel, PhaseVolumes, TableProfile};
 use crate::systems::{build_dual, build_hive};
@@ -166,7 +166,7 @@ fn run_dual(spec: &SweepSpec, point: &SweepPoint, plan_mode: PlanMode, tag: &str
     let (dml_wall, report) = match &spec.update {
         Some((col, value)) => {
             let value = value.clone();
-            let assignments: Vec<(usize, Box<dyn Fn(&Row) -> Value>)> =
+            let assignments: Vec<Assignment<'static>> =
                 vec![(*col, Box::new(move |_| value.clone()))];
             time(|| table.update(|r| pred(r), &assignments, hint).unwrap())
         }
@@ -217,7 +217,7 @@ fn run_hive(spec: &SweepSpec, point: &SweepPoint) -> PhaseOutcome {
     let (dml_wall, _) = match &spec.update {
         Some((col, value)) => {
             let value = value.clone();
-            let assignments: Vec<(usize, Box<dyn Fn(&Row) -> Value>)> =
+            let assignments: Vec<Assignment<'static>> =
                 vec![(*col, Box::new(move |_| value.clone()))];
             time(|| table.update(|r| pred(r), &assignments).unwrap())
         }

@@ -34,6 +34,11 @@ pub enum Error {
     Busy(String),
     /// Invariant violation — a bug in this library.
     Internal(String),
+    /// A deterministic fault injected by a test's [`fault
+    /// plan`](crate::fault::FaultPlan); never produced in production
+    /// paths. A distinct variant lets recovery tests tell injected
+    /// failures from genuine bugs.
+    Injected(String),
 }
 
 impl Error {
@@ -61,6 +66,16 @@ impl Error {
     pub fn internal(msg: impl Into<String>) -> Self {
         Error::Internal(msg.into())
     }
+
+    /// Shorthand for [`Error::Injected`].
+    pub fn injected(msg: impl Into<String>) -> Self {
+        Error::Injected(msg.into())
+    }
+
+    /// `true` iff this error came from a test fault plan.
+    pub fn is_injected(&self) -> bool {
+        matches!(self, Error::Injected(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -77,6 +92,7 @@ impl fmt::Display for Error {
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Busy(m) => write!(f, "busy: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
+            Error::Injected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }
@@ -111,7 +127,7 @@ mod tests {
     #[test]
     fn io_error_is_source() {
         use std::error::Error as _;
-        let e: Error = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let e: Error = std::io::Error::other("boom").into();
         assert!(e.source().is_some());
     }
 }

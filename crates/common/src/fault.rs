@@ -1,0 +1,382 @@
+//! Deterministic fault injection for crash-recovery testing.
+//!
+//! A [`FaultPlan`] is a seeded, shareable schedule of storage faults. The
+//! substrate crates install thin decorators (`FaultyBlockStore` in dt-dfs,
+//! `FaultyEnv` in dt-kvstore) that consult one shared plan before every
+//! data-path I/O operation; the plan decides — purely from its seed and a
+//! global operation counter — whether that operation proceeds, returns an
+//! injected error, persists only a torn prefix, or silently corrupts a
+//! byte.
+//!
+//! Design points:
+//!
+//! * **Deterministic.** Faults are chosen by [`Rng64`] from the seed; the
+//!   N-th I/O operation of a single-threaded test always sees the same
+//!   fate, so every failure reproduces from a logged seed.
+//! * **Zero-cost when disarmed.** [`FaultPlan::none`] keeps `armed ==
+//!   false`; the decorators then forward after a single relaxed atomic
+//!   load and the substrates behave byte-identically to an unwrapped
+//!   store.
+//! * **Crash realism.** [`FaultKind::Crash`] and torn writes leave the
+//!   plan in a *crashed* state where **every** subsequent operation fails,
+//!   like a dead process. Tests then rebuild their store handles over the
+//!   surviving state ("reopen") after calling [`FaultPlan::heal`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::rng::Rng64;
+use crate::{Error, Result};
+
+/// The class of I/O operation being attempted, as reported by a wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Any read of persisted bytes.
+    Read,
+    /// Any write/append of bytes.
+    Write,
+    /// A delete/unlink.
+    Delete,
+}
+
+/// What an injected fault does to the operation it fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Persist only a prefix of the written bytes, then crash: the write
+    /// reports failure and all later operations fail until
+    /// [`FaultPlan::heal`]. Models power loss mid-write.
+    TornWrite,
+    /// Flip one byte of the written payload and report success. Models
+    /// bit rot / a buggy disk firmware; only CRCs can catch it later.
+    CorruptWrite,
+    /// Fail the write or delete outright with no side effects.
+    WriteError,
+    /// Fail the read outright (short read / EIO).
+    ReadError,
+    /// Flip one byte of the bytes returned by a read and report success.
+    CorruptRead,
+    /// Process death: this operation and every later one fail until
+    /// [`FaultPlan::heal`]. No bytes are touched.
+    Crash,
+}
+
+impl FaultKind {
+    /// `true` iff this fault leaves the plan in the crashed state.
+    pub fn is_crash(self) -> bool {
+        matches!(self, FaultKind::TornWrite | FaultKind::Crash)
+    }
+
+    /// `true` iff this fault can fire on `op`.
+    fn applies_to(self, op: IoOp) -> bool {
+        match self {
+            FaultKind::TornWrite | FaultKind::CorruptWrite => op == IoOp::Write,
+            FaultKind::WriteError => op != IoOp::Read,
+            FaultKind::ReadError | FaultKind::CorruptRead => op == IoOp::Read,
+            FaultKind::Crash => true,
+        }
+    }
+}
+
+/// One scheduled fault: fires on the `at_op`-th matching operation
+/// (1-based, counted across every wrapped substrate sharing the plan).
+#[derive(Debug, Clone, Copy)]
+struct FaultSpec {
+    at_op: u64,
+    kind: FaultKind,
+}
+
+/// A deterministic, shareable schedule of storage faults.
+///
+/// Wrappers call [`FaultPlan::on_op`] before each data operation; helper
+/// methods ([`FaultPlan::mangle_byte`], [`FaultPlan::torn_prefix_len`])
+/// derive the corruption details from the same seeded RNG.
+pub struct FaultPlan {
+    armed: AtomicBool,
+    crashed: AtomicBool,
+    op_counter: AtomicU64,
+    specs: Mutex<Vec<FaultSpec>>,
+    rng: Mutex<Rng64>,
+    injected: Mutex<Vec<(u64, FaultKind)>>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("armed", &self.armed.load(Ordering::Relaxed))
+            .field("crashed", &self.crashed.load(Ordering::Relaxed))
+            .field("ops_seen", &self.op_counter.load(Ordering::Relaxed))
+            .field("pending", &self.specs.lock().unwrap().len())
+            .field("injected", &self.injected.lock().unwrap().len())
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// A permanently disarmed plan — the default for every production
+    /// constructor. Wrapped substrates behave identically to unwrapped
+    /// ones.
+    pub fn none() -> Self {
+        FaultPlan {
+            armed: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
+            op_counter: AtomicU64::new(0),
+            specs: Mutex::new(Vec::new()),
+            rng: Mutex::new(Rng64::new(0)),
+            injected: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// An armed plan with an explicit schedule (see
+    /// [`FaultPlan::fail_at`]). `seed` drives corruption details (which
+    /// byte flips, where a torn write cuts).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            armed: AtomicBool::new(true),
+            crashed: AtomicBool::new(false),
+            op_counter: AtomicU64::new(0),
+            specs: Mutex::new(Vec::new()),
+            rng: Mutex::new(Rng64::new(seed)),
+            injected: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A seeded random schedule: `faults` faults at distinct operation
+    /// indices in `[1, horizon]`, drawing kinds from `kinds`.
+    pub fn seeded(seed: u64, faults: usize, horizon: u64, kinds: &[FaultKind]) -> Self {
+        assert!(!kinds.is_empty(), "fault kind palette must not be empty");
+        assert!(horizon >= faults as u64, "horizon too small for fault count");
+        let mut rng = Rng64::new(seed);
+        let mut at_ops = std::collections::BTreeSet::new();
+        while at_ops.len() < faults {
+            at_ops.insert(1 + rng.next_below(horizon));
+        }
+        let plan = FaultPlan::new(rng.next_u64());
+        {
+            let mut specs = plan.specs.lock().unwrap();
+            for at_op in at_ops {
+                let kind = *rng.choose(kinds);
+                specs.push(FaultSpec { at_op, kind });
+            }
+        }
+        plan
+    }
+
+    /// Schedules `kind` to fire on the `at_op`-th operation (1-based).
+    /// If the kind does not apply to that operation's class (e.g. a
+    /// [`FaultKind::TornWrite`] scheduled at a read), the fault slides to
+    /// the next matching operation.
+    pub fn fail_at(self, at_op: u64, kind: FaultKind) -> Self {
+        assert!(at_op > 0, "operation indices are 1-based");
+        self.specs.lock().unwrap().push(FaultSpec { at_op, kind });
+        self
+    }
+
+    /// Schedules `kind` to fire on the next matching operation, counting
+    /// from *now* — handy for tests that run some clean setup I/O first.
+    pub fn fail_next(&self, kind: FaultKind) {
+        self.fail_after(0, kind);
+    }
+
+    /// Like [`FaultPlan::fail_next`] but lets `skip` operations pass
+    /// cleanly first (e.g. skip a WAL append to hit the flush behind it).
+    pub fn fail_after(&self, skip: u64, kind: FaultKind) {
+        let at_op = self.op_counter.load(Ordering::SeqCst) + 1 + skip;
+        self.specs.lock().unwrap().push(FaultSpec { at_op, kind });
+    }
+
+    /// Re-arms / disarms the plan. Useful to open a store cleanly first
+    /// and only then start injecting.
+    pub fn set_armed(&self, armed: bool) {
+        self.armed.store(armed, Ordering::SeqCst);
+    }
+
+    /// Clears the crashed state (and leaves the plan armed), modelling a
+    /// restart of the dead process. Pending faults stay scheduled.
+    pub fn heal(&self) {
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Clears the crashed state and disarms: recovery proceeds with no
+    /// further interference.
+    pub fn heal_and_disarm(&self) {
+        self.crashed.store(false, Ordering::SeqCst);
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// `true` while the simulated process is dead.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Total data operations observed while armed.
+    pub fn ops_seen(&self) -> u64 {
+        self.op_counter.load(Ordering::SeqCst)
+    }
+
+    /// Log of faults fired so far, as `(operation index, kind)`.
+    pub fn injected(&self) -> Vec<(u64, FaultKind)> {
+        self.injected.lock().unwrap().clone()
+    }
+
+    /// Number of faults fired so far.
+    pub fn injected_count(&self) -> usize {
+        self.injected.lock().unwrap().len()
+    }
+
+    /// Called by wrappers before each data operation. `None` means
+    /// proceed normally; `Some(kind)` means the wrapper must apply that
+    /// fault's behaviour.
+    pub fn on_op(&self, op: IoOp) -> Option<FaultKind> {
+        if !self.armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        if self.crashed.load(Ordering::SeqCst) {
+            return Some(FaultKind::Crash);
+        }
+        let n = self.op_counter.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut specs = self.specs.lock().unwrap();
+        let due = specs
+            .iter()
+            .position(|s| s.at_op <= n && s.kind.applies_to(op))?;
+        let spec = specs.swap_remove(due);
+        drop(specs);
+        if spec.kind.is_crash() {
+            self.crashed.store(true, Ordering::SeqCst);
+        }
+        self.injected.lock().unwrap().push((n, spec.kind));
+        Some(spec.kind)
+    }
+
+    /// The error a failed operation reports for `kind`.
+    pub fn error(kind: FaultKind, context: &str) -> Error {
+        Error::injected(format!("{kind:?} at {context}"))
+    }
+
+    /// Flips one deterministic byte of `data` (no-op on empty buffers).
+    pub fn mangle_byte(&self, data: &mut [u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let mut rng = self.rng.lock().unwrap();
+        let at = rng.next_below(data.len() as u64) as usize;
+        data[at] ^= 0x40 | (1 << rng.next_below(6));
+    }
+
+    /// How many bytes of a `len`-byte write survive a torn write: a
+    /// deterministic cut strictly shorter than `len` (possibly zero).
+    pub fn torn_prefix_len(&self, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        self.rng.lock().unwrap().next_below(len as u64) as usize
+    }
+
+    /// Convenience for wrappers: returns the injected error for a
+    /// fail-stop kind, `Ok(())` when no fault fired. Corruption kinds are
+    /// *not* handled here because they need the payload.
+    pub fn check(&self, op: IoOp, context: &str) -> Result<()> {
+        match self.on_op(op) {
+            None => Ok(()),
+            Some(kind @ (FaultKind::CorruptWrite | FaultKind::CorruptRead)) => {
+                // Caller used `check` on an op it cannot corrupt (e.g. a
+                // delete); degrade to a plain error to stay fail-stop.
+                Err(Self::error(kind, context))
+            }
+            Some(kind) => Err(Self::error(kind, context)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_plan_never_fires() {
+        let plan = FaultPlan::none();
+        for _ in 0..1000 {
+            assert!(plan.on_op(IoOp::Write).is_none());
+            assert!(plan.on_op(IoOp::Read).is_none());
+        }
+        assert_eq!(plan.injected_count(), 0);
+    }
+
+    #[test]
+    fn fires_at_exact_operation_index() {
+        let plan = FaultPlan::new(7).fail_at(3, FaultKind::WriteError);
+        assert!(plan.on_op(IoOp::Write).is_none());
+        assert!(plan.on_op(IoOp::Write).is_none());
+        assert_eq!(plan.on_op(IoOp::Write), Some(FaultKind::WriteError));
+        assert!(plan.on_op(IoOp::Write).is_none());
+        assert_eq!(plan.injected(), vec![(3, FaultKind::WriteError)]);
+    }
+
+    #[test]
+    fn fault_slides_to_next_matching_op_class() {
+        let plan = FaultPlan::new(7).fail_at(1, FaultKind::ReadError);
+        assert!(plan.on_op(IoOp::Write).is_none());
+        assert!(plan.on_op(IoOp::Write).is_none());
+        assert_eq!(plan.on_op(IoOp::Read), Some(FaultKind::ReadError));
+    }
+
+    #[test]
+    fn crash_is_sticky_until_heal() {
+        let plan = FaultPlan::new(9).fail_at(1, FaultKind::Crash);
+        assert_eq!(plan.on_op(IoOp::Write), Some(FaultKind::Crash));
+        assert_eq!(plan.on_op(IoOp::Read), Some(FaultKind::Crash));
+        assert_eq!(plan.on_op(IoOp::Delete), Some(FaultKind::Crash));
+        plan.heal();
+        assert!(plan.on_op(IoOp::Write).is_none());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let kinds = [FaultKind::WriteError, FaultKind::Crash, FaultKind::TornWrite];
+        let a = FaultPlan::seeded(42, 5, 100, &kinds);
+        let b = FaultPlan::seeded(42, 5, 100, &kinds);
+        let mut log_a = Vec::new();
+        let mut log_b = Vec::new();
+        for i in 0..200u64 {
+            let op = if i % 3 == 0 { IoOp::Read } else { IoOp::Write };
+            if let Some(k) = a.on_op(op) {
+                log_a.push(k);
+                a.heal();
+            }
+            if let Some(k) = b.on_op(op) {
+                log_b.push(k);
+                b.heal();
+            }
+        }
+        assert_eq!(log_a, log_b);
+        assert!(!log_a.is_empty());
+    }
+
+    #[test]
+    fn mangle_flips_exactly_one_byte() {
+        let plan = FaultPlan::new(11);
+        let original = vec![0u8; 64];
+        let mut mangled = original.clone();
+        plan.mangle_byte(&mut mangled);
+        let diffs = original
+            .iter()
+            .zip(&mangled)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn torn_prefix_is_strictly_shorter() {
+        let plan = FaultPlan::new(13);
+        for len in [1usize, 2, 64, 4096] {
+            assert!(plan.torn_prefix_len(len) < len);
+        }
+        assert_eq!(plan.torn_prefix_len(0), 0);
+    }
+}

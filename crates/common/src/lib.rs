@@ -20,6 +20,7 @@ pub mod clock;
 pub mod codec;
 pub mod crc32;
 pub mod error;
+pub mod fault;
 pub mod io_stats;
 pub mod record_id;
 pub mod rng;
@@ -27,6 +28,7 @@ pub mod types;
 
 pub use clock::LogicalClock;
 pub use error::{Error, Result};
+pub use fault::{FaultKind, FaultPlan, IoOp};
 pub use io_stats::{IoStats, IoStatsSnapshot};
 pub use record_id::RecordId;
 pub use rng::Rng64;

@@ -346,7 +346,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vs = vec![Value::Int64(3), Value::Null, Value::Int64(-1)];
+        let mut vs = [Value::Int64(3), Value::Null, Value::Int64(-1)];
         vs.sort_by(|a, b| a.total_cmp(b));
         assert!(vs[0].is_null());
         assert_eq!(vs[1], Value::Int64(-1));

@@ -1,0 +1,137 @@
+//! Fault-injecting decorator over any [`BlockStore`].
+//!
+//! Consults a shared [`FaultPlan`] before every data operation. With a
+//! disarmed plan ([`FaultPlan::none`]) the wrapper is a single relaxed
+//! atomic load per call — behaviour is byte-identical to the wrapped
+//! store.
+
+use std::sync::Arc;
+
+use dt_common::fault::{FaultKind, FaultPlan, IoOp};
+use dt_common::Result;
+
+use crate::block_store::{BlockId, BlockStore};
+
+/// A [`BlockStore`] that injects the faults scheduled by a [`FaultPlan`].
+pub struct FaultyBlockStore {
+    inner: Arc<dyn BlockStore>,
+    plan: Arc<FaultPlan>,
+}
+
+impl FaultyBlockStore {
+    /// Wraps `inner`, consulting `plan` on every operation.
+    pub fn new(inner: Arc<dyn BlockStore>, plan: Arc<FaultPlan>) -> Self {
+        FaultyBlockStore { inner, plan }
+    }
+
+    /// The shared fault plan.
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+}
+
+impl BlockStore for FaultyBlockStore {
+    fn put(&self, data: &[u8]) -> Result<BlockId> {
+        match self.plan.on_op(IoOp::Write) {
+            None => self.inner.put(data),
+            Some(FaultKind::TornWrite) => {
+                // A prefix of the block lands on the datanode, but the
+                // client never learns its id — exactly what a crashed
+                // pipeline leaves behind. The orphan is invisible (no
+                // namenode reference) and only wastes space.
+                let keep = self.plan.torn_prefix_len(data.len());
+                let _ = self.inner.put(&data[..keep]);
+                Err(FaultPlan::error(FaultKind::TornWrite, "block put"))
+            }
+            Some(FaultKind::CorruptWrite) => {
+                let mut mangled = data.to_vec();
+                self.plan.mangle_byte(&mut mangled);
+                self.inner.put(&mangled)
+            }
+            Some(kind) => Err(FaultPlan::error(kind, "block put")),
+        }
+    }
+
+    fn read_at(&self, id: BlockId, offset: u64, buf: &mut [u8]) -> Result<()> {
+        match self.plan.on_op(IoOp::Read) {
+            None => self.inner.read_at(id, offset, buf),
+            Some(FaultKind::CorruptRead) => {
+                self.inner.read_at(id, offset, buf)?;
+                self.plan.mangle_byte(buf);
+                Ok(())
+            }
+            Some(kind) => Err(FaultPlan::error(kind, "block read")),
+        }
+    }
+
+    fn delete(&self, id: BlockId) -> Result<()> {
+        self.plan.check(IoOp::Delete, "block delete")?;
+        self.inner.delete(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_store::MemBlockStore;
+
+    fn wrapped(plan: FaultPlan) -> (FaultyBlockStore, Arc<FaultPlan>) {
+        let plan = Arc::new(plan);
+        (
+            FaultyBlockStore::new(Arc::new(MemBlockStore::new()), plan.clone()),
+            plan,
+        )
+    }
+
+    #[test]
+    fn disarmed_is_transparent() {
+        let (store, plan) = wrapped(FaultPlan::none());
+        let id = store.put(b"payload").unwrap();
+        let mut buf = vec![0u8; 7];
+        store.read_at(id, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"payload");
+        store.delete(id).unwrap();
+        assert_eq!(plan.injected_count(), 0);
+    }
+
+    #[test]
+    fn write_error_has_no_side_effects() {
+        let inner = Arc::new(MemBlockStore::new());
+        let plan = Arc::new(FaultPlan::new(3).fail_at(1, FaultKind::WriteError));
+        let store = FaultyBlockStore::new(inner.clone(), plan);
+        assert!(store.put(b"x").unwrap_err().is_injected());
+        assert_eq!(inner.block_count(), 0);
+        // The next put proceeds normally.
+        store.put(b"x").unwrap();
+        assert_eq!(inner.block_count(), 1);
+    }
+
+    #[test]
+    fn corrupt_read_flips_one_byte() {
+        let (store, plan) = wrapped(FaultPlan::new(5).fail_at(2, FaultKind::CorruptRead));
+        let id = store.put(b"0123456789").unwrap();
+        let mut bad = vec![0u8; 10];
+        store.read_at(id, 0, &mut bad).unwrap();
+        assert_eq!(plan.injected_count(), 1);
+        let diffs = b"0123456789".iter().zip(&bad).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 1);
+        // Subsequent reads are clean again.
+        let mut good = vec![0u8; 10];
+        store.read_at(id, 0, &mut good).unwrap();
+        assert_eq!(&good, b"0123456789");
+    }
+
+    #[test]
+    fn torn_write_crashes_and_sticks() {
+        let plan = Arc::new(FaultPlan::new(7).fail_at(1, FaultKind::TornWrite));
+        let store = FaultyBlockStore::new(Arc::new(MemBlockStore::new()), plan.clone());
+        assert!(store.put(b"doomed block").unwrap_err().is_injected());
+        assert!(plan.is_crashed());
+        // Everything fails until heal().
+        assert!(store.put(b"next").is_err());
+        let mut buf = [0u8; 1];
+        assert!(store.read_at(BlockId(0), 0, &mut buf).is_err());
+        plan.heal();
+        store.put(b"after recovery").unwrap();
+    }
+}

@@ -31,17 +31,20 @@
 
 mod block_store;
 mod config;
+mod faulty;
 mod namenode;
 mod reader;
 mod writer;
 
 pub use block_store::{BlockId, BlockStore, DiskBlockStore, MemBlockStore};
 pub use config::DfsConfig;
+pub use faulty::FaultyBlockStore;
 pub use reader::DfsReader;
 pub use writer::DfsWriter;
 
 use std::sync::Arc;
 
+use dt_common::fault::FaultPlan;
 use dt_common::{Error, IoStats, Result};
 use namenode::{FileMeta, NameNode};
 
@@ -73,6 +76,15 @@ impl Dfs {
             Arc::new(DiskBlockStore::new(root.into())?),
             config,
         ))
+    }
+
+    /// Creates an in-memory DFS whose block I/O is subject to `plan`'s
+    /// injected faults (see [`FaultyBlockStore`]).
+    pub fn in_memory_faulty(config: DfsConfig, plan: Arc<FaultPlan>) -> Self {
+        Self::with_block_store(
+            Arc::new(FaultyBlockStore::new(Arc::new(MemBlockStore::new()), plan)),
+            config,
+        )
     }
 
     /// Creates a DFS over an arbitrary block store.
@@ -128,14 +140,24 @@ impl Dfs {
         self.inner.namenode.list(prefix)
     }
 
-    /// Deletes a file, releasing its blocks. Deleting a missing file is an
-    /// error.
+    /// Deletes a file, releasing every replica of every block. Deleting a
+    /// missing file is an error. Replica release is best-effort: the
+    /// namespace entry is already gone, so a failed unlink merely leaks an
+    /// unreferenced block (reported via the first error).
     pub fn delete(&self, path: &str) -> Result<()> {
         let meta = self.inner.namenode.remove(path)?;
-        for (block, _, _) in &meta.blocks {
-            self.inner.blocks.delete(*block)?;
+        let mut first_err = None;
+        for group in &meta.blocks {
+            for replica in &group.replicas {
+                if let Err(e) = self.inner.blocks.delete(*replica) {
+                    first_err.get_or_insert(e);
+                }
+            }
         }
-        Ok(())
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Deletes every file under `prefix`; returns how many were removed.
@@ -175,23 +197,98 @@ impl Dfs {
         w.close()
     }
 
-    /// Integrity audit in the spirit of `hdfs fsck`: re-reads every block
-    /// of every closed file and verifies its stored CRC-32.
+    /// Integrity audit in the spirit of `hdfs fsck`: re-reads every
+    /// replica of every block of every closed file and verifies its
+    /// stored CRC-32.
+    ///
+    /// A block group with **no** healthy replica makes its file
+    /// `corrupt`; a group with some but not all healthy replicas makes
+    /// its file `under_replicated` (data still readable, durability
+    /// degraded). [`Dfs::repair`] restores the latter.
     pub fn fsck(&self) -> Result<FsckReport> {
         let mut report = FsckReport::default();
         for path in self.list("/") {
             report.files += 1;
             let meta = self.inner.namenode.get_closed(&path)?;
-            for (block, len, crc) in &meta.blocks {
+            let mut file_corrupt = false;
+            let mut file_under = false;
+            for group in &meta.blocks {
                 report.blocks += 1;
-                let mut buf = vec![0u8; *len as usize];
-                match self.inner.blocks.read_at(*block, 0, &mut buf) {
-                    Ok(()) if dt_common::crc32::crc32(&buf) == *crc => {}
-                    _ => {
-                        report.corrupt.push(path.clone());
-                        break;
+                let mut healthy = 0usize;
+                for replica in &group.replicas {
+                    let mut buf = vec![0u8; group.len as usize];
+                    match self.inner.blocks.read_at(*replica, 0, &mut buf) {
+                        Ok(()) if dt_common::crc32::crc32(&buf) == group.crc => healthy += 1,
+                        _ => {}
                     }
                 }
+                if healthy == 0 {
+                    file_corrupt = true;
+                } else if healthy < group.replicas.len() {
+                    file_under = true;
+                }
+            }
+            if file_corrupt {
+                report.corrupt.push(path.clone());
+            } else if file_under {
+                report.under_replicated.push(path.clone());
+            }
+        }
+        Ok(report)
+    }
+
+    /// Re-replication pass: for every block group with dead or rotted
+    /// replicas, drops the bad copies and clones a healthy replica until
+    /// the group is back at the configured replication factor. Groups
+    /// with no healthy replica are reported as unrecoverable (the file
+    /// stays listed so higher layers can decide what to drop).
+    pub fn repair(&self) -> Result<RepairReport> {
+        let mut report = RepairReport::default();
+        let target = self.inner.config.replication.max(1) as usize;
+        for path in self.list("/") {
+            let mut meta = self.inner.namenode.get_closed(&path)?;
+            let mut changed = false;
+            let mut unrecoverable = false;
+            for group in &mut meta.blocks {
+                let mut healthy_bytes: Option<Vec<u8>> = None;
+                let mut good = Vec::new();
+                let mut bad = Vec::new();
+                for replica in &group.replicas {
+                    let mut buf = vec![0u8; group.len as usize];
+                    match self.inner.blocks.read_at(*replica, 0, &mut buf) {
+                        Ok(()) if dt_common::crc32::crc32(&buf) == group.crc => {
+                            good.push(*replica);
+                            healthy_bytes.get_or_insert(buf);
+                        }
+                        _ => bad.push(*replica),
+                    }
+                }
+                if bad.is_empty() && good.len() >= target {
+                    continue;
+                }
+                let Some(bytes) = healthy_bytes else {
+                    unrecoverable = true;
+                    continue;
+                };
+                for dead in bad {
+                    // Best-effort: the replica may already be gone.
+                    let _ = self.inner.blocks.delete(dead);
+                }
+                while good.len() < target {
+                    let id = self.inner.blocks.put(&bytes)?;
+                    self.inner.stats.record_write(group.len);
+                    good.push(id);
+                    report.replicas_recreated += 1;
+                }
+                group.replicas = good;
+                changed = true;
+            }
+            if changed {
+                self.inner.namenode.replace(&path, meta)?;
+                report.files_repaired += 1;
+            }
+            if unrecoverable {
+                report.unrecoverable.push(path);
             }
         }
         Ok(report)
@@ -203,17 +300,31 @@ impl Dfs {
 pub struct FsckReport {
     /// Closed files audited.
     pub files: u64,
-    /// Blocks audited.
+    /// Block groups audited.
     pub blocks: u64,
-    /// Paths with at least one corrupt or missing block.
+    /// Paths with at least one block group having **no** healthy replica.
     pub corrupt: Vec<String>,
+    /// Paths readable today but with at least one block group below full
+    /// replication.
+    pub under_replicated: Vec<String>,
 }
 
 impl FsckReport {
-    /// `true` iff every block verified.
+    /// `true` iff every replica of every block verified.
     pub fn healthy(&self) -> bool {
-        self.corrupt.is_empty()
+        self.corrupt.is_empty() && self.under_replicated.is_empty()
     }
+}
+
+/// Result of [`Dfs::repair`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Files whose block lists were rewritten.
+    pub files_repaired: u64,
+    /// Replicas cloned from healthy copies.
+    pub replicas_recreated: u64,
+    /// Paths with a block group that has no healthy replica left.
+    pub unrecoverable: Vec<String>,
 }
 
 impl DfsInner {

@@ -10,11 +10,21 @@ use parking_lot::RwLock;
 
 use crate::block_store::BlockId;
 
-/// Metadata of one file: ordered `(block, length, crc32)` triples plus
-/// total length. Checksums enable `fsck`-style integrity audits.
+/// One logical block of a file: every replica holds the same `len` bytes
+/// with checksum `crc`. The checksum enables `fsck`-style integrity
+/// audits and lets repair tell healthy replicas from rotted ones.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockGroup {
+    /// Physical replicas, in placement order. Readers try them in order.
+    pub replicas: Vec<BlockId>,
+    pub len: u64,
+    pub crc: u32,
+}
+
+/// Metadata of one file: ordered block groups plus total length.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct FileMeta {
-    pub blocks: Vec<(BlockId, u64, u32)>,
+    pub blocks: Vec<BlockGroup>,
     pub len: u64,
 }
 
@@ -116,6 +126,21 @@ impl NameNode {
                 "cannot rename '{from}' while it is being written"
             ))),
             None => Err(Error::not_found(format!("DFS file '{from}'"))),
+        }
+    }
+
+    /// Replaces the metadata of a closed file (post-repair block lists).
+    pub fn replace(&self, path: &str, meta: FileMeta) -> Result<()> {
+        let mut files = self.files.write();
+        match files.get_mut(path) {
+            Some(entry @ Entry::Closed(_)) => {
+                *entry = Entry::Closed(meta);
+                Ok(())
+            }
+            Some(Entry::Pending) => Err(Error::Busy(format!(
+                "cannot replace metadata of '{path}' while it is being written"
+            ))),
+            None => Err(Error::not_found(format!("DFS file '{path}'"))),
         }
     }
 

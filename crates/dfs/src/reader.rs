@@ -57,8 +57,8 @@ impl DfsReader {
         // Walk the block list to the first block containing `offset`.
         let mut block_start = 0u64;
         let mut filled = 0usize;
-        for (block, block_len, _) in &self.meta.blocks {
-            let block_end = block_start + block_len;
+        for group in &self.meta.blocks {
+            let block_end = block_start + group.len;
             if end <= block_start {
                 break;
             }
@@ -67,15 +67,28 @@ impl DfsReader {
                 let to = end.min(block_end);
                 let within = from - block_start;
                 let n = (to - from) as usize;
-                self.inner
-                    .blocks()
-                    .read_at(*block, within, &mut buf[filled..filled + n])?;
+                self.read_group(group, within, &mut buf[filled..filled + n])?;
                 filled += n;
             }
             block_start = block_end;
         }
         debug_assert_eq!(filled, buf.len());
         Ok(())
+    }
+
+    /// Reads from the first replica that answers, falling back across the
+    /// group like an HDFS client switching datanodes. Only when every
+    /// replica fails does the read fail.
+    fn read_group(&self, group: &crate::namenode::BlockGroup, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let mut last_err = None;
+        for replica in &group.replicas {
+            match self.inner.blocks().read_at(*replica, offset, buf) {
+                Ok(()) => return Ok(()),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| Error::internal("block group with zero replicas")))
     }
 
     /// Reads the final `n` bytes of the file (ORC footers live at the tail).
@@ -96,7 +109,7 @@ impl Read for DfsReader {
             return Ok(0);
         }
         self.read_at(self.pos, &mut buf[..n])
-            .map_err(|e| io::Error::new(io::ErrorKind::Other, e.to_string()))?;
+            .map_err(|e| io::Error::other(e.to_string()))?;
         self.pos += n as u64;
         Ok(n)
     }

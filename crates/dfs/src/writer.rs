@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use dt_common::Result;
 
-use crate::namenode::FileMeta;
+use crate::namenode::{BlockGroup, FileMeta};
 use crate::DfsInner;
 
 /// Writes a new DFS file as a stream; the file becomes visible (and
@@ -64,12 +64,31 @@ impl DfsWriter {
             return Ok(());
         }
         let crc = dt_common::crc32::crc32(&self.buf);
-        let id = self.inner.blocks().put(&self.buf)?;
         let written = self.buf.len() as u64;
-        self.inner
-            .stats()
-            .record_write(written * u64::from(self.inner.config().replication));
-        self.meta.blocks.push((id, written, crc));
+        // Place one physical copy per configured replica. If any placement
+        // fails, the ones already placed are released and the write fails
+        // whole — a block group is never committed short.
+        let replication = self.inner.config().replication.max(1);
+        let mut replicas = Vec::with_capacity(replication as usize);
+        for _ in 0..replication {
+            match self.inner.blocks().put(&self.buf) {
+                Ok(id) => {
+                    replicas.push(id);
+                    self.inner.stats().record_write(written);
+                }
+                Err(e) => {
+                    for placed in replicas {
+                        let _ = self.inner.blocks().delete(placed);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        self.meta.blocks.push(BlockGroup {
+            replicas,
+            len: written,
+            crc,
+        });
         self.meta.len += written;
         self.buf.clear();
         Ok(())
@@ -89,8 +108,10 @@ impl Drop for DfsWriter {
     fn drop(&mut self) {
         if self.state == State::Open {
             // Abort: free any blocks already flushed, release the path.
-            for (block, _, _) in &self.meta.blocks {
-                let _ = self.inner.blocks().delete(*block);
+            for group in &self.meta.blocks {
+                for replica in &group.replicas {
+                    let _ = self.inner.blocks().delete(*replica);
+                }
             }
             self.inner.abort_file(&self.path);
             self.state = State::Aborted;

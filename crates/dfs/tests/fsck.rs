@@ -1,13 +1,17 @@
-//! Integrity audit: fsck must pass on healthy data and flag corrupted or
-//! missing blocks.
+//! Integrity audit: fsck must pass on healthy data, flag corrupted,
+//! missing and under-replicated blocks, and repair must restore the
+//! full-replication invariant whenever one healthy replica survives.
 
-use dt_dfs::{Dfs, DfsConfig};
+use std::sync::Arc;
+
+use dt_common::fault::{FaultKind, FaultPlan};
+use dt_dfs::{BlockId, BlockStore, Dfs, DfsConfig, MemBlockStore};
 
 #[test]
 fn fsck_passes_on_healthy_filesystem() {
     let dfs = Dfs::in_memory(DfsConfig::small_chunks(16));
     for i in 0..5 {
-        dfs.write_file(&format!("/f{i}"), &vec![i as u8; 100]).unwrap();
+        dfs.write_file(&format!("/f{i}"), &[i as u8; 100]).unwrap();
     }
     let report = dfs.fsck().unwrap();
     assert!(report.healthy());
@@ -45,4 +49,96 @@ fn fsck_detects_on_disk_corruption() {
     let report = dfs.fsck().unwrap();
     assert!(!report.healthy());
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fsck_flags_under_replication_and_repair_restores_it() {
+    // Corrupt one replica at write time: the write still succeeds (the
+    // fault reports success), leaving the block group with 2/3 healthy
+    // copies.
+    let plan = Arc::new(FaultPlan::new(21).fail_at(2, FaultKind::CorruptWrite));
+    plan.set_armed(false);
+    let cfg = DfsConfig {
+        chunk_size: 16,
+        replication: 3,
+    };
+    let dfs = Dfs::in_memory_faulty(cfg, plan.clone());
+    dfs.write_file("/healthy", &[1u8; 40]).unwrap();
+    let payload: Vec<u8> = (0..48u8).collect();
+    plan.set_armed(true);
+    dfs.write_file("/victim", &payload).unwrap();
+    plan.set_armed(false);
+    assert_eq!(plan.injected_count(), 1, "exactly one replica rotted");
+
+    let report = dfs.fsck().unwrap();
+    assert_eq!(report.under_replicated, vec!["/victim".to_string()]);
+    assert!(report.corrupt.is_empty());
+    assert!(!report.healthy());
+    // Degraded durability, but reads fall back to a healthy replica.
+    assert_eq!(dfs.read_to_vec("/victim").unwrap(), payload);
+
+    let repair = dfs.repair().unwrap();
+    assert_eq!(repair.files_repaired, 1);
+    assert_eq!(repair.replicas_recreated, 1);
+    assert!(repair.unrecoverable.is_empty());
+    assert!(dfs.fsck().unwrap().healthy());
+    assert_eq!(dfs.read_to_vec("/victim").unwrap(), payload);
+    // Repair is idempotent.
+    assert_eq!(dfs.repair().unwrap().replicas_recreated, 0);
+}
+
+#[test]
+fn fsck_flags_missing_replicas_and_repair_reclones_them() {
+    // Delete replicas behind the namenode's back (a lost datanode).
+    let store = Arc::new(MemBlockStore::new());
+    let cfg = DfsConfig {
+        chunk_size: 16,
+        replication: 2,
+    };
+    let dfs = Dfs::with_block_store(store.clone(), cfg);
+    let payload = [5u8; 50]; // 4 blocks × 2 replicas = ids 0..8
+    dfs.write_file("/f", &payload).unwrap();
+    assert_eq!(store.block_count(), 8);
+    // Drop one replica of two different block groups (ids are allocated
+    // in put order: group i holds ids 2i and 2i+1).
+    store.delete(BlockId(0)).unwrap();
+    store.delete(BlockId(5)).unwrap();
+
+    let report = dfs.fsck().unwrap();
+    assert_eq!(report.under_replicated, vec!["/f".to_string()]);
+    assert!(report.corrupt.is_empty());
+    assert_eq!(dfs.read_to_vec("/f").unwrap(), payload);
+
+    let repair = dfs.repair().unwrap();
+    assert_eq!(repair.files_repaired, 1);
+    assert_eq!(repair.replicas_recreated, 2);
+    assert!(repair.unrecoverable.is_empty());
+    assert!(dfs.fsck().unwrap().healthy());
+    assert_eq!(store.block_count(), 8);
+    assert_eq!(dfs.read_to_vec("/f").unwrap(), payload);
+}
+
+#[test]
+fn repair_reports_unrecoverable_when_no_replica_survives() {
+    let store = Arc::new(MemBlockStore::new());
+    let cfg = DfsConfig {
+        chunk_size: 16,
+        replication: 1,
+    };
+    let dfs = Dfs::with_block_store(store.clone(), cfg);
+    dfs.write_file("/gone", &[3u8; 20]).unwrap(); // blocks 0, 1
+    dfs.write_file("/fine", &[4u8; 10]).unwrap();
+    store.delete(BlockId(1)).unwrap();
+
+    let report = dfs.fsck().unwrap();
+    assert_eq!(report.corrupt, vec!["/gone".to_string()]);
+
+    let repair = dfs.repair().unwrap();
+    assert_eq!(repair.unrecoverable, vec!["/gone".to_string()]);
+    assert_eq!(repair.replicas_recreated, 0);
+    // The file stays listed — higher layers decide what to drop — and
+    // the rest of the namespace is untouched.
+    assert!(dfs.exists("/gone"));
+    assert_eq!(dfs.read_to_vec("/fine").unwrap(), vec![4u8; 10]);
+    assert!(!dfs.fsck().unwrap().healthy());
 }

@@ -1,6 +1,9 @@
 //! The shared substrate a set of DualTables lives on: one DFS (master
 //! tier), one KV cluster (attached tier + system-wide metadata table).
 
+use std::sync::Arc;
+
+use dt_common::fault::FaultPlan;
 use dt_common::Result;
 use dt_dfs::{Dfs, DfsConfig};
 use dt_kvstore::{KvCluster, KvConfig};
@@ -29,10 +32,32 @@ impl DualTableEnv {
         .expect("in-memory env cannot fail")
     }
 
+    /// Fully in-memory environment whose every storage operation — DFS
+    /// block I/O and KV file I/O alike — consults the shared `plan`.
+    ///
+    /// Build the plan disarmed (or call [`FaultPlan::set_armed`] around
+    /// setup) if table creation itself must not fault; with a disarmed
+    /// plan this environment behaves identically to
+    /// [`DualTableEnv::in_memory`].
+    pub fn in_memory_faulty(plan: Arc<FaultPlan>) -> Result<Self> {
+        Self::new(
+            Dfs::in_memory_faulty(DfsConfig::default(), plan.clone()),
+            KvCluster::in_memory_faulty(KvConfig::default(), plan),
+        )
+    }
+
     /// Environment over caller-provided tiers.
     pub fn new(dfs: Dfs, kv: KvCluster) -> Result<Self> {
         let meta = MetadataManager::open(&kv)?;
         Ok(DualTableEnv { dfs, kv, meta })
+    }
+
+    /// Simulates a crash and restart of the compute/KV process: heals any
+    /// sticky injected crash and reopens every KV table (WAL replay,
+    /// SSTable quarantine). The DFS tier models a remote service that
+    /// does not die with the client, so its state is simply kept.
+    pub fn crash_and_reopen(&self) -> Result<()> {
+        self.kv.crash_and_reopen()
     }
 
     /// On-disk environment rooted at `root` (benchmarks with real file

@@ -57,5 +57,5 @@ pub use config::{DualTableConfig, PlanMode};
 pub use cost::{CostModel, PlanChoice, Rates, RatioHint};
 pub use env::DualTableEnv;
 pub use meta::MetadataManager;
-pub use store::{DmlReport, DualTableStore, PlanPreview, TableStats};
+pub use store::{Assignment, DmlReport, DualTableStore, PlanPreview, TableStats};
 pub use union_read::UnionReadOptions;

@@ -16,11 +16,14 @@ pub const META_TABLE: &str = "__dualtable_meta";
 const QUAL_FILE_ID: &[u8] = b"file_id_counter";
 const QUAL_RATIO_SUM: &[u8] = b"ratio_sum";
 const QUAL_RATIO_COUNT: &[u8] = b"ratio_count";
+const QUAL_GENERATION: &[u8] = b"generation";
 
 /// Handle to the system-wide metadata table.
 #[derive(Clone)]
 pub struct MetadataManager {
-    store: Store,
+    // Resolved per call: a simulated crash-and-reopen replaces the Store
+    // inside the cluster, so a cached handle would go stale.
+    kv: KvCluster,
     // File-ID allocation is get-then-put; serialize it.
     alloc_lock: Arc<Mutex<()>>,
 }
@@ -28,18 +31,26 @@ pub struct MetadataManager {
 impl MetadataManager {
     /// Opens (creating if needed) the metadata table.
     pub fn open(kv: &KvCluster) -> Result<Self> {
+        kv.table_or_create(META_TABLE)?;
         Ok(MetadataManager {
-            store: kv.table_or_create(META_TABLE)?,
+            kv: kv.clone(),
             alloc_lock: Arc::new(Mutex::new(())),
         })
     }
 
+    fn store(&self) -> Result<Store> {
+        self.kv.table(META_TABLE)
+    }
+
     /// Allocates the next file ID for `table` (starting at 1; 0 is
-    /// reserved).
+    /// reserved). IDs are never reused — not even across INSERT
+    /// OVERWRITE / COMPACT — which is what keeps stale attached-tier
+    /// overlays from ever resolving against a new master file.
     pub fn next_file_id(&self, table: &str) -> Result<u32> {
         let _guard = self.alloc_lock.lock();
+        let store = self.store()?;
         let row = format!("table:{table}");
-        let current = match self.store.get(row.as_bytes(), QUAL_FILE_ID)? {
+        let current = match store.get(row.as_bytes(), QUAL_FILE_ID)? {
             Some(bytes) => u32::from_be_bytes(
                 bytes
                     .as_slice()
@@ -51,19 +62,44 @@ impl MetadataManager {
         let next = current
             .checked_add(1)
             .ok_or_else(|| Error::internal("file id space exhausted"))?;
-        self.store
-            .put(row.as_bytes(), QUAL_FILE_ID, &next.to_be_bytes())?;
+        store.put(row.as_bytes(), QUAL_FILE_ID, &next.to_be_bytes())?;
         Ok(next)
+    }
+
+    /// The committed master-table generation of `table` (0 before any
+    /// OVERWRITE/COMPACT commits one).
+    pub fn generation(&self, table: &str) -> Result<u64> {
+        let row = format!("table:{table}");
+        match self.store()?.get(row.as_bytes(), QUAL_GENERATION)? {
+            Some(bytes) => Ok(u64::from_be_bytes(
+                bytes
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| Error::corrupt("bad generation"))?,
+            )),
+            None => Ok(0),
+        }
+    }
+
+    /// Commits `generation` as the live master generation of `table`.
+    ///
+    /// This single durable put is the commit point of INSERT OVERWRITE
+    /// and COMPACT: it either lands (the new file set becomes visible
+    /// atomically) or it doesn't (readers keep the old set).
+    pub fn commit_generation(&self, table: &str, generation: u64) -> Result<()> {
+        let row = format!("table:{table}");
+        self.store()?
+            .put(row.as_bytes(), QUAL_GENERATION, &generation.to_be_bytes())?;
+        Ok(())
     }
 
     /// Records an observed modification ratio for a statement key.
     pub fn record_ratio(&self, statement_key: &str, ratio: f64) -> Result<()> {
+        let store = self.store()?;
         let row = format!("stmt:{statement_key}");
         let (sum, count) = self.ratio_stats(&row)?;
-        self.store
-            .put(row.as_bytes(), QUAL_RATIO_SUM, &(sum + ratio).to_le_bytes())?;
-        self.store
-            .put(row.as_bytes(), QUAL_RATIO_COUNT, &(count + 1).to_le_bytes())?;
+        store.put(row.as_bytes(), QUAL_RATIO_SUM, &(sum + ratio).to_le_bytes())?;
+        store.put(row.as_bytes(), QUAL_RATIO_COUNT, &(count + 1).to_le_bytes())?;
         Ok(())
     }
 
@@ -80,7 +116,8 @@ impl MetadataManager {
     }
 
     fn ratio_stats(&self, row: &str) -> Result<(f64, u64)> {
-        let sum = match self.store.get(row.as_bytes(), QUAL_RATIO_SUM)? {
+        let store = self.store()?;
+        let sum = match store.get(row.as_bytes(), QUAL_RATIO_SUM)? {
             Some(bytes) => f64::from_le_bytes(
                 bytes
                     .as_slice()
@@ -89,7 +126,7 @@ impl MetadataManager {
             ),
             None => 0.0,
         };
-        let count = match self.store.get(row.as_bytes(), QUAL_RATIO_COUNT)? {
+        let count = match store.get(row.as_bytes(), QUAL_RATIO_COUNT)? {
             Some(bytes) => u64::from_le_bytes(
                 bytes
                     .as_slice()
@@ -119,6 +156,15 @@ mod tests {
         assert_eq!(m.next_file_id("a").unwrap(), 2);
         assert_eq!(m.next_file_id("b").unwrap(), 1);
         assert_eq!(m.next_file_id("a").unwrap(), 3);
+    }
+
+    #[test]
+    fn generation_defaults_to_zero_and_commits() {
+        let m = manager();
+        assert_eq!(m.generation("t").unwrap(), 0);
+        m.commit_generation("t", 3).unwrap();
+        assert_eq!(m.generation("t").unwrap(), 3);
+        assert_eq!(m.generation("other").unwrap(), 0);
     }
 
     #[test]

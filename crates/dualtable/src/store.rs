@@ -72,6 +72,9 @@ struct Inner {
 /// One DualTable (see the crate docs for the model).
 ///
 /// Cheap to clone; clones share the table.
+/// One `UPDATE` assignment: `(column ordinal, value function)`.
+pub type Assignment<'a> = (usize, Box<dyn Fn(&Row) -> Value + 'a>);
+
 #[derive(Clone)]
 pub struct DualTableStore {
     inner: Arc<Inner>,
@@ -167,16 +170,30 @@ impl DualTableStore {
         self.inner.env.kv.table(&Self::attached_name(&self.inner.name))
     }
 
-    fn file_path(&self, file_id: u32) -> String {
-        format!(
-            "{}/part-{file_id:010}",
-            Self::master_dir(&self.inner.name)
-        )
+    /// The committed master generation. Master files live under
+    /// per-generation directories (`gen-<g>/part-<id>`); OVERWRITE and
+    /// COMPACT build the next generation aside and flip this number with
+    /// one durable metadata put, so a crash mid-rewrite leaves the old
+    /// file set fully live.
+    fn current_gen(&self) -> Result<u64> {
+        self.inner.env.meta.generation(&self.inner.name)
+    }
+
+    fn gen_dir(&self, gen: u64) -> String {
+        format!("{}/gen-{gen:010}", Self::master_dir(&self.inner.name))
+    }
+
+    fn file_path_at(&self, gen: u64, file_id: u32) -> String {
+        format!("{}/part-{file_id:010}", self.gen_dir(gen))
     }
 
     /// Master file IDs in ascending order (== record-ID scan order).
-    pub fn master_file_ids(&self) -> Vec<u32> {
-        let prefix = format!("{}/part-", Self::master_dir(&self.inner.name));
+    pub fn master_file_ids(&self) -> Result<Vec<u32>> {
+        Ok(self.master_file_ids_at(self.current_gen()?))
+    }
+
+    fn master_file_ids_at(&self, gen: u64) -> Vec<u32> {
+        let prefix = format!("{}/part-", self.gen_dir(gen));
         self.inner
             .env
             .dfs
@@ -184,6 +201,47 @@ impl DualTableStore {
             .iter()
             .filter_map(|path| path.strip_prefix(&prefix)?.parse::<u32>().ok())
             .collect()
+    }
+
+    /// The first generation number safe to build into: past the committed
+    /// one *and* past any directory a crashed, uncommitted rewrite left
+    /// behind (whose stale files must never join a new generation).
+    fn next_generation(&self) -> Result<u64> {
+        let committed = self.current_gen()?;
+        let prefix = format!("{}/gen-", Self::master_dir(&self.inner.name));
+        let max_present = self
+            .inner
+            .env
+            .dfs
+            .list(&prefix)
+            .iter()
+            .filter_map(|path| {
+                path.strip_prefix(&prefix)?
+                    .split('/')
+                    .next()?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .max()
+            .unwrap_or(0);
+        Ok(committed.max(max_present) + 1)
+    }
+
+    /// Best-effort removal of every master file outside `current` —
+    /// retired generations and torn uncommitted ones. Failures are fine:
+    /// stale generations are unreachable, and the next swap retries.
+    fn cleanup_stale_generations(&self, current: u64) {
+        let prefix = format!("{}/gen-", Self::master_dir(&self.inner.name));
+        for path in self.inner.env.dfs.list(&prefix) {
+            let stale = path
+                .strip_prefix(&prefix)
+                .and_then(|rest| rest.split('/').next())
+                .and_then(|g| g.parse::<u64>().ok())
+                .is_some_and(|g| g != current);
+            if stale {
+                let _ = self.inner.env.dfs.delete(&path);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -198,10 +256,11 @@ impl DualTableStore {
         I: IntoIterator<Item = Row>,
     {
         let _guard = self.inner.ops.read();
-        self.write_master_files(rows)
+        let gen = self.current_gen()?;
+        self.write_master_files(gen, rows)
     }
 
-    fn write_master_files<I>(&self, rows: I) -> Result<u64>
+    fn write_master_files<I>(&self, gen: u64, rows: I) -> Result<u64>
     where
         I: IntoIterator<Item = Row>,
     {
@@ -213,7 +272,7 @@ impl DualTableStore {
                 let file_id = self.inner.env.meta.next_file_id(&self.inner.name)?;
                 let mut w = OrcWriter::create(
                     &self.inner.env.dfs,
-                    &self.file_path(file_id),
+                    &self.file_path_at(gen, file_id),
                     self.inner.schema.clone(),
                     self.inner.config.writer.clone(),
                 )?;
@@ -235,19 +294,14 @@ impl DualTableStore {
     }
 
     /// Replaces the whole table content (Hive's `INSERT OVERWRITE TABLE`):
-    /// new master files, cleared attached table.
+    /// new master files, cleared attached table. Atomic under crashes via
+    /// the generation commit (see [`DualTableStore::swap_in`]).
     pub fn insert_overwrite<I>(&self, rows: I) -> Result<u64>
     where
         I: IntoIterator<Item = Row>,
     {
         let _guard = self.inner.ops.write();
-        let old_files = self.master_file_ids();
-        let written = self.write_master_files(rows)?;
-        for file_id in old_files {
-            self.inner.env.dfs.delete(&self.file_path(file_id))?;
-        }
-        self.truncate_attached()?;
-        Ok(written)
+        self.swap_in(rows)
     }
 
     fn truncate_attached(&self) -> Result<()> {
@@ -291,8 +345,9 @@ impl DualTableStore {
         } else {
             None
         };
-        for file_id in self.master_file_ids() {
-            let reader = self.open_master(file_id)?;
+        let gen = self.current_gen()?;
+        for file_id in self.master_file_ids_at(gen) {
+            let reader = self.open_master(gen, file_id)?;
             let attached = attached_store.scan_at(
                 Some(&RecordId::file_start(file_id).to_key()[..]),
                 Some(&RecordId::file_start(file_id.wrapping_add(1)).to_key()[..]),
@@ -307,14 +362,14 @@ impl DualTableStore {
         Ok(())
     }
 
-    fn open_master(&self, file_id: u32) -> Result<OrcReader> {
-        let reader = OrcReader::open(&self.inner.env.dfs, &self.file_path(file_id))?;
+    fn open_master(&self, gen: u64, file_id: u32) -> Result<OrcReader> {
+        let reader = OrcReader::open(&self.inner.env.dfs, &self.file_path_at(gen, file_id))?;
         // The file ID in user metadata must agree with the file name.
         match reader.metadata(FILE_ID_METADATA_KEY) {
             Some(bytes) if bytes == file_id.to_be_bytes() => Ok(reader),
             _ => Err(Error::corrupt(format!(
                 "master file {} has inconsistent file-ID metadata",
-                self.file_path(file_id)
+                self.file_path_at(gen, file_id)
             ))),
         }
     }
@@ -347,11 +402,12 @@ impl DualTableStore {
             None
         };
         let snapshot_ts = opts.snapshot_ts;
+        let gen = self.current_gen()?;
         let per_file = dt_engine::parallel_map_fallible(
             job,
-            self.master_file_ids(),
+            self.master_file_ids_at(gen),
             |file_id| {
-                let reader = self.open_master(file_id)?;
+                let reader = self.open_master(gen, file_id)?;
                 let attached = attached_store.scan_at(
                     Some(&RecordId::file_start(file_id).to_key()[..]),
                     Some(&RecordId::file_start(file_id.wrapping_add(1)).to_key()[..]),
@@ -427,8 +483,9 @@ impl DualTableStore {
         let mut master_bytes = 0u64;
         let mut master_rows = 0u64;
         let mut master_files = 0u64;
-        for file_id in self.master_file_ids() {
-            let path = self.file_path(file_id);
+        let gen = self.current_gen()?;
+        for file_id in self.master_file_ids_at(gen) {
+            let path = self.file_path_at(gen, file_id);
             master_bytes += self.inner.env.dfs.len(&path)?;
             master_rows += OrcReader::open(&self.inner.env.dfs, &path)?.num_rows();
             master_files += 1;
@@ -501,11 +558,10 @@ impl DualTableStore {
                 model.update_cost_diff(stats.master_bytes, ratio, k),
             )
         } else {
-            let avg_row = if stats.master_rows > 0 {
-                (stats.master_bytes / stats.master_rows).max(1)
-            } else {
-                1
-            };
+            let avg_row = stats
+                .master_bytes
+                .checked_div(stats.master_rows)
+                .map_or(1, |v| v.max(1));
             let marker_ratio = self.inner.config.delete_marker_bytes as f64 / avg_row as f64;
             (
                 model.choose_delete(stats.master_bytes, ratio, k, marker_ratio),
@@ -535,7 +591,7 @@ impl DualTableStore {
     pub fn update(
         &self,
         predicate: impl Fn(&Row) -> bool,
-        assignments: &[(usize, Box<dyn Fn(&Row) -> Value + '_>)],
+        assignments: &[Assignment<'_>],
         ratio: RatioHint,
     ) -> Result<DmlReport> {
         self.update_keyed(predicate, assignments, ratio, None)
@@ -546,7 +602,7 @@ impl DualTableStore {
     pub fn update_keyed(
         &self,
         predicate: impl Fn(&Row) -> bool,
-        assignments: &[(usize, Box<dyn Fn(&Row) -> Value + '_>)],
+        assignments: &[Assignment<'_>],
         ratio: RatioHint,
         statement_key: Option<&str>,
     ) -> Result<DmlReport> {
@@ -595,7 +651,7 @@ impl DualTableStore {
     fn update_edit(
         &self,
         predicate: &dyn Fn(&Row) -> bool,
-        assignments: &[(usize, Box<dyn Fn(&Row) -> Value + '_>)],
+        assignments: &[Assignment<'_>],
     ) -> Result<(u64, u64)> {
         let mut matched = 0u64;
         let mut scanned = 0u64;
@@ -642,7 +698,7 @@ impl DualTableStore {
     fn update_overwrite(
         &self,
         predicate: &dyn Fn(&Row) -> bool,
-        assignments: &[(usize, Box<dyn Fn(&Row) -> Value + '_>)],
+        assignments: &[Assignment<'_>],
     ) -> Result<(u64, u64)> {
         let _guard = self.inner.ops.write();
         let mut matched = 0u64;
@@ -691,11 +747,10 @@ impl DualTableStore {
         let stats = self.stats()?;
         let model = CostModel::new(self.inner.config.rates);
         let k = self.inner.config.k_successive_reads;
-        let avg_row = if stats.master_rows > 0 {
-            (stats.master_bytes / stats.master_rows).max(1)
-        } else {
-            1
-        };
+        let avg_row = stats
+            .master_bytes
+            .checked_div(stats.master_rows)
+            .map_or(1, |v| v.max(1));
         let marker_ratio = self.inner.config.delete_marker_bytes as f64 / avg_row as f64;
         let (plan, cost_diff) = match self.inner.config.plan_mode {
             PlanMode::AlwaysEdit => (PlanChoice::Edit, None),
@@ -780,15 +835,28 @@ impl DualTableStore {
         Ok((matched, scanned))
     }
 
-    /// Replaces all master files with `rows` and clears the attached table.
-    /// Caller must hold the write lock.
-    fn swap_in(&self, rows: Vec<Row>) -> Result<()> {
-        let old_files = self.master_file_ids();
-        self.write_master_files(rows)?;
-        for file_id in old_files {
-            self.inner.env.dfs.delete(&self.file_path(file_id))?;
-        }
-        self.truncate_attached()
+    /// Replaces the master file set with `rows` and clears the attached
+    /// table. Caller must hold the write lock.
+    ///
+    /// Crash-atomic: the new files are built in a fresh generation
+    /// directory, invisible to readers, and become the table in one
+    /// durable metadata put. A failure before the commit leaves the old
+    /// generation fully live (the half-built one is skipped and later
+    /// garbage-collected); a failure after the commit only delays
+    /// cleanup — stale attached overlays reference retired file IDs and
+    /// can never resolve against the new files.
+    fn swap_in<I>(&self, rows: I) -> Result<u64>
+    where
+        I: IntoIterator<Item = Row>,
+    {
+        let next = self.next_generation()?;
+        let written = self.write_master_files(next, rows)?;
+        // The commit point.
+        self.inner.env.meta.commit_generation(&self.inner.name, next)?;
+        // Post-commit cleanup, all best-effort.
+        let _ = self.truncate_attached();
+        self.cleanup_stale_generations(next);
+        Ok(written)
     }
 
     /// COMPACT (paper §III-C): UNION READ everything into a fresh Master
@@ -800,7 +868,8 @@ impl DualTableStore {
             rows.push(row);
             Ok(ControlFlow::Continue(()))
         })?;
-        self.swap_in(rows)
+        self.swap_in(rows)?;
+        Ok(())
     }
 }
 
@@ -842,7 +911,7 @@ mod tests {
     #[test]
     fn insert_and_scan_roundtrip() {
         let t = table_with(100, small_files());
-        assert_eq!(t.master_file_ids().len(), 4);
+        assert_eq!(t.master_file_ids().unwrap().len(), 4);
         let rows = t.scan_all().unwrap();
         assert_eq!(rows.len(), 100);
         for (i, (id, r)) in rows.iter().enumerate() {

@@ -1,0 +1,298 @@
+//! Crash-recovery property test: DualTable under a seeded [`FaultPlan`]
+//! must agree with an in-memory oracle after every fault.
+//!
+//! The driver applies random INSERT / UPDATE / DELETE / COMPACT
+//! statements while the shared fault plan injects fail-stop faults
+//! (write errors, read errors, torn writes, process crashes) into both
+//! storage tiers. The contract under test is *statement atomicity
+//! across crashes*:
+//!
+//! * a statement that returns `Ok` is durable — it survives the next
+//!   crash-and-reopen;
+//! * a statement that returns `Err` committed nothing — the oracle is
+//!   left untouched and the store must still match it after recovery.
+//!
+//! Two statement-shape caveats keep that contract exact (both are
+//! documented limits of the engine, not of the test):
+//!
+//! * INSERT batches are capped at `rows_per_file` so each statement
+//!   writes exactly one master file (a multi-file insert commits file
+//!   by file and is not atomic as a whole);
+//! * EDIT-plan UPDATE/DELETE stay under the 4096-cell batch threshold
+//!   (here trivially: tables hold a few hundred rows), so the whole
+//!   statement is one WAL frame in the attached tier.
+//!
+//! Verification runs with the plan disarmed — the fault schedule
+//! targets the workload, not the checker — and the operation counter
+//! freezes while disarmed, so the schedule stays deterministic.
+
+use std::sync::Arc;
+
+use dt_common::fault::{FaultKind, FaultPlan};
+use dt_common::{DataType, Rng64, Row, Schema, Value};
+use dualtable::{DualTableConfig, DualTableEnv, DualTableStore, PlanMode, RatioHint};
+use proptest::prelude::*;
+
+/// Fail-stop kinds only: silent-corruption kinds (`CorruptWrite`,
+/// `CorruptRead`) are detected but not transparently repaired by the KV
+/// tier (see DESIGN.md, fault model), so they would violate the
+/// Ok-means-durable contract this test enforces.
+const FAIL_STOP: &[FaultKind] = &[
+    FaultKind::WriteError,
+    FaultKind::ReadError,
+    FaultKind::TornWrite,
+    FaultKind::Crash,
+];
+
+const ROWS_PER_FILE: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert `count` fresh rows (capped at [`ROWS_PER_FILE`]).
+    Insert { count: u8 },
+    /// Update rows whose id % divisor == rem: set v = new_v.
+    Update { divisor: u8, rem: u8, new_v: i8 },
+    /// Delete rows whose id % divisor == rem.
+    Delete { divisor: u8, rem: u8 },
+    Compact,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1u8..=ROWS_PER_FILE as u8).prop_map(|count| Op::Insert { count }),
+        3 => (1u8..6, 0u8..6, any::<i8>()).prop_map(|(d, r, v)| Op::Update {
+            divisor: d,
+            rem: r % d,
+            new_v: v
+        }),
+        2 => (1u8..6, 0u8..6).prop_map(|(d, r)| Op::Delete { divisor: d, rem: r % d }),
+        1 => Just(Op::Compact),
+    ]
+}
+
+fn config() -> DualTableConfig {
+    DualTableConfig {
+        rows_per_file: ROWS_PER_FILE,
+        plan_mode: PlanMode::AlwaysEdit,
+        ..DualTableConfig::default()
+    }
+}
+
+/// A DualTable beside its oracle, both driven by the same statements.
+struct Harness {
+    env: DualTableEnv,
+    table: DualTableStore,
+    plan: Arc<FaultPlan>,
+    /// Reference content: (id, v) pairs, mutated only on `Ok`.
+    model: Vec<(i64, i64)>,
+    next_id: i64,
+    recoveries: u64,
+}
+
+impl Harness {
+    /// Builds the environment and an empty table with the plan disarmed
+    /// (setup must not fault), then arms it.
+    fn new(plan: Arc<FaultPlan>) -> Self {
+        plan.set_armed(false);
+        let env = DualTableEnv::in_memory_faulty(plan.clone()).expect("clean setup");
+        let schema = Schema::from_pairs(&[("id", DataType::Int64), ("v", DataType::Int64)]);
+        let table =
+            DualTableStore::create(&env, "chaos", schema, config()).expect("clean create");
+        plan.set_armed(true);
+        Harness {
+            env,
+            table,
+            plan,
+            model: Vec::new(),
+            next_id: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// Applies one statement, recovers if it faulted, and checks the
+    /// store against the oracle.
+    fn apply(&mut self, op: &Op) {
+        let ok = match op {
+            Op::Insert { count } => {
+                let count = (*count).clamp(1, ROWS_PER_FILE as u8) as i64;
+                let ids: Vec<i64> = (self.next_id..self.next_id + count).collect();
+                let rows: Vec<Row> = ids
+                    .iter()
+                    .map(|&id| vec![Value::Int64(id), Value::Int64(0)])
+                    .collect();
+                match self.table.insert_rows(rows) {
+                    Ok(n) => {
+                        assert_eq!(n, ids.len() as u64);
+                        self.next_id += count;
+                        self.model.extend(ids.into_iter().map(|id| (id, 0)));
+                        true
+                    }
+                    // A failed single-file INSERT commits nothing; the
+                    // oracle does not consume the ids either.
+                    Err(_) => false,
+                }
+            }
+            Op::Update { divisor, rem, new_v } => {
+                let (d, r, v) = (*divisor as i64, *rem as i64, *new_v as i64);
+                let outcome = self.table.update(
+                    move |row| row[0].as_i64().unwrap() % d == r,
+                    &[(1, Box::new(move |_| Value::Int64(v)))],
+                    RatioHint::Explicit(0.01),
+                );
+                match outcome {
+                    Ok(report) => {
+                        let mut matched = 0u64;
+                        for (id, val) in self.model.iter_mut() {
+                            if *id % d == r {
+                                *val = v;
+                                matched += 1;
+                            }
+                        }
+                        assert_eq!(report.rows_matched, matched);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            Op::Delete { divisor, rem } => {
+                let (d, r) = (*divisor as i64, *rem as i64);
+                let outcome = self.table.delete(
+                    move |row| row[0].as_i64().unwrap() % d == r,
+                    RatioHint::Explicit(0.01),
+                );
+                match outcome {
+                    Ok(_) => {
+                        self.model.retain(|(id, _)| id % d != r);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            // COMPACT never changes logical content, so the oracle is
+            // unchanged whether it commits or not.
+            Op::Compact => self.table.compact().is_ok(),
+        };
+
+        // Freeze the fault schedule; recovery and verification must not
+        // themselves be faulted.
+        self.plan.set_armed(false);
+        if std::env::var("CHAOS_DEBUG").is_ok() {
+            eprintln!("op={:?} ok={} crashed={} injected={} ops_seen={}", op, ok, self.plan.is_crashed(), self.plan.injected_count(), self.plan.ops_seen());
+        }
+        // Reopen when the statement failed (process-restart semantics)
+        // or when a fault swallowed by auto-maintenance left the
+        // simulated process dead behind an `Ok`.
+        if !ok || self.plan.is_crashed() {
+            self.env
+                .crash_and_reopen()
+                .expect("recovery over surviving state must succeed");
+            self.recoveries += 1;
+        }
+        self.verify();
+        self.plan.set_armed(true);
+    }
+
+    /// UNION READ must equal the oracle exactly.
+    fn verify(&self) {
+        let scanned = self
+            .table
+            .scan_all()
+            .expect("verification scan must not fail");
+        assert!(
+            scanned.windows(2).all(|w| w[0].0 < w[1].0),
+            "record ids out of scan order"
+        );
+        let mut got: Vec<(i64, i64)> = scanned
+            .iter()
+            .map(|(_, row)| (row[0].as_i64().unwrap(), row[1].as_i64().unwrap()))
+            .collect();
+        got.sort_unstable();
+        let mut want = self.model.clone();
+        want.sort_unstable();
+        assert_eq!(
+            got, want,
+            "UNION READ diverged from oracle (after {} recoveries, {} injected faults)",
+            self.recoveries,
+            self.plan.injected_count()
+        );
+        assert_eq!(self.table.count().unwrap(), self.model.len() as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random statements + a random seeded fault schedule: the store
+    /// must match the oracle after every statement and every recovery.
+    #[test]
+    fn dualtable_recovers_to_oracle(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(arb_op(), 1..32),
+    ) {
+        let plan = Arc::new(FaultPlan::seeded(seed, 8, 160, FAIL_STOP));
+        let mut h = Harness::new(plan);
+        for op in &ops {
+            h.apply(op);
+        }
+        h.plan.set_armed(false);
+        h.verify();
+    }
+}
+
+/// The seed of the deterministic chaos run below. To reproduce a
+/// failure, re-run `cargo test -p dualtable chaos_smoke` — the fault
+/// schedule, the statement stream and every corruption detail derive
+/// from this one constant.
+const CHAOS_SEED: u64 = 0xD0A1_7AB1;
+
+/// Fixed-seed acceptance run: at least 100 mixed DML statements with at
+/// least 10 injected faults, ending (and checked after every statement)
+/// with UNION READ equal to the oracle.
+#[test]
+fn chaos_smoke_fixed_seed() {
+    let plan = Arc::new(FaultPlan::seeded(CHAOS_SEED, 24, 600, FAIL_STOP));
+    let mut h = Harness::new(plan.clone());
+    let mut rng = Rng64::new(CHAOS_SEED ^ 0x9E37_79B9_7F4A_7C15);
+
+    let mut ops_done = 0u64;
+    while ops_done < 140 || (plan.injected_count() < 10 && ops_done < 1500) {
+        let op = match rng.next_below(9) {
+            0..=2 => Op::Insert {
+                count: 1 + rng.next_below(ROWS_PER_FILE as u64) as u8,
+            },
+            3..=5 => {
+                let d = 1 + rng.next_below(5) as u8;
+                Op::Update {
+                    divisor: d,
+                    rem: rng.next_below(d as u64) as u8,
+                    new_v: rng.next_below(256) as u8 as i8,
+                }
+            }
+            6..=7 => {
+                let d = 1 + rng.next_below(5) as u8;
+                Op::Delete {
+                    divisor: d,
+                    rem: rng.next_below(d as u64) as u8,
+                }
+            }
+            _ => Op::Compact,
+        };
+        h.apply(&op);
+        ops_done += 1;
+    }
+
+    plan.set_armed(false);
+    h.verify();
+    assert!(ops_done >= 100, "only {ops_done} statements ran");
+    assert!(
+        plan.injected_count() >= 10,
+        "only {} faults fired in {} I/O ops over {ops_done} statements: {:?}",
+        plan.injected_count(),
+        plan.ops_seen(),
+        plan.injected(),
+    );
+    assert!(
+        h.recoveries >= 1,
+        "chaos run never exercised crash_and_reopen"
+    );
+}

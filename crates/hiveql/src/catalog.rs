@@ -9,9 +9,9 @@ use std::collections::BTreeMap;
 use std::ops::ControlFlow;
 
 use dt_baselines::{HiveAcidTable, HiveHbaseTable, HiveHdfsTable};
-use dt_common::{Error, Result, Row, Schema, Value};
+use dt_common::{Error, Result, Row, Schema};
 use dt_orcfile::ColumnPredicate;
-use dualtable::{DmlReport, DualTableStore, PlanChoice, RatioHint};
+use dualtable::{Assignment, DmlReport, DualTableStore, PlanChoice, RatioHint};
 
 use crate::ast::StorageKind;
 
@@ -138,7 +138,7 @@ impl TableHandle {
     pub fn update(
         &self,
         predicate: &dyn Fn(&Row) -> bool,
-        assignments: &[(usize, Box<dyn Fn(&Row) -> Value + '_>)],
+        assignments: &[Assignment<'_>],
         ratio: RatioHint,
         statement_key: Option<&str>,
     ) -> Result<DmlOutcome> {

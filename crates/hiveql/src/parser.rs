@@ -364,8 +364,10 @@ impl Parser {
     // --------------------------------------------------------------
 
     fn select_body(&mut self) -> Result<SelectStmt> {
-        let mut stmt = SelectStmt::default();
-        stmt.distinct = self.accept("distinct");
+        let mut stmt = SelectStmt {
+            distinct: self.accept("distinct"),
+            ..SelectStmt::default()
+        };
         loop {
             stmt.items.push(self.select_item()?);
             if !self.accept_token(&Token::Comma) {

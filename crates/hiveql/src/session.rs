@@ -2,7 +2,7 @@
 
 use dt_baselines::{HiveAcidTable, HiveHbaseTable, HiveHdfsTable};
 use dt_common::{Error, Field, Result, Row, Schema, Value};
-use dualtable::{DualTableConfig, DualTableEnv, DualTableStore, RatioHint};
+use dualtable::{Assignment, DualTableConfig, DualTableEnv, DualTableStore, RatioHint};
 
 use crate::ast::{InsertSource, Statement, StorageKind};
 use crate::catalog::{Catalog, TableHandle};
@@ -224,7 +224,7 @@ impl Session {
                         Some(p) => eval(p, row, &binding, &ctx).map(|v| is_true(&v)).unwrap_or(false),
                     }
                 };
-                let assign_fns: Vec<(usize, Box<dyn Fn(&Row) -> Value + '_>)> = resolved
+                let assign_fns: Vec<Assignment<'_>> = resolved
                     .iter()
                     .map(|(idx, e)| {
                         let binding = &binding;
@@ -531,7 +531,7 @@ impl Session {
                 resolved.push((target_schema.require(col)?, e));
             }
             let pred = |row: &Row| full_match(row).is_some();
-            let assigns: Vec<(usize, Box<dyn Fn(&Row) -> Value + '_>)> = resolved
+            let assigns: Vec<Assignment<'_>> = resolved
                 .iter()
                 .map(|(idx, e)| {
                     let combined_binding = &combined_binding;

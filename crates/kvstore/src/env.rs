@@ -10,7 +10,9 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
+use std::sync::Arc;
 
+use dt_common::fault::{FaultKind, FaultPlan, IoOp};
 use dt_common::{Error, Result};
 use parking_lot::RwLock;
 
@@ -115,6 +117,108 @@ impl Env for MemEnv {
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| Error::not_found(format!("env file '{name}'")))
+    }
+}
+
+/// Fault-injecting decorator over any [`Env`], consulting a shared
+/// [`FaultPlan`] before each data operation (the WAL/SSTable write-path
+/// seam for crash-recovery tests). Disarmed plans add one relaxed atomic
+/// load per call; behaviour is otherwise identical to the wrapped env.
+pub struct FaultyEnv {
+    inner: Arc<dyn Env>,
+    plan: Arc<FaultPlan>,
+}
+
+impl FaultyEnv {
+    /// Wraps `inner`, consulting `plan` on every operation.
+    pub fn new(inner: Arc<dyn Env>, plan: Arc<FaultPlan>) -> Self {
+        FaultyEnv { inner, plan }
+    }
+
+    /// The shared fault plan.
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+
+    fn write_with_faults(
+        &self,
+        name: &str,
+        data: &[u8],
+        op_name: &str,
+        write: impl Fn(&[u8]) -> Result<()>,
+    ) -> Result<()> {
+        match self.plan.on_op(IoOp::Write) {
+            None => write(data),
+            Some(FaultKind::TornWrite) => {
+                // Persist a prefix, then report a crash: exactly the state
+                // a power loss leaves in an append-only log or a
+                // half-written SSTable.
+                let keep = self.plan.torn_prefix_len(data.len());
+                let _ = write(&data[..keep]);
+                Err(FaultPlan::error(
+                    FaultKind::TornWrite,
+                    &format!("{op_name} '{name}'"),
+                ))
+            }
+            Some(FaultKind::CorruptWrite) => {
+                let mut mangled = data.to_vec();
+                self.plan.mangle_byte(&mut mangled);
+                write(&mangled)
+            }
+            Some(kind) => Err(FaultPlan::error(kind, &format!("{op_name} '{name}'"))),
+        }
+    }
+}
+
+impl Env for FaultyEnv {
+    fn append(&self, name: &str, data: &[u8]) -> Result<()> {
+        self.write_with_faults(name, data, "append", |bytes| self.inner.append(name, bytes))
+    }
+
+    fn write_file(&self, name: &str, data: &[u8]) -> Result<()> {
+        self.write_with_faults(name, data, "write_file", |bytes| {
+            self.inner.write_file(name, bytes)
+        })
+    }
+
+    fn read_at(&self, name: &str, offset: u64, buf: &mut [u8]) -> Result<()> {
+        match self.plan.on_op(IoOp::Read) {
+            None => self.inner.read_at(name, offset, buf),
+            Some(FaultKind::CorruptRead) => {
+                self.inner.read_at(name, offset, buf)?;
+                self.plan.mangle_byte(buf);
+                Ok(())
+            }
+            Some(kind) => Err(FaultPlan::error(kind, &format!("read_at '{name}'"))),
+        }
+    }
+
+    fn read_file(&self, name: &str) -> Result<Vec<u8>> {
+        match self.plan.on_op(IoOp::Read) {
+            None => self.inner.read_file(name),
+            Some(FaultKind::CorruptRead) => {
+                let mut data = self.inner.read_file(name)?;
+                self.plan.mangle_byte(&mut data);
+                Ok(data)
+            }
+            Some(kind) => Err(FaultPlan::error(kind, &format!("read_file '{name}'"))),
+        }
+    }
+
+    fn len(&self, name: &str) -> Result<u64> {
+        // Metadata lookups are not on the fault surface: the simulated
+        // failures are data-path (disk/network), not namespace state.
+        self.inner.len(name)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        self.plan
+            .check(IoOp::Delete, &format!("delete '{name}'"))?;
+        self.inner.delete(name)
     }
 }
 
@@ -233,5 +337,40 @@ mod tests {
         env.write_file("f", b"abc").unwrap();
         let mut buf = vec![0u8; 4];
         assert!(env.read_at("f", 0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn faulty_env_disarmed_passes_contract() {
+        let plan = Arc::new(FaultPlan::none());
+        exercise(&FaultyEnv::new(Arc::new(MemEnv::new()), plan.clone()));
+        assert_eq!(plan.injected_count(), 0);
+    }
+
+    #[test]
+    fn faulty_env_torn_append_persists_prefix() {
+        let inner = Arc::new(MemEnv::new());
+        let plan = Arc::new(FaultPlan::new(17).fail_at(2, FaultKind::TornWrite));
+        let env = FaultyEnv::new(inner.clone(), plan.clone());
+        env.append("wal", b"first record ok").unwrap();
+        let err = env.append("wal", b"second record torn").unwrap_err();
+        assert!(err.is_injected());
+        let on_disk = inner.read_file("wal").unwrap();
+        assert!(on_disk.starts_with(b"first record ok"));
+        assert!(on_disk.len() < b"first record ok".len() + b"second record torn".len());
+        // Crashed: even reads fail until heal.
+        assert!(env.read_file("wal").is_err());
+        plan.heal();
+        assert!(env.read_file("wal").is_ok());
+    }
+
+    #[test]
+    fn faulty_env_write_error_leaves_no_file() {
+        let inner = Arc::new(MemEnv::new());
+        let plan = Arc::new(FaultPlan::new(19).fail_at(1, FaultKind::WriteError));
+        let env = FaultyEnv::new(inner.clone(), plan);
+        assert!(env.write_file("sst_1", b"data").unwrap_err().is_injected());
+        assert!(inner.read_file("sst_1").is_err());
+        env.write_file("sst_1", b"data").unwrap();
+        assert_eq!(inner.read_file("sst_1").unwrap(), b"data");
     }
 }

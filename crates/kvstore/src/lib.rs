@@ -42,13 +42,14 @@ mod wal;
 
 pub use bloom::BloomFilter;
 pub use cell::{CellKey, Mutation, Version, ROW_TOMBSTONE_QUALIFIER};
-pub use env::{DiskEnv, Env, MemEnv};
+pub use env::{DiskEnv, Env, FaultyEnv, MemEnv};
 pub use store::{KvConfig, RowEntry, ScanIter, Store};
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use dt_common::fault::FaultPlan;
 use dt_common::{Error, IoStats, LogicalClock, Result};
 use parking_lot::RwLock;
 
@@ -61,24 +62,27 @@ pub struct KvCluster {
 
 struct ClusterInner {
     tables: RwLock<HashMap<String, Store>>,
+    // Each table's env outlives its Store handle so a simulated crash can
+    // reopen the table from its persisted state (see `crash_and_reopen`).
+    envs: RwLock<HashMap<String, Arc<dyn Env>>>,
     config: KvConfig,
     clock: LogicalClock,
     stats: IoStats,
     disk_root: Option<PathBuf>,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl KvCluster {
     /// A cluster whose tables live purely in memory.
     pub fn in_memory(config: KvConfig) -> Self {
-        KvCluster {
-            inner: Arc::new(ClusterInner {
-                tables: RwLock::new(HashMap::new()),
-                config,
-                clock: LogicalClock::new(),
-                stats: IoStats::new(),
-                disk_root: None,
-            }),
-        }
+        Self::build(config, None, None)
+    }
+
+    /// An in-memory cluster whose every table I/O consults `plan` — the
+    /// fault-injection entry point for crash-recovery tests. With a
+    /// disarmed plan behaviour is identical to [`KvCluster::in_memory`].
+    pub fn in_memory_faulty(config: KvConfig, plan: Arc<FaultPlan>) -> Self {
+        Self::build(config, None, Some(plan))
     }
 
     /// A cluster whose tables persist under `root` (one directory per
@@ -86,15 +90,52 @@ impl KvCluster {
     pub fn on_disk(root: impl Into<PathBuf>, config: KvConfig) -> Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        Ok(KvCluster {
+        Ok(Self::build(config, Some(root), None))
+    }
+
+    fn build(
+        config: KvConfig,
+        disk_root: Option<PathBuf>,
+        fault_plan: Option<Arc<FaultPlan>>,
+    ) -> Self {
+        KvCluster {
             inner: Arc::new(ClusterInner {
                 tables: RwLock::new(HashMap::new()),
+                envs: RwLock::new(HashMap::new()),
                 config,
                 clock: LogicalClock::new(),
                 stats: IoStats::new(),
-                disk_root: Some(root),
+                disk_root,
+                fault_plan,
             }),
-        })
+        }
+    }
+
+    /// The shared fault plan, if this cluster was built with one.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.inner.fault_plan.as_ref()
+    }
+
+    /// Simulates a whole-process crash and restart: heals any sticky
+    /// injected crash (the "process" is back up), drops every store
+    /// handle, and reopens each table from its persisted state — WAL
+    /// replay, SSTable quarantine and all.
+    pub fn crash_and_reopen(&self) -> Result<()> {
+        if let Some(plan) = &self.inner.fault_plan {
+            plan.heal();
+        }
+        let mut tables = self.inner.tables.write();
+        let names: Vec<String> = tables.keys().cloned().collect();
+        for name in names {
+            let store = Store::open(
+                self.env_for(&name)?,
+                self.inner.config.clone(),
+                self.inner.clock.clone(),
+                self.inner.stats.clone(),
+            )?;
+            tables.insert(name, store);
+        }
+        Ok(())
     }
 
     /// I/O counters aggregated over all tables (the Attached tier in
@@ -108,11 +149,25 @@ impl KvCluster {
         &self.inner.clock
     }
 
+    /// Returns the table's retained env, creating (and retaining) one on
+    /// first use so reopen sees the same storage.
     fn env_for(&self, name: &str) -> Result<Arc<dyn Env>> {
-        match &self.inner.disk_root {
-            None => Ok(Arc::new(MemEnv::new())),
-            Some(root) => Ok(Arc::new(DiskEnv::new(root.join(name))?)),
+        if let Some(env) = self.inner.envs.read().get(name) {
+            return Ok(env.clone());
         }
+        let base: Arc<dyn Env> = match &self.inner.disk_root {
+            None => Arc::new(MemEnv::new()),
+            Some(root) => Arc::new(DiskEnv::new(root.join(name))?),
+        };
+        let env: Arc<dyn Env> = match &self.inner.fault_plan {
+            Some(plan) => Arc::new(FaultyEnv::new(base, plan.clone())),
+            None => base,
+        };
+        self.inner
+            .envs
+            .write()
+            .insert(name.to_string(), env.clone());
+        Ok(env)
     }
 
     /// Creates a table; fails if it exists.
@@ -157,6 +212,7 @@ impl KvCluster {
             .write()
             .remove(name)
             .ok_or_else(|| Error::not_found(format!("kv table '{name}'")))?;
+        self.inner.envs.write().remove(name);
         store.destroy()
     }
 
@@ -208,6 +264,42 @@ mod tests {
         c.truncate_table("t").unwrap();
         let t = c.table("t").unwrap();
         assert!(t.get(b"r", b"q").unwrap().is_none());
+    }
+
+    #[test]
+    fn crash_and_reopen_recovers_unflushed_writes() {
+        use dt_common::fault::{FaultKind, FaultPlan};
+
+        let plan = Arc::new(FaultPlan::new(21));
+        let c = KvCluster::in_memory_faulty(KvConfig::default(), plan.clone());
+        let t = c.table_or_create("t").unwrap();
+        t.put(b"r", b"q", b"committed").unwrap();
+        // Kill the process on its next I/O.
+        plan.fail_next(FaultKind::Crash);
+        assert!(t.put(b"r2", b"q", b"lost").is_err());
+        assert!(plan.is_crashed());
+        c.crash_and_reopen().unwrap();
+        let t = c.table("t").unwrap();
+        assert_eq!(t.get(b"r", b"q").unwrap().unwrap(), b"committed");
+        // The crashed put never hit the WAL; it is correctly gone.
+        assert!(t.get(b"r2", b"q").unwrap().is_none());
+        // Timestamps stay monotone across the reopen.
+        t.put(b"r3", b"q", b"after").unwrap();
+        assert_eq!(t.get(b"r3", b"q").unwrap().unwrap(), b"after");
+    }
+
+    #[test]
+    fn faulty_cluster_disarmed_is_transparent() {
+        use dt_common::fault::FaultPlan;
+
+        let plan = Arc::new(FaultPlan::none());
+        let c = KvCluster::in_memory_faulty(KvConfig::default(), plan.clone());
+        let t = c.table_or_create("t").unwrap();
+        t.put(b"r", b"q", b"v").unwrap();
+        t.flush().unwrap();
+        assert_eq!(t.get(b"r", b"q").unwrap().unwrap(), b"v");
+        assert_eq!(plan.injected_count(), 0);
+        assert_eq!(plan.ops_seen(), 0, "disarmed plan must not even count");
     }
 
     #[test]

@@ -37,11 +37,10 @@ impl MergeScanner {
                     }
                     unreachable!("peeked Err must yield Err");
                 }
-                Some(Ok((k, _))) => {
-                    if min.as_ref().is_none_or(|m| k < m) {
-                        min = Some(k.clone());
-                    }
+                Some(Ok((k, _))) if min.as_ref().is_none_or(|m| k < m) => {
+                    min = Some(k.clone());
                 }
+                Some(Ok(_)) => {}
             }
         }
         Ok(min)
@@ -74,7 +73,7 @@ impl Iterator for MergeScanner {
         }
         // Newest first; stable so identical timestamps keep source order
         // (streams are passed memtable-first, i.e. freshest source first).
-        versions.sort_by(|a, b| b.ts.cmp(&a.ts));
+        versions.sort_by_key(|v| std::cmp::Reverse(v.ts));
         Some(Ok((key, versions)))
     }
 }

@@ -170,8 +170,11 @@ impl SsTable {
         }
         let meta_crc = (tail >> 32) as u32;
         let meta_len = (index_len + bloom_len) as usize;
-        if index_off + index_len != bloom_off
-            || bloom_off + bloom_len != total - FOOTER_LEN as u64
+        // Checked arithmetic: a torn file can put arbitrary bytes where
+        // the footer belongs, and a wild offset must surface as Corrupt,
+        // not an overflow panic.
+        if index_off.checked_add(index_len) != Some(bloom_off)
+            || bloom_off.checked_add(bloom_len) != Some(total - FOOTER_LEN as u64)
         {
             return Err(Error::corrupt(format!("sstable '{name}': bad layout")));
         }

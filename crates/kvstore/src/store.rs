@@ -51,6 +51,9 @@ pub struct RowEntry {
     pub cells: Vec<(Vec<u8>, u64, Vec<u8>)>,
 }
 
+/// Boxed stream of `(key, version)` entries fed into a merge scan.
+type EntryStream = Box<dyn Iterator<Item = Result<(CellKey, Version)>> + Send>;
+
 struct State {
     memtable: MemTable,
     sstables: Vec<Arc<SsTable>>,
@@ -88,7 +91,8 @@ impl Store {
     ) -> Result<Self> {
         let mut memtable = MemTable::new();
         let mut max_ts = 0u64;
-        for (key, version) in Wal::replay(env.as_ref())? {
+        let recovery = Wal::replay_with_report(env.as_ref())?;
+        for (key, version) in recovery.entries {
             max_ts = max_ts.max(version.ts);
             memtable.insert(key, version);
         }
@@ -96,19 +100,35 @@ impl Store {
         let mut next_file_no = 0u64;
         for name in env.list() {
             if let Some(num) = name.strip_prefix("sst_") {
-                let table = Arc::new(SsTable::open(env.clone(), name.clone(), stats.clone())?);
-                max_ts = max_ts.max(table.max_ts());
+                // Advance the counter even for unopenable files so their
+                // names are never reused.
                 if let Ok(n) = num.parse::<u64>() {
                     next_file_no = next_file_no.max(n + 1);
                 }
-                sstables.push(table);
+                match SsTable::open(env.clone(), name.clone(), stats.clone()) {
+                    Ok(table) => {
+                        let table = Arc::new(table);
+                        max_ts = max_ts.max(table.max_ts());
+                        sstables.push(table);
+                    }
+                    Err(_) => {
+                        // A torn or truncated table — a crash mid-flush or
+                        // mid-compaction. Nothing committed is lost by
+                        // setting it aside: flush resets the WAL only
+                        // after its table is durable, and compaction
+                        // deletes its inputs only after the output is
+                        // live, so this file's contents are still covered
+                        // by the WAL or by the surviving input tables.
+                        Self::quarantine(env.as_ref(), &name);
+                    }
+                }
             }
         }
         // Older files first so identical timestamps resolve newest-source
         // first in merges (not that a monotone clock produces any).
         sstables.sort_by(|a, b| a.name().cmp(b.name()));
         clock.advance_past(max_ts);
-        Ok(Store {
+        let store = Store {
             inner: Arc::new(StoreInner {
                 env,
                 config,
@@ -121,7 +141,31 @@ impl Store {
                 }),
                 maintenance: Mutex::new(()),
             }),
-        })
+        };
+        if recovery.dropped_bytes > 0 {
+            // The torn/corrupt tail stays in the log file, and appends
+            // land *after* it — where no future replay would ever reach
+            // them. Make the salvaged entries durable in an SSTable
+            // (crash-atomic: the log is untouched until the table is
+            // live), then reset the log. A log that salvaged nothing is
+            // all garbage and is simply dropped.
+            if store.inner.state.read().memtable.is_empty() {
+                Wal::new(store.inner.env.clone(), store.inner.stats.clone()).reset()?;
+            } else {
+                store.flush()?;
+            }
+        }
+        Ok(store)
+    }
+
+    /// Best-effort: preserves the bytes of an unopenable table under a
+    /// `quarantine_` name for post-mortem, then removes the original so it
+    /// is not scanned again.
+    fn quarantine(env: &dyn Env, name: &str) {
+        if let Ok(bytes) = env.read_file(name) {
+            let _ = env.write_file(&format!("quarantine_{name}"), &bytes);
+        }
+        let _ = env.delete(name);
     }
 
     fn check_qualifier(qual: &[u8]) -> Result<()> {
@@ -196,13 +240,18 @@ impl Store {
                 && state.memtable.approx_bytes() >= self.inner.config.memtable_flush_bytes;
         }
         if should_flush {
-            self.flush()?;
-            let should_compact = {
-                let state = self.inner.state.read();
-                state.sstables.len() > self.inner.config.max_sstables
-            };
-            if should_compact {
-                self.compact()?;
+            // The batch is already durable (WAL) and visible (memtable);
+            // auto-maintenance failing afterwards must not report a
+            // committed write as failed. Maintenance retries on the next
+            // threshold crossing, and a crash replays the WAL.
+            if self.flush().is_ok() {
+                let should_compact = {
+                    let state = self.inner.state.read();
+                    state.sstables.len() > self.inner.config.max_sstables
+                };
+                if should_compact {
+                    let _ = self.compact();
+                }
             }
         }
         Ok(last_ts)
@@ -267,7 +316,7 @@ impl Store {
                 versions.extend(table.get(key)?);
             }
         }
-        versions.sort_by(|a, b| b.ts.cmp(&a.ts));
+        versions.sort_by_key(|v| std::cmp::Reverse(v.ts));
         Ok(versions)
     }
 
@@ -293,8 +342,7 @@ impl Store {
                 .collect();
             (mem, state.sstables.clone())
         };
-        let mut streams: Vec<Box<dyn Iterator<Item = Result<(CellKey, Version)>> + Send>> =
-            vec![Box::new(mem_entries.into_iter().map(Ok))];
+        let mut streams: Vec<EntryStream> = vec![Box::new(mem_entries.into_iter().map(Ok))];
         for table in &sstables {
             streams.push(Box::new(table.iter(
                 start.map(<[u8]>::to_vec),
@@ -310,42 +358,66 @@ impl Store {
     }
 
     /// Moves the memtable into a new SSTable and truncates the WAL.
+    ///
+    /// Atomic with respect to failure: entries leave the memtable only
+    /// once their SSTable is durable and open, and the WAL is reset only
+    /// after that. A failed flush puts everything back, so reads keep
+    /// seeing the buffered writes and a crash at any point replays them
+    /// from the still-intact WAL.
     pub fn flush(&self) -> Result<()> {
         let _guard = self.inner.maintenance.lock();
-        let drained = {
+        let (drained, name) = {
             let mut state = self.inner.state.write();
             if state.memtable.is_empty() {
                 return Ok(());
             }
-            state.memtable.drain_sorted()
+            let name = format!("sst_{:010}", state.next_file_no);
+            state.next_file_no += 1;
+            (state.memtable.drain_sorted(), name)
         };
-        let entry_count: usize = drained.iter().map(|(_, vs)| vs.len()).sum();
+        match self.write_sstable(&drained, &name) {
+            Ok(table) => {
+                self.inner.state.write().sstables.push(table);
+                Wal::new(self.inner.env.clone(), self.inner.stats.clone()).reset()
+            }
+            Err(e) => {
+                // The table never became durable: drop any torn partial
+                // file and restore the entries. Concurrent writers may
+                // have inserted newer entries meanwhile; the memtable's
+                // insertion sort folds these back in regardless.
+                let _ = self.inner.env.delete(&name);
+                let mut state = self.inner.state.write();
+                for (key, versions) in drained {
+                    for version in versions {
+                        state.memtable.insert(key.clone(), version);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Builds, writes, and opens one SSTable from sorted entries.
+    fn write_sstable(
+        &self,
+        entries: &[(CellKey, Vec<Version>)],
+        name: &str,
+    ) -> Result<Arc<SsTable>> {
+        let entry_count: usize = entries.iter().map(|(_, vs)| vs.len()).sum();
         let mut builder = SsTableBuilder::new(entry_count, self.inner.config.block_size);
-        for (key, versions) in &drained {
+        for (key, versions) in entries {
             for version in versions {
                 builder.add(key, version)?;
             }
         }
         let bytes = builder.finish();
-        let name = {
-            let mut state = self.inner.state.write();
-            let name = format!("sst_{:010}", state.next_file_no);
-            state.next_file_no += 1;
-            name
-        };
         self.inner.stats.record_write(bytes.len() as u64);
-        self.inner.env.write_file(&name, &bytes)?;
-        let table = Arc::new(SsTable::open(
+        self.inner.env.write_file(name, &bytes)?;
+        Ok(Arc::new(SsTable::open(
             self.inner.env.clone(),
-            name,
+            name.to_string(),
             self.inner.stats.clone(),
-        )?);
-        {
-            let mut state = self.inner.state.write();
-            state.sstables.push(table);
-        }
-        Wal::new(self.inner.env.clone(), self.inner.stats.clone()).reset()?;
-        Ok(())
+        )?))
     }
 
     /// Minor compaction: merges the *newest half* of the SSTables into one
@@ -375,7 +447,13 @@ impl Store {
             &self.inner.config,
             &self.inner.stats,
             file_no,
-        )?;
+        )
+        .inspect_err(|_| {
+            // Failure is atomic: inputs stay live in `sstables`; only a
+            // torn partial output may exist. Drop it (best-effort — a
+            // reopen quarantines whatever remains).
+            let _ = self.inner.env.delete(&format!("sst_{file_no:010}"));
+        })?;
         {
             let mut state = self.inner.state.write();
             state
@@ -400,18 +478,24 @@ impl Store {
         if old.len() <= 1 {
             return Ok(());
         }
+        let file_no = {
+            let mut state = self.inner.state.write();
+            let n = state.next_file_no;
+            state.next_file_no += 1;
+            n
+        };
         let (name, table) = compaction::compact_tables(
             &self.inner.env,
             &old,
             &self.inner.config,
             &self.inner.stats,
-            {
-                let mut state = self.inner.state.write();
-                let n = state.next_file_no;
-                state.next_file_no += 1;
-                n
-            },
-        )?;
+            file_no,
+        )
+        .inspect_err(|_| {
+            // Same atomicity contract as minor_compact: old tables remain
+            // live and readable; only the partial output needs removal.
+            let _ = self.inner.env.delete(&format!("sst_{file_no:010}"));
+        })?;
         {
             let mut state = self.inner.state.write();
             // Writers only append to `sstables` (flush); replace the old
@@ -860,5 +944,202 @@ mod minor_compact_tests {
         s.minor_compact().unwrap();
         assert_eq!(s.sstable_count(), 1);
         assert_eq!(s.get(b"a", b"q").unwrap().unwrap(), b"v");
+    }
+}
+
+#[cfg(test)]
+mod crash_tests {
+    use super::*;
+    use crate::env::{FaultyEnv, MemEnv};
+    use dt_common::fault::{FaultKind, FaultPlan};
+
+    fn faulty_fresh(plan: Arc<FaultPlan>) -> (Store, Arc<MemEnv>) {
+        let mem = Arc::new(MemEnv::new());
+        let env = Arc::new(FaultyEnv::new(mem.clone(), plan));
+        let store = Store::open(
+            env,
+            KvConfig {
+                memtable_flush_bytes: 1 << 20,
+                block_size: 256,
+                max_sstables: 64,
+                max_versions: 3,
+                auto_maintenance: false,
+            },
+            LogicalClock::new(),
+            IoStats::new(),
+        )
+        .unwrap();
+        (store, mem)
+    }
+
+    #[test]
+    fn failed_flush_keeps_data_readable_and_retryable() {
+        let plan = Arc::new(FaultPlan::new(11));
+        let (s, _) = faulty_fresh(plan.clone());
+        s.put(b"r", b"q", b"v").unwrap();
+        // The very next write (the SSTable) fails without side effects.
+        plan.fail_next(FaultKind::WriteError);
+        assert!(s.flush().unwrap_err().is_injected());
+        // Nothing left the memtable: reads still see the value.
+        assert_eq!(s.get(b"r", b"q").unwrap().unwrap(), b"v");
+        assert_eq!(s.sstable_count(), 0);
+        // A retry succeeds and the WAL is finally reset.
+        s.flush().unwrap();
+        assert_eq!(s.sstable_count(), 1);
+        assert_eq!(s.get(b"r", b"q").unwrap().unwrap(), b"v");
+    }
+
+    #[test]
+    fn torn_flush_then_crash_recovers_from_wal() {
+        let plan = Arc::new(FaultPlan::new(12));
+        let (s, mem) = faulty_fresh(plan.clone());
+        s.put(b"r", b"q", b"survives").unwrap();
+        plan.fail_next(FaultKind::TornWrite);
+        assert!(s.flush().is_err());
+        assert!(plan.is_crashed());
+        // "Restart the process": heal I/O and reopen over the same bytes.
+        // A torn sst file may linger (the cleanup delete also crashed);
+        // open must quarantine it and replay the WAL.
+        plan.heal();
+        drop(s);
+        let s2 = Store::open(
+            Arc::new(FaultyEnv::new(mem.clone(), plan)),
+            KvConfig::default(),
+            LogicalClock::new(),
+            IoStats::new(),
+        )
+        .unwrap();
+        assert_eq!(s2.get(b"r", b"q").unwrap().unwrap(), b"survives");
+    }
+
+    #[test]
+    fn torn_append_then_more_writes_survive_second_crash() {
+        // A torn WAL append leaves its partial frame in the file. The
+        // reopen must truncate it away; otherwise writes acknowledged
+        // *after* recovery sit behind garbage and silently vanish at the
+        // next replay.
+        let plan = Arc::new(FaultPlan::new(17));
+        let (s, mem) = faulty_fresh(plan.clone());
+        s.put(b"a", b"q", b"one").unwrap();
+        plan.fail_next(FaultKind::TornWrite);
+        assert!(s.put(b"b", b"q", b"lost").is_err());
+        plan.heal();
+        drop(s);
+        let reopen = |mem: &Arc<MemEnv>, plan: &Arc<FaultPlan>| {
+            Store::open(
+                Arc::new(FaultyEnv::new(mem.clone(), plan.clone())),
+                KvConfig::default(),
+                LogicalClock::new(),
+                IoStats::new(),
+            )
+            .unwrap()
+        };
+        let s2 = reopen(&mem, &plan);
+        assert_eq!(s2.get(b"a", b"q").unwrap().unwrap(), b"one");
+        assert_eq!(s2.get(b"b", b"q").unwrap(), None);
+        // Acknowledged after recovery — must survive a second crash.
+        s2.put(b"c", b"q", b"two").unwrap();
+        drop(s2);
+        let s3 = reopen(&mem, &plan);
+        assert_eq!(s3.get(b"a", b"q").unwrap().unwrap(), b"one");
+        assert_eq!(s3.get(b"c", b"q").unwrap().unwrap(), b"two");
+    }
+
+    #[test]
+    fn mid_compaction_crash_is_atomic() {
+        let plan = Arc::new(FaultPlan::new(13));
+        let (s, mem) = faulty_fresh(plan.clone());
+        for round in 0..3u8 {
+            for i in 0..10u8 {
+                s.put(&[i], b"q", &[round]).unwrap();
+            }
+            s.flush().unwrap();
+        }
+        assert_eq!(s.sstable_count(), 3);
+        plan.fail_next(FaultKind::TornWrite);
+        assert!(s.compact().is_err());
+        plan.heal();
+        // In-process: the old tables never left the state.
+        assert_eq!(s.sstable_count(), 3);
+        for i in 0..10u8 {
+            assert_eq!(s.get(&[i], b"q").unwrap().unwrap(), vec![2u8]);
+        }
+        // Across a restart: the torn output (if any survived cleanup) is
+        // quarantined and the inputs still carry all committed data.
+        drop(s);
+        let s2 = Store::open(
+            mem,
+            KvConfig::default(),
+            LogicalClock::new(),
+            IoStats::new(),
+        )
+        .unwrap();
+        for i in 0..10u8 {
+            assert_eq!(s2.get(&[i], b"q").unwrap().unwrap(), vec![2u8]);
+        }
+        // A clean compaction still works afterwards.
+        s2.compact().unwrap();
+        assert_eq!(s2.sstable_count(), 1);
+    }
+
+    #[test]
+    fn open_quarantines_garbage_sstable() {
+        let env = Arc::new(MemEnv::new());
+        {
+            let s = Store::open(
+                env.clone(),
+                KvConfig::default(),
+                LogicalClock::new(),
+                IoStats::new(),
+            )
+            .unwrap();
+            s.put(b"keep", b"q", b"v").unwrap();
+            s.flush().unwrap();
+        }
+        // A crash left a half-written table behind.
+        env.write_file("sst_0000000042", &[0xDE; 37]).unwrap();
+        let s = Store::open(
+            env.clone(),
+            KvConfig::default(),
+            LogicalClock::new(),
+            IoStats::new(),
+        )
+        .unwrap();
+        assert_eq!(s.get(b"keep", b"q").unwrap().unwrap(), b"v");
+        let names = env.list();
+        assert!(!names.iter().any(|n| n == "sst_0000000042"));
+        assert!(names.iter().any(|n| n == "quarantine_sst_0000000042"));
+        // The quarantined number is never reused.
+        s.put(b"more", b"q", b"v").unwrap();
+        s.flush().unwrap();
+        assert!(env.list().iter().any(|n| n == "sst_0000000043"));
+    }
+
+    #[test]
+    fn auto_maintenance_failure_does_not_fail_committed_writes() {
+        let plan = Arc::new(FaultPlan::new(14));
+        let mem = Arc::new(MemEnv::new());
+        let s = Store::open(
+            Arc::new(FaultyEnv::new(mem, plan.clone())),
+            KvConfig {
+                memtable_flush_bytes: 128,
+                block_size: 128,
+                max_sstables: 100,
+                max_versions: 1,
+                auto_maintenance: true,
+            },
+            LogicalClock::new(),
+            IoStats::new(),
+        )
+        .unwrap();
+        s.put(b"a", b"q", &[0u8; 64]).unwrap();
+        // The put's own WAL append (the next op) must pass; the write
+        // after it is the auto-flush SSTable, whose failure must not
+        // surface through put().
+        plan.fail_after(1, FaultKind::WriteError);
+        s.put(b"b", b"q", &[0u8; 64]).unwrap();
+        assert_eq!(plan.injected_count(), 1);
+        assert!(s.get(b"a", b"q").unwrap().is_some());
+        assert!(s.get(b"b", b"q").unwrap().is_some());
     }
 }

@@ -127,7 +127,7 @@ mod tests {
         let s = stats(10, 20);
         let p1 = ColumnPredicate::new(0, PredicateOp::Ge, Value::Int64(15));
         let p2 = ColumnPredicate::new(0, PredicateOp::Eq, Value::Int64(99));
-        assert!(conjunction_may_match(&[p1.clone()], &s));
+        assert!(conjunction_may_match(std::slice::from_ref(&p1), &s));
         assert!(!conjunction_may_match(&[p1, p2], &s));
         assert!(conjunction_may_match(&[], &s));
     }

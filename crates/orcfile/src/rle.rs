@@ -123,7 +123,7 @@ pub fn encode_bools(values: &[bool], out: &mut Vec<u8>) {
             byte = 0;
         }
     }
-    if values.len() % 8 != 0 {
+    if !values.len().is_multiple_of(8) {
         out.push(byte);
     }
 }

@@ -1,0 +1,166 @@
+//! Offline shim for the subset of `criterion` the workspace benches use.
+//!
+//! No registry access is available in the build environment, so this crate
+//! provides an API-compatible replacement that times each benchmark with
+//! `std::time::Instant` and prints mean wall-clock time per iteration (plus
+//! throughput when declared). It is intentionally minimal: no statistical
+//! analysis, no HTML reports — enough to keep `cargo bench` useful and the
+//! bench sources compiling unchanged.
+
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a value (re-export of the std
+/// hint; real criterion has its own implementation).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput of a benchmark, used to derive rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark driver. `sample_size` here means timed iterations per
+/// benchmark (after an equal warm-up run).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark: warm-up, then `sample_size` timed iterations.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: self.criterion.sample_size as u64,
+            elapsed_ns: 0.0,
+        };
+        // Warm-up pass (not recorded).
+        routine(&mut bencher);
+        bencher.elapsed_ns = 0.0;
+        routine(&mut bencher);
+        let per_iter = bencher.elapsed_ns / bencher.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) if per_iter > 0.0 => {
+                format!("  {:.1} MiB/s", b as f64 / (1u64 << 20) as f64 / (per_iter * 1e-9))
+            }
+            Some(Throughput::Elements(e)) if per_iter > 0.0 => {
+                format!("  {:.0} elem/s", e as f64 / (per_iter * 1e-9))
+            }
+            _ => String::new(),
+        };
+        println!("  {name}: {:.1} ns/iter{rate}", per_iter);
+        self
+    }
+
+    /// Ends the group (printing nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing harness handed to the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+    }
+}
+
+/// Declares a benchmark group entry point, mirroring criterion's macro
+/// (both the plain and the `name = ...; config = ...;` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_smoke(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.finish();
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = bench_smoke
+    );
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,33 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Vec`s whose length is drawn from `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.next_below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no registry access, so property tests run on
+//! this small deterministic framework instead of the real crate. It keeps
+//! the same source-level API (`proptest!`, `prop_oneof!`, `Strategy`,
+//! `prop_map`/`prop_flat_map`/`boxed`, `any`, `collection::vec`, regex-like
+//! string strategies, `prop::sample::Index`, `ProptestConfig`) but trades
+//! away shrinking: on failure it prints the generated inputs, the case
+//! number and the per-test seed so the exact case is reproducible.
+//!
+//! Generation is seeded per test from the test's name (stable across runs)
+//! unless `PROPTEST_SEED` is set in the environment; `PROPTEST_CASES`
+//! overrides the configured case count.
+
+pub mod strategy;
+
+pub mod collection;
+pub mod sample;
+pub mod test_runner;
+
+/// `proptest::prelude` — the glob import used by every test file.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::sample::Index`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+use strategy::Strategy;
+use test_runner::TestRng;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias towards edge values now and then: property tests
+                // over codecs care about MIN/MAX/0 far more than a uniform
+                // draw would ever produce.
+                match rng.next_u64() % 16 {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )+};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.next_u64() % 8 {
+            0 => 0.0,
+            1 => -0.0,
+            2 => 1.0,
+            3 => f64::MIN_POSITIVE,
+            // Finite values with a wide dynamic range.
+            _ => {
+                let mantissa = (rng.next_u64() as i64) as f64;
+                let exp = (rng.next_u64() % 64) as i32 - 32;
+                mantissa * (2f64).powi(exp)
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        sample::Index::new(rng.next_u64())
+    }
+}
+
+/// Strategy generating an arbitrary value of `T` (`any::<T>()`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Picks among strategies, optionally weighted
+/// (`prop_oneof![2 => a, 1 => b]` or `prop_oneof![a, b]`). All arms are
+/// boxed to a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running `config.cases` generated
+/// cases; failures report the inputs, case number and seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$attr:meta])*
+         fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = $crate::test_runner::case_count(config.cases);
+                let seed = $crate::test_runner::seed_for(stringify!($name));
+                let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                for case in 0..cases {
+                    let __vals = (
+                        $( $crate::strategy::Strategy::generate(&($strat), &mut rng), )+
+                    );
+                    let __guard = $crate::test_runner::CaseGuard::new(
+                        stringify!($name),
+                        seed,
+                        case,
+                        format!("{__vals:?}"),
+                    );
+                    let ( $($arg,)+ ) = __vals;
+                    { $body }
+                    __guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tok {
+        Num(i64),
+        Word(String),
+    }
+
+    fn arb_tok() -> impl Strategy<Value = Tok> {
+        prop_oneof![
+            2 => (0i64..100).prop_map(Tok::Num),
+            1 => "[a-z]{1,4}".prop_map(Tok::Word),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 3u8..17, w in -5i64..5) {
+            prop_assert!((3..17).contains(&v));
+            prop_assert!((-5..5).contains(&w));
+        }
+
+        #[test]
+        fn vec_and_union_compose(toks in prop::collection::vec(arb_tok(), 0..8)) {
+            for t in &toks {
+                match t {
+                    Tok::Num(n) => prop_assert!((0..100).contains(n)),
+                    Tok::Word(w) => {
+                        prop_assert!(!w.is_empty() && w.len() <= 4);
+                        prop_assert!(w.bytes().all(|b| b.is_ascii_lowercase()));
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn index_is_always_in_range(idx in any::<prop::sample::Index>(), data in prop::collection::vec(any::<u8>(), 1..64)) {
+            prop_assert!(idx.index(data.len()) < data.len());
+        }
+
+        #[test]
+        fn flat_map_threads_dependent_values((len, v) in (1usize..9).prop_flat_map(|n| (Just(n), prop::collection::vec(0u32..10, n..n + 1)))) {
+            prop_assert_eq!(v.len(), len);
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_values() {
+        let mut a = crate::test_runner::TestRng::from_seed(7);
+        let mut b = crate::test_runner::TestRng::from_seed(7);
+        let s = crate::collection::vec(0u64..1000, 0..50);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

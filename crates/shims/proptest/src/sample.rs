@@ -1,0 +1,20 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An abstract index, resolved against a collection's length at use time
+/// (`any::<Index>()` then `idx.index(len)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Wraps a raw draw.
+    pub fn new(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Resolves to a valid index for a collection of `size` elements.
+    /// Panics when `size` is zero, matching real proptest.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on empty collection");
+        (self.0 % size as u64) as usize
+    }
+}

@@ -1,0 +1,369 @@
+//! The `Strategy` trait and core combinators.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// Weighted choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: Debug> Union<T> {
+    /// Builds a union; at least one arm with non-zero total weight.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        Union { arms, total }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_below(self.total);
+        for (weight, strategy) in &self.arms {
+            if pick < *weight as u64 {
+                return strategy.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128 + 1) as u64;
+                (start as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// A `Vec` of strategies generates one value per element (used with
+/// heterogeneous `BoxedStrategy` rows).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-like string strategies: `".{0,64}"`, `"[a-z]{1,4}"`, ...
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any char except newline.
+    Any,
+    /// `[a-z0-9_]`-style class, stored as inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+            '[' => {
+                let mut ranges = Vec::new();
+                while let Some(&k) = chars.peek() {
+                    if k == ']' {
+                        chars.next();
+                        break;
+                    }
+                    let lo = chars.next().unwrap();
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars.next().unwrap_or(lo);
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for k in chars.by_ref() {
+                    if k == '}' {
+                        break;
+                    }
+                    spec.push(k);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().unwrap_or(0),
+                        n.trim().parse().unwrap_or(8),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Any => {
+            // Mostly printable ASCII, sometimes multi-byte codepoints so
+            // UTF-8 length != char count gets exercised. Never '\n'
+            // (regex `.` excludes it).
+            match rng.next_u64() % 8 {
+                0 => char::from_u32(0x00c0 + rng.next_below(0x80) as u32).unwrap_or('é'),
+                1 => char::from_u32(0x4e00 + rng.next_below(0x100) as u32).unwrap_or('中'),
+                _ => (0x20u8 + rng.next_below(0x5f) as u8) as char,
+            }
+        }
+        Atom::Class(ranges) => {
+            if ranges.is_empty() {
+                return 'a';
+            }
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64).saturating_sub(*lo as u64) + 1)
+                .sum();
+            let mut pick = rng.next_below(total);
+            for (lo, hi) in ranges {
+                let span = (*hi as u64).saturating_sub(*lo as u64) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+                }
+                pick -= span;
+            }
+            unreachable!("class pick out of range")
+        }
+    }
+}
+
+/// String patterns act as strategies generating matching strings
+/// (supported subset: literals, `.`, `[...]` classes, `{m,n}`/`{n}`,
+/// `*`, `+`, `?`).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let count = piece.min + rng.next_below((piece.max - piece.min + 1) as u64) as u32;
+            for _ in 0..count {
+                out.push(generate_char(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_pattern_class_counts() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = "[a-z]{0,12}".generate(&mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn string_pattern_dot_excludes_newline() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = ".{0,64}".generate(&mut rng);
+            assert!(s.chars().count() <= 64);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_sided_weights() {
+        let mut rng = TestRng::from_seed(3);
+        let u = Union::new(vec![(1, Just(0u8).boxed()), (3, Just(1u8).boxed())]);
+        let ones: usize = (0..1000).filter(|_| u.generate(&mut rng) == 1).count();
+        assert!(ones > 600 && ones < 900, "weighting off: {ones}");
+    }
+
+    #[test]
+    fn ranges_hit_bounds() {
+        let mut rng = TestRng::from_seed(4);
+        let mut seen_min = false;
+        let mut seen_max = false;
+        for _ in 0..2000 {
+            let v = (0u8..4).generate(&mut rng);
+            assert!(v < 4);
+            seen_min |= v == 0;
+            seen_max |= v == 3;
+        }
+        assert!(seen_min && seen_max);
+    }
+}

@@ -1,0 +1,119 @@
+//! Deterministic RNG, configuration and failure reporting for the shim.
+
+/// Splitmix64 generator: tiny, fast, and good enough for test-input
+/// generation. Deterministic for a given seed.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift reduction; bias is irrelevant for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Run configuration (the subset of proptest's that the workspace sets).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Effective case count: `PROPTEST_CASES` env var overrides the config.
+pub fn case_count(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(configured)
+}
+
+/// Per-test seed: FNV-1a of the test name, or `PROPTEST_SEED` if set.
+/// Name-derived seeds keep runs reproducible without coupling tests to
+/// each other.
+pub fn seed_for(test_name: &str) -> u64 {
+    if let Some(seed) = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        return seed;
+    }
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Prints the failing case's inputs if the test body panics (the shim has
+/// no shrinking, so the raw inputs plus the seed are the repro recipe).
+pub struct CaseGuard {
+    armed: bool,
+    test: &'static str,
+    seed: u64,
+    case: u32,
+    inputs: String,
+}
+
+impl CaseGuard {
+    /// Arms a guard for one case.
+    pub fn new(test: &'static str, seed: u64, case: u32, inputs: String) -> Self {
+        CaseGuard {
+            armed: true,
+            test,
+            seed,
+            case,
+            inputs,
+        }
+    }
+
+    /// Marks the case as passed; the guard prints nothing.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest shim: test `{}` failed at case {} (seed {}). Inputs: {}\n\
+                 Re-run with PROPTEST_SEED={} to reproduce this sequence.",
+                self.test, self.case, self.seed, self.inputs, self.seed
+            );
+        }
+    }
+}

@@ -142,7 +142,7 @@ mod tests {
         // Table I's %DML column: 61(62 in print), 72, 78(79), 50, 63.
         let expect = [61, 72, 78, 50, 63];
         for (mix, pct) in paper_mixes().iter().zip(expect) {
-            let diff = (mix.dml_percent() as i32 - pct as i32).abs();
+            let diff = (mix.dml_percent() as i32 - pct).abs();
             assert!(diff <= 1, "scenario {}: {} vs {}", mix.scenario, mix.dml_percent(), pct);
         }
     }

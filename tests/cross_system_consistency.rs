@@ -77,7 +77,9 @@ fn dml_sequence_agrees_across_storages() {
     ];
     let check = "SELECT COUNT(*), SUM(l_quantity) FROM lineitem";
     let check_orders = "SELECT COUNT(*) FROM orders WHERE o_orderstatus = 'X'";
-    let mut reference: Option<(Vec<Vec<String>>, Vec<Vec<String>>, Vec<u64>)> = None;
+    // (lineitem check rows, orders check rows, affected counts) per system.
+    type Observation = (Vec<Vec<String>>, Vec<Vec<String>>, Vec<u64>);
+    let mut reference: Option<Observation> = None;
     for storage in STORAGES {
         let mut session = build_tpch(storage, 600);
         let mut affected = Vec::new();

@@ -40,7 +40,7 @@ fn table(env: &DualTableEnv, plan_mode: PlanMode, n: i64) -> DualTableStore {
 fn edit_plan_never_touches_the_master() {
     let env = DualTableEnv::in_memory();
     let t = table(&env, PlanMode::AlwaysEdit, 300);
-    let files_before = t.master_file_ids();
+    let files_before = t.master_file_ids().unwrap();
     let master_bytes_before = t.stats().unwrap().master_bytes;
     let dfs_written_before = env.dfs.stats().snapshot().bytes_written;
 
@@ -53,7 +53,7 @@ fn edit_plan_never_touches_the_master() {
     t.delete(|r| r[1] == Value::Int64(4), RatioHint::Explicit(1.0 / 36.0))
         .unwrap();
 
-    assert_eq!(t.master_file_ids(), files_before);
+    assert_eq!(t.master_file_ids().unwrap(), files_before);
     assert_eq!(t.stats().unwrap().master_bytes, master_bytes_before);
     assert_eq!(
         env.dfs.stats().snapshot().bytes_written,
@@ -155,12 +155,12 @@ fn compact_replaces_master_and_clears_attached() {
     .unwrap();
     t.delete(|r| r[1] == Value::Int64(1), RatioHint::Explicit(1.0 / 36.0))
         .unwrap();
-    let old_files = t.master_file_ids();
+    let old_files = t.master_file_ids().unwrap();
     let visible_before: Vec<_> = t.scan_all().unwrap().into_iter().map(|(_, r)| r).collect();
 
     t.compact().unwrap();
 
-    let new_files = t.master_file_ids();
+    let new_files = t.master_file_ids().unwrap();
     assert!(new_files.iter().all(|f| !old_files.contains(f)), "fresh file IDs");
     let stats = t.stats().unwrap();
     assert_eq!(stats.attached_entries, 0);
@@ -254,9 +254,9 @@ fn reopen_preserves_table_and_file_id_allocation() {
     assert_eq!(t.count().unwrap(), 100);
     assert_eq!(t.scan_all().unwrap()[1].1[2], Value::Float64(9.0));
     // New inserts keep allocating fresh, non-colliding file IDs.
-    let before_max = t.master_file_ids().into_iter().max().unwrap();
+    let before_max = t.master_file_ids().unwrap().into_iter().max().unwrap();
     t.insert_rows(rows(10)).unwrap();
-    let after_max = t.master_file_ids().into_iter().max().unwrap();
+    let after_max = t.master_file_ids().unwrap().into_iter().max().unwrap();
     assert!(after_max > before_max);
     assert_eq!(t.count().unwrap(), 110);
 }
