@@ -32,6 +32,10 @@ pub enum Error {
     Unsupported(String),
     /// A concurrent operation (e.g. COMPACT) holds an exclusive lock.
     Busy(String),
+    /// A component is temporarily unreachable or refusing service (e.g. a
+    /// datanode timing out, a region server mid-restart). Classified
+    /// [`ErrorClass::Transient`]: retrying the same operation may succeed.
+    Unavailable(String),
     /// Invariant violation — a bug in this library.
     Internal(String),
     /// A deterministic fault injected by a test's [`fault
@@ -72,10 +76,49 @@ impl Error {
         Error::Injected(msg.into())
     }
 
+    /// Shorthand for [`Error::Unavailable`].
+    pub fn unavailable(msg: impl Into<String>) -> Self {
+        Error::Unavailable(msg.into())
+    }
+
     /// `true` iff this error came from a test fault plan.
     pub fn is_injected(&self) -> bool {
         matches!(self, Error::Injected(_))
     }
+
+    /// Coarse classification used by the self-healing layer to decide
+    /// whether an operation is worth retrying (see `retry::RetryPolicy`).
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            // A contended lock or an unreachable component may clear on a
+            // later attempt; everything else will fail the same way again.
+            Error::Unavailable(_) | Error::Busy(_) => ErrorClass::Transient,
+            // Bad bytes stay bad: the fix is failover to another replica
+            // (dfs) or quarantine (kvstore), never a blind retry.
+            Error::Corrupt(_) => ErrorClass::Corrupt,
+            // Injected crash/fail-stop faults are deliberately permanent so
+            // chaos tests exercise recovery, not retry loops. Transient
+            // injected faults surface as `Unavailable` instead.
+            _ => ErrorClass::Permanent,
+        }
+    }
+
+    /// `true` iff retrying the failed operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
+}
+
+/// How an [`Error`] should be treated by recovery machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// May succeed if retried (timeouts, contention, brief outages).
+    Transient,
+    /// Will keep failing; retrying wastes work. Escalate or fail over.
+    Permanent,
+    /// Data failed validation; the copy is bad, not the operation. Needs
+    /// failover to a healthy replica and quarantine of the bad one.
+    Corrupt,
 }
 
 impl fmt::Display for Error {
@@ -91,6 +134,7 @@ impl fmt::Display for Error {
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Busy(m) => write!(f, "busy: {m}"),
+            Error::Unavailable(m) => write!(f, "unavailable: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
             Error::Injected(m) => write!(f, "injected fault: {m}"),
         }
@@ -122,6 +166,17 @@ mod tests {
         assert_eq!(e.to_string(), "corrupt data: bad magic");
         let e = Error::not_found("table t");
         assert!(e.to_string().contains("table t"));
+    }
+
+    #[test]
+    fn classification_partitions_variants() {
+        assert_eq!(Error::unavailable("dn1 timeout").class(), ErrorClass::Transient);
+        assert_eq!(Error::Busy("compact lock".into()).class(), ErrorClass::Transient);
+        assert_eq!(Error::corrupt("crc mismatch").class(), ErrorClass::Corrupt);
+        assert_eq!(Error::injected("WriteError").class(), ErrorClass::Permanent);
+        assert_eq!(Error::not_found("/x").class(), ErrorClass::Permanent);
+        assert!(Error::unavailable("x").is_transient());
+        assert!(!Error::internal("x").is_transient());
     }
 
     #[test]

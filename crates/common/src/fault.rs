@@ -58,12 +58,29 @@ pub enum FaultKind {
     /// Process death: this operation and every later one fail until
     /// [`FaultPlan::heal`]. No bytes are touched.
     Crash,
+    /// Fail a write with [`Error::Unavailable`] and no side effects — a
+    /// datanode/region-server hiccup. Classified transient, so retry
+    /// machinery is allowed (and expected) to re-attempt it. Scheduled
+    /// with a repeat count: fails N consecutive matching writes, then the
+    /// component recovers and the operation succeeds.
+    TransientWriteError,
+    /// The read-side twin of [`FaultKind::TransientWriteError`].
+    TransientReadError,
 }
 
 impl FaultKind {
     /// `true` iff this fault leaves the plan in the crashed state.
     pub fn is_crash(self) -> bool {
         matches!(self, FaultKind::TornWrite | FaultKind::Crash)
+    }
+
+    /// `true` iff retrying the failed operation may succeed — the fault
+    /// models a brief outage rather than a dead process or bad bytes.
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            FaultKind::TransientWriteError | FaultKind::TransientReadError
+        )
     }
 
     /// `true` iff this fault can fire on `op`.
@@ -73,16 +90,27 @@ impl FaultKind {
             FaultKind::WriteError => op != IoOp::Read,
             FaultKind::ReadError | FaultKind::CorruptRead => op == IoOp::Read,
             FaultKind::Crash => true,
+            // Transient faults stay off the delete path: deletes back
+            // best-effort GC whose retry story is "next table open", not
+            // an inline backoff loop.
+            FaultKind::TransientWriteError => op == IoOp::Write,
+            FaultKind::TransientReadError => op == IoOp::Read,
         }
     }
 }
 
 /// One scheduled fault: fires on the `at_op`-th matching operation
-/// (1-based, counted across every wrapped substrate sharing the plan).
+/// (1-based, counted across every wrapped substrate sharing the plan) and
+/// on the next `remaining - 1` matching operations after it. Fail-stop and
+/// corruption faults always have `remaining == 1`; transient faults use
+/// higher counts to model "fails N times, then succeeds" — under a retry
+/// loop each re-attempt is a fresh plan operation, so a `remaining = N`
+/// spec is exactly a component that recovers after N failures.
 #[derive(Debug, Clone, Copy)]
 struct FaultSpec {
     at_op: u64,
     kind: FaultKind,
+    remaining: u32,
 }
 
 /// A deterministic, shareable schedule of storage faults.
@@ -147,7 +175,10 @@ impl FaultPlan {
     }
 
     /// A seeded random schedule: `faults` faults at distinct operation
-    /// indices in `[1, horizon]`, drawing kinds from `kinds`.
+    /// indices in `[1, horizon]`, drawing kinds from `kinds`. Transient
+    /// kinds additionally draw a repeat count in `[1, 3]` — chosen to stay
+    /// below [`crate::retry::RetryPolicy::default`]'s four attempts, so a
+    /// retried operation always outlives the outage it models.
     pub fn seeded(seed: u64, faults: usize, horizon: u64, kinds: &[FaultKind]) -> Self {
         assert!(!kinds.is_empty(), "fault kind palette must not be empty");
         assert!(horizon >= faults as u64, "horizon too small for fault count");
@@ -161,7 +192,16 @@ impl FaultPlan {
             let mut specs = plan.specs.lock().unwrap();
             for at_op in at_ops {
                 let kind = *rng.choose(kinds);
-                specs.push(FaultSpec { at_op, kind });
+                let remaining = if kind.is_transient() {
+                    1 + rng.next_below(3) as u32
+                } else {
+                    1
+                };
+                specs.push(FaultSpec {
+                    at_op,
+                    kind,
+                    remaining,
+                });
             }
         }
         plan
@@ -173,7 +213,27 @@ impl FaultPlan {
     /// the next matching operation.
     pub fn fail_at(self, at_op: u64, kind: FaultKind) -> Self {
         assert!(at_op > 0, "operation indices are 1-based");
-        self.specs.lock().unwrap().push(FaultSpec { at_op, kind });
+        self.specs.lock().unwrap().push(FaultSpec {
+            at_op,
+            kind,
+            remaining: 1,
+        });
+        self
+    }
+
+    /// Schedules a transient `kind` to fire on the `at_op`-th matching
+    /// operation and keep firing for `times` consecutive matching
+    /// operations in total, after which the modelled outage clears and
+    /// the operation succeeds again.
+    pub fn fail_transient_at(self, at_op: u64, kind: FaultKind, times: u32) -> Self {
+        assert!(at_op > 0, "operation indices are 1-based");
+        assert!(times > 0, "a transient fault must fire at least once");
+        assert!(kind.is_transient(), "{kind:?} is not a transient kind");
+        self.specs.lock().unwrap().push(FaultSpec {
+            at_op,
+            kind,
+            remaining: times,
+        });
         self
     }
 
@@ -183,11 +243,28 @@ impl FaultPlan {
         self.fail_after(0, kind);
     }
 
+    /// [`FaultPlan::fail_next`] for transient kinds: the outage starts at
+    /// the next matching operation and lasts `times` matching operations.
+    pub fn fail_transient_next(&self, kind: FaultKind, times: u32) {
+        assert!(times > 0, "a transient fault must fire at least once");
+        assert!(kind.is_transient(), "{kind:?} is not a transient kind");
+        let at_op = self.op_counter.load(Ordering::SeqCst) + 1;
+        self.specs.lock().unwrap().push(FaultSpec {
+            at_op,
+            kind,
+            remaining: times,
+        });
+    }
+
     /// Like [`FaultPlan::fail_next`] but lets `skip` operations pass
     /// cleanly first (e.g. skip a WAL append to hit the flush behind it).
     pub fn fail_after(&self, skip: u64, kind: FaultKind) {
         let at_op = self.op_counter.load(Ordering::SeqCst) + 1 + skip;
-        self.specs.lock().unwrap().push(FaultSpec { at_op, kind });
+        self.specs.lock().unwrap().push(FaultSpec {
+            at_op,
+            kind,
+            remaining: 1,
+        });
     }
 
     /// Re-arms / disarms the plan. Useful to open a store cleanly first
@@ -244,7 +321,11 @@ impl FaultPlan {
         let due = specs
             .iter()
             .position(|s| s.at_op <= n && s.kind.applies_to(op))?;
-        let spec = specs.swap_remove(due);
+        specs[due].remaining -= 1;
+        let spec = specs[due];
+        if spec.remaining == 0 {
+            specs.swap_remove(due);
+        }
         drop(specs);
         if spec.kind.is_crash() {
             self.crashed.store(true, Ordering::SeqCst);
@@ -253,9 +334,16 @@ impl FaultPlan {
         Some(spec.kind)
     }
 
-    /// The error a failed operation reports for `kind`.
+    /// The error a failed operation reports for `kind`. Transient kinds
+    /// map to [`Error::Unavailable`] so retry machinery recognises them;
+    /// everything else stays [`Error::Injected`] (permanent), so chaos
+    /// tests exercise crash recovery rather than retry loops.
     pub fn error(kind: FaultKind, context: &str) -> Error {
-        Error::injected(format!("{kind:?} at {context}"))
+        if kind.is_transient() {
+            Error::unavailable(format!("injected {kind:?} at {context}"))
+        } else {
+            Error::injected(format!("{kind:?} at {context}"))
+        }
     }
 
     /// Flips one deterministic byte of `data` (no-op on empty buffers).
@@ -355,6 +443,43 @@ mod tests {
         }
         assert_eq!(log_a, log_b);
         assert!(!log_a.is_empty());
+    }
+
+    #[test]
+    fn transient_fault_fires_n_times_then_succeeds() {
+        let plan =
+            FaultPlan::new(5).fail_transient_at(2, FaultKind::TransientWriteError, 3);
+        assert!(plan.on_op(IoOp::Write).is_none());
+        for _ in 0..3 {
+            assert_eq!(
+                plan.on_op(IoOp::Write),
+                Some(FaultKind::TransientWriteError)
+            );
+            assert!(!plan.is_crashed());
+        }
+        assert!(plan.on_op(IoOp::Write).is_none());
+        assert_eq!(plan.injected_count(), 3);
+    }
+
+    #[test]
+    fn transient_faults_skip_deletes_and_other_op_classes() {
+        let plan =
+            FaultPlan::new(5).fail_transient_at(1, FaultKind::TransientReadError, 2);
+        assert!(plan.on_op(IoOp::Write).is_none());
+        assert!(plan.on_op(IoOp::Delete).is_none());
+        assert_eq!(plan.on_op(IoOp::Read), Some(FaultKind::TransientReadError));
+        assert_eq!(plan.on_op(IoOp::Read), Some(FaultKind::TransientReadError));
+        assert!(plan.on_op(IoOp::Read).is_none());
+    }
+
+    #[test]
+    fn transient_error_is_classified_transient() {
+        let e = FaultPlan::error(FaultKind::TransientWriteError, "wal append");
+        assert!(e.is_transient());
+        assert!(!e.is_injected());
+        let e = FaultPlan::error(FaultKind::WriteError, "wal append");
+        assert!(!e.is_transient());
+        assert!(e.is_injected());
     }
 
     #[test]

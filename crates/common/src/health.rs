@@ -1,0 +1,188 @@
+//! Per-tier self-healing counters.
+//!
+//! Each storage tier (dfs, kvstore, dualtable) owns one [`HealthCounters`]
+//! instance; the retry/failover/quarantine machinery bumps it as it works
+//! around faults. `SHOW HEALTH` in dt-hiveql surfaces the aggregated
+//! snapshots, and chaos tests assert on them to prove the self-healing
+//! layer (not luck) provided availability.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Monotonic counters describing how hard a tier is working to stay up.
+///
+/// All counters are relaxed atomics: they are observability data, not
+/// synchronisation, and single writes never need ordering with each other.
+#[derive(Debug, Default)]
+pub struct HealthCounters {
+    retries: AtomicU64,
+    retry_successes: AtomicU64,
+    retry_exhausted: AtomicU64,
+    backoff_ticks: AtomicU64,
+    failovers: AtomicU64,
+    quarantined: AtomicU64,
+    rereplicated: AtomicU64,
+    cleanup_failures: AtomicU64,
+    plan_fallbacks: AtomicU64,
+    degraded: AtomicBool,
+}
+
+impl HealthCounters {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        HealthCounters::default()
+    }
+
+    /// One retry issued after a transient failure, paying `backoff` ticks.
+    pub fn record_retry(&self, backoff: u64) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.backoff_ticks.fetch_add(backoff, Ordering::Relaxed);
+    }
+
+    /// An operation that had failed at least once eventually succeeded.
+    pub fn record_retry_success(&self) {
+        self.retry_successes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An operation kept failing transiently until attempts ran out.
+    pub fn record_retry_exhausted(&self) {
+        self.retry_exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A reader gave up on one replica and moved to the next.
+    pub fn record_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A replica was quarantined (taken out of the serving set).
+    pub fn record_quarantine(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` replicas were recreated from surviving copies by a scrub pass.
+    pub fn record_rereplication(&self, n: u64) {
+        self.rereplicated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A best-effort post-commit cleanup (attached truncate, stale
+    /// generation GC) failed and was deferred.
+    pub fn record_cleanup_failure(&self) {
+        self.cleanup_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An execution plan fell back to an alternative (OVERWRITE → EDIT).
+    pub fn record_plan_fallback(&self) {
+        self.plan_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets or clears the degraded (read-only) flag for the tier.
+    pub fn set_degraded(&self, degraded: bool) {
+        self.degraded.store(degraded, Ordering::Relaxed);
+    }
+
+    /// `true` while the tier is serving reads only.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            retries: self.retries.load(Ordering::Relaxed),
+            retry_successes: self.retry_successes.load(Ordering::Relaxed),
+            retry_exhausted: self.retry_exhausted.load(Ordering::Relaxed),
+            backoff_ticks: self.backoff_ticks.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            rereplicated: self.rereplicated.load(Ordering::Relaxed),
+            cleanup_failures: self.cleanup_failures.load(Ordering::Relaxed),
+            plan_fallbacks: self.plan_fallbacks.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`HealthCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Retries issued after transient failures.
+    pub retries: u64,
+    /// Operations that succeeded only after retrying.
+    pub retry_successes: u64,
+    /// Operations whose retries ran out while still failing transiently.
+    pub retry_exhausted: u64,
+    /// Total logical backoff delay paid across all retries.
+    pub backoff_ticks: u64,
+    /// Replica failovers performed by readers.
+    pub failovers: u64,
+    /// Replicas quarantined out of the serving set.
+    pub quarantined: u64,
+    /// Replicas recreated by scrub/re-replication passes.
+    pub rereplicated: u64,
+    /// Deferred best-effort cleanups (retried on next open).
+    pub cleanup_failures: u64,
+    /// Plan fallbacks (OVERWRITE → EDIT) taken to keep a statement alive.
+    pub plan_fallbacks: u64,
+    /// Whether the tier is currently read-only.
+    pub degraded: bool,
+}
+
+impl HealthSnapshot {
+    /// Metric rows as `(name, value)` pairs, for tabular surfacing
+    /// (`SHOW HEALTH`). The degraded flag is reported as 0/1.
+    pub fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("retries", self.retries),
+            ("retry_successes", self.retry_successes),
+            ("retry_exhausted", self.retry_exhausted),
+            ("backoff_ticks", self.backoff_ticks),
+            ("failovers", self.failovers),
+            ("quarantined_replicas", self.quarantined),
+            ("rereplicated_replicas", self.rereplicated),
+            ("cleanup_failures", self.cleanup_failures),
+            ("plan_fallbacks", self.plan_fallbacks),
+            ("degraded", u64::from(self.degraded)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_events() {
+        let h = HealthCounters::new();
+        h.record_retry(10);
+        h.record_retry(12);
+        h.record_retry_success();
+        h.record_failover();
+        h.record_quarantine();
+        h.record_rereplication(2);
+        h.record_cleanup_failure();
+        h.record_plan_fallback();
+        h.set_degraded(true);
+        let s = h.snapshot();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.backoff_ticks, 22);
+        assert_eq!(s.retry_successes, 1);
+        assert_eq!(s.failovers, 1);
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.rereplicated, 2);
+        assert_eq!(s.cleanup_failures, 1);
+        assert_eq!(s.plan_fallbacks, 1);
+        assert!(s.degraded);
+        h.set_degraded(false);
+        assert!(!h.is_degraded());
+    }
+
+    #[test]
+    fn metrics_cover_every_counter() {
+        let s = HealthSnapshot {
+            degraded: true,
+            ..HealthSnapshot::default()
+        };
+        let metrics = s.metrics();
+        assert_eq!(metrics.len(), 10);
+        assert!(metrics.contains(&("degraded", 1)));
+    }
+}

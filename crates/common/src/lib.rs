@@ -21,15 +21,19 @@ pub mod codec;
 pub mod crc32;
 pub mod error;
 pub mod fault;
+pub mod health;
 pub mod io_stats;
 pub mod record_id;
+pub mod retry;
 pub mod rng;
 pub mod types;
 
 pub use clock::LogicalClock;
-pub use error::{Error, Result};
+pub use error::{Error, ErrorClass, Result};
 pub use fault::{FaultKind, FaultPlan, IoOp};
+pub use health::{HealthCounters, HealthSnapshot};
 pub use io_stats::{IoStats, IoStatsSnapshot};
 pub use record_id::RecordId;
+pub use retry::RetryPolicy;
 pub use rng::Rng64;
 pub use types::{DataType, Field, Row, Schema, Value};

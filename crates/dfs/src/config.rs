@@ -1,5 +1,7 @@
 //! DFS tuning knobs.
 
+use dt_common::RetryPolicy;
+
 /// Configuration for a [`crate::Dfs`] instance.
 #[derive(Debug, Clone, Copy)]
 pub struct DfsConfig {
@@ -10,6 +12,10 @@ pub struct DfsConfig {
     /// in the I/O statistics, mirroring the write amplification an HDFS
     /// pipeline incurs. The paper's clusters use 3.
     pub replication: u32,
+    /// Retry policy for transient block-I/O failures: the write pipeline
+    /// retries each replica placement, and readers retry a replica before
+    /// failing over to the next one (DESIGN.md §8).
+    pub retry: RetryPolicy,
 }
 
 impl Default for DfsConfig {
@@ -17,6 +23,7 @@ impl Default for DfsConfig {
         DfsConfig {
             chunk_size: 64 * 1024 * 1024,
             replication: 3,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -28,6 +35,7 @@ impl DfsConfig {
         DfsConfig {
             chunk_size,
             replication: 1,
+            ..DfsConfig::default()
         }
     }
 }

@@ -38,6 +38,7 @@ mod writer;
 
 pub use block_store::{BlockId, BlockStore, DiskBlockStore, MemBlockStore};
 pub use config::DfsConfig;
+pub use dt_common::RetryPolicy;
 pub use faulty::FaultyBlockStore;
 pub use reader::DfsReader;
 pub use writer::DfsWriter;
@@ -45,7 +46,7 @@ pub use writer::DfsWriter;
 use std::sync::Arc;
 
 use dt_common::fault::FaultPlan;
-use dt_common::{Error, IoStats, Result};
+use dt_common::{Error, HealthCounters, IoStats, Result};
 use namenode::{FileMeta, NameNode};
 
 /// Handle to a DFS namespace plus its block storage.
@@ -61,6 +62,7 @@ pub(crate) struct DfsInner {
     blocks: Arc<dyn BlockStore>,
     config: DfsConfig,
     stats: IoStats,
+    health: HealthCounters,
 }
 
 impl Dfs {
@@ -95,6 +97,7 @@ impl Dfs {
                 blocks,
                 config,
                 stats: IoStats::new(),
+                health: HealthCounters::new(),
             }),
         }
     }
@@ -103,6 +106,18 @@ impl Dfs {
     /// terms).
     pub fn stats(&self) -> &IoStats {
         &self.inner.stats
+    }
+
+    /// Self-healing counters for this tier: retries, failovers,
+    /// quarantined and re-replicated replicas (see `SHOW HEALTH`).
+    pub fn health(&self) -> &HealthCounters {
+        &self.inner.health
+    }
+
+    /// Number of replicas currently quarantined and awaiting a
+    /// [`Dfs::scrub`] pass.
+    pub fn quarantined_replicas(&self) -> usize {
+        self.inner.namenode.quarantined_count()
     }
 
     /// The configured chunk size in bytes.
@@ -121,7 +136,7 @@ impl Dfs {
     /// Opens a closed file for reading.
     pub fn open(&self, path: &str) -> Result<DfsReader> {
         let meta = self.inner.namenode.get_closed(path)?;
-        Ok(DfsReader::new(self.inner.clone(), meta))
+        Ok(DfsReader::new(self.inner.clone(), path.to_string(), meta))
     }
 
     /// Length in bytes of a closed file.
@@ -293,6 +308,45 @@ impl Dfs {
         }
         Ok(report)
     }
+
+    /// Scrubber pass: [`Dfs::repair`] plus quarantine reclamation.
+    ///
+    /// Readers that hit a bad replica only *remove it from the serving
+    /// set* (cheap, on the read path); restoring the replication factor
+    /// and reclaiming the quarantined storage is this background pass's
+    /// job, like the HDFS block scanner feeding the re-replication queue.
+    pub fn scrub(&self) -> Result<ScrubReport> {
+        let repair = self.repair()?;
+        self.inner
+            .health
+            .record_rereplication(repair.replicas_recreated);
+        let quarantined = self.inner.namenode.take_quarantined();
+        let quarantined_purged = quarantined.len() as u64;
+        for id in quarantined {
+            // Best-effort: the replica is already out of every block
+            // group, so a failed unlink merely leaks unreferenced bytes.
+            let _ = self.inner.blocks.delete(id);
+        }
+        Ok(ScrubReport {
+            files_repaired: repair.files_repaired,
+            replicas_recreated: repair.replicas_recreated,
+            quarantined_purged,
+            unrecoverable: repair.unrecoverable,
+        })
+    }
+}
+
+/// Result of [`Dfs::scrub`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Files whose block lists were rewritten back to full replication.
+    pub files_repaired: u64,
+    /// Replicas cloned from healthy copies.
+    pub replicas_recreated: u64,
+    /// Quarantined replicas reclaimed from the block store.
+    pub quarantined_purged: u64,
+    /// Paths with a block group that has no healthy replica left.
+    pub unrecoverable: Vec<String>,
 }
 
 /// Result of [`Dfs::fsck`].
@@ -338,6 +392,22 @@ impl DfsInner {
 
     pub(crate) fn stats(&self) -> &IoStats {
         &self.stats
+    }
+
+    pub(crate) fn health(&self) -> &HealthCounters {
+        &self.health
+    }
+
+    /// Reader-reported bad replica: drop it from the serving set (unless
+    /// it is the last copy) and queue it for scrub. Returns `true` iff
+    /// this call removed it.
+    pub(crate) fn quarantine_replica(
+        &self,
+        path: &str,
+        group_index: usize,
+        replica: BlockId,
+    ) -> bool {
+        self.namenode.quarantine_replica(path, group_index, replica)
     }
 
     pub(crate) fn commit_file(&self, path: &str, meta: FileMeta) -> Result<()> {
@@ -435,6 +505,7 @@ mod tests {
         let cfg = DfsConfig {
             chunk_size: 1024,
             replication: 3,
+            ..DfsConfig::default()
         };
         let dfs = Dfs::in_memory(cfg);
         dfs.write_file("/r", &[0u8; 100]).unwrap();

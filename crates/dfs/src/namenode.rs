@@ -38,12 +38,18 @@ enum Entry {
 /// The namespace table.
 pub(crate) struct NameNode {
     files: RwLock<BTreeMap<String, Entry>>,
+    /// Replicas readers have reported bad (CRC mismatch or I/O failure).
+    /// Already removed from their block groups, they wait here for a
+    /// scrub pass to reclaim the storage — the quarantine lifecycle of
+    /// DESIGN.md §8.
+    quarantined: RwLock<Vec<BlockId>>,
 }
 
 impl NameNode {
     pub fn new() -> Self {
         NameNode {
             files: RwLock::new(BTreeMap::new()),
+            quarantined: RwLock::new(Vec::new()),
         }
     }
 
@@ -142,6 +148,43 @@ impl NameNode {
             ))),
             None => Err(Error::not_found(format!("DFS file '{path}'"))),
         }
+    }
+
+    /// Takes `replica` out of the serving set of block group
+    /// `group_index` of `path` and records it as quarantined. Returns
+    /// `true` iff this call removed it (a concurrent reader may have won
+    /// the race). The *last* replica of a group is never removed — a
+    /// suspect copy beats no copy, and `fsck` will still flag the group.
+    pub fn quarantine_replica(
+        &self,
+        path: &str,
+        group_index: usize,
+        replica: BlockId,
+    ) -> bool {
+        let mut files = self.files.write();
+        let Some(Entry::Closed(meta)) = files.get_mut(path) else {
+            return false;
+        };
+        let Some(group) = meta.blocks.get_mut(group_index) else {
+            return false;
+        };
+        if group.replicas.len() <= 1 || !group.replicas.contains(&replica) {
+            return false;
+        }
+        group.replicas.retain(|r| *r != replica);
+        drop(files);
+        self.quarantined.write().push(replica);
+        true
+    }
+
+    /// Number of replicas currently quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.read().len()
+    }
+
+    /// Drains the quarantine list so a scrub pass can reclaim the blocks.
+    pub fn take_quarantined(&self) -> Vec<BlockId> {
+        std::mem::take(&mut *self.quarantined.write())
     }
 
     /// Sorted list of closed paths with the given prefix.

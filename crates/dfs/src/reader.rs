@@ -12,18 +12,30 @@ use crate::DfsInner;
 ///
 /// Supports random positioned reads ([`DfsReader::read_at`]) and implements
 /// [`std::io::Read`] + [`std::io::Seek`] for streaming consumers.
+///
+/// Every read is served from a checksum-verified copy of the whole block:
+/// the reader fetches a replica in full, verifies it against the block
+/// group's CRC-32, and fails over to the next replica on mismatch or I/O
+/// error (quarantining the bad copy in the namenode). The last verified
+/// block is cached so sequential consumers pay the verification read once
+/// per block, like an HDFS client checksumming a packet stream.
 pub struct DfsReader {
     inner: Arc<DfsInner>,
+    path: String,
     meta: FileMeta,
     pos: u64,
+    /// `(block group index, verified bytes)` of the last block fetched.
+    verified: Option<(usize, Vec<u8>)>,
 }
 
 impl DfsReader {
-    pub(crate) fn new(inner: Arc<DfsInner>, meta: FileMeta) -> Self {
+    pub(crate) fn new(inner: Arc<DfsInner>, path: String, meta: FileMeta) -> Self {
         DfsReader {
             inner,
+            path,
             meta,
             pos: 0,
+            verified: None,
         }
     }
 
@@ -57,17 +69,17 @@ impl DfsReader {
         // Walk the block list to the first block containing `offset`.
         let mut block_start = 0u64;
         let mut filled = 0usize;
-        for group in &self.meta.blocks {
-            let block_end = block_start + group.len;
+        for gi in 0..self.meta.blocks.len() {
+            let block_end = block_start + self.meta.blocks[gi].len;
             if end <= block_start {
                 break;
             }
             if offset < block_end {
                 let from = offset.max(block_start);
                 let to = end.min(block_end);
-                let within = from - block_start;
+                let within = (from - block_start) as usize;
                 let n = (to - from) as usize;
-                self.read_group(group, within, &mut buf[filled..filled + n])?;
+                self.read_group(gi, within, &mut buf[filled..filled + n])?;
                 filled += n;
             }
             block_start = block_end;
@@ -76,19 +88,68 @@ impl DfsReader {
         Ok(())
     }
 
-    /// Reads from the first replica that answers, falling back across the
-    /// group like an HDFS client switching datanodes. Only when every
-    /// replica fails does the read fail.
-    fn read_group(&self, group: &crate::namenode::BlockGroup, offset: u64, buf: &mut [u8]) -> Result<()> {
-        let mut last_err = None;
-        for replica in &group.replicas {
-            match self.inner.blocks().read_at(*replica, offset, buf) {
-                Ok(()) => return Ok(()),
-                Err(e) => last_err = Some(e),
+    /// Serves `buf` from offset `within` of block group `gi`, out of a
+    /// checksum-verified block copy.
+    ///
+    /// Replicas are tried in placement order, like an HDFS client walking
+    /// the datanode list. Per replica: transient failures are retried
+    /// under the configured [`RetryPolicy`](dt_common::RetryPolicy)
+    /// (a healthy copy behind a brief outage should not be condemned);
+    /// a permanent failure or CRC mismatch quarantines the replica in the
+    /// namenode and fails the read over to the next one. Only when every
+    /// replica is exhausted does the read fail.
+    fn read_group(&mut self, gi: usize, within: usize, buf: &mut [u8]) -> Result<()> {
+        if let Some((cached_gi, block)) = &self.verified {
+            if *cached_gi == gi {
+                buf.copy_from_slice(&block[within..within + buf.len()]);
+                return Ok(());
             }
         }
-        Err(last_err
-            .unwrap_or_else(|| Error::internal("block group with zero replicas")))
+        let group = self.meta.blocks[gi].clone();
+        let inner = self.inner.clone();
+        let policy = inner.config().retry;
+        let mut last_err = None;
+        for (attempt, replica) in group.replicas.iter().enumerate() {
+            if attempt > 0 {
+                inner.health().record_failover();
+            }
+            let fetched = policy.run(inner.health(), || {
+                let mut block = vec![0u8; group.len as usize];
+                inner.blocks().read_at(*replica, 0, &mut block)?;
+                Ok(block)
+            });
+            match fetched {
+                Ok(block) if dt_common::crc32::crc32(&block) == group.crc => {
+                    buf.copy_from_slice(&block[within..within + buf.len()]);
+                    self.verified = Some((gi, block));
+                    return Ok(());
+                }
+                Ok(_) => {
+                    self.quarantine(gi, *replica);
+                    last_err = Some(Error::corrupt(format!(
+                        "replica {replica:?} of block {gi} of '{}' failed checksum",
+                        self.path
+                    )));
+                }
+                Err(e) => {
+                    self.quarantine(gi, *replica);
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| Error::internal("block group with zero replicas")))
+    }
+
+    /// Reports a bad replica to the namenode and drops it from this
+    /// reader's own snapshot so later reads skip it immediately.
+    fn quarantine(&mut self, gi: usize, replica: crate::block_store::BlockId) {
+        if self.inner.quarantine_replica(&self.path, gi, replica) {
+            self.inner.health().record_quarantine();
+        }
+        let replicas = &mut self.meta.blocks[gi].replicas;
+        if replicas.len() > 1 {
+            replicas.retain(|r| *r != replica);
+        }
     }
 
     /// Reads the final `n` bytes of the file (ORC footers live at the tail).

@@ -65,13 +65,16 @@ impl DfsWriter {
         }
         let crc = dt_common::crc32::crc32(&self.buf);
         let written = self.buf.len() as u64;
-        // Place one physical copy per configured replica. If any placement
-        // fails, the ones already placed are released and the write fails
-        // whole — a block group is never committed short.
+        // Place one physical copy per configured replica, retrying each
+        // placement on transient faults like an HDFS client rebuilding its
+        // pipeline. If a placement still fails, the ones already placed
+        // are released and the write fails whole — a block group is never
+        // committed short.
         let replication = self.inner.config().replication.max(1);
+        let policy = self.inner.config().retry;
         let mut replicas = Vec::with_capacity(replication as usize);
         for _ in 0..replication {
-            match self.inner.blocks().put(&self.buf) {
+            match policy.run(self.inner.health(), || self.inner.blocks().put(&self.buf)) {
                 Ok(id) => {
                     replicas.push(id);
                     self.inner.stats().record_write(written);

@@ -61,6 +61,7 @@ fn fsck_flags_under_replication_and_repair_restores_it() {
     let cfg = DfsConfig {
         chunk_size: 16,
         replication: 3,
+        ..DfsConfig::default()
     };
     let dfs = Dfs::in_memory_faulty(cfg, plan.clone());
     dfs.write_file("/healthy", &[1u8; 40]).unwrap();
@@ -94,6 +95,7 @@ fn fsck_flags_missing_replicas_and_repair_reclones_them() {
     let cfg = DfsConfig {
         chunk_size: 16,
         replication: 2,
+        ..DfsConfig::default()
     };
     let dfs = Dfs::with_block_store(store.clone(), cfg);
     let payload = [5u8; 50]; // 4 blocks × 2 replicas = ids 0..8
@@ -124,6 +126,7 @@ fn repair_reports_unrecoverable_when_no_replica_survives() {
     let cfg = DfsConfig {
         chunk_size: 16,
         replication: 1,
+        ..DfsConfig::default()
     };
     let dfs = Dfs::with_block_store(store.clone(), cfg);
     dfs.write_file("/gone", &[3u8; 20]).unwrap(); // blocks 0, 1

@@ -1,5 +1,6 @@
 //! DualTable configuration.
 
+use dt_common::RetryPolicy;
 use dt_orcfile::WriterOptions;
 
 use crate::cost::Rates;
@@ -38,6 +39,10 @@ pub struct DualTableConfig {
     /// Encoded size of a delete marker in the Attached Table (the `m` of
     /// the §IV DELETE model).
     pub delete_marker_bytes: u64,
+    /// Retry policy for table-level operations that may hit transient
+    /// storage faults (COMPACT; see DESIGN.md §8). Tier-internal retries
+    /// (DFS pipeline, KV env I/O) are configured on those tiers.
+    pub retry: RetryPolicy,
 }
 
 impl Default for DualTableConfig {
@@ -51,6 +56,7 @@ impl Default for DualTableConfig {
             sample_rows: 2_000,
             // Row key (8) + qualifier (2) + LSM entry overhead.
             delete_marker_bytes: 26,
+            retry: RetryPolicy::default(),
         }
     }
 }

@@ -4,11 +4,39 @@
 use std::sync::Arc;
 
 use dt_common::fault::FaultPlan;
-use dt_common::Result;
+use dt_common::{HealthCounters, HealthSnapshot, Result};
 use dt_dfs::{Dfs, DfsConfig};
 use dt_kvstore::{KvCluster, KvConfig};
 
 use crate::meta::MetadataManager;
+
+/// Per-tier self-healing counters (see DESIGN.md §8) — the table behind
+/// `SHOW HEALTH`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// Master tier: replica failovers, quarantines, re-replication,
+    /// block-pipeline retries.
+    pub dfs: HealthSnapshot,
+    /// Attached tier: WAL/SSTable retries, read-only degraded flag.
+    pub kv: HealthSnapshot,
+    /// Table tier: OVERWRITE→EDIT plan fallbacks, COMPACT retries,
+    /// post-commit cleanup failures awaiting GC.
+    pub table: HealthSnapshot,
+}
+
+impl HealthReport {
+    /// `(tier, metric, value)` triples over all three tiers, in a stable
+    /// order — the row source for `SHOW HEALTH`.
+    pub fn metrics(&self) -> Vec<(&'static str, &'static str, u64)> {
+        let mut out = Vec::new();
+        for (tier, snap) in [("dfs", &self.dfs), ("kv", &self.kv), ("table", &self.table)] {
+            for (metric, value) in snap.metrics() {
+                out.push((tier, metric, value));
+            }
+        }
+        out
+    }
+}
 
 /// The deployment environment (Figure 3): HDFS for master tables, HBase
 /// for attached tables and a system-wide metadata table.
@@ -20,6 +48,9 @@ pub struct DualTableEnv {
     pub kv: KvCluster,
     /// The system-wide metadata manager.
     pub meta: MetadataManager,
+    /// Table-tier self-healing counters (plan fallbacks, compact retries,
+    /// deferred-cleanup debt). Shared by every table on this environment.
+    pub health: Arc<HealthCounters>,
 }
 
 impl DualTableEnv {
@@ -40,16 +71,42 @@ impl DualTableEnv {
     /// plan this environment behaves identically to
     /// [`DualTableEnv::in_memory`].
     pub fn in_memory_faulty(plan: Arc<FaultPlan>) -> Result<Self> {
+        Self::in_memory_faulty_with(plan, DfsConfig::default(), KvConfig::default())
+    }
+
+    /// [`DualTableEnv::in_memory_faulty`] with explicit tier configs —
+    /// the entry point for availability experiments that vary the retry
+    /// policies (e.g. proving a fault schedule is survivable only *with*
+    /// retries).
+    pub fn in_memory_faulty_with(
+        plan: Arc<FaultPlan>,
+        dfs_config: DfsConfig,
+        kv_config: KvConfig,
+    ) -> Result<Self> {
         Self::new(
-            Dfs::in_memory_faulty(DfsConfig::default(), plan.clone()),
-            KvCluster::in_memory_faulty(KvConfig::default(), plan),
+            Dfs::in_memory_faulty(dfs_config, plan.clone()),
+            KvCluster::in_memory_faulty(kv_config, plan),
         )
     }
 
     /// Environment over caller-provided tiers.
     pub fn new(dfs: Dfs, kv: KvCluster) -> Result<Self> {
         let meta = MetadataManager::open(&kv)?;
-        Ok(DualTableEnv { dfs, kv, meta })
+        Ok(DualTableEnv {
+            dfs,
+            kv,
+            meta,
+            health: Arc::new(HealthCounters::new()),
+        })
+    }
+
+    /// A point-in-time health report across all three tiers.
+    pub fn health_report(&self) -> HealthReport {
+        HealthReport {
+            dfs: self.dfs.health().snapshot(),
+            kv: self.kv.health_snapshot(),
+            table: self.health.snapshot(),
+        }
     }
 
     /// Simulates a crash and restart of the compute/KV process: heals any

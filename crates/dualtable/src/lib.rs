@@ -55,7 +55,7 @@ mod union_read;
 pub use attached::{AttachedEntry, DELETE_MARKER_QUALIFIER};
 pub use config::{DualTableConfig, PlanMode};
 pub use cost::{CostModel, PlanChoice, Rates, RatioHint};
-pub use env::DualTableEnv;
+pub use env::{DualTableEnv, HealthReport};
 pub use meta::MetadataManager;
 pub use store::{Assignment, DmlReport, DualTableStore, PlanPreview, TableStats};
 pub use union_read::UnionReadOptions;

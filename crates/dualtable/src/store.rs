@@ -80,6 +80,61 @@ pub struct DualTableStore {
     inner: Arc<Inner>,
 }
 
+/// Incrementally writes rows into a generation's master files, rolling to
+/// a fresh file (and file ID) every `rows_per_file` rows. At most one
+/// file's writer is in flight, so feeding it from a streaming scan keeps
+/// memory bounded by one file — COMPACT pipes the UNION READ straight in
+/// instead of materializing the table.
+struct MasterWriteSink<'a> {
+    store: &'a DualTableStore,
+    gen: u64,
+    writer: Option<OrcWriter>,
+    in_file: usize,
+    written: u64,
+}
+
+impl<'a> MasterWriteSink<'a> {
+    fn new(store: &'a DualTableStore, gen: u64) -> Self {
+        MasterWriteSink {
+            store,
+            gen,
+            writer: None,
+            in_file: 0,
+            written: 0,
+        }
+    }
+
+    fn push(&mut self, row: Row) -> Result<()> {
+        let inner = &self.store.inner;
+        if self.writer.is_none() {
+            let file_id = inner.env.meta.next_file_id(&inner.name)?;
+            let mut w = OrcWriter::create(
+                &inner.env.dfs,
+                &self.store.file_path_at(self.gen, file_id),
+                inner.schema.clone(),
+                inner.config.writer.clone(),
+            )?;
+            w.set_metadata(FILE_ID_METADATA_KEY, file_id.to_be_bytes().to_vec());
+            self.writer = Some(w);
+            self.in_file = 0;
+        }
+        self.writer.as_mut().expect("writer just created").write_row(row)?;
+        self.written += 1;
+        self.in_file += 1;
+        if self.in_file >= inner.config.rows_per_file {
+            self.writer.take().expect("writer exists").finish()?;
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<u64> {
+        if let Some(w) = self.writer.take() {
+            w.finish()?;
+        }
+        Ok(self.written)
+    }
+}
+
 impl DualTableStore {
     fn attached_name(name: &str) -> String {
         format!("att_{name}")
@@ -114,7 +169,9 @@ impl DualTableStore {
         })
     }
 
-    /// Opens an existing DualTable.
+    /// Opens an existing DualTable. Retries any garbage collection a
+    /// previous swap left behind (post-commit cleanup is best-effort; the
+    /// debt is recorded in the health counters and settled here).
     pub fn open(
         env: &DualTableEnv,
         name: &str,
@@ -122,7 +179,7 @@ impl DualTableStore {
         config: DualTableConfig,
     ) -> Result<Self> {
         env.kv.table(&Self::attached_name(name))?;
-        Ok(DualTableStore {
+        let store = DualTableStore {
             inner: Arc::new(Inner {
                 name: name.to_string(),
                 schema,
@@ -130,7 +187,11 @@ impl DualTableStore {
                 config,
                 ops: RwLock::new(()),
             }),
-        })
+        };
+        if let Ok(gen) = store.current_gen() {
+            store.cleanup_stale_generations(gen);
+        }
+        Ok(store)
     }
 
     /// Drops the table: master files and the attached table (paper §III-C,
@@ -228,20 +289,26 @@ impl DualTableStore {
     }
 
     /// Best-effort removal of every master file outside `current` —
-    /// retired generations and torn uncommitted ones. Failures are fine:
-    /// stale generations are unreachable, and the next swap retries.
-    fn cleanup_stale_generations(&self, current: u64) {
+    /// retired generations and torn uncommitted ones. Failed deletes are
+    /// recorded as cleanup debt in the health counters (never swallowed
+    /// silently) and retried on the next swap or table open; stale
+    /// generations are unreachable in the meantime. Returns how many
+    /// deletes failed.
+    fn cleanup_stale_generations(&self, current: u64) -> u64 {
         let prefix = format!("{}/gen-", Self::master_dir(&self.inner.name));
+        let mut failed = 0u64;
         for path in self.inner.env.dfs.list(&prefix) {
             let stale = path
                 .strip_prefix(&prefix)
                 .and_then(|rest| rest.split('/').next())
                 .and_then(|g| g.parse::<u64>().ok())
                 .is_some_and(|g| g != current);
-            if stale {
-                let _ = self.inner.env.dfs.delete(&path);
+            if stale && self.inner.env.dfs.delete(&path).is_err() {
+                self.inner.env.health.record_cleanup_failure();
+                failed += 1;
             }
         }
+        failed
     }
 
     // ------------------------------------------------------------------
@@ -264,33 +331,11 @@ impl DualTableStore {
     where
         I: IntoIterator<Item = Row>,
     {
-        let mut written = 0u64;
-        let mut writer: Option<OrcWriter> = None;
-        let mut in_file = 0usize;
+        let mut sink = MasterWriteSink::new(self, gen);
         for row in rows {
-            if writer.is_none() {
-                let file_id = self.inner.env.meta.next_file_id(&self.inner.name)?;
-                let mut w = OrcWriter::create(
-                    &self.inner.env.dfs,
-                    &self.file_path_at(gen, file_id),
-                    self.inner.schema.clone(),
-                    self.inner.config.writer.clone(),
-                )?;
-                w.set_metadata(FILE_ID_METADATA_KEY, file_id.to_be_bytes().to_vec());
-                writer = Some(w);
-                in_file = 0;
-            }
-            writer.as_mut().expect("writer just created").write_row(row)?;
-            written += 1;
-            in_file += 1;
-            if in_file >= self.inner.config.rows_per_file {
-                writer.take().expect("writer exists").finish()?;
-            }
+            sink.push(row)?;
         }
-        if let Some(w) = writer {
-            w.finish()?;
-        }
-        Ok(written)
+        sink.finish()
     }
 
     /// Replaces the whole table content (Hive's `INSERT OVERWRITE TABLE`):
@@ -627,8 +672,10 @@ impl DualTableStore {
             }
         };
 
-        let report = match plan {
-            PlanChoice::Edit => self.update_edit(&predicate, assignments)?,
+        // `executed` can differ from the chosen `plan`: a pre-commit
+        // OVERWRITE failure falls back to EDIT.
+        let (report, executed) = match plan {
+            PlanChoice::Edit => (self.update_edit(&predicate, assignments)?, PlanChoice::Edit),
             PlanChoice::Overwrite => self.update_overwrite(&predicate, assignments)?,
         };
         if let (Some(key), true) = (statement_key, report.1 > 0) {
@@ -638,7 +685,7 @@ impl DualTableStore {
                 .record_ratio(key, report.0 as f64 / report.1 as f64)?;
         }
         Ok(DmlReport {
-            plan,
+            plan: executed,
             rows_matched: report.0,
             rows_scanned: report.1,
             ratio_used: alpha,
@@ -653,12 +700,24 @@ impl DualTableStore {
         predicate: &dyn Fn(&Row) -> bool,
         assignments: &[Assignment<'_>],
     ) -> Result<(u64, u64)> {
+        let _guard = self.inner.ops.read();
+        self.update_edit_locked(predicate, assignments)
+    }
+
+    /// [`Self::update_edit`] with the ops lock already held — the form the
+    /// OVERWRITE→EDIT fallback needs (it runs under the write lock, and
+    /// the lock is not reentrant).
+    fn update_edit_locked(
+        &self,
+        predicate: &dyn Fn(&Row) -> bool,
+        assignments: &[Assignment<'_>],
+    ) -> Result<(u64, u64)> {
         let mut matched = 0u64;
         let mut scanned = 0u64;
         let mut batch: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)> = Vec::new();
         let mut flush_err: Option<Error> = None;
         let attached = self.attached()?;
-        self.for_each(&UnionReadOptions::all(), |record, row| {
+        self.for_each_locked(&UnionReadOptions::all(), &mut |record, row| {
             scanned += 1;
             if predicate(&row) {
                 matched += 1;
@@ -695,11 +754,16 @@ impl DualTableStore {
 
     /// OVERWRITE plan for UPDATE: Hive's INSERT OVERWRITE — rewrite the
     /// master with updated values, then clear the attached table.
+    ///
+    /// If the rewrite fails before its commit point the old generation is
+    /// still fully live, so the statement falls back to the EDIT plan —
+    /// the update must still succeed (DESIGN.md §8). Returns the executed
+    /// plan alongside the counts.
     fn update_overwrite(
         &self,
         predicate: &dyn Fn(&Row) -> bool,
         assignments: &[Assignment<'_>],
-    ) -> Result<(u64, u64)> {
+    ) -> Result<((u64, u64), PlanChoice)> {
         let _guard = self.inner.ops.write();
         let mut matched = 0u64;
         let mut scanned = 0u64;
@@ -722,8 +786,24 @@ impl DualTableStore {
             rows.push(row);
             Ok(ControlFlow::Continue(()))
         })?;
-        self.swap_in(rows)?;
-        Ok((matched, scanned))
+        match self.swap_in(rows) {
+            Ok(_) => Ok(((matched, scanned), PlanChoice::Overwrite)),
+            Err(_) => {
+                self.plan_fallback_cleanup();
+                let counts = self.update_edit_locked(predicate, assignments)?;
+                Ok((counts, PlanChoice::Edit))
+            }
+        }
+    }
+
+    /// Bookkeeping between a failed (pre-commit) OVERWRITE and its EDIT
+    /// fallback: count the fallback and sweep whatever the aborted rewrite
+    /// managed to write.
+    fn plan_fallback_cleanup(&self) {
+        self.inner.env.health.record_plan_fallback();
+        if let Ok(gen) = self.current_gen() {
+            self.cleanup_stale_generations(gen);
+        }
     }
 
     /// Executes `DELETE FROM <table> WHERE <predicate>`.
@@ -765,8 +845,8 @@ impl DualTableStore {
             }
         };
 
-        let report = match plan {
-            PlanChoice::Edit => self.delete_edit(&predicate)?,
+        let (report, executed) = match plan {
+            PlanChoice::Edit => (self.delete_edit(&predicate)?, PlanChoice::Edit),
             PlanChoice::Overwrite => self.delete_overwrite(&predicate)?,
         };
         if let (Some(key), true) = (statement_key, report.1 > 0) {
@@ -776,7 +856,7 @@ impl DualTableStore {
                 .record_ratio(key, report.0 as f64 / report.1 as f64)?;
         }
         Ok(DmlReport {
-            plan,
+            plan: executed,
             rows_matched: report.0,
             rows_scanned: report.1,
             ratio_used: beta,
@@ -787,12 +867,19 @@ impl DualTableStore {
     /// EDIT plan for DELETE: the DELETE UDTF — put a delete marker per
     /// removed row.
     fn delete_edit(&self, predicate: &dyn Fn(&Row) -> bool) -> Result<(u64, u64)> {
+        let _guard = self.inner.ops.read();
+        self.delete_edit_locked(predicate)
+    }
+
+    /// [`Self::delete_edit`] with the ops lock already held (see
+    /// [`Self::update_edit_locked`]).
+    fn delete_edit_locked(&self, predicate: &dyn Fn(&Row) -> bool) -> Result<(u64, u64)> {
         let mut matched = 0u64;
         let mut scanned = 0u64;
         let mut batch: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)> = Vec::new();
         let mut flush_err: Option<Error> = None;
         let attached = self.attached()?;
-        self.for_each(&UnionReadOptions::all(), |record, row| {
+        self.for_each_locked(&UnionReadOptions::all(), &mut |record, row| {
             scanned += 1;
             if predicate(&row) {
                 matched += 1;
@@ -816,8 +903,12 @@ impl DualTableStore {
     }
 
     /// OVERWRITE plan for DELETE: rewrite the master keeping only
-    /// surviving rows.
-    fn delete_overwrite(&self, predicate: &dyn Fn(&Row) -> bool) -> Result<(u64, u64)> {
+    /// surviving rows. Falls back to the EDIT plan when the rewrite fails
+    /// pre-commit (see [`Self::update_overwrite`]).
+    fn delete_overwrite(
+        &self,
+        predicate: &dyn Fn(&Row) -> bool,
+    ) -> Result<((u64, u64), PlanChoice)> {
         let _guard = self.inner.ops.write();
         let mut matched = 0u64;
         let mut scanned = 0u64;
@@ -831,8 +922,14 @@ impl DualTableStore {
             }
             Ok(ControlFlow::Continue(()))
         })?;
-        self.swap_in(rows)?;
-        Ok((matched, scanned))
+        match self.swap_in(rows) {
+            Ok(_) => Ok(((matched, scanned), PlanChoice::Overwrite)),
+            Err(_) => {
+                self.plan_fallback_cleanup();
+                let counts = self.delete_edit_locked(predicate)?;
+                Ok((counts, PlanChoice::Edit))
+            }
+        }
     }
 
     /// Replaces the master file set with `rows` and clears the attached
@@ -851,25 +948,50 @@ impl DualTableStore {
     {
         let next = self.next_generation()?;
         let written = self.write_master_files(next, rows)?;
+        self.commit_and_cleanup(next)?;
+        Ok(written)
+    }
+
+    /// The commit point of a rewrite plus its post-commit cleanup. The
+    /// cleanup is best-effort, but failures are never silent: each one is
+    /// recorded as cleanup debt in the health counters, and the next
+    /// swap or [`DualTableStore::open`] retries the collection.
+    fn commit_and_cleanup(&self, next: u64) -> Result<()> {
         // The commit point.
         self.inner.env.meta.commit_generation(&self.inner.name, next)?;
-        // Post-commit cleanup, all best-effort.
-        let _ = self.truncate_attached();
+        // Stale attached overlays reference retired file IDs and can never
+        // resolve against the new files, so a failed truncate degrades
+        // space, not correctness.
+        if self.truncate_attached().is_err() {
+            self.inner.env.health.record_cleanup_failure();
+        }
         self.cleanup_stale_generations(next);
-        Ok(written)
+        Ok(())
     }
 
     /// COMPACT (paper §III-C): UNION READ everything into a fresh Master
     /// Table and clear the Attached Table. Blocks all other operations.
+    ///
+    /// The rows stream straight from the UNION READ into the new
+    /// generation's files — memory stays bounded by one master file, not
+    /// the table. A transient storage fault aborts the half-built
+    /// generation and the whole pass retries with backoff (each attempt
+    /// builds into a fresh generation, so a torn attempt is inert).
     pub fn compact(&self) -> Result<()> {
         let _guard = self.inner.ops.write();
-        let mut rows: Vec<Row> = Vec::new();
+        let policy = self.inner.config.retry;
+        policy.run(&self.inner.env.health, || self.compact_once())
+    }
+
+    fn compact_once(&self) -> Result<()> {
+        let next = self.next_generation()?;
+        let mut sink = MasterWriteSink::new(self, next);
         self.for_each_locked(&UnionReadOptions::all(), &mut |_, row| {
-            rows.push(row);
+            sink.push(row)?;
             Ok(ControlFlow::Continue(()))
         })?;
-        self.swap_in(rows)?;
-        Ok(())
+        sink.finish()?;
+        self.commit_and_cleanup(next)
     }
 }
 
@@ -1208,6 +1330,137 @@ mod tests {
         assert_eq!(old[1].1[2], Value::Float64(1.0), "snapshot must predate update");
         let new = t.scan_all().unwrap();
         assert_eq!(new[1].1[2], Value::Float64(99.0));
+    }
+}
+
+#[cfg(test)]
+mod self_healing_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use dt_common::fault::{FaultKind, FaultPlan};
+    use dt_common::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("id", DataType::Int64), ("v", DataType::Int64)])
+    }
+
+    fn row(i: i64) -> Row {
+        vec![Value::Int64(i), Value::Int64(0)]
+    }
+
+    fn overwrite_config() -> DualTableConfig {
+        DualTableConfig {
+            rows_per_file: 32,
+            plan_mode: PlanMode::AlwaysOverwrite,
+            ..DualTableConfig::default()
+        }
+    }
+
+    fn faulty_table(config: DualTableConfig) -> (DualTableEnv, DualTableStore, Arc<FaultPlan>) {
+        let plan = Arc::new(FaultPlan::none());
+        plan.set_armed(false);
+        let env = DualTableEnv::in_memory_faulty(plan.clone()).unwrap();
+        let t = DualTableStore::create(&env, "t", schema(), config).unwrap();
+        t.insert_rows((0..64).map(row)).unwrap();
+        plan.set_armed(true);
+        (env, t, plan)
+    }
+
+    #[test]
+    fn update_overwrite_falls_back_to_edit_on_rewrite_failure() {
+        let (env, t, plan) = faulty_table(overwrite_config());
+        // The rewrite's first write (allocating a master file ID) fails
+        // permanently; the statement must still succeed via EDIT.
+        plan.fail_next(FaultKind::WriteError);
+        let report = t
+            .update(
+                |r| r[0].as_i64().unwrap() < 8,
+                &[(1, Box::new(|_| Value::Int64(7)))],
+                RatioHint::Explicit(0.9),
+            )
+            .unwrap();
+        plan.set_armed(false);
+        assert_eq!(report.plan, PlanChoice::Edit, "executed plan is the fallback");
+        assert_eq!(report.rows_matched, 8);
+        assert_eq!(env.health_report().table.plan_fallbacks, 1);
+        // EDIT semantics: master untouched, overlay in the attached tier.
+        let stats = t.stats().unwrap();
+        assert_eq!(stats.master_rows, 64);
+        assert!(stats.attached_entries > 0);
+        let rows = t.scan_all().unwrap();
+        assert_eq!(rows.len(), 64);
+        assert_eq!(rows[3].1[1], Value::Int64(7));
+        assert_eq!(rows[9].1[1], Value::Int64(0));
+    }
+
+    #[test]
+    fn delete_overwrite_falls_back_to_edit_on_rewrite_failure() {
+        let (env, t, plan) = faulty_table(overwrite_config());
+        plan.fail_next(FaultKind::WriteError);
+        let report = t
+            .delete(|r| r[0].as_i64().unwrap() % 2 == 0, RatioHint::Explicit(0.5))
+            .unwrap();
+        plan.set_armed(false);
+        assert_eq!(report.plan, PlanChoice::Edit);
+        assert_eq!(report.rows_matched, 32);
+        assert_eq!(env.health_report().table.plan_fallbacks, 1);
+        assert_eq!(t.count().unwrap(), 32);
+        assert_eq!(t.stats().unwrap().master_rows, 64, "masters keep the rows");
+    }
+
+    #[test]
+    fn compact_retries_through_transient_outage() {
+        let (env, t, plan) = faulty_table(DualTableConfig {
+            rows_per_file: 32,
+            plan_mode: PlanMode::AlwaysEdit,
+            ..DualTableConfig::default()
+        });
+        t.update(
+            |r| r[0].as_i64().unwrap() < 4,
+            &[(1, Box::new(|_| Value::Int64(1)))],
+            RatioHint::Explicit(0.1),
+        )
+        .unwrap();
+        // An outage longer than the KV tier's retry budget (4 attempts):
+        // the tier-level retry exhausts, the statement-level retry in
+        // `compact` takes over and the second pass drains the outage.
+        plan.fail_transient_next(FaultKind::TransientWriteError, 5);
+        t.compact().unwrap();
+        plan.set_armed(false);
+        let report = env.health_report();
+        assert!(report.table.retries >= 1, "compact itself retried");
+        assert_eq!(report.table.retry_successes, 1);
+        assert!(report.kv.retry_exhausted >= 1, "tier retry gave up first");
+        assert_eq!(t.count().unwrap(), 64);
+        assert_eq!(t.stats().unwrap().attached_entries, 0);
+        let rows = t.scan_all().unwrap();
+        assert_eq!(rows[0].1[1], Value::Int64(1), "overlay survived compaction");
+    }
+
+    #[test]
+    fn open_records_failed_gc_and_retries_it() {
+        let (env, t, plan) = faulty_table(overwrite_config());
+        plan.set_armed(false);
+        // A torn, uncommitted rewrite left files in a future generation.
+        let stale = format!("{}/part-0000000042", t.gen_dir(99));
+        env.dfs.write_file(&stale, b"junk").unwrap();
+        // GC on open hits a failing delete: the debt is recorded, not
+        // swallowed.
+        plan.set_armed(true);
+        plan.fail_next(FaultKind::WriteError);
+        let t2 = DualTableStore::open(&env, "t", schema(), overwrite_config()).unwrap();
+        plan.set_armed(false);
+        assert_eq!(env.health_report().table.cleanup_failures, 1);
+        assert_eq!(t2.count().unwrap(), 64, "stale generation stays invisible");
+        // Debt from a rewrite whose cleanup never ran at all (process
+        // death before GC) is settled by the next open.
+        let stale2 = format!("{}/part-0000000043", t.gen_dir(98));
+        env.dfs.write_file(&stale2, b"junk").unwrap();
+        DualTableStore::open(&env, "t", schema(), overwrite_config()).unwrap();
+        assert!(!env.dfs.exists(&stale2), "GC retried on open");
+        assert!(!env.dfs.exists(&stale));
+        assert_eq!(t2.count().unwrap(), 64);
     }
 }
 

@@ -29,7 +29,9 @@
 use std::sync::Arc;
 
 use dt_common::fault::{FaultKind, FaultPlan};
-use dt_common::{DataType, Rng64, Row, Schema, Value};
+use dt_common::{DataType, RetryPolicy, Rng64, Row, Schema, Value};
+use dt_dfs::DfsConfig;
+use dt_kvstore::KvConfig;
 use dualtable::{DualTableConfig, DualTableEnv, DualTableStore, PlanMode, RatioHint};
 use proptest::prelude::*;
 
@@ -42,6 +44,14 @@ const FAIL_STOP: &[FaultKind] = &[
     FaultKind::ReadError,
     FaultKind::TornWrite,
     FaultKind::Crash,
+];
+
+/// Transient kinds only: brief outages that clear on their own. Under a
+/// retry policy these must be fully invisible — every statement `Ok`,
+/// oracle-identical state (the availability contract of DESIGN.md §8).
+const TRANSIENT_ONLY: &[FaultKind] = &[
+    FaultKind::TransientWriteError,
+    FaultKind::TransientReadError,
 ];
 
 const ROWS_PER_FILE: usize = 16;
@@ -93,11 +103,38 @@ impl Harness {
     /// Builds the environment and an empty table with the plan disarmed
     /// (setup must not fault), then arms it.
     fn new(plan: Arc<FaultPlan>) -> Self {
+        Self::new_with_retry(plan, true)
+    }
+
+    /// [`Harness::new`] with the self-healing retry machinery switched on
+    /// or off across all three tiers — the control knob of the
+    /// availability experiments.
+    fn new_with_retry(plan: Arc<FaultPlan>, retry: bool) -> Self {
         plan.set_armed(false);
-        let env = DualTableEnv::in_memory_faulty(plan.clone()).expect("clean setup");
+        let policy = if retry {
+            RetryPolicy::default()
+        } else {
+            RetryPolicy::disabled()
+        };
+        let env = DualTableEnv::in_memory_faulty_with(
+            plan.clone(),
+            DfsConfig {
+                retry: policy,
+                ..DfsConfig::default()
+            },
+            KvConfig {
+                retry: policy,
+                ..KvConfig::default()
+            },
+        )
+        .expect("clean setup");
         let schema = Schema::from_pairs(&[("id", DataType::Int64), ("v", DataType::Int64)]);
+        let table_config = DualTableConfig {
+            retry: policy,
+            ..config()
+        };
         let table =
-            DualTableStore::create(&env, "chaos", schema, config()).expect("clean create");
+            DualTableStore::create(&env, "chaos", schema, table_config).expect("clean create");
         plan.set_armed(true);
         Harness {
             env,
@@ -110,8 +147,8 @@ impl Harness {
     }
 
     /// Applies one statement, recovers if it faulted, and checks the
-    /// store against the oracle.
-    fn apply(&mut self, op: &Op) {
+    /// store against the oracle. Returns whether the statement succeeded.
+    fn apply(&mut self, op: &Op) -> bool {
         let ok = match op {
             Op::Insert { count } => {
                 let count = (*count).clamp(1, ROWS_PER_FILE as u8) as i64;
@@ -190,6 +227,7 @@ impl Harness {
         }
         self.verify();
         self.plan.set_armed(true);
+        ok
     }
 
     /// UNION READ must equal the oracle exactly.
@@ -245,6 +283,32 @@ proptest! {
 /// from this one constant.
 const CHAOS_SEED: u64 = 0xD0A1_7AB1;
 
+/// One random statement, drawn with the same weights as the proptest
+/// strategy.
+fn gen_op(rng: &mut Rng64) -> Op {
+    match rng.next_below(9) {
+        0..=2 => Op::Insert {
+            count: 1 + rng.next_below(ROWS_PER_FILE as u64) as u8,
+        },
+        3..=5 => {
+            let d = 1 + rng.next_below(5) as u8;
+            Op::Update {
+                divisor: d,
+                rem: rng.next_below(d as u64) as u8,
+                new_v: rng.next_below(256) as u8 as i8,
+            }
+        }
+        6..=7 => {
+            let d = 1 + rng.next_below(5) as u8;
+            Op::Delete {
+                divisor: d,
+                rem: rng.next_below(d as u64) as u8,
+            }
+        }
+        _ => Op::Compact,
+    }
+}
+
 /// Fixed-seed acceptance run: at least 100 mixed DML statements with at
 /// least 10 injected faults, ending (and checked after every statement)
 /// with UNION READ equal to the oracle.
@@ -256,28 +320,7 @@ fn chaos_smoke_fixed_seed() {
 
     let mut ops_done = 0u64;
     while ops_done < 140 || (plan.injected_count() < 10 && ops_done < 1500) {
-        let op = match rng.next_below(9) {
-            0..=2 => Op::Insert {
-                count: 1 + rng.next_below(ROWS_PER_FILE as u64) as u8,
-            },
-            3..=5 => {
-                let d = 1 + rng.next_below(5) as u8;
-                Op::Update {
-                    divisor: d,
-                    rem: rng.next_below(d as u64) as u8,
-                    new_v: rng.next_below(256) as u8 as i8,
-                }
-            }
-            6..=7 => {
-                let d = 1 + rng.next_below(5) as u8;
-                Op::Delete {
-                    divisor: d,
-                    rem: rng.next_below(d as u64) as u8,
-                }
-            }
-            _ => Op::Compact,
-        };
-        h.apply(&op);
+        h.apply(&gen_op(&mut rng));
         ops_done += 1;
     }
 
@@ -295,4 +338,102 @@ fn chaos_smoke_fixed_seed() {
         h.recoveries >= 1,
         "chaos run never exercised crash_and_reopen"
     );
+}
+
+/// A transient-only outage schedule: `n` outages of 1–3 consecutive
+/// failures each, spaced at least 16 operations apart so no single
+/// operation's retry budget (4 attempts) can span two outages — which is
+/// what makes "retry ⇒ every statement succeeds" a theorem rather than a
+/// probability.
+fn transient_schedule(seed: u64, n: u64, spread: u64) -> Arc<FaultPlan> {
+    let mut rng = Rng64::new(seed);
+    let mut plan = FaultPlan::new(seed);
+    let mut at = 1u64;
+    for _ in 0..n {
+        at += 16 + rng.next_below(spread);
+        let kind = TRANSIENT_ONLY[rng.next_below(TRANSIENT_ONLY.len() as u64) as usize];
+        plan = plan.fail_transient_at(at, kind, 1 + rng.next_below(3) as u32);
+    }
+    Arc::new(plan)
+}
+
+/// The seed of the deterministic availability run: both halves of
+/// [`chaos_availability_fixed_seed`] derive their fault schedule and
+/// statement stream from this constant.
+const AVAIL_SEED: u64 = 0x5EED_AB1E;
+
+/// Availability under transient faults, and the proof that the retry
+/// machinery is what provides it:
+///
+/// 1. transient-only outages + retry ⇒ **zero** statement errors and an
+///    oracle-identical table;
+/// 2. the *same* outage schedule with retries disabled in every tier
+///    demonstrably fails statements.
+#[test]
+fn chaos_availability_fixed_seed() {
+    // Half 1: self-healing on.
+    let plan = transient_schedule(AVAIL_SEED, 40, 48);
+    let mut h = Harness::new_with_retry(plan.clone(), true);
+    let mut rng = Rng64::new(AVAIL_SEED ^ 0x9E37_79B9_7F4A_7C15);
+    let mut failed = 0u64;
+    for _ in 0..160 {
+        if !h.apply(&gen_op(&mut rng)) {
+            failed += 1;
+        }
+    }
+    plan.set_armed(false);
+    h.verify();
+    assert_eq!(failed, 0, "transient faults must be invisible under retry");
+    assert!(
+        plan.injected_count() >= 10,
+        "only {} faults fired in {} ops",
+        plan.injected_count(),
+        plan.ops_seen()
+    );
+    let report = h.env.health_report();
+    assert!(
+        report.dfs.retries + report.kv.retries + report.table.retries >= 10,
+        "retries did the healing: {report:?}"
+    );
+    assert!(!report.kv.degraded, "transient faults never degrade the store");
+
+    // Half 2: identical schedule and statement stream, retries disabled.
+    let plan = transient_schedule(AVAIL_SEED, 40, 48);
+    let mut h = Harness::new_with_retry(plan.clone(), false);
+    let mut rng = Rng64::new(AVAIL_SEED ^ 0x9E37_79B9_7F4A_7C15);
+    let mut failed = 0u64;
+    for _ in 0..160 {
+        if !h.apply(&gen_op(&mut rng)) {
+            failed += 1;
+        }
+    }
+    plan.set_armed(false);
+    h.verify();
+    assert!(
+        failed > 0,
+        "without retry the same outages must surface as statement errors \
+         ({} faults fired)",
+        plan.injected_count()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The availability property over random schedules and statement
+    /// streams: transient-only faults plus retry mean every statement
+    /// returns `Ok` and the table never diverges from the oracle.
+    #[test]
+    fn transient_faults_with_retry_are_invisible(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(arb_op(), 1..24),
+    ) {
+        let plan = transient_schedule(seed, 12, 24);
+        let mut h = Harness::new_with_retry(plan, true);
+        for op in &ops {
+            prop_assert!(h.apply(op), "statement failed under retry: {op:?}");
+        }
+        h.plan.set_armed(false);
+        h.verify();
+    }
 }

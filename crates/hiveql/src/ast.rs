@@ -28,6 +28,9 @@ pub enum Statement {
     },
     /// `SHOW TABLES`
     ShowTables,
+    /// `SHOW HEALTH` — per-tier self-healing counters (retries,
+    /// failovers, quarantined replicas, degraded flags).
+    ShowHealth,
     /// `DESCRIBE name`
     Describe {
         /// Table name.

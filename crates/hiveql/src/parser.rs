@@ -108,6 +108,9 @@ impl Parser {
             });
         }
         if self.accept("show") {
+            if self.accept("health") {
+                return Ok(Statement::ShowHealth);
+            }
             self.expect("tables")?;
             return Ok(Statement::ShowTables);
         }

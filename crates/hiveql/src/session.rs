@@ -103,6 +103,28 @@ impl Session {
                     rows,
                 ))
             }
+            Statement::ShowHealth => {
+                let report = self.env.health_report();
+                let rows: Vec<Row> = report
+                    .metrics()
+                    .into_iter()
+                    .map(|(tier, metric, value)| {
+                        vec![
+                            Value::Utf8(tier.to_string()),
+                            Value::Utf8(metric.to_string()),
+                            Value::Int64(value as i64),
+                        ]
+                    })
+                    .collect();
+                Ok(result_with_rows(
+                    Schema::from_pairs(&[
+                        ("tier", dt_common::DataType::Utf8),
+                        ("metric", dt_common::DataType::Utf8),
+                        ("value", dt_common::DataType::Int64),
+                    ]),
+                    rows,
+                ))
+            }
             Statement::Describe { name } => {
                 let handle = self.catalog.get(&name)?;
                 let rows: Vec<Row> = handle

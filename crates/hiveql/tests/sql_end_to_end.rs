@@ -236,6 +236,39 @@ fn ddl_show_describe_drop() {
 }
 
 #[test]
+fn show_health_reports_per_tier_counters() {
+    let mut s = Session::in_memory();
+    s.execute("CREATE TABLE t (a BIGINT) STORED AS DUALTABLE").unwrap();
+    s.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    let r = s.execute("SHOW HEALTH").unwrap();
+    assert_eq!(
+        r.schema.fields().iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+        vec!["tier", "metric", "value"]
+    );
+    let tiers: Vec<&str> = r
+        .rows()
+        .iter()
+        .map(|row| row[0].as_str().unwrap())
+        .collect();
+    for tier in ["dfs", "kv", "table"] {
+        assert!(tiers.contains(&tier), "missing tier {tier}");
+    }
+    // A healthy, fault-free session reports all-zero counters.
+    assert!(r
+        .rows()
+        .iter()
+        .all(|row| row[2].as_i64().unwrap() == 0));
+    let metrics: Vec<&str> = r
+        .rows()
+        .iter()
+        .map(|row| row[1].as_str().unwrap())
+        .collect();
+    for metric in ["retries", "failovers", "quarantined_replicas", "degraded"] {
+        assert!(metrics.contains(&metric), "missing metric {metric}");
+    }
+}
+
+#[test]
 fn nulls_and_three_valued_semantics_in_queries() {
     let mut s = Session::in_memory();
     s.execute("CREATE TABLE n (id BIGINT, v DOUBLE)").unwrap();

@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use dt_common::fault::{FaultKind, FaultPlan, IoOp};
-use dt_common::{Error, Result};
+use dt_common::{Error, HealthCounters, Result, RetryPolicy};
 use parking_lot::RwLock;
 
 /// File namespace abstraction for one store.
@@ -222,6 +222,64 @@ impl Env for FaultyEnv {
     }
 }
 
+/// Retry decorator over any [`Env`]: data-path operations that fail with
+/// a [transient](dt_common::ErrorClass::Transient) error are re-attempted
+/// under a deterministic [`RetryPolicy`] — the single seam that gives the
+/// WAL append, SSTable flush and every SSTable read the "ride out a region
+/// server hiccup" behaviour an HBase client gets from
+/// `hbase.client.retries.number`. Permanent and corrupt errors pass
+/// through untouched, as do deletes (best-effort GC retries on the next
+/// open instead). Outcomes are recorded in the shared [`HealthCounters`].
+pub struct RetryEnv {
+    inner: Arc<dyn Env>,
+    policy: RetryPolicy,
+    health: Arc<HealthCounters>,
+}
+
+impl RetryEnv {
+    /// Wraps `inner`, retrying transient failures per `policy`.
+    pub fn new(inner: Arc<dyn Env>, policy: RetryPolicy, health: Arc<HealthCounters>) -> Self {
+        RetryEnv {
+            inner,
+            policy,
+            health,
+        }
+    }
+}
+
+impl Env for RetryEnv {
+    fn append(&self, name: &str, data: &[u8]) -> Result<()> {
+        self.policy
+            .run(&self.health, || self.inner.append(name, data))
+    }
+
+    fn write_file(&self, name: &str, data: &[u8]) -> Result<()> {
+        self.policy
+            .run(&self.health, || self.inner.write_file(name, data))
+    }
+
+    fn read_at(&self, name: &str, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.policy
+            .run(&self.health, || self.inner.read_at(name, offset, buf))
+    }
+
+    fn read_file(&self, name: &str) -> Result<Vec<u8>> {
+        self.policy.run(&self.health, || self.inner.read_file(name))
+    }
+
+    fn len(&self, name: &str) -> Result<u64> {
+        self.inner.len(name)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        self.inner.delete(name)
+    }
+}
+
 /// Directory-backed environment.
 pub struct DiskEnv {
     dir: PathBuf,
@@ -361,6 +419,40 @@ mod tests {
         assert!(env.read_file("wal").is_err());
         plan.heal();
         assert!(env.read_file("wal").is_ok());
+    }
+
+    #[test]
+    fn retry_env_rides_out_transient_faults() {
+        let plan = Arc::new(FaultPlan::new(23));
+        let faulty = Arc::new(FaultyEnv::new(Arc::new(MemEnv::new()), plan.clone()));
+        let health = Arc::new(HealthCounters::new());
+        let env = RetryEnv::new(faulty, RetryPolicy::default(), health.clone());
+
+        plan.fail_transient_next(FaultKind::TransientWriteError, 2);
+        env.append("wal", b"record").unwrap();
+        assert_eq!(env.read_file("wal").unwrap(), b"record");
+
+        plan.fail_transient_next(FaultKind::TransientReadError, 1);
+        assert_eq!(env.read_file("wal").unwrap(), b"record");
+
+        let snap = health.snapshot();
+        assert_eq!(snap.retries, 3);
+        assert_eq!(snap.retry_successes, 2);
+        assert_eq!(snap.retry_exhausted, 0);
+    }
+
+    #[test]
+    fn retry_env_passes_permanent_errors_through() {
+        let plan = Arc::new(FaultPlan::new(29));
+        let faulty = Arc::new(FaultyEnv::new(Arc::new(MemEnv::new()), plan.clone()));
+        let health = Arc::new(HealthCounters::new());
+        let env = RetryEnv::new(faulty, RetryPolicy::default(), health.clone());
+
+        plan.fail_next(FaultKind::WriteError);
+        assert!(env.append("wal", b"x").unwrap_err().is_injected());
+        assert_eq!(health.snapshot().retries, 0, "permanent: no retry");
+        // The schedule is spent: the next append goes through.
+        env.append("wal", b"x").unwrap();
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod wal;
 
 pub use bloom::BloomFilter;
 pub use cell::{CellKey, Mutation, Version, ROW_TOMBSTONE_QUALIFIER};
-pub use env::{DiskEnv, Env, FaultyEnv, MemEnv};
+pub use env::{DiskEnv, Env, FaultyEnv, MemEnv, RetryEnv};
 pub use store::{KvConfig, RowEntry, ScanIter, Store};
 
 use std::collections::HashMap;
@@ -50,7 +50,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use dt_common::fault::FaultPlan;
-use dt_common::{Error, IoStats, LogicalClock, Result};
+use dt_common::{Error, HealthCounters, HealthSnapshot, IoStats, LogicalClock, Result};
 use parking_lot::RwLock;
 
 /// A collection of named stores sharing one clock and one set of I/O
@@ -70,6 +70,9 @@ struct ClusterInner {
     stats: IoStats,
     disk_root: Option<PathBuf>,
     fault_plan: Option<Arc<FaultPlan>>,
+    // One set of self-healing counters shared by every table's store and
+    // retry wrapper — the per-tier ledger behind `SHOW HEALTH`.
+    health: Arc<HealthCounters>,
 }
 
 impl KvCluster {
@@ -107,6 +110,7 @@ impl KvCluster {
                 stats: IoStats::new(),
                 disk_root,
                 fault_plan,
+                health: Arc::new(HealthCounters::new()),
             }),
         }
     }
@@ -114,6 +118,21 @@ impl KvCluster {
     /// The shared fault plan, if this cluster was built with one.
     pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
         self.inner.fault_plan.as_ref()
+    }
+
+    /// The cluster-wide self-healing counters (retries, degraded flags).
+    pub fn health(&self) -> &Arc<HealthCounters> {
+        &self.inner.health
+    }
+
+    /// A point-in-time view of the counters, with the degraded flag
+    /// computed live: the cluster is degraded while *any* of its tables
+    /// is refusing writes. A table reopen (e.g. [`Self::crash_and_reopen`])
+    /// therefore clears the flag.
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        let mut snap = self.inner.health.snapshot();
+        snap.degraded = self.inner.tables.read().values().any(Store::is_degraded);
+        snap
     }
 
     /// Simulates a whole-process crash and restart: heals any sticky
@@ -127,11 +146,12 @@ impl KvCluster {
         let mut tables = self.inner.tables.write();
         let names: Vec<String> = tables.keys().cloned().collect();
         for name in names {
-            let store = Store::open(
+            let store = Store::open_with_health(
                 self.env_for(&name)?,
                 self.inner.config.clone(),
                 self.inner.clock.clone(),
                 self.inner.stats.clone(),
+                self.inner.health.clone(),
             )?;
             tables.insert(name, store);
         }
@@ -163,6 +183,18 @@ impl KvCluster {
             Some(plan) => Arc::new(FaultyEnv::new(base, plan.clone())),
             None => base,
         };
+        // Retry sits *outside* fault injection so each retry attempt is a
+        // fresh op in the plan's schedule — exactly how a real datanode
+        // hiccup looks to the layer above.
+        let env: Arc<dyn Env> = if self.inner.config.retry.enabled() {
+            Arc::new(RetryEnv::new(
+                env,
+                self.inner.config.retry,
+                self.inner.health.clone(),
+            ))
+        } else {
+            env
+        };
         self.inner
             .envs
             .write()
@@ -176,11 +208,12 @@ impl KvCluster {
         if tables.contains_key(name) {
             return Err(Error::AlreadyExists(format!("kv table '{name}'")));
         }
-        let store = Store::open(
+        let store = Store::open_with_health(
             self.env_for(name)?,
             self.inner.config.clone(),
             self.inner.clock.clone(),
             self.inner.stats.clone(),
+            self.inner.health.clone(),
         )?;
         tables.insert(name.to_string(), store.clone());
         Ok(store)
@@ -217,17 +250,23 @@ impl KvCluster {
     }
 
     /// Removes all data from a table, keeping it registered.
+    ///
+    /// The old handle stays registered until its replacement is open: a
+    /// fault mid-truncate must leave the table degraded (partially
+    /// cleared, recoverable by reopen), never unregistered.
     pub fn truncate_table(&self, name: &str) -> Result<()> {
         let mut tables = self.inner.tables.write();
         let store = tables
-            .remove(name)
+            .get(name)
+            .cloned()
             .ok_or_else(|| Error::not_found(format!("kv table '{name}'")))?;
         store.destroy()?;
-        let fresh = Store::open(
+        let fresh = Store::open_with_health(
             self.env_for(name)?,
             self.inner.config.clone(),
             self.inner.clock.clone(),
             self.inner.stats.clone(),
+            self.inner.health.clone(),
         )?;
         tables.insert(name.to_string(), fresh);
         Ok(())
@@ -300,6 +339,52 @@ mod tests {
         assert_eq!(t.get(b"r", b"q").unwrap().unwrap(), b"v");
         assert_eq!(plan.injected_count(), 0);
         assert_eq!(plan.ops_seen(), 0, "disarmed plan must not even count");
+    }
+
+    #[test]
+    fn transient_wal_fault_is_retried_invisibly() {
+        use dt_common::fault::{FaultKind, FaultPlan};
+
+        let plan = Arc::new(FaultPlan::new(11));
+        let c = KvCluster::in_memory_faulty(KvConfig::default(), plan.clone());
+        let t = c.table_or_create("t").unwrap();
+        plan.fail_transient_next(FaultKind::TransientWriteError, 2);
+        // Two WAL-append hiccups, then success: the caller never notices.
+        t.put(b"r", b"q", b"v").unwrap();
+        assert_eq!(t.get(b"r", b"q").unwrap().unwrap(), b"v");
+        let snap = c.health_snapshot();
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.retry_successes, 1);
+        assert!(!snap.degraded);
+    }
+
+    #[test]
+    fn permanent_wal_failure_degrades_to_read_only_until_reopen() {
+        use dt_common::fault::{FaultKind, FaultPlan};
+
+        let plan = Arc::new(FaultPlan::new(12));
+        let c = KvCluster::in_memory_faulty(KvConfig::default(), plan.clone());
+        let t = c.table_or_create("t").unwrap();
+        t.put(b"r", b"q", b"durable").unwrap();
+        // A permanent (non-transient) WAL failure: retry must NOT mask it.
+        plan.fail_next(FaultKind::WriteError);
+        assert!(t.put(b"r2", b"q", b"lost").is_err());
+        assert!(t.is_degraded());
+        assert!(c.health_snapshot().degraded);
+        // Reads keep serving durable data; writes are refused outright
+        // (the WAL is not even attempted).
+        assert_eq!(t.get(b"r", b"q").unwrap().unwrap(), b"durable");
+        let err = t.put(b"r3", b"q", b"refused").unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)), "got {err:?}");
+        assert_eq!(plan.injected_count(), 1, "degraded writes never hit I/O");
+        // Reopening the table is the recovery action.
+        c.crash_and_reopen().unwrap();
+        let t = c.table("t").unwrap();
+        assert!(!t.is_degraded());
+        assert!(!c.health_snapshot().degraded);
+        t.put(b"r4", b"q", b"back").unwrap();
+        assert_eq!(t.get(b"r4", b"q").unwrap().unwrap(), b"back");
+        assert_eq!(t.get(b"r2", b"q").unwrap(), None, "failed put stayed out");
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! One table's storage engine: WAL + memtable + SSTables.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use dt_common::{Error, IoStats, LogicalClock, Result};
+use dt_common::{Error, ErrorClass, HealthCounters, IoStats, LogicalClock, Result, RetryPolicy};
 use parking_lot::{Mutex, RwLock};
 
 use crate::cell::{CellKey, Mutation, Version, ROW_TOMBSTONE_QUALIFIER};
@@ -28,6 +29,10 @@ pub struct KvConfig {
     pub max_versions: usize,
     /// Whether flush/compaction happen automatically on write thresholds.
     pub auto_maintenance: bool,
+    /// Retry policy for transient env-I/O failures (WAL appends, SSTable
+    /// flush writes, SSTable reads). Applied by the cluster via a
+    /// [`crate::env::RetryEnv`] wrapper (DESIGN.md §8).
+    pub retry: RetryPolicy,
 }
 
 impl Default for KvConfig {
@@ -38,6 +43,7 @@ impl Default for KvConfig {
             max_sstables: 8,
             max_versions: 3,
             auto_maintenance: true,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -68,6 +74,12 @@ struct StoreInner {
     state: RwLock<State>,
     // Serializes flush/compaction against each other.
     maintenance: Mutex<()>,
+    // Read-only degraded mode: set when a WAL append fails permanently
+    // (write path down — the analogue of an HBase region server aborting
+    // on a failed WAL sync). Reads keep serving; writes are refused until
+    // the store is reopened (DESIGN.md §8).
+    degraded: AtomicBool,
+    health: Arc<HealthCounters>,
 }
 
 /// A single sorted table — the unit the paper calls "an HBase table".
@@ -88,6 +100,20 @@ impl Store {
         config: KvConfig,
         clock: LogicalClock,
         stats: IoStats,
+    ) -> Result<Self> {
+        Self::open_with_health(env, config, clock, stats, Arc::new(HealthCounters::new()))
+    }
+
+    /// [`Store::open`] with shared self-healing counters (a cluster passes
+    /// one instance to all its tables). Opening a store clears any
+    /// degraded flag: a reopen is the recovery action for a permanently
+    /// failed write path.
+    pub fn open_with_health(
+        env: Arc<dyn Env>,
+        config: KvConfig,
+        clock: LogicalClock,
+        stats: IoStats,
+        health: Arc<HealthCounters>,
     ) -> Result<Self> {
         let mut memtable = MemTable::new();
         let mut max_ts = 0u64;
@@ -140,6 +166,8 @@ impl Store {
                     next_file_no,
                 }),
                 maintenance: Mutex::new(()),
+                degraded: AtomicBool::new(false),
+                health,
             }),
         };
         if recovery.dropped_bytes > 0 {
@@ -166,6 +194,18 @@ impl Store {
             let _ = env.write_file(&format!("quarantine_{name}"), &bytes);
         }
         let _ = env.delete(name);
+    }
+
+    /// True once a permanent write-path failure has forced this store
+    /// into read-only degraded mode (the HBase analogue: a region whose
+    /// WAL is gone stops taking writes). Cleared by reopening the store.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::Acquire)
+    }
+
+    /// The shared self-healing counters this store reports into.
+    pub fn health(&self) -> &Arc<HealthCounters> {
+        &self.inner.health
     }
 
     fn check_qualifier(qual: &[u8]) -> Result<()> {
@@ -216,6 +256,12 @@ impl Store {
         if mutations.is_empty() {
             return Ok(self.inner.clock.peek());
         }
+        if self.inner.degraded.load(Ordering::Acquire) {
+            return Err(Error::unavailable(
+                "store is in read-only degraded mode (write path failed permanently); \
+                 reopen the store to resume writes",
+            ));
+        }
         let batch: Vec<(CellKey, Version)> = mutations
             .into_iter()
             .map(|(key, mutation)| {
@@ -229,7 +275,19 @@ impl Store {
             })
             .collect();
         let last_ts = batch.last().map(|(_, v)| v.ts).unwrap_or(0);
-        Wal::new(self.inner.env.clone(), self.inner.stats.clone()).append_batch(&batch)?;
+        if let Err(e) =
+            Wal::new(self.inner.env.clone(), self.inner.stats.clone()).append_batch(&batch)
+        {
+            // Transient failures were already retried below us (RetryEnv);
+            // a permanent WAL failure means the write path is down for
+            // good. Fall into read-only degraded mode: reads keep serving
+            // what is durable, writes are refused until a reopen — never
+            // acknowledge a put the log cannot hold.
+            if e.class() == ErrorClass::Permanent {
+                self.inner.degraded.store(true, Ordering::Release);
+            }
+            return Err(e);
+        }
         let should_flush;
         {
             let mut state = self.inner.state.write();
@@ -662,6 +720,7 @@ mod tests {
                 max_sstables: 4,
                 max_versions: 3,
                 auto_maintenance: false,
+                ..KvConfig::default()
             },
             LogicalClock::new(),
             IoStats::new(),
@@ -839,6 +898,7 @@ mod tests {
                 max_sstables: 100,
                 max_versions: 1,
                 auto_maintenance: true,
+                ..KvConfig::default()
             },
             LogicalClock::new(),
             IoStats::new(),
@@ -885,6 +945,7 @@ mod minor_compact_tests {
                 max_sstables: 64,
                 max_versions: 3,
                 auto_maintenance: false,
+                ..KvConfig::default()
             },
             LogicalClock::new(),
             IoStats::new(),
@@ -964,6 +1025,7 @@ mod crash_tests {
                 max_sstables: 64,
                 max_versions: 3,
                 auto_maintenance: false,
+                ..KvConfig::default()
             },
             LogicalClock::new(),
             IoStats::new(),
@@ -1127,6 +1189,7 @@ mod crash_tests {
                 max_sstables: 100,
                 max_versions: 1,
                 auto_maintenance: true,
+                ..KvConfig::default()
             },
             LogicalClock::new(),
             IoStats::new(),

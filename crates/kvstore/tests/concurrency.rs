@@ -15,6 +15,7 @@ fn store(auto: bool) -> Store {
             max_sstables: 4,
             max_versions: 2,
             auto_maintenance: auto,
+            ..KvConfig::default()
         },
         LogicalClock::new(),
         IoStats::new(),

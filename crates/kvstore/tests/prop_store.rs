@@ -37,6 +37,7 @@ fn small_config() -> KvConfig {
         max_sstables: 64,
         max_versions: 4,
         auto_maintenance: false,
+        ..KvConfig::default()
     }
 }
 

@@ -27,4 +27,17 @@ echo "==> fixed-seed fault-injection smoke (chaos_smoke_fixed_seed)"
 cargo test -q -p dualtable --locked --test prop_fault_recovery \
     chaos_smoke_fixed_seed -- --nocapture
 
+# Availability smoke: the same driver under a transient-only fault
+# schedule. With retry enabled every statement must succeed and match
+# the oracle; the same schedule with retries disabled must demonstrably
+# fail statements (proving the retry layer provides the availability).
+echo "==> fixed-seed chaos-availability smoke (chaos_availability_fixed_seed)"
+cargo test -q -p dualtable --locked --test prop_fault_recovery \
+    chaos_availability_fixed_seed -- --nocapture
+
+# Replica-failover smoke: reads survive a corrupted replica, the bad
+# copy is quarantined, and the scrubber restores target replication.
+echo "==> replica failover + quarantine + re-replication smoke (dfs failover)"
+cargo test -q -p dt-dfs --locked --test failover -- --nocapture
+
 echo "verify.sh: all gates passed"
