@@ -111,6 +111,11 @@ struct FaultSpec {
     at_op: u64,
     kind: FaultKind,
     remaining: u32,
+    /// When set, `at_op` counts only operations of the class the kind
+    /// applies to (the N-th write for a write fault), not all operations.
+    /// Class-indexed schedules cannot "slide": spacing guarantees between
+    /// same-class outages survive any interleaving of other op classes.
+    class_indexed: bool,
 }
 
 /// A deterministic, shareable schedule of storage faults.
@@ -122,9 +127,15 @@ pub struct FaultPlan {
     armed: AtomicBool,
     crashed: AtomicBool,
     op_counter: AtomicU64,
+    /// Per-class operation counters (read / write / delete), for
+    /// class-indexed schedules.
+    class_counters: [AtomicU64; 3],
     specs: Mutex<Vec<FaultSpec>>,
     rng: Mutex<Rng64>,
     injected: Mutex<Vec<(u64, FaultKind)>>,
+    /// Op-class trace, populated while recording is on (crash-matrix
+    /// record runs use it to classify each operation index).
+    trace: Mutex<Option<Vec<IoOp>>>,
 }
 
 impl Default for FaultPlan {
@@ -154,9 +165,11 @@ impl FaultPlan {
             armed: AtomicBool::new(false),
             crashed: AtomicBool::new(false),
             op_counter: AtomicU64::new(0),
+            class_counters: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             specs: Mutex::new(Vec::new()),
             rng: Mutex::new(Rng64::new(0)),
             injected: Mutex::new(Vec::new()),
+            trace: Mutex::new(None),
         }
     }
 
@@ -168,9 +181,11 @@ impl FaultPlan {
             armed: AtomicBool::new(true),
             crashed: AtomicBool::new(false),
             op_counter: AtomicU64::new(0),
+            class_counters: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             specs: Mutex::new(Vec::new()),
             rng: Mutex::new(Rng64::new(seed)),
             injected: Mutex::new(Vec::new()),
+            trace: Mutex::new(None),
         }
     }
 
@@ -201,6 +216,7 @@ impl FaultPlan {
                     at_op,
                     kind,
                     remaining,
+                    class_indexed: false,
                 });
             }
         }
@@ -217,6 +233,7 @@ impl FaultPlan {
             at_op,
             kind,
             remaining: 1,
+            class_indexed: false,
         });
         self
     }
@@ -233,6 +250,29 @@ impl FaultPlan {
             at_op,
             kind,
             remaining: times,
+            class_indexed: false,
+        });
+        self
+    }
+
+    /// Class-indexed variant of [`FaultPlan::fail_transient_at`]: the
+    /// outage starts at the `at_nth`-th operation *of the kind's own
+    /// class* (the N-th write for a write fault) and lasts `times`
+    /// matching operations. Unlike plain `fail_transient_at`, the
+    /// schedule cannot slide past unrelated-class operations and pile up
+    /// behind a later outage — spacing guarantees between same-class
+    /// outages hold regardless of how reads and writes interleave, which
+    /// is what makes "spacing > retry budget ⇒ zero visible failures" a
+    /// theorem rather than a heuristic.
+    pub fn fail_transient_at_nth(self, at_nth: u64, kind: FaultKind, times: u32) -> Self {
+        assert!(at_nth > 0, "operation indices are 1-based");
+        assert!(times > 0, "a transient fault must fire at least once");
+        assert!(kind.is_transient(), "{kind:?} is not a transient kind");
+        self.specs.lock().unwrap().push(FaultSpec {
+            at_op: at_nth,
+            kind,
+            remaining: times,
+            class_indexed: true,
         });
         self
     }
@@ -253,6 +293,7 @@ impl FaultPlan {
             at_op,
             kind,
             remaining: times,
+            class_indexed: false,
         });
     }
 
@@ -264,6 +305,7 @@ impl FaultPlan {
             at_op,
             kind,
             remaining: 1,
+            class_indexed: false,
         });
     }
 
@@ -306,6 +348,22 @@ impl FaultPlan {
         self.injected.lock().unwrap().len()
     }
 
+    /// Starts recording the op-class of every counted operation. Used by
+    /// crash-matrix record runs: the trace tells the replayer which
+    /// [`IoOp`] class each operation index carries, so it can choose a
+    /// fault kind that fires *exactly* at a chosen index instead of
+    /// sliding to the next matching class.
+    pub fn record_trace(&self) {
+        *self.trace.lock().unwrap() = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the trace: element `i` is the op class
+    /// of operation index `i + 1` (indices are 1-based, matching
+    /// [`FaultPlan::fail_at`]). Empty if recording was never started.
+    pub fn take_trace(&self) -> Vec<IoOp> {
+        self.trace.lock().unwrap().take().unwrap_or_default()
+    }
+
     /// Called by wrappers before each data operation. `None` means
     /// proceed normally; `Some(kind)` means the wrapper must apply that
     /// fault's behaviour.
@@ -317,10 +375,24 @@ impl FaultPlan {
             return Some(FaultKind::Crash);
         }
         let n = self.op_counter.fetch_add(1, Ordering::SeqCst) + 1;
+        let class = match op {
+            IoOp::Read => 0,
+            IoOp::Write => 1,
+            IoOp::Delete => 2,
+        };
+        let m = self.class_counters[class].fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(trace) = self.trace.lock().unwrap().as_mut() {
+            trace.push(op);
+        }
         let mut specs = self.specs.lock().unwrap();
-        let due = specs
-            .iter()
-            .position(|s| s.at_op <= n && s.kind.applies_to(op))?;
+        let due = specs.iter().position(|s| {
+            let reached = if s.class_indexed {
+                s.at_op <= m
+            } else {
+                s.at_op <= n
+            };
+            reached && s.kind.applies_to(op)
+        })?;
         specs[due].remaining -= 1;
         let spec = specs[due];
         if spec.remaining == 0 {
@@ -494,6 +566,47 @@ mod tests {
             .filter(|(a, b)| a != b)
             .count();
         assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn trace_records_op_classes_by_index() {
+        let plan = FaultPlan::new(3);
+        plan.record_trace();
+        assert!(plan.on_op(IoOp::Write).is_none());
+        assert!(plan.on_op(IoOp::Read).is_none());
+        assert!(plan.on_op(IoOp::Delete).is_none());
+        assert_eq!(
+            plan.take_trace(),
+            vec![IoOp::Write, IoOp::Read, IoOp::Delete]
+        );
+        // Recording stopped: further ops are not traced.
+        assert!(plan.on_op(IoOp::Write).is_none());
+        assert_eq!(plan.take_trace(), Vec::<IoOp>::new());
+    }
+
+    #[test]
+    fn class_indexed_schedule_counts_only_matching_ops() {
+        // Outage on the 3rd *write*; a global-indexed spec at op 3 would
+        // instead slide off the reads and hit write #2 (global op 5).
+        let plan = FaultPlan::new(7).fail_transient_at_nth(3, FaultKind::TransientWriteError, 2);
+        assert!(plan.on_op(IoOp::Write).is_none()); // write 1
+        assert!(plan.on_op(IoOp::Read).is_none());
+        assert!(plan.on_op(IoOp::Read).is_none());
+        assert!(plan.on_op(IoOp::Read).is_none());
+        assert!(plan.on_op(IoOp::Write).is_none()); // write 2
+        assert_eq!(
+            plan.on_op(IoOp::Write), // write 3: outage starts
+            Some(FaultKind::TransientWriteError)
+        );
+        // Reads pass untouched mid-outage; the next write is the second
+        // and last failure of the outage.
+        assert!(plan.on_op(IoOp::Read).is_none());
+        assert_eq!(
+            plan.on_op(IoOp::Write),
+            Some(FaultKind::TransientWriteError)
+        );
+        assert!(plan.on_op(IoOp::Write).is_none(), "outage over");
+        assert_eq!(plan.injected_count(), 2);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 pub mod clock;
 pub mod codec;
+pub mod crash_matrix;
 pub mod crc32;
 pub mod error;
 pub mod fault;
@@ -29,6 +30,7 @@ pub mod rng;
 pub mod types;
 
 pub use clock::LogicalClock;
+pub use crash_matrix::{run_crash_matrix, select_crash_points, CrashMatrixReport};
 pub use error::{Error, ErrorClass, Result};
 pub use fault::{FaultKind, FaultPlan, IoOp};
 pub use health::{HealthCounters, HealthSnapshot};

@@ -16,6 +16,12 @@ pub struct DfsConfig {
     /// retries each replica placement, and readers retry a replica before
     /// failing over to the next one (DESIGN.md §8).
     pub retry: RetryPolicy,
+    /// Namenode edit-log entries between checkpoints. After this many
+    /// journaled mutations, the namenode snapshots its full state and
+    /// truncates the edit log (DESIGN.md §9). High by default so the edit
+    /// log carries most of the recovery load in short-lived tests; lower
+    /// it to exercise the checkpoint path.
+    pub checkpoint_interval: u64,
 }
 
 impl Default for DfsConfig {
@@ -24,6 +30,7 @@ impl Default for DfsConfig {
             chunk_size: 64 * 1024 * 1024,
             replication: 3,
             retry: RetryPolicy::default(),
+            checkpoint_interval: 1024,
         }
     }
 }

@@ -68,6 +68,74 @@ impl BlockStore for FaultyBlockStore {
         self.plan.check(IoOp::Delete, "block delete")?;
         self.inner.delete(id)
     }
+
+    fn meta_append(&self, name: &str, data: &[u8]) -> Result<()> {
+        match self.plan.on_op(IoOp::Write) {
+            None => self.inner.meta_append(name, data),
+            Some(FaultKind::TornWrite) => {
+                // A prefix of the frame lands in the journal — exactly the
+                // torn tail the replay salvage must tolerate.
+                let keep = self.plan.torn_prefix_len(data.len());
+                let _ = self.inner.meta_append(name, &data[..keep]);
+                Err(FaultPlan::error(FaultKind::TornWrite, "meta append"))
+            }
+            Some(FaultKind::CorruptWrite) => {
+                let mut mangled = data.to_vec();
+                self.plan.mangle_byte(&mut mangled);
+                self.inner.meta_append(name, &mangled)
+            }
+            Some(kind) => Err(FaultPlan::error(kind, "meta append")),
+        }
+    }
+
+    fn meta_write(&self, name: &str, data: &[u8]) -> Result<()> {
+        match self.plan.on_op(IoOp::Write) {
+            None => self.inner.meta_write(name, data),
+            Some(FaultKind::TornWrite) => {
+                let keep = self.plan.torn_prefix_len(data.len());
+                let _ = self.inner.meta_write(name, &data[..keep]);
+                Err(FaultPlan::error(FaultKind::TornWrite, "meta write"))
+            }
+            Some(FaultKind::CorruptWrite) => {
+                let mut mangled = data.to_vec();
+                self.plan.mangle_byte(&mut mangled);
+                self.inner.meta_write(name, &mangled)
+            }
+            Some(kind) => Err(FaultPlan::error(kind, "meta write")),
+        }
+    }
+
+    fn meta_read(&self, name: &str) -> Result<Vec<u8>> {
+        match self.plan.on_op(IoOp::Read) {
+            None => self.inner.meta_read(name),
+            Some(FaultKind::CorruptRead) => {
+                let mut data = self.inner.meta_read(name)?;
+                self.plan.mangle_byte(&mut data);
+                Ok(data)
+            }
+            Some(kind) => Err(FaultPlan::error(kind, "meta read")),
+        }
+    }
+
+    fn meta_rename(&self, from: &str, to: &str) -> Result<()> {
+        // A rename is atomic: it either happens or it does not, so torn
+        // and corrupting kinds degrade to a plain failed operation.
+        self.plan.check(IoOp::Write, "meta rename")?;
+        self.inner.meta_rename(from, to)
+    }
+
+    fn meta_delete(&self, name: &str) -> Result<()> {
+        self.plan.check(IoOp::Delete, "meta delete")?;
+        self.inner.meta_delete(name)
+    }
+
+    fn meta_list(&self) -> Vec<String> {
+        self.inner.meta_list()
+    }
+
+    fn list_blocks(&self) -> Vec<BlockId> {
+        self.inner.list_blocks()
+    }
 }
 
 #[cfg(test)]

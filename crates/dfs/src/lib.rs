@@ -32,6 +32,7 @@
 mod block_store;
 mod config;
 mod faulty;
+mod journal;
 mod namenode;
 mod reader;
 mod writer;
@@ -40,6 +41,7 @@ pub use block_store::{BlockId, BlockStore, DiskBlockStore, MemBlockStore};
 pub use config::DfsConfig;
 pub use dt_common::RetryPolicy;
 pub use faulty::FaultyBlockStore;
+pub use journal::{RecoveryReport, CHECKPOINT_FILE, CHECKPOINT_TMP, EDITS_FILE};
 pub use reader::DfsReader;
 pub use writer::DfsWriter;
 
@@ -62,22 +64,21 @@ pub(crate) struct DfsInner {
     blocks: Arc<dyn BlockStore>,
     config: DfsConfig,
     stats: IoStats,
-    health: HealthCounters,
+    health: Arc<HealthCounters>,
 }
 
 impl Dfs {
     /// Creates a DFS backed by in-memory blocks.
     pub fn in_memory(config: DfsConfig) -> Self {
         Self::with_block_store(Arc::new(MemBlockStore::new()), config)
+            .expect("fresh in-memory store has no journal to recover")
     }
 
     /// Creates a DFS whose blocks live as files under `root` on the local
-    /// disk.
+    /// disk. Reopening a root that already holds a journal recovers the
+    /// namespace from it.
     pub fn on_disk(root: impl Into<std::path::PathBuf>, config: DfsConfig) -> Result<Self> {
-        Ok(Self::with_block_store(
-            Arc::new(DiskBlockStore::new(root.into())?),
-            config,
-        ))
+        Self::with_block_store(Arc::new(DiskBlockStore::new(root.into())?), config)
     }
 
     /// Creates an in-memory DFS whose block I/O is subject to `plan`'s
@@ -87,19 +88,39 @@ impl Dfs {
             Arc::new(FaultyBlockStore::new(Arc::new(MemBlockStore::new()), plan)),
             config,
         )
+        .expect("fresh in-memory store has no journal to recover")
     }
 
-    /// Creates a DFS over an arbitrary block store.
-    pub fn with_block_store(blocks: Arc<dyn BlockStore>, config: DfsConfig) -> Self {
-        Dfs {
+    /// Opens a DFS over an arbitrary block store, recovering the
+    /// namespace from any edit log / checkpoint already persisted there.
+    /// A store with no journal streams yields an empty namespace.
+    pub fn with_block_store(blocks: Arc<dyn BlockStore>, config: DfsConfig) -> Result<Self> {
+        let health = Arc::new(HealthCounters::new());
+        let namenode = NameNode::recover(
+            blocks.clone(),
+            config.retry,
+            health.clone(),
+            config.checkpoint_interval,
+        )?;
+        Ok(Dfs {
             inner: Arc::new(DfsInner {
-                namenode: NameNode::new(),
+                namenode,
                 blocks,
                 config,
                 stats: IoStats::new(),
-                health: HealthCounters::new(),
+                health,
             }),
-        }
+        })
+    }
+
+    /// Simulates a namenode crash + restart: discards every piece of
+    /// in-memory namespace state and rebuilds it from the durable edit
+    /// log and checkpoint. Block data is untouched — datanodes survive a
+    /// namenode restart. Pending writers are implicitly aborted (their
+    /// placed blocks become orphans for [`Dfs::scrub`] to collect).
+    /// Returns what recovery had to clean up.
+    pub fn crash_and_reopen(&self) -> Result<RecoveryReport> {
+        self.inner.namenode.reload()
     }
 
     /// The I/O counters for this file system (the Master tier in cost-model
@@ -249,6 +270,19 @@ impl Dfs {
                 report.under_replicated.push(path.clone());
             }
         }
+        // Orphan accounting only makes sense with no writer in flight: a
+        // pending writer's placed-but-uncommitted blocks are legitimately
+        // unreferenced until its commit.
+        if self.inner.namenode.pending_count() == 0 {
+            let referenced = self.inner.namenode.referenced_blocks();
+            report.orphan_blocks = self
+                .inner
+                .blocks
+                .list_blocks()
+                .into_iter()
+                .filter(|id| !referenced.contains(id))
+                .count() as u64;
+        }
         Ok(report)
     }
 
@@ -320,17 +354,30 @@ impl Dfs {
         self.inner
             .health
             .record_rereplication(repair.replicas_recreated);
-        let quarantined = self.inner.namenode.take_quarantined();
+        let quarantined = self.inner.namenode.take_quarantined()?;
         let quarantined_purged = quarantined.len() as u64;
         for id in quarantined {
             // Best-effort: the replica is already out of every block
             // group, so a failed unlink merely leaks unreferenced bytes.
             let _ = self.inner.blocks.delete(id);
         }
+        // Orphan collection: blocks no closed file (and no quarantine
+        // entry) references — the leavings of crashed writers and torn
+        // block puts. Only safe with no writer in flight.
+        let mut orphans_collected = 0u64;
+        if self.inner.namenode.pending_count() == 0 {
+            let referenced = self.inner.namenode.referenced_blocks();
+            for id in self.inner.blocks.list_blocks() {
+                if !referenced.contains(&id) && self.inner.blocks.delete(id).is_ok() {
+                    orphans_collected += 1;
+                }
+            }
+        }
         Ok(ScrubReport {
             files_repaired: repair.files_repaired,
             replicas_recreated: repair.replicas_recreated,
             quarantined_purged,
+            orphans_collected,
             unrecoverable: repair.unrecoverable,
         })
     }
@@ -345,6 +392,8 @@ pub struct ScrubReport {
     pub replicas_recreated: u64,
     /// Quarantined replicas reclaimed from the block store.
     pub quarantined_purged: u64,
+    /// Unreferenced blocks (crashed writers, torn puts) reclaimed.
+    pub orphans_collected: u64,
     /// Paths with a block group that has no healthy replica left.
     pub unrecoverable: Vec<String>,
 }
@@ -361,10 +410,15 @@ pub struct FsckReport {
     /// Paths readable today but with at least one block group below full
     /// replication.
     pub under_replicated: Vec<String>,
+    /// Blocks in the store referenced by no closed file and no quarantine
+    /// entry (counted only when no writer is in flight). Dead weight, not
+    /// a danger: [`Dfs::scrub`] reclaims them.
+    pub orphan_blocks: u64,
 }
 
 impl FsckReport {
-    /// `true` iff every replica of every block verified.
+    /// `true` iff every replica of every block verified. Orphans do not
+    /// affect health — they are unreachable garbage, not data loss.
     pub fn healthy(&self) -> bool {
         self.corrupt.is_empty() && self.under_replicated.is_empty()
     }

@@ -2,18 +2,24 @@
 //!
 //! Mirrors the HDFS namenode's role: a single metadata authority tracking
 //! which blocks make up each file and whether the file has been sealed.
+//! Every mutation is journaled write-ahead to the [`Journal`] (edit log +
+//! checkpoint, DESIGN.md §9) *before* it is applied in memory, under the
+//! same state lock, so the durable log order equals the apply order and a
+//! crash at any instant loses at most the un-acked mutation.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
-use dt_common::{Error, Result};
+use dt_common::{Error, HealthCounters, Result, RetryPolicy};
 use parking_lot::RwLock;
 
-use crate::block_store::BlockId;
+use crate::block_store::{BlockId, BlockStore};
+use crate::journal::{EditRecord, Journal};
 
 /// One logical block of a file: every replica holds the same `len` bytes
 /// with checksum `crc`. The checksum enables `fsck`-style integrity
 /// audits and lets repair tell healthy replicas from rotted ones.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct BlockGroup {
     /// Physical replicas, in placement order. Readers try them in order.
     pub replicas: Vec<BlockId>,
@@ -22,55 +28,154 @@ pub(crate) struct BlockGroup {
 }
 
 /// Metadata of one file: ordered block groups plus total length.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct FileMeta {
     pub blocks: Vec<BlockGroup>,
     pub len: u64,
 }
 
-enum Entry {
+pub(crate) enum Entry {
     /// `create()` has been called; the writer has not committed yet.
     Pending,
     /// Sealed, immutable file.
     Closed(FileMeta),
 }
 
-/// The namespace table.
-pub(crate) struct NameNode {
-    files: RwLock<BTreeMap<String, Entry>>,
+/// The namenode's in-memory namespace — exactly what a checkpoint
+/// snapshots and edit-log replay reconstructs.
+#[derive(Default)]
+pub(crate) struct NnState {
+    pub files: BTreeMap<String, Entry>,
     /// Replicas readers have reported bad (CRC mismatch or I/O failure).
     /// Already removed from their block groups, they wait here for a
     /// scrub pass to reclaim the storage — the quarantine lifecycle of
-    /// DESIGN.md §8.
-    quarantined: RwLock<Vec<BlockId>>,
+    /// DESIGN.md §8. Persisted through the journal so a crashed namenode
+    /// does not forget pending repairs.
+    pub quarantined: Vec<BlockId>,
+}
+
+impl NnState {
+    /// Applies one edit record. Replay tolerance: records were validated
+    /// against the state they were journaled under, so blind application
+    /// is correct; stale shapes (e.g. a quarantine for a since-removed
+    /// path) degrade to no-ops rather than errors.
+    pub fn apply(&mut self, record: &EditRecord) {
+        match record {
+            EditRecord::BeginCreate { path } => {
+                self.files.insert(path.clone(), Entry::Pending);
+            }
+            EditRecord::Commit { path, meta } => {
+                self.files.insert(path.clone(), Entry::Closed(meta.clone()));
+            }
+            EditRecord::Abort { path } => {
+                if let Some(Entry::Pending) = self.files.get(path) {
+                    self.files.remove(path);
+                }
+            }
+            EditRecord::Remove { path } => {
+                self.files.remove(path);
+            }
+            EditRecord::Rename { from, to } => {
+                if let Some(entry) = self.files.remove(from) {
+                    self.files.insert(to.clone(), entry);
+                }
+            }
+            EditRecord::Replace { path, meta } => {
+                self.files.insert(path.clone(), Entry::Closed(meta.clone()));
+            }
+            EditRecord::Quarantine {
+                path,
+                group,
+                replica,
+            } => {
+                if let Some(Entry::Closed(meta)) = self.files.get_mut(path) {
+                    if let Some(g) = meta.blocks.get_mut(*group) {
+                        if g.replicas.len() > 1 && g.replicas.contains(replica) {
+                            g.replicas.retain(|r| r != replica);
+                            self.quarantined.push(*replica);
+                        }
+                    }
+                }
+            }
+            EditRecord::DrainQuarantine => self.quarantined.clear(),
+        }
+    }
+}
+
+/// The namespace table, durably journaled.
+pub(crate) struct NameNode {
+    state: RwLock<NnState>,
+    journal: Journal,
 }
 
 impl NameNode {
-    pub fn new() -> Self {
-        NameNode {
-            files: RwLock::new(BTreeMap::new()),
-            quarantined: RwLock::new(Vec::new()),
+    /// Opens the namespace over `blocks`, replaying any persisted
+    /// checkpoint and edit log. A store with no journal streams yields an
+    /// empty namespace (and performs no fault-surface I/O getting there).
+    pub fn recover(
+        blocks: Arc<dyn BlockStore>,
+        retry: RetryPolicy,
+        health: Arc<HealthCounters>,
+        checkpoint_interval: u64,
+    ) -> Result<Self> {
+        let (journal, recovered) =
+            Journal::recover(blocks, retry, health, checkpoint_interval)?;
+        Ok(NameNode {
+            state: RwLock::new(recovered.state),
+            journal,
+        })
+    }
+
+    /// Discards the in-memory namespace and rebuilds it from the durable
+    /// journal — the "namenode restart" used by crash tests.
+    pub fn reload(&self) -> Result<crate::RecoveryReport> {
+        let mut state = self.state.write();
+        let recovered = self.journal.load()?;
+        *state = recovered.state;
+        Ok(recovered.report)
+    }
+
+    /// Journals `record` and applies it to `state` — the write-ahead
+    /// step every mutation funnels through. On journal failure nothing
+    /// is applied and the mutation reports the error; a torn append is
+    /// salvaged away at the next recovery, so an un-acked mutation can
+    /// never resurface.
+    fn journal_and_apply(&self, state: &mut NnState, record: EditRecord) -> Result<()> {
+        self.journal.append(&record)?;
+        state.apply(&record);
+        if self.journal.should_checkpoint() {
+            // Best-effort: the mutation is already durable in the edit
+            // log; a failed checkpoint just postpones log truncation.
+            let _ = self.journal.checkpoint(state);
         }
+        Ok(())
     }
 
     /// Reserves `path` for a writer.
     pub fn begin_create(&self, path: &str) -> Result<()> {
-        let mut files = self.files.write();
-        if files.contains_key(path) {
+        let mut state = self.state.write();
+        if state.files.contains_key(path) {
             return Err(Error::AlreadyExists(format!("DFS path '{path}'")));
         }
-        files.insert(path.to_string(), Entry::Pending);
-        Ok(())
+        self.journal_and_apply(
+            &mut state,
+            EditRecord::BeginCreate {
+                path: path.to_string(),
+            },
+        )
     }
 
     /// Seals a pending file with its final block list.
     pub fn commit(&self, path: &str, meta: FileMeta) -> Result<()> {
-        let mut files = self.files.write();
-        match files.get_mut(path) {
-            Some(entry @ Entry::Pending) => {
-                *entry = Entry::Closed(meta);
-                Ok(())
-            }
+        let mut state = self.state.write();
+        match state.files.get(path) {
+            Some(Entry::Pending) => self.journal_and_apply(
+                &mut state,
+                EditRecord::Commit {
+                    path: path.to_string(),
+                    meta,
+                },
+            ),
             Some(Entry::Closed(_)) => Err(Error::internal(format!(
                 "commit of already-closed file '{path}'"
             ))),
@@ -78,17 +183,23 @@ impl NameNode {
         }
     }
 
-    /// Drops a pending reservation (writer aborted).
+    /// Drops a pending reservation (writer aborted). Journaling is
+    /// best-effort here: recovery drops uncommitted pendings anyway, so a
+    /// failed Abort append cannot resurrect the file.
     pub fn abort(&self, path: &str) {
-        let mut files = self.files.write();
-        if let Some(Entry::Pending) = files.get(path) {
-            files.remove(path);
+        let mut state = self.state.write();
+        if let Some(Entry::Pending) = state.files.get(path) {
+            let record = EditRecord::Abort {
+                path: path.to_string(),
+            };
+            let _ = self.journal.append(&record);
+            state.apply(&record);
         }
     }
 
     /// Returns the metadata of a closed file.
     pub fn get_closed(&self, path: &str) -> Result<FileMeta> {
-        match self.files.read().get(path) {
+        match self.state.read().files.get(path) {
             Some(Entry::Closed(meta)) => Ok(meta.clone()),
             Some(Entry::Pending) => Err(Error::Busy(format!(
                 "file '{path}' is still being written"
@@ -99,14 +210,17 @@ impl NameNode {
 
     /// Removes a closed file, returning its metadata so blocks can be freed.
     pub fn remove(&self, path: &str) -> Result<FileMeta> {
-        let mut files = self.files.write();
-        match files.get(path) {
-            Some(Entry::Closed(_)) => {
-                if let Some(Entry::Closed(meta)) = files.remove(path) {
-                    Ok(meta)
-                } else {
-                    unreachable!("checked above")
-                }
+        let mut state = self.state.write();
+        match state.files.get(path) {
+            Some(Entry::Closed(meta)) => {
+                let meta = meta.clone();
+                self.journal_and_apply(
+                    &mut state,
+                    EditRecord::Remove {
+                        path: path.to_string(),
+                    },
+                )?;
+                Ok(meta)
             }
             Some(Entry::Pending) => Err(Error::Busy(format!(
                 "cannot delete '{path}' while it is being written"
@@ -117,17 +231,18 @@ impl NameNode {
 
     /// Renames a closed file; destination must be free.
     pub fn rename(&self, from: &str, to: &str) -> Result<()> {
-        let mut files = self.files.write();
-        if files.contains_key(to) {
+        let mut state = self.state.write();
+        if state.files.contains_key(to) {
             return Err(Error::AlreadyExists(format!("DFS path '{to}'")));
         }
-        match files.get(from) {
-            Some(Entry::Closed(_)) => {
-                if let Some(entry) = files.remove(from) {
-                    files.insert(to.to_string(), entry);
-                }
-                Ok(())
-            }
+        match state.files.get(from) {
+            Some(Entry::Closed(_)) => self.journal_and_apply(
+                &mut state,
+                EditRecord::Rename {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                },
+            ),
             Some(Entry::Pending) => Err(Error::Busy(format!(
                 "cannot rename '{from}' while it is being written"
             ))),
@@ -137,12 +252,15 @@ impl NameNode {
 
     /// Replaces the metadata of a closed file (post-repair block lists).
     pub fn replace(&self, path: &str, meta: FileMeta) -> Result<()> {
-        let mut files = self.files.write();
-        match files.get_mut(path) {
-            Some(entry @ Entry::Closed(_)) => {
-                *entry = Entry::Closed(meta);
-                Ok(())
-            }
+        let mut state = self.state.write();
+        match state.files.get(path) {
+            Some(Entry::Closed(_)) => self.journal_and_apply(
+                &mut state,
+                EditRecord::Replace {
+                    path: path.to_string(),
+                    meta,
+                },
+            ),
             Some(Entry::Pending) => Err(Error::Busy(format!(
                 "cannot replace metadata of '{path}' while it is being written"
             ))),
@@ -153,44 +271,85 @@ impl NameNode {
     /// Takes `replica` out of the serving set of block group
     /// `group_index` of `path` and records it as quarantined. Returns
     /// `true` iff this call removed it (a concurrent reader may have won
-    /// the race). The *last* replica of a group is never removed — a
-    /// suspect copy beats no copy, and `fsck` will still flag the group.
+    /// the race, or the journal append may have failed — quarantine is
+    /// best-effort; the replica stays serving and `fsck` still flags it).
+    /// The *last* replica of a group is never removed — a suspect copy
+    /// beats no copy.
     pub fn quarantine_replica(
         &self,
         path: &str,
         group_index: usize,
         replica: BlockId,
     ) -> bool {
-        let mut files = self.files.write();
-        let Some(Entry::Closed(meta)) = files.get_mut(path) else {
+        let mut state = self.state.write();
+        let Some(Entry::Closed(meta)) = state.files.get(path) else {
             return false;
         };
-        let Some(group) = meta.blocks.get_mut(group_index) else {
+        let Some(group) = meta.blocks.get(group_index) else {
             return false;
         };
         if group.replicas.len() <= 1 || !group.replicas.contains(&replica) {
             return false;
         }
-        group.replicas.retain(|r| *r != replica);
-        drop(files);
-        self.quarantined.write().push(replica);
-        true
+        self.journal_and_apply(
+            &mut state,
+            EditRecord::Quarantine {
+                path: path.to_string(),
+                group: group_index,
+                replica,
+            },
+        )
+        .is_ok()
     }
 
     /// Number of replicas currently quarantined.
     pub fn quarantined_count(&self) -> usize {
-        self.quarantined.read().len()
+        self.state.read().quarantined.len()
     }
 
     /// Drains the quarantine list so a scrub pass can reclaim the blocks.
-    pub fn take_quarantined(&self) -> Vec<BlockId> {
-        std::mem::take(&mut *self.quarantined.write())
+    /// The drain itself is journaled first, so a crash after the blocks
+    /// are deleted cannot resurrect stale quarantine entries.
+    pub fn take_quarantined(&self) -> Result<Vec<BlockId>> {
+        let mut state = self.state.write();
+        if state.quarantined.is_empty() {
+            return Ok(Vec::new());
+        }
+        let drained = state.quarantined.clone();
+        self.journal_and_apply(&mut state, EditRecord::DrainQuarantine)?;
+        Ok(drained)
+    }
+
+    /// Number of in-flight (pending) writers.
+    pub fn pending_count(&self) -> usize {
+        self.state
+            .read()
+            .files
+            .values()
+            .filter(|e| matches!(e, Entry::Pending))
+            .count()
+    }
+
+    /// Every block id referenced by a closed file or the quarantine
+    /// registry — the live set for orphan-block accounting.
+    pub fn referenced_blocks(&self) -> HashSet<BlockId> {
+        let state = self.state.read();
+        let mut refs: HashSet<BlockId> = state.quarantined.iter().copied().collect();
+        for entry in state.files.values() {
+            if let Entry::Closed(meta) = entry {
+                for group in &meta.blocks {
+                    refs.extend(group.replicas.iter().copied());
+                }
+            }
+        }
+        refs
     }
 
     /// Sorted list of closed paths with the given prefix.
     pub fn list(&self, prefix: &str) -> Vec<String> {
-        self.files
+        self.state
             .read()
+            .files
             .range(prefix.to_string()..)
             .take_while(|(path, _)| path.starts_with(prefix))
             .filter(|(_, entry)| matches!(entry, Entry::Closed(_)))
@@ -200,8 +359,9 @@ impl NameNode {
 
     /// Sum of closed file lengths.
     pub fn total_bytes(&self) -> u64 {
-        self.files
+        self.state
             .read()
+            .files
             .values()
             .map(|e| match e {
                 Entry::Closed(meta) => meta.len,

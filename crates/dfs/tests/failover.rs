@@ -21,8 +21,9 @@ fn three_way(chunk_size: usize) -> DfsConfig {
 #[test]
 fn read_survives_one_corrupt_replica_then_scrub_rereplicates() {
     // CorruptWrite on the 2nd block put mangles exactly one replica of
-    // the first (only) block group and reports success.
-    let plan = Arc::new(FaultPlan::new(17).fail_at(2, FaultKind::CorruptWrite));
+    // the first (only) block group and reports success. (Write op 1 is
+    // the BeginCreate edit-log append, op 2 the first replica put.)
+    let plan = Arc::new(FaultPlan::new(17).fail_at(3, FaultKind::CorruptWrite));
     let dfs = Dfs::in_memory_faulty(three_way(64), plan.clone());
     let payload: Vec<u8> = (0..48u8).collect();
     dfs.write_file("/t/part-0", &payload).unwrap();
@@ -64,7 +65,9 @@ fn read_survives_one_corrupt_replica_then_scrub_rereplicates() {
 /// both events in the health counters.
 #[test]
 fn failover_from_first_replica_quarantines_it() {
-    let plan = Arc::new(FaultPlan::new(23).fail_at(1, FaultKind::CorruptWrite));
+    // Op 1 is the BeginCreate edit-log append; op 2 is the first replica
+    // placement — the copy the reader tries first.
+    let plan = Arc::new(FaultPlan::new(23).fail_at(2, FaultKind::CorruptWrite));
     let dfs = Dfs::in_memory_faulty(three_way(64), plan.clone());
     let payload = vec![0xABu8; 32];
     dfs.write_file("/f", &payload).unwrap();
@@ -154,12 +157,13 @@ fn write_pipeline_retries_transient_placement_failures() {
 /// Reads fail only when every replica of a group is bad.
 #[test]
 fn read_fails_only_when_all_replicas_are_bad() {
-    // Rot all three replicas of the single block group.
+    // Rot all three replicas of the single block group (write ops 2–4;
+    // op 1 is the BeginCreate edit-log append).
     let plan = Arc::new(
         FaultPlan::new(41)
-            .fail_at(1, FaultKind::CorruptWrite)
             .fail_at(2, FaultKind::CorruptWrite)
-            .fail_at(3, FaultKind::CorruptWrite),
+            .fail_at(3, FaultKind::CorruptWrite)
+            .fail_at(4, FaultKind::CorruptWrite),
     );
     let dfs = Dfs::in_memory_faulty(three_way(64), plan.clone());
     dfs.write_file("/doomed", &[9u8; 20]).unwrap();

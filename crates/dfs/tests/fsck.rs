@@ -29,10 +29,17 @@ fn fsck_detects_on_disk_corruption() {
     assert!(dfs.fsck().unwrap().healthy());
 
     // Flip a byte in one block file behind the DFS's back (bit rot).
+    // The root also holds the namenode journal (nn_* files) — only blk_*
+    // entries are replicas.
     let mut blocks: Vec<_> = std::fs::read_dir(&dir)
         .unwrap()
         .filter_map(|e| e.ok())
         .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("blk_"))
+        })
         .collect();
     blocks.sort();
     let victim_block = blocks.last().unwrap();
@@ -97,7 +104,7 @@ fn fsck_flags_missing_replicas_and_repair_reclones_them() {
         replication: 2,
         ..DfsConfig::default()
     };
-    let dfs = Dfs::with_block_store(store.clone(), cfg);
+    let dfs = Dfs::with_block_store(store.clone(), cfg).unwrap();
     let payload = [5u8; 50]; // 4 blocks × 2 replicas = ids 0..8
     dfs.write_file("/f", &payload).unwrap();
     assert_eq!(store.block_count(), 8);
@@ -128,7 +135,7 @@ fn repair_reports_unrecoverable_when_no_replica_survives() {
         replication: 1,
         ..DfsConfig::default()
     };
-    let dfs = Dfs::with_block_store(store.clone(), cfg);
+    let dfs = Dfs::with_block_store(store.clone(), cfg).unwrap();
     dfs.write_file("/gone", &[3u8; 20]).unwrap(); // blocks 0, 1
     dfs.write_file("/fine", &[4u8; 10]).unwrap();
     store.delete(BlockId(1)).unwrap();

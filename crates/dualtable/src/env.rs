@@ -109,12 +109,16 @@ impl DualTableEnv {
         }
     }
 
-    /// Simulates a crash and restart of the compute/KV process: heals any
-    /// sticky injected crash and reopens every KV table (WAL replay,
-    /// SSTable quarantine). The DFS tier models a remote service that
-    /// does not die with the client, so its state is simply kept.
+    /// Simulates a whole-stack crash and restart: heals any sticky
+    /// injected crash, reopens every KV table (WAL replay, SSTable
+    /// quarantine), and restarts the DFS namenode — its in-memory
+    /// namespace is discarded and rebuilt from the durable edit log and
+    /// checkpoint, implicitly aborting any pending DFS writers (their
+    /// blocks become orphans for the next scrub pass).
     pub fn crash_and_reopen(&self) -> Result<()> {
-        self.kv.crash_and_reopen()
+        self.kv.crash_and_reopen()?;
+        self.dfs.crash_and_reopen()?;
+        Ok(())
     }
 
     /// On-disk environment rooted at `root` (benchmarks with real file

@@ -1,0 +1,383 @@
+//! The three-tier crash-point simulation matrix (DESIGN.md §9).
+//!
+//! A seeded DML workload — INSERT, EDIT-plan UPDATE/DELETE, INSERT
+//! OVERWRITE, COMPACT — is run once with I/O-trace recording to learn
+//! its operation horizon and each statement's `(start, end]` op range.
+//! Then, for every selected crash point `k`, a fresh stack re-runs the
+//! workload with a fail-stop fault scheduled at operation `k`, recovers
+//! via [`DualTableEnv::crash_and_reopen`] (KV WAL replay + namenode
+//! edit-log/checkpoint replay), reopens the table, and checks:
+//!
+//! 1. **Prefix durability / statement atomicity** — the recovered table
+//!    equals the oracle after exactly `acked` statements, or `acked + 1`
+//!    if the in-flight statement committed before the fault surfaced.
+//!    Never anything in between.
+//! 2. **Single generation** — every surviving master file belongs to one
+//!    generation directory. A crash inside OVERWRITE or COMPACT lands on
+//!    exactly the old or the new generation, never a mix.
+//! 3. **Physical hygiene** — fsck reports no corruption and no
+//!    under-replication; scrub collects every orphan block and leaves the
+//!    logical content untouched.
+//!
+//! The smoke run covers >= 200 points (plus guaranteed points inside
+//! every OVERWRITE/COMPACT statement). Set `CRASH_MATRIX_FULL=1` for the
+//! exhaustive run over every operation index.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use dt_common::crash_matrix::{run_crash_matrix, select_crash_points};
+use dt_common::fault::{FaultKind, FaultPlan, IoOp};
+use dt_common::{DataType, Row, Schema, Value};
+use dt_dfs::DfsConfig;
+use dt_kvstore::KvConfig;
+use dualtable::{DualTableConfig, DualTableEnv, DualTableStore, PlanMode, RatioHint};
+
+const TABLE: &str = "crash";
+const ROWS_PER_FILE: usize = 8;
+
+/// Small chunks, replication 2 and a mid-workload checkpoint interval so
+/// crash points land inside block pipelines and checkpoint writes alike.
+fn dfs_cfg() -> DfsConfig {
+    DfsConfig {
+        chunk_size: 64,
+        replication: 2,
+        checkpoint_interval: 16,
+        ..DfsConfig::default()
+    }
+}
+
+/// Tiny memtable so the workload forces WAL rotation and SSTable flushes,
+/// putting crash points inside the attached tier's flush path too.
+fn kv_cfg() -> KvConfig {
+    KvConfig {
+        memtable_flush_bytes: 512,
+        ..KvConfig::default()
+    }
+}
+
+fn table_cfg() -> DualTableConfig {
+    DualTableConfig {
+        rows_per_file: ROWS_PER_FILE,
+        plan_mode: PlanMode::CostBased,
+        ..DualTableConfig::default()
+    }
+}
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[("id", DataType::Int64), ("v", DataType::Int64)])
+}
+
+/// One DML statement of the seeded workload. Shapes keep each statement
+/// atomic (see prop_fault_recovery.rs): INSERT batches fit one master
+/// file; UPDATE/DELETE hint a tiny ratio so the cost model picks EDIT.
+#[derive(Debug, Clone, Copy)]
+enum Stmt {
+    Insert { count: u8 },
+    Update { divisor: i64, rem: i64, v: i64 },
+    Delete { divisor: i64, rem: i64 },
+    /// INSERT OVERWRITE: every surviving row's `v` bumped by 1000.
+    Overwrite,
+    Compact,
+}
+
+const STMTS: &[Stmt] = &[
+    Stmt::Insert { count: 8 },
+    Stmt::Insert { count: 6 },
+    Stmt::Update { divisor: 2, rem: 0, v: 7 },
+    Stmt::Insert { count: 8 },
+    Stmt::Delete { divisor: 3, rem: 1 },
+    Stmt::Compact,
+    Stmt::Insert { count: 5 },
+    Stmt::Update { divisor: 5, rem: 2, v: -3 },
+    Stmt::Overwrite,
+    Stmt::Insert { count: 8 },
+    Stmt::Delete { divisor: 2, rem: 1 },
+    Stmt::Update { divisor: 3, rem: 0, v: 11 },
+    Stmt::Compact,
+    Stmt::Insert { count: 7 },
+    Stmt::Update { divisor: 7, rem: 3, v: 21 },
+];
+
+/// The in-memory oracle: table content plus the id allocator.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Model {
+    rows: Vec<(i64, i64)>,
+    next_id: i64,
+}
+
+impl Model {
+    /// Applies `stmt` to the oracle (the semantics every recovered state
+    /// is judged against).
+    fn step(&mut self, stmt: &Stmt) {
+        match *stmt {
+            Stmt::Insert { count } => {
+                for _ in 0..count {
+                    self.rows.push((self.next_id, self.next_id * 3));
+                    self.next_id += 1;
+                }
+            }
+            Stmt::Update { divisor, rem, v } => {
+                for (id, val) in self.rows.iter_mut() {
+                    if *id % divisor == rem {
+                        *val = v;
+                    }
+                }
+            }
+            Stmt::Delete { divisor, rem } => self.rows.retain(|(id, _)| id % divisor != rem),
+            Stmt::Overwrite => {
+                for (_, val) in self.rows.iter_mut() {
+                    *val += 1000;
+                }
+            }
+            Stmt::Compact => {}
+        }
+    }
+
+    fn sorted(&self) -> Vec<(i64, i64)> {
+        let mut v = self.rows.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Oracle states after 0, 1, ..., N statements.
+fn oracle_states() -> Vec<Vec<(i64, i64)>> {
+    let mut m = Model::default();
+    let mut states = vec![m.sorted()];
+    for stmt in STMTS {
+        m.step(stmt);
+        states.push(m.sorted());
+    }
+    states
+}
+
+/// Applies one statement to the real table. `model` is the oracle state
+/// *before* the statement (it supplies fresh ids and OVERWRITE content).
+fn apply(table: &DualTableStore, model: &Model, stmt: &Stmt) -> dt_common::Result<()> {
+    match *stmt {
+        Stmt::Insert { count } => {
+            let rows: Vec<Row> = (0..count as i64)
+                .map(|i| {
+                    let id = model.next_id + i;
+                    vec![Value::Int64(id), Value::Int64(id * 3)]
+                })
+                .collect();
+            table.insert_rows(rows).map(|_| ())
+        }
+        Stmt::Update { divisor, rem, v } => table
+            .update(
+                move |row| row[0].as_i64().unwrap() % divisor == rem,
+                &[(1, Box::new(move |_| Value::Int64(v)))],
+                RatioHint::Explicit(0.01),
+            )
+            .map(|_| ()),
+        Stmt::Delete { divisor, rem } => table
+            .delete(
+                move |row| row[0].as_i64().unwrap() % divisor == rem,
+                RatioHint::Explicit(0.01),
+            )
+            .map(|_| ()),
+        Stmt::Overwrite => {
+            let rows: Vec<Row> = model
+                .rows
+                .iter()
+                .map(|&(id, v)| vec![Value::Int64(id), Value::Int64(v + 1000)])
+                .collect();
+            table.insert_overwrite(rows).map(|_| ())
+        }
+        Stmt::Compact => table.compact(),
+    }
+}
+
+/// The table's logical content as sorted `(id, v)` pairs.
+fn scan_sorted(table: &DualTableStore) -> Result<Vec<(i64, i64)>, String> {
+    let scanned = table.scan_all().map_err(|e| format!("scan: {e}"))?;
+    let mut got: Vec<(i64, i64)> = scanned
+        .iter()
+        .map(|(_, row)| (row[0].as_i64().unwrap(), row[1].as_i64().unwrap()))
+        .collect();
+    got.sort_unstable();
+    Ok(got)
+}
+
+/// The set of generation directories holding master files.
+fn live_generations(env: &DualTableEnv) -> BTreeSet<String> {
+    env.dfs
+        .list(&format!("/warehouse/{TABLE}/"))
+        .into_iter()
+        .filter_map(|p| {
+            p.split('/')
+                .find(|seg| seg.starts_with("gen-"))
+                .map(String::from)
+        })
+        .collect()
+}
+
+#[test]
+fn crash_matrix_three_tiers() {
+    // ------------------------------------------------------------------
+    // Record run: learn the op horizon, the per-op class trace, and each
+    // statement's op range. Setup runs disarmed so op 1 is the first
+    // workload operation in both this run and every crash run.
+    // ------------------------------------------------------------------
+    let plan = Arc::new(FaultPlan::new(0xD7A1));
+    plan.set_armed(false);
+    let env = DualTableEnv::in_memory_faulty_with(plan.clone(), dfs_cfg(), kv_cfg())
+        .expect("clean setup");
+    let table = DualTableStore::create(&env, TABLE, schema(), table_cfg()).expect("clean create");
+    plan.record_trace();
+    plan.set_armed(true);
+
+    let oracles = oracle_states();
+    let mut model = Model::default();
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    for stmt in STMTS {
+        let start = plan.ops_seen();
+        apply(&table, &model, stmt).expect("record run must not fault");
+        model.step(stmt);
+        ranges.push((start + 1, plan.ops_seen()));
+    }
+    plan.set_armed(false);
+    let trace = plan.take_trace();
+    let total_ops = trace.len() as u64;
+    assert_eq!(
+        scan_sorted(&table).unwrap(),
+        oracles[STMTS.len()],
+        "record run diverged from oracle"
+    );
+    assert!(
+        total_ops >= 200,
+        "workload too small for a 200-point smoke matrix ({total_ops} ops)"
+    );
+
+    // Crash points inside OVERWRITE and COMPACT are mandatory: those are
+    // the generation-swap critical sections.
+    let must_cover: Vec<(u64, u64)> = STMTS
+        .iter()
+        .zip(&ranges)
+        .filter(|(s, _)| matches!(s, Stmt::Overwrite | Stmt::Compact))
+        .map(|(_, &r)| r)
+        .collect();
+    assert_eq!(must_cover.len(), 3, "one OVERWRITE + two COMPACT statements");
+    assert!(must_cover.iter().all(|&(s, e)| s <= e), "empty critical range");
+
+    // ------------------------------------------------------------------
+    // Matrix run: >= 200 jittered points by default, every op index under
+    // CRASH_MATRIX_FULL=1.
+    // ------------------------------------------------------------------
+    let full = std::env::var("CRASH_MATRIX_FULL").is_ok_and(|v| v != "0");
+    let target = if full { total_ops as usize } else { 200 };
+    let points = select_crash_points(0x5EED_CA5B, total_ops, target, &must_cover);
+    assert!(points.len() >= 200, "only {} crash points", points.len());
+    for &(s, e) in &must_cover {
+        assert!(
+            points.iter().any(|&p| (s..=e).contains(&p)),
+            "no crash point inside critical range ({s}, {e}]"
+        );
+    }
+
+    let report = run_crash_matrix(&points, |k| {
+        // Torn writes on even write ops exercise the salvage paths; a
+        // plain crash fires on any op class.
+        let kind = if trace[(k - 1) as usize] == IoOp::Write && k % 2 == 0 {
+            FaultKind::TornWrite
+        } else {
+            FaultKind::Crash
+        };
+        let plan = Arc::new(FaultPlan::new(0xC0FFEE ^ k).fail_at(k, kind));
+        plan.set_armed(false);
+        let env = DualTableEnv::in_memory_faulty_with(plan.clone(), dfs_cfg(), kv_cfg())
+            .map_err(|e| format!("setup: {e}"))?;
+        let table = DualTableStore::create(&env, TABLE, schema(), table_cfg())
+            .map_err(|e| format!("create: {e}"))?;
+        plan.set_armed(true);
+
+        let mut model = Model::default();
+        let mut acked = 0usize;
+        let mut crashed = false;
+        for stmt in STMTS {
+            match apply(&table, &model, stmt) {
+                Ok(()) => {
+                    model.step(stmt);
+                    acked += 1;
+                    // An Ok statement with a sticky crash behind it: the
+                    // fault hit post-commit maintenance. The simulated
+                    // process is dead; stop issuing statements.
+                    if plan.is_crashed() {
+                        crashed = true;
+                        break;
+                    }
+                }
+                Err(_) => {
+                    crashed = true;
+                    break;
+                }
+            }
+        }
+        if !crashed && !plan.is_crashed() {
+            return Ok(false); // self-healing absorbed the fault
+        }
+
+        // Restart the whole stack from its durable state and reopen the
+        // table (which settles any deferred generation GC).
+        plan.heal_and_disarm();
+        env.crash_and_reopen()
+            .map_err(|e| format!("recovery: {e}"))?;
+        let table = DualTableStore::open(&env, TABLE, schema(), table_cfg())
+            .map_err(|e| format!("reopen: {e}"))?;
+
+        // Invariant 1: oracle(acked) or oracle(acked + 1), never a mix.
+        let got = scan_sorted(&table)?;
+        let committed_in_flight = acked + 1 < oracles.len() && got == oracles[acked + 1];
+        if got != oracles[acked] && !committed_in_flight {
+            return Err(format!(
+                "recovered table matches neither oracle({acked}) nor oracle({}): {} rows",
+                acked + 1,
+                got.len()
+            ));
+        }
+        if table.count().map_err(|e| format!("count: {e}"))? != got.len() as u64 {
+            return Err("count() disagrees with scan".into());
+        }
+
+        // Invariant 2: one surviving master generation — a crash inside
+        // OVERWRITE/COMPACT must land on the old or the new generation.
+        let gens = live_generations(&env);
+        if gens.len() > 1 {
+            return Err(format!("mixed master generations after recovery: {gens:?}"));
+        }
+
+        // Invariant 3: no corruption or under-replication; orphans are
+        // collected by scrub without touching logical content.
+        let fsck = env.dfs.fsck().map_err(|e| format!("fsck: {e}"))?;
+        if !fsck.healthy() {
+            return Err(format!("fsck unhealthy after recovery: {fsck:?}"));
+        }
+        env.dfs.scrub().map_err(|e| format!("scrub: {e}"))?;
+        let after = env.dfs.fsck().map_err(|e| format!("post-scrub fsck: {e}"))?;
+        if after.orphan_blocks != 0 {
+            return Err(format!("{} orphans survived scrub", after.orphan_blocks));
+        }
+        if scan_sorted(&table)? != got {
+            return Err("scrub changed logical table content".into());
+        }
+        Ok(true)
+    });
+
+    assert!(
+        report.ok(),
+        "crash matrix violations ({} of {} points):\n{:#?}",
+        report.violations.len(),
+        report.points,
+        report.violations
+    );
+    // Nearly every point must actually kill the workload; a small
+    // remainder may be absorbed by replica failover.
+    assert!(
+        report.crashes_injected * 10 >= report.points * 9,
+        "only {} of {} crash points fired",
+        report.crashes_injected,
+        report.points
+    );
+}

@@ -214,7 +214,9 @@ impl Harness {
         // themselves be faulted.
         self.plan.set_armed(false);
         if std::env::var("CHAOS_DEBUG").is_ok() {
-            eprintln!("op={:?} ok={} crashed={} injected={} ops_seen={}", op, ok, self.plan.is_crashed(), self.plan.injected_count(), self.plan.ops_seen());
+            let injected = self.plan.injected();
+            let tail = &injected[injected.len().saturating_sub(6)..];
+            eprintln!("op={:?} ok={} crashed={} injected={} ops_seen={} tail={:?}", op, ok, self.plan.is_crashed(), self.plan.injected_count(), self.plan.ops_seen(), tail);
         }
         // Reopen when the statement failed (process-restart semantics)
         // or when a fault swallowed by auto-maintenance left the
@@ -341,18 +343,26 @@ fn chaos_smoke_fixed_seed() {
 }
 
 /// A transient-only outage schedule: `n` outages of 1–3 consecutive
-/// failures each, spaced at least 16 operations apart so no single
-/// operation's retry budget (4 attempts) can span two outages — which is
-/// what makes "retry ⇒ every statement succeeds" a theorem rather than a
-/// probability.
+/// failures each, spaced at least 16 *same-class* operations apart so no
+/// single operation's retry budget (4 attempts) can span two outages —
+/// which is what makes "retry ⇒ every statement succeeds" a theorem
+/// rather than a probability.
 fn transient_schedule(seed: u64, n: u64, spread: u64) -> Arc<FaultPlan> {
     let mut rng = Rng64::new(seed);
     let mut plan = FaultPlan::new(seed);
-    let mut at = 1u64;
+    // One spacing cursor per transient kind: schedules are class-indexed
+    // (the N-th read / the N-th write), so the ≥16 gap is measured in
+    // same-class operations. A retry loop re-attempts one operation — at
+    // most 4 consecutive same-class ops — and therefore can never span
+    // two outages of its own class, no matter how the other class
+    // interleaves. Global-indexed schedules lack this guarantee: specs
+    // slide to the next matching op, and a long run of the other class
+    // lets two outages pile up and fire back-to-back.
+    let mut at = [1u64; 2];
     for _ in 0..n {
-        at += 16 + rng.next_below(spread);
-        let kind = TRANSIENT_ONLY[rng.next_below(TRANSIENT_ONLY.len() as u64) as usize];
-        plan = plan.fail_transient_at(at, kind, 1 + rng.next_below(3) as u32);
+        let pick = rng.next_below(TRANSIENT_ONLY.len() as u64) as usize;
+        at[pick] += 16 + rng.next_below(spread);
+        plan = plan.fail_transient_at_nth(at[pick], TRANSIENT_ONLY[pick], 1 + rng.next_below(3) as u32);
     }
     Arc::new(plan)
 }

@@ -64,6 +64,9 @@ struct State {
     memtable: MemTable,
     sstables: Vec<Arc<SsTable>>,
     next_file_no: u64,
+    /// Segment the next WAL append goes to. Flush bumps it (rotation) so
+    /// it can later delete every segment at or below the old value.
+    wal_segment: u64,
 }
 
 struct StoreInner {
@@ -122,6 +125,7 @@ impl Store {
             max_ts = max_ts.max(version.ts);
             memtable.insert(key, version);
         }
+        let wal_segment = recovery.next_segment;
         let mut sstables = Vec::new();
         let mut next_file_no = 0u64;
         for name in env.list() {
@@ -164,6 +168,7 @@ impl Store {
                     memtable,
                     sstables,
                     next_file_no,
+                    wal_segment,
                 }),
                 maintenance: Mutex::new(()),
                 degraded: AtomicBool::new(false),
@@ -178,7 +183,7 @@ impl Store {
             // live), then reset the log. A log that salvaged nothing is
             // all garbage and is simply dropped.
             if store.inner.state.read().memtable.is_empty() {
-                Wal::new(store.inner.env.clone(), store.inner.stats.clone()).reset()?;
+                Wal::delete_all(store.inner.env.as_ref())?;
             } else {
                 store.flush()?;
             }
@@ -275,22 +280,31 @@ impl Store {
             })
             .collect();
         let last_ts = batch.last().map(|(_, v)| v.ts).unwrap_or(0);
-        if let Err(e) =
-            Wal::new(self.inner.env.clone(), self.inner.stats.clone()).append_batch(&batch)
-        {
-            // Transient failures were already retried below us (RetryEnv);
-            // a permanent WAL failure means the write path is down for
-            // good. Fall into read-only degraded mode: reads keep serving
-            // what is durable, writes are refused until a reopen — never
-            // acknowledge a put the log cannot hold.
-            if e.class() == ErrorClass::Permanent {
-                self.inner.degraded.store(true, Ordering::Release);
-            }
-            return Err(e);
-        }
         let should_flush;
         {
+            // The WAL append happens under the state lock, atomically with
+            // the memtable insert. Otherwise a concurrent flush could
+            // drain the memtable (not yet holding this batch) and
+            // truncate the WAL segment that does hold it — dropping an
+            // acknowledged write on the next crash.
             let mut state = self.inner.state.write();
+            let wal = Wal::new(
+                self.inner.env.clone(),
+                self.inner.stats.clone(),
+                state.wal_segment,
+            );
+            if let Err(e) = wal.append_batch(&batch) {
+                // Transient failures were already retried below us
+                // (RetryEnv); a permanent WAL failure means the write path
+                // is down for good. Fall into read-only degraded mode:
+                // reads keep serving what is durable, writes are refused
+                // until a reopen — never acknowledge a put the log cannot
+                // hold.
+                if e.class() == ErrorClass::Permanent {
+                    self.inner.degraded.store(true, Ordering::Release);
+                }
+                return Err(e);
+            }
             for (key, version) in batch {
                 state.memtable.insert(key, version);
             }
@@ -415,28 +429,34 @@ impl Store {
         })
     }
 
-    /// Moves the memtable into a new SSTable and truncates the WAL.
+    /// Moves the memtable into a new SSTable and truncates the WAL
+    /// segments that covered it.
     ///
     /// Atomic with respect to failure: entries leave the memtable only
-    /// once their SSTable is durable and open, and the WAL is reset only
-    /// after that. A failed flush puts everything back, so reads keep
-    /// seeing the buffered writes and a crash at any point replays them
-    /// from the still-intact WAL.
+    /// once their SSTable is durable and open, and the covered WAL
+    /// segments are deleted only after that. The drain and the rotation
+    /// to a fresh segment happen under one state lock, so every entry in
+    /// segments ≤ the boundary is in the drained set and every concurrent
+    /// append lands above it. A failed flush puts everything back, so
+    /// reads keep seeing the buffered writes and a crash at any point
+    /// replays them from the still-intact segments.
     pub fn flush(&self) -> Result<()> {
         let _guard = self.inner.maintenance.lock();
-        let (drained, name) = {
+        let (drained, name, boundary) = {
             let mut state = self.inner.state.write();
             if state.memtable.is_empty() {
                 return Ok(());
             }
             let name = format!("sst_{:010}", state.next_file_no);
             state.next_file_no += 1;
-            (state.memtable.drain_sorted(), name)
+            let boundary = state.wal_segment;
+            state.wal_segment += 1;
+            (state.memtable.drain_sorted(), name, boundary)
         };
         match self.write_sstable(&drained, &name) {
             Ok(table) => {
                 self.inner.state.write().sstables.push(table);
-                Wal::new(self.inner.env.clone(), self.inner.stats.clone()).reset()
+                Wal::truncate_through(self.inner.env.as_ref(), boundary)
             }
             Err(e) => {
                 // The table never became durable: drop any torn partial
@@ -915,6 +935,84 @@ mod tests {
         let s = fresh();
         assert!(s.put(b"r", ROW_TOMBSTONE_QUALIFIER, b"v").is_err());
         assert!(s.delete_cell(b"r", ROW_TOMBSTONE_QUALIFIER).is_err());
+    }
+
+    #[test]
+    fn flush_truncates_wal_and_unflushed_segment_survives_reopen() {
+        let env: Arc<MemEnv> = Arc::new(MemEnv::new());
+        let clock = LogicalClock::new();
+        let wal_files = |env: &MemEnv| -> Vec<String> {
+            env.list()
+                .into_iter()
+                .filter(|n| n.starts_with("wal"))
+                .collect()
+        };
+        {
+            let s = Store::open(
+                env.clone(),
+                KvConfig::default(),
+                clock.clone(),
+                IoStats::new(),
+            )
+            .unwrap();
+            s.put(b"flushed", b"q", b"v1").unwrap();
+            s.flush().unwrap();
+            assert!(
+                wal_files(&env).is_empty(),
+                "flush must delete the covered WAL segments: {:?}",
+                wal_files(&env)
+            );
+            // Appends after the flush go to the rotated segment...
+            s.put(b"unflushed", b"q", b"v2").unwrap();
+            assert_eq!(wal_files(&env).len(), 1);
+            // ...and a crash here (drop without flush) must not lose them.
+        }
+        let s = Store::open(env.clone(), KvConfig::default(), clock, IoStats::new()).unwrap();
+        assert_eq!(s.get(b"flushed", b"q").unwrap().unwrap(), b"v1");
+        assert_eq!(s.get(b"unflushed", b"q").unwrap().unwrap(), b"v2");
+        // The recovered store rotates past the old segment; a flush now
+        // clears everything again.
+        s.put(b"more", b"q", b"v3").unwrap();
+        s.flush().unwrap();
+        assert!(wal_files(&env).is_empty());
+        assert_eq!(s.get(b"more", b"q").unwrap().unwrap(), b"v3");
+    }
+
+    #[test]
+    fn wal_growth_is_bounded_by_auto_flush() {
+        // Before segmentation the WAL grew monotonically for the life of
+        // the store (reset only deleted it when a flush happened to run);
+        // now every auto-flush truncates the covered segments, so live
+        // WAL bytes stay bounded by roughly one memtable's worth.
+        let env: Arc<MemEnv> = Arc::new(MemEnv::new());
+        let s = Store::open(
+            env.clone(),
+            KvConfig {
+                memtable_flush_bytes: 512,
+                block_size: 128,
+                max_sstables: 100,
+                max_versions: 1,
+                auto_maintenance: true,
+                ..KvConfig::default()
+            },
+            LogicalClock::new(),
+            IoStats::new(),
+        )
+        .unwrap();
+        for i in 0..200u32 {
+            s.put(&i.to_be_bytes(), b"q", &[0u8; 32]).unwrap();
+        }
+        let wal_bytes: u64 = env
+            .list()
+            .into_iter()
+            .filter(|n| n.starts_with("wal"))
+            .map(|n| env.len(&n).unwrap())
+            .sum();
+        assert!(s.sstable_count() > 1, "expected several auto-flushes");
+        assert!(
+            wal_bytes < 4 * 512,
+            "live WAL bytes must stay near one flush threshold, got {wal_bytes}"
+        );
     }
 
     #[test]

@@ -1,9 +1,19 @@
-//! Write-ahead log: CRC-framed batches of cell mutations.
+//! Write-ahead log: CRC-framed batches of cell mutations, in segments.
 //!
 //! Record framing: `[payload_len: u32 LE][crc32(payload): u32 LE][payload]`.
 //! The payload is a varint entry count followed by encoded entries. On
 //! replay, a truncated or corrupt tail record is treated as a crash during
 //! the final write and ignored — everything before it is recovered.
+//!
+//! The log is **segmented** so it cannot grow without bound: appends go to
+//! the current segment (`wal_NNNNNNNNNN.log`); a flush rotates to a fresh
+//! segment under the store's state lock and, once the flushed SSTable is
+//! durable, deletes every segment at or below the rotation boundary. Those
+//! segments' entries all live in the flushed table, so a crash at any
+//! point loses nothing: before the truncation the entries are covered by
+//! both the segments and the table, after it by the table alone. Replay
+//! walks the legacy single-file log (`wal.log`, from stores created before
+//! segmentation) and then the segments in ascending order.
 
 use std::sync::Arc;
 
@@ -13,20 +23,36 @@ use dt_common::{IoStats, Result};
 use crate::cell::{decode_entry, encode_entry, CellKey, Version};
 use crate::env::Env;
 
+/// Pre-segmentation log file; replayed (first) if present, never written.
 pub(crate) const WAL_FILE: &str = "wal.log";
 
-/// Appender for the write-ahead log.
+/// The file name of WAL segment `n`.
+pub(crate) fn seg_name(n: u64) -> String {
+    format!("wal_{n:010}.log")
+}
+
+/// The segment number of a WAL segment file name, if it is one.
+fn parse_seg(name: &str) -> Option<u64> {
+    name.strip_prefix("wal_")?.strip_suffix(".log")?.parse().ok()
+}
+
+/// Appender for one segment of the write-ahead log.
 pub(crate) struct Wal {
     env: Arc<dyn Env>,
     stats: IoStats,
+    segment: u64,
 }
 
 impl Wal {
-    pub fn new(env: Arc<dyn Env>, stats: IoStats) -> Self {
-        Wal { env, stats }
+    pub fn new(env: Arc<dyn Env>, stats: IoStats, segment: u64) -> Self {
+        Wal {
+            env,
+            stats,
+            segment,
+        }
     }
 
-    /// Durably appends a batch of mutations.
+    /// Durably appends a batch of mutations to this segment.
     pub fn append_batch(&self, batch: &[(CellKey, Version)]) -> Result<()> {
         let mut payload = Vec::with_capacity(64 * batch.len());
         dt_common::codec::put_uvarint(&mut payload, batch.len() as u64);
@@ -38,17 +64,33 @@ impl Wal {
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
         self.stats.record_write(frame.len() as u64);
-        self.env.append(WAL_FILE, &frame)
+        self.env.append(&seg_name(self.segment), &frame)
     }
 
-    /// Deletes the log after a successful memtable flush.
-    pub fn reset(&self) -> Result<()> {
-        match self.env.delete(WAL_FILE) {
-            Ok(()) => Ok(()),
-            // Nothing was ever logged: fine.
-            Err(dt_common::Error::NotFound(_)) => Ok(()),
-            Err(e) => Err(e),
+    /// Deletes the legacy log and every segment at or below `boundary` —
+    /// the truncation step after a successful memtable flush. Segments
+    /// above the boundary hold entries appended after the flush drained
+    /// the memtable and must survive.
+    pub fn truncate_through(env: &dyn Env, boundary: u64) -> Result<()> {
+        let mut names: Vec<String> = vec![WAL_FILE.to_string()];
+        names.extend(
+            env.list()
+                .into_iter()
+                .filter(|n| parse_seg(n).is_some_and(|s| s <= boundary)),
+        );
+        for name in names {
+            match env.delete(&name) {
+                Ok(()) | Err(dt_common::Error::NotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
         }
+        Ok(())
+    }
+
+    /// Deletes every log file (legacy and all segments) — used when
+    /// recovery salvaged nothing worth flushing.
+    pub fn delete_all(env: &dyn Env) -> Result<()> {
+        Self::truncate_through(env, u64::MAX)
     }
 
     /// Replays all intact records, in order (test convenience; the
@@ -58,22 +100,57 @@ impl Wal {
         Ok(Self::replay_with_report(env)?.entries)
     }
 
-    /// Replays the longest valid prefix of the log and reports what (if
-    /// anything) was dropped.
+    /// Replays the longest valid prefix of the log — legacy file first,
+    /// then segments ascending — and reports what (if anything) was
+    /// dropped.
     ///
     /// Corruption anywhere — a truncated tail, a CRC mismatch, or a
     /// payload that fails to decode despite a matching CRC — ends replay
     /// at the last good record instead of returning `Err`: a WAL is by
     /// definition allowed to end mid-write, and recovery must salvage
-    /// every committed record before the damage. Only inability to read
-    /// the log file itself (other than it not existing) is a real error.
+    /// every committed record before the damage. Damage stops replay
+    /// *globally*, not just within one file: entries in later segments
+    /// were acknowledged after the damaged ones, and replaying them over
+    /// a hole would resurrect a suffix without its prefix. Only inability
+    /// to read a log file itself (other than it not existing) is a real
+    /// error.
     pub fn replay_with_report(env: &dyn Env) -> Result<WalRecovery> {
-        let data = match env.read_file(WAL_FILE) {
-            Ok(d) => d,
-            Err(dt_common::Error::NotFound(_)) => return Ok(WalRecovery::default()),
-            Err(e) => return Err(e),
+        let mut segments: Vec<(u64, String)> = Vec::new();
+        let mut has_legacy = false;
+        for name in env.list() {
+            if name == WAL_FILE {
+                has_legacy = true;
+            } else if let Some(n) = parse_seg(&name) {
+                segments.push((n, name));
+            }
+        }
+        segments.sort();
+        let mut recovery = WalRecovery {
+            next_segment: segments.last().map_or(0, |(n, _)| n + 1),
+            ..WalRecovery::default()
         };
-        let mut recovery = WalRecovery::default();
+        let mut files: Vec<String> = Vec::with_capacity(segments.len() + 1);
+        if has_legacy {
+            files.push(WAL_FILE.to_string());
+        }
+        files.extend(segments.into_iter().map(|(_, name)| name));
+        for file in files {
+            let data = match env.read_file(&file) {
+                Ok(d) => d,
+                Err(dt_common::Error::NotFound(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            let clean = Self::replay_buffer(&data, &mut recovery);
+            if !clean {
+                break;
+            }
+        }
+        Ok(recovery)
+    }
+
+    /// Replays one log file's bytes into `recovery`; returns `false` if
+    /// the file ends in garbage (replay must stop globally).
+    fn replay_buffer(data: &[u8], recovery: &mut WalRecovery) -> bool {
         let mut pos = 0usize;
         'records: while pos + 8 <= data.len() {
             let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
@@ -111,9 +188,9 @@ impl Wal {
             recovery.records += 1;
             pos = body_end;
         }
-        recovery.valid_len = pos as u64;
-        recovery.dropped_bytes = (data.len() - pos) as u64;
-        Ok(recovery)
+        recovery.valid_len += pos as u64;
+        recovery.dropped_bytes += (data.len() - pos) as u64;
+        recovery.dropped_bytes == 0
     }
 }
 
@@ -124,12 +201,15 @@ pub(crate) struct WalRecovery {
     pub entries: Vec<(CellKey, Version)>,
     /// Intact records replayed.
     pub records: u64,
-    /// Length in bytes of the valid prefix. Anything behind it is
-    /// garbage the opener must clear before appending again (see
-    /// `Store::open`), or later appends become unreachable to replay.
+    /// Total bytes of intact records replayed across all log files.
     pub valid_len: u64,
-    /// Bytes at the tail dropped as torn/corrupt (0 for a clean log).
+    /// Bytes dropped as torn/corrupt (0 for a clean log). Non-zero means
+    /// the opener must clear the log before appending again (see
+    /// `Store::open`), or later appends become unreachable to replay.
     pub dropped_bytes: u64,
+    /// One past the highest segment number on disk: where the reopened
+    /// store appends next, so recovered segments are never overwritten.
+    pub next_segment: u64,
 }
 
 #[cfg(test)]
@@ -152,7 +232,7 @@ mod tests {
     #[test]
     fn append_and_replay() {
         let env = Arc::new(MemEnv::new());
-        let wal = Wal::new(env.clone(), IoStats::new());
+        let wal = Wal::new(env.clone(), IoStats::new(), 0);
         wal.append_batch(&[kv(1), kv(2)]).unwrap();
         wal.append_batch(&[kv(3)]).unwrap();
         let replayed = Wal::replay(env.as_ref()).unwrap();
@@ -163,18 +243,54 @@ mod tests {
     fn replay_empty_env_is_empty() {
         let env = MemEnv::new();
         assert!(Wal::replay(&env).unwrap().is_empty());
+        assert_eq!(Wal::replay_with_report(&env).unwrap().next_segment, 0);
+    }
+
+    #[test]
+    fn replay_spans_segments_in_order() {
+        let env = Arc::new(MemEnv::new());
+        Wal::new(env.clone(), IoStats::new(), 0)
+            .append_batch(&[kv(1)])
+            .unwrap();
+        Wal::new(env.clone(), IoStats::new(), 2)
+            .append_batch(&[kv(3)])
+            .unwrap();
+        Wal::new(env.clone(), IoStats::new(), 1)
+            .append_batch(&[kv(2)])
+            .unwrap();
+        let r = Wal::replay_with_report(env.as_ref()).unwrap();
+        assert_eq!(r.entries, vec![kv(1), kv(2), kv(3)]);
+        assert_eq!(r.next_segment, 3);
+    }
+
+    #[test]
+    fn legacy_wal_file_replays_before_segments() {
+        let env = Arc::new(MemEnv::new());
+        // A pre-segmentation store left a wal.log; fake it by building a
+        // frame in segment 0 and renaming the bytes over.
+        Wal::new(env.clone(), IoStats::new(), 0)
+            .append_batch(&[kv(1)])
+            .unwrap();
+        let legacy = env.read_file(&seg_name(0)).unwrap();
+        env.delete(&seg_name(0)).unwrap();
+        env.append(WAL_FILE, &legacy).unwrap();
+        Wal::new(env.clone(), IoStats::new(), 0)
+            .append_batch(&[kv(2)])
+            .unwrap();
+        let r = Wal::replay_with_report(env.as_ref()).unwrap();
+        assert_eq!(r.entries, vec![kv(1), kv(2)]);
     }
 
     #[test]
     fn truncated_tail_is_ignored() {
         let env = Arc::new(MemEnv::new());
-        let wal = Wal::new(env.clone(), IoStats::new());
+        let wal = Wal::new(env.clone(), IoStats::new(), 0);
         wal.append_batch(&[kv(1)]).unwrap();
         wal.append_batch(&[kv(2)]).unwrap();
         // Simulate a crash mid-append by truncating the file.
-        let data = env.read_file(WAL_FILE).unwrap();
-        env.delete(WAL_FILE).unwrap();
-        env.append(WAL_FILE, &data[..data.len() - 3]).unwrap();
+        let data = env.read_file(&seg_name(0)).unwrap();
+        env.delete(&seg_name(0)).unwrap();
+        env.append(&seg_name(0), &data[..data.len() - 3]).unwrap();
         let replayed = Wal::replay(env.as_ref()).unwrap();
         assert_eq!(replayed, vec![kv(1)]);
     }
@@ -182,31 +298,52 @@ mod tests {
     #[test]
     fn corrupt_tail_is_ignored() {
         let env = Arc::new(MemEnv::new());
-        let wal = Wal::new(env.clone(), IoStats::new());
+        let wal = Wal::new(env.clone(), IoStats::new(), 0);
         wal.append_batch(&[kv(1)]).unwrap();
         wal.append_batch(&[kv(2)]).unwrap();
-        let mut data = env.read_file(WAL_FILE).unwrap();
+        let mut data = env.read_file(&seg_name(0)).unwrap();
         let n = data.len();
         data[n - 1] ^= 0xFF; // flip a bit in the last record's payload
-        env.delete(WAL_FILE).unwrap();
-        env.append(WAL_FILE, &data).unwrap();
+        env.delete(&seg_name(0)).unwrap();
+        env.append(&seg_name(0), &data).unwrap();
         let replayed = Wal::replay(env.as_ref()).unwrap();
         assert_eq!(replayed, vec![kv(1)]);
     }
 
     #[test]
+    fn damage_in_one_segment_stops_replay_of_later_segments() {
+        // Entries in segment 1 were acknowledged after the damaged tail
+        // of segment 0; replaying them over the hole would resurrect a
+        // suffix without its prefix.
+        let env = Arc::new(MemEnv::new());
+        let wal0 = Wal::new(env.clone(), IoStats::new(), 0);
+        wal0.append_batch(&[kv(1)]).unwrap();
+        wal0.append_batch(&[kv(2)]).unwrap();
+        Wal::new(env.clone(), IoStats::new(), 1)
+            .append_batch(&[kv(3)])
+            .unwrap();
+        let data = env.read_file(&seg_name(0)).unwrap();
+        env.delete(&seg_name(0)).unwrap();
+        env.append(&seg_name(0), &data[..data.len() - 1]).unwrap();
+        let r = Wal::replay_with_report(env.as_ref()).unwrap();
+        assert_eq!(r.entries, vec![kv(1)]);
+        assert!(r.dropped_bytes > 0);
+        assert_eq!(r.next_segment, 2);
+    }
+
+    #[test]
     fn torn_final_record_recovers_prefix_with_report() {
         let env = Arc::new(MemEnv::new());
-        let wal = Wal::new(env.clone(), IoStats::new());
+        let wal = Wal::new(env.clone(), IoStats::new(), 0);
         wal.append_batch(&[kv(1), kv(2)]).unwrap();
-        let good_len = env.len(WAL_FILE).unwrap();
+        let good_len = env.len(&seg_name(0)).unwrap();
         wal.append_batch(&[kv(3)]).unwrap();
         // Tear the final record at every possible length: each must
         // recover exactly the first batch.
-        let full = env.read_file(WAL_FILE).unwrap();
+        let full = env.read_file(&seg_name(0)).unwrap();
         for cut in good_len as usize..full.len() {
-            env.delete(WAL_FILE).unwrap();
-            env.append(WAL_FILE, &full[..cut]).unwrap();
+            env.delete(&seg_name(0)).unwrap();
+            env.append(&seg_name(0), &full[..cut]).unwrap();
             let r = Wal::replay_with_report(env.as_ref()).unwrap();
             assert_eq!(r.entries, vec![kv(1), kv(2)], "cut at {cut}");
             assert_eq!(r.records, 1);
@@ -218,17 +355,17 @@ mod tests {
     #[test]
     fn flipped_crc_byte_mid_log_stops_at_last_good_record() {
         let env = Arc::new(MemEnv::new());
-        let wal = Wal::new(env.clone(), IoStats::new());
+        let wal = Wal::new(env.clone(), IoStats::new(), 0);
         wal.append_batch(&[kv(1)]).unwrap();
-        let first_len = env.len(WAL_FILE).unwrap() as usize;
+        let first_len = env.len(&seg_name(0)).unwrap() as usize;
         wal.append_batch(&[kv(2)]).unwrap();
         wal.append_batch(&[kv(3)]).unwrap();
         // Flip the CRC of the *middle* record: replay keeps record 1 and
         // must not error, even though record 3 after it is intact.
-        let mut data = env.read_file(WAL_FILE).unwrap();
+        let mut data = env.read_file(&seg_name(0)).unwrap();
         data[first_len + 4] ^= 0x01; // CRC field of record 2
-        env.delete(WAL_FILE).unwrap();
-        env.append(WAL_FILE, &data).unwrap();
+        env.delete(&seg_name(0)).unwrap();
+        env.append(&seg_name(0), &data).unwrap();
         let r = Wal::replay_with_report(env.as_ref()).unwrap();
         assert_eq!(r.entries, vec![kv(1)]);
         assert!(r.dropped_bytes > 0);
@@ -238,29 +375,50 @@ mod tests {
     fn empty_wal_file_recovers_to_nothing() {
         let env = Arc::new(MemEnv::new());
         // A crash can leave a created-but-empty log.
-        env.append(WAL_FILE, b"").unwrap();
+        env.append(&seg_name(0), b"").unwrap();
         let r = Wal::replay_with_report(env.as_ref()).unwrap();
         assert!(r.entries.is_empty());
         assert_eq!(r.records, 0);
         assert_eq!(r.dropped_bytes, 0);
+        assert_eq!(r.next_segment, 1);
     }
 
     #[test]
     fn garbage_only_log_recovers_to_nothing() {
         let env = Arc::new(MemEnv::new());
-        env.append(WAL_FILE, &[0xAB; 50]).unwrap();
+        env.append(&seg_name(0), &[0xAB; 50]).unwrap();
         let r = Wal::replay_with_report(env.as_ref()).unwrap();
         assert!(r.entries.is_empty());
         assert_eq!(r.dropped_bytes, 50);
     }
 
     #[test]
-    fn reset_clears_log_idempotently() {
+    fn truncate_through_removes_only_covered_segments() {
         let env = Arc::new(MemEnv::new());
-        let wal = Wal::new(env.clone(), IoStats::new());
+        env.append(WAL_FILE, b"legacy").unwrap();
+        for seg in 0..3 {
+            Wal::new(env.clone(), IoStats::new(), seg)
+                .append_batch(&[kv(seg + 1)])
+                .unwrap();
+        }
+        Wal::truncate_through(env.as_ref(), 1).unwrap();
+        let names = env.list();
+        assert!(!names.iter().any(|n| n == WAL_FILE));
+        assert!(!names.iter().any(|n| n == &seg_name(0)));
+        assert!(!names.iter().any(|n| n == &seg_name(1)));
+        assert!(names.iter().any(|n| n == &seg_name(2)));
+        assert_eq!(Wal::replay(env.as_ref()).unwrap(), vec![kv(3)]);
+        // Idempotent.
+        Wal::truncate_through(env.as_ref(), 1).unwrap();
+    }
+
+    #[test]
+    fn delete_all_clears_every_log_idempotently() {
+        let env = Arc::new(MemEnv::new());
+        let wal = Wal::new(env.clone(), IoStats::new(), 4);
         wal.append_batch(&[kv(1)]).unwrap();
-        wal.reset().unwrap();
-        wal.reset().unwrap();
+        Wal::delete_all(env.as_ref()).unwrap();
+        Wal::delete_all(env.as_ref()).unwrap();
         assert!(Wal::replay(env.as_ref()).unwrap().is_empty());
     }
 }

@@ -40,4 +40,14 @@ cargo test -q -p dualtable --locked --test prop_fault_recovery \
 echo "==> replica failover + quarantine + re-replication smoke (dfs failover)"
 cargo test -q -p dt-dfs --locked --test failover -- --nocapture
 
+# Crash-point matrix smoke: a fixed-seed DML workload re-run with a
+# fail-stop fault at >=200 distinct I/O-operation indices (always
+# including points inside OVERWRITE/COMPACT generation swaps). After
+# each crash the whole stack recovers from WAL + edit log/checkpoint and
+# must land on an exact statement prefix with a single master generation
+# and zero fsck/scrub violations. Set CRASH_MATRIX_FULL=1 to crash at
+# *every* operation index instead of the 200-point subsample.
+echo "==> crash-point simulation matrix smoke (crash_matrix_three_tiers)"
+cargo test -q -p dualtable --locked --test crash_matrix -- --nocapture
+
 echo "verify.sh: all gates passed"
