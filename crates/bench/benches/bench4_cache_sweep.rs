@@ -1,0 +1,217 @@
+//! BENCH 4: hot-path read acceleration (block + footer caches, presence
+//! pushdown).
+//!
+//! Measures SELECT (clean table — the Fig. 7/9 "0/36" baseline) and
+//! UNION READ (after a 6/36-day grid UPDATE, the same modification the
+//! Fig. 7 grid sweeps) latency with the caches disabled vs enabled, cold
+//! vs warm, and records the observed block/footer hit rates plus the
+//! attached scans skipped by the presence index. Besides the paper-style
+//! series print it emits `BENCH_4.json` at the workspace root so the
+//! perf trajectory is machine-readable.
+
+use dt_bench::report::{header, print_rows, print_series};
+use dt_bench::systems::{rows_per_file, writer_options};
+use dt_bench::{fmt_secs, scaled, time};
+use dt_common::Value;
+use dt_dfs::{Dfs, DfsConfig};
+use dt_kvstore::{KvCluster, KvConfig};
+use dt_workloads::smartgrid;
+use dualtable::{DualTableConfig, DualTableEnv, DualTableStore, PlanMode, RatioHint};
+
+/// Warm-scan repetitions averaged per measurement.
+const WARM_SCANS: usize = 5;
+
+struct PhaseMeasurement {
+    cold: f64,
+    warm: f64,
+    block_hit_rate: f64,
+    footer_hit_rate: f64,
+    attached_scans_skipped: u64,
+}
+
+struct Scenario {
+    name: &'static str,
+    select: PhaseMeasurement,
+    union_read: PhaseMeasurement,
+}
+
+fn build_env(cached: bool) -> DualTableEnv {
+    let dfs_cfg = if cached {
+        DfsConfig::default()
+    } else {
+        DfsConfig::default().without_block_cache()
+    };
+    DualTableEnv::new(Dfs::in_memory(dfs_cfg), KvCluster::in_memory(KvConfig::default()))
+        .expect("in-memory env")
+}
+
+fn build_table(env: &DualTableEnv, cached: bool, rows: usize) -> DualTableStore {
+    let schema = smartgrid::tj_gbsjwzl_mx_schema();
+    let config = DualTableConfig {
+        rows_per_file: rows_per_file(rows),
+        writer: writer_options(),
+        plan_mode: PlanMode::AlwaysEdit,
+        footer_cache_entries: if cached { 1024 } else { 0 },
+        ..DualTableConfig::default()
+    };
+    let t = DualTableStore::create(env, "bench4", schema, config).expect("create table");
+    t.insert_rows(smartgrid::tj_gbsjwzl_mx_rows(rows, 42).collect::<Vec<_>>())
+        .expect("load table");
+    t
+}
+
+/// Cold scan (block cache emptied first), then `WARM_SCANS` repeats.
+/// Hit rates cover the warm repeats only, so a 100% rate means the warm
+/// path never touched the block store.
+fn measure(env: &DualTableEnv, t: &DualTableStore) -> PhaseMeasurement {
+    env.dfs.clear_block_cache();
+    let (cold, rows) = time(|| t.scan_all().expect("scan"));
+    assert!(!rows.is_empty());
+
+    let dfs_before = env.dfs.stats().snapshot();
+    let footer_before = t.footer_cache_stats();
+    let health_before = env.health.snapshot();
+    let mut warm_total = 0.0;
+    for _ in 0..WARM_SCANS {
+        let (secs, warm_rows) = time(|| t.scan_all().expect("scan"));
+        assert_eq!(warm_rows.len(), rows.len());
+        warm_total += secs;
+    }
+    let dfs = env.dfs.stats().snapshot().since(&dfs_before);
+    let footer = t.footer_cache_stats();
+    let health = env.health.snapshot();
+
+    let rate = |hits: u64, misses: u64| {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    };
+    PhaseMeasurement {
+        cold,
+        warm: warm_total / WARM_SCANS as f64,
+        block_hit_rate: rate(dfs.cache_hits, dfs.cache_misses),
+        footer_hit_rate: rate(
+            footer.hits - footer_before.hits,
+            footer.misses - footer_before.misses,
+        ),
+        attached_scans_skipped: health.attached_scans_skipped
+            - health_before.attached_scans_skipped,
+    }
+}
+
+fn run_scenario(cached: bool, rows: usize, rq_col: usize, rcjl_col: usize) -> Scenario {
+    let env = build_env(cached);
+    let t = build_table(&env, cached, rows);
+
+    // SELECT over the pristine table: the Attached Table is empty, so the
+    // presence index proves every master file clean.
+    let select = measure(&env, &t);
+
+    // Grid UPDATE touching the first 6 of 36 days — the Fig. 7 mid-grid
+    // point — then UNION READ over the merged view.
+    let cutoff = smartgrid::BASE_DATE + 6;
+    t.update(
+        move |row| row[rq_col].as_i64().map(|d| d < cutoff).unwrap_or(false),
+        &[(rcjl_col, Box::new(|_| Value::Float64(42.0)))],
+        RatioHint::Explicit(6.0 / 36.0),
+    )
+    .expect("grid update");
+    let union_read = measure(&env, &t);
+
+    Scenario {
+        name: if cached { "cache-on" } else { "cache-off" },
+        select,
+        union_read,
+    }
+}
+
+fn json_phase(out: &mut String, name: &str, m: &PhaseMeasurement) {
+    out.push_str(&format!(
+        "    \"{name}\": {{\n      \"cold_seconds\": {:.6},\n      \"warm_seconds\": {:.6},\n      \"block_cache_hit_rate\": {:.4},\n      \"footer_cache_hit_rate\": {:.4},\n      \"attached_scans_skipped\": {}\n    }}",
+        m.cold, m.warm, m.block_hit_rate, m.footer_hit_rate, m.attached_scans_skipped
+    ));
+}
+
+fn write_json(rows: usize, scenarios: &[Scenario]) -> std::io::Result<String> {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"BENCH_4\",\n");
+    out.push_str(
+        "  \"title\": \"SELECT / UNION READ latency with block+footer caches off vs on\",\n",
+    );
+    out.push_str(&format!("  \"rows\": {rows},\n"));
+    out.push_str(&format!("  \"warm_scans\": {WARM_SCANS},\n"));
+    out.push_str("  \"grid_update\": \"6/36 days (Fig. 7 context)\",\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        out.push_str(&format!("  \"{}\": {{\n", s.name));
+        json_phase(&mut out, "select", &s.select);
+        out.push_str(",\n");
+        json_phase(&mut out, "union_read", &s.union_read);
+        out.push_str("\n  }");
+        out.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_4.json");
+    std::fs::write(path, out)?;
+    Ok(path.to_string())
+}
+
+fn main() {
+    let rows = scaled(36 * 400);
+    let schema = smartgrid::tj_gbsjwzl_mx_schema();
+    let rq_col = schema.index_of("rq").expect("rq column");
+    let rcjl_col = schema.index_of("rcjl").expect("rcjl column");
+
+    let scenarios = [
+        run_scenario(false, rows, rq_col, rcjl_col),
+        run_scenario(true, rows, rq_col, rcjl_col),
+    ];
+
+    header("BENCH 4", "read acceleration: caches off vs on, cold vs warm");
+    let xs: Vec<String> = vec!["SELECT".into(), "UNION READ".into()];
+    let series: Vec<(&str, Vec<f64>)> = vec![
+        ("off/cold", vec![scenarios[0].select.cold, scenarios[0].union_read.cold]),
+        ("off/warm", vec![scenarios[0].select.warm, scenarios[0].union_read.warm]),
+        ("on/cold", vec![scenarios[1].select.cold, scenarios[1].union_read.cold]),
+        ("on/warm", vec![scenarios[1].select.warm, scenarios[1].union_read.warm]),
+    ];
+    print_series("phase", &xs, &series);
+
+    let detail: Vec<Vec<String>> = scenarios
+        .iter()
+        .flat_map(|s| {
+            [("SELECT", &s.select), ("UNION READ", &s.union_read)]
+                .into_iter()
+                .map(|(phase, m)| {
+                    vec![
+                        s.name.to_string(),
+                        phase.to_string(),
+                        fmt_secs(m.cold),
+                        fmt_secs(m.warm),
+                        format!("{:.1}%", m.block_hit_rate * 100.0),
+                        format!("{:.1}%", m.footer_hit_rate * 100.0),
+                        m.attached_scans_skipped.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    print_rows(
+        &["config", "phase", "cold", "warm(avg)", "block hits", "footer hits", "att. skipped"],
+        &detail,
+    );
+
+    let warm = &scenarios[1].select;
+    assert!(
+        warm.block_hit_rate > 0.9,
+        "warm SELECT block hit rate must exceed 90%, got {:.1}%",
+        warm.block_hit_rate * 100.0
+    );
+
+    match write_json(rows, &scenarios) {
+        Ok(path) => println!("-- wrote {path}"),
+        Err(e) => eprintln!("-- failed to write BENCH_4.json: {e}"),
+    }
+}

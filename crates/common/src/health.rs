@@ -23,6 +23,10 @@ pub struct HealthCounters {
     rereplicated: AtomicU64,
     cleanup_failures: AtomicU64,
     plan_fallbacks: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    attached_scans_skipped: AtomicU64,
     degraded: AtomicBool,
 }
 
@@ -74,6 +78,27 @@ impl HealthCounters {
         self.plan_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A read was served from the tier's read cache (block or footer).
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A read missed the tier's cache and paid a physical fetch.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` cache entries were evicted to make room.
+    pub fn record_cache_evictions(&self, n: u64) {
+        self.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// UNION READ skipped an attached-tier range scan for a file the
+    /// presence index proved clean.
+    pub fn record_attached_scan_skipped(&self) {
+        self.attached_scans_skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Sets or clears the degraded (read-only) flag for the tier.
     pub fn set_degraded(&self, degraded: bool) {
         self.degraded.store(degraded, Ordering::Relaxed);
@@ -96,6 +121,10 @@ impl HealthCounters {
             rereplicated: self.rereplicated.load(Ordering::Relaxed),
             cleanup_failures: self.cleanup_failures.load(Ordering::Relaxed),
             plan_fallbacks: self.plan_fallbacks.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            attached_scans_skipped: self.attached_scans_skipped.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
@@ -122,6 +151,15 @@ pub struct HealthSnapshot {
     pub cleanup_failures: u64,
     /// Plan fallbacks (OVERWRITE → EDIT) taken to keep a statement alive.
     pub plan_fallbacks: u64,
+    /// Reads served from the tier's read cache (DESIGN.md §10).
+    pub cache_hits: u64,
+    /// Reads that missed the tier's cache and paid a physical fetch.
+    pub cache_misses: u64,
+    /// Cache entries evicted to make room for newer data.
+    pub cache_evictions: u64,
+    /// Attached-tier range scans UNION READ skipped for provably clean
+    /// files (presence index).
+    pub attached_scans_skipped: u64,
     /// Whether the tier is currently read-only.
     pub degraded: bool,
 }
@@ -140,6 +178,10 @@ impl HealthSnapshot {
             ("rereplicated_replicas", self.rereplicated),
             ("cleanup_failures", self.cleanup_failures),
             ("plan_fallbacks", self.plan_fallbacks),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("cache_evictions", self.cache_evictions),
+            ("attached_scans_skipped", self.attached_scans_skipped),
             ("degraded", u64::from(self.degraded)),
         ]
     }
@@ -160,6 +202,11 @@ mod tests {
         h.record_rereplication(2);
         h.record_cleanup_failure();
         h.record_plan_fallback();
+        h.record_cache_hit();
+        h.record_cache_hit();
+        h.record_cache_miss();
+        h.record_cache_evictions(2);
+        h.record_attached_scan_skipped();
         h.set_degraded(true);
         let s = h.snapshot();
         assert_eq!(s.retries, 2);
@@ -170,6 +217,10 @@ mod tests {
         assert_eq!(s.rereplicated, 2);
         assert_eq!(s.cleanup_failures, 1);
         assert_eq!(s.plan_fallbacks, 1);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_evictions, 2);
+        assert_eq!(s.attached_scans_skipped, 1);
         assert!(s.degraded);
         h.set_degraded(false);
         assert!(!h.is_degraded());
@@ -182,7 +233,8 @@ mod tests {
             ..HealthSnapshot::default()
         };
         let metrics = s.metrics();
-        assert_eq!(metrics.len(), 10);
+        assert_eq!(metrics.len(), 14);
         assert!(metrics.contains(&("degraded", 1)));
+        assert!(metrics.contains(&("cache_hits", 0)));
     }
 }

@@ -21,6 +21,9 @@ struct Counters {
     read_ops: AtomicU64,
     write_ops: AtomicU64,
     seeks: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -36,6 +39,12 @@ pub struct IoStatsSnapshot {
     pub write_ops: u64,
     /// Number of random repositionings (seeks / point lookups).
     pub seeks: u64,
+    /// Reads served from the tier's read cache without touching storage.
+    pub cache_hits: u64,
+    /// Reads that missed the cache and paid a physical fetch.
+    pub cache_misses: u64,
+    /// Cache entries evicted to make room for newer data.
+    pub cache_evictions: u64,
 }
 
 impl IoStats {
@@ -61,6 +70,21 @@ impl IoStats {
         self.inner.seeks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a read served from the tier's cache (no physical I/O).
+    pub fn record_cache_hit(&self) {
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cache miss that fell through to physical I/O.
+    pub fn record_cache_miss(&self) {
+        self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` cache evictions.
+    pub fn record_cache_evictions(&self, n: u64) {
+        self.inner.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Copies the counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -69,6 +93,9 @@ impl IoStats {
             read_ops: self.inner.read_ops.load(Ordering::Relaxed),
             write_ops: self.inner.write_ops.load(Ordering::Relaxed),
             seeks: self.inner.seeks.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.inner.cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -79,6 +106,9 @@ impl IoStats {
         self.inner.read_ops.store(0, Ordering::Relaxed);
         self.inner.write_ops.store(0, Ordering::Relaxed);
         self.inner.seeks.store(0, Ordering::Relaxed);
+        self.inner.cache_hits.store(0, Ordering::Relaxed);
+        self.inner.cache_misses.store(0, Ordering::Relaxed);
+        self.inner.cache_evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -91,6 +121,9 @@ impl IoStatsSnapshot {
             read_ops: self.read_ops - earlier.read_ops,
             write_ops: self.write_ops - earlier.write_ops,
             seeks: self.seeks - earlier.seeks,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_evictions: self.cache_evictions - earlier.cache_evictions,
         }
     }
 }
@@ -106,12 +139,19 @@ mod tests {
         s.record_read(5);
         s.record_write(7);
         s.record_seek();
+        s.record_cache_hit();
+        s.record_cache_hit();
+        s.record_cache_miss();
+        s.record_cache_evictions(3);
         let snap = s.snapshot();
         assert_eq!(snap.bytes_read, 15);
         assert_eq!(snap.read_ops, 2);
         assert_eq!(snap.bytes_written, 7);
         assert_eq!(snap.write_ops, 1);
         assert_eq!(snap.seeks, 1);
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_evictions, 3);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod error;
 pub mod fault;
 pub mod health;
 pub mod io_stats;
+pub mod lru;
 pub mod record_id;
 pub mod retry;
 pub mod rng;
@@ -35,6 +36,7 @@ pub use error::{Error, ErrorClass, Result};
 pub use fault::{FaultKind, FaultPlan, IoOp};
 pub use health::{HealthCounters, HealthSnapshot};
 pub use io_stats::{IoStats, IoStatsSnapshot};
+pub use lru::LruCache;
 pub use record_id::RecordId;
 pub use retry::RetryPolicy;
 pub use rng::Rng64;

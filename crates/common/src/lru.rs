@@ -1,0 +1,209 @@
+//! A small weight-bounded LRU map shared by the read-acceleration caches
+//! (DESIGN.md §10): the dfs block cache and the ORC footer cache.
+//!
+//! Entries carry an explicit *weight* (bytes for blocks, 1 for footers) and
+//! the cache evicts least-recently-used entries until the total weight fits
+//! under the configured capacity. The structure itself is not thread-safe;
+//! callers wrap it in a `Mutex` and layer their own hit/miss accounting on
+//! top.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A weight-bounded least-recently-used cache.
+///
+/// Recency is tracked with a monotonically increasing sequence number per
+/// entry plus a `BTreeMap` from sequence to key, giving `O(log n)` touch and
+/// eviction without unsafe code or intrusive lists.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: u64,
+    used: u64,
+    seq: u64,
+    map: HashMap<K, Slot<V>>,
+    order: BTreeMap<u64, K>,
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    weight: u64,
+    seq: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` total weight.
+    ///
+    /// A zero capacity yields a cache that never stores anything, which is
+    /// how callers express "cache disabled" without branching at every use
+    /// site.
+    pub fn new(capacity: u64) -> Self {
+        LruCache {
+            capacity,
+            used: 0,
+            seq: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let next = self.seq + 1;
+        let slot = self.map.get_mut(key)?;
+        self.order.remove(&slot.seq);
+        slot.seq = next;
+        self.seq = next;
+        self.order.insert(next, key.clone());
+        Some(&slot.value)
+    }
+
+    /// Inserts `key → value` at the given weight, evicting LRU entries as
+    /// needed. Returns the number of entries evicted to make room.
+    ///
+    /// A value heavier than the whole capacity is not admitted (the cache is
+    /// left unchanged apart from removing any stale entry under `key`).
+    pub fn insert(&mut self, key: K, value: V, weight: u64) -> u64 {
+        self.remove(&key);
+        if weight > self.capacity {
+            return 0;
+        }
+        let mut evicted = 0;
+        while self.used + weight > self.capacity {
+            let (&oldest, _) = self
+                .order
+                .iter()
+                .next()
+                .expect("used > 0 implies a resident entry");
+            let victim = self.order.remove(&oldest).expect("entry just observed");
+            let slot = self.map.remove(&victim).expect("order and map in sync");
+            self.used -= slot.weight;
+            evicted += 1;
+        }
+        self.seq += 1;
+        self.used += weight;
+        self.order.insert(self.seq, key.clone());
+        self.map.insert(
+            key,
+            Slot {
+                value,
+                weight,
+                seq: self.seq,
+            },
+        );
+        evicted
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let slot = self.map.remove(key)?;
+        self.order.remove(&slot.seq);
+        self.used -= slot.weight;
+        Some(slot.value)
+    }
+
+    /// Drops every entry whose key fails the predicate (used for
+    /// invalidate-by-path / invalidate-by-prefix).
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) {
+        let doomed: Vec<K> = self.map.keys().filter(|k| !keep(k)).cloned().collect();
+        for key in doomed {
+            self.remove(&key);
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.used = 0;
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total resident weight.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c = LruCache::new(3);
+        c.insert("a", 1, 1);
+        c.insert("b", 2, 1);
+        c.insert("c", 3, 1);
+        assert_eq!(c.get(&"a"), Some(&1)); // touch a → b is now LRU
+        let evicted = c.insert("d", 4, 1);
+        assert_eq!(evicted, 1);
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"d"), Some(&4));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn weight_accounting_and_oversized_rejection() {
+        let mut c = LruCache::new(10);
+        c.insert("a", (), 6);
+        c.insert("b", (), 4);
+        assert_eq!(c.used(), 10);
+        // 7 doesn't fit next to 4 → "a" (LRU) goes, then "b" too.
+        let evicted = c.insert("c", (), 7);
+        assert_eq!(evicted, 2);
+        assert_eq!(c.used(), 7);
+        // Heavier than capacity → not admitted at all.
+        c.insert("huge", (), 11);
+        assert_eq!(c.get(&"huge"), None);
+        assert_eq!(c.used(), 7);
+    }
+
+    #[test]
+    fn reinsert_replaces_weight() {
+        let mut c = LruCache::new(10);
+        c.insert("a", 1, 8);
+        c.insert("a", 2, 3);
+        assert_eq!(c.used(), 3);
+        assert_eq!(c.get(&"a"), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1, 1);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&"a"), None);
+    }
+
+    #[test]
+    fn retain_and_clear() {
+        let mut c = LruCache::new(10);
+        c.insert(("p", 0), (), 1);
+        c.insert(("p", 1), (), 1);
+        c.insert(("q", 0), (), 1);
+        c.retain(|k| k.0 != "p");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used(), 1);
+        assert!(c.get(&("q", 0)).is_some());
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used(), 0);
+    }
+}

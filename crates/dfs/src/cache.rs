@@ -1,0 +1,75 @@
+//! Shared block cache for the DFS read path (DESIGN.md §10).
+//!
+//! Readers serve positioned reads out of checksum-verified whole-block
+//! copies; this cache shares those verified copies across every reader of a
+//! [`crate::Dfs`] handle, the way LLAP's daemon cache shares ORC data across
+//! query fragments. Entries are keyed by `(path, block group index)` — the
+//! namespace path is this simulator's inode — and only CRC-verified bytes
+//! are ever admitted, so a hit is exactly as trustworthy as a fresh
+//! replica read.
+//!
+//! Coherence relies on two properties of the namespace:
+//!
+//! * files are write-once, so a path's bytes can only change by the path
+//!   being removed first (delete, rename, or a repair rewriting the block
+//!   list) — each of those call sites invalidates the path; and
+//! * a namenode restart can roll the namespace back past a commit (torn
+//!   edit-log tail), after which a path may be *recreated* with different
+//!   bytes — so [`crate::Dfs::crash_and_reopen`] purges the cache outright
+//!   before recovery.
+
+use std::sync::{Arc, Mutex};
+
+use dt_common::LruCache;
+
+/// `(path, block-group index)` cache key.
+type BlockKey = (String, usize);
+
+/// Process-wide cache of CRC-verified blocks for one DFS instance.
+#[derive(Debug)]
+pub(crate) struct BlockCache {
+    lru: Mutex<LruCache<BlockKey, Arc<Vec<u8>>>>,
+}
+
+impl BlockCache {
+    /// A cache bounded to `capacity` bytes of block data (0 disables it).
+    pub(crate) fn new(capacity: u64) -> Self {
+        BlockCache {
+            lru: Mutex::new(LruCache::new(capacity)),
+        }
+    }
+
+    /// The verified block at `(path, group_index)`, if resident.
+    pub(crate) fn get(&self, path: &str, group_index: usize) -> Option<Arc<Vec<u8>>> {
+        let mut lru = self.lru.lock().unwrap();
+        lru.get(&(path.to_string(), group_index)).cloned()
+    }
+
+    /// Admits a verified block, returning how many entries were evicted.
+    pub(crate) fn insert(&self, path: &str, group_index: usize, block: Arc<Vec<u8>>) -> u64 {
+        let weight = block.len() as u64;
+        let mut lru = self.lru.lock().unwrap();
+        lru.insert((path.to_string(), group_index), block, weight)
+    }
+
+    /// Drops every cached block of `path` (delete / rename / repair).
+    pub(crate) fn invalidate_path(&self, path: &str) {
+        self.lru.lock().unwrap().retain(|k| k.0 != path);
+    }
+
+    /// Drops everything (namenode restart — the namespace may have rolled
+    /// back, so no path→bytes association can be trusted).
+    pub(crate) fn clear(&self) {
+        self.lru.lock().unwrap().clear();
+    }
+
+    /// Resident bytes.
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        self.lru.lock().unwrap().used()
+    }
+
+    /// Resident entries.
+    pub(crate) fn entries(&self) -> usize {
+        self.lru.lock().unwrap().len()
+    }
+}

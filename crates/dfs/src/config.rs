@@ -22,6 +22,10 @@ pub struct DfsConfig {
     /// log carries most of the recovery load in short-lived tests; lower
     /// it to exercise the checkpoint path.
     pub checkpoint_interval: u64,
+    /// Capacity in bytes of the shared CRC-verified block cache
+    /// (DESIGN.md §10). `0` disables caching; every read then pays a
+    /// physical replica fetch.
+    pub block_cache_bytes: u64,
 }
 
 impl Default for DfsConfig {
@@ -31,6 +35,7 @@ impl Default for DfsConfig {
             replication: 3,
             retry: RetryPolicy::default(),
             checkpoint_interval: 1024,
+            block_cache_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -44,5 +49,13 @@ impl DfsConfig {
             replication: 1,
             ..DfsConfig::default()
         }
+    }
+
+    /// The same configuration with the block cache disabled — the oracle
+    /// side of cache-coherence differential tests, and the "cache off"
+    /// leg of benchmarks.
+    pub fn without_block_cache(mut self) -> Self {
+        self.block_cache_bytes = 0;
+        self
     }
 }

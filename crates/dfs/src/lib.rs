@@ -30,6 +30,7 @@
 //! ```
 
 mod block_store;
+mod cache;
 mod config;
 mod faulty;
 mod journal;
@@ -47,6 +48,7 @@ pub use writer::DfsWriter;
 
 use std::sync::Arc;
 
+use cache::BlockCache;
 use dt_common::fault::FaultPlan;
 use dt_common::{Error, HealthCounters, IoStats, Result};
 use namenode::{FileMeta, NameNode};
@@ -65,6 +67,12 @@ pub(crate) struct DfsInner {
     config: DfsConfig,
     stats: IoStats,
     health: Arc<HealthCounters>,
+    cache: BlockCache,
+    /// Bumped on every namenode restart. Higher-level read caches (ORC
+    /// footers) tag entries with the epoch they were filled under and
+    /// treat any entry from an older epoch as stale, because recovery can
+    /// roll the namespace back past commits (DESIGN.md §10).
+    epoch: std::sync::atomic::AtomicU64,
 }
 
 impl Dfs {
@@ -109,6 +117,8 @@ impl Dfs {
                 config,
                 stats: IoStats::new(),
                 health,
+                cache: BlockCache::new(config.block_cache_bytes),
+                epoch: std::sync::atomic::AtomicU64::new(0),
             }),
         })
     }
@@ -119,8 +129,24 @@ impl Dfs {
     /// namenode restart. Pending writers are implicitly aborted (their
     /// placed blocks become orphans for [`Dfs::scrub`] to collect).
     /// Returns what recovery had to clean up.
+    ///
+    /// The block cache is purged *before* recovery: a reload can roll the
+    /// namespace back past a commit (torn edit-log tail), after which a
+    /// path may be recreated with different bytes — no pre-crash
+    /// path→bytes association survives a restart.
     pub fn crash_and_reopen(&self) -> Result<RecoveryReport> {
+        self.inner.cache.clear();
+        self.inner
+            .epoch
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         self.inner.namenode.reload()
+    }
+
+    /// The namespace epoch: bumped on every [`Dfs::crash_and_reopen`].
+    /// Read caches layered above the DFS compare this against the epoch
+    /// recorded at fill time to reject entries that predate a restart.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(std::sync::atomic::Ordering::SeqCst)
     }
 
     /// The I/O counters for this file system (the Master tier in cost-model
@@ -144,6 +170,21 @@ impl Dfs {
     /// The configured chunk size in bytes.
     pub fn chunk_size(&self) -> usize {
         self.inner.config.chunk_size
+    }
+
+    /// Bytes currently resident in the shared block cache.
+    pub fn block_cache_resident_bytes(&self) -> u64 {
+        self.inner.cache.resident_bytes()
+    }
+
+    /// Entries currently resident in the shared block cache.
+    pub fn block_cache_entries(&self) -> usize {
+        self.inner.cache.entries()
+    }
+
+    /// Empties the shared block cache (benchmarks measuring cold reads).
+    pub fn clear_block_cache(&self) {
+        self.inner.cache.clear();
     }
 
     /// Creates a new file for writing. Fails if the path already exists
@@ -182,6 +223,7 @@ impl Dfs {
     /// unreferenced block (reported via the first error).
     pub fn delete(&self, path: &str) -> Result<()> {
         let meta = self.inner.namenode.remove(path)?;
+        self.inner.cache.invalidate_path(path);
         let mut first_err = None;
         for group in &meta.blocks {
             for replica in &group.replicas {
@@ -208,7 +250,9 @@ impl Dfs {
     /// Atomically renames a closed file. Fails if the destination exists.
     pub fn rename(&self, from: &str, to: &str) -> Result<()> {
         validate_path(to)?;
-        self.inner.namenode.rename(from, to)
+        self.inner.namenode.rename(from, to)?;
+        self.inner.cache.invalidate_path(from);
+        Ok(())
     }
 
     /// Total bytes stored across all closed files (logical size, before
@@ -334,6 +378,7 @@ impl Dfs {
             }
             if changed {
                 self.inner.namenode.replace(&path, meta)?;
+                self.inner.cache.invalidate_path(&path);
                 report.files_repaired += 1;
             }
             if unrecoverable {
@@ -450,6 +495,10 @@ impl DfsInner {
 
     pub(crate) fn health(&self) -> &HealthCounters {
         &self.health
+    }
+
+    pub(crate) fn cache(&self) -> &BlockCache {
+        &self.cache
     }
 
     /// Reader-reported bad replica: drop it from the serving set (unless

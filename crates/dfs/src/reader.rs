@@ -16,16 +16,17 @@ use crate::DfsInner;
 /// Every read is served from a checksum-verified copy of the whole block:
 /// the reader fetches a replica in full, verifies it against the block
 /// group's CRC-32, and fails over to the next replica on mismatch or I/O
-/// error (quarantining the bad copy in the namenode). The last verified
-/// block is cached so sequential consumers pay the verification read once
-/// per block, like an HDFS client checksumming a packet stream.
+/// error (quarantining the bad copy in the namenode). Verified blocks are
+/// published to the DFS-wide shared block cache (DESIGN.md §10), and the
+/// last one is also pinned locally so sequential consumers skip even the
+/// cache lookup, like an HDFS client checksumming a packet stream.
 pub struct DfsReader {
     inner: Arc<DfsInner>,
     path: String,
     meta: FileMeta,
     pos: u64,
-    /// `(block group index, verified bytes)` of the last block fetched.
-    verified: Option<(usize, Vec<u8>)>,
+    /// `(block group index, verified bytes)` of the last block served.
+    verified: Option<(usize, Arc<Vec<u8>>)>,
 }
 
 impl DfsReader {
@@ -105,6 +106,13 @@ impl DfsReader {
                 return Ok(());
             }
         }
+        if let Some(block) = self.inner.cache().get(&self.path, gi) {
+            self.inner.stats().record_cache_hit();
+            self.inner.health().record_cache_hit();
+            buf.copy_from_slice(&block[within..within + buf.len()]);
+            self.verified = Some((gi, block));
+            return Ok(());
+        }
         let group = self.meta.blocks[gi].clone();
         let inner = self.inner.clone();
         let policy = inner.config().retry;
@@ -121,6 +129,14 @@ impl DfsReader {
             match fetched {
                 Ok(block) if dt_common::crc32::crc32(&block) == group.crc => {
                     buf.copy_from_slice(&block[within..within + buf.len()]);
+                    let block = Arc::new(block);
+                    inner.stats().record_cache_miss();
+                    inner.health().record_cache_miss();
+                    let evicted = inner.cache().insert(&self.path, gi, block.clone());
+                    if evicted > 0 {
+                        inner.stats().record_cache_evictions(evicted);
+                        inner.health().record_cache_evictions(evicted);
+                    }
                     self.verified = Some((gi, block));
                     return Ok(());
                 }
@@ -251,6 +267,84 @@ mod tests {
         let mut r = dfs.open("/f").unwrap();
         let mut buf = vec![0u8; 2];
         assert!(r.read_at(255, &mut buf).is_err());
+    }
+
+    #[test]
+    fn shared_cache_serves_second_reader_without_refetch() {
+        let dfs = setup();
+        let mut buf = vec![0u8; 256];
+        dfs.open("/f").unwrap().read_at(0, &mut buf).unwrap();
+        let warm = dfs.stats().snapshot();
+        assert!(warm.cache_misses > 0);
+        assert!(dfs.block_cache_entries() > 0);
+        // A brand-new reader over the same file hits only the cache.
+        let mut again = vec![0u8; 256];
+        dfs.open("/f").unwrap().read_at(0, &mut again).unwrap();
+        let delta = dfs.stats().snapshot().since(&warm);
+        assert_eq!(delta.cache_misses, 0, "warm read paid a physical fetch");
+        assert!(delta.cache_hits > 0);
+        assert_eq!(again, buf);
+    }
+
+    #[test]
+    fn delete_invalidates_cached_blocks() {
+        let dfs = Dfs::in_memory(DfsConfig::small_chunks(8));
+        dfs.write_file("/p", b"old-bytes").unwrap();
+        assert_eq!(dfs.read_to_vec("/p").unwrap(), b"old-bytes");
+        assert!(dfs.block_cache_entries() > 0);
+        dfs.delete("/p").unwrap();
+        assert_eq!(dfs.block_cache_entries(), 0);
+        dfs.write_file("/p", b"new-bytes").unwrap();
+        assert_eq!(dfs.read_to_vec("/p").unwrap(), b"new-bytes");
+    }
+
+    #[test]
+    fn rename_invalidates_source_path() {
+        let dfs = Dfs::in_memory(DfsConfig::small_chunks(8));
+        dfs.write_file("/from", b"payload-a").unwrap();
+        dfs.read_to_vec("/from").unwrap();
+        dfs.rename("/from", "/to").unwrap();
+        assert_eq!(dfs.block_cache_entries(), 0);
+        // The freed path can carry fresh bytes without serving stale ones.
+        dfs.write_file("/from", b"payload-b").unwrap();
+        assert_eq!(dfs.read_to_vec("/from").unwrap(), b"payload-b");
+        assert_eq!(dfs.read_to_vec("/to").unwrap(), b"payload-a");
+    }
+
+    #[test]
+    fn crash_and_reopen_purges_cache() {
+        let dfs = setup();
+        dfs.read_to_vec("/f").unwrap();
+        assert!(dfs.block_cache_resident_bytes() > 0);
+        dfs.crash_and_reopen().unwrap();
+        assert_eq!(dfs.block_cache_resident_bytes(), 0);
+        assert_eq!(dfs.block_cache_entries(), 0);
+        let expect: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(dfs.read_to_vec("/f").unwrap(), expect);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let dfs = Dfs::in_memory(DfsConfig::small_chunks(7).without_block_cache());
+        dfs.write_file("/g", &[7u8; 64]).unwrap();
+        dfs.read_to_vec("/g").unwrap();
+        dfs.read_to_vec("/g").unwrap();
+        let snap = dfs.stats().snapshot();
+        assert_eq!(snap.cache_hits, 0);
+        assert!(snap.cache_misses > 0);
+        assert_eq!(dfs.block_cache_entries(), 0);
+    }
+
+    #[test]
+    fn cache_evictions_are_counted_and_bounded() {
+        let mut cfg = DfsConfig::small_chunks(8);
+        cfg.block_cache_bytes = 16; // room for two 8-byte blocks
+        let dfs = Dfs::in_memory(cfg);
+        dfs.write_file("/big", &[1u8; 64]).unwrap(); // 8 blocks
+        dfs.read_to_vec("/big").unwrap();
+        let snap = dfs.stats().snapshot();
+        assert!(snap.cache_evictions > 0);
+        assert!(dfs.block_cache_resident_bytes() <= 16);
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub struct DualTableConfig {
     /// storage faults (COMPACT; see DESIGN.md §8). Tier-internal retries
     /// (DFS pipeline, KV env I/O) are configured on those tiers.
     pub retry: RetryPolicy,
+    /// Maximum parsed ORC footers kept by this table's footer cache
+    /// (DESIGN.md §10). `0` disables the cache and re-parses every footer
+    /// on every open.
+    pub footer_cache_entries: u64,
 }
 
 impl Default for DualTableConfig {
@@ -57,6 +61,7 @@ impl Default for DualTableConfig {
             // Row key (8) + qualifier (2) + LSM entry overhead.
             delete_marker_bytes: 26,
             retry: RetryPolicy::default(),
+            footer_cache_entries: 1024,
         }
     }
 }

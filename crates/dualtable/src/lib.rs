@@ -49,6 +49,7 @@ mod config;
 mod cost;
 mod env;
 mod meta;
+mod presence;
 mod store;
 mod union_read;
 
@@ -57,5 +58,6 @@ pub use config::{DualTableConfig, PlanMode};
 pub use cost::{CostModel, PlanChoice, Rates, RatioHint};
 pub use env::{DualTableEnv, HealthReport};
 pub use meta::MetadataManager;
+pub use presence::{FilePresence, PresenceIndex, PRESENCE_FILE_ID};
 pub use store::{Assignment, DmlReport, DualTableStore, PlanPreview, TableStats};
 pub use union_read::UnionReadOptions;

@@ -1,16 +1,23 @@
 //! The DualTable store: master + attached storage, DML plans, COMPACT.
 
+use std::borrow::Cow;
 use std::ops::ControlFlow;
 use std::sync::Arc;
 
 use dt_common::{Error, RecordId, Result, Row, Schema, Value};
-use dt_orcfile::{OrcReader, OrcWriter, FILE_ID_METADATA_KEY};
-use parking_lot::RwLock;
+use dt_orcfile::{
+    ColumnPredicate, FooterCache, FooterCacheStats, OrcReader, OrcWriter, FILE_ID_METADATA_KEY,
+};
+use parking_lot::{Mutex, RwLock};
 
 use crate::attached::{delete_cell, update_cells};
 use crate::config::{DualTableConfig, PlanMode};
 use crate::cost::{CostModel, PlanChoice, RatioHint};
 use crate::env::DualTableEnv;
+use crate::presence::{
+    decode_count, encode_count, presence_key, presence_qualifier, FilePresence, PresenceDelta,
+    PresenceIndex, PRESENCE_FILE_ID,
+};
 use crate::union_read::{merge_file, UnionReadOptions};
 
 /// Aggregate statistics of one DualTable.
@@ -67,6 +74,12 @@ struct Inner {
     /// `write` ("all the other operations will be blocked during COMPACT",
     /// §III-C).
     ops: RwLock<()>,
+    /// Parsed ORC footers of this table's master files (DESIGN.md §10).
+    /// Invalidated by table prefix at every generation commit.
+    footers: FooterCache,
+    /// Serializes the read-modify-write of presence-index counts across
+    /// concurrent EDIT statements (which only hold `ops` in read mode).
+    presence_lock: Mutex<()>,
 }
 
 /// One DualTable (see the crate docs for the model).
@@ -78,6 +91,56 @@ pub type Assignment<'a> = (usize, Box<dyn Fn(&Row) -> Value + 'a>);
 #[derive(Clone)]
 pub struct DualTableStore {
     inner: Arc<Inner>,
+}
+
+/// Decodes one presence-index qualifier: `None` = the delete-marker count,
+/// `Some(col)` = column `col`'s update count.
+fn presence_column(qual: &[u8]) -> Result<Option<usize>> {
+    if qual == crate::attached::DELETE_MARKER_QUALIFIER {
+        return Ok(None);
+    }
+    let bytes: [u8; 2] = qual
+        .try_into()
+        .map_err(|_| Error::corrupt("presence qualifier is not a column ordinal"))?;
+    Ok(Some(u16::from_be_bytes(bytes) as usize))
+}
+
+/// `true` iff the index proves `file_id` has no attached cells — UNION READ
+/// may skip its attached scan entirely. `None` (conservative fallback)
+/// proves nothing.
+fn file_is_clean(presence: Option<&PresenceIndex>, file_id: u32) -> bool {
+    presence.is_some_and(|idx| !idx.is_dirty(file_id))
+}
+
+/// The predicates that may be pushed down into `file_id`'s ORC reader: all
+/// of them for a clean file, those on columns without update overlays for a
+/// dirty one, none under the conservative fallback. Dropping conjuncts is
+/// always sound — predicates are a conjunction, so fewer of them only skip
+/// fewer stripes.
+fn file_predicates<'a>(
+    presence: Option<&PresenceIndex>,
+    predicates: Option<&'a [ColumnPredicate]>,
+    file_id: u32,
+) -> Option<Cow<'a, [ColumnPredicate]>> {
+    let predicates = predicates?;
+    let index = presence?;
+    match index.file(file_id) {
+        None => Some(Cow::Borrowed(predicates)),
+        Some(fp) => {
+            let kept: Vec<ColumnPredicate> = predicates
+                .iter()
+                .filter(|p| !fp.has_update_on(p.column))
+                .cloned()
+                .collect();
+            if kept.is_empty() {
+                None
+            } else if kept.len() == predicates.len() {
+                Some(Cow::Borrowed(predicates))
+            } else {
+                Some(Cow::Owned(kept))
+            }
+        }
+    }
 }
 
 /// Incrementally writes rows into a generation's master files, rolling to
@@ -163,8 +226,13 @@ impl DualTableStore {
                 name: name.to_string(),
                 schema,
                 env: env.clone(),
+                footers: FooterCache::with_health(
+                    config.footer_cache_entries,
+                    Some(env.health.clone()),
+                ),
                 config,
                 ops: RwLock::new(()),
+                presence_lock: Mutex::new(()),
             }),
         })
     }
@@ -184,8 +252,13 @@ impl DualTableStore {
                 name: name.to_string(),
                 schema,
                 env: env.clone(),
+                footers: FooterCache::with_health(
+                    config.footer_cache_entries,
+                    Some(env.health.clone()),
+                ),
                 config,
                 ops: RwLock::new(()),
+                presence_lock: Mutex::new(()),
             }),
         };
         if let Ok(gen) = store.current_gen() {
@@ -198,6 +271,9 @@ impl DualTableStore {
     /// DROP).
     pub fn drop_table(self) -> Result<()> {
         let _guard = self.inner.ops.write();
+        self.inner
+            .footers
+            .invalidate_prefix(&format!("{}/", Self::master_dir(&self.inner.name)));
         self.inner
             .env
             .dfs
@@ -380,35 +456,42 @@ impl DualTableStore {
             Some(p) => p.clone(),
             None => (0..self.inner.schema.len()).collect(),
         };
-        // Push-down is only sound when no *update* overlays exist (see
-        // UnionReadOptions); checking for a fully-empty attached table is a
-        // cheap conservative test.
         let attached_store = self.attached()?;
-        let pushdown_ok = attached_store.is_empty();
-        let predicates = if pushdown_ok {
-            opts.predicates.as_deref()
-        } else {
-            None
-        };
+        let presence = self.load_presence(&attached_store)?;
         let gen = self.current_gen()?;
         for file_id in self.master_file_ids_at(gen) {
             let reader = self.open_master(gen, file_id)?;
-            let attached = attached_store.scan_at(
-                Some(&RecordId::file_start(file_id).to_key()[..]),
-                Some(&RecordId::file_start(file_id.wrapping_add(1)).to_key()[..]),
-                opts.snapshot_ts,
-            )?;
-            if let ControlFlow::Break(()) =
-                merge_file(file_id, &reader, &projection, predicates, attached, f)?
-            {
+            let attached = if file_is_clean(presence.as_ref(), file_id) {
+                self.inner.env.health.record_attached_scan_skipped();
+                None
+            } else {
+                Some(attached_store.scan_at(
+                    Some(&RecordId::file_start(file_id).to_key()[..]),
+                    Some(&RecordId::file_start(file_id.wrapping_add(1)).to_key()[..]),
+                    opts.snapshot_ts,
+                )?)
+            };
+            let predicates =
+                file_predicates(presence.as_ref(), opts.predicates.as_deref(), file_id);
+            if let ControlFlow::Break(()) = merge_file(
+                file_id,
+                &reader,
+                &projection,
+                predicates.as_deref(),
+                attached,
+                f,
+            )? {
                 return Ok(());
             }
         }
         Ok(())
     }
 
-    fn open_master(&self, gen: u64, file_id: u32) -> Result<OrcReader> {
-        let reader = OrcReader::open(&self.inner.env.dfs, &self.file_path_at(gen, file_id))?;
+    fn open_master(&self, gen: u64, file_id: u32) -> Result<Arc<OrcReader>> {
+        let reader = self
+            .inner
+            .footers
+            .open(&self.inner.env.dfs, &self.file_path_at(gen, file_id))?;
         // The file ID in user metadata must agree with the file name.
         match reader.metadata(FILE_ID_METADATA_KEY) {
             Some(bytes) if bytes == file_id.to_be_bytes() => Ok(reader),
@@ -417,6 +500,63 @@ impl DualTableStore {
                 self.file_path_at(gen, file_id)
             ))),
         }
+    }
+
+    /// Decodes the presence index from the attached table (see
+    /// [`crate::presence`]). Returns:
+    ///
+    /// * `Some(index)` — authoritative: every file absent from it is clean;
+    /// * `None` — the attached table holds data cells but no index rows
+    ///   (data written before the index existed); fall back to the
+    ///   conservative pre-index behaviour: scan every file, no push-down.
+    ///
+    /// Always read at `u64::MAX`: counts are monotone within a generation,
+    /// so the latest index conservatively over-approximates every earlier
+    /// snapshot (see the module docs for the soundness argument).
+    fn load_presence(&self, attached: &dt_kvstore::Store) -> Result<Option<PresenceIndex>> {
+        if attached.is_empty() {
+            return Ok(Some(PresenceIndex::default()));
+        }
+        let mut index = PresenceIndex::default();
+        let scan = attached.scan_at(
+            None,
+            Some(&RecordId::file_start(PRESENCE_FILE_ID.wrapping_add(1)).to_key()[..]),
+            u64::MAX,
+        )?;
+        for row in scan {
+            let row = row?;
+            let record = RecordId::from_key(&row.row)
+                .ok_or_else(|| Error::corrupt("presence row key is not a record ID"))?;
+            let mut presence = FilePresence::default();
+            for (qual, _ts, value) in &row.cells {
+                match presence_column(qual)? {
+                    None => presence.delete_markers = decode_count(value)?,
+                    Some(col) => {
+                        presence.update_counts.insert(col, decode_count(value)?);
+                    }
+                }
+            }
+            if !presence.is_clean() {
+                index.files.insert(record.row, presence);
+            }
+        }
+        if index.files.is_empty() {
+            // Non-empty attached table without index rows: pre-index data.
+            return Ok(None);
+        }
+        Ok(Some(index))
+    }
+
+    /// The current presence index, if one is decodable (`None` under the
+    /// conservative fallback). Exposed for tests and experiments.
+    pub fn presence_index(&self) -> Result<Option<PresenceIndex>> {
+        let _guard = self.inner.ops.read();
+        self.load_presence(&self.attached()?)
+    }
+
+    /// Counters of this table's footer cache.
+    pub fn footer_cache_stats(&self) -> FooterCacheStats {
+        self.inner.footers.stats()
     }
 
     /// Materializes the whole table: `(record id, row)` pairs in record-ID
@@ -435,29 +575,42 @@ impl DualTableStore {
         job: &dt_engine::JobConfig,
     ) -> Result<Vec<(RecordId, Row)>> {
         let _guard = self.inner.ops.read();
-        let projection: Vec<usize> = match &opts.projection {
-            Some(p) => p.clone(),
+        // Shared read-only plan state: projection, predicates and the
+        // presence index are computed once and shared across all map tasks
+        // behind `Arc`s — no per-task deep clones.
+        let projection: Arc<[usize]> = match &opts.projection {
+            Some(p) => Arc::from(p.as_slice()),
             None => (0..self.inner.schema.len()).collect(),
         };
+        let predicates: Option<Arc<[ColumnPredicate]>> =
+            opts.predicates.as_ref().map(|p| Arc::from(p.as_slice()));
         let attached_store = self.attached()?;
-        let pushdown_ok = attached_store.is_empty();
-        let predicates = if pushdown_ok {
-            opts.predicates.clone()
-        } else {
-            None
-        };
+        let presence = Arc::new(self.load_presence(&attached_store)?);
         let snapshot_ts = opts.snapshot_ts;
         let gen = self.current_gen()?;
         let per_file = dt_engine::parallel_map_fallible(
             job,
             self.master_file_ids_at(gen),
             |file_id| {
+                let projection = Arc::clone(&projection);
+                let predicates = predicates.clone();
+                let presence = Arc::clone(&presence);
                 let reader = self.open_master(gen, file_id)?;
-                let attached = attached_store.scan_at(
-                    Some(&RecordId::file_start(file_id).to_key()[..]),
-                    Some(&RecordId::file_start(file_id.wrapping_add(1)).to_key()[..]),
-                    snapshot_ts,
-                )?;
+                let attached = if file_is_clean(presence.as_ref().as_ref(), file_id) {
+                    self.inner.env.health.record_attached_scan_skipped();
+                    None
+                } else {
+                    Some(attached_store.scan_at(
+                        Some(&RecordId::file_start(file_id).to_key()[..]),
+                        Some(&RecordId::file_start(file_id.wrapping_add(1)).to_key()[..]),
+                        snapshot_ts,
+                    )?)
+                };
+                let predicates = file_predicates(
+                    presence.as_ref().as_ref(),
+                    predicates.as_deref(),
+                    file_id,
+                );
                 let mut out = Vec::new();
                 let flow = merge_file(
                     file_id,
@@ -523,7 +676,9 @@ impl DualTableStore {
     // UPDATE / DELETE / COMPACT
     // ------------------------------------------------------------------
 
-    /// Statistics used by the cost model and experiments.
+    /// Statistics used by the cost model and experiments. Row counts come
+    /// from the footer cache — repeated calls (every DML statement takes
+    /// one) parse each master footer once per process, not once per call.
     pub fn stats(&self) -> Result<TableStats> {
         let mut master_bytes = 0u64;
         let mut master_rows = 0u64;
@@ -532,7 +687,7 @@ impl DualTableStore {
         for file_id in self.master_file_ids_at(gen) {
             let path = self.file_path_at(gen, file_id);
             master_bytes += self.inner.env.dfs.len(&path)?;
-            master_rows += OrcReader::open(&self.inner.env.dfs, &path)?.num_rows();
+            master_rows += self.open_master(gen, file_id)?.num_rows();
             master_files += 1;
         }
         Ok(TableStats {
@@ -715,6 +870,7 @@ impl DualTableStore {
         let mut matched = 0u64;
         let mut scanned = 0u64;
         let mut batch: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut delta = PresenceDelta::new();
         let mut flush_err: Option<Error> = None;
         let attached = self.attached()?;
         self.for_each_locked(&UnionReadOptions::all(), &mut |record, row| {
@@ -732,10 +888,11 @@ impl DualTableStore {
                             self.inner.schema.field(*col).name
                         )));
                     }
+                    delta.add_updates(record.file_id, *col, 1);
                 }
                 batch.extend(update_cells(record, &values));
                 if batch.len() >= 4096 {
-                    if let Err(e) = attached.put_batch(std::mem::take(&mut batch)) {
+                    if let Err(e) = self.flush_edit_batch(&attached, &mut batch, &mut delta) {
                         flush_err = Some(e);
                         return Ok(ControlFlow::Break(()));
                     }
@@ -746,10 +903,37 @@ impl DualTableStore {
         if let Some(e) = flush_err {
             return Err(e);
         }
-        if !batch.is_empty() {
-            attached.put_batch(batch)?;
-        }
+        self.flush_edit_batch(&attached, &mut batch, &mut delta)?;
         Ok((matched, scanned))
+    }
+
+    /// Commits one EDIT-plan batch: the data cells plus the presence-index
+    /// increments they imply, in a single `put_batch` — one fsynced WAL
+    /// record, so the index can never drift from the data (see
+    /// [`crate::presence`]). The read-modify-write of the counts is
+    /// serialized against concurrent EDIT statements by `presence_lock`.
+    fn flush_edit_batch(
+        &self,
+        attached: &dt_kvstore::Store,
+        batch: &mut Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
+        delta: &mut PresenceDelta,
+    ) -> Result<()> {
+        if batch.is_empty() && delta.is_empty() {
+            return Ok(());
+        }
+        let _presence_guard = self.inner.presence_lock.lock();
+        let mut cells = std::mem::take(batch);
+        for ((file_id, column), n) in delta.drain() {
+            let key = presence_key(file_id);
+            let qual = presence_qualifier(column);
+            let current = match attached.get(&key, &qual)? {
+                Some(bytes) => decode_count(&bytes)?,
+                None => 0,
+            };
+            cells.push((key.to_vec(), qual.to_vec(), encode_count(current + n)));
+        }
+        attached.put_batch(cells)?;
+        Ok(())
     }
 
     /// OVERWRITE plan for UPDATE: Hive's INSERT OVERWRITE — rewrite the
@@ -877,6 +1061,7 @@ impl DualTableStore {
         let mut matched = 0u64;
         let mut scanned = 0u64;
         let mut batch: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut delta = PresenceDelta::new();
         let mut flush_err: Option<Error> = None;
         let attached = self.attached()?;
         self.for_each_locked(&UnionReadOptions::all(), &mut |record, row| {
@@ -884,8 +1069,9 @@ impl DualTableStore {
             if predicate(&row) {
                 matched += 1;
                 batch.push(delete_cell(record));
+                delta.add_delete(record.file_id);
                 if batch.len() >= 4096 {
-                    if let Err(e) = attached.put_batch(std::mem::take(&mut batch)) {
+                    if let Err(e) = self.flush_edit_batch(&attached, &mut batch, &mut delta) {
                         flush_err = Some(e);
                         return Ok(ControlFlow::Break(()));
                     }
@@ -896,9 +1082,7 @@ impl DualTableStore {
         if let Some(e) = flush_err {
             return Err(e);
         }
-        if !batch.is_empty() {
-            attached.put_batch(batch)?;
-        }
+        self.flush_edit_batch(&attached, &mut batch, &mut delta)?;
         Ok((matched, scanned))
     }
 
@@ -959,9 +1143,17 @@ impl DualTableStore {
     fn commit_and_cleanup(&self, next: u64) -> Result<()> {
         // The commit point.
         self.inner.env.meta.commit_generation(&self.inner.name, next)?;
+        // Retired generations' footers can never be opened again (their
+        // paths are about to be deleted). The just-committed generation has
+        // no cached parses yet — its files were only ever written — so
+        // dropping the whole table prefix retires exactly the stale ones.
+        self.inner
+            .footers
+            .invalidate_prefix(&format!("{}/", Self::master_dir(&self.inner.name)));
         // Stale attached overlays reference retired file IDs and can never
         // resolve against the new files, so a failed truncate degrades
-        // space, not correctness.
+        // space, not correctness. The presence index lives inside the
+        // attached table, so the truncate resets it for free.
         if self.truncate_attached().is_err() {
             self.inner.env.health.record_cleanup_failure();
         }

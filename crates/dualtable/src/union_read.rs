@@ -21,10 +21,12 @@ pub struct UnionReadOptions {
     pub projection: Option<Vec<usize>>,
     /// Stripe-skipping predicates.
     ///
-    /// Only sound while the Attached Table holds no *updates* for the file
-    /// (updated cells can move a row into a range its stripe stats
-    /// exclude); the store checks this and ignores the predicates
-    /// otherwise. Delete markers never un-skip a stripe, so they are safe.
+    /// Applied per master file and per column: a predicate on column `c`
+    /// is pushed down for file `f` unless the presence index says `f` has
+    /// an update overlay on `c` (an overlay can move a row into a range
+    /// its stripe statistics exclude). Delete markers never un-skip a
+    /// stripe, so they don't block push-down. See DESIGN.md §10 for the
+    /// soundness argument.
     pub predicates: Option<Vec<ColumnPredicate>>,
     /// Read at this attached-tier snapshot timestamp (`u64::MAX` = latest)
     /// — time-travel over the attached table's multi-version history.
@@ -51,7 +53,9 @@ impl UnionReadOptions {
 /// Merges one master file with its attached entries, invoking `f` per
 /// surviving row. Returns `Break` if the callback stopped the scan.
 ///
-/// `attached` must be a scan over exactly this file's record-ID range.
+/// `attached` must be a scan over exactly this file's record-ID range, or
+/// `None` when the presence index proved the file clean — the merge then
+/// degenerates to a pure master scan with no KV work at all.
 /// `projection` is the list of materialized column ordinals (absolute),
 /// matching the ORC reader's projection; update overlays are mapped through
 /// it. `apply_pushdown` tells whether the ORC reader was given predicates
@@ -61,10 +65,10 @@ pub(crate) fn merge_file(
     reader: &OrcReader,
     projection: &[usize],
     predicates: Option<&[ColumnPredicate]>,
-    attached: ScanIter,
+    attached: Option<ScanIter>,
     f: &mut dyn FnMut(RecordId, Row) -> Result<ControlFlow<()>>,
 ) -> Result<ControlFlow<()>> {
-    let mut attached = attached.peekable();
+    let mut attached = attached.map(Iterator::peekable);
     let mut rows = reader.rows(Some(projection), predicates)?;
     // Position of each absolute column ordinal within the projected row.
     let mut pos_of = vec![usize::MAX; reader.schema().len()];
@@ -86,7 +90,7 @@ pub(crate) fn merge_file(
         // for record IDs the master scan has already passed (these can only
         // be rows hidden by stripe skipping).
         let mut entry: Option<AttachedEntry> = None;
-        loop {
+        while let Some(attached) = attached.as_mut() {
             match attached.peek() {
                 None => break,
                 Some(Err(_)) => {

@@ -1,0 +1,392 @@
+//! Cache-coherence suite for the read-acceleration layer (DESIGN.md §10).
+//!
+//! Every test here runs the same workload twice — once on a stack with the
+//! block and footer caches enabled (the default) and once with both
+//! disabled — or compares warm-cache reads against counters. Caching is an
+//! optimization, never a semantic: results must be byte-identical either
+//! way, and a warm cache must eliminate physical reads entirely.
+
+use dt_common::{DataType, Row, Schema, Value};
+use dt_dfs::{Dfs, DfsConfig};
+use dt_kvstore::{KvCluster, KvConfig};
+use dt_orcfile::{ColumnPredicate, PredicateOp, WriterOptions};
+use dualtable::{
+    DualTableConfig, DualTableEnv, DualTableStore, PlanMode, RatioHint, UnionReadOptions,
+};
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[("id", DataType::Int64), ("v", DataType::Int64)])
+}
+
+fn row(i: i64) -> Row {
+    vec![Value::Int64(i), Value::Int64(i * 10)]
+}
+
+fn table_cfg() -> DualTableConfig {
+    DualTableConfig {
+        rows_per_file: 32,
+        plan_mode: PlanMode::AlwaysEdit,
+        writer: WriterOptions {
+            stripe_rows: 8,
+            ..WriterOptions::default()
+        },
+        ..DualTableConfig::default()
+    }
+}
+
+/// A fresh in-memory stack; `cached = false` disables the DFS block cache
+/// and the table-level footer cache.
+fn env_with(cached: bool) -> DualTableEnv {
+    let dfs_config = if cached {
+        DfsConfig::default()
+    } else {
+        DfsConfig::default().without_block_cache()
+    };
+    DualTableEnv::new(
+        Dfs::in_memory(dfs_config),
+        KvCluster::in_memory(KvConfig::default()),
+    )
+    .unwrap()
+}
+
+fn create(env: &DualTableEnv, cached: bool) -> DualTableStore {
+    let mut config = table_cfg();
+    if !cached {
+        config.footer_cache_entries = 0;
+    }
+    DualTableStore::create(env, "t", schema(), config).unwrap()
+}
+
+// ----------------------------------------------------------------------
+// Acceptance: a warm repeated SELECT performs zero physical block reads.
+// ----------------------------------------------------------------------
+
+#[test]
+fn warm_repeated_select_reads_no_blocks() {
+    let env = env_with(true);
+    let t = create(&env, true);
+    t.insert_rows((0..128).map(row)).unwrap();
+
+    let cold = t.scan_all().unwrap();
+    assert_eq!(cold.len(), 128);
+    let after_cold = env.dfs.stats().snapshot();
+    assert!(after_cold.cache_misses > 0, "cold scan fetches blocks");
+
+    for _ in 0..3 {
+        let warm = t.scan_all().unwrap();
+        assert_eq!(warm, cold);
+    }
+    // `cache_misses` counts physical block-store fetches; `bytes_read`
+    // counts logical bytes served and keeps growing on hits.
+    let after_warm = env.dfs.stats().snapshot().since(&after_cold);
+    assert_eq!(
+        after_warm.cache_misses, 0,
+        "warm scans must perform zero block-store reads beyond the first scan"
+    );
+    assert!(after_warm.cache_hits > 0, "warm scans were served by the cache");
+}
+
+#[test]
+fn warm_hit_rate_exceeds_ninety_percent() {
+    let env = env_with(true);
+    let t = create(&env, true);
+    t.insert_rows((0..256).map(row)).unwrap();
+    t.scan_all().unwrap(); // warm
+    for _ in 0..19 {
+        t.scan_all().unwrap();
+    }
+    let snap = env.dfs.stats().snapshot();
+    let total = snap.cache_hits + snap.cache_misses;
+    assert!(
+        snap.cache_hits * 100 > total * 90,
+        "warm hit rate too low: {} hits / {} accesses",
+        snap.cache_hits,
+        total
+    );
+}
+
+// ----------------------------------------------------------------------
+// Coherence: cache on vs cache off is byte-identical through DML loops.
+// ----------------------------------------------------------------------
+
+/// Runs `step` against both stacks `rounds` times, comparing full scans
+/// after every round.
+fn assert_coherent(
+    rounds: usize,
+    mut step: impl FnMut(&DualTableStore, usize),
+) {
+    let env_on = env_with(true);
+    let env_off = env_with(false);
+    let on = create(&env_on, true);
+    let off = create(&env_off, false);
+    for t in [&on, &off] {
+        t.insert_rows((0..96).map(row)).unwrap();
+    }
+    for round in 0..rounds {
+        step(&on, round);
+        step(&off, round);
+        assert_eq!(
+            on.scan_all().unwrap(),
+            off.scan_all().unwrap(),
+            "cached and uncached stacks diverged in round {round}"
+        );
+        assert_eq!(on.count().unwrap(), off.count().unwrap());
+    }
+    // The cached stack actually cached something.
+    assert!(env_on.dfs.stats().snapshot().cache_hits > 0);
+    assert_eq!(env_off.dfs.stats().snapshot().cache_hits, 0);
+}
+
+#[test]
+fn update_compact_select_loop_is_cache_transparent() {
+    assert_coherent(4, |t, round| {
+        t.update(
+            move |r| r[0].as_i64().unwrap() % 4 == round as i64 % 4,
+            &[(1, Box::new(move |r: &Row| {
+                Value::Int64(r[0].as_i64().unwrap() + round as i64)
+            }))],
+            RatioHint::Explicit(0.25),
+        )
+        .unwrap();
+        if round % 2 == 1 {
+            t.compact().unwrap();
+        }
+    });
+}
+
+#[test]
+fn overwrite_select_loop_is_cache_transparent() {
+    assert_coherent(3, |t, round| {
+        let base = (round as i64 + 1) * 1000;
+        t.insert_overwrite((base..base + 64).map(row)).unwrap();
+    });
+}
+
+// ----------------------------------------------------------------------
+// Acceptance: per-file predicate push-down with updates elsewhere.
+// ----------------------------------------------------------------------
+
+/// Two master files of 32 rows (4 stripes of 8 each). Updates touch only
+/// the predicate column of file 2, so file 1 keeps full push-down: a
+/// predicate selecting file 1's first stripe must prune file 1 down to 8
+/// rows while file 2 — where push-down is withheld — surfaces all 32.
+/// Before the presence index, one update cell anywhere disabled push-down
+/// everywhere and this scan surfaced all 64 rows.
+#[test]
+fn pushdown_prunes_stripes_per_file_with_updates_elsewhere() {
+    let env = env_with(true);
+    let t = create(&env, true);
+    t.insert_rows((0..64).map(row)).unwrap();
+    let file_ids = t.master_file_ids().unwrap();
+    assert_eq!(file_ids.len(), 2);
+
+    // Update column 0 (the predicate column) in the second file only.
+    t.update(
+        |r| r[0].as_i64().unwrap() >= 56,
+        &[(0, Box::new(|r: &Row| Value::Int64(r[0].as_i64().unwrap() + 1000)))],
+        RatioHint::Explicit(0.125),
+    )
+    .unwrap();
+
+    let index = t.presence_index().unwrap().expect("index present");
+    assert!(!index.is_dirty(file_ids[0]), "file 1 is clean");
+    assert!(index.is_dirty(file_ids[1]), "file 2 holds the overlays");
+    assert!(index.file(file_ids[1]).unwrap().has_update_on(0));
+
+    let mut opts = UnionReadOptions::all();
+    opts.predicates = Some(vec![ColumnPredicate {
+        column: 0,
+        op: PredicateOp::Lt,
+        literal: Value::Int64(8),
+    }]);
+    let rows = t.scan(&opts).unwrap();
+    // File 1: stripes 2-4 pruned by statistics, stripe 1 surfaces rows
+    // 0..8. File 2: no push-down, all 32 rows surface (stripe-skipping
+    // predicates are not row filters).
+    assert_eq!(rows.len(), 8 + 32, "per-file pruning must apply");
+    let ids: Vec<i64> = rows.iter().map(|(_, r)| r[0].as_i64().unwrap()).collect();
+    assert_eq!(&ids[..8], &[0, 1, 2, 3, 4, 5, 6, 7]);
+    assert!(ids[8..].iter().all(|&id| id >= 32), "rest comes from file 2");
+    assert!(ids.iter().any(|&id| id >= 1000), "overlay visible in file 2");
+
+    // A predicate on the *unmodified* column keeps push-down even in the
+    // dirty file.
+    let mut opts = UnionReadOptions::all();
+    opts.predicates = Some(vec![ColumnPredicate {
+        column: 1,
+        op: PredicateOp::Lt,
+        literal: Value::Int64(80),
+    }]);
+    let rows = t.scan(&opts).unwrap();
+    assert_eq!(rows.len(), 8, "both files prune on the clean column");
+}
+
+/// A file with only delete markers keeps full push-down (markers can only
+/// hide rows, never move one into a pruned stripe's range).
+#[test]
+fn delete_markers_do_not_block_pushdown() {
+    let env = env_with(true);
+    let t = create(&env, true);
+    t.insert_rows((0..32).map(row)).unwrap();
+    t.delete(|r| r[0].as_i64().unwrap() == 20, RatioHint::Explicit(0.04))
+        .unwrap();
+
+    let index = t.presence_index().unwrap().expect("index present");
+    let file_id = t.master_file_ids().unwrap()[0];
+    assert!(index.is_dirty(file_id));
+    assert!(!index.file(file_id).unwrap().has_update_on(0));
+
+    let mut opts = UnionReadOptions::all();
+    opts.predicates = Some(vec![ColumnPredicate {
+        column: 0,
+        op: PredicateOp::Lt,
+        literal: Value::Int64(8),
+    }]);
+    let rows = t.scan(&opts).unwrap();
+    assert_eq!(rows.len(), 8, "stripes 2-4 pruned despite delete markers");
+}
+
+// ----------------------------------------------------------------------
+// Satellite 1: stats() and opens are served from the footer cache.
+// ----------------------------------------------------------------------
+
+#[test]
+fn footer_parsed_once_per_file_per_process() {
+    let env = env_with(true);
+    let t = create(&env, true);
+    t.insert_rows((0..128).map(row)).unwrap();
+    let files = t.master_file_ids().unwrap().len() as u64;
+    assert_eq!(files, 4);
+
+    for _ in 0..3 {
+        let stats = t.stats().unwrap();
+        assert_eq!(stats.master_rows, 128);
+    }
+    t.scan_all().unwrap();
+    t.count().unwrap();
+
+    let fc = t.footer_cache_stats();
+    assert_eq!(
+        fc.misses, files,
+        "each master footer must be parsed exactly once per process"
+    );
+    assert!(fc.hits >= 3 * files, "everything else was served from cache");
+}
+
+// ----------------------------------------------------------------------
+// Satellite 2: parallel scan shares plan state and preserves ordering.
+// ----------------------------------------------------------------------
+
+/// Differential test: with the presence index active, per-file push-down
+/// applied, and updates confined to some files, the parallel scan must
+/// produce exactly the sequential scan's rows in exactly its order.
+#[test]
+fn parallel_scan_matches_sequential_under_pushdown() {
+    let env = env_with(true);
+    let t = create(&env, true);
+    t.insert_rows((0..160).map(row)).unwrap();
+    // Dirty two of the five files, one on each column.
+    t.update(
+        |r| (40..44).contains(&r[0].as_i64().unwrap()),
+        &[(0, Box::new(|r: &Row| Value::Int64(r[0].as_i64().unwrap() + 500)))],
+        RatioHint::Explicit(0.025),
+    )
+    .unwrap();
+    t.update(
+        |r| (100..104).contains(&r[0].as_i64().unwrap()),
+        &[(1, Box::new(|_| Value::Int64(-1)))],
+        RatioHint::Explicit(0.025),
+    )
+    .unwrap();
+    t.delete(|r| r[0].as_i64().unwrap() == 70, RatioHint::Explicit(0.01))
+        .unwrap();
+
+    let job = dt_engine::JobConfig {
+        max_mappers: 4,
+        num_reducers: 2,
+    };
+    for predicates in [
+        None,
+        Some(vec![ColumnPredicate {
+            column: 0,
+            op: PredicateOp::Lt,
+            literal: Value::Int64(48),
+        }]),
+        Some(vec![
+            ColumnPredicate {
+                column: 0,
+                op: PredicateOp::Ge,
+                literal: Value::Int64(16),
+            },
+            ColumnPredicate {
+                column: 1,
+                op: PredicateOp::Le,
+                literal: Value::Int64(1200),
+            },
+        ]),
+    ] {
+        let mut opts = UnionReadOptions::all();
+        opts.predicates = predicates;
+        let sequential = t.scan(&opts).unwrap();
+        let parallel = t.scan_parallel(&opts, &job).unwrap();
+        assert_eq!(sequential, parallel, "order and content must match");
+
+        let opts = opts.clone().with_projection(vec![1]);
+        let sequential = t.scan(&opts).unwrap();
+        let parallel = t.scan_parallel(&opts, &job).unwrap();
+        assert_eq!(sequential, parallel, "projected order must match too");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Attached-scan skipping: clean files bypass the KV tier entirely.
+// ----------------------------------------------------------------------
+
+#[test]
+fn clean_files_skip_attached_scans() {
+    let env = env_with(true);
+    let t = create(&env, true);
+    t.insert_rows((0..128).map(row)).unwrap(); // 4 files
+    t.update(
+        |r| r[0].as_i64().unwrap() == 33,
+        &[(1, Box::new(|_| Value::Int64(0)))],
+        RatioHint::Explicit(0.01),
+    )
+    .unwrap();
+
+    let before = env.health.snapshot();
+    t.scan_all().unwrap();
+    let skipped = env.health.snapshot().attached_scans_skipped - before.attached_scans_skipped;
+    assert_eq!(skipped, 3, "three of four files are clean");
+}
+
+// ----------------------------------------------------------------------
+// Restart coherence: caches never resurrect pre-crash state.
+// ----------------------------------------------------------------------
+
+#[test]
+fn crash_and_reopen_purges_all_cache_tiers() {
+    let env = env_with(true);
+    let t = create(&env, true);
+    t.insert_rows((0..64).map(row)).unwrap();
+    let expected = t.scan_all().unwrap(); // warm both caches
+    assert!(env.dfs.block_cache_entries() > 0);
+
+    env.crash_and_reopen().unwrap();
+    assert_eq!(
+        env.dfs.block_cache_entries(),
+        0,
+        "restart must purge the block cache"
+    );
+
+    // Reads after recovery re-fetch from durable state (the reopened
+    // table's footer cache starts empty, and the epoch bump would have
+    // invalidated any surviving one).
+    let t = DualTableStore::open(&env, "t", schema(), table_cfg()).unwrap();
+    assert_eq!(t.scan_all().unwrap(), expected);
+    assert_eq!(
+        t.footer_cache_stats().misses,
+        2,
+        "both footers re-parsed after the restart"
+    );
+}

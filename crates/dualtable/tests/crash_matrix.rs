@@ -324,6 +324,18 @@ fn crash_matrix_three_tiers() {
         plan.heal_and_disarm();
         env.crash_and_reopen()
             .map_err(|e| format!("recovery: {e}"))?;
+        // The restart must purge the block cache: recovery can roll the
+        // namespace back past commits, so any block cached pre-crash may
+        // describe state the recovered namespace never saw. Every
+        // post-recovery read below therefore re-fetches from durable
+        // storage — a resurrected pre-crash block would surface as a
+        // divergence from the oracle.
+        if env.dfs.block_cache_entries() != 0 {
+            return Err(format!(
+                "{} pre-crash blocks survived recovery in the cache",
+                env.dfs.block_cache_entries()
+            ));
+        }
         let table = DualTableStore::open(&env, TABLE, schema(), table_cfg())
             .map_err(|e| format!("reopen: {e}"))?;
 

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod compress;
+pub mod footer_cache;
 pub mod predicate;
 pub mod rle;
 pub mod stats;
@@ -52,6 +53,7 @@ mod reader;
 mod writer;
 
 pub use compress::Codec;
+pub use footer_cache::{FooterCache, FooterCacheStats};
 pub use predicate::{ColumnPredicate, PredicateOp};
 pub use reader::{OrcReader, RowIter};
 pub use stats::ColumnStats;

@@ -32,6 +32,7 @@ pub struct OrcReader {
     file_stats: Vec<ColumnStats>,
     metadata: BTreeMap<String, Vec<u8>>,
     total_rows: u64,
+    file_len: u64,
 }
 
 impl OrcReader {
@@ -99,7 +100,19 @@ impl OrcReader {
             file_stats,
             metadata,
             total_rows: row_start,
+            file_len,
         })
+    }
+
+    /// Length in bytes of the underlying DFS file at open time (footer
+    /// caches use this to validate a cached parse against the namespace).
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    /// The DFS path this reader was opened on.
+    pub fn path(&self) -> &str {
+        &self.path
     }
 
     /// The file's schema.

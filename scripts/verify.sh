@@ -50,4 +50,11 @@ cargo test -q -p dt-dfs --locked --test failover -- --nocapture
 echo "==> crash-point simulation matrix smoke (crash_matrix_three_tiers)"
 cargo test -q -p dualtable --locked --test crash_matrix -- --nocapture
 
+# Cache-coherence smoke (DESIGN.md §10): cache-on and cache-off stacks
+# must stay byte-identical through UPDATE→COMPACT→SELECT and
+# OVERWRITE→SELECT loops, warm repeated SELECTs must do zero physical
+# block fetches, and the warm block-cache hit rate must exceed 90%.
+echo "==> cache-coherence smoke + >90% warm hit-rate gate (cache_coherence)"
+cargo test -q -p dualtable --locked --test cache_coherence -- --nocapture
+
 echo "verify.sh: all gates passed"
