@@ -172,9 +172,7 @@ impl HiveAcidTable {
                 let action = match op {
                     OP_UPDATE => DeltaAction::Update(row[2..].to_vec()),
                     OP_DELETE => DeltaAction::Delete,
-                    other => {
-                        return Err(Error::corrupt(format!("unknown delta op {other}")))
-                    }
+                    other => return Err(Error::corrupt(format!("unknown delta op {other}"))),
                 };
                 match actions.get(&orig) {
                     Some((t, _)) if *t >= txn => {}
@@ -405,8 +403,7 @@ mod tests {
     fn table(n: i64) -> HiveAcidTable {
         let dfs = Dfs::in_memory(DfsConfig::default());
         let schema = Schema::from_pairs(&[("id", DataType::Int64), ("v", DataType::Int64)]);
-        let t =
-            HiveAcidTable::create(&dfs, "t", schema, WriterOptions::default(), 32).unwrap();
+        let t = HiveAcidTable::create(&dfs, "t", schema, WriterOptions::default(), 32).unwrap();
         t.insert_rows((0..n).map(|i| vec![Value::Int64(i), Value::Int64(0)]))
             .unwrap();
         t
@@ -471,8 +468,11 @@ mod tests {
     fn major_compact_folds_into_base() {
         let t = table(30);
         t.delete(|r| r[0].as_i64().unwrap() >= 20).unwrap();
-        t.update(|r| r[0].as_i64().unwrap() == 5, &[(1, Box::new(|_| Value::Int64(5)))])
-            .unwrap();
+        t.update(
+            |r| r[0].as_i64().unwrap() == 5,
+            &[(1, Box::new(|_| Value::Int64(5)))],
+        )
+        .unwrap();
         t.major_compact().unwrap();
         assert_eq!(t.delta_file_count(), 0);
         let rows = t.scan().unwrap();

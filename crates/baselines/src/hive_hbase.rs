@@ -113,9 +113,11 @@ impl HiveHbaseTable {
     ) -> Result<()> {
         for entry in self.store.scan(None, None)? {
             let entry = entry?;
-            let id_bytes: [u8; 8] = entry.row.as_slice().try_into().map_err(|_| {
-                Error::corrupt("hive-hbase row key is not an 8-byte id")
-            })?;
+            let id_bytes: [u8; 8] = entry
+                .row
+                .as_slice()
+                .try_into()
+                .map_err(|_| Error::corrupt("hive-hbase row key is not an 8-byte id"))?;
             let id = u64::from_be_bytes(id_bytes);
             let mut row: Row = vec![Value::Null; self.schema.len()];
             for (qual, _, bytes) in &entry.cells {

@@ -261,8 +261,8 @@ impl HiveHdfsTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dt_common::Value;
     use dt_common::DataType;
+    use dt_common::Value;
     use dt_dfs::DfsConfig;
 
     fn table(n: i64) -> HiveHdfsTable {

@@ -67,8 +67,12 @@ fn main() {
         );
         let before = env.kv.stats().snapshot();
         let (t_dml, _) = time(|| {
-            dual.update(pred, &assignments, dualtable::RatioHint::Explicit(k as f64 / 36.0))
-                .unwrap()
+            dual.update(
+                pred,
+                &assignments,
+                dualtable::RatioHint::Explicit(k as f64 / 36.0),
+            )
+            .unwrap()
         });
         let written = env.kv.stats().snapshot().since(&before).bytes_written;
         let (t_read, _) = time(|| dual.scan_all().unwrap());

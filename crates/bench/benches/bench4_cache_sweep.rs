@@ -41,8 +41,11 @@ fn build_env(cached: bool) -> DualTableEnv {
     } else {
         DfsConfig::default().without_block_cache()
     };
-    DualTableEnv::new(Dfs::in_memory(dfs_cfg), KvCluster::in_memory(KvConfig::default()))
-        .expect("in-memory env")
+    DualTableEnv::new(
+        Dfs::in_memory(dfs_cfg),
+        KvCluster::in_memory(KvConfig::default()),
+    )
+    .expect("in-memory env")
 }
 
 fn build_table(env: &DualTableEnv, cached: bool, rows: usize) -> DualTableStore {
@@ -169,13 +172,28 @@ fn main() {
         run_scenario(true, rows, rq_col, rcjl_col),
     ];
 
-    header("BENCH 4", "read acceleration: caches off vs on, cold vs warm");
+    header(
+        "BENCH 4",
+        "read acceleration: caches off vs on, cold vs warm",
+    );
     let xs: Vec<String> = vec!["SELECT".into(), "UNION READ".into()];
     let series: Vec<(&str, Vec<f64>)> = vec![
-        ("off/cold", vec![scenarios[0].select.cold, scenarios[0].union_read.cold]),
-        ("off/warm", vec![scenarios[0].select.warm, scenarios[0].union_read.warm]),
-        ("on/cold", vec![scenarios[1].select.cold, scenarios[1].union_read.cold]),
-        ("on/warm", vec![scenarios[1].select.warm, scenarios[1].union_read.warm]),
+        (
+            "off/cold",
+            vec![scenarios[0].select.cold, scenarios[0].union_read.cold],
+        ),
+        (
+            "off/warm",
+            vec![scenarios[0].select.warm, scenarios[0].union_read.warm],
+        ),
+        (
+            "on/cold",
+            vec![scenarios[1].select.cold, scenarios[1].union_read.cold],
+        ),
+        (
+            "on/warm",
+            vec![scenarios[1].select.warm, scenarios[1].union_read.warm],
+        ),
     ];
     print_series("phase", &xs, &series);
 
@@ -199,7 +217,15 @@ fn main() {
         })
         .collect();
     print_rows(
-        &["config", "phase", "cold", "warm(avg)", "block hits", "footer hits", "att. skipped"],
+        &[
+            "config",
+            "phase",
+            "cold",
+            "warm(avg)",
+            "block hits",
+            "footer hits",
+            "att. skipped",
+        ],
         &detail,
     );
 

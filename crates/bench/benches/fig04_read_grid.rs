@@ -26,14 +26,27 @@ fn build_session(storage: &str) -> Session {
     create_table_as(&mut s, "yh_gbjld", &grid::yh_gbjld_schema(), storage);
     create_table_as(&mut s, "zd_gbcld", &grid::zd_gbcld_schema(), storage);
     create_table_as(&mut s, "zc_zdzc", &grid::zc_zdzc_schema(), storage);
-    create_table_as(&mut s, "tj_gbsjwzl_mx", &grid::tj_gbsjwzl_mx_schema(), storage);
-    insert_direct(&mut s, "yh_gbjld", grid::yh_gbjld_rows(families, 1).collect());
+    create_table_as(
+        &mut s,
+        "tj_gbsjwzl_mx",
+        &grid::tj_gbsjwzl_mx_schema(),
+        storage,
+    );
+    insert_direct(
+        &mut s,
+        "yh_gbjld",
+        grid::yh_gbjld_rows(families, 1).collect(),
+    );
     insert_direct(
         &mut s,
         "zd_gbcld",
         grid::zd_gbcld_rows(points, terminals, 2).collect(),
     );
-    insert_direct(&mut s, "zc_zdzc", grid::zc_zdzc_rows(terminals, 3).collect());
+    insert_direct(
+        &mut s,
+        "zc_zdzc",
+        grid::zc_zdzc_rows(terminals, 3).collect(),
+    );
     insert_direct(
         &mut s,
         "tj_gbsjwzl_mx",
@@ -64,8 +77,16 @@ fn main() {
     );
     let mut sessions = [build_session("ORC"), build_session("DUALTABLE")];
     // Result sanity: identical answers.
-    let a = sessions[0].execute(grid::GRID_SELECT_1).unwrap().rows().len();
-    let b = sessions[1].execute(grid::GRID_SELECT_1).unwrap().rows().len();
+    let a = sessions[0]
+        .execute(grid::GRID_SELECT_1)
+        .unwrap()
+        .rows()
+        .len();
+    let b = sessions[1]
+        .execute(grid::GRID_SELECT_1)
+        .unwrap()
+        .rows()
+        .len();
     assert_eq!(a, b, "systems disagree on statement #1");
 
     let q1 = measure(&mut sessions, grid::GRID_SELECT_1, 5);
@@ -74,7 +95,11 @@ fn main() {
     report::print_rows(
         &["System", "Query1 (s)", "Query2 (s)"],
         &[
-            vec!["Hive".into(), format!("{:.4}", q1[0]), format!("{:.4}", q2[0])],
+            vec![
+                "Hive".into(),
+                format!("{:.4}", q1[0]),
+                format!("{:.4}", q2[0]),
+            ],
             vec![
                 "DualTable".into(),
                 format!("{:.4}", q1[1]),

@@ -18,7 +18,11 @@ fn main() {
     report::print_series(
         "UPDATE ratio",
         &result.labels,
-        &[("Hive(HDFS)", hw), ("DualTable EDIT", ew), ("DualTable Cost-Model", cw)],
+        &[
+            ("Hive(HDFS)", hw),
+            ("DualTable EDIT", ew),
+            ("DualTable Cost-Model", cw),
+        ],
     );
     let (hm, em, cm) = result.dml_modeled();
     let hive = ("Hive(HDFS)", hm);

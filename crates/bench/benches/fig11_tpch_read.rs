@@ -31,6 +31,14 @@ fn main() {
             format!("{qc:.4}"),
         ]);
     }
-    report::print_rows(&["System", "Query-a Q1 (s)", "Query-b Q12 (s)", "Query-c count (s)"], &rows);
+    report::print_rows(
+        &[
+            "System",
+            "Query-a Q1 (s)",
+            "Query-b Q12 (s)",
+            "Query-c count (s)",
+        ],
+        &rows,
+    );
     println!("-- paper shape: Hive(HBase) slowest on every query; DualTable ~= Hive(HDFS)");
 }

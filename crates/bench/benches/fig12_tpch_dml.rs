@@ -9,7 +9,10 @@ use dt_bench::time_ok;
 use dt_workloads::tpch;
 
 fn main() {
-    report::header("Figure 12", "Update performance on the TPC-H data set (DML-a/b/c)");
+    report::header(
+        "Figure 12",
+        "Update performance on the TPC-H data set (DML-a/b/c)",
+    );
     let n = tpch_rows_default();
     let mut rows = Vec::new();
     for (label, storage) in [
@@ -38,7 +41,12 @@ fn main() {
         ]);
     }
     report::print_rows(
-        &["System", "DML-a upd 5% li (s)", "DML-b del 2% li (s)", "DML-c join upd orders (s)"],
+        &[
+            "System",
+            "DML-a upd 5% li (s)",
+            "DML-b del 2% li (s)",
+            "DML-c join upd orders (s)",
+        ],
         &rows,
     );
     println!("-- paper shape: DualTable fastest on all three DML statements");

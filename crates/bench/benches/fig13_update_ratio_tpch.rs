@@ -17,7 +17,11 @@ fn main() {
     report::print_series(
         "UPDATE ratio",
         &result.labels,
-        &[("DualTable EDIT", ew), ("Hive(HDFS)", hw), ("DualTable Cost-Model", cw)],
+        &[
+            ("DualTable EDIT", ew),
+            ("Hive(HDFS)", hw),
+            ("DualTable Cost-Model", cw),
+        ],
     );
     let (hm, em, cm) = result.dml_modeled();
     let hive = ("Hive(HDFS)", hm);

@@ -18,7 +18,11 @@ fn main() {
     report::print_series(
         "DELETE ratio",
         &result.labels,
-        &[("DualTable EDIT", ew), ("Hive(HDFS)", hw), ("DualTable Cost-Model", cw)],
+        &[
+            ("DualTable EDIT", ew),
+            ("Hive(HDFS)", hw),
+            ("DualTable Cost-Model", cw),
+        ],
     );
     let (hm, em, cm) = result.dml_modeled();
     let hive = ("Hive(HDFS)", hm);

@@ -9,7 +9,10 @@ use dt_bench::sweeps::run_sweep;
 fn main() {
     let spec = tpch_delete_spec();
     let result = run_sweep(&spec);
-    report::header("Figure 17", "Overhead of delete operations for reads (TPC-H)");
+    report::header(
+        "Figure 17",
+        "Overhead of delete operations for reads (TPC-H)",
+    );
     let (hw, ew, _) = result.read_wall();
     println!("[wall seconds on this machine]");
     report::print_series(

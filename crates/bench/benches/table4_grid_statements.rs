@@ -17,13 +17,26 @@ fn build_session(storage: &str) -> Session {
     create_table_as(&mut s, "tj_sjwzl_r", &grid::tj_sjwzl_r_schema(), storage);
     create_table_as(&mut s, "tj_sjwzl_y", &grid::tj_sjwzl_y_schema(), storage);
     create_table_as(&mut s, "tj_gk", &grid::tj_gk_schema(), storage);
-    create_table_as(&mut s, "tj_dysjwzl_mx", &grid::tj_dysjwzl_mx_schema(), storage);
+    create_table_as(
+        &mut s,
+        "tj_dysjwzl_mx",
+        &grid::tj_dysjwzl_mx_schema(),
+        storage,
+    );
     insert_direct(&mut s, "tj_tdjl", grid::tj_tdjl_rows(n, 1).collect());
     insert_direct(&mut s, "tj_td", grid::tj_td_rows(n / 2, 2).collect());
     insert_direct(&mut s, "tj_sjwzl_r", grid::tj_sjwzl_r_rows(n, 3).collect());
-    insert_direct(&mut s, "tj_sjwzl_y", grid::tj_sjwzl_y_rows(n / 3, 4).collect());
+    insert_direct(
+        &mut s,
+        "tj_sjwzl_y",
+        grid::tj_sjwzl_y_rows(n / 3, 4).collect(),
+    );
     insert_direct(&mut s, "tj_gk", grid::tj_gk_rows(n / 2, 5).collect());
-    insert_direct(&mut s, "tj_dysjwzl_mx", grid::tj_dysjwzl_mx_rows(n * 2, 6).collect());
+    insert_direct(
+        &mut s,
+        "tj_dysjwzl_mx",
+        grid::tj_dysjwzl_mx_rows(n * 2, 6).collect(),
+    );
     s
 }
 
@@ -51,7 +64,11 @@ fn main() {
                 .rows()[0][0]
                 .as_i64()
                 .unwrap() as u64
-                + if stmt.id.starts_with('D') { dr.affected } else { 0 };
+                + if stmt.id.starts_with('D') {
+                    dr.affected
+                } else {
+                    0
+                };
             dr.affected as f64 / total.max(1) as f64
         };
         rows.push(vec![

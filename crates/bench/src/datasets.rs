@@ -29,9 +29,7 @@ pub fn grid_update_spec() -> SweepSpec {
         rows: Box::new(move || smartgrid::tj_gbsjwzl_mx_rows(n, 42).collect()),
         points: grid_ratio_points(move |k| {
             let cutoff = smartgrid::BASE_DATE + k;
-            Box::new(move |row: &Row| {
-                row[rq_col].as_i64().map(|d| d < cutoff).unwrap_or(false)
-            })
+            Box::new(move |row: &Row| row[rq_col].as_i64().map(|d| d < cutoff).unwrap_or(false))
         }),
         update: Some((rcjl_col, Value::Float64(42.0))),
         rates: dualtable::Rates::default(),

@@ -11,7 +11,9 @@ pub fn header(id: &str, title: &str) {
 /// Prints an x-vs-series table (one row per x value, one column per
 /// series), e.g. run time vs UPDATE ratio for three systems.
 pub fn print_series(x_label: &str, xs: &[String], series: &[(&str, Vec<f64>)]) {
-    let mut widths = vec![x_label.len().max(xs.iter().map(String::len).max().unwrap_or(0))];
+    let mut widths = vec![x_label
+        .len()
+        .max(xs.iter().map(String::len).max().unwrap_or(0))];
     for (name, _) in series {
         widths.push(name.len().max(10));
     }

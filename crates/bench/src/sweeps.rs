@@ -84,30 +84,50 @@ fn models(v: &[PhaseTime]) -> Vec<f64> {
 impl SweepResult {
     /// Wall-clock DML series (hive, edit, cost).
     pub fn dml_wall(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-        (walls(&self.hive_dml), walls(&self.dt_edit_dml), walls(&self.dt_cost_dml))
+        (
+            walls(&self.hive_dml),
+            walls(&self.dt_edit_dml),
+            walls(&self.dt_cost_dml),
+        )
     }
 
     /// Modeled DML series (hive, edit, cost).
     pub fn dml_modeled(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-        (models(&self.hive_dml), models(&self.dt_edit_dml), models(&self.dt_cost_dml))
+        (
+            models(&self.hive_dml),
+            models(&self.dt_edit_dml),
+            models(&self.dt_cost_dml),
+        )
     }
 
     /// Wall-clock read-after series (hive, edit, cost).
     pub fn read_wall(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-        (walls(&self.hive_read), walls(&self.dt_edit_read), walls(&self.dt_cost_read))
+        (
+            walls(&self.hive_read),
+            walls(&self.dt_edit_read),
+            walls(&self.dt_cost_read),
+        )
     }
 
     /// Modeled read-after series (hive, edit, cost).
     pub fn read_modeled(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-        (models(&self.hive_read), models(&self.dt_edit_read), models(&self.dt_cost_read))
+        (
+            models(&self.hive_read),
+            models(&self.dt_edit_read),
+            models(&self.dt_cost_read),
+        )
     }
 
     /// DML + following read, per system: `(wall triple, modeled triple)`.
     #[allow(clippy::type_complexity)]
-    pub fn totals(&self) -> ((Vec<f64>, Vec<f64>, Vec<f64>), (Vec<f64>, Vec<f64>, Vec<f64>)) {
-        let add = |a: &[f64], b: &[f64]| -> Vec<f64> {
-            a.iter().zip(b).map(|(x, y)| x + y).collect()
-        };
+    pub fn totals(
+        &self,
+    ) -> (
+        (Vec<f64>, Vec<f64>, Vec<f64>),
+        (Vec<f64>, Vec<f64>, Vec<f64>),
+    ) {
+        let add =
+            |a: &[f64], b: &[f64]| -> Vec<f64> { a.iter().zip(b).map(|(x, y)| x + y).collect() };
         let (hw, ew, cw) = self.dml_wall();
         let (hr, er, cr) = self.read_wall();
         let (hm, em, cm) = self.dml_modeled();
@@ -157,7 +177,12 @@ fn run_dual(spec: &SweepSpec, point: &SweepPoint, plan_mode: PlanMode, tag: &str
         plan_mode,
         spec.rates,
     );
-    let build_bytes = env.dfs.stats().snapshot().since(&before_build).bytes_written;
+    let build_bytes = env
+        .dfs
+        .stats()
+        .snapshot()
+        .since(&before_build)
+        .bytes_written;
     let pred = &point.predicate;
     let hint = RatioHint::Explicit(point.ratio);
 
@@ -209,7 +234,12 @@ fn run_hive(spec: &SweepSpec, point: &SweepPoint) -> PhaseOutcome {
     let row_count = rows.len() as u64;
     let before_build = env.dfs.stats().snapshot();
     let table = build_hive(&env, "sweep_hive", spec.schema.clone(), rows);
-    let build_bytes = env.dfs.stats().snapshot().since(&before_build).bytes_written;
+    let build_bytes = env
+        .dfs
+        .stats()
+        .snapshot()
+        .since(&before_build)
+        .bytes_written;
     let pred = &point.predicate;
 
     let before_dfs = env.dfs.stats().snapshot();

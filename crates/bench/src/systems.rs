@@ -4,9 +4,7 @@ use dt_baselines::{HiveAcidTable, HiveHbaseTable, HiveHdfsTable};
 use dt_common::{Row, Schema, Value};
 use dt_hiveql::{Session, SessionConfig};
 use dt_orcfile::WriterOptions;
-use dualtable::{
-    DualTableConfig, DualTableEnv, DualTableStore, PlanMode, Rates, RatioHint,
-};
+use dualtable::{DualTableConfig, DualTableEnv, DualTableStore, PlanMode, Rates, RatioHint};
 
 use crate::time;
 
@@ -53,12 +51,7 @@ pub fn build_dual(
 }
 
 /// Builds a fresh Hive(HDFS) table with `rows`.
-pub fn build_hive(
-    env: &DualTableEnv,
-    name: &str,
-    schema: Schema,
-    rows: Vec<Row>,
-) -> HiveHdfsTable {
+pub fn build_hive(env: &DualTableEnv, name: &str, schema: Schema, rows: Vec<Row>) -> HiveHdfsTable {
     let t = HiveHdfsTable::create(
         &env.dfs,
         name,
@@ -84,12 +77,7 @@ pub fn build_hbase(
 }
 
 /// Builds a fresh Hive-ACID table with `rows`.
-pub fn build_acid(
-    env: &DualTableEnv,
-    name: &str,
-    schema: Schema,
-    rows: Vec<Row>,
-) -> HiveAcidTable {
+pub fn build_acid(env: &DualTableEnv, name: &str, schema: Schema, rows: Vec<Row>) -> HiveAcidTable {
     let t = HiveAcidTable::create(
         &env.dfs,
         name,
@@ -128,7 +116,13 @@ pub fn calibrate_rates(probe_rows: usize) -> Rates {
         .expect("probe table");
     let before = env.dfs.stats().snapshot();
     let (w_secs, _) = time(|| hive.insert_rows(rows.clone()).unwrap());
-    let master_bytes = env.dfs.stats().snapshot().since(&before).bytes_written.max(1);
+    let master_bytes = env
+        .dfs
+        .stats()
+        .snapshot()
+        .since(&before)
+        .bytes_written
+        .max(1);
     // Master read: full scan (decode).
     let (r_secs, _) = time(|| hive.scan(None, None).unwrap());
 
@@ -137,15 +131,12 @@ pub fn calibrate_rates(probe_rows: usize) -> Rates {
     let cells: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)> = (0..probe_rows.max(512) as u64)
         .map(|i| (i.to_be_bytes().to_vec(), vec![0, 1], vec![7u8; 16]))
         .collect();
-    let cell_bytes: u64 = cells.iter().map(|(r, q, v)| (r.len() + q.len() + v.len()) as u64).sum();
+    let cell_bytes: u64 = cells
+        .iter()
+        .map(|(r, q, v)| (r.len() + q.len() + v.len()) as u64)
+        .sum();
     let (aw_secs, _) = time(|| store.put_batch(cells).unwrap());
-    let (ar_secs, _) = time(|| {
-        store
-            .scan(None, None)
-            .unwrap()
-            .collect_rows()
-            .unwrap()
-    });
+    let (ar_secs, _) = time(|| store.scan(None, None).unwrap().collect_rows().unwrap());
 
     Rates {
         master_write_bps: master_bytes as f64 / w_secs.max(1e-9),
@@ -175,7 +166,11 @@ pub fn tpch_session(storage: &str, lineitem_rows: usize, seed: u64) -> Session {
         "lineitem",
         tpch::lineitem_rows(lineitem_rows, orders_n, seed).collect(),
     );
-    insert_direct(&mut session, "orders", tpch::orders_rows(orders_n, seed).collect());
+    insert_direct(
+        &mut session,
+        "orders",
+        tpch::orders_rows(orders_n, seed).collect(),
+    );
     session
 }
 

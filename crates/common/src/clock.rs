@@ -37,12 +37,10 @@ impl LogicalClock {
     pub fn advance_past(&self, ts: u64) {
         let mut cur = self.next.load(Ordering::Relaxed);
         while cur <= ts {
-            match self.next.compare_exchange_weak(
-                cur,
-                ts + 1,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .next
+                .compare_exchange_weak(cur, ts + 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(now) => cur = now,
             }

@@ -140,8 +140,8 @@ pub fn get_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
         }
         TAG_UTF8 => {
             let bytes = get_bytes(buf, pos)?;
-            let s = std::str::from_utf8(bytes)
-                .map_err(|_| Error::corrupt("invalid UTF-8 in value"))?;
+            let s =
+                std::str::from_utf8(bytes).map_err(|_| Error::corrupt("invalid UTF-8 in value"))?;
             Ok(Value::Utf8(s.to_string()))
         }
         TAG_BOOL_FALSE => Ok(Value::Bool(false)),

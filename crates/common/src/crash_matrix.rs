@@ -100,7 +100,9 @@ pub fn run_crash_matrix(
         match run(k) {
             Ok(true) => report.crashes_injected += 1,
             Ok(false) => report.clean_runs += 1,
-            Err(violation) => report.violations.push(format!("crash point {k}: {violation}")),
+            Err(violation) => report
+                .violations
+                .push(format!("crash point {k}: {violation}")),
         }
     }
     report

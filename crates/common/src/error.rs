@@ -170,8 +170,14 @@ mod tests {
 
     #[test]
     fn classification_partitions_variants() {
-        assert_eq!(Error::unavailable("dn1 timeout").class(), ErrorClass::Transient);
-        assert_eq!(Error::Busy("compact lock".into()).class(), ErrorClass::Transient);
+        assert_eq!(
+            Error::unavailable("dn1 timeout").class(),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            Error::Busy("compact lock".into()).class(),
+            ErrorClass::Transient
+        );
         assert_eq!(Error::corrupt("crc mismatch").class(), ErrorClass::Corrupt);
         assert_eq!(Error::injected("WriteError").class(), ErrorClass::Permanent);
         assert_eq!(Error::not_found("/x").class(), ErrorClass::Permanent);

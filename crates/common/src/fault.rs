@@ -196,7 +196,10 @@ impl FaultPlan {
     /// retried operation always outlives the outage it models.
     pub fn seeded(seed: u64, faults: usize, horizon: u64, kinds: &[FaultKind]) -> Self {
         assert!(!kinds.is_empty(), "fault kind palette must not be empty");
-        assert!(horizon >= faults as u64, "horizon too small for fault count");
+        assert!(
+            horizon >= faults as u64,
+            "horizon too small for fault count"
+        );
         let mut rng = Rng64::new(seed);
         let mut at_ops = std::collections::BTreeSet::new();
         while at_ops.len() < faults {
@@ -497,7 +500,11 @@ mod tests {
 
     #[test]
     fn seeded_plans_are_reproducible() {
-        let kinds = [FaultKind::WriteError, FaultKind::Crash, FaultKind::TornWrite];
+        let kinds = [
+            FaultKind::WriteError,
+            FaultKind::Crash,
+            FaultKind::TornWrite,
+        ];
         let a = FaultPlan::seeded(42, 5, 100, &kinds);
         let b = FaultPlan::seeded(42, 5, 100, &kinds);
         let mut log_a = Vec::new();
@@ -519,8 +526,7 @@ mod tests {
 
     #[test]
     fn transient_fault_fires_n_times_then_succeeds() {
-        let plan =
-            FaultPlan::new(5).fail_transient_at(2, FaultKind::TransientWriteError, 3);
+        let plan = FaultPlan::new(5).fail_transient_at(2, FaultKind::TransientWriteError, 3);
         assert!(plan.on_op(IoOp::Write).is_none());
         for _ in 0..3 {
             assert_eq!(
@@ -535,8 +541,7 @@ mod tests {
 
     #[test]
     fn transient_faults_skip_deletes_and_other_op_classes() {
-        let plan =
-            FaultPlan::new(5).fail_transient_at(1, FaultKind::TransientReadError, 2);
+        let plan = FaultPlan::new(5).fail_transient_at(1, FaultKind::TransientReadError, 2);
         assert!(plan.on_op(IoOp::Write).is_none());
         assert!(plan.on_op(IoOp::Delete).is_none());
         assert_eq!(plan.on_op(IoOp::Read), Some(FaultKind::TransientReadError));

@@ -27,6 +27,10 @@ pub struct HealthCounters {
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
     attached_scans_skipped: AtomicU64,
+    write_workers_used: AtomicU64,
+    group_commits: AtomicU64,
+    wal_fsyncs_saved: AtomicU64,
+    parallel_replications: AtomicU64,
     degraded: AtomicBool,
 }
 
@@ -99,6 +103,24 @@ impl HealthCounters {
         self.attached_scans_skipped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A rewrite (OVERWRITE/COMPACT) fanned out across `n` write workers.
+    pub fn record_write_workers(&self, n: u64) {
+        self.write_workers_used.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One WAL append durably committed `batches` caller batches at once,
+    /// saving `batches - 1` fsyncs versus the one-append-per-batch path.
+    pub fn record_group_commit(&self, batches: u64) {
+        self.group_commits.fetch_add(1, Ordering::Relaxed);
+        self.wal_fsyncs_saved
+            .fetch_add(batches.saturating_sub(1), Ordering::Relaxed);
+    }
+
+    /// A block was replicated to its replica set concurrently.
+    pub fn record_parallel_replication(&self) {
+        self.parallel_replications.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Sets or clears the degraded (read-only) flag for the tier.
     pub fn set_degraded(&self, degraded: bool) {
         self.degraded.store(degraded, Ordering::Relaxed);
@@ -125,6 +147,10 @@ impl HealthCounters {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             attached_scans_skipped: self.attached_scans_skipped.load(Ordering::Relaxed),
+            write_workers_used: self.write_workers_used.load(Ordering::Relaxed),
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+            wal_fsyncs_saved: self.wal_fsyncs_saved.load(Ordering::Relaxed),
+            parallel_replications: self.parallel_replications.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
@@ -160,6 +186,15 @@ pub struct HealthSnapshot {
     /// Attached-tier range scans UNION READ skipped for provably clean
     /// files (presence index).
     pub attached_scans_skipped: u64,
+    /// Worker threads used by parallel rewrites (OVERWRITE/COMPACT
+    /// fan-out), summed over statements.
+    pub write_workers_used: u64,
+    /// WAL appends that durably committed more than one caller batch.
+    pub group_commits: u64,
+    /// Fsyncs avoided by coalescing concurrent batches into one append.
+    pub wal_fsyncs_saved: u64,
+    /// Blocks whose replica set was written concurrently.
+    pub parallel_replications: u64,
     /// Whether the tier is currently read-only.
     pub degraded: bool,
 }
@@ -182,6 +217,10 @@ impl HealthSnapshot {
             ("cache_misses", self.cache_misses),
             ("cache_evictions", self.cache_evictions),
             ("attached_scans_skipped", self.attached_scans_skipped),
+            ("write_workers_used", self.write_workers_used),
+            ("group_commits", self.group_commits),
+            ("wal_fsyncs_saved", self.wal_fsyncs_saved),
+            ("parallel_replications", self.parallel_replications),
             ("degraded", u64::from(self.degraded)),
         ]
     }
@@ -207,6 +246,10 @@ mod tests {
         h.record_cache_miss();
         h.record_cache_evictions(2);
         h.record_attached_scan_skipped();
+        h.record_write_workers(4);
+        h.record_group_commit(3);
+        h.record_group_commit(1);
+        h.record_parallel_replication();
         h.set_degraded(true);
         let s = h.snapshot();
         assert_eq!(s.retries, 2);
@@ -221,6 +264,10 @@ mod tests {
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.cache_evictions, 2);
         assert_eq!(s.attached_scans_skipped, 1);
+        assert_eq!(s.write_workers_used, 4);
+        assert_eq!(s.group_commits, 2);
+        assert_eq!(s.wal_fsyncs_saved, 2, "3-batch group saves 2 fsyncs");
+        assert_eq!(s.parallel_replications, 1);
         assert!(s.degraded);
         h.set_degraded(false);
         assert!(!h.is_degraded());
@@ -233,8 +280,10 @@ mod tests {
             ..HealthSnapshot::default()
         };
         let metrics = s.metrics();
-        assert_eq!(metrics.len(), 14);
+        assert_eq!(metrics.len(), 18);
         assert!(metrics.contains(&("degraded", 1)));
         assert!(metrics.contains(&("cache_hits", 0)));
+        assert!(metrics.contains(&("group_commits", 0)));
+        assert!(metrics.contains(&("write_workers_used", 0)));
     }
 }

@@ -24,6 +24,10 @@ struct Counters {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    write_workers_used: AtomicU64,
+    group_commits: AtomicU64,
+    wal_fsyncs_saved: AtomicU64,
+    parallel_replications: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -45,6 +49,14 @@ pub struct IoStatsSnapshot {
     pub cache_misses: u64,
     /// Cache entries evicted to make room for newer data.
     pub cache_evictions: u64,
+    /// Worker threads used by parallel rewrites, summed over statements.
+    pub write_workers_used: u64,
+    /// WAL appends that durably committed more than one caller batch.
+    pub group_commits: u64,
+    /// Fsyncs avoided by coalescing concurrent batches into one append.
+    pub wal_fsyncs_saved: u64,
+    /// Blocks whose replica set was written concurrently.
+    pub parallel_replications: u64,
 }
 
 impl IoStats {
@@ -85,6 +97,28 @@ impl IoStats {
         self.inner.cache_evictions.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records a rewrite fanning out across `n` write workers.
+    pub fn record_write_workers(&self, n: u64) {
+        self.inner
+            .write_workers_used
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one WAL append committing `batches` caller batches at once.
+    pub fn record_group_commit(&self, batches: u64) {
+        self.inner.group_commits.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .wal_fsyncs_saved
+            .fetch_add(batches.saturating_sub(1), Ordering::Relaxed);
+    }
+
+    /// Records a block replicated to its replica set concurrently.
+    pub fn record_parallel_replication(&self) {
+        self.inner
+            .parallel_replications
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -96,6 +130,10 @@ impl IoStats {
             cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.inner.cache_evictions.load(Ordering::Relaxed),
+            write_workers_used: self.inner.write_workers_used.load(Ordering::Relaxed),
+            group_commits: self.inner.group_commits.load(Ordering::Relaxed),
+            wal_fsyncs_saved: self.inner.wal_fsyncs_saved.load(Ordering::Relaxed),
+            parallel_replications: self.inner.parallel_replications.load(Ordering::Relaxed),
         }
     }
 
@@ -109,6 +147,10 @@ impl IoStats {
         self.inner.cache_hits.store(0, Ordering::Relaxed);
         self.inner.cache_misses.store(0, Ordering::Relaxed);
         self.inner.cache_evictions.store(0, Ordering::Relaxed);
+        self.inner.write_workers_used.store(0, Ordering::Relaxed);
+        self.inner.group_commits.store(0, Ordering::Relaxed);
+        self.inner.wal_fsyncs_saved.store(0, Ordering::Relaxed);
+        self.inner.parallel_replications.store(0, Ordering::Relaxed);
     }
 }
 
@@ -124,6 +166,10 @@ impl IoStatsSnapshot {
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
             cache_evictions: self.cache_evictions - earlier.cache_evictions,
+            write_workers_used: self.write_workers_used - earlier.write_workers_used,
+            group_commits: self.group_commits - earlier.group_commits,
+            wal_fsyncs_saved: self.wal_fsyncs_saved - earlier.wal_fsyncs_saved,
+            parallel_replications: self.parallel_replications - earlier.parallel_replications,
         }
     }
 }
@@ -143,6 +189,9 @@ mod tests {
         s.record_cache_hit();
         s.record_cache_miss();
         s.record_cache_evictions(3);
+        s.record_write_workers(4);
+        s.record_group_commit(5);
+        s.record_parallel_replication();
         let snap = s.snapshot();
         assert_eq!(snap.bytes_read, 15);
         assert_eq!(snap.read_ops, 2);
@@ -152,6 +201,10 @@ mod tests {
         assert_eq!(snap.cache_hits, 2);
         assert_eq!(snap.cache_misses, 1);
         assert_eq!(snap.cache_evictions, 3);
+        assert_eq!(snap.write_workers_used, 4);
+        assert_eq!(snap.group_commits, 1);
+        assert_eq!(snap.wal_fsyncs_saved, 4);
+        assert_eq!(snap.parallel_replications, 1);
     }
 
     #[test]

@@ -89,11 +89,7 @@ impl RetryPolicy {
     /// [transient](ErrorClass::Transient) error and attempts remain.
     /// Outcomes are recorded in `health`; the final error (transient or
     /// not) is returned unchanged so callers can still classify it.
-    pub fn run<T>(
-        &self,
-        health: &HealthCounters,
-        mut op: impl FnMut() -> Result<T>,
-    ) -> Result<T> {
+    pub fn run<T>(&self, health: &HealthCounters, mut op: impl FnMut() -> Result<T>) -> Result<T> {
         let mut attempt = 1;
         loop {
             match op() {

@@ -219,8 +219,7 @@ impl BlockStore for DiskBlockStore {
     }
 
     fn delete(&self, id: BlockId) -> Result<()> {
-        fs::remove_file(self.path_of(id))
-            .map_err(|_| Error::not_found(format!("block {id:?}")))
+        fs::remove_file(self.path_of(id)).map_err(|_| Error::not_found(format!("block {id:?}")))
     }
 
     fn meta_append(&self, name: &str, data: &[u8]) -> Result<()> {
@@ -239,8 +238,7 @@ impl BlockStore for DiskBlockStore {
     }
 
     fn meta_read(&self, name: &str) -> Result<Vec<u8>> {
-        fs::read(self.meta_path(name))
-            .map_err(|_| Error::not_found(format!("meta stream {name}")))
+        fs::read(self.meta_path(name)).map_err(|_| Error::not_found(format!("meta stream {name}")))
     }
 
     fn meta_rename(&self, from: &str, to: &str) -> Result<()> {

@@ -181,7 +181,11 @@ mod tests {
         let mut bad = vec![0u8; 10];
         store.read_at(id, 0, &mut bad).unwrap();
         assert_eq!(plan.injected_count(), 1);
-        let diffs = b"0123456789".iter().zip(&bad).filter(|(a, b)| a != b).count();
+        let diffs = b"0123456789"
+            .iter()
+            .zip(&bad)
+            .filter(|(a, b)| a != b)
+            .count();
         assert_eq!(diffs, 1);
         // Subsequent reads are clean again.
         let mut good = vec![0u8; 10];

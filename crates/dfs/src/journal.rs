@@ -42,13 +42,32 @@ pub const CHECKPOINT_TMP: &str = "checkpoint.tmp";
 /// One journaled namespace mutation.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum EditRecord {
-    BeginCreate { path: String },
-    Commit { path: String, meta: FileMeta },
-    Abort { path: String },
-    Remove { path: String },
-    Rename { from: String, to: String },
-    Replace { path: String, meta: FileMeta },
-    Quarantine { path: String, group: usize, replica: BlockId },
+    BeginCreate {
+        path: String,
+    },
+    Commit {
+        path: String,
+        meta: FileMeta,
+    },
+    Abort {
+        path: String,
+    },
+    Remove {
+        path: String,
+    },
+    Rename {
+        from: String,
+        to: String,
+    },
+    Replace {
+        path: String,
+        meta: FileMeta,
+    },
+    Quarantine {
+        path: String,
+        group: usize,
+        replica: BlockId,
+    },
     /// A scrub pass reclaimed every quarantined replica.
     DrainQuarantine,
 }
@@ -280,8 +299,7 @@ impl Journal {
                 .run(&self.health, || self.blocks.meta_read(EDITS_FILE))?;
             let mut pos = 0usize;
             while pos + 8 <= data.len() {
-                let len =
-                    u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+                let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
                 let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
                 let body_start = pos + 8;
                 let body_end = match body_start.checked_add(len) {
@@ -396,8 +414,9 @@ impl Journal {
     pub fn checkpoint(&self, state: &NnState) -> Result<()> {
         let last_seq = self.state.lock().unwrap().next_seq - 1;
         let payload = encode_checkpoint(state, last_seq);
-        self.retry
-            .run(&self.health, || self.blocks.meta_write(CHECKPOINT_TMP, &payload))?;
+        self.retry.run(&self.health, || {
+            self.blocks.meta_write(CHECKPOINT_TMP, &payload)
+        })?;
         self.retry.run(&self.health, || {
             self.blocks.meta_rename(CHECKPOINT_TMP, CHECKPOINT_FILE)
         })?;
@@ -471,7 +490,9 @@ fn decode_checkpoint(data: &[u8], state: &mut NnState) -> Result<u64> {
     }
     let quarantine_count = get_uvarint(body, &mut pos)?;
     for _ in 0..quarantine_count {
-        state.quarantined.push(BlockId(get_uvarint(body, &mut pos)?));
+        state
+            .quarantined
+            .push(BlockId(get_uvarint(body, &mut pos)?));
     }
     Ok(last_seq)
 }
@@ -541,11 +562,16 @@ mod tests {
     fn pending_without_commit_is_dropped_on_recovery() {
         let (journal, store) = fresh();
         journal
-            .append(&EditRecord::BeginCreate { path: "/doomed".into() })
+            .append(&EditRecord::BeginCreate {
+                path: "/doomed".into(),
+            })
             .unwrap();
         let recovered = reopen(&store);
         assert!(recovered.state.files.is_empty());
-        assert_eq!(recovered.report.dropped_pending, vec!["/doomed".to_string()]);
+        assert_eq!(
+            recovered.report.dropped_pending,
+            vec!["/doomed".to_string()]
+        );
     }
 
     #[test]
@@ -562,7 +588,9 @@ mod tests {
             .unwrap();
         // Tear the log mid-record.
         let data = store.meta_read(EDITS_FILE).unwrap();
-        store.meta_write(EDITS_FILE, &data[..data.len() - 3]).unwrap();
+        store
+            .meta_write(EDITS_FILE, &data[..data.len() - 3])
+            .unwrap();
         let recovered = reopen(&store);
         // The torn Commit is gone; its BeginCreate survives alone and is
         // dropped as a dead pending writer.

@@ -579,7 +579,10 @@ mod tests {
         dfs.write_file("/t/b", b"").unwrap();
         dfs.write_file("/t/a", b"").unwrap();
         dfs.write_file("/u/c", b"").unwrap();
-        assert_eq!(dfs.list("/t/"), vec!["/t/a".to_string(), "/t/b".to_string()]);
+        assert_eq!(
+            dfs.list("/t/"),
+            vec!["/t/a".to_string(), "/t/b".to_string()]
+        );
     }
 
     #[test]

@@ -118,8 +118,7 @@ impl NameNode {
         health: Arc<HealthCounters>,
         checkpoint_interval: u64,
     ) -> Result<Self> {
-        let (journal, recovered) =
-            Journal::recover(blocks, retry, health, checkpoint_interval)?;
+        let (journal, recovered) = Journal::recover(blocks, retry, health, checkpoint_interval)?;
         Ok(NameNode {
             state: RwLock::new(recovered.state),
             journal,
@@ -201,9 +200,9 @@ impl NameNode {
     pub fn get_closed(&self, path: &str) -> Result<FileMeta> {
         match self.state.read().files.get(path) {
             Some(Entry::Closed(meta)) => Ok(meta.clone()),
-            Some(Entry::Pending) => Err(Error::Busy(format!(
-                "file '{path}' is still being written"
-            ))),
+            Some(Entry::Pending) => {
+                Err(Error::Busy(format!("file '{path}' is still being written")))
+            }
             None => Err(Error::not_found(format!("DFS file '{path}'"))),
         }
     }
@@ -275,12 +274,7 @@ impl NameNode {
     /// best-effort; the replica stays serving and `fsck` still flags it).
     /// The *last* replica of a group is never removed — a suspect copy
     /// beats no copy.
-    pub fn quarantine_replica(
-        &self,
-        path: &str,
-        group_index: usize,
-        replica: BlockId,
-    ) -> bool {
+    pub fn quarantine_replica(&self, path: &str, group_index: usize, replica: BlockId) -> bool {
         let mut state = self.state.write();
         let Some(Entry::Closed(meta)) = state.files.get(path) else {
             return false;

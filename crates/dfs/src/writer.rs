@@ -67,25 +67,62 @@ impl DfsWriter {
         let written = self.buf.len() as u64;
         // Place one physical copy per configured replica, retrying each
         // placement on transient faults like an HDFS client rebuilding its
-        // pipeline. If a placement still fails, the ones already placed
-        // are released and the write fails whole — a block group is never
-        // committed short.
+        // pipeline. Replicas are written concurrently (one scoped thread
+        // per copy) rather than down a serial pipeline. If any placement
+        // still fails, the ones that landed are released and the write
+        // fails whole — a block group is never committed short.
         let replication = self.inner.config().replication.max(1);
         let policy = self.inner.config().retry;
+        let latency = self.inner.config().put_latency_micros;
+        let inner = &self.inner;
+        let buf = &self.buf;
+        let place = move || {
+            if latency > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(latency));
+            }
+            inner.blocks().put(buf)
+        };
+        let results = if replication <= 1 {
+            vec![policy.run(inner.health(), place)]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..replication)
+                    .map(|_| s.spawn(move || policy.run(inner.health(), place)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(dt_common::Error::internal("a replica writer panicked"))
+                        })
+                    })
+                    .collect::<Vec<_>>()
+            })
+        };
         let mut replicas = Vec::with_capacity(replication as usize);
-        for _ in 0..replication {
-            match policy.run(self.inner.health(), || self.inner.blocks().put(&self.buf)) {
-                Ok(id) => {
-                    replicas.push(id);
-                    self.inner.stats().record_write(written);
-                }
+        let mut first_err = None;
+        for result in results {
+            match result {
+                Ok(id) => replicas.push(id),
                 Err(e) => {
-                    for placed in replicas {
-                        let _ = self.inner.blocks().delete(placed);
+                    if first_err.is_none() {
+                        first_err = Some(e);
                     }
-                    return Err(e);
                 }
             }
+        }
+        if let Some(e) = first_err {
+            for placed in replicas {
+                let _ = self.inner.blocks().delete(placed);
+            }
+            return Err(e);
+        }
+        for _ in 0..replication {
+            self.inner.stats().record_write(written);
+        }
+        if replication > 1 {
+            self.inner.stats().record_parallel_replication();
+            self.inner.health().record_parallel_replication();
         }
         self.meta.blocks.push(BlockGroup {
             replicas,

@@ -23,7 +23,9 @@ fn file(i: usize) -> (String, Vec<u8>) {
     let len = (i * 29) % 90;
     (
         format!("/f{i}"),
-        (0..len).map(|j| (j as u8).wrapping_mul(i as u8 | 1)).collect(),
+        (0..len)
+            .map(|j| (j as u8).wrapping_mul(i as u8 | 1))
+            .collect(),
     )
 }
 

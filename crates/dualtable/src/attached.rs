@@ -129,7 +129,11 @@ mod tests {
         let row = RowEntry {
             row: rk,
             cells: vec![
-                (update_qualifier(0).to_vec(), 1, encode_value(&Value::Int64(5))),
+                (
+                    update_qualifier(0).to_vec(),
+                    1,
+                    encode_value(&Value::Int64(5)),
+                ),
                 (dq, 2, dv),
             ],
         };

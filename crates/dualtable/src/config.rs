@@ -47,6 +47,12 @@ pub struct DualTableConfig {
     /// (DESIGN.md §10). `0` disables the cache and re-parses every footer
     /// on every open.
     pub footer_cache_entries: u64,
+    /// Worker threads for the parallel rewrite fan-out: OVERWRITE-plan
+    /// DML, INSERT OVERWRITE and COMPACT partition their work across this
+    /// many writers, each streaming into its own master files (DESIGN.md
+    /// §12). `1` (or a single-file table) reproduces the sequential write
+    /// path exactly. The commit step is always single-threaded regardless.
+    pub write_threads: usize,
 }
 
 impl Default for DualTableConfig {
@@ -62,6 +68,10 @@ impl Default for DualTableConfig {
             delete_marker_bytes: 26,
             retry: RetryPolicy::default(),
             footer_cache_entries: 1024,
+            // Like Hadoop's default mapper count: one writer per core.
+            write_threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
         }
     }
 }

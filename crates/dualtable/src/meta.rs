@@ -47,6 +47,17 @@ impl MetadataManager {
     /// OVERWRITE / COMPACT — which is what keeps stale attached-tier
     /// overlays from ever resolving against a new master file.
     pub fn next_file_id(&self, table: &str) -> Result<u32> {
+        self.reserve_file_ids(table, 1)
+    }
+
+    /// Reserves `count` consecutive file IDs for `table` in one counter
+    /// bump, returning the first. Parallel rewrite workers (DESIGN.md §12)
+    /// reserve one range per partition *in partition order* so the
+    /// ascending-file-ID scan order of the new generation equals the
+    /// concatenation of the partitions — ID gaps from over-reservation are
+    /// harmless because IDs only need uniqueness and ordering.
+    pub fn reserve_file_ids(&self, table: &str, count: u32) -> Result<u32> {
+        let count = count.max(1);
         let _guard = self.alloc_lock.lock();
         let store = self.store()?;
         let row = format!("table:{table}");
@@ -59,11 +70,11 @@ impl MetadataManager {
             ),
             None => 0,
         };
-        let next = current
-            .checked_add(1)
+        let last = current
+            .checked_add(count)
             .ok_or_else(|| Error::internal("file id space exhausted"))?;
-        store.put(row.as_bytes(), QUAL_FILE_ID, &next.to_be_bytes())?;
-        Ok(next)
+        store.put(row.as_bytes(), QUAL_FILE_ID, &last.to_be_bytes())?;
+        Ok(current + 1)
     }
 
     /// The committed master-table generation of `table` (0 before any
@@ -156,6 +167,19 @@ mod tests {
         assert_eq!(m.next_file_id("a").unwrap(), 2);
         assert_eq!(m.next_file_id("b").unwrap(), 1);
         assert_eq!(m.next_file_id("a").unwrap(), 3);
+    }
+
+    #[test]
+    fn reserved_ranges_are_disjoint_and_ordered() {
+        let m = manager();
+        let a = m.reserve_file_ids("t", 4).unwrap();
+        let b = m.reserve_file_ids("t", 2).unwrap();
+        let c = m.next_file_id("t").unwrap();
+        assert_eq!(a, 1);
+        assert_eq!(b, 5, "second range starts after the first");
+        assert_eq!(c, 7);
+        // A zero-count reservation still hands out one valid ID.
+        assert_eq!(m.reserve_file_ids("t", 0).unwrap(), 8);
     }
 
     #[test]

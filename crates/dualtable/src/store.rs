@@ -85,8 +85,10 @@ struct Inner {
 /// One DualTable (see the crate docs for the model).
 ///
 /// Cheap to clone; clones share the table.
-/// One `UPDATE` assignment: `(column ordinal, value function)`.
-pub type Assignment<'a> = (usize, Box<dyn Fn(&Row) -> Value + 'a>);
+/// One `UPDATE` assignment: `(column ordinal, value function)`. `Sync`
+/// because the OVERWRITE plan applies assignments from parallel rewrite
+/// workers (DESIGN.md §12).
+pub type Assignment<'a> = (usize, Box<dyn Fn(&Row) -> Value + Sync + 'a>);
 
 #[derive(Clone)]
 pub struct DualTableStore {
@@ -143,6 +145,48 @@ fn file_predicates<'a>(
     }
 }
 
+/// One worker's slice of a parallel rewrite: the master files it reads
+/// and the output file-ID range its sink draws from.
+struct RewritePartition {
+    files: Vec<u32>,
+    first_id: u32,
+    id_count: u32,
+}
+
+/// Where a [`MasterWriteSink`] gets the file ID for each file it starts.
+enum FileIdAlloc {
+    /// One metadata-table counter bump per file (the sequential path).
+    Shared,
+    /// A contiguous range pre-reserved for one parallel rewrite worker
+    /// via [`crate::meta::MetadataManager::reserve_file_ids`]. Drawing
+    /// from a private range keeps workers off the shared counter and —
+    /// because ranges are reserved in partition order — keeps the new
+    /// generation's ascending-file-ID scan order equal to the
+    /// concatenation of the partitions.
+    Reserved { next: u32, remaining: u32 },
+}
+
+impl FileIdAlloc {
+    fn next(&mut self, store: &DualTableStore) -> Result<u32> {
+        match self {
+            FileIdAlloc::Shared => store.inner.env.meta.next_file_id(&store.inner.name),
+            FileIdAlloc::Reserved { next, remaining } => {
+                if *remaining == 0 {
+                    // Ranges are sized from footer row counts, which upper-
+                    // bound the UNION READ output; exhaustion is a bug.
+                    return Err(Error::internal(
+                        "parallel rewrite exhausted its reserved file-ID range",
+                    ));
+                }
+                let id = *next;
+                *next += 1;
+                *remaining -= 1;
+                Ok(id)
+            }
+        }
+    }
+}
+
 /// Incrementally writes rows into a generation's master files, rolling to
 /// a fresh file (and file ID) every `rows_per_file` rows. At most one
 /// file's writer is in flight, so feeding it from a streaming scan keeps
@@ -151,6 +195,7 @@ fn file_predicates<'a>(
 struct MasterWriteSink<'a> {
     store: &'a DualTableStore,
     gen: u64,
+    alloc: FileIdAlloc,
     writer: Option<OrcWriter>,
     in_file: usize,
     written: u64,
@@ -158,9 +203,27 @@ struct MasterWriteSink<'a> {
 
 impl<'a> MasterWriteSink<'a> {
     fn new(store: &'a DualTableStore, gen: u64) -> Self {
+        Self::with_alloc(store, gen, FileIdAlloc::Shared)
+    }
+
+    /// A sink drawing file IDs from the pre-reserved range
+    /// `[first_id, first_id + count)` instead of the shared counter.
+    fn reserved(store: &'a DualTableStore, gen: u64, first_id: u32, count: u32) -> Self {
+        Self::with_alloc(
+            store,
+            gen,
+            FileIdAlloc::Reserved {
+                next: first_id,
+                remaining: count,
+            },
+        )
+    }
+
+    fn with_alloc(store: &'a DualTableStore, gen: u64, alloc: FileIdAlloc) -> Self {
         MasterWriteSink {
             store,
             gen,
+            alloc,
             writer: None,
             in_file: 0,
             written: 0,
@@ -170,7 +233,7 @@ impl<'a> MasterWriteSink<'a> {
     fn push(&mut self, row: Row) -> Result<()> {
         let inner = &self.store.inner;
         if self.writer.is_none() {
-            let file_id = inner.env.meta.next_file_id(&inner.name)?;
+            let file_id = self.alloc.next(self.store)?;
             let mut w = OrcWriter::create(
                 &inner.env.dfs,
                 &self.store.file_path_at(self.gen, file_id),
@@ -181,7 +244,10 @@ impl<'a> MasterWriteSink<'a> {
             self.writer = Some(w);
             self.in_file = 0;
         }
-        self.writer.as_mut().expect("writer just created").write_row(row)?;
+        self.writer
+            .as_mut()
+            .expect("writer just created")
+            .write_row(row)?;
         self.written += 1;
         self.in_file += 1;
         if self.in_file >= inner.config.rows_per_file {
@@ -304,7 +370,10 @@ impl DualTableStore {
     /// (after OVERWRITE/COMPACT) replaces the store inside the cluster, so
     /// caching a handle would go stale.
     fn attached(&self) -> Result<dt_kvstore::Store> {
-        self.inner.env.kv.table(&Self::attached_name(&self.inner.name))
+        self.inner
+            .env
+            .kv
+            .table(&Self::attached_name(&self.inner.name))
     }
 
     /// The committed master generation. Master files live under
@@ -588,10 +657,8 @@ impl DualTableStore {
         let presence = Arc::new(self.load_presence(&attached_store)?);
         let snapshot_ts = opts.snapshot_ts;
         let gen = self.current_gen()?;
-        let per_file = dt_engine::parallel_map_fallible(
-            job,
-            self.master_file_ids_at(gen),
-            |file_id| {
+        let per_file =
+            dt_engine::parallel_map_fallible(job, self.master_file_ids_at(gen), |file_id| {
                 let projection = Arc::clone(&projection);
                 let predicates = predicates.clone();
                 let presence = Arc::clone(&presence);
@@ -606,11 +673,8 @@ impl DualTableStore {
                         snapshot_ts,
                     )?)
                 };
-                let predicates = file_predicates(
-                    presence.as_ref().as_ref(),
-                    predicates.as_deref(),
-                    file_id,
-                );
+                let predicates =
+                    file_predicates(presence.as_ref().as_ref(), predicates.as_deref(), file_id);
                 let mut out = Vec::new();
                 let flow = merge_file(
                     file_id,
@@ -625,8 +689,7 @@ impl DualTableStore {
                 )?;
                 debug_assert!(flow.is_continue(), "collector never breaks");
                 Ok(out)
-            },
-        )?;
+            })?;
         Ok(per_file.into_iter().flatten().collect())
     }
 
@@ -750,7 +813,8 @@ impl DualTableStore {
     ) -> Result<PlanPreview> {
         let ratio = self.sample_ratio(predicate)?;
         let stats = self.stats()?;
-        let model = CostModel::new(self.inner.config.rates);
+        let model =
+            CostModel::with_parallelism(self.inner.config.rates, self.inner.config.write_threads);
         let k = self.inner.config.k_successive_reads;
         let (plan, cost_diff) = if is_update {
             (
@@ -790,7 +854,7 @@ impl DualTableStore {
     /// The plan is chosen per [`PlanMode`]; see [`DmlReport`].
     pub fn update(
         &self,
-        predicate: impl Fn(&Row) -> bool,
+        predicate: impl Fn(&Row) -> bool + Sync,
         assignments: &[Assignment<'_>],
         ratio: RatioHint,
     ) -> Result<DmlReport> {
@@ -801,7 +865,7 @@ impl DualTableStore {
     /// historical-ratio log.
     pub fn update_keyed(
         &self,
-        predicate: impl Fn(&Row) -> bool,
+        predicate: impl Fn(&Row) -> bool + Sync,
         assignments: &[Assignment<'_>],
         ratio: RatioHint,
         statement_key: Option<&str>,
@@ -813,7 +877,8 @@ impl DualTableStore {
         }
         let alpha = self.resolve_ratio(&ratio, statement_key, &predicate)?;
         let stats = self.stats()?;
-        let model = CostModel::new(self.inner.config.rates);
+        let model =
+            CostModel::with_parallelism(self.inner.config.rates, self.inner.config.write_threads);
         let k = self.inner.config.k_successive_reads;
         let (plan, cost_diff) = match self.inner.config.plan_mode {
             PlanMode::AlwaysEdit => (PlanChoice::Edit, None),
@@ -877,10 +942,8 @@ impl DualTableStore {
             scanned += 1;
             if predicate(&row) {
                 matched += 1;
-                let values: Vec<(usize, Value)> = assignments
-                    .iter()
-                    .map(|(col, f)| (*col, f(&row)))
-                    .collect();
+                let values: Vec<(usize, Value)> =
+                    assignments.iter().map(|(col, f)| (*col, f(&row))).collect();
                 for (col, value) in &values {
                     if !value.conforms_to(self.inner.schema.field(*col).data_type) {
                         return Err(Error::schema(format!(
@@ -945,33 +1008,42 @@ impl DualTableStore {
     /// plan alongside the counts.
     fn update_overwrite(
         &self,
-        predicate: &dyn Fn(&Row) -> bool,
+        predicate: &(dyn Fn(&Row) -> bool + Sync),
         assignments: &[Assignment<'_>],
     ) -> Result<((u64, u64), PlanChoice)> {
         let _guard = self.inner.ops.write();
-        let mut matched = 0u64;
-        let mut scanned = 0u64;
-        let mut rows: Vec<Row> = Vec::new();
-        self.for_each_locked(&UnionReadOptions::all(), &mut |_, mut row| {
-            scanned += 1;
-            if predicate(&row) {
-                matched += 1;
-                for (col, f) in assignments {
-                    let value = f(&row);
-                    if !value.conforms_to(self.inner.schema.field(*col).data_type) {
-                        return Err(Error::schema(format!(
-                            "UPDATE value {value:?} does not fit column '{}'",
-                            self.inner.schema.field(*col).name
-                        )));
-                    }
-                    row[*col] = value;
-                }
+        let transform = |_: RecordId, mut row: Row| {
+            if !predicate(&row) {
+                return Ok((Some(row), false));
             }
-            rows.push(row);
-            Ok(ControlFlow::Continue(()))
-        })?;
-        match self.swap_in(rows) {
-            Ok(_) => Ok(((matched, scanned), PlanChoice::Overwrite)),
+            for (col, f) in assignments {
+                let value = f(&row);
+                if !value.conforms_to(self.inner.schema.field(*col).data_type) {
+                    return Err(Error::schema(format!(
+                        "UPDATE value {value:?} does not fit column '{}'",
+                        self.inner.schema.field(*col).name
+                    )));
+                }
+                row[*col] = value;
+            }
+            Ok((Some(row), true))
+        };
+        let next = self.next_generation()?;
+        let attempt = self
+            .parallel_rewrite(next, &transform)
+            .and_then(|counts| self.commit_and_cleanup(next).map(|_| counts));
+        match attempt {
+            Ok((_, matched, scanned)) => Ok(((matched, scanned), PlanChoice::Overwrite)),
+            // A bad assignment fails the statement, not the plan: EDIT
+            // would reject the same value, so falling back would only bury
+            // the user's type error under a second scan. Sweep whatever the
+            // aborted workers wrote before surfacing it.
+            Err(e @ Error::Schema(_)) => {
+                if let Ok(gen) = self.current_gen() {
+                    self.cleanup_stale_generations(gen);
+                }
+                Err(e)
+            }
             Err(_) => {
                 self.plan_fallback_cleanup();
                 let counts = self.update_edit_locked(predicate, assignments)?;
@@ -993,7 +1065,7 @@ impl DualTableStore {
     /// Executes `DELETE FROM <table> WHERE <predicate>`.
     pub fn delete(
         &self,
-        predicate: impl Fn(&Row) -> bool,
+        predicate: impl Fn(&Row) -> bool + Sync,
         ratio: RatioHint,
     ) -> Result<DmlReport> {
         self.delete_keyed(predicate, ratio, None)
@@ -1003,13 +1075,14 @@ impl DualTableStore {
     /// historical-ratio log.
     pub fn delete_keyed(
         &self,
-        predicate: impl Fn(&Row) -> bool,
+        predicate: impl Fn(&Row) -> bool + Sync,
         ratio: RatioHint,
         statement_key: Option<&str>,
     ) -> Result<DmlReport> {
         let beta = self.resolve_ratio(&ratio, statement_key, &predicate)?;
         let stats = self.stats()?;
-        let model = CostModel::new(self.inner.config.rates);
+        let model =
+            CostModel::with_parallelism(self.inner.config.rates, self.inner.config.write_threads);
         let k = self.inner.config.k_successive_reads;
         let avg_row = stats
             .master_bytes
@@ -1020,8 +1093,7 @@ impl DualTableStore {
             PlanMode::AlwaysEdit => (PlanChoice::Edit, None),
             PlanMode::AlwaysOverwrite => (PlanChoice::Overwrite, None),
             PlanMode::CostBased => {
-                let diff =
-                    model.delete_cost_diff(stats.master_bytes, beta, k, marker_ratio);
+                let diff = model.delete_cost_diff(stats.master_bytes, beta, k, marker_ratio);
                 (
                     model.choose_delete(stats.master_bytes, beta, k, marker_ratio),
                     Some(diff),
@@ -1091,23 +1163,22 @@ impl DualTableStore {
     /// pre-commit (see [`Self::update_overwrite`]).
     fn delete_overwrite(
         &self,
-        predicate: &dyn Fn(&Row) -> bool,
+        predicate: &(dyn Fn(&Row) -> bool + Sync),
     ) -> Result<((u64, u64), PlanChoice)> {
         let _guard = self.inner.ops.write();
-        let mut matched = 0u64;
-        let mut scanned = 0u64;
-        let mut rows: Vec<Row> = Vec::new();
-        self.for_each_locked(&UnionReadOptions::all(), &mut |_, row| {
-            scanned += 1;
+        let transform = |_: RecordId, row: Row| {
             if predicate(&row) {
-                matched += 1;
+                Ok((None, true))
             } else {
-                rows.push(row);
+                Ok((Some(row), false))
             }
-            Ok(ControlFlow::Continue(()))
-        })?;
-        match self.swap_in(rows) {
-            Ok(_) => Ok(((matched, scanned), PlanChoice::Overwrite)),
+        };
+        let next = self.next_generation()?;
+        let attempt = self
+            .parallel_rewrite(next, &transform)
+            .and_then(|counts| self.commit_and_cleanup(next).map(|_| counts));
+        match attempt {
+            Ok((_, matched, scanned)) => Ok(((matched, scanned), PlanChoice::Overwrite)),
             Err(_) => {
                 self.plan_fallback_cleanup();
                 let counts = self.delete_edit_locked(predicate)?;
@@ -1131,9 +1202,199 @@ impl DualTableStore {
         I: IntoIterator<Item = Row>,
     {
         let next = self.next_generation()?;
-        let written = self.write_master_files(next, rows)?;
+        let pool = dt_engine::JobPool::new(self.inner.config.write_threads);
+        let written = if pool.workers() <= 1 {
+            self.write_master_files(next, rows)?
+        } else {
+            self.write_master_files_parallel(next, rows.into_iter().collect(), &pool)?
+        };
         self.commit_and_cleanup(next)?;
         Ok(written)
+    }
+
+    /// Fans a materialized row set out across the worker pool: the rows
+    /// are split at whole-file boundaries (multiples of `rows_per_file`),
+    /// so the produced file layout is exactly the sequential writer's,
+    /// and each worker streams its slice through its own
+    /// [`MasterWriteSink`] drawing from a file-ID range reserved for its
+    /// slice in slice order. No commit happens here.
+    fn write_master_files_parallel(
+        &self,
+        gen: u64,
+        mut rows: Vec<Row>,
+        pool: &dt_engine::JobPool,
+    ) -> Result<u64> {
+        let rows_per_file = self.inner.config.rows_per_file.max(1);
+        let total_files = rows.len().div_ceil(rows_per_file);
+        let workers = pool.workers_for(total_files);
+        if workers <= 1 {
+            return self.write_master_files(gen, rows);
+        }
+        self.record_write_workers(workers);
+        // Assign each worker a contiguous run of whole files.
+        let base = total_files / workers;
+        let extra = total_files % workers;
+        let mut chunks: Vec<(Vec<Row>, u32, u32)> = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let files = base + usize::from(w < extra);
+            let take = (files * rows_per_file).min(rows.len());
+            let chunk: Vec<Row> = rows.drain(..take).collect();
+            let first_id = self
+                .inner
+                .env
+                .meta
+                .reserve_file_ids(&self.inner.name, files as u32)?;
+            chunks.push((chunk, first_id, files as u32));
+        }
+        debug_assert!(rows.is_empty(), "all rows assigned to a chunk");
+        let written = pool.run(chunks, |_, (chunk, first_id, count)| {
+            let mut sink = MasterWriteSink::reserved(self, gen, first_id, count);
+            for row in chunk {
+                sink.push(row)?;
+            }
+            sink.finish()
+        })?;
+        Ok(written.into_iter().sum())
+    }
+
+    /// Records how many rewrite workers a statement fanned out to, in both
+    /// the table health counters (SHOW HEALTH) and the DFS I/O stats.
+    fn record_write_workers(&self, workers: usize) {
+        self.inner.env.health.record_write_workers(workers as u64);
+        self.inner
+            .env
+            .dfs
+            .stats()
+            .record_write_workers(workers as u64);
+    }
+
+    /// Rewrites the whole table into generation `next` with the worker
+    /// pool (DESIGN.md §12): the master file list is partitioned into
+    /// contiguous chunks, and each worker streams its chunk's UNION READ
+    /// through `transform` into its own [`MasterWriteSink`].
+    ///
+    /// `transform` returns `(output row, matched)` — `None` drops the row
+    /// (DELETE). Returns `(rows written, rows matched, rows scanned)`
+    /// summed across workers.
+    ///
+    /// The commit deliberately does NOT happen here: every caller runs
+    /// [`Self::commit_and_cleanup`] single-threaded afterwards (the
+    /// single-threaded commit rule), so all parallel output lands in one
+    /// still-invisible generation and every crash point sees exactly the
+    /// old or the new file set.
+    fn parallel_rewrite<F>(&self, next: u64, transform: &F) -> Result<(u64, u64, u64)>
+    where
+        F: Fn(RecordId, Row) -> Result<(Option<Row>, bool)> + Sync,
+    {
+        let gen = self.current_gen()?;
+        let files = self.master_file_ids_at(gen);
+        if files.is_empty() {
+            return Ok((0, 0, 0));
+        }
+        let pool = dt_engine::JobPool::new(self.inner.config.write_threads);
+        let workers = pool.workers_for(files.len());
+        let partitions = self.rewrite_partitions(gen, &files, workers)?;
+        if workers > 1 {
+            self.record_write_workers(workers);
+        }
+        let projection: Vec<usize> = (0..self.inner.schema.len()).collect();
+        let attached_store = self.attached()?;
+        let presence = self.load_presence(&attached_store)?;
+        // Shared read-only plan state, same as `scan_parallel`.
+        let projection = &projection;
+        let attached_store = &attached_store;
+        let presence = &presence;
+        let totals = pool.run(partitions, |_, part| {
+            let RewritePartition {
+                files,
+                first_id,
+                id_count,
+            } = part;
+            let mut sink = MasterWriteSink::reserved(self, next, first_id, id_count);
+            let mut matched = 0u64;
+            let mut scanned = 0u64;
+            for file_id in files {
+                let reader = self.open_master(gen, file_id)?;
+                let attached = if file_is_clean(presence.as_ref(), file_id) {
+                    self.inner.env.health.record_attached_scan_skipped();
+                    None
+                } else {
+                    Some(attached_store.scan_at(
+                        Some(&RecordId::file_start(file_id).to_key()[..]),
+                        Some(&RecordId::file_start(file_id.wrapping_add(1)).to_key()[..]),
+                        u64::MAX,
+                    )?)
+                };
+                let flow = merge_file(
+                    file_id,
+                    &reader,
+                    projection,
+                    None,
+                    attached,
+                    &mut |id, row| {
+                        scanned += 1;
+                        let (out, hit) = transform(id, row)?;
+                        if hit {
+                            matched += 1;
+                        }
+                        if let Some(row) = out {
+                            sink.push(row)?;
+                        }
+                        Ok(ControlFlow::Continue(()))
+                    },
+                )?;
+                debug_assert!(flow.is_continue(), "rewrite never breaks");
+            }
+            let written = sink.finish()?;
+            Ok((written, matched, scanned))
+        })?;
+        Ok(totals
+            .into_iter()
+            .fold((0, 0, 0), |(w, m, s), (pw, pm, ps)| {
+                (w + pw, m + pm, s + ps)
+            }))
+    }
+
+    /// Splits `files` into `workers` contiguous partitions and reserves
+    /// each partition's output file-ID range — in partition order, so IDs
+    /// ascend across partitions and the rewritten generation scans in the
+    /// same row order as the source. Range sizes come from footer row
+    /// counts, which upper-bound each partition's UNION READ output (the
+    /// attached tier only updates or deletes rows, never adds them); the
+    /// unused tail of a range is a harmless ID gap.
+    fn rewrite_partitions(
+        &self,
+        gen: u64,
+        files: &[u32],
+        workers: usize,
+    ) -> Result<Vec<RewritePartition>> {
+        let rows_per_file = self.inner.config.rows_per_file.max(1) as u64;
+        let base = files.len() / workers;
+        let extra = files.len() % workers;
+        let mut partitions = Vec::with_capacity(workers);
+        let mut start = 0usize;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            let chunk = &files[start..start + len];
+            start += len;
+            let mut rows_bound = 0u64;
+            for &file_id in chunk {
+                rows_bound += self.open_master(gen, file_id)?.num_rows();
+            }
+            let id_count = u32::try_from(rows_bound.div_ceil(rows_per_file).max(1))
+                .map_err(|_| Error::internal("rewrite partition needs too many file IDs"))?;
+            let first_id = self
+                .inner
+                .env
+                .meta
+                .reserve_file_ids(&self.inner.name, id_count)?;
+            partitions.push(RewritePartition {
+                files: chunk.to_vec(),
+                first_id,
+                id_count,
+            });
+        }
+        Ok(partitions)
     }
 
     /// The commit point of a rewrite plus its post-commit cleanup. The
@@ -1142,7 +1403,10 @@ impl DualTableStore {
     /// swap or [`DualTableStore::open`] retries the collection.
     fn commit_and_cleanup(&self, next: u64) -> Result<()> {
         // The commit point.
-        self.inner.env.meta.commit_generation(&self.inner.name, next)?;
+        self.inner
+            .env
+            .meta
+            .commit_generation(&self.inner.name, next)?;
         // Retired generations' footers can never be opened again (their
         // paths are about to be deleted). The just-committed generation has
         // no cached parses yet — its files were only ever written — so
@@ -1177,12 +1441,8 @@ impl DualTableStore {
 
     fn compact_once(&self) -> Result<()> {
         let next = self.next_generation()?;
-        let mut sink = MasterWriteSink::new(self, next);
-        self.for_each_locked(&UnionReadOptions::all(), &mut |_, row| {
-            sink.push(row)?;
-            Ok(ControlFlow::Continue(()))
-        })?;
-        sink.finish()?;
+        // Identity transform: COMPACT materializes the UNION READ as-is.
+        self.parallel_rewrite(next, &|_, row| Ok((Some(row), false)))?;
         self.commit_and_cleanup(next)
     }
 }
@@ -1245,7 +1505,10 @@ mod tests {
         let report = t
             .update(
                 |r| r[0].as_i64().unwrap() % 10 == 0,
-                &[(2, Box::new(|r: &Row| Value::Float64(r[0].as_f64().unwrap() * 100.0)))],
+                &[(
+                    2,
+                    Box::new(|r: &Row| Value::Float64(r[0].as_f64().unwrap() * 100.0)),
+                )],
                 RatioHint::Explicit(0.1),
             )
             .unwrap();
@@ -1343,7 +1606,11 @@ mod tests {
                 RatioHint::Sample,
             )
             .unwrap();
-        assert!((report.ratio_used - 0.5).abs() < 0.1, "alpha={}", report.ratio_used);
+        assert!(
+            (report.ratio_used - 0.5).abs() < 0.1,
+            "alpha={}",
+            report.ratio_used
+        );
     }
 
     #[test]
@@ -1448,8 +1715,7 @@ mod tests {
     #[test]
     fn drop_table_removes_storage() {
         let env = DualTableEnv::in_memory();
-        let t =
-            DualTableStore::create(&env, "gone", schema(), small_files()).unwrap();
+        let t = DualTableStore::create(&env, "gone", schema(), small_files()).unwrap();
         t.insert_rows((0..10).map(row)).unwrap();
         t.clone().drop_table().unwrap();
         assert!(env.dfs.list("/warehouse/gone/").is_empty());
@@ -1519,7 +1785,11 @@ mod tests {
         let mut opts = UnionReadOptions::all();
         opts.snapshot_ts = snapshot_ts;
         let old = t.scan(&opts).unwrap();
-        assert_eq!(old[1].1[2], Value::Float64(1.0), "snapshot must predate update");
+        assert_eq!(
+            old[1].1[2],
+            Value::Float64(1.0),
+            "snapshot must predate update"
+        );
         let new = t.scan_all().unwrap();
         assert_eq!(new[1].1[2], Value::Float64(99.0));
     }
@@ -1573,7 +1843,11 @@ mod self_healing_tests {
             )
             .unwrap();
         plan.set_armed(false);
-        assert_eq!(report.plan, PlanChoice::Edit, "executed plan is the fallback");
+        assert_eq!(
+            report.plan,
+            PlanChoice::Edit,
+            "executed plan is the fallback"
+        );
         assert_eq!(report.rows_matched, 8);
         assert_eq!(env.health_report().table.plan_fallbacks, 1);
         // EDIT semantics: master untouched, overlay in the attached tier.
@@ -1591,7 +1865,10 @@ mod self_healing_tests {
         let (env, t, plan) = faulty_table(overwrite_config());
         plan.fail_next(FaultKind::WriteError);
         let report = t
-            .delete(|r| r[0].as_i64().unwrap() % 2 == 0, RatioHint::Explicit(0.5))
+            .delete(
+                |r| r[0].as_i64().unwrap() % 2 == 0,
+                RatioHint::Explicit(0.5),
+            )
             .unwrap();
         plan.set_armed(false);
         assert_eq!(report.plan, PlanChoice::Edit);
@@ -1664,8 +1941,7 @@ mod parallel_tests {
     #[test]
     fn parallel_scan_equals_sequential() {
         let env = DualTableEnv::in_memory();
-        let schema =
-            Schema::from_pairs(&[("id", DataType::Int64), ("v", DataType::Float64)]);
+        let schema = Schema::from_pairs(&[("id", DataType::Int64), ("v", DataType::Float64)]);
         let config = DualTableConfig {
             rows_per_file: 50,
             plan_mode: PlanMode::AlwaysEdit,
@@ -1680,8 +1956,11 @@ mod parallel_tests {
             RatioHint::Explicit(0.11),
         )
         .unwrap();
-        t.delete(|r| r[0].as_i64().unwrap() % 13 == 0, RatioHint::Explicit(0.08))
-            .unwrap();
+        t.delete(
+            |r| r[0].as_i64().unwrap() % 13 == 0,
+            RatioHint::Explicit(0.08),
+        )
+        .unwrap();
 
         let sequential = t.scan_all().unwrap();
         let job = dt_engine::JobConfig {
@@ -1701,8 +1980,7 @@ mod parallel_tests {
     #[test]
     fn plan_preview_matches_execution() {
         let env = DualTableEnv::in_memory();
-        let schema =
-            Schema::from_pairs(&[("id", DataType::Int64), ("v", DataType::Float64)]);
+        let schema = Schema::from_pairs(&[("id", DataType::Int64), ("v", DataType::Float64)]);
         let t = DualTableStore::create(
             &env,
             "pv",
@@ -1722,7 +2000,11 @@ mod parallel_tests {
         assert!(preview.cost_diff > 0.0);
         assert!(preview.ratio < 0.05);
         let report = t
-            .update(small, &[(1, Box::new(|_| Value::Float64(1.0)))], RatioHint::Sample)
+            .update(
+                small,
+                &[(1, Box::new(|_| Value::Float64(1.0)))],
+                RatioHint::Sample,
+            )
             .unwrap();
         assert_eq!(report.plan, preview.plan);
 

@@ -81,9 +81,11 @@ pub(crate) fn merge_file(
             None => break,
             Some(r) => r?,
         };
-        let record = RecordId::new(file_id, u32::try_from(row_number).map_err(|_| {
-            Error::corrupt("row number exceeds record-ID range")
-        })?);
+        let record = RecordId::new(
+            file_id,
+            u32::try_from(row_number)
+                .map_err(|_| Error::corrupt("row number exceeds record-ID range"))?,
+        );
         let key = record.to_key();
 
         // Advance the attached scan to this record, discarding any entries

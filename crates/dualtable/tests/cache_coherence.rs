@@ -83,7 +83,10 @@ fn warm_repeated_select_reads_no_blocks() {
         after_warm.cache_misses, 0,
         "warm scans must perform zero block-store reads beyond the first scan"
     );
-    assert!(after_warm.cache_hits > 0, "warm scans were served by the cache");
+    assert!(
+        after_warm.cache_hits > 0,
+        "warm scans were served by the cache"
+    );
 }
 
 #[test]
@@ -111,10 +114,7 @@ fn warm_hit_rate_exceeds_ninety_percent() {
 
 /// Runs `step` against both stacks `rounds` times, comparing full scans
 /// after every round.
-fn assert_coherent(
-    rounds: usize,
-    mut step: impl FnMut(&DualTableStore, usize),
-) {
+fn assert_coherent(rounds: usize, mut step: impl FnMut(&DualTableStore, usize)) {
     let env_on = env_with(true);
     let env_off = env_with(false);
     let on = create(&env_on, true);
@@ -142,9 +142,10 @@ fn update_compact_select_loop_is_cache_transparent() {
     assert_coherent(4, |t, round| {
         t.update(
             move |r| r[0].as_i64().unwrap() % 4 == round as i64 % 4,
-            &[(1, Box::new(move |r: &Row| {
-                Value::Int64(r[0].as_i64().unwrap() + round as i64)
-            }))],
+            &[(
+                1,
+                Box::new(move |r: &Row| Value::Int64(r[0].as_i64().unwrap() + round as i64)),
+            )],
             RatioHint::Explicit(0.25),
         )
         .unwrap();
@@ -183,7 +184,10 @@ fn pushdown_prunes_stripes_per_file_with_updates_elsewhere() {
     // Update column 0 (the predicate column) in the second file only.
     t.update(
         |r| r[0].as_i64().unwrap() >= 56,
-        &[(0, Box::new(|r: &Row| Value::Int64(r[0].as_i64().unwrap() + 1000)))],
+        &[(
+            0,
+            Box::new(|r: &Row| Value::Int64(r[0].as_i64().unwrap() + 1000)),
+        )],
         RatioHint::Explicit(0.125),
     )
     .unwrap();
@@ -206,8 +210,14 @@ fn pushdown_prunes_stripes_per_file_with_updates_elsewhere() {
     assert_eq!(rows.len(), 8 + 32, "per-file pruning must apply");
     let ids: Vec<i64> = rows.iter().map(|(_, r)| r[0].as_i64().unwrap()).collect();
     assert_eq!(&ids[..8], &[0, 1, 2, 3, 4, 5, 6, 7]);
-    assert!(ids[8..].iter().all(|&id| id >= 32), "rest comes from file 2");
-    assert!(ids.iter().any(|&id| id >= 1000), "overlay visible in file 2");
+    assert!(
+        ids[8..].iter().all(|&id| id >= 32),
+        "rest comes from file 2"
+    );
+    assert!(
+        ids.iter().any(|&id| id >= 1000),
+        "overlay visible in file 2"
+    );
 
     // A predicate on the *unmodified* column keeps push-down even in the
     // dirty file.
@@ -270,7 +280,10 @@ fn footer_parsed_once_per_file_per_process() {
         fc.misses, files,
         "each master footer must be parsed exactly once per process"
     );
-    assert!(fc.hits >= 3 * files, "everything else was served from cache");
+    assert!(
+        fc.hits >= 3 * files,
+        "everything else was served from cache"
+    );
 }
 
 // ----------------------------------------------------------------------
@@ -288,7 +301,10 @@ fn parallel_scan_matches_sequential_under_pushdown() {
     // Dirty two of the five files, one on each column.
     t.update(
         |r| (40..44).contains(&r[0].as_i64().unwrap()),
-        &[(0, Box::new(|r: &Row| Value::Int64(r[0].as_i64().unwrap() + 500)))],
+        &[(
+            0,
+            Box::new(|r: &Row| Value::Int64(r[0].as_i64().unwrap() + 500)),
+        )],
         RatioHint::Explicit(0.025),
     )
     .unwrap();

@@ -54,7 +54,10 @@ fn concurrent_scans_and_edits() {
         .iter()
         .filter(|(_, r)| r[1].as_i64().unwrap() > 0)
         .count();
-    assert_eq!(updated, 500, "every id % 20 class was touched by some round");
+    assert_eq!(
+        updated, 500,
+        "every id % 20 class was touched by some round"
+    );
 }
 
 #[test]

@@ -56,10 +56,17 @@ fn kv_cfg() -> KvConfig {
     }
 }
 
+/// Two rewrite workers, so every OVERWRITE/COMPACT crash point below runs
+/// against the parallel fan-out (partitioned file-ID reservation, per-
+/// worker sinks) while the commit step stays single-threaded. Total op
+/// counts per statement stay deterministic under the fan-out — the same
+/// operation set executes in any interleaving — which is what lets the
+/// record run's `(start, end]` ranges transfer to the crash runs.
 fn table_cfg() -> DualTableConfig {
     DualTableConfig {
         rows_per_file: ROWS_PER_FILE,
         plan_mode: PlanMode::CostBased,
+        write_threads: 2,
         ..DualTableConfig::default()
     }
 }
@@ -73,9 +80,18 @@ fn schema() -> Schema {
 /// file; UPDATE/DELETE hint a tiny ratio so the cost model picks EDIT.
 #[derive(Debug, Clone, Copy)]
 enum Stmt {
-    Insert { count: u8 },
-    Update { divisor: i64, rem: i64, v: i64 },
-    Delete { divisor: i64, rem: i64 },
+    Insert {
+        count: u8,
+    },
+    Update {
+        divisor: i64,
+        rem: i64,
+        v: i64,
+    },
+    Delete {
+        divisor: i64,
+        rem: i64,
+    },
     /// INSERT OVERWRITE: every surviving row's `v` bumped by 1000.
     Overwrite,
     Compact,
@@ -84,19 +100,35 @@ enum Stmt {
 const STMTS: &[Stmt] = &[
     Stmt::Insert { count: 8 },
     Stmt::Insert { count: 6 },
-    Stmt::Update { divisor: 2, rem: 0, v: 7 },
+    Stmt::Update {
+        divisor: 2,
+        rem: 0,
+        v: 7,
+    },
     Stmt::Insert { count: 8 },
     Stmt::Delete { divisor: 3, rem: 1 },
     Stmt::Compact,
     Stmt::Insert { count: 5 },
-    Stmt::Update { divisor: 5, rem: 2, v: -3 },
+    Stmt::Update {
+        divisor: 5,
+        rem: 2,
+        v: -3,
+    },
     Stmt::Overwrite,
     Stmt::Insert { count: 8 },
     Stmt::Delete { divisor: 2, rem: 1 },
-    Stmt::Update { divisor: 3, rem: 0, v: 11 },
+    Stmt::Update {
+        divisor: 3,
+        rem: 0,
+        v: 11,
+    },
     Stmt::Compact,
     Stmt::Insert { count: 7 },
-    Stmt::Update { divisor: 7, rem: 3, v: 21 },
+    Stmt::Update {
+        divisor: 7,
+        rem: 3,
+        v: 21,
+    },
 ];
 
 /// The in-memory oracle: table content plus the id allocator.
@@ -259,8 +291,15 @@ fn crash_matrix_three_tiers() {
         .filter(|(s, _)| matches!(s, Stmt::Overwrite | Stmt::Compact))
         .map(|(_, &r)| r)
         .collect();
-    assert_eq!(must_cover.len(), 3, "one OVERWRITE + two COMPACT statements");
-    assert!(must_cover.iter().all(|&(s, e)| s <= e), "empty critical range");
+    assert_eq!(
+        must_cover.len(),
+        3,
+        "one OVERWRITE + two COMPACT statements"
+    );
+    assert!(
+        must_cover.iter().all(|&(s, e)| s <= e),
+        "empty critical range"
+    );
 
     // ------------------------------------------------------------------
     // Matrix run: >= 200 jittered points by default, every op index under
@@ -367,7 +406,10 @@ fn crash_matrix_three_tiers() {
             return Err(format!("fsck unhealthy after recovery: {fsck:?}"));
         }
         env.dfs.scrub().map_err(|e| format!("scrub: {e}"))?;
-        let after = env.dfs.fsck().map_err(|e| format!("post-scrub fsck: {e}"))?;
+        let after = env
+            .dfs
+            .fsck()
+            .map_err(|e| format!("post-scrub fsck: {e}"))?;
         if after.orphan_blocks != 0 {
             return Err(format!("{} orphans survived scrub", after.orphan_blocks));
         }

@@ -59,11 +59,20 @@ const ROWS_PER_FILE: usize = 16;
 #[derive(Debug, Clone)]
 enum Op {
     /// Insert `count` fresh rows (capped at [`ROWS_PER_FILE`]).
-    Insert { count: u8 },
+    Insert {
+        count: u8,
+    },
     /// Update rows whose id % divisor == rem: set v = new_v.
-    Update { divisor: u8, rem: u8, new_v: i8 },
+    Update {
+        divisor: u8,
+        rem: u8,
+        new_v: i8,
+    },
     /// Delete rows whose id % divisor == rem.
-    Delete { divisor: u8, rem: u8 },
+    Delete {
+        divisor: u8,
+        rem: u8,
+    },
     Compact,
 }
 
@@ -169,7 +178,11 @@ impl Harness {
                     Err(_) => false,
                 }
             }
-            Op::Update { divisor, rem, new_v } => {
+            Op::Update {
+                divisor,
+                rem,
+                new_v,
+            } => {
                 let (d, r, v) = (*divisor as i64, *rem as i64, *new_v as i64);
                 let outcome = self.table.update(
                     move |row| row[0].as_i64().unwrap() % d == r,
@@ -216,7 +229,15 @@ impl Harness {
         if std::env::var("CHAOS_DEBUG").is_ok() {
             let injected = self.plan.injected();
             let tail = &injected[injected.len().saturating_sub(6)..];
-            eprintln!("op={:?} ok={} crashed={} injected={} ops_seen={} tail={:?}", op, ok, self.plan.is_crashed(), self.plan.injected_count(), self.plan.ops_seen(), tail);
+            eprintln!(
+                "op={:?} ok={} crashed={} injected={} ops_seen={} tail={:?}",
+                op,
+                ok,
+                self.plan.is_crashed(),
+                self.plan.injected_count(),
+                self.plan.ops_seen(),
+                tail
+            );
         }
         // Reopen when the statement failed (process-restart semantics)
         // or when a fault swallowed by auto-maintenance left the
@@ -250,7 +271,8 @@ impl Harness {
         let mut want = self.model.clone();
         want.sort_unstable();
         assert_eq!(
-            got, want,
+            got,
+            want,
             "UNION READ diverged from oracle (after {} recoveries, {} injected faults)",
             self.recoveries,
             self.plan.injected_count()
@@ -362,7 +384,11 @@ fn transient_schedule(seed: u64, n: u64, spread: u64) -> Arc<FaultPlan> {
     for _ in 0..n {
         let pick = rng.next_below(TRANSIENT_ONLY.len() as u64) as usize;
         at[pick] += 16 + rng.next_below(spread);
-        plan = plan.fail_transient_at_nth(at[pick], TRANSIENT_ONLY[pick], 1 + rng.next_below(3) as u32);
+        plan = plan.fail_transient_at_nth(
+            at[pick],
+            TRANSIENT_ONLY[pick],
+            1 + rng.next_below(3) as u32,
+        );
     }
     Arc::new(plan)
 }
@@ -405,7 +431,10 @@ fn chaos_availability_fixed_seed() {
         report.dfs.retries + report.kv.retries + report.table.retries >= 10,
         "retries did the healing: {report:?}"
     );
-    assert!(!report.kv.degraded, "transient faults never degrade the store");
+    assert!(
+        !report.kv.degraded,
+        "transient faults never degrade the store"
+    );
 
     // Half 2: identical schedule and statement stream, retries disabled.
     let plan = transient_schedule(AVAIL_SEED, 40, 48);

@@ -8,11 +8,20 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { count: u8 },
+    Insert {
+        count: u8,
+    },
     /// Update rows whose id % divisor == rem: set v = new_v.
-    Update { divisor: u8, rem: u8, new_v: i8 },
+    Update {
+        divisor: u8,
+        rem: u8,
+        new_v: i8,
+    },
     /// Delete rows whose id % divisor == rem.
-    Delete { divisor: u8, rem: u8 },
+    Delete {
+        divisor: u8,
+        rem: u8,
+    },
     Compact,
 }
 

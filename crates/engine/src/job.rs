@@ -47,11 +47,7 @@ where
 }
 
 /// Like [`parallel_map`] but tasks may fail; the first error is returned.
-pub fn parallel_map_fallible<I, O, F>(
-    config: &JobConfig,
-    splits: Vec<I>,
-    task: F,
-) -> Result<Vec<O>>
+pub fn parallel_map_fallible<I, O, F>(config: &JobConfig, splits: Vec<I>, task: F) -> Result<Vec<O>>
 where
     I: Send,
     O: Send,
@@ -65,10 +61,7 @@ where
     if workers == 1 {
         return splits.into_iter().map(&task).collect();
     }
-    let inputs: Vec<Mutex<Option<I>>> = splits
-        .into_iter()
-        .map(|s| Mutex::new(Some(s)))
-        .collect();
+    let inputs: Vec<Mutex<Option<I>>> = splits.into_iter().map(|s| Mutex::new(Some(s))).collect();
     let outputs: Vec<Mutex<Option<Result<O>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
 
@@ -135,19 +128,18 @@ where
 
     // Map phase: each task produces `partitions` buckets.
     let bucketed: Vec<Vec<(K, V)>> = {
-        let per_task: Vec<Vec<Vec<(K, V)>>> =
-            parallel_map_fallible(config, splits, |split| {
-                let mut buckets: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
-                let mut emitted = 0u64;
-                mapper(split, &mut |k, v| {
-                    emitted += 1;
-                    let p = partition_of(&k, partitions);
-                    buckets[p].push((k, v));
-                })?;
-                counters.add_map_input(1);
-                counters.add_map_output(emitted);
-                Ok(buckets)
+        let per_task: Vec<Vec<Vec<(K, V)>>> = parallel_map_fallible(config, splits, |split| {
+            let mut buckets: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
+            let mut emitted = 0u64;
+            mapper(split, &mut |k, v| {
+                emitted += 1;
+                let p = partition_of(&k, partitions);
+                buckets[p].push((k, v));
             })?;
+            counters.add_map_input(1);
+            counters.add_map_output(emitted);
+            Ok(buckets)
+        })?;
         // Shuffle: concatenate each partition across tasks.
         let mut merged: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
         for task_buckets in per_task {
@@ -218,11 +210,7 @@ mod tests {
 
     #[test]
     fn word_count() {
-        let splits = vec![
-            vec!["a", "b", "a"],
-            vec!["b", "c"],
-            vec!["a"],
-        ];
+        let splits = vec![vec!["a", "b", "a"], vec!["b", "c"], vec!["a"]];
         let counters = JobCounters::new();
         let mut out = run_map_reduce(
             &config(),
@@ -297,7 +285,9 @@ mod tests {
 
     #[test]
     fn large_job_is_consistent() {
-        let splits: Vec<Vec<u64>> = (0..32).map(|s| (0..1000).map(|i| (s * 1000 + i) % 97).collect()).collect();
+        let splits: Vec<Vec<u64>> = (0..32)
+            .map(|s| (0..1000).map(|i| (s * 1000 + i) % 97).collect())
+            .collect();
         let counters = JobCounters::new();
         let out = run_map_reduce(
             &config(),

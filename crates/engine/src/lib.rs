@@ -18,6 +18,8 @@
 
 mod counters;
 mod job;
+mod pool;
 
 pub use counters::JobCounters;
 pub use job::{parallel_map, parallel_map_fallible, run_map_reduce, JobConfig};
+pub use pool::JobPool;

@@ -1,0 +1,214 @@
+//! A fixed-size worker pool over `std::thread` + channels.
+//!
+//! [`parallel_map_fallible`](crate::parallel_map_fallible) serves read-side
+//! fan-out (scans), where every split is cheap and uniform. The write side
+//! (OVERWRITE/COMPACT rewrites, DESIGN.md §12) instead partitions a file
+//! list into a few large, unequal chunks and wants each worker to own one
+//! partition end to end — including its own output sink. [`JobPool`] models
+//! that: jobs are dispatched over an MPMC-by-Mutex channel so an early
+//! finisher steals the next partition, results come back over a channel and
+//! are re-ordered by partition index, and a panicking worker surfaces as an
+//! `Error::Internal` rather than poisoning the pool.
+//!
+//! The pool is deliberately *not* used for the commit step: callers run
+//! that single-threaded after `run` returns (the "single-threaded commit
+//! rule"), so every crash point still lands in exactly one generation.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread;
+
+use dt_common::{Error, Result};
+
+/// A scoped worker pool executing fallible, indexed jobs.
+#[derive(Debug, Clone, Copy)]
+pub struct JobPool {
+    workers: usize,
+}
+
+impl JobPool {
+    /// A pool of at most `workers` threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        JobPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized to the machine, like Hadoop's default mapper count.
+    pub fn with_default_workers() -> Self {
+        Self::new(
+            thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker cap.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The number of threads `run` would actually use for `jobs` jobs.
+    pub fn workers_for(&self, jobs: usize) -> usize {
+        self.workers.min(jobs).max(1)
+    }
+
+    /// Runs `task(index, job)` for every job, returning the outputs in
+    /// job order.
+    ///
+    /// With one worker (or one job) everything runs inline on the caller's
+    /// thread — byte-for-byte the sequential path, no threads spawned. The
+    /// first error in job order wins; later jobs may still have executed
+    /// (workers are not cancelled mid-job), which is safe for our callers
+    /// because partial rewrite output lives in an uncommitted generation.
+    pub fn run<T, O, F>(&self, jobs: Vec<T>, task: F) -> Result<Vec<O>>
+    where
+        T: Send,
+        O: Send,
+        F: Fn(usize, T) -> Result<O> + Sync,
+    {
+        let workers = self.workers_for(jobs.len());
+        if workers <= 1 {
+            return jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, job)| task(i, job))
+                .collect();
+        }
+
+        let total = jobs.len();
+        let (job_tx, job_rx) = mpsc::channel::<(usize, T)>();
+        for pair in jobs.into_iter().enumerate() {
+            job_tx.send(pair).expect("receiver alive");
+        }
+        drop(job_tx);
+        // A Receiver is Send but not Sync; the Mutex turns the work queue
+        // into a shared pull source so idle workers steal remaining jobs.
+        let job_rx = Mutex::new(job_rx);
+        let (res_tx, res_rx) = mpsc::channel::<(usize, Result<O>)>();
+
+        let mut slots: Vec<Option<Result<O>>> = (0..total).map(|_| None).collect();
+        thread::scope(|s| {
+            for _ in 0..workers {
+                let res_tx = res_tx.clone();
+                let job_rx = &job_rx;
+                let task = &task;
+                s.spawn(move || loop {
+                    let next = job_rx.lock().expect("job queue poisoned").recv();
+                    let Ok((index, job)) = next else { break };
+                    let out = catch_unwind(AssertUnwindSafe(|| task(index, job)))
+                        .unwrap_or_else(|_| Err(Error::internal("a pool worker panicked")));
+                    if res_tx.send((index, out)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(res_tx);
+            while let Ok((index, out)) = res_rx.recv() {
+                slots[index] = Some(out);
+            }
+        });
+
+        let mut outputs = Vec::with_capacity(total);
+        for (index, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok(out)) => outputs.push(out),
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(Error::internal(format!(
+                        "pool worker dropped job {index} without a result"
+                    )))
+                }
+            }
+        }
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn outputs_come_back_in_job_order() {
+        let pool = JobPool::new(4);
+        let out = pool
+            .run((0..64).collect(), |i, job: i32| {
+                // Make late jobs finish first to stress re-ordering.
+                if i % 3 == 0 {
+                    std::thread::yield_now();
+                }
+                Ok(job * 2)
+            })
+            .unwrap();
+        assert_eq!(out, (0..64).map(|j| j * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = JobPool::new(1);
+        let tid = std::thread::current().id();
+        let out = pool
+            .run(vec![1, 2, 3], |_, job| {
+                assert_eq!(std::thread::current().id(), tid);
+                Ok(job + 10)
+            })
+            .unwrap();
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(JobPool::new(0).workers(), 1);
+        assert_eq!(JobPool::new(8).workers_for(3), 3);
+        assert_eq!(JobPool::new(2).workers_for(0), 1);
+    }
+
+    #[test]
+    fn first_error_in_job_order_wins() {
+        let pool = JobPool::new(4);
+        let err = pool
+            .run((0..16).collect::<Vec<i32>>(), |i, _| {
+                if i >= 3 {
+                    Err(Error::internal(format!("job {i} failed")))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.to_string(), Error::internal("job 3 failed").to_string());
+    }
+
+    #[test]
+    fn panicking_job_becomes_an_error() {
+        let pool = JobPool::new(2);
+        let err = pool
+            .run(vec![0u8, 1], |i, _| {
+                if i == 1 {
+                    panic!("boom");
+                }
+                Ok(i)
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("panicked"), "{err}");
+    }
+
+    #[test]
+    fn all_workers_participate_under_load() {
+        let pool = JobPool::new(4);
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        pool.run((0..256).collect::<Vec<u32>>(), |_, _| {
+            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::yield_now();
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+            Ok(())
+        })
+        .unwrap();
+        // With 256 tiny jobs and 4 workers at least two must overlap.
+        assert!(peak.load(Ordering::SeqCst) >= 2);
+    }
+}

@@ -357,11 +357,7 @@ impl Expr {
             }
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::Like { expr, .. } => expr.contains_aggregate(),
             Expr::Case {
                 operand,
@@ -374,9 +370,7 @@ impl Expr {
                         .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
                     || else_result.as_ref().is_some_and(|e| e.contains_aggregate())
             }
-            Expr::InSubquery { expr, .. } | Expr::InSet { expr, .. } => {
-                expr.contains_aggregate()
-            }
+            Expr::InSubquery { expr, .. } | Expr::InSet { expr, .. } => expr.contains_aggregate(),
             Expr::Column { .. } | Expr::Literal(_) => false,
         }
     }

@@ -137,7 +137,7 @@ impl TableHandle {
     /// Executes an UPDATE.
     pub fn update(
         &self,
-        predicate: &dyn Fn(&Row) -> bool,
+        predicate: &(dyn Fn(&Row) -> bool + Sync),
         assignments: &[Assignment<'_>],
         ratio: RatioHint,
         statement_key: Option<&str>,
@@ -181,7 +181,7 @@ impl TableHandle {
     /// Executes a DELETE.
     pub fn delete(
         &self,
-        predicate: &dyn Fn(&Row) -> bool,
+        predicate: &(dyn Fn(&Row) -> bool + Sync),
         ratio: RatioHint,
         statement_key: Option<&str>,
     ) -> Result<DmlOutcome> {

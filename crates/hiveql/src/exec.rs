@@ -127,10 +127,7 @@ impl Executor<'_> {
             validate_columns(g, &binding)?;
         }
         let has_aggs = items.iter().any(|(e, _)| e.contains_aggregate())
-            || stmt
-                .having
-                .as_ref()
-                .is_some_and(Expr::contains_aggregate);
+            || stmt.having.as_ref().is_some_and(Expr::contains_aggregate);
         let (mut out_rows, out_names, mut order_keys) = if has_aggs || !stmt.group_by.is_empty() {
             self.aggregate(stmt, &items, rows, &binding, ctx)?
         } else {
@@ -177,8 +174,7 @@ impl Executor<'_> {
         // 4. ORDER BY.
         if !stmt.order_by.is_empty() {
             let ascending: Vec<bool> = stmt.order_by.iter().map(|(_, asc)| *asc).collect();
-            let mut indexed: Vec<(GroupKey, Row)> =
-                order_keys.into_iter().zip(out_rows).collect();
+            let mut indexed: Vec<(GroupKey, Row)> = order_keys.into_iter().zip(out_rows).collect();
             indexed.sort_by(|(a, _), (b, _)| {
                 for (i, (ka, kb)) in a.0.iter().zip(&b.0).enumerate() {
                     let ord = ka.0.total_cmp(&kb.0);
@@ -235,11 +231,7 @@ impl Executor<'_> {
         eval(expr, row, binding, ctx)
     }
 
-    fn scan_from(
-        &self,
-        stmt: &SelectStmt,
-        ctx: &EvalContext,
-    ) -> Result<(Vec<Row>, Binding)> {
+    fn scan_from(&self, stmt: &SelectStmt, ctx: &EvalContext) -> Result<(Vec<Row>, Binding)> {
         let Some(from) = &stmt.from else {
             // SELECT without FROM: one empty row.
             return Ok((vec![Vec::new()], Binding::default()));
@@ -268,8 +260,7 @@ impl Executor<'_> {
 
         for join in &stmt.joins {
             let right = self.catalog.get(&join.table.name)?;
-            let right_binding =
-                Binding::from_schema(join.table.binding_name(), right.schema());
+            let right_binding = Binding::from_schema(join.table.binding_name(), right.schema());
             let right_rows = right.scan(None, None)?;
             let joined_binding = binding.join(&right_binding);
             rows = self.join_rows(
@@ -465,10 +456,7 @@ impl Executor<'_> {
             // Global aggregate over zero rows: one empty group.
             groups.push((
                 GroupKey(Vec::new()),
-                (
-                    Vec::new(),
-                    specs.iter().map(AggState::for_spec).collect(),
-                ),
+                (Vec::new(), specs.iter().map(AggState::for_spec).collect()),
             ));
         }
         groups.sort_by(|(a, _), (b, _)| a.cmp(b));
@@ -501,9 +489,7 @@ impl Executor<'_> {
                     {
                         match items.iter().position(|(_, n)| n == name) {
                             Some(pos) => projected[pos].clone(),
-                            None => {
-                                eval_with_aggs(e, rep, binding, &specs, &agg_values, ctx)?
-                            }
+                            None => eval_with_aggs(e, rep, binding, &specs, &agg_values, ctx)?,
                         }
                     } else {
                         eval_with_aggs(e, rep, binding, &specs, &agg_values, ctx)?
@@ -602,8 +588,15 @@ impl Executor<'_> {
 #[derive(Debug, Clone)]
 enum AggState {
     Count(u64),
-    Sum { sum: f64, seen: bool, integral: bool },
-    Avg { sum: f64, count: u64 },
+    Sum {
+        sum: f64,
+        seen: bool,
+        integral: bool,
+    },
+    Avg {
+        sum: f64,
+        count: u64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -634,10 +627,7 @@ impl AggState {
         binding: &Binding,
         ctx: &EvalContext,
     ) -> Result<()> {
-        let Expr::Function {
-            args, wildcard, ..
-        } = spec
-        else {
+        let Expr::Function { args, wildcard, .. } = spec else {
             unreachable!()
         };
         let arg_value = if *wildcard {
@@ -858,9 +848,7 @@ fn eval_with_aggs(
         } if !is_aggregate_name(name) => {
             let folded: Vec<Expr> = args
                 .iter()
-                .map(|a| {
-                    eval_with_aggs(a, rep, binding, specs, agg_values, ctx).map(Expr::Literal)
-                })
+                .map(|a| eval_with_aggs(a, rep, binding, specs, agg_values, ctx).map(Expr::Literal))
                 .collect::<Result<_>>()?;
             eval(
                 &Expr::Function {
@@ -885,18 +873,14 @@ fn eval_with_aggs(
 /// even when the input has zero rows.
 fn validate_columns(expr: &Expr, binding: &Binding) -> Result<()> {
     match expr {
-        Expr::Column { qualifier, name } => {
-            binding.resolve(qualifier.as_deref(), name).map(|_| ())
-        }
+        Expr::Column { qualifier, name } => binding.resolve(qualifier.as_deref(), name).map(|_| ()),
         Expr::Literal(_) => Ok(()),
         Expr::Binary { left, right, .. } => {
             validate_columns(left, binding)?;
             validate_columns(right, binding)
         }
         Expr::Unary { operand, .. } => validate_columns(operand, binding),
-        Expr::Function { args, .. } => {
-            args.iter().try_for_each(|a| validate_columns(a, binding))
-        }
+        Expr::Function { args, .. } => args.iter().try_for_each(|a| validate_columns(a, binding)),
         Expr::IsNull { expr, .. }
         | Expr::Like { expr, .. }
         | Expr::InSet { expr, .. }
@@ -950,9 +934,7 @@ pub fn conjuncts(expr: &Expr) -> Vec<&Expr> {
 
 fn resolves_in(expr: &Expr, binding: &Binding) -> bool {
     match expr {
-        Expr::Column { qualifier, name } => {
-            binding.resolve(qualifier.as_deref(), name).is_ok()
-        }
+        Expr::Column { qualifier, name } => binding.resolve(qualifier.as_deref(), name).is_ok(),
         Expr::Literal(_) => false,
         _ => false,
     }
@@ -1012,10 +994,7 @@ pub fn extract_pushdown(
     out
 }
 
-fn expand_wildcards(
-    items: &[SelectItem],
-    binding: &Binding,
-) -> Result<Vec<(Expr, String)>> {
+fn expand_wildcards(items: &[SelectItem], binding: &Binding) -> Result<Vec<(Expr, String)>> {
     let mut out = Vec::new();
     for item in items {
         match item {
@@ -1044,7 +1023,9 @@ fn expand_wildcards(
                 }
             }
             SelectItem::Expr { expr, alias } => {
-                let name = alias.clone().unwrap_or_else(|| default_name(expr, out.len()));
+                let name = alias
+                    .clone()
+                    .unwrap_or_else(|| default_name(expr, out.len()));
                 out.push((expr.clone(), name));
             }
         }
@@ -1105,10 +1086,7 @@ mod tests {
 
     #[test]
     fn pushdown_extracts_comparisons_and_flips_reversed_literals() {
-        let schema = Schema::from_pairs(&[
-            ("a", DataType::Int64),
-            ("b", DataType::Int64),
-        ]);
+        let schema = Schema::from_pairs(&[("a", DataType::Int64), ("b", DataType::Int64)]);
         let binding = Binding::from_schema("t", &schema);
         let w = where_of("SELECT 1 FROM t WHERE a >= 5 AND 10 > b AND a + 1 = 3 AND b IN (1,2)");
         let preds = extract_pushdown(&w, &binding, &schema);

@@ -178,9 +178,7 @@ pub fn eval(expr: &Expr, row: &Row, binding: &Binding, ctx: &EvalContext) -> Res
                 UnOp::Not => Ok(match v {
                     Value::Null => Value::Null,
                     Value::Bool(b) => Value::Bool(!b),
-                    other => {
-                        return Err(Error::Plan(format!("NOT applied to {other:?}")))
-                    }
+                    other => return Err(Error::Plan(format!("NOT applied to {other:?}"))),
                 }),
                 UnOp::Neg => match v {
                     Value::Null => Ok(Value::Null),
@@ -209,9 +207,7 @@ pub fn eval(expr: &Expr, row: &Row, binding: &Binding, ctx: &EvalContext) -> Res
                 let c = eval(candidate, row, binding, ctx)?;
                 if c.is_null() {
                     saw_null = true;
-                } else if probe.total_cmp(&c) == Ordering::Equal
-                    || numeric_eq(&probe, &c)
-                {
+                } else if probe.total_cmp(&c) == Ordering::Equal || numeric_eq(&probe, &c) {
                     return Ok(Value::Bool(!negated));
                 }
             }
@@ -570,13 +566,15 @@ pub fn is_true(v: &Value) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse;
     use crate::ast::{SelectItem, Statement};
+    use crate::parser::parse;
     use dt_common::DataType;
 
     fn eval_str(sql_expr: &str, row: &Row, binding: &Binding) -> Result<Value> {
         let stmt = parse(&format!("SELECT {sql_expr}")).unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         let SelectItem::Expr { expr, .. } = &sel.items[0] else {
             panic!()
         };
@@ -697,10 +695,7 @@ mod tests {
     #[test]
     fn qualified_and_ambiguous_columns() {
         let b1 = test_binding();
-        let b2 = Binding::from_schema(
-            "u",
-            &Schema::from_pairs(&[("a", DataType::Int64)]),
-        );
+        let b2 = Binding::from_schema("u", &Schema::from_pairs(&[("a", DataType::Int64)]));
         let joined = b1.join(&b2);
         let row = vec![
             Value::Int64(1),

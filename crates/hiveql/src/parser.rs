@@ -176,9 +176,7 @@ impl Parser {
                 "hbase" => StorageKind::HBase,
                 "dualtable" => StorageKind::DualTable,
                 "acid" => StorageKind::Acid,
-                other => {
-                    return Err(Error::Parse(format!("unknown storage format '{other}'")))
-                }
+                other => return Err(Error::Parse(format!("unknown storage format '{other}'"))),
             }
         } else {
             StorageKind::Orc
@@ -349,9 +347,7 @@ impl Parser {
             }
         }
         if matched_set.is_empty() && not_matched_insert.is_none() {
-            return Err(Error::Parse(
-                "MERGE needs at least one WHEN clause".into(),
-            ));
+            return Err(Error::Parse("MERGE needs at least one WHEN clause".into()));
         }
         Ok(Statement::Merge {
             target,
@@ -454,38 +450,30 @@ impl Parser {
         // alias.* ?
         if let (Token::Ident(q), Token::Dot, Token::Star) = (
             self.tokens[self.pos].clone(),
-            self.tokens
-                .get(self.pos + 1)
-                .cloned()
-                .unwrap_or(Token::Eof),
-            self.tokens
-                .get(self.pos + 2)
-                .cloned()
-                .unwrap_or(Token::Eof),
+            self.tokens.get(self.pos + 1).cloned().unwrap_or(Token::Eof),
+            self.tokens.get(self.pos + 2).cloned().unwrap_or(Token::Eof),
         ) {
             self.pos += 3;
             return Ok(SelectItem::QualifiedWildcard(q.to_ascii_lowercase()));
         }
         let expr = self.expr()?;
-        let alias = if self.accept("as")
-            || matches!(self.peek(), Token::Ident(w) if !is_reserved(w))
-        {
-            Some(self.identifier()?)
-        } else {
-            None
-        };
+        let alias =
+            if self.accept("as") || matches!(self.peek(), Token::Ident(w) if !is_reserved(w)) {
+                Some(self.identifier()?)
+            } else {
+                None
+            };
         Ok(SelectItem::Expr { expr, alias })
     }
 
     fn table_ref(&mut self) -> Result<TableRef> {
         let name = self.identifier()?;
-        let alias = if self.accept("as")
-            || matches!(self.peek(), Token::Ident(w) if !is_reserved(w))
-        {
-            Some(self.identifier()?)
-        } else {
-            None
-        };
+        let alias =
+            if self.accept("as") || matches!(self.peek(), Token::Ident(w) if !is_reserved(w)) {
+                Some(self.identifier()?)
+            } else {
+                None
+            };
         Ok(TableRef { name, alias })
     }
 
@@ -848,11 +836,12 @@ mod tests {
 
     #[test]
     fn parse_update_and_delete() {
-        let stmt =
-            parse("UPDATE t SET a = a + 1, b = 'x' WHERE id BETWEEN 3 AND 7").unwrap();
+        let stmt = parse("UPDATE t SET a = a + 1, b = 'x' WHERE id BETWEEN 3 AND 7").unwrap();
         match stmt {
             Statement::Update {
-                table, assignments, predicate,
+                table,
+                assignments,
+                predicate,
             } => {
                 assert_eq!(table, "t");
                 assert_eq!(assignments.len(), 2);
@@ -903,14 +892,20 @@ mod tests {
             parse("COMPACT TABLE t").unwrap(),
             Statement::Compact { .. }
         ));
-        assert!(matches!(parse("SHOW TABLES").unwrap(), Statement::ShowTables));
+        assert!(matches!(
+            parse("SHOW TABLES").unwrap(),
+            Statement::ShowTables
+        ));
         assert!(matches!(
             parse("DESCRIBE t").unwrap(),
             Statement::Describe { .. }
         ));
         assert!(matches!(
             parse("DROP TABLE IF EXISTS t").unwrap(),
-            Statement::DropTable { if_exists: true, .. }
+            Statement::DropTable {
+                if_exists: true,
+                ..
+            }
         ));
     }
 
@@ -954,12 +949,6 @@ mod tests {
         let SelectItem::Expr { expr, .. } = &sel.items[0] else {
             panic!()
         };
-        assert!(matches!(
-            expr,
-            Expr::Function {
-                wildcard: true,
-                ..
-            }
-        ));
+        assert!(matches!(expr, Expr::Function { wildcard: true, .. }));
     }
 }

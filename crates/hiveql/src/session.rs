@@ -205,9 +205,7 @@ impl Session {
                             })
                             .collect::<Result<Vec<Row>>>()?
                     }
-                    InsertSource::Select(sel) => {
-                        self.executor().select(&sel)?.into_rows()
-                    }
+                    InsertSource::Select(sel) => self.executor().select(&sel)?.into_rows(),
                 };
                 let coerced = {
                     let handle = self.catalog.get(&table)?;
@@ -243,7 +241,9 @@ impl Session {
                 let pred_fn = |row: &Row| -> bool {
                     match &predicate {
                         None => true,
-                        Some(p) => eval(p, row, &binding, &ctx).map(|v| is_true(&v)).unwrap_or(false),
+                        Some(p) => eval(p, row, &binding, &ctx)
+                            .map(|v| is_true(&v))
+                            .unwrap_or(false),
                     }
                 };
                 let assign_fns: Vec<Assignment<'_>> = resolved
@@ -255,7 +255,8 @@ impl Session {
                             *idx,
                             Box::new(move |row: &Row| {
                                 eval(e, row, binding, ctx).unwrap_or(Value::Null)
-                            }) as Box<dyn Fn(&Row) -> Value + '_>,
+                            })
+                                as Box<dyn Fn(&Row) -> Value + Sync + '_>,
                         )
                     })
                     .collect();
@@ -290,7 +291,9 @@ impl Session {
                 let pred_fn = |row: &Row| -> bool {
                     match &predicate {
                         None => true,
-                        Some(p) => eval(p, row, &binding, &ctx).map(|v| is_true(&v)).unwrap_or(false),
+                        Some(p) => eval(p, row, &binding, &ctx)
+                            .map(|v| is_true(&v))
+                            .unwrap_or(false),
                     }
                 };
                 let outcome = handle.delete(
@@ -346,10 +349,8 @@ impl Session {
                     ));
                     if sel.joins.is_empty() {
                         if let Some(w) = &sel.where_clause {
-                            let binding = Binding::from_schema(
-                                from.binding_name(),
-                                handle.schema(),
-                            );
+                            let binding =
+                                Binding::from_schema(from.binding_name(), handle.schema());
                             let preds = extract_pushdown(w, &binding, handle.schema());
                             if !preds.is_empty() {
                                 lines.push((
@@ -563,20 +564,14 @@ impl Session {
                         *idx,
                         Box::new(move |row: &Row| {
                             full_match(row)
-                                .and_then(|combined| {
-                                    eval(e, &combined, combined_binding, ctx).ok()
-                                })
+                                .and_then(|combined| eval(e, &combined, combined_binding, ctx).ok())
                                 .unwrap_or(Value::Null)
-                        }) as Box<dyn Fn(&Row) -> Value + '_>,
+                        }) as Box<dyn Fn(&Row) -> Value + Sync + '_>,
                     )
                 })
                 .collect();
-            let outcome = target_handle.update(
-                &pred,
-                &assigns,
-                self.config.exec.ratio_hint,
-                None,
-            )?;
+            let outcome =
+                target_handle.update(&pred, &assigns, self.config.exec.ratio_hint, None)?;
             updated = outcome.rows_matched;
         }
 
@@ -703,12 +698,8 @@ fn coerce_rows(rows: Vec<Row>, schema: &Schema) -> Result<Vec<Row>> {
                 .into_iter()
                 .zip(schema.fields())
                 .map(|(v, f)| match (v, f.data_type) {
-                    (Value::Int64(x), dt_common::DataType::Float64) => {
-                        Value::Float64(x as f64)
-                    }
-                    (Value::Int64(x), dt_common::DataType::Date) => {
-                        Value::Date(x as i32)
-                    }
+                    (Value::Int64(x), dt_common::DataType::Float64) => Value::Float64(x as f64),
+                    (Value::Int64(x), dt_common::DataType::Date) => Value::Date(x as i32),
                     (v, _) => v,
                 })
                 .collect())

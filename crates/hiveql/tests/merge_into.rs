@@ -85,7 +85,11 @@ fn merge_insert_only_branch() {
         .unwrap();
     assert_eq!(r.affected, 1);
     let r = s.execute("SELECT v FROM archive WHERE id = 2").unwrap();
-    assert_eq!(r.rows()[0][0], Value::Float64(2.0), "matched rows untouched");
+    assert_eq!(
+        r.rows()[0][0],
+        Value::Float64(2.0),
+        "matched rows untouched"
+    );
 }
 
 #[test]

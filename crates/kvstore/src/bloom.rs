@@ -41,9 +41,7 @@ impl BloomFilter {
         let h1 = fnv1a(key, 0);
         let h2 = fnv1a(key, 0x9E37_79B9_7F4A_7C15) | 1;
         let num_bits = self.num_bits;
-        (0..self.num_hashes).map(move |i| {
-            h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % num_bits
-        })
+        (0..self.num_hashes).map(move |i| h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % num_bits)
     }
 
     /// Inserts a key.

@@ -128,7 +128,14 @@ mod tests {
     fn decode_rejects_garbage_kind() {
         let key = CellKey::new(b"r".to_vec(), b"q".to_vec());
         let mut buf = Vec::new();
-        encode_entry(&mut buf, &key, &Version { ts: 1, mutation: Mutation::Delete });
+        encode_entry(
+            &mut buf,
+            &key,
+            &Version {
+                ts: 1,
+                mutation: Mutation::Delete,
+            },
+        );
         let last = buf.len() - 1;
         buf[last] = 99;
         let mut pos = 0;

@@ -83,43 +83,42 @@ pub(crate) fn compact_tables(
     let mut row_buf: Vec<(CellKey, Vec<Version>)> = Vec::new();
     let mut current_row: Option<Vec<u8>> = None;
 
-    let flush_row = |builder: &mut SsTableBuilder,
-                         row_buf: &mut Vec<(CellKey, Vec<Version>)>|
-     -> Result<()> {
-        let row_tomb_ts = row_buf
-            .iter()
-            .filter(|(k, _)| k.qual == ROW_TOMBSTONE_QUALIFIER)
-            .flat_map(|(_, vs)| vs.iter())
-            .map(|v| v.ts)
-            .max()
-            .unwrap_or(0);
-        for (key, versions) in row_buf.drain(..) {
-            if key.qual == ROW_TOMBSTONE_QUALIFIER {
-                continue; // GC'd: its effect is applied below.
-            }
-            // versions are newest-first. Keep puts newer than both the row
-            // tombstone and any cell tombstone, up to max_versions.
-            let cell_tomb_ts = versions
+    let flush_row =
+        |builder: &mut SsTableBuilder, row_buf: &mut Vec<(CellKey, Vec<Version>)>| -> Result<()> {
+            let row_tomb_ts = row_buf
                 .iter()
-                .filter(|v| v.mutation.is_delete())
+                .filter(|(k, _)| k.qual == ROW_TOMBSTONE_QUALIFIER)
+                .flat_map(|(_, vs)| vs.iter())
                 .map(|v| v.ts)
                 .max()
                 .unwrap_or(0);
-            let cutoff = row_tomb_ts.max(cell_tomb_ts);
-            let mut kept = 0usize;
-            for version in &versions {
-                if version.mutation.is_delete() || version.ts <= cutoff {
-                    continue;
+            for (key, versions) in row_buf.drain(..) {
+                if key.qual == ROW_TOMBSTONE_QUALIFIER {
+                    continue; // GC'd: its effect is applied below.
                 }
-                if kept == config.max_versions {
-                    break;
+                // versions are newest-first. Keep puts newer than both the row
+                // tombstone and any cell tombstone, up to max_versions.
+                let cell_tomb_ts = versions
+                    .iter()
+                    .filter(|v| v.mutation.is_delete())
+                    .map(|v| v.ts)
+                    .max()
+                    .unwrap_or(0);
+                let cutoff = row_tomb_ts.max(cell_tomb_ts);
+                let mut kept = 0usize;
+                for version in &versions {
+                    if version.mutation.is_delete() || version.ts <= cutoff {
+                        continue;
+                    }
+                    if kept == config.max_versions {
+                        break;
+                    }
+                    builder.add(&key, version)?;
+                    kept += 1;
                 }
-                builder.add(&key, version)?;
-                kept += 1;
             }
-        }
-        Ok(())
-    };
+            Ok(())
+        };
 
     for group in merge {
         let (key, versions) = group?;

@@ -216,8 +216,7 @@ impl Env for FaultyEnv {
     }
 
     fn delete(&self, name: &str) -> Result<()> {
-        self.plan
-            .check(IoOp::Delete, &format!("delete '{name}'"))?;
+        self.plan.check(IoOp::Delete, &format!("delete '{name}'"))?;
         self.inner.delete(name)
     }
 }
@@ -349,8 +348,7 @@ impl Env for DiskEnv {
     }
 
     fn delete(&self, name: &str) -> Result<()> {
-        fs::remove_file(self.path(name))
-            .map_err(|_| Error::not_found(format!("env file '{name}'")))
+        fs::remove_file(self.path(name)).map_err(|_| Error::not_found(format!("env file '{name}'")))
     }
 }
 

@@ -290,7 +290,10 @@ mod tests {
         let t = c.create_table("t").unwrap();
         t.put(b"r", b"q", b"v").unwrap();
         assert!(c.create_table("t").is_err());
-        assert_eq!(c.table("t").unwrap().get(b"r", b"q").unwrap().unwrap(), b"v");
+        assert_eq!(
+            c.table("t").unwrap().get(b"r", b"q").unwrap().unwrap(),
+            b"v"
+        );
         c.drop_table("t").unwrap();
         assert!(c.table("t").is_err());
     }
@@ -390,9 +393,16 @@ mod tests {
     #[test]
     fn table_or_create_is_idempotent() {
         let c = KvCluster::in_memory(KvConfig::default());
-        c.table_or_create("x").unwrap().put(b"a", b"b", b"c").unwrap();
+        c.table_or_create("x")
+            .unwrap()
+            .put(b"a", b"b", b"c")
+            .unwrap();
         assert_eq!(
-            c.table_or_create("x").unwrap().get(b"a", b"b").unwrap().unwrap(),
+            c.table_or_create("x")
+                .unwrap()
+                .get(b"a", b"b")
+                .unwrap()
+                .unwrap(),
             b"c"
         );
         assert_eq!(c.table_names(), vec!["x".to_string()]);

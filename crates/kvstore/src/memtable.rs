@@ -20,10 +20,8 @@ impl MemTable {
 
     /// Inserts a version, keeping the per-cell list sorted newest-first.
     pub fn insert(&mut self, key: CellKey, version: Version) {
-        self.approx_bytes += key.row.len()
-            + key.qual.len()
-            + 16
-            + version.mutation.value().map_or(0, <[u8]>::len);
+        self.approx_bytes +=
+            key.row.len() + key.qual.len() + 16 + version.mutation.value().map_or(0, <[u8]>::len);
         self.entry_count += 1;
         let versions = self.cells.entry(key).or_default();
         // Timestamps are handed out by a monotone clock, so pushing onto the
@@ -148,7 +146,10 @@ mod tests {
     fn range_respects_bounds_and_order() {
         let mut m = MemTable::new();
         for row in ["a", "b", "c", "d"] {
-            m.insert(CellKey::new(row.as_bytes().to_vec(), b"q".to_vec()), put(1, b"v"));
+            m.insert(
+                CellKey::new(row.as_bytes().to_vec(), b"q".to_vec()),
+                put(1, b"v"),
+            );
         }
         let rows: Vec<_> = m
             .range(Some(b"b"), Some(b"d"))

@@ -104,7 +104,10 @@ mod tests {
         let got: Vec<_> = m.map(|r| r.unwrap()).collect();
         assert_eq!(got.len(), 3);
         assert_eq!(got[0].0.row, b"a");
-        assert_eq!(got[0].1.iter().map(|v| v.ts).collect::<Vec<_>>(), vec![5, 2]);
+        assert_eq!(
+            got[0].1.iter().map(|v| v.ts).collect::<Vec<_>>(),
+            vec![5, 2]
+        );
         assert_eq!(got[1].0.row, b"b");
         assert_eq!(got[2].0.row, b"c");
     }

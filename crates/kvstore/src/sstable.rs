@@ -68,8 +68,7 @@ impl SsTableBuilder {
             }
         }
         if self.first_in_block {
-            self.index
-                .push((key.clone(), self.block_start as u64, 0));
+            self.index.push((key.clone(), self.block_start as u64, 0));
             self.first_in_block = false;
         }
         self.bloom.insert(&key.row);
@@ -181,7 +180,9 @@ impl SsTable {
         let mut meta = vec![0u8; meta_len];
         env.read_at(&name, index_off, &mut meta)?;
         if crc32(&meta) != meta_crc {
-            return Err(Error::corrupt(format!("sstable '{name}': metadata CRC mismatch")));
+            return Err(Error::corrupt(format!(
+                "sstable '{name}': metadata CRC mismatch"
+            )));
         }
         let mut pos = 0usize;
         let n = get_uvarint(&meta, &mut pos)? as usize;
@@ -290,11 +291,7 @@ impl SsTable {
     /// Streams entries whose row key is in `[start, end)`, in key order.
     /// The iterator shares ownership of the table, so it can outlive the
     /// caller's borrow (scans hold no store locks).
-    pub fn iter(
-        self: &Arc<Self>,
-        start: Option<Vec<u8>>,
-        end: Option<Vec<u8>>,
-    ) -> SsTableIter {
+    pub fn iter(self: &Arc<Self>, start: Option<Vec<u8>>, end: Option<Vec<u8>>) -> SsTableIter {
         let block = match &start {
             Some(row) => self.seek_block(&CellKey::new(row.clone(), Vec::new())),
             None => 0,
@@ -404,11 +401,7 @@ mod tests {
 
     #[test]
     fn get_finds_all_versions_newest_first() {
-        let (_env, t) = build(&[
-            ("a", "q", 3, "v3"),
-            ("a", "q", 1, "v1"),
-            ("b", "q", 2, "w"),
-        ]);
+        let (_env, t) = build(&[("a", "q", 3, "v3"), ("a", "q", 1, "v1"), ("b", "q", 2, "w")]);
         let vs = t.get(&CellKey::new(b"a".to_vec(), b"q".to_vec())).unwrap();
         assert_eq!(vs.len(), 2);
         assert_eq!(vs[0].ts, 3);

@@ -1,5 +1,6 @@
 //! One table's storage engine: WAL + memtable + SSTables.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -33,6 +34,12 @@ pub struct KvConfig {
     /// flush writes, SSTable reads). Applied by the cluster via a
     /// [`crate::env::RetryEnv`] wrapper (DESIGN.md §8).
     pub retry: RetryPolicy,
+    /// Maximum caller batches one group commit coalesces into a single
+    /// WAL append + fsync (DESIGN.md §12). `1` disables coalescing and
+    /// reproduces the one-append-per-batch path byte for byte. There is
+    /// no timer: the wait is bounded by the in-flight append ahead of the
+    /// caller, so an uncontended put never pays added latency.
+    pub group_commit_window_ops: usize,
 }
 
 impl Default for KvConfig {
@@ -44,6 +51,7 @@ impl Default for KvConfig {
             max_versions: 3,
             auto_maintenance: true,
             retry: RetryPolicy::default(),
+            group_commit_window_ops: 8,
         }
     }
 }
@@ -69,12 +77,52 @@ struct State {
     wal_segment: u64,
 }
 
+/// One caller batch awaiting durable commit, parked in the group-commit
+/// queue until a leader drains it (DESIGN.md §12).
+struct PendingCommit {
+    batch: Vec<(CellKey, Version)>,
+    ticket: Arc<CommitTicket>,
+}
+
+/// Where a leader deposits the outcome of a parked batch. The waiting
+/// caller rendezvouses on the state write lock (no condvar): by the time
+/// it acquires the lock, any leader that drained its batch has already
+/// set the outcome.
+#[derive(Default)]
+struct CommitTicket {
+    outcome: Mutex<Option<Result<()>>>,
+}
+
+impl CommitTicket {
+    fn take(&self) -> Option<Result<()>> {
+        self.outcome.lock().take()
+    }
+
+    fn set(&self, outcome: Result<()>) {
+        *self.outcome.lock() = Some(outcome);
+    }
+}
+
+/// [`dt_common::Error`] is not `Clone`; when one coalesced append fails,
+/// every parked caller gets a class-preserving copy (the leader keeps the
+/// original for itself, so single-caller semantics are unchanged).
+fn replicate_error(e: &Error) -> Error {
+    match e.class() {
+        ErrorClass::Transient => Error::unavailable(e.to_string()),
+        ErrorClass::Corrupt => Error::corrupt(e.to_string()),
+        ErrorClass::Permanent => Error::internal(e.to_string()),
+    }
+}
+
 struct StoreInner {
     env: Arc<dyn Env>,
     config: KvConfig,
     clock: LogicalClock,
     stats: IoStats,
     state: RwLock<State>,
+    // Batches parked for group commit. Timestamps are assigned under this
+    // lock, so queue order == timestamp order == WAL record order.
+    commit_queue: Mutex<VecDeque<PendingCommit>>,
     // Serializes flush/compaction against each other.
     maintenance: Mutex<()>,
     // Read-only degraded mode: set when a WAL append fails permanently
@@ -170,6 +218,7 @@ impl Store {
                     next_file_no,
                     wal_segment,
                 }),
+                commit_queue: Mutex::new(VecDeque::new()),
                 maintenance: Mutex::new(()),
                 degraded: AtomicBool::new(false),
                 health,
@@ -267,50 +316,108 @@ impl Store {
                  reopen the store to resume writes",
             ));
         }
-        let batch: Vec<(CellKey, Version)> = mutations
-            .into_iter()
-            .map(|(key, mutation)| {
-                (
-                    key,
-                    Version {
-                        ts: self.inner.clock.tick(),
-                        mutation,
-                    },
-                )
-            })
-            .collect();
-        let last_ts = batch.last().map(|(_, v)| v.ts).unwrap_or(0);
-        let should_flush;
+        // Park the batch in the group-commit queue. Timestamps are
+        // assigned under the queue lock so queue order, timestamp order
+        // and WAL record order all agree.
+        let ticket = Arc::new(CommitTicket::default());
+        let last_ts;
         {
-            // The WAL append happens under the state lock, atomically with
-            // the memtable insert. Otherwise a concurrent flush could
-            // drain the memtable (not yet holding this batch) and
-            // truncate the WAL segment that does hold it — dropping an
-            // acknowledged write on the next crash.
+            let mut queue = self.inner.commit_queue.lock();
+            let batch: Vec<(CellKey, Version)> = mutations
+                .into_iter()
+                .map(|(key, mutation)| {
+                    (
+                        key,
+                        Version {
+                            ts: self.inner.clock.tick(),
+                            mutation,
+                        },
+                    )
+                })
+                .collect();
+            last_ts = batch.last().map(|(_, v)| v.ts).unwrap_or(0);
+            queue.push_back(PendingCommit {
+                batch,
+                ticket: ticket.clone(),
+            });
+        }
+        // Rendezvous on the state write lock: whoever holds it first
+        // becomes the leader for everything queued so far (up to the
+        // window) and commits all of it in ONE WAL append + fsync,
+        // atomically with the memtable inserts. The WAL append must
+        // happen under the state lock regardless — otherwise a concurrent
+        // flush could drain the memtable (not yet holding this batch) and
+        // truncate the WAL segment that does hold it — so group commit
+        // adds no locking the single-writer path didn't already pay.
+        let commit_outcome = loop {
+            if let Some(outcome) = ticket.take() {
+                break outcome;
+            }
             let mut state = self.inner.state.write();
+            if let Some(outcome) = ticket.take() {
+                // A leader drained our batch while we waited for the lock;
+                // it set the ticket before releasing the lock.
+                break outcome;
+            }
+            let group: Vec<PendingCommit> = {
+                let mut queue = self.inner.commit_queue.lock();
+                let take = queue
+                    .len()
+                    .min(self.inner.config.group_commit_window_ops.max(1));
+                queue.drain(..take).collect()
+            };
+            if group.is_empty() {
+                // Unreachable (an unset ticket implies a queued batch),
+                // but looping is safe.
+                continue;
+            }
             let wal = Wal::new(
                 self.inner.env.clone(),
                 self.inner.stats.clone(),
                 state.wal_segment,
             );
-            if let Err(e) = wal.append_batch(&batch) {
-                // Transient failures were already retried below us
-                // (RetryEnv); a permanent WAL failure means the write path
-                // is down for good. Fall into read-only degraded mode:
-                // reads keep serving what is durable, writes are refused
-                // until a reopen — never acknowledge a put the log cannot
-                // hold.
-                if e.class() == ErrorClass::Permanent {
-                    self.inner.degraded.store(true, Ordering::Release);
+            let batches: Vec<&[(CellKey, Version)]> =
+                group.iter().map(|p| p.batch.as_slice()).collect();
+            match wal.append_batches(&batches) {
+                Ok(()) => {
+                    if group.len() > 1 {
+                        self.inner.stats.record_group_commit(group.len() as u64);
+                        self.inner.health.record_group_commit(group.len() as u64);
+                    }
+                    for pending in group {
+                        for (key, version) in pending.batch {
+                            state.memtable.insert(key, version);
+                        }
+                        pending.ticket.set(Ok(()));
+                    }
                 }
-                return Err(e);
+                Err(e) => {
+                    // Transient failures were already retried below us
+                    // (RetryEnv); a permanent WAL failure means the write
+                    // path is down for good. Fall into read-only degraded
+                    // mode: reads keep serving what is durable, writes
+                    // are refused until a reopen — never acknowledge a
+                    // put the log cannot hold. Every batch in the group
+                    // shared the failed append, so every caller fails.
+                    if e.class() == ErrorClass::Permanent {
+                        self.inner.degraded.store(true, Ordering::Release);
+                    }
+                    for pending in &group {
+                        pending.ticket.set(Err(replicate_error(&e)));
+                    }
+                    if group.iter().any(|p| Arc::ptr_eq(&p.ticket, &ticket)) {
+                        // The leader keeps the original error object.
+                        ticket.set(Err(e));
+                    }
+                }
             }
-            for (key, version) in batch {
-                state.memtable.insert(key, version);
-            }
-            should_flush = self.inner.config.auto_maintenance
-                && state.memtable.approx_bytes() >= self.inner.config.memtable_flush_bytes;
-        }
+            // Our own ticket was in the drained group in all but
+            // pathological schedules; the next iteration picks it up.
+        };
+        commit_outcome?;
+        let should_flush = self.inner.config.auto_maintenance
+            && self.inner.state.read().memtable.approx_bytes()
+                >= self.inner.config.memtable_flush_bytes;
         if should_flush {
             // The batch is already durable (WAL) and visible (memtable);
             // auto-maintenance failing afterwards must not report a
@@ -416,10 +523,9 @@ impl Store {
         };
         let mut streams: Vec<EntryStream> = vec![Box::new(mem_entries.into_iter().map(Ok))];
         for table in &sstables {
-            streams.push(Box::new(table.iter(
-                start.map(<[u8]>::to_vec),
-                end.map(<[u8]>::to_vec),
-            )));
+            streams.push(Box::new(
+                table.iter(start.map(<[u8]>::to_vec), end.map(<[u8]>::to_vec)),
+            ));
         }
         Ok(ScanIter {
             merge: MergeScanner::new(streams),
@@ -578,9 +684,9 @@ impl Store {
             let mut state = self.inner.state.write();
             // Writers only append to `sstables` (flush); replace the old
             // prefix we compacted, keep any tables flushed meanwhile.
-            state.sstables.retain(|t| {
-                !old.iter().any(|o| o.name() == t.name())
-            });
+            state
+                .sstables
+                .retain(|t| !old.iter().any(|o| o.name() == t.name()));
             state.sstables.insert(0, table);
         }
         let _ = name;
@@ -701,7 +807,10 @@ impl ScanIter {
                 }
             }
             if !cells.is_empty() {
-                return Ok(Some(RowEntry { row: row_key, cells }));
+                return Ok(Some(RowEntry {
+                    row: row_key,
+                    cells,
+                }));
             }
             // Fully-deleted row: keep scanning.
         }
@@ -1027,7 +1136,6 @@ mod tests {
         assert_eq!(quals, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
     }
 }
-
 
 #[cfg(test)]
 mod minor_compact_tests {

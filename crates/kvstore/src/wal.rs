@@ -33,7 +33,10 @@ pub(crate) fn seg_name(n: u64) -> String {
 
 /// The segment number of a WAL segment file name, if it is one.
 fn parse_seg(name: &str) -> Option<u64> {
-    name.strip_prefix("wal_")?.strip_suffix(".log")?.parse().ok()
+    name.strip_prefix("wal_")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
 }
 
 /// Appender for one segment of the write-ahead log.
@@ -52,19 +55,35 @@ impl Wal {
         }
     }
 
-    /// Durably appends a batch of mutations to this segment.
+    /// Durably appends a single batch (the group-commit path with a
+    /// group of one; kept as a test convenience).
+    #[cfg(test)]
     pub fn append_batch(&self, batch: &[(CellKey, Version)]) -> Result<()> {
-        let mut payload = Vec::with_capacity(64 * batch.len());
-        dt_common::codec::put_uvarint(&mut payload, batch.len() as u64);
-        for (key, version) in batch {
-            encode_entry(&mut payload, key, version);
+        self.append_batches(&[batch])
+    }
+
+    /// Durably appends several caller batches in **one** `env.append` —
+    /// the group-commit primitive (DESIGN.md §12). Each batch keeps its
+    /// own CRC-framed record, byte-identical to what `append_batch` would
+    /// have written for it, so replay and torn-tail salvage are unchanged:
+    /// a tear inside the combined write loses a record-aligned *suffix* of
+    /// the group (those callers were never acknowledged) and every record
+    /// before the tear survives whole. One append = one simulated fsync
+    /// shared by every batch in the group.
+    pub fn append_batches(&self, batches: &[&[(CellKey, Version)]]) -> Result<()> {
+        let mut frames = Vec::new();
+        for batch in batches {
+            let mut payload = Vec::with_capacity(64 * batch.len());
+            dt_common::codec::put_uvarint(&mut payload, batch.len() as u64);
+            for (key, version) in *batch {
+                encode_entry(&mut payload, key, version);
+            }
+            frames.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frames.extend_from_slice(&crc32(&payload).to_le_bytes());
+            frames.extend_from_slice(&payload);
         }
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.stats.record_write(frame.len() as u64);
-        self.env.append(&seg_name(self.segment), &frame)
+        self.stats.record_write(frames.len() as u64);
+        self.env.append(&seg_name(self.segment), &frames)
     }
 
     /// Deletes the legacy log and every segment at or below `boundary` —
@@ -237,6 +256,49 @@ mod tests {
         wal.append_batch(&[kv(3)]).unwrap();
         let replayed = Wal::replay(env.as_ref()).unwrap();
         assert_eq!(replayed, vec![kv(1), kv(2), kv(3)]);
+    }
+
+    #[test]
+    fn grouped_append_is_byte_identical_to_sequential_appends() {
+        let a = Arc::new(MemEnv::new());
+        let b = Arc::new(MemEnv::new());
+        let batches: Vec<Vec<(CellKey, Version)>> =
+            vec![vec![kv(1), kv(2)], vec![kv(3)], vec![kv(4), kv(5)]];
+        let wal_a = Wal::new(a.clone(), IoStats::new(), 0);
+        for batch in &batches {
+            wal_a.append_batch(batch).unwrap();
+        }
+        let refs: Vec<&[(CellKey, Version)]> = batches.iter().map(Vec::as_slice).collect();
+        let stats = IoStats::new();
+        Wal::new(b.clone(), stats.clone(), 0)
+            .append_batches(&refs)
+            .unwrap();
+        assert_eq!(
+            a.read_file(&seg_name(0)).unwrap(),
+            b.read_file(&seg_name(0)).unwrap()
+        );
+        // The whole group cost one write op (one simulated fsync).
+        assert_eq!(stats.snapshot().write_ops, 1);
+    }
+
+    #[test]
+    fn torn_tail_of_grouped_append_salvages_record_prefix() {
+        let env = Arc::new(MemEnv::new());
+        let wal = Wal::new(env.clone(), IoStats::new(), 0);
+        let batches: Vec<Vec<(CellKey, Version)>> = vec![vec![kv(1)], vec![kv(2)], vec![kv(3)]];
+        let refs: Vec<&[(CellKey, Version)]> = batches.iter().map(Vec::as_slice).collect();
+        wal.append_batches(&refs).unwrap();
+        let full = env.read_file(&seg_name(0)).unwrap();
+        // Tear the coalesced frame at every byte: replay must salvage
+        // exactly the whole records before the cut, never a partial one.
+        for cut in 0..full.len() {
+            env.delete(&seg_name(0)).unwrap();
+            env.append(&seg_name(0), &full[..cut]).unwrap();
+            let r = Wal::replay_with_report(env.as_ref()).unwrap();
+            assert!(r.records <= 3, "cut at {cut}");
+            let want: Vec<(CellKey, Version)> = (1..=r.records).map(kv).collect();
+            assert_eq!(r.entries, want, "cut at {cut}");
+        }
     }
 
     #[test]

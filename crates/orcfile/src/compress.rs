@@ -183,7 +183,12 @@ mod tests {
     fn repetitive_data_shrinks() {
         let data: Vec<u8> = b"abcdefgh".repeat(1000);
         let c = compress_block(Codec::Lz, &data);
-        assert!(c.len() < data.len() / 4, "compressed {} of {}", c.len(), data.len());
+        assert!(
+            c.len() < data.len() / 4,
+            "compressed {} of {}",
+            c.len(),
+            data.len()
+        );
         assert_eq!(decompress_block(&c).unwrap(), data);
     }
 

@@ -45,8 +45,8 @@ pub mod compress;
 pub mod footer_cache;
 pub mod predicate;
 pub mod rle;
-pub mod stats;
 mod schema_io;
+pub mod stats;
 mod stripe;
 
 mod reader;

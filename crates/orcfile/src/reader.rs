@@ -183,7 +183,9 @@ impl OrcReader {
             reader: self,
             file: self.dfs.open(&self.path)?,
             projection,
-            predicates: predicates.map(<[ColumnPredicate]>::to_vec).unwrap_or_default(),
+            predicates: predicates
+                .map(<[ColumnPredicate]>::to_vec)
+                .unwrap_or_default(),
             stripe_idx: 0,
             columns: Vec::new(),
             row_in_stripe: 0,
@@ -250,9 +252,9 @@ impl RowIter<'_> {
                         }
                     }
                 };
-                self.columns =
-                    self.reader
-                        .load_stripe(&mut self.file, stripe, &self.projection)?;
+                self.columns = self
+                    .reader
+                    .load_stripe(&mut self.file, stripe, &self.projection)?;
                 self.row_in_stripe = 0;
                 self.stripe_rows = stripe.rows as usize;
                 self.stripe_row_start = stripe.row_start;
@@ -416,7 +418,8 @@ mod tests {
     #[test]
     fn non_orc_file_rejected() {
         let dfs = Dfs::in_memory(DfsConfig::default());
-        dfs.write_file("/junk", b"this is not an orc file at all").unwrap();
+        dfs.write_file("/junk", b"this is not an orc file at all")
+            .unwrap();
         assert!(OrcReader::open(&dfs, "/junk").is_err());
         dfs.write_file("/tiny", b"x").unwrap();
         assert!(OrcReader::open(&dfs, "/tiny").is_err());

@@ -53,8 +53,7 @@ fn run_length_at(values: &[i64], i: usize) -> usize {
         return 0;
     }
     let mut len = 3;
-    while i + len < values.len()
-        && values[i + len].checked_sub(values[i + len - 1]) == Some(delta)
+    while i + len < values.len() && values[i + len].checked_sub(values[i + len - 1]) == Some(delta)
     {
         len += 1;
     }
@@ -88,9 +87,9 @@ pub fn decode_i64s(buf: &[u8], pos: &mut usize, count: usize) -> Result<Vec<i64>
             }
         } else {
             let n = control as usize + 3;
-            let delta = *buf
-                .get(*pos)
-                .ok_or_else(|| Error::corrupt("truncated RLE delta"))? as i8;
+            let delta =
+                *buf.get(*pos)
+                    .ok_or_else(|| Error::corrupt("truncated RLE delta"))? as i8;
             *pos += 1;
             let base = get_ivarint(buf, pos)?;
             let mut v = base;

@@ -262,7 +262,9 @@ mod tests {
 
     #[test]
     fn string_direct_low_repetition() {
-        let values: Vec<Value> = (0..50).map(|i| Value::Utf8(format!("unique-{i}"))).collect();
+        let values: Vec<Value> = (0..50)
+            .map(|i| Value::Utf8(format!("unique-{i}")))
+            .collect();
         roundtrip(DataType::Utf8, values);
     }
 
@@ -273,7 +275,7 @@ mod tests {
             .collect();
         let enc = encode_column(DataType::Utf8, &values).unwrap();
         assert_eq!(enc[enc.len().min(1)..][..0].len(), 0); // no-op, readability
-        // Dictionary mode should be chosen (mode byte after presence map).
+                                                           // Dictionary mode should be chosen (mode byte after presence map).
         let dec = decode_column(DataType::Utf8, &enc, values.len()).unwrap();
         assert_eq!(dec, values);
         // A direct encoding of the same data is longer.

@@ -58,12 +58,7 @@ pub struct OrcWriter {
 
 impl OrcWriter {
     /// Creates a new file at `path`.
-    pub fn create(
-        dfs: &Dfs,
-        path: &str,
-        schema: Schema,
-        options: WriterOptions,
-    ) -> Result<Self> {
+    pub fn create(dfs: &Dfs, path: &str, schema: Schema, options: WriterOptions) -> Result<Self> {
         if schema.is_empty() {
             return Err(Error::schema("ORC schema must have at least one column"));
         }
@@ -178,8 +173,7 @@ impl OrcWriter {
         }
         self.out.write_all(&footer)?;
         // Postscript: footer length + magic, fixed 12 bytes.
-        self.out
-            .write_all(&(footer.len() as u32).to_le_bytes())?;
+        self.out.write_all(&(footer.len() as u32).to_le_bytes())?;
         self.out.write_all(MAGIC)?;
         self.out.close()
     }

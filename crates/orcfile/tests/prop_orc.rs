@@ -31,10 +31,7 @@ fn arb_value(ty: DataType) -> BoxedStrategy<Value> {
 
 fn arb_table() -> impl Strategy<Value = (Vec<DataType>, Vec<Vec<Value>>)> {
     proptest::collection::vec(arb_type(), 1..6).prop_flat_map(|types| {
-        let row = types
-            .iter()
-            .map(|t| arb_value(*t))
-            .collect::<Vec<_>>();
+        let row = types.iter().map(|t| arb_value(*t)).collect::<Vec<_>>();
         proptest::collection::vec(row, 0..80).prop_map(move |rows| (types.clone(), rows))
     })
 }

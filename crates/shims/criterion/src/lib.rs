@@ -81,7 +81,10 @@ impl BenchmarkGroup<'_> {
         let per_iter = bencher.elapsed_ns / bencher.iters as f64;
         let rate = match self.throughput {
             Some(Throughput::Bytes(b)) if per_iter > 0.0 => {
-                format!("  {:.1} MiB/s", b as f64 / (1u64 << 20) as f64 / (per_iter * 1e-9))
+                format!(
+                    "  {:.1} MiB/s",
+                    b as f64 / (1u64 << 20) as f64 / (per_iter * 1e-9)
+                )
             }
             Some(Throughput::Elements(e)) if per_iter > 0.0 => {
                 format!("  {:.0} elem/s", e as f64 / (per_iter * 1e-9))

@@ -241,10 +241,7 @@ fn parse_pattern(pattern: &str) -> Vec<Piece> {
                     spec.push(k);
                 }
                 match spec.split_once(',') {
-                    Some((m, n)) => (
-                        m.trim().parse().unwrap_or(0),
-                        n.trim().parse().unwrap_or(8),
-                    ),
+                    Some((m, n)) => (m.trim().parse().unwrap_or(0), n.trim().parse().unwrap_or(8)),
                     None => {
                         let n = spec.trim().parse().unwrap_or(1);
                         (n, n)

@@ -35,11 +35,41 @@ impl ScenarioMix {
 /// The five rows of Table I.
 pub fn paper_mixes() -> Vec<ScenarioMix> {
     vec![
-        ScenarioMix { scenario: 1, total: 133, delete: 15, update: 52, merge: 15 },
-        ScenarioMix { scenario: 2, total: 75, delete: 25, update: 20, merge: 9 },
-        ScenarioMix { scenario: 3, total: 174, delete: 27, update: 97, merge: 13 },
-        ScenarioMix { scenario: 4, total: 12, delete: 3, update: 3, merge: 0 },
-        ScenarioMix { scenario: 5, total: 41, delete: 3, update: 23, merge: 0 },
+        ScenarioMix {
+            scenario: 1,
+            total: 133,
+            delete: 15,
+            update: 52,
+            merge: 15,
+        },
+        ScenarioMix {
+            scenario: 2,
+            total: 75,
+            delete: 25,
+            update: 20,
+            merge: 9,
+        },
+        ScenarioMix {
+            scenario: 3,
+            total: 174,
+            delete: 27,
+            update: 97,
+            merge: 13,
+        },
+        ScenarioMix {
+            scenario: 4,
+            total: 12,
+            delete: 3,
+            update: 3,
+            merge: 0,
+        },
+        ScenarioMix {
+            scenario: 5,
+            total: 41,
+            delete: 3,
+            update: 23,
+            merge: 0,
+        },
     ]
 }
 
@@ -60,9 +90,18 @@ pub enum StatementKind {
 /// Generates a shuffled SQL corpus with exactly the mix's counts.
 pub fn generate_corpus(mix: &ScenarioMix, seed: u64) -> Vec<String> {
     let mut kinds = Vec::with_capacity(mix.total as usize);
-    kinds.extend(std::iter::repeat_n(StatementKind::Delete, mix.delete as usize));
-    kinds.extend(std::iter::repeat_n(StatementKind::Update, mix.update as usize));
-    kinds.extend(std::iter::repeat_n(StatementKind::Merge, mix.merge as usize));
+    kinds.extend(std::iter::repeat_n(
+        StatementKind::Delete,
+        mix.delete as usize,
+    ));
+    kinds.extend(std::iter::repeat_n(
+        StatementKind::Update,
+        mix.update as usize,
+    ));
+    kinds.extend(std::iter::repeat_n(
+        StatementKind::Merge,
+        mix.merge as usize,
+    ));
     let rest = mix.total - mix.delete - mix.update - mix.merge;
     kinds.extend(std::iter::repeat_n(StatementKind::Query, rest as usize));
 
@@ -143,7 +182,13 @@ mod tests {
         let expect = [61, 72, 78, 50, 63];
         for (mix, pct) in paper_mixes().iter().zip(expect) {
             let diff = (mix.dml_percent() as i32 - pct).abs();
-            assert!(diff <= 1, "scenario {}: {} vs {}", mix.scenario, mix.dml_percent(), pct);
+            assert!(
+                diff <= 1,
+                "scenario {}: {} vs {}",
+                mix.scenario,
+                mix.dml_percent(),
+                pct
+            );
         }
     }
 
@@ -161,7 +206,10 @@ mod tests {
     fn classifier_is_keyword_based() {
         assert_eq!(classify("  update t set a = 1"), StatementKind::Update);
         assert_eq!(classify("DELETE FROM t"), StatementKind::Delete);
-        assert_eq!(classify("MERGE INTO t USING u ON 1=1"), StatementKind::Merge);
+        assert_eq!(
+            classify("MERGE INTO t USING u ON 1=1"),
+            StatementKind::Merge
+        );
         assert_eq!(classify("INSERT INTO t VALUES (1)"), StatementKind::Query);
         assert_eq!(classify(""), StatementKind::Query);
     }

@@ -11,7 +11,7 @@
 //! * the U#1–U#4 / D#1–D#4 statements of Table IV with the paper's
 //!   modification ratios (2%, 5%, 0.1%, 3%, 4%, 5%, 3%, 0.01%).
 
-use dt_common::{DataType, Row, Rng64, Schema, Value};
+use dt_common::{DataType, Rng64, Row, Schema, Value};
 
 /// Number of distinct days in the fact tables (the paper's experiments
 /// modify k/36 of the data).
@@ -41,13 +41,10 @@ fn filler_fields(n: usize) -> Vec<(String, DataType)> {
 }
 
 fn schema_with_filler(named: &[(&str, DataType)], filler: usize) -> Schema {
-    let mut fields: Vec<(String, DataType)> = named
-        .iter()
-        .map(|(n, t)| ((*n).to_string(), *t))
-        .collect();
+    let mut fields: Vec<(String, DataType)> =
+        named.iter().map(|(n, t)| ((*n).to_string(), *t)).collect();
     fields.extend(filler_fields(filler));
-    let pairs: Vec<(&str, DataType)> =
-        fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let pairs: Vec<(&str, DataType)> = fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     Schema::from_pairs(&pairs)
 }
 
@@ -72,12 +69,12 @@ const FILLER_COLS: usize = 18;
 pub fn tj_gbsjwzl_mx_schema() -> Schema {
     schema_with_filler(
         &[
-            ("yhlx", DataType::Utf8),  // user type
-            ("rq", DataType::Date),    // date
-            ("dwdm", DataType::Utf8),  // organization code
-            ("cjbm", DataType::Utf8),  // manufacture code
+            ("yhlx", DataType::Utf8),    // user type
+            ("rq", DataType::Date),      // date
+            ("dwdm", DataType::Utf8),    // organization code
+            ("cjbm", DataType::Utf8),    // manufacture code
             ("rcjl", DataType::Float64), // daily sampling rate
-            ("cjfs", DataType::Utf8),  // collection method
+            ("cjfs", DataType::Utf8),    // collection method
         ],
         FILLER_COLS,
     )
@@ -251,10 +248,7 @@ pub fn tj_td_rows(n: usize, seed: u64) -> impl Iterator<Item = Row> {
         } else {
             outage + rng.range_i64(0, 3)
         };
-        let mut row = vec![
-            Value::Date(recovery as i32),
-            Value::Date(outage as i32),
-        ];
+        let mut row = vec![Value::Date(recovery as i32), Value::Date(outage as i32)];
         push_filler(&mut row, &mut rng, FILLER_COLS);
         row
     })

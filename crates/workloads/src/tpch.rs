@@ -7,7 +7,7 @@
 //! the row count you can afford and keep the 4:1 ratio via
 //! [`orders_rows_for`].
 
-use dt_common::{DataType, Row, Rng64, Schema, Value};
+use dt_common::{DataType, Rng64, Row, Schema, Value};
 
 /// TPC-H epoch: 1992-01-01 as days since 1970-01-01.
 const DATE_1992: i32 = 8035;
@@ -24,13 +24,7 @@ const SHIP_INSTRUCT: [&str; 4] = [
 ];
 const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const ORDER_STATUS: [&str; 3] = ["F", "O", "P"];
-const PRIORITIES: [&str; 5] = [
-    "1-URGENT",
-    "2-HIGH",
-    "3-MEDIUM",
-    "4-NOT SPECIFIED",
-    "5-LOW",
-];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// The 16-column `lineitem` schema.
 pub fn lineitem_schema() -> Schema {

@@ -44,11 +44,7 @@ fn main() {
         let ratio = pct / 100.0;
         let u = model.choose_update(d, ratio, 1);
         let del = model.choose_delete(d, ratio, 1, 0.1);
-        println!(
-            "{pct:>7}%  {:>10}  {:>10}",
-            plan_name(u),
-            plan_name(del)
-        );
+        println!("{pct:>7}%  {:>10}  {:>10}", plan_name(u), plan_name(del));
     }
 }
 

@@ -52,8 +52,7 @@ fn main() {
                         .collect();
                     println!("{}", names.join("\t"));
                     for row in result.rows().iter().take(50) {
-                        let cells: Vec<String> =
-                            row.iter().map(|v| format!("{v}")).collect();
+                        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
                         println!("{}", cells.join("\t"));
                     }
                     if result.rows().len() > 50 {

@@ -41,9 +41,7 @@ fn main() {
     println!("tiny update  → {}", result.message.unwrap());
 
     // A bulk rewrite — the cost model switches to the OVERWRITE plan.
-    let result = session
-        .execute("UPDATE meter SET kwh = kwh * 1.1")
-        .unwrap();
+    let result = session.execute("UPDATE meter SET kwh = kwh * 1.1").unwrap();
     println!("bulk update  → {}", result.message.unwrap());
 
     // DELETE and COMPACT round out the DualTable extensions.

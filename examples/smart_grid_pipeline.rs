@@ -23,8 +23,16 @@ fn main() {
 
     let fact_rows: Vec<_> = grid::tj_gbsjwzl_mx_rows(36 * 200, 1).collect();
     let device_rows: Vec<_> = grid::zc_zdzc_rows(2_000, 2).collect();
-    session.table("tj_gbsjwzl_mx").unwrap().insert(fact_rows).unwrap();
-    session.table("zc_zdzc").unwrap().insert(device_rows).unwrap();
+    session
+        .table("tj_gbsjwzl_mx")
+        .unwrap()
+        .insert(fact_rows)
+        .unwrap();
+    session
+        .table("zc_zdzc")
+        .unwrap()
+        .insert(device_rows)
+        .unwrap();
 
     // (1) Recollection: a handful of meters re-sent data for one day —
     // under 0.01% of the table in production, a few rows here.
@@ -72,7 +80,9 @@ fn main() {
     // Nightly maintenance window: fold the day's deltas into the master.
     session.execute("COMPACT TABLE tj_gbsjwzl_mx").unwrap();
     session.execute("COMPACT TABLE zc_zdzc").unwrap();
-    let stats = session.execute("SELECT COUNT(*) FROM tj_gbsjwzl_mx").unwrap();
+    let stats = session
+        .execute("SELECT COUNT(*) FROM tj_gbsjwzl_mx")
+        .unwrap();
     println!(
         "\nafter COMPACT: fact table holds {} rows, attached tables empty",
         stats.rows()[0][0]

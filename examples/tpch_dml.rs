@@ -48,7 +48,10 @@ fn build(storage: &str) -> Session {
 fn timed(session: &mut Session, sql: &str) -> (f64, u64) {
     let start = Instant::now();
     let r = session.execute(sql).unwrap();
-    (start.elapsed().as_secs_f64(), r.affected.max(r.rows().len() as u64))
+    (
+        start.elapsed().as_secs_f64(),
+        r.affected.max(r.rows().len() as u64),
+    )
 }
 
 fn main() {

@@ -1,44 +1,77 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate: release build, full test suite, lints (when
-# clippy is installed), and the fixed-seed fault-injection smoke run.
+# clippy is installed), and the fixed-seed fault-injection smoke runs.
+# Each gate reports PASS/FAIL individually and the exit trap prints a
+# summary scoreboard, so CI logs show exactly which gate broke.
 #
 # Fully offline: --locked forbids any registry/network access (all
 # external deps are local shims under crates/shims/, see README.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --locked"
-cargo build --release --locked
+PASSED=()
+FAILED=()
+CURRENT=""
 
-echo "==> cargo test -q --workspace --locked"
-cargo test -q --workspace --locked
+report() {
+    status=$?
+    if [ -n "$CURRENT" ]; then
+        FAILED+=("$CURRENT")
+    fi
+    echo
+    echo "==> verify.sh gate summary"
+    for gate in ${PASSED[@]+"${PASSED[@]}"}; do
+        echo "    PASS  $gate"
+    done
+    for gate in ${FAILED[@]+"${FAILED[@]}"}; do
+        echo "    FAIL  $gate"
+    done
+    if [ ${#FAILED[@]} -eq 0 ]; then
+        echo "verify.sh: all ${#PASSED[@]} gates passed"
+    else
+        echo "verify.sh: ${#FAILED[@]} gate(s) FAILED"
+        exit "$status"
+    fi
+}
+trap report EXIT
+
+run_gate() {
+    name="$1"
+    shift
+    CURRENT="$name"
+    echo "==> [$name] $*"
+    "$@"
+    echo "==> [$name] PASS"
+    PASSED+=("$name")
+    CURRENT=""
+}
+
+run_gate build cargo build --release --locked
+
+run_gate tests cargo test -q --workspace --locked
 
 if cargo clippy --version >/dev/null 2>&1; then
-    echo "==> cargo clippy --workspace --all-targets --locked -- -D warnings"
-    cargo clippy --workspace --all-targets --locked -- -D warnings
+    run_gate clippy cargo clippy --workspace --all-targets --locked -- -D warnings
 else
-    echo "==> clippy not installed; skipping lint pass"
+    echo "==> [clippy] not installed; skipping lint pass"
 fi
 
 # Deterministic chaos run: ≥100 mixed DML statements with ≥10 injected
 # faults (seed documented in the test file); UNION READ must equal the
 # in-memory oracle after every statement and every crash-and-reopen.
-echo "==> fixed-seed fault-injection smoke (chaos_smoke_fixed_seed)"
-cargo test -q -p dualtable --locked --test prop_fault_recovery \
+run_gate chaos-smoke cargo test -q -p dualtable --locked --test prop_fault_recovery \
     chaos_smoke_fixed_seed -- --nocapture
 
 # Availability smoke: the same driver under a transient-only fault
 # schedule. With retry enabled every statement must succeed and match
 # the oracle; the same schedule with retries disabled must demonstrably
 # fail statements (proving the retry layer provides the availability).
-echo "==> fixed-seed chaos-availability smoke (chaos_availability_fixed_seed)"
-cargo test -q -p dualtable --locked --test prop_fault_recovery \
+run_gate chaos-availability cargo test -q -p dualtable --locked --test prop_fault_recovery \
     chaos_availability_fixed_seed -- --nocapture
 
 # Replica-failover smoke: reads survive a corrupted replica, the bad
 # copy is quarantined, and the scrubber restores target replication.
-echo "==> replica failover + quarantine + re-replication smoke (dfs failover)"
-cargo test -q -p dt-dfs --locked --test failover -- --nocapture
+run_gate dfs-failover cargo test -q -p dt-dfs --locked --test failover -- --nocapture
 
 # Crash-point matrix smoke: a fixed-seed DML workload re-run with a
 # fail-stop fault at >=200 distinct I/O-operation indices (always
@@ -46,15 +79,23 @@ cargo test -q -p dt-dfs --locked --test failover -- --nocapture
 # each crash the whole stack recovers from WAL + edit log/checkpoint and
 # must land on an exact statement prefix with a single master generation
 # and zero fsck/scrub violations. Set CRASH_MATRIX_FULL=1 to crash at
-# *every* operation index instead of the 200-point subsample.
-echo "==> crash-point simulation matrix smoke (crash_matrix_three_tiers)"
-cargo test -q -p dualtable --locked --test crash_matrix -- --nocapture
+# *every* operation index instead of the 200-point subsample. The
+# workload runs with write_threads=2, so the matrix also sweeps crash
+# points through the parallel rewrite fan-out (DESIGN.md §12).
+run_gate crash-matrix cargo test -q -p dualtable --locked --test crash_matrix -- --nocapture
 
 # Cache-coherence smoke (DESIGN.md §10): cache-on and cache-off stacks
 # must stay byte-identical through UPDATE→COMPACT→SELECT and
 # OVERWRITE→SELECT loops, warm repeated SELECTs must do zero physical
 # block fetches, and the warm block-cache hit rate must exceed 90%.
-echo "==> cache-coherence smoke + >90% warm hit-rate gate (cache_coherence)"
-cargo test -q -p dualtable --locked --test cache_coherence -- --nocapture
+run_gate cache-coherence cargo test -q -p dualtable --locked --test cache_coherence -- --nocapture
 
-echo "verify.sh: all gates passed"
+# Parallel write path (DESIGN.md §12): the rewrite fan-out must equal the
+# sequential writer row for row, survive mixed DML racing a parallel
+# COMPACT, and never tear a generation when crashed mid-fan-out.
+run_gate parallel-write cargo test -q -p dualtable --locked --test parallel_write_stress -- --nocapture
+
+# WAL group commit: windows 1/8/64 must recover identical state, gated
+# windows must actually coalesce (fsyncs saved), and a torn tail on a
+# coalesced append must salvage exactly the record-aligned prefix.
+run_gate group-commit cargo test -q -p dt-kvstore --locked --test group_commit -- --nocapture

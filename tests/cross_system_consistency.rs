@@ -140,5 +140,9 @@ fn mixed_storage_joins_work() {
         .execute("SELECT a.id, a.v, b.w FROM a JOIN b ON a.id = b.id ORDER BY a.id")
         .unwrap();
     assert_eq!(r.rows().len(), 2);
-    assert_eq!(r.rows()[1][1], Value::Int64(99), "join sees the UNION READ view");
+    assert_eq!(
+        r.rows()[1][1],
+        Value::Int64(99),
+        "join sees the UNION READ view"
+    );
 }

@@ -14,7 +14,10 @@ fn tiny_update_sweep_runs_and_has_paper_shape() {
     assert_eq!(result.labels, vec!["1%", "5%"]);
     let (hive, edit, cost) = result.dml_modeled();
     // Modeled: Hive flat-ish; EDIT below Hive at small ratios.
-    assert!(edit[0] < hive[0], "EDIT must beat Hive at 1%: {edit:?} vs {hive:?}");
+    assert!(
+        edit[0] < hive[0],
+        "EDIT must beat Hive at 1%: {edit:?} vs {hive:?}"
+    );
     assert!(cost[0] <= hive[0] * 1.1);
     // Wall times are positive and finite.
     let (hw, ew, cw) = result.dml_wall();
@@ -73,8 +76,18 @@ fn table4_statements_execute_on_both_systems() {
         let mut s = Session::in_memory();
         create_table_as(&mut s, "tj_tdjl", &smartgrid::tj_tdjl_schema(), storage);
         create_table_as(&mut s, "tj_td", &smartgrid::tj_td_schema(), storage);
-        create_table_as(&mut s, "tj_sjwzl_r", &smartgrid::tj_sjwzl_r_schema(), storage);
-        create_table_as(&mut s, "tj_sjwzl_y", &smartgrid::tj_sjwzl_y_schema(), storage);
+        create_table_as(
+            &mut s,
+            "tj_sjwzl_r",
+            &smartgrid::tj_sjwzl_r_schema(),
+            storage,
+        );
+        create_table_as(
+            &mut s,
+            "tj_sjwzl_y",
+            &smartgrid::tj_sjwzl_y_schema(),
+            storage,
+        );
         create_table_as(&mut s, "tj_gk", &smartgrid::tj_gk_schema(), storage);
         create_table_as(
             &mut s,
@@ -84,8 +97,16 @@ fn table4_statements_execute_on_both_systems() {
         );
         insert_direct(&mut s, "tj_tdjl", smartgrid::tj_tdjl_rows(400, 1).collect());
         insert_direct(&mut s, "tj_td", smartgrid::tj_td_rows(400, 2).collect());
-        insert_direct(&mut s, "tj_sjwzl_r", smartgrid::tj_sjwzl_r_rows(400, 3).collect());
-        insert_direct(&mut s, "tj_sjwzl_y", smartgrid::tj_sjwzl_y_rows(400, 4).collect());
+        insert_direct(
+            &mut s,
+            "tj_sjwzl_r",
+            smartgrid::tj_sjwzl_r_rows(400, 3).collect(),
+        );
+        insert_direct(
+            &mut s,
+            "tj_sjwzl_y",
+            smartgrid::tj_sjwzl_y_rows(400, 4).collect(),
+        );
         insert_direct(&mut s, "tj_gk", smartgrid::tj_gk_rows(400, 5).collect());
         insert_direct(
             &mut s,
@@ -105,7 +126,11 @@ fn tpch_queries_parse_and_run_at_tiny_scale() {
     for q in [tpch::QUERY_A_Q1, tpch::QUERY_B_Q12, tpch::QUERY_C_COUNT] {
         session.execute(q).unwrap();
     }
-    for d in [tpch::DML_A_UPDATE, tpch::DML_B_DELETE, tpch::DML_C_JOIN_UPDATE] {
+    for d in [
+        tpch::DML_A_UPDATE,
+        tpch::DML_B_DELETE,
+        tpch::DML_C_JOIN_UPDATE,
+    ] {
         session.execute(d).unwrap();
     }
 }

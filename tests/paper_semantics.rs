@@ -83,7 +83,10 @@ fn write_volume_proportionality() {
             RatioHint::Explicit(pct as f64 / 100.0),
         )
         .unwrap();
-        let index = t.presence_index().unwrap().expect("index present after EDIT");
+        let index = t
+            .presence_index()
+            .unwrap()
+            .expect("index present after EDIT");
         let updates: u64 = index
             .files
             .values()
@@ -172,7 +175,10 @@ fn compact_replaces_master_and_clears_attached() {
     t.compact().unwrap();
 
     let new_files = t.master_file_ids().unwrap();
-    assert!(new_files.iter().all(|f| !old_files.contains(f)), "fresh file IDs");
+    assert!(
+        new_files.iter().all(|f| !old_files.contains(f)),
+        "fresh file IDs"
+    );
     let stats = t.stats().unwrap();
     assert_eq!(stats.attached_entries, 0);
     assert_eq!(stats.master_rows, visible_before.len() as u64);
@@ -186,8 +192,16 @@ fn compact_replaces_master_and_clears_attached() {
 fn record_ids_are_file_id_plus_row_number_and_sorted() {
     let env = DualTableEnv::in_memory();
     let t = table(&env, PlanMode::AlwaysEdit, 200); // 64 rows/file → 4 files
-    let ids: Vec<_> = t.scan_all().unwrap().into_iter().map(|(id, _)| id).collect();
-    assert!(ids.windows(2).all(|w| w[0] < w[1]), "scan order == record-ID order");
+    let ids: Vec<_> = t
+        .scan_all()
+        .unwrap()
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect();
+    assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "scan order == record-ID order"
+    );
     assert_eq!(ids[0].row, 0);
     assert_eq!(ids[64].row, 0, "row numbers restart per file");
     assert!(ids[64].file_id > ids[63].file_id);
@@ -205,12 +219,18 @@ fn union_read_correctness_under_mixed_modifications() {
     let t = table(&env, PlanMode::AlwaysEdit, 500);
     t.update(
         |r| r[0].as_i64().unwrap() % 7 == 0,
-        &[(2, Box::new(|r: &Vec<Value>| Value::Float64(r[0].as_f64().unwrap())))],
+        &[(
+            2,
+            Box::new(|r: &Vec<Value>| Value::Float64(r[0].as_f64().unwrap())),
+        )],
         RatioHint::Explicit(0.14),
     )
     .unwrap();
-    t.delete(|r| r[0].as_i64().unwrap() % 11 == 0, RatioHint::Explicit(0.09))
-        .unwrap();
+    t.delete(
+        |r| r[0].as_i64().unwrap() % 11 == 0,
+        RatioHint::Explicit(0.09),
+    )
+    .unwrap();
 
     let mut expect = Vec::new();
     for i in 0..500i64 {
@@ -239,7 +259,11 @@ fn union_read_correctness_under_mixed_modifications() {
         })
     })
     .unwrap();
-    assert_eq!(first_five, vec![1, 2, 3, 4, 5], "row 0 deleted (0 % 11 == 0)");
+    assert_eq!(
+        first_five,
+        vec![1, 2, 3, 4, 5],
+        "row 0 deleted (0 % 11 == 0)"
+    );
 }
 
 /// Reopening a table over the same environment sees all data (metadata
