@@ -32,6 +32,12 @@ pub enum Error {
     Unsupported(String),
     /// A concurrent operation (e.g. COMPACT) holds an exclusive lock.
     Busy(String),
+    /// First-committer-wins MVCC conflict: another transaction committed a
+    /// write to this transaction's write set (or swung the generation
+    /// pointer) after this transaction's snapshot was pinned. Classified
+    /// [`ErrorClass::Transient`]: the losing session should re-begin on a
+    /// fresh snapshot and retry its statements.
+    Conflict(String),
     /// A component is temporarily unreachable or refusing service (e.g. a
     /// datanode timing out, a region server mid-restart). Classified
     /// [`ErrorClass::Transient`]: retrying the same operation may succeed.
@@ -81,6 +87,17 @@ impl Error {
         Error::Unavailable(msg.into())
     }
 
+    /// Shorthand for [`Error::Conflict`].
+    pub fn conflict(msg: impl Into<String>) -> Self {
+        Error::Conflict(msg.into())
+    }
+
+    /// `true` iff this is a first-committer-wins transaction conflict —
+    /// the canonical "retry on a fresh snapshot" signal.
+    pub fn is_conflict(&self) -> bool {
+        matches!(self, Error::Conflict(_))
+    }
+
     /// `true` iff this error came from a test fault plan.
     pub fn is_injected(&self) -> bool {
         matches!(self, Error::Injected(_))
@@ -90,9 +107,10 @@ impl Error {
     /// whether an operation is worth retrying (see `retry::RetryPolicy`).
     pub fn class(&self) -> ErrorClass {
         match self {
-            // A contended lock or an unreachable component may clear on a
-            // later attempt; everything else will fail the same way again.
-            Error::Unavailable(_) | Error::Busy(_) => ErrorClass::Transient,
+            // A contended lock, an unreachable component or a snapshot
+            // that lost a first-committer-wins race may clear on a later
+            // attempt; everything else will fail the same way again.
+            Error::Unavailable(_) | Error::Busy(_) | Error::Conflict(_) => ErrorClass::Transient,
             // Bad bytes stay bad: the fix is failover to another replica
             // (dfs) or quarantine (kvstore), never a blind retry.
             Error::Corrupt(_) => ErrorClass::Corrupt,
@@ -134,6 +152,7 @@ impl fmt::Display for Error {
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Busy(m) => write!(f, "busy: {m}"),
+            Error::Conflict(m) => write!(f, "transaction conflict: {m}"),
             Error::Unavailable(m) => write!(f, "unavailable: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
             Error::Injected(m) => write!(f, "injected fault: {m}"),
@@ -178,6 +197,12 @@ mod tests {
             Error::Busy("compact lock".into()).class(),
             ErrorClass::Transient
         );
+        assert_eq!(
+            Error::conflict("record 7 committed").class(),
+            ErrorClass::Transient
+        );
+        assert!(Error::conflict("x").is_conflict());
+        assert!(!Error::Busy("x".into()).is_conflict());
         assert_eq!(Error::corrupt("crc mismatch").class(), ErrorClass::Corrupt);
         assert_eq!(Error::injected("WriteError").class(), ErrorClass::Permanent);
         assert_eq!(Error::not_found("/x").class(), ErrorClass::Permanent);

@@ -31,6 +31,11 @@ pub struct HealthCounters {
     group_commits: AtomicU64,
     wal_fsyncs_saved: AtomicU64,
     parallel_replications: AtomicU64,
+    snapshots_pinned: AtomicU64,
+    ww_conflicts: AtomicU64,
+    swing_conflicts: AtomicU64,
+    generations_deferred: AtomicU64,
+    generations_gcd: AtomicU64,
     degraded: AtomicBool,
 }
 
@@ -121,6 +126,34 @@ impl HealthCounters {
         self.parallel_replications.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A reader or transaction pinned a snapshot epoch (MVCC).
+    pub fn record_snapshot_pinned(&self) {
+        self.snapshots_pinned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A transaction lost a first-committer-wins write-write race on a
+    /// record ID and was aborted with a retryable conflict.
+    pub fn record_ww_conflict(&self) {
+        self.ww_conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A generation-pointer swing (or a transaction racing one) lost to a
+    /// concurrent commit and was aborted with a retryable conflict.
+    pub fn record_swing_conflict(&self) {
+        self.swing_conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A superseded generation could not be deleted at swing time because
+    /// a pinned reader still needs it; its GC was deferred.
+    pub fn record_generation_deferred(&self) {
+        self.generations_deferred.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` superseded generations were physically garbage-collected.
+    pub fn record_generations_gcd(&self, n: u64) {
+        self.generations_gcd.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Sets or clears the degraded (read-only) flag for the tier.
     pub fn set_degraded(&self, degraded: bool) {
         self.degraded.store(degraded, Ordering::Relaxed);
@@ -151,6 +184,11 @@ impl HealthCounters {
             group_commits: self.group_commits.load(Ordering::Relaxed),
             wal_fsyncs_saved: self.wal_fsyncs_saved.load(Ordering::Relaxed),
             parallel_replications: self.parallel_replications.load(Ordering::Relaxed),
+            snapshots_pinned: self.snapshots_pinned.load(Ordering::Relaxed),
+            ww_conflicts: self.ww_conflicts.load(Ordering::Relaxed),
+            swing_conflicts: self.swing_conflicts.load(Ordering::Relaxed),
+            generations_deferred: self.generations_deferred.load(Ordering::Relaxed),
+            generations_gcd: self.generations_gcd.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
@@ -195,6 +233,16 @@ pub struct HealthSnapshot {
     pub wal_fsyncs_saved: u64,
     /// Blocks whose replica set was written concurrently.
     pub parallel_replications: u64,
+    /// Snapshot epochs pinned by readers and transactions (MVCC).
+    pub snapshots_pinned: u64,
+    /// Transactions aborted by a first-committer-wins record conflict.
+    pub ww_conflicts: u64,
+    /// Swings/transactions aborted by a generation-pointer race.
+    pub swing_conflicts: u64,
+    /// Generation GCs deferred because a pinned reader still needs them.
+    pub generations_deferred: u64,
+    /// Superseded generations physically garbage-collected.
+    pub generations_gcd: u64,
     /// Whether the tier is currently read-only.
     pub degraded: bool,
 }
@@ -221,6 +269,11 @@ impl HealthSnapshot {
             ("group_commits", self.group_commits),
             ("wal_fsyncs_saved", self.wal_fsyncs_saved),
             ("parallel_replications", self.parallel_replications),
+            ("snapshots_pinned", self.snapshots_pinned),
+            ("ww_conflicts", self.ww_conflicts),
+            ("swing_conflicts", self.swing_conflicts),
+            ("generations_deferred", self.generations_deferred),
+            ("generations_gcd", self.generations_gcd),
             ("degraded", u64::from(self.degraded)),
         ]
     }
@@ -250,6 +303,12 @@ mod tests {
         h.record_group_commit(3);
         h.record_group_commit(1);
         h.record_parallel_replication();
+        h.record_snapshot_pinned();
+        h.record_snapshot_pinned();
+        h.record_ww_conflict();
+        h.record_swing_conflict();
+        h.record_generation_deferred();
+        h.record_generations_gcd(3);
         h.set_degraded(true);
         let s = h.snapshot();
         assert_eq!(s.retries, 2);
@@ -268,6 +327,11 @@ mod tests {
         assert_eq!(s.group_commits, 2);
         assert_eq!(s.wal_fsyncs_saved, 2, "3-batch group saves 2 fsyncs");
         assert_eq!(s.parallel_replications, 1);
+        assert_eq!(s.snapshots_pinned, 2);
+        assert_eq!(s.ww_conflicts, 1);
+        assert_eq!(s.swing_conflicts, 1);
+        assert_eq!(s.generations_deferred, 1);
+        assert_eq!(s.generations_gcd, 3);
         assert!(s.degraded);
         h.set_degraded(false);
         assert!(!h.is_degraded());
@@ -280,8 +344,11 @@ mod tests {
             ..HealthSnapshot::default()
         };
         let metrics = s.metrics();
-        assert_eq!(metrics.len(), 18);
+        assert_eq!(metrics.len(), 23);
         assert!(metrics.contains(&("degraded", 1)));
+        assert!(metrics.contains(&("snapshots_pinned", 0)));
+        assert!(metrics.contains(&("ww_conflicts", 0)));
+        assert!(metrics.contains(&("generations_gcd", 0)));
         assert!(metrics.contains(&("cache_hits", 0)));
         assert!(metrics.contains(&("group_commits", 0)));
         assert!(metrics.contains(&("write_workers_used", 0)));

@@ -28,6 +28,7 @@ pub mod lru;
 pub mod record_id;
 pub mod retry;
 pub mod rng;
+pub mod seed_report;
 pub mod types;
 
 pub use clock::LogicalClock;
@@ -40,4 +41,5 @@ pub use lru::LruCache;
 pub use record_id::RecordId;
 pub use retry::RetryPolicy;
 pub use rng::Rng64;
+pub use seed_report::{seed_from_env, with_seed_repro};
 pub use types::{DataType, Field, Row, Schema, Value};

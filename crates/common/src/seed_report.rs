@@ -1,0 +1,129 @@
+//! Failing-seed reproducibility for randomized suites.
+//!
+//! The chaos, stress and crash-matrix suites all derive their behaviour
+//! from a single `u64` seed, but a bare assertion failure in CI tells the
+//! reader nothing about *which* seed died or how to replay it. Wrapping a
+//! seeded test body in [`with_seed_repro`] fixes that: on panic it prints
+//! the exact `SEED=<n> cargo test ...` command that reproduces the failure
+//! and writes the same line to `target/last_failed_seed.txt`, so a red CI
+//! run is one copy-paste away from a local repro.
+//!
+//! [`seed_from_env`] is the other half of the loop: suites read their
+//! starting seed through it, so the printed `SEED=` prefix actually works.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Name of the repro drop-file, relative to the cargo target directory.
+pub const LAST_FAILED_SEED_FILE: &str = "last_failed_seed.txt";
+
+/// Reads an override seed from the `SEED` environment variable, falling
+/// back to `default`. Accepts plain decimal or `0x`-prefixed hex.
+pub fn seed_from_env(default: u64) -> u64 {
+    match std::env::var("SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.unwrap_or(default)
+        }
+        Err(_) => default,
+    }
+}
+
+/// Locates the cargo target directory for the repro drop-file:
+/// `CARGO_TARGET_DIR` if set, else the nearest `target/` directory walking
+/// up from the current directory (tests run with the crate root as cwd, so
+/// a workspace build lands in `../../target`), else `./target`.
+fn target_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for _ in 0..4 {
+        let candidate = dir.join("target");
+        if candidate.is_dir() {
+            return candidate;
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from("target")
+}
+
+/// Runs `body(seed)`; if it panics, prints and records the one-command
+/// repro, then resumes the panic so the test still fails.
+///
+/// `package` and `test_file` name the failing integration-test target
+/// (`cargo test -p <package> --test <test_file> <test_name>`); `test_name`
+/// should be the `#[test]` function so the repro runs exactly one test.
+pub fn with_seed_repro(
+    package: &str,
+    test_file: &str,
+    test_name: &str,
+    seed: u64,
+    body: impl FnOnce(u64),
+) {
+    let result = panic::catch_unwind(AssertUnwindSafe(|| body(seed)));
+    if let Err(payload) = result {
+        let repro = format!(
+            "SEED={seed} cargo test -p {package} --test {test_file} {test_name} -- --nocapture"
+        );
+        eprintln!("\n=== seed repro ===\n{repro}\n==================");
+        let path = target_dir().join(LAST_FAILED_SEED_FILE);
+        if let Err(e) = std::fs::write(&path, format!("{repro}\n")) {
+            eprintln!("(could not write {}: {e})", path.display());
+        } else {
+            eprintln!("(repro written to {})", path.display());
+        }
+        panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_env_parsing() {
+        // No SEED in the test environment: default wins.
+        std::env::remove_var("SEED");
+        assert_eq!(seed_from_env(42), 42);
+        std::env::set_var("SEED", "7");
+        assert_eq!(seed_from_env(42), 7);
+        std::env::set_var("SEED", "0x10");
+        assert_eq!(seed_from_env(42), 16);
+        std::env::set_var("SEED", "junk");
+        assert_eq!(seed_from_env(42), 42);
+        std::env::remove_var("SEED");
+    }
+
+    #[test]
+    fn passing_body_writes_nothing_and_returns() {
+        let mut ran = false;
+        with_seed_repro("dt-common", "none", "none", 1, |s| {
+            assert_eq!(s, 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn failing_body_records_repro_command() {
+        let panicked = std::panic::catch_unwind(|| {
+            with_seed_repro("dualtable", "mvcc_stress", "stress_one_seed", 99, |_| {
+                panic!("boom");
+            });
+        });
+        assert!(panicked.is_err(), "panic must propagate");
+        let path = target_dir().join(LAST_FAILED_SEED_FILE);
+        let contents = std::fs::read_to_string(&path).expect("repro file written");
+        assert!(
+            contents.contains("SEED=99 cargo test -p dualtable --test mvcc_stress stress_one_seed"),
+            "unexpected repro line: {contents}"
+        );
+    }
+}

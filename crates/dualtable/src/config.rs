@@ -53,6 +53,12 @@ pub struct DualTableConfig {
     /// §12). `1` (or a single-file table) reproduces the sequential write
     /// path exactly. The commit step is always single-threaded regardless.
     pub write_threads: usize,
+    /// How many dead (superseded *and* unpinned) generations may linger
+    /// before the sweeper physically deletes them (DESIGN.md §13).
+    /// Generations pinned by live readers are always kept regardless;
+    /// `0` deletes dead generations as soon as they drain — the
+    /// single-session behaviour.
+    pub max_generations: usize,
 }
 
 impl Default for DualTableConfig {
@@ -72,6 +78,7 @@ impl Default for DualTableConfig {
             write_threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
+            max_generations: 0,
         }
     }
 }

@@ -9,6 +9,7 @@ use dt_dfs::{Dfs, DfsConfig};
 use dt_kvstore::{KvCluster, KvConfig};
 
 use crate::meta::MetadataManager;
+use crate::mvcc::MvccRegistry;
 
 /// Per-tier self-healing counters (see DESIGN.md §8) — the table behind
 /// `SHOW HEALTH`.
@@ -51,6 +52,10 @@ pub struct DualTableEnv {
     /// Table-tier self-healing counters (plan fallbacks, compact retries,
     /// deferred-cleanup debt). Shared by every table on this environment.
     pub health: Arc<HealthCounters>,
+    /// The process-wide MVCC registry (DESIGN.md §13): snapshot pins,
+    /// write-write conflict windows and deferred generation GC, shared by
+    /// every session on this environment.
+    pub mvcc: Arc<MvccRegistry>,
 }
 
 impl DualTableEnv {
@@ -97,6 +102,7 @@ impl DualTableEnv {
             kv,
             meta,
             health: Arc::new(HealthCounters::new()),
+            mvcc: Arc::new(MvccRegistry::new()),
         })
     }
 
@@ -118,6 +124,11 @@ impl DualTableEnv {
     pub fn crash_and_reopen(&self) -> Result<()> {
         self.kv.crash_and_reopen()?;
         self.dfs.crash_and_reopen()?;
+        // No session survives a crash: every pin, conflict window and
+        // staged file registered by the old process is gone. Durable
+        // cleanup (uncommitted transactional inserts) is handled by the
+        // intent cell on table open, not by this in-memory state.
+        self.mvcc.reset();
         Ok(())
     }
 

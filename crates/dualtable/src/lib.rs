@@ -49,8 +49,10 @@ mod config;
 mod cost;
 mod env;
 mod meta;
+mod mvcc;
 mod presence;
 mod store;
+mod txn;
 mod union_read;
 
 pub use attached::{AttachedEntry, DELETE_MARKER_QUALIFIER};
@@ -58,6 +60,8 @@ pub use config::{DualTableConfig, PlanMode};
 pub use cost::{CostModel, PlanChoice, Rates, RatioHint};
 pub use env::{DualTableEnv, HealthReport};
 pub use meta::MetadataManager;
+pub use mvcc::MvccRegistry;
 pub use presence::{FilePresence, PresenceIndex, PRESENCE_FILE_ID};
 pub use store::{Assignment, DmlReport, DualTableStore, PlanPreview, TableStats};
+pub use txn::{RewriteJob, Snapshot, Transaction};
 pub use union_read::UnionReadOptions;

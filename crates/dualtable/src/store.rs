@@ -1,6 +1,7 @@
 //! The DualTable store: master + attached storage, DML plans, COMPACT.
 
 use std::borrow::Cow;
+use std::collections::BTreeMap;
 use std::ops::ControlFlow;
 use std::sync::Arc;
 
@@ -14,10 +15,14 @@ use crate::attached::{delete_cell, update_cells};
 use crate::config::{DualTableConfig, PlanMode};
 use crate::cost::{CostModel, PlanChoice, RatioHint};
 use crate::env::DualTableEnv;
+use crate::mvcc::{
+    decode_txn_intent, encode_txn_intent, Conflict, TableMvcc, TXN_INTENT_QUALIFIER,
+};
 use crate::presence::{
     decode_count, encode_count, presence_key, presence_qualifier, FilePresence, PresenceDelta,
     PresenceIndex, PRESENCE_FILE_ID,
 };
+use crate::txn::{RewriteJob, RowPatch, Snapshot, Transaction};
 use crate::union_read::{merge_file, UnionReadOptions};
 
 /// Aggregate statistics of one DualTable.
@@ -80,6 +85,12 @@ struct Inner {
     /// Serializes the read-modify-write of presence-index counts across
     /// concurrent EDIT statements (which only hold `ops` in read mode).
     presence_lock: Mutex<()>,
+    /// This table's MVCC state (DESIGN.md §13): snapshot pins, conflict
+    /// windows, deferred-GC bookkeeping. Shared through the environment's
+    /// registry, so every clone and every session sees the same state.
+    /// Lock order: `ops` (read or write) before this state's mutex;
+    /// `presence_lock` may nest inside the state mutex.
+    mvcc: Arc<TableMvcc>,
 }
 
 /// One DualTable (see the crate docs for the model).
@@ -199,6 +210,8 @@ struct MasterWriteSink<'a> {
     writer: Option<OrcWriter>,
     in_file: usize,
     written: u64,
+    /// File IDs this sink created, in creation order.
+    created: Vec<u32>,
 }
 
 impl<'a> MasterWriteSink<'a> {
@@ -227,6 +240,7 @@ impl<'a> MasterWriteSink<'a> {
             writer: None,
             in_file: 0,
             written: 0,
+            created: Vec::new(),
         }
     }
 
@@ -234,6 +248,7 @@ impl<'a> MasterWriteSink<'a> {
         let inner = &self.store.inner;
         if self.writer.is_none() {
             let file_id = self.alloc.next(self.store)?;
+            self.created.push(file_id);
             let mut w = OrcWriter::create(
                 &inner.env.dfs,
                 &self.store.file_path_at(self.gen, file_id),
@@ -261,6 +276,16 @@ impl<'a> MasterWriteSink<'a> {
             w.finish()?;
         }
         Ok(self.written)
+    }
+
+    /// [`MasterWriteSink::finish`] that also reports which file IDs the
+    /// sink created — for callers that register file visibility with the
+    /// MVCC state or write a transactional-insert undo intent.
+    fn finish_with_ids(mut self) -> Result<(u64, Vec<u32>)> {
+        if let Some(w) = self.writer.take() {
+            w.finish()?;
+        }
+        Ok((self.written, std::mem::take(&mut self.created)))
     }
 }
 
@@ -299,13 +324,16 @@ impl DualTableStore {
                 config,
                 ops: RwLock::new(()),
                 presence_lock: Mutex::new(()),
+                mvcc: env.mvcc.table(name),
             }),
         })
     }
 
     /// Opens an existing DualTable. Retries any garbage collection a
     /// previous swap left behind (post-commit cleanup is best-effort; the
-    /// debt is recorded in the health counters and settled here).
+    /// debt is recorded in the health counters and settled here), and
+    /// undoes any transactional insert whose intent cell survived a crash
+    /// (the transaction never committed; its files must not reappear).
     pub fn open(
         env: &DualTableEnv,
         name: &str,
@@ -325,12 +353,74 @@ impl DualTableStore {
                 config,
                 ops: RwLock::new(()),
                 presence_lock: Mutex::new(()),
+                mvcc: env.mvcc.table(name),
             }),
         };
+        store.recover_txn_intents();
         if let Ok(gen) = store.current_gen() {
             store.cleanup_stale_generations(gen);
         }
         Ok(store)
+    }
+
+    /// Undoes a transactional insert interrupted between its durable
+    /// intent write and its commit: the intent cell lists the master files
+    /// the commit was about to publish; none of them committed, so delete
+    /// them and the intent. Best-effort like all recovery cleanup —
+    /// failures are recorded as cleanup debt and retried on the next open
+    /// (an undeleted file stays invisible anyway until the intent cell is
+    /// gone, and the intent is deleted last).
+    fn recover_txn_intents(&self) {
+        // A live pin means a session of this process is mid-transaction;
+        // its intent is not crash debris. (After a real crash the registry
+        // is empty, so recovery always runs.)
+        if self.inner.mvcc.lock().pin_count() > 0 {
+            return;
+        }
+        let Ok(attached) = self.attached() else {
+            return;
+        };
+        if attached.is_empty() {
+            return;
+        }
+        let intent_row = RecordId::new(PRESENCE_FILE_ID, 0);
+        let Ok(scan) = attached.scan_at(
+            Some(&intent_row.to_key()[..]),
+            Some(&RecordId::new(PRESENCE_FILE_ID, 1).to_key()[..]),
+            u64::MAX,
+        ) else {
+            self.inner.env.health.record_cleanup_failure();
+            return;
+        };
+        for row in scan {
+            let Ok(row) = row else {
+                self.inner.env.health.record_cleanup_failure();
+                return;
+            };
+            for (qual, _ts, value) in &row.cells {
+                if !qual.starts_with(&TXN_INTENT_QUALIFIER) {
+                    continue;
+                }
+                let Some((gen, file_ids)) = decode_txn_intent(value) else {
+                    self.inner.env.health.record_cleanup_failure();
+                    continue;
+                };
+                let mut undone = true;
+                for id in file_ids {
+                    let path = self.file_path_at(gen, id);
+                    if self.inner.env.dfs.exists(&path) && self.inner.env.dfs.delete(&path).is_err()
+                    {
+                        self.inner.env.health.record_cleanup_failure();
+                        undone = false;
+                    }
+                }
+                // The intent is deleted last, so a partial undo keeps it
+                // and the next open retries the whole thing.
+                if undone && attached.delete_cell(&intent_row.to_key(), qual).is_err() {
+                    self.inner.env.health.record_cleanup_failure();
+                }
+            }
+        }
     }
 
     /// Drops the table: master files and the attached table (paper §III-C,
@@ -347,7 +437,9 @@ impl DualTableStore {
         self.inner
             .env
             .kv
-            .drop_table(&Self::attached_name(&self.inner.name))
+            .drop_table(&Self::attached_name(&self.inner.name))?;
+        self.inner.env.mvcc.remove(&self.inner.name);
+        Ok(())
     }
 
     /// Table name.
@@ -430,7 +522,14 @@ impl DualTableStore {
             })
             .max()
             .unwrap_or(0);
-        Ok(committed.max(max_present) + 1)
+        // Also stay clear of any generation number reserved for an
+        // off-to-the-side build this process knows about — a zero-row
+        // build leaves no directory for the listing to see.
+        Ok(self
+            .inner
+            .mvcc
+            .lock()
+            .observe_build_gen(committed.max(max_present) + 1))
     }
 
     /// Best-effort removal of every master file outside `current` —
@@ -440,6 +539,9 @@ impl DualTableStore {
     /// generations are unreachable in the meantime. Returns how many
     /// deletes failed.
     fn cleanup_stale_generations(&self, current: u64) -> u64 {
+        // Generations pinned by live snapshots, parked for deferred GC or
+        // being built off to the side are not stale, merely not current.
+        let protected = self.inner.mvcc.lock().protected_gens();
         let prefix = format!("{}/gen-", Self::master_dir(&self.inner.name));
         let mut failed = 0u64;
         for path in self.inner.env.dfs.list(&prefix) {
@@ -447,10 +549,16 @@ impl DualTableStore {
                 .strip_prefix(&prefix)
                 .and_then(|rest| rest.split('/').next())
                 .and_then(|g| g.parse::<u64>().ok())
-                .is_some_and(|g| g != current);
-            if stale && self.inner.env.dfs.delete(&path).is_err() {
+                .is_some_and(|g| g != current && !protected.contains(&g));
+            if !stale {
+                continue;
+            }
+            if self.inner.env.dfs.delete(&path).is_err() {
                 self.inner.env.health.record_cleanup_failure();
                 failed += 1;
+            } else {
+                // The path can never be opened again; retire its footer.
+                self.inner.footers.invalidate_prefix(&path);
             }
         }
         failed
@@ -469,10 +577,29 @@ impl DualTableStore {
     {
         let _guard = self.inner.ops.read();
         let gen = self.current_gen()?;
-        self.write_master_files(gen, rows)
+        let (written, ids) = self.write_master_files_tracked(gen, rows)?;
+        // Autocommit: the files become visible at a fresh timestamp, so a
+        // snapshot pinned before this insert never sees them (files the
+        // MVCC state has never heard of default to always-visible, which
+        // is why registration must happen on every insert path).
+        let ts = self.inner.env.kv.clock().tick();
+        let mut st = self.inner.mvcc.lock();
+        st.commit_files(gen, ids, ts);
+        // Bump the edit clock too: a two-phase rewrite pinned before this
+        // insert must conflict at finish, or its swing would silently drop
+        // these files (they only exist in the generation it replaces).
+        st.note_edit_commit([], ts);
+        Ok(written)
     }
 
     fn write_master_files<I>(&self, gen: u64, rows: I) -> Result<u64>
+    where
+        I: IntoIterator<Item = Row>,
+    {
+        Ok(self.write_master_files_tracked(gen, rows)?.0)
+    }
+
+    fn write_master_files_tracked<I>(&self, gen: u64, rows: I) -> Result<(u64, Vec<u32>)>
     where
         I: IntoIterator<Item = Row>,
     {
@@ -480,7 +607,7 @@ impl DualTableStore {
         for row in rows {
             sink.push(row)?;
         }
-        sink.finish()
+        sink.finish_with_ids()
     }
 
     /// Replaces the whole table content (Hive's `INSERT OVERWRITE TABLE`):
@@ -516,8 +643,45 @@ impl DualTableStore {
         self.for_each_locked(opts, &mut f)
     }
 
+    /// UNION READ at a pinned epoch (`opts.snapshot_ts` must be the pin's
+    /// timestamp). Takes the ops lock in read mode like any scan — pinned
+    /// readers don't block EDIT writers, only rewrites' commit step.
+    pub(crate) fn pinned_for_each(
+        &self,
+        gen: u64,
+        opts: &UnionReadOptions,
+        f: &mut dyn FnMut(RecordId, Row) -> Result<ControlFlow<()>>,
+    ) -> Result<()> {
+        let _guard = self.inner.ops.read();
+        self.for_each_at(gen, opts, f)
+    }
+
     fn for_each_locked(
         &self,
+        opts: &UnionReadOptions,
+        f: &mut dyn FnMut(RecordId, Row) -> Result<ControlFlow<()>>,
+    ) -> Result<()> {
+        let gen = self.current_gen()?;
+        self.for_each_at(gen, opts, f)
+    }
+
+    /// The master file IDs of `gen` visible to a snapshot at `at_ts`:
+    /// everything in the directory except files some in-flight (or
+    /// later-committed) transactional insert staged after the snapshot.
+    fn visible_files(&self, gen: u64, at_ts: u64) -> Vec<u32> {
+        let files = self.master_file_ids_at(gen);
+        let st = self.inner.mvcc.lock();
+        files
+            .into_iter()
+            .filter(|&id| st.file_visible(gen, id, at_ts))
+            .collect()
+    }
+
+    /// [`DualTableStore::for_each_locked`] at an explicit `(generation,
+    /// opts.snapshot_ts)` epoch — the pinned-snapshot scan path.
+    fn for_each_at(
+        &self,
+        gen: u64,
         opts: &UnionReadOptions,
         f: &mut dyn FnMut(RecordId, Row) -> Result<ControlFlow<()>>,
     ) -> Result<()> {
@@ -527,8 +691,7 @@ impl DualTableStore {
         };
         let attached_store = self.attached()?;
         let presence = self.load_presence(&attached_store)?;
-        let gen = self.current_gen()?;
-        for file_id in self.master_file_ids_at(gen) {
+        for file_id in self.visible_files(gen, opts.snapshot_ts) {
             let reader = self.open_master(gen, file_id)?;
             let attached = if file_is_clean(presence.as_ref(), file_id) {
                 self.inner.env.health.record_attached_scan_skipped();
@@ -596,6 +759,11 @@ impl DualTableStore {
             let row = row?;
             let record = RecordId::from_key(&row.row)
                 .ok_or_else(|| Error::corrupt("presence row key is not a record ID"))?;
+            if record.row == 0 {
+                // `{0, 0}` is the transactional-insert intent cell, not a
+                // presence row (real file IDs start at 1).
+                continue;
+            }
             let mut presence = FilePresence::default();
             for (qual, _ts, value) in &row.cells {
                 match presence_column(qual)? {
@@ -657,8 +825,10 @@ impl DualTableStore {
         let presence = Arc::new(self.load_presence(&attached_store)?);
         let snapshot_ts = opts.snapshot_ts;
         let gen = self.current_gen()?;
-        let per_file =
-            dt_engine::parallel_map_fallible(job, self.master_file_ids_at(gen), |file_id| {
+        let per_file = dt_engine::parallel_map_fallible(
+            job,
+            self.visible_files(gen, snapshot_ts),
+            |file_id| {
                 let projection = Arc::clone(&projection);
                 let predicates = predicates.clone();
                 let presence = Arc::clone(&presence);
@@ -689,7 +859,8 @@ impl DualTableStore {
                 )?;
                 debug_assert!(flow.is_continue(), "collector never breaks");
                 Ok(out)
-            })?;
+            },
+        )?;
         Ok(per_file.into_iter().flatten().collect())
     }
 
@@ -937,6 +1108,8 @@ impl DualTableStore {
         let mut batch: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)> = Vec::new();
         let mut delta = PresenceDelta::new();
         let mut flush_err: Option<Error> = None;
+        let mut touched: Vec<u64> = Vec::new();
+        let mut last_ts = 0u64;
         let attached = self.attached()?;
         self.for_each_locked(&UnionReadOptions::all(), &mut |record, row| {
             scanned += 1;
@@ -953,11 +1126,15 @@ impl DualTableStore {
                     }
                     delta.add_updates(record.file_id, *col, 1);
                 }
+                touched.push(record.as_u64());
                 batch.extend(update_cells(record, &values));
                 if batch.len() >= 4096 {
-                    if let Err(e) = self.flush_edit_batch(&attached, &mut batch, &mut delta) {
-                        flush_err = Some(e);
-                        return Ok(ControlFlow::Break(()));
+                    match self.flush_edit_batch(&attached, &mut batch, &mut delta) {
+                        Ok(ts) => last_ts = last_ts.max(ts),
+                        Err(e) => {
+                            flush_err = Some(e);
+                            return Ok(ControlFlow::Break(()));
+                        }
                     }
                 }
             }
@@ -966,7 +1143,14 @@ impl DualTableStore {
         if let Some(e) = flush_err {
             return Err(e);
         }
-        self.flush_edit_batch(&attached, &mut batch, &mut delta)?;
+        let ts = self.flush_edit_batch(&attached, &mut batch, &mut delta)?;
+        last_ts = last_ts.max(ts);
+        if matched > 0 {
+            // Autocommit EDITs enter the conflict window too: a
+            // transaction pinned before this statement must not silently
+            // overwrite rows it changed.
+            self.inner.mvcc.lock().note_edit_commit(touched, last_ts);
+        }
         Ok((matched, scanned))
     }
 
@@ -975,14 +1159,15 @@ impl DualTableStore {
     /// record, so the index can never drift from the data (see
     /// [`crate::presence`]). The read-modify-write of the counts is
     /// serialized against concurrent EDIT statements by `presence_lock`.
+    /// Returns the batch's commit timestamp (`0` for an empty batch).
     fn flush_edit_batch(
         &self,
         attached: &dt_kvstore::Store,
         batch: &mut Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
         delta: &mut PresenceDelta,
-    ) -> Result<()> {
+    ) -> Result<u64> {
         if batch.is_empty() && delta.is_empty() {
-            return Ok(());
+            return Ok(0);
         }
         let _presence_guard = self.inner.presence_lock.lock();
         let mut cells = std::mem::take(batch);
@@ -995,8 +1180,7 @@ impl DualTableStore {
             };
             cells.push((key.to_vec(), qual.to_vec(), encode_count(current + n)));
         }
-        attached.put_batch(cells)?;
-        Ok(())
+        attached.put_batch(cells)
     }
 
     /// OVERWRITE plan for UPDATE: Hive's INSERT OVERWRITE — rewrite the
@@ -1135,17 +1319,23 @@ impl DualTableStore {
         let mut batch: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)> = Vec::new();
         let mut delta = PresenceDelta::new();
         let mut flush_err: Option<Error> = None;
+        let mut touched: Vec<u64> = Vec::new();
+        let mut last_ts = 0u64;
         let attached = self.attached()?;
         self.for_each_locked(&UnionReadOptions::all(), &mut |record, row| {
             scanned += 1;
             if predicate(&row) {
                 matched += 1;
+                touched.push(record.as_u64());
                 batch.push(delete_cell(record));
                 delta.add_delete(record.file_id);
                 if batch.len() >= 4096 {
-                    if let Err(e) = self.flush_edit_batch(&attached, &mut batch, &mut delta) {
-                        flush_err = Some(e);
-                        return Ok(ControlFlow::Break(()));
+                    match self.flush_edit_batch(&attached, &mut batch, &mut delta) {
+                        Ok(ts) => last_ts = last_ts.max(ts),
+                        Err(e) => {
+                            flush_err = Some(e);
+                            return Ok(ControlFlow::Break(()));
+                        }
                     }
                 }
             }
@@ -1154,7 +1344,11 @@ impl DualTableStore {
         if let Some(e) = flush_err {
             return Err(e);
         }
-        self.flush_edit_batch(&attached, &mut batch, &mut delta)?;
+        let ts = self.flush_edit_batch(&attached, &mut batch, &mut delta)?;
+        last_ts = last_ts.max(ts);
+        if matched > 0 {
+            self.inner.mvcc.lock().note_edit_commit(touched, last_ts);
+        }
         Ok((matched, scanned))
     }
 
@@ -1287,7 +1481,23 @@ impl DualTableStore {
         F: Fn(RecordId, Row) -> Result<(Option<Row>, bool)> + Sync,
     {
         let gen = self.current_gen()?;
-        let files = self.master_file_ids_at(gen);
+        self.parallel_rewrite_from(gen, u64::MAX, next, transform)
+    }
+
+    /// [`Self::parallel_rewrite`] reading from an explicit `(source_gen,
+    /// at_ts)` epoch — the two-phase COMPACT/OVERWRITE build path, which
+    /// materializes its pinned snapshot rather than "latest".
+    fn parallel_rewrite_from<F>(
+        &self,
+        gen: u64,
+        at_ts: u64,
+        next: u64,
+        transform: &F,
+    ) -> Result<(u64, u64, u64)>
+    where
+        F: Fn(RecordId, Row) -> Result<(Option<Row>, bool)> + Sync,
+    {
+        let files = self.visible_files(gen, at_ts);
         if files.is_empty() {
             return Ok((0, 0, 0));
         }
@@ -1322,7 +1532,7 @@ impl DualTableStore {
                     Some(attached_store.scan_at(
                         Some(&RecordId::file_start(file_id).to_key()[..]),
                         Some(&RecordId::file_start(file_id.wrapping_add(1)).to_key()[..]),
-                        u64::MAX,
+                        at_ts,
                     )?)
                 };
                 let flow = merge_file(
@@ -1397,31 +1607,176 @@ impl DualTableStore {
         Ok(partitions)
     }
 
-    /// The commit point of a rewrite plus its post-commit cleanup. The
-    /// cleanup is best-effort, but failures are never silent: each one is
-    /// recorded as cleanup debt in the health counters, and the next
-    /// swap or [`DualTableStore::open`] retries the collection.
+    /// The commit point of a same-thread rewrite (caller holds the write
+    /// lock and read "latest", so nothing can have raced it) plus its
+    /// post-commit cleanup.
     fn commit_and_cleanup(&self, next: u64) -> Result<()> {
-        // The commit point.
-        self.inner
-            .env
-            .meta
-            .commit_generation(&self.inner.name, next)?;
-        // Retired generations' footers can never be opened again (their
-        // paths are about to be deleted). The just-committed generation has
-        // no cached parses yet — its files were only ever written — so
-        // dropping the whole table prefix retires exactly the stale ones.
-        self.inner
-            .footers
-            .invalidate_prefix(&format!("{}/", Self::master_dir(&self.inner.name)));
-        // Stale attached overlays reference retired file IDs and can never
-        // resolve against the new files, so a failed truncate degrades
-        // space, not correctness. The presence index lives inside the
-        // attached table, so the truncate resets it for free.
-        if self.truncate_attached().is_err() {
-            self.inner.env.health.record_cleanup_failure();
+        self.commit_generation_mvcc(next, u64::MAX, None)
+    }
+
+    /// Swings the generation pointer to `next` against the MVCC state:
+    ///
+    /// 1. Under the state mutex, verify nothing committed after
+    ///    `snapshot_ts` (the epoch the new generation was derived from —
+    ///    any later EDIT would be silently lost by the swing). Losers get
+    ///    a retryable [`Error::Conflict`] and the old generation stays
+    ///    live.
+    /// 2. Commit the pointer (one durable metadata put — THE commit
+    ///    point), stamp the swing, and either hand the old generation to
+    ///    the sweeper or — if another session still pins it — park it for
+    ///    deferred GC. `own_pin_ts` is the swinging job's build pin, which
+    ///    must not count as such a reader.
+    /// 3. Outside the mutex, run best-effort cleanup: attached-tier
+    ///    truncate when no old pin needs the overlays, stale-directory
+    ///    sweep, and the deferred-GC sweeper. Failures are recorded as
+    ///    cleanup debt, never silent.
+    ///
+    /// Cached footers are invalidated per retired path at deletion time —
+    /// not by whole-table purge — so pinned readers keep their cache
+    /// entries across other sessions' swings.
+    fn commit_generation_mvcc(
+        &self,
+        next: u64,
+        snapshot_ts: u64,
+        own_pin_ts: Option<u64>,
+    ) -> Result<()> {
+        let truncate_ok;
+        {
+            let mut st = self.inner.mvcc.lock();
+            if snapshot_ts != u64::MAX
+                && (st.conflict_since(snapshot_ts, &[]).is_some() || st.edits_since(snapshot_ts))
+            {
+                self.inner.env.health.record_swing_conflict();
+                return Err(Error::conflict(format!(
+                    "generation swing abandoned: writes committed after snapshot {snapshot_ts}"
+                )));
+            }
+            let old_gen = self.current_gen()?;
+            // The commit point. Still under the state mutex: a concurrent
+            // EDIT commit must observe either (old pointer, no swing
+            // stamp) or (new pointer, swing stamp), never a torn mix.
+            self.inner
+                .env
+                .meta
+                .commit_generation(&self.inner.name, next)?;
+            let swing_ts = self.inner.env.kv.clock().tick();
+            // Past the commit point: nothing may fail the swing any more.
+            // A floor we cannot compute degrades to 0 — attached rows of
+            // retired files leak (space, not correctness) as cleanup debt.
+            let floor = self.generation_floor(next).unwrap_or_else(|_| {
+                self.inner.env.health.record_cleanup_failure();
+                0
+            });
+            let deferred = st.note_swing(old_gen, next, swing_ts, floor, own_pin_ts);
+            if deferred {
+                self.inner.env.health.record_generation_deferred();
+            }
+            // Whole-table truncate (the fast path that also resets the
+            // presence index) is only sound when no reader can still need
+            // the old overlays.
+            truncate_ok = !deferred && st.retired_count() == 0;
+            if truncate_ok {
+                st.clear_attached_floor();
+            }
+        }
+        if truncate_ok {
+            // Stale attached overlays reference retired file IDs and can
+            // never resolve against the new files, so a failed truncate
+            // degrades space, not correctness. The presence index lives
+            // inside the attached table, so the truncate resets it for
+            // free.
+            if self.truncate_attached().is_err() {
+                self.inner.env.health.record_cleanup_failure();
+            }
         }
         self.cleanup_stale_generations(next);
+        self.sweep_gc();
+        Ok(())
+    }
+
+    /// The lowest file ID belonging to generation `next` — every ID below
+    /// it is retired with the superseded generations, and its attached
+    /// cells become collectible once the last old-generation pin drains.
+    /// An empty new generation retires *all* existing IDs: reserve a fresh
+    /// one as the floor.
+    fn generation_floor(&self, next: u64) -> Result<u32> {
+        match self.master_file_ids_at(next).into_iter().min() {
+            Some(min) => Ok(min),
+            None => self.inner.env.meta.reserve_file_ids(&self.inner.name, 1),
+        }
+    }
+
+    /// Runs the deferred-GC sweeper: physically deletes dead (superseded,
+    /// unpinned) generations past the `max_generations` budget and, once
+    /// no old-generation pin remains, the retired attached-tier rows.
+    /// Best-effort; failures become cleanup debt and the files remain
+    /// protected stale directories for the next sweep.
+    fn sweep_gc(&self) {
+        let (gens, floor) = self
+            .inner
+            .mvcc
+            .lock()
+            .take_sweepable(self.inner.config.max_generations);
+        let mut gcd = 0u64;
+        for gen in gens {
+            let dir = format!("{}/", self.gen_dir(gen));
+            self.inner.footers.invalidate_prefix(&dir);
+            let mut ok = true;
+            for path in self.inner.env.dfs.list(&dir) {
+                if self.inner.env.dfs.delete(&path).is_err() {
+                    self.inner.env.health.record_cleanup_failure();
+                    ok = false;
+                }
+            }
+            if ok {
+                gcd += 1;
+            }
+        }
+        if gcd > 0 {
+            self.inner.env.health.record_generations_gcd(gcd);
+        }
+        if let Some(floor) = floor {
+            if self.collect_attached_below(floor).is_err() {
+                self.inner.env.health.record_cleanup_failure();
+            }
+        }
+    }
+
+    /// Deletes the attached-tier rows of retired file IDs (everything
+    /// strictly below `floor`): their presence rows and their data rows.
+    /// Ranged, not a truncate — file IDs at or above the floor belong to
+    /// live generations and keep their overlays.
+    fn collect_attached_below(&self, floor: u32) -> Result<()> {
+        if floor <= 1 {
+            return Ok(());
+        }
+        let attached = self.attached()?;
+        if attached.is_empty() {
+            return Ok(());
+        }
+        let mut rows: Vec<Vec<u8>> = Vec::new();
+        // Presence rows {0, 1} .. {0, floor} — the intent row {0, 0} and
+        // live files' rows stay.
+        let scan = attached.scan_at(
+            Some(&presence_key(1)[..]),
+            Some(&presence_key(floor)[..]),
+            u64::MAX,
+        )?;
+        for row in scan {
+            rows.push(row?.row);
+        }
+        // Data rows {1, 0} .. {floor, 0}.
+        let scan = attached.scan_at(
+            Some(&RecordId::file_start(1).to_key()[..]),
+            Some(&RecordId::file_start(floor).to_key()[..]),
+            u64::MAX,
+        )?;
+        for row in scan {
+            rows.push(row?.row);
+        }
+        if !rows.is_empty() {
+            attached.delete_rows(rows)?;
+        }
         Ok(())
     }
 
@@ -1444,6 +1799,303 @@ impl DualTableStore {
         // Identity transform: COMPACT materializes the UNION READ as-is.
         self.parallel_rewrite(next, &|_, row| Ok((Some(row), false)))?;
         self.commit_and_cleanup(next)
+    }
+
+    // ------------------------------------------------------------------
+    // MVCC sessions (DESIGN.md §13)
+    // ------------------------------------------------------------------
+
+    /// Pins a read snapshot at the current `(generation, timestamp)`.
+    /// The snapshot sees exactly this state until dropped, never blocks
+    /// writers, and holds its generation's files against GC.
+    pub fn begin_snapshot(&self) -> Result<Snapshot> {
+        let mut st = self.inner.mvcc.lock();
+        let gen = self.current_gen()?;
+        // Ticked under the state mutex: commits hold this mutex across
+        // their batch write, so a pin timestamp never lands inside a
+        // commit's cell-timestamp range — each commit is entirely visible
+        // or entirely invisible to every snapshot.
+        let ts = self.inner.env.kv.clock().tick();
+        st.pin(gen, ts);
+        drop(st);
+        self.inner.env.health.record_snapshot_pinned();
+        Ok(Snapshot::new(self.clone(), gen, ts))
+    }
+
+    /// Begins a snapshot-isolation transaction (see [`Transaction`]).
+    pub fn begin_transaction(&self) -> Result<Transaction> {
+        Ok(Transaction::new(self.begin_snapshot()?))
+    }
+
+    /// Releases the pin taken at `ts` and sweeps any generation whose
+    /// last pin just drained.
+    pub(crate) fn release_pin(&self, ts: u64) {
+        self.inner.mvcc.lock().unpin(ts);
+        self.sweep_gc();
+    }
+
+    /// Live snapshot pins on this table (diagnostics and tests).
+    pub fn pinned_snapshots(&self) -> usize {
+        self.inner.mvcc.lock().pin_count()
+    }
+
+    /// Retired generations currently kept alive for pinned readers
+    /// (diagnostics and tests).
+    pub fn retired_generations(&self) -> usize {
+        self.inner.mvcc.lock().retired_count()
+    }
+
+    /// Starts a two-phase COMPACT: pins a snapshot and rewrites it into a
+    /// fresh generation off to the side *without* blocking concurrent DML
+    /// (only the ops read lock is held, like any scan). The returned
+    /// [`RewriteJob`] must be `finish()`ed to swing the pointer — which
+    /// fails with a retryable [`Error::Conflict`] if anything committed
+    /// since the pin.
+    pub fn begin_compact(&self) -> Result<RewriteJob> {
+        self.begin_rewrite_job(|store, snapshot, next| {
+            store
+                .parallel_rewrite_from(snapshot.generation(), snapshot.ts(), next, &|_, row| {
+                    Ok((Some(row), false))
+                })
+                .map(|(written, _, _)| written)
+        })
+    }
+
+    /// Starts a two-phase INSERT OVERWRITE: writes `rows` as a fresh
+    /// generation off to the side. Like [`DualTableStore::begin_compact`],
+    /// the swing happens at [`RewriteJob::finish`] and loses to any
+    /// concurrent commit.
+    pub fn begin_insert_overwrite(&self, rows: Vec<Row>) -> Result<RewriteJob> {
+        self.begin_rewrite_job(move |store, _snapshot, next| {
+            store.write_master_files(next, rows.clone())
+        })
+    }
+
+    /// Common scaffolding of the two-phase rewrites: pin, reserve a build
+    /// generation (protected from cleanup while in progress), build, and
+    /// on build failure delete the half-built generation.
+    fn begin_rewrite_job(
+        &self,
+        build: impl Fn(&DualTableStore, &Snapshot, u64) -> Result<u64>,
+    ) -> Result<RewriteJob> {
+        let snapshot = self.begin_snapshot()?;
+        let _guard = self.inner.ops.read();
+        let next = self.next_generation()?;
+        self.inner.mvcc.lock().register_build(next);
+        match build(self, &snapshot, next) {
+            Ok(written) => Ok(RewriteJob::new(snapshot, next, written)),
+            Err(e) => {
+                self.abandon_rewrite(next);
+                Err(e)
+            }
+        }
+    }
+
+    /// Swings the pointer to a finished two-phase build. On conflict (any
+    /// commit since the build's pin) the built generation is deleted and
+    /// the error is retryable.
+    pub(crate) fn finish_rewrite(&self, next: u64, pin_ts: u64) -> Result<()> {
+        let _guard = self.inner.ops.write();
+        let result = self.commit_generation_mvcc(next, pin_ts, Some(pin_ts));
+        if result.is_err() {
+            self.abandon_rewrite(next);
+        }
+        result
+    }
+
+    /// Deletes an abandoned (never-committed) build generation. Unlike the
+    /// sweeper this never counts toward `generations_gcd` — the generation
+    /// was never live.
+    pub(crate) fn abandon_rewrite(&self, next: u64) {
+        self.inner.mvcc.lock().finish_build(next);
+        let dir = format!("{}/", self.gen_dir(next));
+        self.inner.footers.invalidate_prefix(&dir);
+        for path in self.inner.env.dfs.list(&dir) {
+            if self.inner.env.dfs.delete(&path).is_err() {
+                self.inner.env.health.record_cleanup_failure();
+            }
+        }
+    }
+
+    fn conflict_error(&self, conflict: Conflict, pin_ts: u64) -> Error {
+        match conflict {
+            Conflict::Swing => {
+                self.inner.env.health.record_swing_conflict();
+                Error::conflict(format!(
+                    "transaction pinned at {pin_ts} lost to a generation swing"
+                ))
+            }
+            Conflict::Record(id) => {
+                self.inner.env.health.record_ww_conflict();
+                let record = RecordId::from_u64(id);
+                Error::conflict(format!(
+                    "write-write conflict: record {{file {}, row {}}} committed after snapshot {pin_ts}",
+                    record.file_id, record.row
+                ))
+            }
+        }
+    }
+
+    /// Best-effort undo of a transactional insert that failed before its
+    /// commit batch: delete the written files, forget their staging, and
+    /// remove the durable intent. Any residue is re-collected by
+    /// [`Self::recover_txn_intents`] on the next open (the files stay
+    /// invisible either way — they are only reachable via staging that is
+    /// being forgotten, and a forgotten *existing* file would be visible,
+    /// which is why files are deleted before unstaging).
+    fn undo_staged_insert(
+        &self,
+        attached: &dt_kvstore::Store,
+        gen: u64,
+        staged: &[u32],
+        intent_qual: &[u8],
+    ) {
+        if staged.is_empty() {
+            return;
+        }
+        let mut all_deleted = true;
+        for &id in staged {
+            let path = self.file_path_at(gen, id);
+            if self.inner.env.dfs.exists(&path) && self.inner.env.dfs.delete(&path).is_err() {
+                self.inner.env.health.record_cleanup_failure();
+                all_deleted = false;
+            }
+        }
+        if all_deleted {
+            self.inner
+                .mvcc
+                .lock()
+                .unstage_files(gen, staged.iter().copied());
+            let intent_row = RecordId::new(PRESENCE_FILE_ID, 0).to_key();
+            if attached.delete_cell(&intent_row, intent_qual).is_err() {
+                self.inner.env.health.record_cleanup_failure();
+            }
+        }
+    }
+
+    /// Commits a transaction's buffered effects atomically:
+    ///
+    /// 1. Transactional inserts are written as staged (invisible) master
+    ///    files under a durable undo intent.
+    /// 2. Under the state mutex, the first-committer-wins check runs and —
+    ///    if it passes — every buffered cell, the presence increments they
+    ///    imply and the intent removal land in ONE WAL-atomic attached
+    ///    batch. The batch's timestamp is the commit timestamp: snapshots
+    ///    pinned before it see none of the transaction, later ones all of
+    ///    it.
+    ///
+    /// Returns the commit timestamp.
+    pub(crate) fn commit_transaction(
+        &self,
+        pin_gen: u64,
+        pin_ts: u64,
+        overlay: &BTreeMap<RecordId, RowPatch>,
+        inserts: &[Row],
+    ) -> Result<u64> {
+        if overlay.is_empty() && inserts.is_empty() {
+            return Ok(pin_ts);
+        }
+        let _guard = self.inner.ops.read();
+        let attached = self.attached()?;
+        let write_set: Vec<u64> = overlay.keys().map(|r| r.as_u64()).collect();
+        let intent_row = RecordId::new(PRESENCE_FILE_ID, 0).to_key();
+
+        // Phase 1 — transactional inserts: reserve IDs, write the durable
+        // undo intent, stage the IDs (invisible to every snapshot), then
+        // write the files. Scans are only blocked for the brief staging
+        // step, not the file writes.
+        let mut staged: Vec<u32> = Vec::new();
+        let mut intent_qual: Vec<u8> = Vec::new();
+        if !inserts.is_empty() {
+            let rows_per_file = self.inner.config.rows_per_file.max(1);
+            let files = u32::try_from(inserts.len().div_ceil(rows_per_file))
+                .map_err(|_| Error::internal("transactional insert needs too many files"))?;
+            let first = self
+                .inner
+                .env
+                .meta
+                .reserve_file_ids(&self.inner.name, files)?;
+            staged = (first..first + files).collect();
+            intent_qual = crate::mvcc::txn_intent_qualifier(first);
+            attached.put(
+                &intent_row,
+                &intent_qual,
+                &encode_txn_intent(pin_gen, &staged),
+            )?;
+            {
+                let mut st = self.inner.mvcc.lock();
+                for &id in &staged {
+                    st.stage_file(pin_gen, id);
+                }
+            }
+            let mut sink = MasterWriteSink::reserved(self, pin_gen, first, files);
+            let written = inserts
+                .iter()
+                .try_for_each(|row| sink.push(row.clone()))
+                .and_then(|()| sink.finish().map(|_| ()));
+            if let Err(e) = written {
+                self.undo_staged_insert(&attached, pin_gen, &staged, &intent_qual);
+                return Err(e);
+            }
+        }
+
+        // Phase 2 — under the state mutex, so the conflict check and the
+        // commit batch are one atomic step against other committers (and
+        // against pin acquisition).
+        let mut st = self.inner.mvcc.lock();
+        if let Some(conflict) = st.conflict_since(pin_ts, &write_set) {
+            drop(st);
+            self.undo_staged_insert(&attached, pin_gen, &staged, &intent_qual);
+            return Err(self.conflict_error(conflict, pin_ts));
+        }
+        let mut puts: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut delta = PresenceDelta::new();
+        for (&record, patch) in overlay {
+            if patch.deleted {
+                puts.push(delete_cell(record));
+                delta.add_delete(record.file_id);
+            } else {
+                let values: Vec<(usize, Value)> = patch
+                    .updates
+                    .iter()
+                    .map(|(&col, v)| (col, v.clone()))
+                    .collect();
+                for (col, _) in &values {
+                    delta.add_updates(record.file_id, *col, 1);
+                }
+                puts.extend(update_cells(record, &values));
+            }
+        }
+        let deletes: Vec<(Vec<u8>, Vec<u8>)> = if staged.is_empty() {
+            Vec::new()
+        } else {
+            vec![(intent_row.to_vec(), intent_qual.clone())]
+        };
+        let applied = (|| -> Result<u64> {
+            let _presence_guard = self.inner.presence_lock.lock();
+            for ((file_id, column), n) in delta.drain() {
+                let key = presence_key(file_id);
+                let qual = presence_qualifier(column);
+                let current = match attached.get(&key, &qual)? {
+                    Some(bytes) => decode_count(&bytes)?,
+                    None => 0,
+                };
+                puts.push((key.to_vec(), qual.to_vec(), encode_count(current + n)));
+            }
+            attached.mutate_batch(puts, deletes)
+        })();
+        match applied {
+            Ok(commit_ts) => {
+                st.note_edit_commit(write_set, commit_ts);
+                st.commit_files(pin_gen, staged, commit_ts);
+                Ok(commit_ts)
+            }
+            Err(e) => {
+                drop(st);
+                self.undo_staged_insert(&attached, pin_gen, &staged, &intent_qual);
+                Err(e)
+            }
+        }
     }
 }
 

@@ -406,3 +406,145 @@ fn crash_and_reopen_purges_all_cache_tiers() {
         "both footers re-parsed after the restart"
     );
 }
+
+// ----------------------------------------------------------------------
+// MVCC sessions: caches stay coherent across concurrent snapshots,
+// commits and generation swings (DESIGN.md §13).
+// ----------------------------------------------------------------------
+
+/// A reader pinned on generation E must keep being served from the warm
+/// block and footer caches while another session commits an EDIT and
+/// swings a COMPACT to generation E+1: per-path invalidation means the
+/// swing touches nothing the pinned reader needs. Only the *new*
+/// generation's footers are parsed for latest-state reads, and the
+/// deferred GC that runs when the pin drops must not evict them.
+#[test]
+fn pinned_reader_stays_warm_across_concurrent_swing() {
+    let env = env_with(true);
+    let t = create(&env, true);
+    t.insert_rows((0..128).map(row)).unwrap(); // 4 master files in gen E
+
+    let snap = t.begin_snapshot().unwrap();
+    let expected = snap.scan_all().unwrap(); // warms both cache tiers
+    let fc0 = t.footer_cache_stats();
+    let dfs0 = env.dfs.stats().snapshot();
+
+    // A concurrent session commits an EDIT, then swings a COMPACT.
+    let writer = t.clone();
+    writer
+        .update(
+            |r| r[0].as_i64().unwrap() == 7,
+            &[(1, Box::new(|_| Value::Int64(-7)))],
+            RatioHint::Explicit(0.01),
+        )
+        .unwrap();
+    writer.begin_compact().unwrap().finish().unwrap();
+    assert_eq!(t.retired_generations(), 1, "old generation pinned, not GCd");
+
+    // The pinned reader re-scans: byte-identical, and served entirely
+    // from the caches warmed before the swing — zero new footer parses,
+    // zero physical block fetches.
+    let fc1 = t.footer_cache_stats();
+    let dfs1 = env.dfs.stats().snapshot();
+    for _ in 0..3 {
+        assert_eq!(snap.scan_all().unwrap(), expected);
+    }
+    let fc2 = t.footer_cache_stats();
+    let dfs2 = env.dfs.stats().snapshot().since(&dfs1);
+    assert_eq!(
+        fc2.misses, fc1.misses,
+        "pinned re-scan after the swing re-parsed a footer"
+    );
+    assert_eq!(
+        dfs2.cache_misses, 0,
+        "pinned re-scan after the swing fetched blocks"
+    );
+    assert!(fc1.misses >= fc0.misses, "counters are monotonic");
+    let _ = dfs0;
+
+    // Latest-state reads parse exactly the new generation's footers.
+    let latest = t.scan_all().unwrap();
+    assert_eq!(latest.len(), 128);
+    assert!(latest.iter().any(|(_, r)| r[1].as_i64().unwrap() == -7));
+    let new_files = t.master_file_ids().unwrap().len() as u64;
+    let fc3 = t.footer_cache_stats();
+    assert_eq!(
+        fc3.misses - fc2.misses,
+        new_files,
+        "each new-generation footer parsed exactly once"
+    );
+
+    // Dropping the pin sweeps generation E; its per-path invalidation
+    // must leave the new generation's cached footers untouched.
+    drop(snap);
+    assert_eq!(t.retired_generations(), 0, "drained pin triggers the sweep");
+    assert_eq!(t.scan_all().unwrap(), latest);
+    let fc4 = t.footer_cache_stats();
+    assert_eq!(
+        fc4.misses, fc3.misses,
+        "GC of the old generation evicted new-generation footers"
+    );
+}
+
+/// Presence-index push-down must stay snapshot-scoped: a session that
+/// dirties a file's predicate column after a reader pinned may widen the
+/// set of stripes the pinned scan surfaces (push-down is withheld for
+/// dirty files), but every surfaced row must still carry pin-time bytes.
+/// The fresh autocommit scan sees the new reality immediately.
+#[test]
+fn pinned_predicate_scan_sees_pin_time_values_under_concurrent_dirtying() {
+    let env = env_with(true);
+    let t = create(&env, true);
+    t.insert_rows((0..64).map(row)).unwrap(); // 2 files, both clean
+    let pred = || {
+        let mut opts = UnionReadOptions::all();
+        opts.predicates = Some(vec![ColumnPredicate {
+            column: 0,
+            op: PredicateOp::Lt,
+            literal: Value::Int64(8),
+        }]);
+        opts
+    };
+
+    let snap = t.begin_snapshot().unwrap();
+    let at_pin = snap.scan(&pred()).unwrap();
+    assert_eq!(at_pin.len(), 8, "clean files: full push-down");
+
+    // A concurrent session dirties file 2's predicate column.
+    t.update(
+        |r| r[0].as_i64().unwrap() >= 56,
+        &[(
+            0,
+            Box::new(|r: &Row| Value::Int64(r[0].as_i64().unwrap() + 1000)),
+        )],
+        RatioHint::Explicit(0.125),
+    )
+    .unwrap();
+
+    // The pinned scan may surface more rows now (file 2 lost push-down),
+    // but none of them may show the post-pin update: the overlay cells
+    // are newer than the pin and must be filtered out.
+    let pinned = snap.scan(&pred()).unwrap();
+    assert!(
+        pinned.iter().all(|(_, r)| r[0].as_i64().unwrap() < 1000),
+        "pinned scan surfaced a post-pin overlay value"
+    );
+    let matching: Vec<_> = pinned
+        .iter()
+        .filter(|(_, r)| r[0].as_i64().unwrap() < 8)
+        .cloned()
+        .collect();
+    assert_eq!(matching, at_pin, "pin-time predicate rows are byte-stable");
+
+    // The autocommit scan sees the dirty file immediately: push-down is
+    // withheld there and the updated ids surface.
+    let fresh = t.scan(&pred()).unwrap();
+    assert!(
+        fresh.iter().any(|(_, r)| r[0].as_i64().unwrap() >= 1000),
+        "latest scan must see the committed update"
+    );
+    let index = t.presence_index().unwrap().expect("index present");
+    let files = t.master_file_ids().unwrap();
+    assert!(!index.is_dirty(files[0]));
+    assert!(index.file(files[1]).unwrap().has_update_on(0));
+}

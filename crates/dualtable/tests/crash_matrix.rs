@@ -31,7 +31,10 @@ use dt_common::fault::{FaultKind, FaultPlan, IoOp};
 use dt_common::{DataType, Row, Schema, Value};
 use dt_dfs::DfsConfig;
 use dt_kvstore::KvConfig;
-use dualtable::{DualTableConfig, DualTableEnv, DualTableStore, PlanMode, RatioHint};
+use dualtable::{
+    DualTableConfig, DualTableEnv, DualTableStore, PlanMode, RatioHint, RewriteJob, Snapshot,
+    Transaction,
+};
 
 const TABLE: &str = "crash";
 const ROWS_PER_FILE: usize = 8;
@@ -428,6 +431,435 @@ fn crash_matrix_three_tiers() {
     );
     // Nearly every point must actually kill the workload; a small
     // remainder may be absorbed by replica failover.
+    assert!(
+        report.crashes_injected * 10 >= report.points * 9,
+        "only {} of {} crash points fired",
+        report.crashes_injected,
+        report.points
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Interleaved-transaction crash matrix (DESIGN.md §13).
+//
+// The first matrix crashes inside *statements*; this one crashes inside a
+// fixed interleaving of concurrent MVCC *sessions*: an autocommit writer, a
+// pinned reader snapshot, two explicit transactions, and a two-phase
+// compaction whose pointer swing happens while the reader is still pinned
+// on the old generation (forcing deferred GC, then a mid-GC window when the
+// reader drops). Crash points land between a transaction's conflict check
+// and its commit batch, mid-pointer-swing, and mid-GC. Invariants:
+//
+// 1. **Transaction prefix durability** — the recovered table equals the
+//    oracle after exactly `acked` script steps (or `acked + 1` when the
+//    in-flight step committed before the fault surfaced). A transaction is
+//    all-in or all-out: T1 buffers an UPDATE plus a two-master-file INSERT,
+//    so a partial commit (files without patches, one file of two) matches
+//    no oracle state and fails the matrix. Staged files orphaned between
+//    the durable intent write and the commit batch must be rolled back by
+//    intent recovery on reopen — an absent visibility record means always
+//    visible, so a leaked staged file would surface as phantom rows.
+// 2. **Single generation, no pinned generation deleted** — while the
+//    process lives, the pinned reader keeps byte-stable reads across the
+//    swing (checked in-script); after recovery exactly one generation
+//    directory survives and the deferred-GC ledger is empty (pins do not
+//    outlive a process).
+// 3. **Physical hygiene** — fsck healthy, scrub collects every orphan and
+//    leaves logical content untouched.
+// ---------------------------------------------------------------------------
+
+/// One step of the interleaved multi-session script. The script is fixed
+/// (not seeded): determinism is what lets the record run's op ranges
+/// transfer to the crash runs, and the interesting windows — commit,
+/// swing, GC — are guaranteed by construction rather than by search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TStep {
+    /// Autocommit EDIT: `v += 100 WHERE id % 4 == 0`.
+    AutoUpdate,
+    /// Pin a reader snapshot (holds the current generation alive).
+    PinReader,
+    BeginT1,
+    /// Buffered in T1: `v = -5 WHERE id % 3 == 1`.
+    T1Update,
+    /// Buffered in T1: ids 100..110 — two master files, so commit
+    /// atomicity spans multiple staged files.
+    T1Insert,
+    /// Conflict check → intent write → staged files → commit batch.
+    T1Commit,
+    /// Build the replacement generation off to the side.
+    BeginCompact,
+    /// Pointer swing with the reader still pinned: GC must defer.
+    FinishSwing,
+    /// Autocommit INSERT ids 200..204 (one master file).
+    AutoInsert,
+    BeginT2,
+    /// Buffered in T2: `v += 7 WHERE id % 5 == 2`.
+    T2Update,
+    /// The pinned reader must still see its pin-time bytes post-swing.
+    ReaderCheck,
+    /// Dropping the pin drains the retired generation: mid-GC window.
+    DropReader,
+    T2Commit,
+    /// Blocking compact with no pins: immediate GC of the old generation.
+    FinalCompact,
+}
+
+const TSTEPS: &[TStep] = &[
+    TStep::AutoUpdate,
+    TStep::PinReader,
+    TStep::BeginT1,
+    TStep::T1Update,
+    TStep::T1Insert,
+    TStep::T1Commit,
+    TStep::BeginCompact,
+    TStep::FinishSwing,
+    TStep::AutoInsert,
+    TStep::BeginT2,
+    TStep::T2Update,
+    TStep::ReaderCheck,
+    TStep::DropReader,
+    TStep::T2Commit,
+    TStep::FinalCompact,
+];
+
+/// Live session objects of the script. On a simulated crash the whole
+/// context is `mem::forget`-ed: a dead process never runs Drop glue
+/// (rollback, abandon, unpin), and running it would model a graceful
+/// shutdown instead of a crash.
+#[derive(Default)]
+struct TxnCtx {
+    reader: Option<Snapshot>,
+    reader_expect: Vec<(i64, i64)>,
+    t1: Option<Transaction>,
+    t2: Option<Transaction>,
+    job: Option<RewriteJob>,
+}
+
+const TXN_SEED_ROWS: i64 = 20;
+
+/// Oracle states after 0, 1, ..., N script steps. Index 0 is the disarmed
+/// setup seed (ids `0..20`, `v = 3 * id`); buffered transaction writes
+/// only land at their commit step.
+fn txn_oracle_states() -> Vec<Vec<(i64, i64)>> {
+    let mut m: std::collections::BTreeMap<i64, i64> =
+        (0..TXN_SEED_ROWS).map(|id| (id, id * 3)).collect();
+    let snap = |m: &std::collections::BTreeMap<i64, i64>| {
+        m.iter().map(|(&id, &v)| (id, v)).collect::<Vec<_>>()
+    };
+    let mut states = vec![snap(&m)];
+    for step in TSTEPS {
+        match step {
+            TStep::AutoUpdate => {
+                m.iter_mut().for_each(|(id, v)| {
+                    if id % 4 == 0 {
+                        *v += 100;
+                    }
+                });
+            }
+            TStep::T1Commit => {
+                m.iter_mut().for_each(|(id, v)| {
+                    if id % 3 == 1 {
+                        *v = -5;
+                    }
+                });
+                m.extend((100..110).map(|id| (id, id * 2)));
+            }
+            TStep::AutoInsert => m.extend((200..204).map(|id| (id, id * 2))),
+            TStep::T2Commit => {
+                m.iter_mut().for_each(|(id, v)| {
+                    if id % 5 == 2 {
+                        *v += 7;
+                    }
+                });
+            }
+            _ => {}
+        }
+        states.push(snap(&m));
+    }
+    states
+}
+
+/// Sorted `(id, v)` pairs visible to a pinned snapshot.
+fn snap_sorted(snap: &Snapshot) -> Result<Vec<(i64, i64)>, String> {
+    let scanned = snap.scan_all().map_err(|e| format!("pinned scan: {e}"))?;
+    let mut got: Vec<(i64, i64)> = scanned
+        .iter()
+        .map(|(_, row)| (row[0].as_i64().unwrap(), row[1].as_i64().unwrap()))
+        .collect();
+    got.sort_unstable();
+    Ok(got)
+}
+
+/// Runs one script step. `VIOLATION:`-prefixed errors are matrix failures
+/// (wrong bytes observed); everything else is treated as the injected
+/// fault surfacing, i.e. the crash.
+fn apply_tstep(table: &DualTableStore, ctx: &mut TxnCtx, step: TStep) -> Result<(), String> {
+    let io = |e: dt_common::Error| format!("io: {e}");
+    match step {
+        TStep::AutoUpdate => table
+            .update(
+                |row| row[0].as_i64().unwrap() % 4 == 0,
+                &[(
+                    1,
+                    Box::new(|row: &Row| Value::Int64(row[1].as_i64().unwrap() + 100)),
+                )],
+                RatioHint::Explicit(0.01),
+            )
+            .map(|_| ())
+            .map_err(io),
+        TStep::PinReader => {
+            let snap = table.begin_snapshot().map_err(io)?;
+            ctx.reader_expect = snap_sorted(&snap)?;
+            ctx.reader = Some(snap);
+            Ok(())
+        }
+        TStep::BeginT1 => {
+            ctx.t1 = Some(table.begin_transaction().map_err(io)?);
+            Ok(())
+        }
+        TStep::T1Update => ctx
+            .t1
+            .as_mut()
+            .unwrap()
+            .update(
+                |row| row[0].as_i64().unwrap() % 3 == 1,
+                &[(1, Box::new(|_: &Row| Value::Int64(-5)))],
+            )
+            .map(|_| ())
+            .map_err(io),
+        TStep::T1Insert => {
+            let rows: Vec<Row> = (100..110)
+                .map(|id| vec![Value::Int64(id), Value::Int64(id * 2)])
+                .collect();
+            ctx.t1
+                .as_mut()
+                .unwrap()
+                .insert(rows)
+                .map(|_| ())
+                .map_err(io)
+        }
+        TStep::T1Commit => ctx.t1.take().unwrap().commit().map(|_| ()).map_err(io),
+        TStep::BeginCompact => {
+            ctx.job = Some(table.begin_compact().map_err(io)?);
+            Ok(())
+        }
+        TStep::FinishSwing => ctx.job.take().unwrap().finish().map(|_| ()).map_err(io),
+        TStep::AutoInsert => {
+            let rows: Vec<Row> = (200..204)
+                .map(|id| vec![Value::Int64(id), Value::Int64(id * 2)])
+                .collect();
+            table.insert_rows(rows).map(|_| ()).map_err(io)
+        }
+        TStep::BeginT2 => {
+            ctx.t2 = Some(table.begin_transaction().map_err(io)?);
+            Ok(())
+        }
+        TStep::T2Update => ctx
+            .t2
+            .as_mut()
+            .unwrap()
+            .update(
+                |row| row[0].as_i64().unwrap() % 5 == 2,
+                &[(
+                    1,
+                    Box::new(|row: &Row| Value::Int64(row[1].as_i64().unwrap() + 7)),
+                )],
+            )
+            .map(|_| ())
+            .map_err(io),
+        TStep::ReaderCheck => {
+            let got = snap_sorted(ctx.reader.as_ref().unwrap())?;
+            if got != ctx.reader_expect {
+                return Err(format!(
+                    "VIOLATION: pinned reader drifted across the swing: \
+                     {} rows at pin, {} now",
+                    ctx.reader_expect.len(),
+                    got.len()
+                ));
+            }
+            Ok(())
+        }
+        TStep::DropReader => {
+            ctx.reader = None; // unpin → the retired generation drains
+            Ok(())
+        }
+        TStep::T2Commit => ctx.t2.take().unwrap().commit().map(|_| ()).map_err(io),
+        TStep::FinalCompact => table.compact().map_err(io),
+    }
+}
+
+/// Seeds the table (disarmed in both the record run and every crash run,
+/// so op indices align).
+fn txn_seed(table: &DualTableStore) {
+    let rows: Vec<Row> = (0..TXN_SEED_ROWS)
+        .map(|id| vec![Value::Int64(id), Value::Int64(id * 3)])
+        .collect();
+    table.insert_rows(rows).expect("disarmed seed insert");
+}
+
+#[test]
+fn crash_matrix_interleaved_transactions() {
+    // Record run: learn the op horizon and each step's (start, end] range.
+    let plan = Arc::new(FaultPlan::new(0xD7A2));
+    plan.set_armed(false);
+    let env = DualTableEnv::in_memory_faulty_with(plan.clone(), dfs_cfg(), kv_cfg())
+        .expect("clean setup");
+    let table = DualTableStore::create(&env, TABLE, schema(), table_cfg()).expect("clean create");
+    txn_seed(&table);
+    plan.record_trace();
+    plan.set_armed(true);
+
+    let oracles = txn_oracle_states();
+    let mut ctx = TxnCtx::default();
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    for step in TSTEPS {
+        let start = plan.ops_seen();
+        apply_tstep(&table, &mut ctx, *step).expect("record run must not fault");
+        ranges.push((start + 1, plan.ops_seen()));
+    }
+    plan.set_armed(false);
+    let trace = plan.take_trace();
+    let total_ops = trace.len() as u64;
+    assert_eq!(
+        scan_sorted(&table).unwrap(),
+        oracles[TSTEPS.len()],
+        "record run diverged from oracle"
+    );
+    // The script must have exercised the deferred-GC path: the swing ran
+    // under a pin, and both retired generations were eventually swept.
+    let health = env.health.snapshot();
+    assert!(health.generations_deferred >= 1, "swing did not defer GC");
+    assert!(health.generations_gcd >= 2, "retired generations not swept");
+    assert_eq!(table.pinned_snapshots(), 0);
+    assert_eq!(table.retired_generations(), 0);
+    assert!(
+        total_ops >= 100,
+        "script too small for the transaction matrix ({total_ops} ops)"
+    );
+
+    // Mandatory windows: the commit of a multi-file transaction, the
+    // pointer swing under a pinned reader, and the pin-drop GC drain.
+    let must_cover: Vec<(u64, u64)> = TSTEPS
+        .iter()
+        .zip(&ranges)
+        .filter(|(s, _)| matches!(s, TStep::T1Commit | TStep::FinishSwing | TStep::DropReader))
+        .map(|(_, &r)| r)
+        .collect();
+    assert_eq!(must_cover.len(), 3);
+    for (&(s, e), name) in must_cover.iter().zip(["commit", "swing", "gc"]) {
+        assert!(s <= e, "empty {name} critical range ({s}, {e}]");
+    }
+
+    let full = std::env::var("CRASH_MATRIX_FULL").is_ok_and(|v| v != "0");
+    let target = if full { total_ops as usize } else { 150 };
+    let points = select_crash_points(0x5EED_CA5C, total_ops, target, &must_cover);
+    for &(s, e) in &must_cover {
+        assert!(
+            points.iter().any(|&p| (s..=e).contains(&p)),
+            "no crash point inside critical range ({s}, {e}]"
+        );
+    }
+
+    let report = run_crash_matrix(&points, |k| {
+        let kind = if trace[(k - 1) as usize] == IoOp::Write && k % 2 == 0 {
+            FaultKind::TornWrite
+        } else {
+            FaultKind::Crash
+        };
+        let plan = Arc::new(FaultPlan::new(0xBADC0DE ^ k).fail_at(k, kind));
+        plan.set_armed(false);
+        let env = DualTableEnv::in_memory_faulty_with(plan.clone(), dfs_cfg(), kv_cfg())
+            .map_err(|e| format!("setup: {e}"))?;
+        let table = DualTableStore::create(&env, TABLE, schema(), table_cfg())
+            .map_err(|e| format!("create: {e}"))?;
+        txn_seed(&table);
+        plan.set_armed(true);
+
+        let mut ctx = TxnCtx::default();
+        let mut acked = 0usize;
+        let mut crashed = false;
+        for step in TSTEPS {
+            match apply_tstep(&table, &mut ctx, *step) {
+                Ok(()) => {
+                    acked += 1;
+                    if plan.is_crashed() {
+                        crashed = true;
+                        break;
+                    }
+                }
+                Err(msg) if msg.starts_with("VIOLATION:") => return Err(msg),
+                Err(_) => {
+                    crashed = true;
+                    break;
+                }
+            }
+        }
+        if !crashed && !plan.is_crashed() {
+            return Ok(false); // self-healing absorbed the fault
+        }
+        // The process is dead: session objects never run their Drop glue
+        // (rollback / abandon / unpin would model a graceful shutdown).
+        std::mem::forget(ctx);
+
+        plan.heal_and_disarm();
+        env.crash_and_reopen()
+            .map_err(|e| format!("recovery: {e}"))?;
+        let table = DualTableStore::open(&env, TABLE, schema(), table_cfg())
+            .map_err(|e| format!("reopen: {e}"))?;
+
+        // Invariant 1: a prefix of whole transactions, never a torn one.
+        let got = scan_sorted(&table)?;
+        let committed_in_flight = acked + 1 < oracles.len() && got == oracles[acked + 1];
+        if got != oracles[acked] && !committed_in_flight {
+            return Err(format!(
+                "recovered table matches neither oracle({acked}) nor oracle({}): {} rows",
+                acked + 1,
+                got.len()
+            ));
+        }
+        if table.count().map_err(|e| format!("count: {e}"))? != got.len() as u64 {
+            return Err("count() disagrees with scan".into());
+        }
+
+        // Invariant 2: one surviving generation; pins die with the
+        // process, so reopen must settle any GC the crash deferred.
+        let gens = live_generations(&env);
+        if gens.len() > 1 {
+            return Err(format!("mixed master generations after recovery: {gens:?}"));
+        }
+        if table.pinned_snapshots() != 0 {
+            return Err("phantom pin survived the crash".into());
+        }
+        if table.retired_generations() != 0 {
+            return Err("deferred-GC ledger not settled by reopen".into());
+        }
+
+        // Invariant 3: physical hygiene.
+        let fsck = env.dfs.fsck().map_err(|e| format!("fsck: {e}"))?;
+        if !fsck.healthy() {
+            return Err(format!("fsck unhealthy after recovery: {fsck:?}"));
+        }
+        env.dfs.scrub().map_err(|e| format!("scrub: {e}"))?;
+        let after = env
+            .dfs
+            .fsck()
+            .map_err(|e| format!("post-scrub fsck: {e}"))?;
+        if after.orphan_blocks != 0 {
+            return Err(format!("{} orphans survived scrub", after.orphan_blocks));
+        }
+        if scan_sorted(&table)? != got {
+            return Err("scrub changed logical table content".into());
+        }
+        Ok(true)
+    });
+
+    assert!(
+        report.ok(),
+        "transaction crash matrix violations ({} of {} points):\n{:#?}",
+        report.violations.len(),
+        report.points,
+        report.violations
+    );
     assert!(
         report.crashes_injected * 10 >= report.points * 9,
         "only {} of {} crash points fired",

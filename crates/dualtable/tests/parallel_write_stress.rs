@@ -313,3 +313,149 @@ fn crash_mid_parallel_compact_never_tears() {
     }
     assert!(crashes >= 20, "only {crashes} crash points actually fired");
 }
+
+// ----------------------------------------------------------------------
+// Transaction-level checking (DESIGN.md §13): real threads, real races.
+// ----------------------------------------------------------------------
+
+/// The classic lost-update proof, threaded. K writer threads each apply M
+/// read-modify-write increments to the same row through snapshot-isolation
+/// transactions, retrying on first-committer-wins conflicts, while a
+/// background compactor swings generations under them. Under FCW every
+/// increment lands exactly once: the final value must be K·M, and the
+/// health counters must account for exactly the conflicts the threads
+/// observed — no silent (uncounted, or worse, unconflicted-and-lost)
+/// retries.
+#[test]
+fn transactional_increments_never_lose_updates() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const WRITERS: usize = 4;
+    const INCREMENTS: usize = 25;
+
+    let env = DualTableEnv::in_memory();
+    let mut cfg = config(2);
+    cfg.plan_mode = PlanMode::AlwaysEdit;
+    let t = seeded(&env, 8, cfg);
+    let observed_conflicts = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..WRITERS {
+            let t = t.clone();
+            let observed = &observed_conflicts;
+            scope.spawn(move || {
+                for _ in 0..INCREMENTS {
+                    loop {
+                        let mut txn = t.begin_transaction().unwrap();
+                        txn.update(
+                            |r| r[0].as_i64().unwrap() == 0,
+                            &[(
+                                1,
+                                Box::new(|r: &dt_common::Row| {
+                                    Value::Int64(r[1].as_i64().unwrap() + 1)
+                                }),
+                            )],
+                        )
+                        .unwrap();
+                        match txn.commit() {
+                            Ok(commit_ts) => {
+                                assert!(commit_ts > 0, "commit timestamp must tick");
+                                break;
+                            }
+                            Err(err) => {
+                                assert!(
+                                    err.is_conflict(),
+                                    "retry loop hit a non-conflict error: {err}"
+                                );
+                                observed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        let t = t.clone();
+        scope.spawn(move || {
+            for _ in 0..3 {
+                t.compact().unwrap();
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    let rows = rows_of(&t);
+    let hot = rows.iter().find(|(id, _)| *id == 0).unwrap();
+    assert_eq!(
+        hot.1,
+        (WRITERS * INCREMENTS) as i64,
+        "lost update: {} of {} increments survived",
+        hot.1,
+        WRITERS * INCREMENTS
+    );
+    // Every other row kept its seeded value.
+    for (id, v) in rows.iter().filter(|(id, _)| *id != 0) {
+        assert_eq!(*v, id * 2, "row {id} corrupted by the increment storm");
+    }
+    // Exact conflict accounting: each observed retryable error bumped
+    // exactly one of the two conflict counters, and nothing else did
+    // (the blocking compactor holds the ops lock, so it cannot lose).
+    let health = env.health.snapshot();
+    assert_eq!(
+        health.ww_conflicts + health.swing_conflicts,
+        observed_conflicts.load(Ordering::Relaxed),
+        "counters disagree with the conflicts the threads saw"
+    );
+    assert_eq!(health.cleanup_failures, 0);
+    assert_eq!(t.pinned_snapshots(), 0, "all transaction pins released");
+}
+
+/// Disjoint write sets never conflict: K threads each own a 100-id range
+/// and push M transactions over it concurrently. Every commit must
+/// succeed first try (zero conflicts table-wide), and the merged result
+/// is exactly every thread's increments applied.
+#[test]
+fn disjoint_transactions_commit_without_conflict() {
+    const WRITERS: i64 = 4;
+    const ROUNDS: i64 = 5;
+    const RANGE: i64 = 100;
+
+    let env = DualTableEnv::in_memory();
+    let mut cfg = config(2);
+    cfg.plan_mode = PlanMode::AlwaysEdit;
+    let t = seeded(&env, WRITERS * RANGE, cfg);
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let t = t.clone();
+            scope.spawn(move || {
+                let (lo, hi) = (w * RANGE, (w + 1) * RANGE);
+                for _ in 0..ROUNDS {
+                    let mut txn = t.begin_transaction().unwrap();
+                    let n = txn
+                        .update(
+                            move |r| (lo..hi).contains(&r[0].as_i64().unwrap()),
+                            &[(
+                                1,
+                                Box::new(|r: &dt_common::Row| {
+                                    Value::Int64(r[1].as_i64().unwrap() + 1)
+                                }),
+                            )],
+                        )
+                        .unwrap();
+                    assert_eq!(n, RANGE as u64);
+                    txn.commit().expect("disjoint write sets cannot conflict");
+                }
+            });
+        }
+    });
+
+    let mut got = rows_of(&t);
+    got.sort_unstable();
+    let expect: Vec<(i64, i64)> = (0..WRITERS * RANGE)
+        .map(|id| (id, id * 2 + ROUNDS))
+        .collect();
+    assert_eq!(got, expect);
+    let health = env.health.snapshot();
+    assert_eq!(health.ww_conflicts, 0, "phantom write-write conflict");
+    assert_eq!(health.swing_conflicts, 0, "phantom swing conflict");
+}

@@ -68,6 +68,16 @@ pub enum Statement {
         /// Target table.
         table: String,
     },
+    /// `BEGIN [TRANSACTION]` / `START TRANSACTION` — open a
+    /// multi-statement snapshot-isolation transaction (DESIGN.md §13).
+    /// DML on DUALTABLE storage is buffered until `COMMIT`.
+    Begin,
+    /// `COMMIT` — atomically apply the open transaction's buffered writes.
+    /// Fails with a retryable conflict error if another session committed
+    /// a write to the same records (first committer wins).
+    Commit,
+    /// `ROLLBACK` — discard the open transaction's buffered writes.
+    Rollback,
     /// `MERGE INTO target USING source ON cond
     ///  [WHEN MATCHED THEN UPDATE SET col = expr, …]
     ///  [WHEN NOT MATCHED THEN INSERT VALUES (expr, …)]`

@@ -1,11 +1,11 @@
 //! Statement execution: SELECT pipelines and DML dispatch.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use dt_common::{DataType, Error, Field, Result, Row, Schema, Value};
 use dt_engine::{run_map_reduce, JobConfig, JobCounters};
 use dt_orcfile::{ColumnPredicate, PredicateOp};
-use dualtable::RatioHint;
+use dualtable::{RatioHint, Transaction};
 
 use crate::ast::*;
 use crate::catalog::Catalog;
@@ -90,9 +90,18 @@ pub struct Executor<'a> {
     pub catalog: &'a Catalog,
     /// Tuning.
     pub config: &'a ExecConfig,
+    /// Open transactions by table name (DESIGN.md §13). When a scanned
+    /// table has one, reads go through its read-your-own-writes overlay
+    /// instead of the committed store.
+    pub txns: Option<&'a BTreeMap<String, Transaction>>,
 }
 
 impl Executor<'_> {
+    /// The open transaction covering `table`, if any.
+    fn txn_overlay(&self, table: &str) -> Option<&Transaction> {
+        self.txns.and_then(|m| m.get(table))
+    }
+
     /// Runs a SELECT.
     pub fn select(&self, stmt: &SelectStmt) -> Result<QueryResult> {
         let mut ctx = EvalContext::default();
@@ -248,20 +257,28 @@ impl Executor<'_> {
         } else {
             Vec::new()
         };
-        let mut rows = base.scan(
-            None,
-            if predicates.is_empty() {
-                None
-            } else {
-                Some(&predicates)
-            },
-        )?;
+        let mut rows = match self.txn_overlay(&from.name) {
+            // Pushdown hints are skipped on the overlay path: the WHERE
+            // clause re-filters every row anyway.
+            Some(txn) => txn.rows(None)?,
+            None => base.scan(
+                None,
+                if predicates.is_empty() {
+                    None
+                } else {
+                    Some(&predicates)
+                },
+            )?,
+        };
         let mut binding = base_binding;
 
         for join in &stmt.joins {
             let right = self.catalog.get(&join.table.name)?;
             let right_binding = Binding::from_schema(join.table.binding_name(), right.schema());
-            let right_rows = right.scan(None, None)?;
+            let right_rows = match self.txn_overlay(&join.table.name) {
+                Some(txn) => txn.rows(None)?,
+                None => right.scan(None, None)?,
+            };
             let joined_binding = binding.join(&right_binding);
             rows = self.join_rows(
                 rows,

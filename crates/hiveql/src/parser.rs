@@ -119,6 +119,20 @@ impl Parser {
                 name: self.identifier()?,
             });
         }
+        if self.accept("begin") {
+            self.accept("transaction");
+            return Ok(Statement::Begin);
+        }
+        if self.accept("start") {
+            self.expect("transaction")?;
+            return Ok(Statement::Begin);
+        }
+        if self.accept("commit") {
+            return Ok(Statement::Commit);
+        }
+        if self.accept("rollback") {
+            return Ok(Statement::Rollback);
+        }
         if self.accept("insert") {
             return self.insert();
         }

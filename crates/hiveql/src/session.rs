@@ -1,8 +1,12 @@
 //! The user-facing session: parse → plan → execute over one environment.
 
+use std::collections::BTreeMap;
+
 use dt_baselines::{HiveAcidTable, HiveHbaseTable, HiveHdfsTable};
 use dt_common::{Error, Field, Result, Row, Schema, Value};
-use dualtable::{Assignment, DualTableConfig, DualTableEnv, DualTableStore, RatioHint};
+use dualtable::{
+    Assignment, DualTableConfig, DualTableEnv, DualTableStore, RatioHint, Transaction,
+};
 
 use crate::ast::{InsertSource, Statement, StorageKind};
 use crate::catalog::{Catalog, TableHandle};
@@ -46,6 +50,11 @@ pub struct Session {
     catalog: Catalog,
     /// Session configuration; mutable between statements.
     pub config: SessionConfig,
+    /// Open transaction: table name → buffered [`Transaction`]. `None`
+    /// means autocommit; `Some` (even empty) means `BEGIN` was executed
+    /// and DUALTABLE DML is buffered until `COMMIT` (DESIGN.md §13).
+    /// Tables enroll lazily, pinning their snapshot at first touch.
+    txn: Option<BTreeMap<String, Transaction>>,
 }
 
 impl Session {
@@ -60,7 +69,13 @@ impl Session {
             env,
             catalog: Catalog::new(),
             config: SessionConfig::default(),
+            txn: None,
         }
+    }
+
+    /// `true` while a `BEGIN … COMMIT|ROLLBACK` transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
     }
 
     /// The underlying environment.
@@ -84,13 +99,101 @@ impl Session {
         Executor {
             catalog: &self.catalog,
             config: &self.config.exec,
+            txns: self.txn.as_ref(),
         }
+    }
+
+    /// The open transaction for `table`, enrolling it (pinning a fresh
+    /// snapshot) on first touch. Callers must have checked
+    /// `self.txn.is_some()`.
+    fn txn_for(&mut self, table: &str) -> Result<&mut Transaction> {
+        let handle = self.catalog.get(table)?;
+        let TableHandle::Dual(store) = handle else {
+            return Err(Error::Unsupported(format!(
+                "table '{table}' is stored as {:?}: transactions cover DUALTABLE storage only",
+                handle.storage_kind()
+            )));
+        };
+        let store = store.clone();
+        let map = self.txn.as_mut().expect("caller checked in_transaction");
+        if !map.contains_key(table) {
+            map.insert(table.to_string(), store.begin_transaction()?);
+        }
+        Ok(map.get_mut(table).expect("just inserted"))
+    }
+
+    /// Enrolls every DUALTABLE named in the query's FROM/JOIN list into
+    /// the open transaction, pinning its snapshot — SELECT inside a
+    /// transaction gets repeatable snapshot reads. Tables referenced only
+    /// from subqueries read committed state. Callers must have checked
+    /// `self.txn.is_some()`.
+    fn enroll_select_tables(&mut self, sel: &crate::ast::SelectStmt) -> Result<()> {
+        let Some(from) = &sel.from else {
+            return Ok(());
+        };
+        let mut names = vec![from.name.clone()];
+        names.extend(sel.joins.iter().map(|j| j.table.name.clone()));
+        for name in names {
+            if matches!(self.catalog.get(&name), Ok(TableHandle::Dual(_))) {
+                self.txn_for(&name)?;
+            }
+        }
+        Ok(())
     }
 
     fn execute_statement(&mut self, stmt: Statement, sql: &str) -> Result<QueryResult> {
         match stmt {
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(Error::InvalidArgument(
+                        "transaction already open: nested BEGIN is not supported".into(),
+                    ));
+                }
+                self.txn = Some(BTreeMap::new());
+                Ok(default_message_result("transaction started".into()))
+            }
+            Statement::Commit => {
+                let Some(map) = self.txn.take() else {
+                    return Err(Error::InvalidArgument(
+                        "COMMIT without an open transaction".into(),
+                    ));
+                };
+                // Per-table atomic commit, in table-name order. The first
+                // failure (typically a retryable first-committer-wins
+                // conflict) aborts: the failing table applies nothing and
+                // the remaining transactions drop, releasing their pins.
+                // Tables committed before the failure stay committed —
+                // atomicity is per table, not cross-table.
+                let mut affected = 0u64;
+                let mut tables = 0usize;
+                for (name, txn) in map {
+                    if txn.is_read_only() {
+                        continue;
+                    }
+                    txn.commit().map_err(|e| match e {
+                        Error::Conflict(m) => Error::Conflict(format!("table '{name}': {m}")),
+                        other => other,
+                    })?;
+                    affected += 1;
+                    tables += 1;
+                }
+                Ok(dml_result(affected, format!("committed ({tables} tables)")))
+            }
+            Statement::Rollback => {
+                if self.txn.take().is_none() {
+                    return Err(Error::InvalidArgument(
+                        "ROLLBACK without an open transaction".into(),
+                    ));
+                }
+                Ok(default_message_result("rolled back".into()))
+            }
             Statement::Explain(inner) => self.explain_statement(&inner),
-            Statement::Select(sel) => self.executor().select(&sel),
+            Statement::Select(sel) => {
+                if self.txn.is_some() {
+                    self.enroll_select_tables(&sel)?;
+                }
+                self.executor().select(&sel)
+            }
             Statement::ShowTables => {
                 let rows: Vec<Row> = self
                     .catalog
@@ -173,6 +276,11 @@ impl Session {
                 )))
             }
             Statement::DropTable { name, if_exists } => {
+                if self.txn.as_ref().is_some_and(|m| m.contains_key(&name)) {
+                    return Err(Error::Busy(format!(
+                        "table '{name}' has buffered transaction writes; COMMIT or ROLLBACK first"
+                    )));
+                }
                 if !self.catalog.contains(&name) {
                     if if_exists {
                         return Ok(default_message_result(format!(
@@ -190,6 +298,11 @@ impl Session {
                 overwrite,
                 source,
             } => {
+                if self.txn.is_some() {
+                    if let InsertSource::Select(sel) = &source {
+                        self.enroll_select_tables(sel)?;
+                    }
+                }
                 let rows = match source {
                     InsertSource::Values(tuples) => {
                         let binding = Binding::default();
@@ -211,6 +324,17 @@ impl Session {
                     let handle = self.catalog.get(&table)?;
                     coerce_rows(rows, handle.schema())?
                 };
+                if self.txn.is_some() {
+                    if overwrite {
+                        return Err(Error::Unsupported(
+                            "INSERT OVERWRITE inside a transaction is not supported; \
+                             COMMIT first or use DualTableStore::begin_insert_overwrite"
+                                .into(),
+                        ));
+                    }
+                    let n = self.txn_for(&table)?.insert(coerced)?;
+                    return Ok(dml_result(n, format!("inserted {n} rows (buffered)")));
+                }
                 let handle = self.catalog.get(&table)?;
                 let n = if overwrite {
                     handle.insert_overwrite(coerced)?
@@ -260,6 +384,13 @@ impl Session {
                         )
                     })
                     .collect();
+                if self.txn.is_some() {
+                    let matched = self.txn_for(&table)?.update(pred_fn, &assign_fns)?;
+                    return Ok(dml_result(
+                        matched,
+                        format!("updated {matched} rows (buffered)"),
+                    ));
+                }
                 let outcome = handle.update(
                     &pred_fn,
                     &assign_fns,
@@ -296,6 +427,13 @@ impl Session {
                             .unwrap_or(false),
                     }
                 };
+                if self.txn.is_some() {
+                    let matched = self.txn_for(&table)?.delete(pred_fn)?;
+                    return Ok(dml_result(
+                        matched,
+                        format!("deleted {matched} rows (buffered)"),
+                    ));
+                }
                 let outcome = handle.delete(
                     &pred_fn,
                     self.config.exec.ratio_hint,
@@ -315,6 +453,13 @@ impl Session {
                 Ok(result)
             }
             Statement::Compact { table } => {
+                if self.txn.is_some() {
+                    return Err(Error::Unsupported(
+                        "COMPACT inside a transaction is not supported; COMMIT first \
+                         or use DualTableStore::begin_compact"
+                            .into(),
+                    ));
+                }
                 self.catalog.get(&table)?.compact()?;
                 Ok(default_message_result(format!("compacted '{table}'")))
             }
@@ -324,7 +469,14 @@ impl Session {
                 on,
                 matched_set,
                 not_matched_insert,
-            } => self.execute_merge(&target, &source, &on, &matched_set, not_matched_insert),
+            } => {
+                if self.txn.is_some() {
+                    return Err(Error::Unsupported(
+                        "MERGE inside a transaction is not supported; COMMIT first".into(),
+                    ));
+                }
+                self.execute_merge(&target, &source, &on, &matched_set, not_matched_insert)
+            }
         }
     }
 

@@ -289,6 +289,29 @@ impl Store {
         self.apply(batch)
     }
 
+    /// Applies puts and cell tombstones atomically w.r.t. the WAL (one
+    /// fsync'd record): after a crash either every mutation in the batch
+    /// is visible or none is. Timestamps are assigned in order (puts
+    /// first, then deletes); the returned value is the last (highest)
+    /// timestamp. Transactional commit uses this to clear its intent
+    /// cell in the same durable record as the data cells it covers.
+    pub fn mutate_batch(
+        &self,
+        puts: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
+        deletes: Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<u64> {
+        let mut batch = Vec::with_capacity(puts.len() + deletes.len());
+        for (row, qual, value) in puts {
+            Self::check_qualifier(&qual)?;
+            batch.push((CellKey::new(row, qual), Mutation::Put(value)));
+        }
+        for (row, qual) in deletes {
+            Self::check_qualifier(&qual)?;
+            batch.push((CellKey::new(row, qual), Mutation::Delete));
+        }
+        self.apply(batch)
+    }
+
     /// Tombstones one cell.
     pub fn delete_cell(&self, row: &[u8], qual: &[u8]) -> Result<u64> {
         Self::check_qualifier(qual)?;
@@ -304,6 +327,22 @@ impl Store {
             CellKey::new(row.to_vec(), ROW_TOMBSTONE_QUALIFIER.to_vec()),
             Mutation::Delete,
         )])
+    }
+
+    /// Tombstones many rows in one WAL record — the bulk form of
+    /// [`Store::delete_row`], used by deferred attached-tier GC to retire
+    /// a whole generation's overlay rows at once.
+    pub fn delete_rows(&self, rows: Vec<Vec<u8>>) -> Result<u64> {
+        let batch = rows
+            .into_iter()
+            .map(|row| {
+                (
+                    CellKey::new(row, ROW_TOMBSTONE_QUALIFIER.to_vec()),
+                    Mutation::Delete,
+                )
+            })
+            .collect();
+        self.apply(batch)
     }
 
     fn apply(&self, mutations: Vec<(CellKey, Mutation)>) -> Result<u64> {

@@ -99,3 +99,14 @@ run_gate parallel-write cargo test -q -p dualtable --locked --test parallel_writ
 # windows must actually coalesce (fsyncs saved), and a torn tail on a
 # coalesced append must salvage exactly the record-aligned prefix.
 run_gate group-commit cargo test -q -p dt-kvstore --locked --test group_commit -- --nocapture
+
+# MVCC stress (DESIGN.md §13): the deterministic multi-session
+# serializability harness over 50 fixed seeds — transactional writers,
+# pinned readers and two-phase rewrites interleaved; every conflict
+# predicted exactly, every committed log replayed single-threaded to a
+# byte-identical scan — plus the generation-GC property test and the SQL
+# transaction surface. MVCC_STRESS_SEEDS=N widens the sweep; a failing
+# seed prints its repro command and lands in target/last_failed_seed.txt.
+run_gate mvcc-stress cargo test -q -p dualtable --locked --test mvcc_stress -- --nocapture
+run_gate mvcc-gc-prop cargo test -q -p dualtable --locked --test prop_mvcc_gc -- --nocapture
+run_gate txn-sessions cargo test -q -p dt-hiveql --locked --test txn_sessions -- --nocapture
