@@ -576,14 +576,64 @@ impl DualTableStore {
         I: IntoIterator<Item = Row>,
     {
         let _guard = self.inner.ops.read();
+        let rows: Vec<Row> = rows.into_iter().collect();
+        if rows.is_empty() {
+            return Ok(0);
+        }
         let gen = self.current_gen()?;
-        let (written, ids) = self.write_master_files_tracked(gen, rows)?;
-        // Autocommit: the files become visible at a fresh timestamp, so a
-        // snapshot pinned before this insert never sees them (files the
-        // MVCC state has never heard of default to always-visible, which
-        // is why registration must happen on every insert path).
-        let ts = self.inner.env.kv.clock().tick();
+        // Stage the file IDs *before* any file becomes listable: files the
+        // MVCC state has never heard of default to always-visible, so a
+        // snapshot pinned between the file write and the commit below
+        // would first see the new rows, then lose them once the commit
+        // lands after its pin — a non-repeatable read. Mirrors the
+        // transactional insert path ([`Self::commit_transaction`] phase
+        // 1), minus the durable undo intent: autocommit inserts have no
+        // in-flight state to recover.
+        let rows_per_file = self.inner.config.rows_per_file.max(1);
+        let files = u32::try_from(rows.len().div_ceil(rows_per_file))
+            .map_err(|_| Error::internal("insert needs too many files"))?;
+        let first = self
+            .inner
+            .env
+            .meta
+            .reserve_file_ids(&self.inner.name, files)?;
+        let ids: Vec<u32> = (first..first + files).collect();
+        {
+            let mut st = self.inner.mvcc.lock();
+            for &id in &ids {
+                st.stage_file(gen, id);
+            }
+        }
+        let mut sink = MasterWriteSink::reserved(self, gen, first, files);
+        let written = rows
+            .into_iter()
+            .try_for_each(|row| sink.push(row))
+            .and_then(|()| sink.finish());
+        let written = match written {
+            Ok(w) => w,
+            Err(e) => {
+                // Delete any partial files before unstaging — a forgotten
+                // *existing* file would be visible.
+                let mut all_deleted = true;
+                for &id in &ids {
+                    let path = self.file_path_at(gen, id);
+                    if self.inner.env.dfs.exists(&path) && self.inner.env.dfs.delete(&path).is_err()
+                    {
+                        self.inner.env.health.record_cleanup_failure();
+                        all_deleted = false;
+                    }
+                }
+                if all_deleted {
+                    self.inner.mvcc.lock().unstage_files(gen, ids);
+                }
+                return Err(e);
+            }
+        };
+        // Autocommit commit point: the files become visible at a fresh
+        // timestamp, ticked under the state mutex so no pin can land
+        // between the timestamp and the visibility flip.
         let mut st = self.inner.mvcc.lock();
+        let ts = self.inner.env.kv.clock().tick();
         st.commit_files(gen, ids, ts);
         // Bump the edit clock too: a two-phase rewrite pinned before this
         // insert must conflict at finish, or its swing would silently drop
@@ -1109,7 +1159,6 @@ impl DualTableStore {
         let mut delta = PresenceDelta::new();
         let mut flush_err: Option<Error> = None;
         let mut touched: Vec<u64> = Vec::new();
-        let mut last_ts = 0u64;
         let attached = self.attached()?;
         self.for_each_locked(&UnionReadOptions::all(), &mut |record, row| {
             scanned += 1;
@@ -1129,12 +1178,11 @@ impl DualTableStore {
                 touched.push(record.as_u64());
                 batch.extend(update_cells(record, &values));
                 if batch.len() >= 4096 {
-                    match self.flush_edit_batch(&attached, &mut batch, &mut delta) {
-                        Ok(ts) => last_ts = last_ts.max(ts),
-                        Err(e) => {
-                            flush_err = Some(e);
-                            return Ok(ControlFlow::Break(()));
-                        }
+                    if let Err(e) =
+                        self.flush_edit_batch(&attached, &mut batch, &mut delta, &mut touched)
+                    {
+                        flush_err = Some(e);
+                        return Ok(ControlFlow::Break(()));
                     }
                 }
             }
@@ -1143,14 +1191,7 @@ impl DualTableStore {
         if let Some(e) = flush_err {
             return Err(e);
         }
-        let ts = self.flush_edit_batch(&attached, &mut batch, &mut delta)?;
-        last_ts = last_ts.max(ts);
-        if matched > 0 {
-            // Autocommit EDITs enter the conflict window too: a
-            // transaction pinned before this statement must not silently
-            // overwrite rows it changed.
-            self.inner.mvcc.lock().note_edit_commit(touched, last_ts);
-        }
+        self.flush_edit_batch(&attached, &mut batch, &mut delta, &mut touched)?;
         Ok((matched, scanned))
     }
 
@@ -1159,18 +1200,32 @@ impl DualTableStore {
     /// record, so the index can never drift from the data (see
     /// [`crate::presence`]). The read-modify-write of the counts is
     /// serialized against concurrent EDIT statements by `presence_lock`.
-    /// Returns the batch's commit timestamp (`0` for an empty batch).
+    ///
+    /// The records the batch writes (`touched`, drained on success) are
+    /// registered in the conflict window under the [`TableMvcc`] state
+    /// mutex, held across the durable write — the same "conflict check +
+    /// batch + bookkeeping as one atomic step" discipline as
+    /// [`Self::commit_transaction`]. Deferring the registration to the end
+    /// of the statement would open a lost-update race: a transaction
+    /// running its first-committer-wins check between our `put_batch` and
+    /// the deferred registration would see no record of the already-
+    /// durable edits, pass the check, and overwrite them. Returns the
+    /// batch's commit timestamp (`0` for an empty batch).
     fn flush_edit_batch(
         &self,
         attached: &dt_kvstore::Store,
         batch: &mut Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
         delta: &mut PresenceDelta,
+        touched: &mut Vec<u64>,
     ) -> Result<u64> {
         if batch.is_empty() && delta.is_empty() {
             return Ok(0);
         }
-        let _presence_guard = self.inner.presence_lock.lock();
         let mut cells = std::mem::take(batch);
+        // Lock order (module doc in `mvcc`): state mutex, then
+        // presence lock — matching commit_transaction.
+        let mut st = self.inner.mvcc.lock();
+        let _presence_guard = self.inner.presence_lock.lock();
         for ((file_id, column), n) in delta.drain() {
             let key = presence_key(file_id);
             let qual = presence_qualifier(column);
@@ -1180,7 +1235,12 @@ impl DualTableStore {
             };
             cells.push((key.to_vec(), qual.to_vec(), encode_count(current + n)));
         }
-        attached.put_batch(cells)
+        let ts = attached.put_batch(cells)?;
+        // Autocommit EDITs enter the conflict window too: a transaction
+        // pinned before this batch must not silently overwrite rows it
+        // changed.
+        st.note_edit_commit(touched.drain(..), ts);
+        Ok(ts)
     }
 
     /// OVERWRITE plan for UPDATE: Hive's INSERT OVERWRITE — rewrite the
@@ -1320,7 +1380,6 @@ impl DualTableStore {
         let mut delta = PresenceDelta::new();
         let mut flush_err: Option<Error> = None;
         let mut touched: Vec<u64> = Vec::new();
-        let mut last_ts = 0u64;
         let attached = self.attached()?;
         self.for_each_locked(&UnionReadOptions::all(), &mut |record, row| {
             scanned += 1;
@@ -1330,12 +1389,11 @@ impl DualTableStore {
                 batch.push(delete_cell(record));
                 delta.add_delete(record.file_id);
                 if batch.len() >= 4096 {
-                    match self.flush_edit_batch(&attached, &mut batch, &mut delta) {
-                        Ok(ts) => last_ts = last_ts.max(ts),
-                        Err(e) => {
-                            flush_err = Some(e);
-                            return Ok(ControlFlow::Break(()));
-                        }
+                    if let Err(e) =
+                        self.flush_edit_batch(&attached, &mut batch, &mut delta, &mut touched)
+                    {
+                        flush_err = Some(e);
+                        return Ok(ControlFlow::Break(()));
                     }
                 }
             }
@@ -1344,11 +1402,7 @@ impl DualTableStore {
         if let Some(e) = flush_err {
             return Err(e);
         }
-        let ts = self.flush_edit_batch(&attached, &mut batch, &mut delta)?;
-        last_ts = last_ts.max(ts);
-        if matched > 0 {
-            self.inner.mvcc.lock().note_edit_commit(touched, last_ts);
-        }
+        self.flush_edit_batch(&attached, &mut batch, &mut delta, &mut touched)?;
         Ok((matched, scanned))
     }
 
@@ -1811,10 +1865,16 @@ impl DualTableStore {
     pub fn begin_snapshot(&self) -> Result<Snapshot> {
         let mut st = self.inner.mvcc.lock();
         let gen = self.current_gen()?;
-        // Ticked under the state mutex: commits hold this mutex across
-        // their batch write, so a pin timestamp never lands inside a
-        // commit's cell-timestamp range — each commit is entirely visible
-        // or entirely invisible to every snapshot.
+        // Ticked under the state mutex: every commit batch — a
+        // transaction's single commit batch and each flushed autocommit
+        // EDIT batch — holds this mutex across its KV write, so a pin
+        // timestamp never lands inside a batch's cell-timestamp range.
+        // Transactions are therefore entirely visible or entirely
+        // invisible to every snapshot. Autocommit UPDATE/DELETE
+        // statements are atomic per *batch*, not per statement: one
+        // flushes durably every 4096 cells, and a snapshot pinned
+        // mid-statement sees the already-flushed prefix (DESIGN.md §13).
+        // Statement-level atomicity requires BEGIN/COMMIT.
         let ts = self.inner.env.kv.clock().tick();
         st.pin(gen, ts);
         drop(st);
@@ -2444,6 +2504,116 @@ mod tests {
         );
         let new = t.scan_all().unwrap();
         assert_eq!(new[1].1[2], Value::Float64(99.0));
+    }
+
+    /// Regression (REVIEW: lost-update race): an autocommit EDIT batch
+    /// must be in the conflict window the moment its durable write lands
+    /// — not at end of statement. A transaction running its
+    /// first-committer-wins check in between would otherwise miss the
+    /// already-durable edits and overwrite them.
+    #[test]
+    fn autocommit_flush_enters_conflict_window_immediately() {
+        let t = table_with(10, small_files());
+        let txn = t.begin_transaction().unwrap();
+        let pin_ts = txn.snapshot_ts();
+        let (rec, _) = t.scan_all().unwrap()[0];
+        // One mid-statement flush, exactly as update_edit_locked drives it.
+        let attached = t.attached().unwrap();
+        let values = vec![(2usize, Value::Float64(-5.0))];
+        let mut batch = update_cells(rec, &values);
+        let mut delta = PresenceDelta::new();
+        delta.add_updates(rec.file_id, 2, 1);
+        let mut touched = vec![rec.as_u64()];
+        t.flush_edit_batch(&attached, &mut batch, &mut delta, &mut touched)
+            .unwrap();
+        assert!(touched.is_empty(), "flush drains the touched set");
+        assert!(
+            t.inner
+                .mvcc
+                .lock()
+                .conflict_since(pin_ts, &[rec.as_u64()])
+                .is_some(),
+            "flushed batch must conflict with the pinned transaction at once"
+        );
+        drop(txn);
+    }
+
+    /// Regression (REVIEW: non-repeatable read): autocommit INSERT must
+    /// stage its files before they become listable. A snapshot pinned
+    /// after the file write but before the commit must never see the new
+    /// rows — with unstaged files (absent-means-visible) it would first
+    /// see them, then lose them when the commit lands past its pin.
+    #[test]
+    fn snapshot_pinned_mid_insert_never_sees_staged_files() {
+        let t = table_with(10, small_files());
+        let gen = t.current_gen().unwrap();
+        // Replicate insert_rows' window: reserve + stage + write, no
+        // commit yet.
+        let first = t.inner.env.meta.reserve_file_ids(&t.inner.name, 1).unwrap();
+        t.inner.mvcc.lock().stage_file(gen, first);
+        let mut sink = MasterWriteSink::reserved(&t, gen, first, 1);
+        for i in 100..110 {
+            sink.push(row(i)).unwrap();
+        }
+        sink.finish().unwrap();
+        // Pinned inside the window: the durable-but-uncommitted file is
+        // invisible.
+        let snap = t.begin_snapshot().unwrap();
+        assert_eq!(snap.count().unwrap(), 10, "staged file must be invisible");
+        // Commit point (as insert_rows runs it).
+        {
+            let mut st = t.inner.mvcc.lock();
+            let ts = t.inner.env.kv.clock().tick();
+            st.commit_files(gen, [first], ts);
+            st.note_edit_commit([], ts);
+        }
+        assert_eq!(
+            snap.count().unwrap(),
+            10,
+            "repeatable read across the commit point"
+        );
+        drop(snap);
+        assert_eq!(t.count().unwrap(), 20, "new snapshots see the insert");
+    }
+
+    /// Regression (REVIEW: partial statement in the buffer): a failed
+    /// transactional UPDATE must leave the transaction buffer untouched —
+    /// committed-row patches *and* buffered-insert mutations alike —
+    /// or a later COMMIT persists half a statement.
+    #[test]
+    fn failed_transaction_update_leaves_buffer_untouched() {
+        let t = table_with(10, small_files());
+        let mut txn = t.begin_transaction().unwrap();
+        txn.insert(vec![row(100), row(101)]).unwrap();
+        // Valid value for every committed row and the first pending row;
+        // wrong type for the second pending row → the statement fails.
+        let err = txn
+            .update(
+                |r| r[0].as_i64().unwrap() >= 5,
+                &[(
+                    2,
+                    Box::new(|r: &Row| {
+                        if r[0].as_i64().unwrap() == 101 {
+                            Value::Utf8("bad".into())
+                        } else {
+                            Value::Float64(-1.0)
+                        }
+                    }),
+                )],
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Schema(_)), "got {err:?}");
+        txn.commit().unwrap();
+        let rows = t.scan_all().unwrap();
+        assert_eq!(rows.len(), 12);
+        for (_, r) in &rows {
+            let id = r[0].as_i64().unwrap();
+            assert_eq!(
+                r[2],
+                Value::Float64(id as f64),
+                "no value from the failed statement may survive (id {id})"
+            );
+        }
     }
 }
 

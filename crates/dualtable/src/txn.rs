@@ -200,7 +200,24 @@ impl Transaction {
             }
             Ok(ControlFlow::Continue(()))
         })?;
-        for (_, values) in &patches {
+        let mut pending_patches: Vec<(usize, Vec<(usize, Value)>)> = Vec::new();
+        for (i, row) in self.pending.iter().enumerate() {
+            if predicate(row) {
+                matched += 1;
+                let values: Vec<(usize, Value)> =
+                    assignments.iter().map(|(col, f)| (*col, f(row))).collect();
+                pending_patches.push((i, values));
+            }
+        }
+        // Validate every new value — committed-row patches and buffered
+        // inserts alike — before mutating any transaction state: a failed
+        // UPDATE statement must leave the buffer untouched, or a later
+        // COMMIT would persist the partial statement.
+        for values in patches
+            .iter()
+            .map(|(_, v)| v)
+            .chain(pending_patches.iter().map(|(_, v)| v))
+        {
             for (col, value) in values {
                 self.schema_check(*col, value)?;
             }
@@ -211,20 +228,9 @@ impl Transaction {
                 patch.updates.insert(col, value);
             }
         }
-        for row in &mut self.pending {
-            if predicate(row) {
-                matched += 1;
-                let values: Vec<(usize, Value)> =
-                    assignments.iter().map(|(col, f)| (*col, f(row))).collect();
-                for (col, value) in values {
-                    if !value.conforms_to(self.snapshot.store().schema().field(col).data_type) {
-                        return Err(Error::schema(format!(
-                            "value {value:?} does not fit column '{}'",
-                            self.snapshot.store().schema().field(col).name
-                        )));
-                    }
-                    row[col] = value;
-                }
+        for (i, values) in pending_patches {
+            for (col, value) in values {
+                self.pending[i][col] = value;
             }
         }
         Ok(matched)

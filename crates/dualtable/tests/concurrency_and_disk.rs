@@ -84,6 +84,54 @@ fn compact_excludes_writers_and_keeps_readers_correct() {
     assert_eq!(t.stats().unwrap().master_rows, 270);
 }
 
+/// Regression (REVIEW: non-repeatable read): autocommit INSERT stages
+/// its master files before writing them, so a snapshot pinned anywhere
+/// inside an in-flight insert must read a stable row count — never
+/// "see the new rows, then lose them when the commit lands past the
+/// pin". Races real `insert_rows` calls against pinned re-scans.
+#[test]
+fn pinned_snapshot_count_is_stable_across_racing_inserts() {
+    let env = DualTableEnv::in_memory();
+    let cfg = DualTableConfig {
+        rows_per_file: 4, // many small files → wide write-to-commit window
+        ..config()
+    };
+    let t = DualTableStore::create(&env, "t", schema(), cfg).unwrap();
+    t.insert_rows((0..40).map(|i| vec![Value::Int64(i), Value::Int64(0)]))
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        let writer = {
+            let t = t.clone();
+            scope.spawn(move || {
+                for round in 0..30i64 {
+                    let base = 1000 + round * 40;
+                    t.insert_rows(
+                        (base..base + 40).map(|i| vec![Value::Int64(i), Value::Int64(round)]),
+                    )
+                    .unwrap();
+                }
+            })
+        };
+        while !writer.is_finished() {
+            let snap = t.begin_snapshot().unwrap();
+            let first = snap.count().unwrap();
+            // Whole inserts only: autocommit INSERT commits all its
+            // files at one timestamp.
+            assert_eq!(first % 40, 0, "snapshot saw a torn insert");
+            for _ in 0..3 {
+                assert_eq!(
+                    snap.count().unwrap(),
+                    first,
+                    "pinned snapshot re-scan must be repeatable"
+                );
+            }
+        }
+        writer.join().unwrap();
+    });
+    assert_eq!(t.count().unwrap(), 40 + 30 * 40);
+}
+
 #[test]
 fn on_disk_environment_roundtrip() {
     let dir = std::env::temp_dir().join(format!("dt-disk-it-{}", std::process::id()));

@@ -163,20 +163,44 @@ impl Session {
                 // conflict) aborts: the failing table applies nothing and
                 // the remaining transactions drop, releasing their pins.
                 // Tables committed before the failure stay committed —
-                // atomicity is per table, not cross-table.
+                // atomicity is per table, not cross-table — so the error
+                // names them: retry logic must re-apply only the failing
+                // and never-attempted tables, not the committed ones.
                 let mut affected = 0u64;
-                let mut tables = 0usize;
+                let mut committed: Vec<String> = Vec::new();
                 for (name, txn) in map {
                     if txn.is_read_only() {
                         continue;
                     }
-                    txn.commit().map_err(|e| match e {
-                        Error::Conflict(m) => Error::Conflict(format!("table '{name}': {m}")),
-                        other => other,
-                    })?;
+                    if let Err(e) = txn.commit() {
+                        let caveat = if committed.is_empty() {
+                            "no other table had committed".to_string()
+                        } else {
+                            format!(
+                                "already durably committed (not rolled back): {}",
+                                committed.join(", ")
+                            )
+                        };
+                        // Preserve the variant (it carries the
+                        // transient/permanent classification); only the
+                        // message grows the per-table context.
+                        return Err(match e {
+                            Error::Conflict(m) => {
+                                Error::Conflict(format!("table '{name}': {m}; {caveat}"))
+                            }
+                            Error::Unavailable(m) => {
+                                Error::Unavailable(format!("table '{name}': {m}; {caveat}"))
+                            }
+                            Error::Internal(m) => {
+                                Error::Internal(format!("table '{name}': {m}; {caveat}"))
+                            }
+                            other => other,
+                        });
+                    }
                     affected += 1;
-                    tables += 1;
+                    committed.push(name);
                 }
+                let tables = committed.len();
                 Ok(dml_result(affected, format!("committed ({tables} tables)")))
             }
             Statement::Rollback => {

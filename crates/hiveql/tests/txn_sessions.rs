@@ -167,3 +167,55 @@ fn read_only_commit_is_a_noop() {
     a.execute("COMMIT").unwrap();
     assert_eq!(sum_v(&mut a), 55.0);
 }
+
+/// Regression (REVIEW: partial multi-table COMMIT): COMMIT is atomic per
+/// table, not cross-table — when a later table conflicts, the error must
+/// name the tables that already committed so retry logic can avoid
+/// double-applying them.
+#[test]
+fn multi_table_commit_conflict_names_committed_tables() {
+    let env = DualTableEnv::in_memory();
+    let mut a = Session::with_env(env.clone());
+    for name in ["t", "u"] {
+        a.execute(&format!(
+            "CREATE TABLE {name} (id BIGINT, v DOUBLE) STORED AS DUALTABLE"
+        ))
+        .unwrap();
+        a.execute(&format!("INSERT INTO {name} VALUES (1, 1.0), (2, 2.0)"))
+            .unwrap();
+    }
+    let mut b = Session::with_env(env);
+    for name in ["t", "u"] {
+        let TableHandle::Dual(store) = a.table(name).unwrap().clone() else {
+            panic!("{name} is DUALTABLE");
+        };
+        b.register_dualtable(name, store).unwrap();
+    }
+
+    // A buffers writes to both tables; B then wins the race on `u`
+    // (COMMIT applies in table-name order, so `t` commits first).
+    a.execute("BEGIN").unwrap();
+    a.execute("UPDATE t SET v = 10.0 WHERE id = 1").unwrap();
+    a.execute("UPDATE u SET v = 10.0 WHERE id = 1").unwrap();
+    b.execute("UPDATE u SET v = 20.0 WHERE id = 1").unwrap();
+
+    let err = a.execute("COMMIT").unwrap_err();
+    assert!(err.is_conflict(), "expected Conflict, got {err:?}");
+    let msg = err.to_string();
+    assert!(msg.contains("table 'u'"), "names the failing table: {msg}");
+    assert!(
+        msg.contains("already durably committed (not rolled back): t"),
+        "names the committed tables: {msg}"
+    );
+
+    // The partial outcome the message describes is real: t has A's
+    // write, u has B's.
+    let t_sum = a.execute("SELECT SUM(v) FROM t").unwrap().rows()[0][0]
+        .as_f64()
+        .unwrap();
+    let u_sum = a.execute("SELECT SUM(v) FROM u").unwrap().rows()[0][0]
+        .as_f64()
+        .unwrap();
+    assert_eq!(t_sum, 12.0);
+    assert_eq!(u_sum, 22.0);
+}
