@@ -1,0 +1,100 @@
+//! `dualtable-bench`: load a running `dualtabled` and report latency.
+//!
+//! ```text
+//! dualtable-bench --addr HOST:PORT [--mode closed|open] [--clients N]
+//!                 [--qps N] [--secs S] [--sql STATEMENT]
+//! ```
+//!
+//! Closed mode fixes concurrency and lets throughput float; open mode
+//! offers a fixed arrival rate (coordinated-omission-free). Both print
+//! goodput, refusals, and p50/p99/p999.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dt_bench::server_load::{closed_loop, open_loop};
+
+struct Args {
+    addr: String,
+    mode: String,
+    clients: usize,
+    qps: f64,
+    secs: f64,
+    sql: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7117".to_string(),
+        mode: "closed".to_string(),
+        clients: 4,
+        qps: 100.0,
+        secs: 5.0,
+        sql: "SHOW HEALTH".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--mode" => args.mode = value("--mode")?,
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+            }
+            "--qps" => {
+                args.qps = value("--qps")?.parse().map_err(|e| format!("--qps: {e}"))?;
+            }
+            "--secs" => {
+                args.secs = value("--secs")?
+                    .parse()
+                    .map_err(|e| format!("--secs: {e}"))?;
+            }
+            "--sql" => args.sql = value("--sql")?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: dualtable-bench --addr HOST:PORT [--mode closed|open] \
+                     [--clients N] [--qps N] [--secs S] [--sql STATEMENT]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let duration = Duration::from_secs_f64(args.secs);
+    let result = match args.mode.as_str() {
+        "closed" => closed_loop(&args.addr, args.clients, duration, &args.sql),
+        "open" => open_loop(&args.addr, args.clients, args.qps, duration, &args.sql),
+        other => {
+            eprintln!("unknown mode '{other}' (want closed|open)");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "mode={} clients={} secs={:.1} statement={:?}",
+        args.mode, args.clients, result.seconds, args.sql
+    );
+    println!(
+        "ok={} refused={} qps={:.1}",
+        result.ok, result.refused, result.qps
+    );
+    println!(
+        "p50={:.2}ms p99={:.2}ms p999={:.2}ms",
+        result.p50_micros as f64 / 1_000.0,
+        result.p99_micros as f64 / 1_000.0,
+        result.p999_micros as f64 / 1_000.0
+    );
+    ExitCode::SUCCESS
+}

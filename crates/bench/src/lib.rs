@@ -12,6 +12,7 @@
 pub mod datasets;
 pub mod model;
 pub mod report;
+pub mod server_load;
 pub mod sweeps;
 pub mod systems;
 

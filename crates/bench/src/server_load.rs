@@ -1,0 +1,269 @@
+//! Load drivers for `dualtabled` (BENCH 6, DESIGN.md §14).
+//!
+//! Two standard driver shapes:
+//!
+//! * **Closed loop** — each client fires its next statement the moment
+//!   the previous response lands. Concurrency is fixed, offered load
+//!   adapts to the server: ramping the client count finds the maximum
+//!   sustainable QPS.
+//! * **Open loop** — statements are launched on a fixed schedule
+//!   regardless of responses, the shape of real independent users.
+//!   Latency is measured from the *scheduled* launch instant, so queue
+//!   delay from a slow server is charged to the server (no coordinated
+//!   omission).
+//!
+//! Both report goodput plus p50/p99/p999 of the statements the server
+//! accepted; refusals (`SERVER_BUSY`, `TIMEOUT`) are counted separately
+//! — under overload they are the admission controller doing its job.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dt_server::Client;
+
+/// Latency sample sink with exact percentiles (micros).
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    pub fn record(&mut self, latency: Duration) {
+        self.samples.push(latency.as_micros() as u64);
+    }
+
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Exact percentile by sorting; `p` in `[0, 100]`.
+    pub fn percentile_micros(&mut self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.samples.sort_unstable();
+        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).round() as usize;
+        self.samples[rank.min(self.samples.len() - 1)]
+    }
+
+    pub fn p50(&mut self) -> u64 {
+        self.percentile_micros(50.0)
+    }
+
+    pub fn p99(&mut self) -> u64 {
+        self.percentile_micros(99.0)
+    }
+
+    pub fn p999(&mut self) -> u64 {
+        self.percentile_micros(99.9)
+    }
+}
+
+/// Outcome of one driver run.
+#[derive(Debug, Clone)]
+pub struct LoadResult {
+    /// Statements the server completed successfully.
+    pub ok: u64,
+    /// Retryable refusals (shed / timed out) — expected under overload.
+    pub refused: u64,
+    /// Wall-clock seconds the run took.
+    pub seconds: f64,
+    /// Completed statements per second.
+    pub qps: f64,
+    /// End-to-end percentiles. Closed loop: send → response. Open
+    /// loop: *scheduled* launch → response, so a driver that falls
+    /// behind its own schedule charges the slip to the server
+    /// (no coordinated omission).
+    pub p50_micros: u64,
+    pub p99_micros: u64,
+    pub p999_micros: u64,
+    /// Service-time percentiles (actual send → response): the latency
+    /// the server imposed on the statements it accepted, excluding
+    /// client-side backlog. Identical to the end-to-end numbers in
+    /// closed loop.
+    pub p50_service_micros: u64,
+    pub p99_service_micros: u64,
+    pub p999_service_micros: u64,
+}
+
+fn summarize(
+    ok: u64,
+    refused: u64,
+    seconds: f64,
+    recorder: &mut LatencyRecorder,
+    service: &mut LatencyRecorder,
+) -> LoadResult {
+    LoadResult {
+        ok,
+        refused,
+        seconds,
+        qps: ok as f64 / seconds.max(1e-9),
+        p50_micros: recorder.p50(),
+        p99_micros: recorder.p99(),
+        p999_micros: recorder.p999(),
+        p50_service_micros: service.p50(),
+        p99_service_micros: service.p99(),
+        p999_service_micros: service.p999(),
+    }
+}
+
+/// Closed loop: `clients` connections, each firing `sql` back-to-back
+/// for `duration`.
+pub fn closed_loop(addr: &str, clients: usize, duration: Duration, sql: &str) -> LoadResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let mut recorder = LatencyRecorder::new();
+    let (mut ok, mut refused) = (0u64, 0u64);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let stop = stop.clone();
+                s.spawn(move || {
+                    let mut c = Client::connect_retry(addr, Duration::from_secs(10))
+                        .expect("bench client connect");
+                    let mut rec = LatencyRecorder::new();
+                    let (mut ok, mut refused) = (0u64, 0u64);
+                    while !stop.load(Ordering::Relaxed) {
+                        let t0 = Instant::now();
+                        match c.query(sql) {
+                            Ok(_) => {
+                                rec.record(t0.elapsed());
+                                ok += 1;
+                            }
+                            Err(e) if e.is_retryable() => {
+                                refused += 1;
+                                // Back off instead of hammering the
+                                // admission queue in a tight loop.
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(e) => panic!("bench statement failed: {e}"),
+                        }
+                    }
+                    (rec, ok, refused)
+                })
+            })
+            .collect();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            let (rec, o, r) = h.join().expect("bench client thread");
+            recorder.merge(&rec);
+            ok += o;
+            refused += r;
+        }
+    });
+    let mut service = recorder.clone();
+    summarize(
+        ok,
+        refused,
+        start.elapsed().as_secs_f64(),
+        &mut recorder,
+        &mut service,
+    )
+}
+
+/// Open loop: `clients` connections collectively offering `target_qps`,
+/// each on a fixed schedule. Latency is measured from the scheduled
+/// launch instant.
+pub fn open_loop(
+    addr: &str,
+    clients: usize,
+    target_qps: f64,
+    duration: Duration,
+    sql: &str,
+) -> LoadResult {
+    let interval = Duration::from_secs_f64(clients as f64 / target_qps.max(1.0));
+    let per_client = (duration.as_secs_f64() / interval.as_secs_f64()).ceil() as u64;
+    let start = Instant::now();
+    let mut recorder = LatencyRecorder::new();
+    let mut service = LatencyRecorder::new();
+    let (mut ok, mut refused) = (0u64, 0u64);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                s.spawn(move || {
+                    let mut c = Client::connect_retry(addr, Duration::from_secs(10))
+                        .expect("bench client connect");
+                    let mut rec = LatencyRecorder::new();
+                    let mut svc = LatencyRecorder::new();
+                    let (mut ok, mut refused) = (0u64, 0u64);
+                    let base = Instant::now();
+                    // Stagger clients across one interval so the
+                    // aggregate arrival process is evenly spaced.
+                    let offset = interval.mul_f64(i as f64 / clients as f64);
+                    for n in 0..per_client {
+                        let scheduled = base + offset + interval.mul_f64(n as f64);
+                        if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        let sent = Instant::now();
+                        match c.query(sql) {
+                            Ok(_) => {
+                                // End-to-end is charged from the
+                                // schedule, not the (possibly late)
+                                // actual send; service time from the
+                                // send itself.
+                                rec.record(scheduled.elapsed());
+                                svc.record(sent.elapsed());
+                                ok += 1;
+                            }
+                            Err(e) if e.is_retryable() => refused += 1,
+                            Err(e) => panic!("bench statement failed: {e}"),
+                        }
+                    }
+                    (rec, svc, ok, refused)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (rec, svc, o, r) = h.join().expect("bench client thread");
+            recorder.merge(&rec);
+            service.merge(&svc);
+            ok += o;
+            refused += r;
+        }
+    });
+    summarize(
+        ok,
+        refused,
+        start.elapsed().as_secs_f64(),
+        &mut recorder,
+        &mut service,
+    )
+}
+
+/// Ramps closed-loop concurrency and returns `(best, per_step)`: the
+/// step with the highest goodput and every step for the report. The
+/// best step's QPS is the maximum sustainable throughput — beyond it,
+/// extra clients only grow the refusal count.
+pub fn max_sustainable_qps(
+    addr: &str,
+    client_steps: &[usize],
+    step_duration: Duration,
+    sql: &str,
+) -> (LoadResult, Vec<(usize, LoadResult)>) {
+    let mut steps = Vec::new();
+    for &clients in client_steps {
+        let r = closed_loop(addr, clients, step_duration, sql);
+        steps.push((clients, r));
+    }
+    let best = steps
+        .iter()
+        .map(|(_, r)| r.clone())
+        .max_by(|a, b| a.qps.total_cmp(&b.qps))
+        .expect("at least one ramp step");
+    (best, steps)
+}

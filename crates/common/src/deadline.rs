@@ -1,0 +1,147 @@
+//! Per-statement deadlines and cooperative cancellation.
+//!
+//! A [`Deadline`] is a cheap, cloneable token threaded from the serving
+//! layer down into scan loops. Long-running operations call
+//! [`Deadline::check`] at row-batch boundaries; once the wall-clock
+//! deadline passes (or the token is cancelled explicitly, e.g. by server
+//! shutdown) the check returns [`Error::Timeout`] and the statement
+//! unwinds cleanly — buffers drop, pins release, the session stays
+//! usable. Nothing is interrupted mid-batch, so a timed-out statement
+//! never tears storage state.
+//!
+//! The default token ([`Deadline::never`]) is a no-allocation constant
+//! whose checks always pass, so library callers that don't care about
+//! deadlines pay nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{Error, Result};
+
+#[derive(Debug)]
+struct Inner {
+    /// Wall-clock expiry; `None` means cancel-only.
+    expires_at: Option<Instant>,
+    /// Explicit cancellation (server shutdown, client gone).
+    cancelled: AtomicBool,
+}
+
+/// A cancellation/deadline token. Clones share state: cancelling one
+/// clone cancels them all.
+#[derive(Debug, Clone, Default)]
+pub struct Deadline {
+    /// `None` = the never-expiring token.
+    inner: Option<Arc<Inner>>,
+}
+
+impl Deadline {
+    /// A token that never expires and cannot be cancelled.
+    pub fn never() -> Self {
+        Deadline { inner: None }
+    }
+
+    /// A token expiring `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        Deadline {
+            inner: Some(Arc::new(Inner {
+                expires_at: Some(Instant::now() + timeout),
+                cancelled: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// A token expiring `millis` milliseconds from now.
+    pub fn after_millis(millis: u64) -> Self {
+        Self::after(Duration::from_millis(millis))
+    }
+
+    /// A token with no time limit that can only be cancelled explicitly.
+    pub fn cancellable() -> Self {
+        Deadline {
+            inner: Some(Arc::new(Inner {
+                expires_at: None,
+                cancelled: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// Cancels the token: every clone's next [`Deadline::check`] fails.
+    /// Cancelling the never-token is a no-op.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// `true` once the deadline has passed or the token was cancelled.
+    pub fn expired(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.cancelled.load(Ordering::Relaxed)
+                    || inner.expires_at.is_some_and(|at| Instant::now() >= at)
+            }
+        }
+    }
+
+    /// Returns [`Error::Timeout`] once expired or cancelled; `Ok` before.
+    /// Call this at row-batch boundaries of long loops.
+    pub fn check(&self) -> Result<()> {
+        match &self.inner {
+            None => Ok(()),
+            Some(inner) => {
+                if inner.cancelled.load(Ordering::Relaxed) {
+                    return Err(Error::Timeout("statement cancelled".into()));
+                }
+                if inner.expires_at.is_some_and(|at| Instant::now() >= at) {
+                    return Err(Error::Timeout("statement deadline exceeded".into()));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_always_passes() {
+        let d = Deadline::never();
+        assert!(!d.expired());
+        d.check().unwrap();
+        d.cancel(); // no-op
+        d.check().unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_fails_check() {
+        let d = Deadline::after(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(d.expired());
+        let err = d.check().unwrap_err();
+        assert!(matches!(err, Error::Timeout(_)), "{err}");
+        assert!(err.is_transient(), "timeouts must be retryable");
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones() {
+        let d = Deadline::cancellable();
+        let c = d.clone();
+        c.check().unwrap();
+        d.cancel();
+        assert!(c.expired());
+        assert!(c.check().is_err());
+    }
+
+    #[test]
+    fn future_deadline_passes_until_reached() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        d.check().unwrap();
+        d.cancel();
+        assert!(d.check().is_err(), "cancel beats a future deadline");
+    }
+}

@@ -42,6 +42,12 @@ pub enum Error {
     /// datanode timing out, a region server mid-restart). Classified
     /// [`ErrorClass::Transient`]: retrying the same operation may succeed.
     Unavailable(String),
+    /// A statement overran its [`deadline`](crate::deadline::Deadline) (or
+    /// was cancelled by server shutdown) and was aborted at a row-batch
+    /// boundary. Classified [`ErrorClass::Transient`]: the session is not
+    /// poisoned — the same statement may succeed under a looser deadline
+    /// or lighter load.
+    Timeout(String),
     /// Invariant violation — a bug in this library.
     Internal(String),
     /// A deterministic fault injected by a test's [`fault
@@ -103,14 +109,28 @@ impl Error {
         matches!(self, Error::Injected(_))
     }
 
+    /// Shorthand for [`Error::Timeout`].
+    pub fn timeout(msg: impl Into<String>) -> Self {
+        Error::Timeout(msg.into())
+    }
+
+    /// `true` iff a statement deadline expired (or the statement was
+    /// cancelled). The session survives; retry with a fresh deadline.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, Error::Timeout(_))
+    }
+
     /// Coarse classification used by the self-healing layer to decide
     /// whether an operation is worth retrying (see `retry::RetryPolicy`).
     pub fn class(&self) -> ErrorClass {
         match self {
-            // A contended lock, an unreachable component or a snapshot
-            // that lost a first-committer-wins race may clear on a later
-            // attempt; everything else will fail the same way again.
-            Error::Unavailable(_) | Error::Busy(_) | Error::Conflict(_) => ErrorClass::Transient,
+            // A contended lock, an unreachable component, a snapshot that
+            // lost a first-committer-wins race or a statement that overran
+            // its deadline may clear on a later attempt; everything else
+            // will fail the same way again.
+            Error::Unavailable(_) | Error::Busy(_) | Error::Conflict(_) | Error::Timeout(_) => {
+                ErrorClass::Transient
+            }
             // Bad bytes stay bad: the fix is failover to another replica
             // (dfs) or quarantine (kvstore), never a blind retry.
             Error::Corrupt(_) => ErrorClass::Corrupt,
@@ -154,6 +174,7 @@ impl fmt::Display for Error {
             Error::Busy(m) => write!(f, "busy: {m}"),
             Error::Conflict(m) => write!(f, "transaction conflict: {m}"),
             Error::Unavailable(m) => write!(f, "unavailable: {m}"),
+            Error::Timeout(m) => write!(f, "timeout: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
             Error::Injected(m) => write!(f, "injected fault: {m}"),
         }
@@ -203,6 +224,12 @@ mod tests {
         );
         assert!(Error::conflict("x").is_conflict());
         assert!(!Error::Busy("x".into()).is_conflict());
+        assert_eq!(
+            Error::timeout("deadline exceeded").class(),
+            ErrorClass::Transient
+        );
+        assert!(Error::timeout("x").is_timeout());
+        assert!(!Error::conflict("x").is_timeout());
         assert_eq!(Error::corrupt("crc mismatch").class(), ErrorClass::Corrupt);
         assert_eq!(Error::injected("WriteError").class(), ErrorClass::Permanent);
         assert_eq!(Error::not_found("/x").class(), ErrorClass::Permanent);

@@ -36,6 +36,13 @@ pub struct HealthCounters {
     swing_conflicts: AtomicU64,
     generations_deferred: AtomicU64,
     generations_gcd: AtomicU64,
+    sessions_active: AtomicU64,
+    queue_depth: AtomicU64,
+    stmts_submitted: AtomicU64,
+    stmts_accepted: AtomicU64,
+    stmts_shed: AtomicU64,
+    stmts_timed_out: AtomicU64,
+    conns_dropped_in_txn: AtomicU64,
     degraded: AtomicBool,
 }
 
@@ -154,6 +161,56 @@ impl HealthCounters {
         self.generations_gcd.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// A server connection (session) was accepted. Gauge: paired with
+    /// [`HealthCounters::session_closed`].
+    pub fn session_opened(&self) {
+        self.sessions_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A server connection closed (cleanly or not); its session tore down.
+    pub fn session_closed(&self) {
+        // Saturating: a stray double-close must never wrap the gauge.
+        let _ = self
+            .sessions_active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Publishes the serving layer's current dispatch-queue depth (gauge).
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// A statement arrived at the serving layer's front door.
+    pub fn record_stmt_submitted(&self) {
+        self.stmts_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A statement passed admission control onto the dispatch queue.
+    pub fn record_stmt_accepted(&self) {
+        self.stmts_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A statement was refused admission (queue full or shutdown) with a
+    /// retryable `SERVER_BUSY`/`SHUTTING_DOWN`. Invariant the soak test
+    /// asserts: `stmts_accepted + stmts_shed == stmts_submitted`.
+    pub fn record_stmt_shed(&self) {
+        self.stmts_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A statement overran its deadline and was aborted at a row-batch
+    /// boundary (the session survives).
+    pub fn record_stmt_timed_out(&self) {
+        self.stmts_timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection died (or was killed) with a transaction still open;
+    /// teardown rolled it back and released its pins.
+    pub fn record_conn_dropped_in_txn(&self) {
+        self.conns_dropped_in_txn.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Sets or clears the degraded (read-only) flag for the tier.
     pub fn set_degraded(&self, degraded: bool) {
         self.degraded.store(degraded, Ordering::Relaxed);
@@ -189,6 +246,13 @@ impl HealthCounters {
             swing_conflicts: self.swing_conflicts.load(Ordering::Relaxed),
             generations_deferred: self.generations_deferred.load(Ordering::Relaxed),
             generations_gcd: self.generations_gcd.load(Ordering::Relaxed),
+            sessions_active: self.sessions_active.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            stmts_submitted: self.stmts_submitted.load(Ordering::Relaxed),
+            stmts_accepted: self.stmts_accepted.load(Ordering::Relaxed),
+            stmts_shed: self.stmts_shed.load(Ordering::Relaxed),
+            stmts_timed_out: self.stmts_timed_out.load(Ordering::Relaxed),
+            conns_dropped_in_txn: self.conns_dropped_in_txn.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
@@ -243,6 +307,21 @@ pub struct HealthSnapshot {
     pub generations_deferred: u64,
     /// Superseded generations physically garbage-collected.
     pub generations_gcd: u64,
+    /// Live server connections (gauge).
+    pub sessions_active: u64,
+    /// Statements waiting on the serving layer's dispatch queue (gauge).
+    pub queue_depth: u64,
+    /// Statements that arrived at the server front door.
+    pub stmts_submitted: u64,
+    /// Statements that passed admission control.
+    pub stmts_accepted: u64,
+    /// Statements refused admission with a retryable shed error.
+    pub stmts_shed: u64,
+    /// Statements aborted at a row-batch boundary by their deadline.
+    pub stmts_timed_out: u64,
+    /// Connections that died with an open transaction (rolled back by
+    /// teardown).
+    pub conns_dropped_in_txn: u64,
     /// Whether the tier is currently read-only.
     pub degraded: bool,
 }
@@ -274,6 +353,13 @@ impl HealthSnapshot {
             ("swing_conflicts", self.swing_conflicts),
             ("generations_deferred", self.generations_deferred),
             ("generations_gcd", self.generations_gcd),
+            ("sessions_active", self.sessions_active),
+            ("queue_depth", self.queue_depth),
+            ("stmts_submitted", self.stmts_submitted),
+            ("stmts_accepted", self.stmts_accepted),
+            ("stmts_shed", self.stmts_shed),
+            ("stmts_timed_out", self.stmts_timed_out),
+            ("conns_dropped_in_txn", self.conns_dropped_in_txn),
             ("degraded", u64::from(self.degraded)),
         ]
     }
@@ -309,6 +395,16 @@ mod tests {
         h.record_swing_conflict();
         h.record_generation_deferred();
         h.record_generations_gcd(3);
+        h.session_opened();
+        h.session_opened();
+        h.session_closed();
+        h.set_queue_depth(5);
+        h.record_stmt_submitted();
+        h.record_stmt_submitted();
+        h.record_stmt_accepted();
+        h.record_stmt_shed();
+        h.record_stmt_timed_out();
+        h.record_conn_dropped_in_txn();
         h.set_degraded(true);
         let s = h.snapshot();
         assert_eq!(s.retries, 2);
@@ -332,9 +428,26 @@ mod tests {
         assert_eq!(s.swing_conflicts, 1);
         assert_eq!(s.generations_deferred, 1);
         assert_eq!(s.generations_gcd, 3);
+        assert_eq!(s.sessions_active, 1, "two opens minus one close");
+        assert_eq!(s.queue_depth, 5);
+        assert_eq!(s.stmts_submitted, 2);
+        assert_eq!(s.stmts_accepted, 1);
+        assert_eq!(s.stmts_shed, 1);
+        assert_eq!(s.stmts_timed_out, 1);
+        assert_eq!(s.conns_dropped_in_txn, 1);
         assert!(s.degraded);
         h.set_degraded(false);
         assert!(!h.is_degraded());
+    }
+
+    #[test]
+    fn session_gauge_never_underflows() {
+        let h = HealthCounters::new();
+        h.session_closed();
+        h.session_closed();
+        assert_eq!(h.snapshot().sessions_active, 0);
+        h.session_opened();
+        assert_eq!(h.snapshot().sessions_active, 1);
     }
 
     #[test]
@@ -344,8 +457,13 @@ mod tests {
             ..HealthSnapshot::default()
         };
         let metrics = s.metrics();
-        assert_eq!(metrics.len(), 23);
+        assert_eq!(metrics.len(), 30);
         assert!(metrics.contains(&("degraded", 1)));
+        assert!(metrics.contains(&("sessions_active", 0)));
+        assert!(metrics.contains(&("queue_depth", 0)));
+        assert!(metrics.contains(&("stmts_shed", 0)));
+        assert!(metrics.contains(&("stmts_timed_out", 0)));
+        assert!(metrics.contains(&("conns_dropped_in_txn", 0)));
         assert!(metrics.contains(&("snapshots_pinned", 0)));
         assert!(metrics.contains(&("ww_conflicts", 0)));
         assert!(metrics.contains(&("generations_gcd", 0)));

@@ -20,6 +20,7 @@ pub mod clock;
 pub mod codec;
 pub mod crash_matrix;
 pub mod crc32;
+pub mod deadline;
 pub mod error;
 pub mod fault;
 pub mod health;
@@ -33,6 +34,7 @@ pub mod types;
 
 pub use clock::LogicalClock;
 pub use crash_matrix::{run_crash_matrix, select_crash_points, CrashMatrixReport};
+pub use deadline::Deadline;
 pub use error::{Error, ErrorClass, Result};
 pub use fault::{FaultKind, FaultPlan, IoOp};
 pub use health::{HealthCounters, HealthSnapshot};

@@ -23,14 +23,24 @@ pub struct HealthReport {
     /// Table tier: OVERWRITE→EDIT plan fallbacks, COMPACT retries,
     /// post-commit cleanup failures awaiting GC.
     pub table: HealthSnapshot,
+    /// Serving tier (`dualtabled`, DESIGN.md §14): active sessions,
+    /// dispatch-queue depth, admission-control shedding, statement
+    /// timeouts, and connections torn down mid-transaction. All zero
+    /// when the environment is used as a plain library.
+    pub server: HealthSnapshot,
 }
 
 impl HealthReport {
-    /// `(tier, metric, value)` triples over all three tiers, in a stable
+    /// `(tier, metric, value)` triples over all four tiers, in a stable
     /// order — the row source for `SHOW HEALTH`.
     pub fn metrics(&self) -> Vec<(&'static str, &'static str, u64)> {
         let mut out = Vec::new();
-        for (tier, snap) in [("dfs", &self.dfs), ("kv", &self.kv), ("table", &self.table)] {
+        for (tier, snap) in [
+            ("dfs", &self.dfs),
+            ("kv", &self.kv),
+            ("table", &self.table),
+            ("server", &self.server),
+        ] {
             for (metric, value) in snap.metrics() {
                 out.push((tier, metric, value));
             }
@@ -56,6 +66,10 @@ pub struct DualTableEnv {
     /// write-write conflict windows and deferred generation GC, shared by
     /// every session on this environment.
     pub mvcc: Arc<MvccRegistry>,
+    /// Serving-tier counters (DESIGN.md §14), bumped by `dualtabled`'s
+    /// admission control and teardown machinery and surfaced as the
+    /// `server` tier of `SHOW HEALTH`. Idle (all zero) outside a server.
+    pub server_health: Arc<HealthCounters>,
 }
 
 impl DualTableEnv {
@@ -103,15 +117,17 @@ impl DualTableEnv {
             meta,
             health: Arc::new(HealthCounters::new()),
             mvcc: Arc::new(MvccRegistry::new()),
+            server_health: Arc::new(HealthCounters::new()),
         })
     }
 
-    /// A point-in-time health report across all three tiers.
+    /// A point-in-time health report across all four tiers.
     pub fn health_report(&self) -> HealthReport {
         HealthReport {
             dfs: self.dfs.health().snapshot(),
             kv: self.kv.health_snapshot(),
             table: self.health.snapshot(),
+            server: self.server_health.snapshot(),
         }
     }
 

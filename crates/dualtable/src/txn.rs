@@ -5,6 +5,28 @@
 //! All three types wrap a pinned `(generation, timestamp)` epoch and hold
 //! it until dropped; dropping the last pin on a superseded generation
 //! triggers its physical GC (see [`crate::mvcc`]).
+//!
+//! # Panic safety of the `Drop` paths
+//!
+//! These destructors are the teardown mechanism the server relies on
+//! (DESIGN.md §14): when a session panics mid-statement or a connection
+//! dies mid-transaction, dropping its `Transaction`/`Snapshot` must still
+//! release the pin, or generation GC stalls forever behind a phantom
+//! reader. Three properties make that hold:
+//!
+//! * `Snapshot::drop` → `release_pin` → `sweep_gc` never panics: GC
+//!   failures are swallowed into the `cleanup_failures` health counter and
+//!   retried by the next sweep, so unwinding through the drop is safe.
+//! * The registry locks are the poison-recovering `parking_lot` shim
+//!   (`unwrap_or_else(|e| e.into_inner())`): a thread that panicked while
+//!   holding one does not wedge every later pin release.
+//! * `RewriteJob::drop` → `abandon_rewrite` likewise reports failures via
+//!   counters rather than panicking.
+//!
+//! The regression test `tests/drop_safety.rs` pins these properties: a
+//! session that panics inside `catch_unwind` with a live transaction must
+//! leave `pinned_snapshots() == 0` and must not block a subsequent
+//! OVERWRITE's generation GC.
 
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;

@@ -16,10 +16,17 @@
 //! stripes and determine the parallelism, exactly as mapper counts do on a
 //! real cluster.
 
+//!
+//! For *serving* rather than batch work, [`ServicePool`] keeps N
+//! long-lived workers behind a bounded dispatch queue with non-blocking
+//! admission — the execution substrate of the `dualtabled` server.
+
 mod counters;
 mod job;
 mod pool;
+mod service;
 
 pub use counters::JobCounters;
 pub use job::{parallel_map, parallel_map_fallible, run_map_reduce, JobConfig};
 pub use pool::JobPool;
+pub use service::{ServiceJob, ServicePool, SubmitError};

@@ -7,13 +7,20 @@
 
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 use dt_baselines::{HiveAcidTable, HiveHbaseTable, HiveHdfsTable};
-use dt_common::{Error, Result, Row, Schema};
+use dt_common::{Deadline, Error, Result, Row, Schema};
 use dt_orcfile::ColumnPredicate;
 use dualtable::{Assignment, DmlReport, DualTableStore, PlanChoice, RatioHint};
+use parking_lot::RwLock;
 
 use crate::ast::StorageKind;
+
+/// Rows scanned between two [`Deadline`] checks. Small enough that a
+/// timed-out statement aborts promptly; large enough that the atomic
+/// load disappears in scan cost.
+const DEADLINE_CHECK_ROWS: usize = 1024;
 
 /// A table's storage handler.
 #[derive(Clone)]
@@ -68,6 +75,22 @@ impl TableHandle {
         projection: Option<&[usize]>,
         predicates: Option<&[ColumnPredicate]>,
     ) -> Result<Vec<Row>> {
+        self.scan_deadline(projection, predicates, &Deadline::never())
+    }
+
+    /// [`TableHandle::scan`] under a per-statement [`Deadline`]: the scan
+    /// checks the token at row-batch boundaries (every
+    /// [`DEADLINE_CHECK_ROWS`] rows) and aborts with
+    /// [`Error::Timeout`](dt_common::Error::Timeout) once it expires. No
+    /// storage state is touched mid-batch, so a timed-out scan leaves the
+    /// table — and the session — fully usable.
+    pub fn scan_deadline(
+        &self,
+        projection: Option<&[usize]>,
+        predicates: Option<&[ColumnPredicate]>,
+        deadline: &Deadline,
+    ) -> Result<Vec<Row>> {
+        deadline.check()?;
         match self {
             TableHandle::Orc(t) => t.scan(projection, predicates),
             TableHandle::HBase(t) => t.scan(projection),
@@ -77,11 +100,28 @@ impl TableHandle {
                     opts.projection = Some(p.to_vec());
                 }
                 opts.predicates = predicates.map(<[ColumnPredicate]>::to_vec);
-                Ok(t.scan(&opts)?.into_iter().map(|(_, row)| row).collect())
+                let mut out = Vec::new();
+                let mut since_check = 0usize;
+                t.for_each(&opts, |_, row| {
+                    since_check += 1;
+                    if since_check >= DEADLINE_CHECK_ROWS {
+                        since_check = 0;
+                        deadline.check()?;
+                    }
+                    out.push(row);
+                    Ok(ControlFlow::Continue(()))
+                })?;
+                Ok(out)
             }
             TableHandle::Acid(t) => {
                 let mut out = Vec::new();
+                let mut since_check = 0usize;
                 t.for_each(|row| {
+                    since_check += 1;
+                    if since_check >= DEADLINE_CHECK_ROWS {
+                        since_check = 0;
+                        deadline.check()?;
+                    }
                     out.push(match projection {
                         Some(p) => p.iter().map(|&c| row[c].clone()).collect(),
                         None => row,
@@ -296,5 +336,51 @@ impl Catalog {
     /// Sorted table names.
     pub fn names(&self) -> Vec<String> {
         self.tables.keys().cloned().collect()
+    }
+}
+
+/// A [`Catalog`] shareable across sessions: the name registry the
+/// `dualtabled` server hands every connection, so a table created on one
+/// connection is queryable from all the others.
+///
+/// Handles come back **owned** (each variant is a cheap `Arc`-backed
+/// clone), so no lock is held during a scan or a DML statement — only
+/// during the name lookup itself. The lock is the poison-recovering
+/// `parking_lot` shim: a panicking session can never wedge the catalog
+/// for its neighbors.
+#[derive(Clone, Default)]
+pub struct SharedCatalog {
+    inner: Arc<RwLock<Catalog>>,
+}
+
+impl SharedCatalog {
+    /// Empty shared catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table.
+    pub fn register(&self, name: &str, handle: TableHandle) -> Result<()> {
+        self.inner.write().register(name, handle)
+    }
+
+    /// Looks a table up, returning an owned handle clone.
+    pub fn get(&self, name: &str) -> Result<TableHandle> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// `true` iff the table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.read().contains(name)
+    }
+
+    /// Unregisters and returns a table.
+    pub fn remove(&self, name: &str) -> Result<TableHandle> {
+        self.inner.write().remove(name)
+    }
+
+    /// Sorted table names.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.read().names()
     }
 }

@@ -2,13 +2,13 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use dt_common::{DataType, Error, Field, Result, Row, Schema, Value};
+use dt_common::{DataType, Deadline, Error, Field, Result, Row, Schema, Value};
 use dt_engine::{run_map_reduce, JobConfig, JobCounters};
 use dt_orcfile::{ColumnPredicate, PredicateOp};
 use dualtable::{RatioHint, Transaction};
 
 use crate::ast::*;
-use crate::catalog::Catalog;
+use crate::catalog::SharedCatalog;
 use crate::expr::{
     eval, is_true, normalize_numeric, Binding, EvalContext, GroupKey, HashableValue,
 };
@@ -70,6 +70,10 @@ pub struct ExecConfig {
     pub ratio_hint: RatioHint,
     /// Rows per map split when aggregating.
     pub agg_split_rows: usize,
+    /// Per-statement deadline token, checked at row-batch boundaries in
+    /// scans and filters. Defaults to never; installed per statement by
+    /// [`Session::execute_with_deadline`](crate::Session::execute_with_deadline).
+    pub deadline: Deadline,
 }
 
 impl Default for ExecConfig {
@@ -78,6 +82,7 @@ impl Default for ExecConfig {
             job: JobConfig::default(),
             ratio_hint: RatioHint::Sample,
             agg_split_rows: 64 * 1024,
+            deadline: Deadline::never(),
         }
     }
 }
@@ -87,7 +92,7 @@ impl Default for ExecConfig {
 /// construction needs the session's environment).
 pub struct Executor<'a> {
     /// The table registry.
-    pub catalog: &'a Catalog,
+    pub catalog: &'a SharedCatalog,
     /// Tuning.
     pub config: &'a ExecConfig,
     /// Open transactions by table name (DESIGN.md §13). When a scanned
@@ -113,10 +118,14 @@ impl Executor<'_> {
         // 1. FROM + JOIN → working set and its binding.
         let (mut rows, binding) = self.scan_from(stmt, ctx)?;
 
-        // 2. WHERE.
+        // 2. WHERE. Filter evaluation can dominate scans (subquery sets,
+        // LIKE), so the deadline is re-checked per row batch here too.
         if let Some(filter) = &stmt.where_clause {
             let mut kept = Vec::with_capacity(rows.len());
-            for row in rows {
+            for (i, row) in rows.into_iter().enumerate() {
+                if i % 1024 == 1023 {
+                    self.config.deadline.check()?;
+                }
                 if is_true(&eval(filter, &row, &binding, ctx)?) {
                     kept.push(row);
                 }
@@ -260,14 +269,18 @@ impl Executor<'_> {
         let mut rows = match self.txn_overlay(&from.name) {
             // Pushdown hints are skipped on the overlay path: the WHERE
             // clause re-filters every row anyway.
-            Some(txn) => txn.rows(None)?,
-            None => base.scan(
+            Some(txn) => {
+                self.config.deadline.check()?;
+                txn.rows(None)?
+            }
+            None => base.scan_deadline(
                 None,
                 if predicates.is_empty() {
                     None
                 } else {
                     Some(&predicates)
                 },
+                &self.config.deadline,
             )?,
         };
         let mut binding = base_binding;
@@ -276,8 +289,11 @@ impl Executor<'_> {
             let right = self.catalog.get(&join.table.name)?;
             let right_binding = Binding::from_schema(join.table.binding_name(), right.schema());
             let right_rows = match self.txn_overlay(&join.table.name) {
-                Some(txn) => txn.rows(None)?,
-                None => right.scan(None, None)?,
+                Some(txn) => {
+                    self.config.deadline.check()?;
+                    txn.rows(None)?
+                }
+                None => right.scan_deadline(None, None, &self.config.deadline)?,
             };
             let joined_binding = binding.join(&right_binding);
             rows = self.join_rows(

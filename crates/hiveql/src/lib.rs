@@ -34,7 +34,7 @@ pub mod lexer;
 pub mod parser;
 mod session;
 
-pub use catalog::{Catalog, DmlOutcome, TableHandle};
+pub use catalog::{Catalog, DmlOutcome, SharedCatalog, TableHandle};
 pub use exec::{ExecConfig, Executor, QueryResult};
 pub use parser::parse;
 pub use session::{Session, SessionConfig};

@@ -3,13 +3,13 @@
 use std::collections::BTreeMap;
 
 use dt_baselines::{HiveAcidTable, HiveHbaseTable, HiveHdfsTable};
-use dt_common::{Error, Field, Result, Row, Schema, Value};
+use dt_common::{Deadline, Error, Field, Result, Row, Schema, Value};
 use dualtable::{
     Assignment, DualTableConfig, DualTableEnv, DualTableStore, RatioHint, Transaction,
 };
 
 use crate::ast::{InsertSource, Statement, StorageKind};
-use crate::catalog::{Catalog, TableHandle};
+use crate::catalog::{SharedCatalog, TableHandle};
 use crate::exec::{ExecConfig, Executor, QueryResult};
 use crate::expr::{eval, is_true, Binding, EvalContext};
 use crate::parser::parse;
@@ -47,7 +47,7 @@ impl Default for SessionConfig {
 /// ```
 pub struct Session {
     env: DualTableEnv,
-    catalog: Catalog,
+    catalog: SharedCatalog,
     /// Session configuration; mutable between statements.
     pub config: SessionConfig,
     /// Open transaction: table name → buffered [`Transaction`]. `None`
@@ -55,6 +55,12 @@ pub struct Session {
     /// and DUALTABLE DML is buffered until `COMMIT` (DESIGN.md §13).
     /// Tables enroll lazily, pinning their snapshot at first touch.
     txn: Option<BTreeMap<String, Transaction>>,
+    /// Tables durably committed by the most recent failed multi-table
+    /// COMMIT (DESIGN.md §13): atomicity is per table, so a mid-COMMIT
+    /// failure leaves earlier tables applied. Cleared at the start of
+    /// every statement; the server forwards it in the error frame so
+    /// clients retry only the uncommitted remainder.
+    last_partial_commit: Vec<String>,
 }
 
 impl Session {
@@ -63,13 +69,21 @@ impl Session {
         Self::with_env(DualTableEnv::in_memory())
     }
 
-    /// A session over an existing environment (shared storage).
+    /// A session over an existing environment (shared storage) with its
+    /// own private catalog.
     pub fn with_env(env: DualTableEnv) -> Self {
+        Self::with_shared(env, SharedCatalog::new())
+    }
+
+    /// A session over a shared environment *and* a shared catalog — the
+    /// server constructor: every connection sees the same table names.
+    pub fn with_shared(env: DualTableEnv, catalog: SharedCatalog) -> Self {
         Session {
             env,
-            catalog: Catalog::new(),
+            catalog,
             config: SessionConfig::default(),
             txn: None,
+            last_partial_commit: Vec::new(),
         }
     }
 
@@ -83,16 +97,49 @@ impl Session {
         &self.env
     }
 
+    /// The catalog this session resolves names against (clone it to open
+    /// sibling sessions over the same tables).
+    pub fn shared_catalog(&self) -> SharedCatalog {
+        self.catalog.clone()
+    }
+
     /// Direct access to a table's storage handler (for experiments mixing
     /// SQL and API access).
-    pub fn table(&self, name: &str) -> Result<&TableHandle> {
+    pub fn table(&self, name: &str) -> Result<TableHandle> {
         self.catalog.get(name)
+    }
+
+    /// Tables durably committed by the most recent failed COMMIT (empty
+    /// after any other statement, including a successful COMMIT).
+    pub fn last_partial_commit(&self) -> &[String] {
+        &self.last_partial_commit
+    }
+
+    /// Drops the open transaction (if any) without touching storage:
+    /// buffered writes discard, pinned snapshots release. The teardown
+    /// path for dead connections and panicked statements — safe to call
+    /// in any session state.
+    pub fn abort_transaction(&mut self) {
+        self.txn = None;
     }
 
     /// Parses and executes one statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        self.last_partial_commit.clear();
         let stmt = parse(sql)?;
         self.execute_statement(stmt, sql)
+    }
+
+    /// [`Session::execute`] under a per-statement [`Deadline`]: scans
+    /// check the token at row-batch boundaries and abort with
+    /// [`Error::Timeout`] once it expires. The session is *not* poisoned:
+    /// an open transaction keeps its buffered writes and pins, and the
+    /// next statement runs normally.
+    pub fn execute_with_deadline(&mut self, sql: &str, deadline: Deadline) -> Result<QueryResult> {
+        let saved = std::mem::replace(&mut self.config.exec.deadline, deadline);
+        let result = self.execute(sql);
+        self.config.exec.deadline = saved;
+        result
     }
 
     fn executor(&self) -> Executor<'_> {
@@ -108,13 +155,15 @@ impl Session {
     /// `self.txn.is_some()`.
     fn txn_for(&mut self, table: &str) -> Result<&mut Transaction> {
         let handle = self.catalog.get(table)?;
-        let TableHandle::Dual(store) = handle else {
-            return Err(Error::Unsupported(format!(
-                "table '{table}' is stored as {:?}: transactions cover DUALTABLE storage only",
-                handle.storage_kind()
-            )));
+        let store = match handle {
+            TableHandle::Dual(store) => store,
+            other => {
+                return Err(Error::Unsupported(format!(
+                    "table '{table}' is stored as {:?}: transactions cover DUALTABLE storage only",
+                    other.storage_kind()
+                )))
+            }
         };
-        let store = store.clone();
         let map = self.txn.as_mut().expect("caller checked in_transaction");
         if !map.contains_key(table) {
             map.insert(table.to_string(), store.begin_transaction()?);
@@ -173,6 +222,7 @@ impl Session {
                         continue;
                     }
                     if let Err(e) = txn.commit() {
+                        self.last_partial_commit = committed.clone();
                         let caveat = if committed.is_empty() {
                             "no other table had committed".to_string()
                         } else {
@@ -372,7 +422,7 @@ impl Session {
                 assignments,
                 predicate,
             } => {
-                let handle = self.catalog.get(&table)?.clone();
+                let handle = self.catalog.get(&table)?;
                 let schema = handle.schema().clone();
                 let binding = Binding::from_schema(&table, &schema);
                 let mut ctx = EvalContext::default();
@@ -435,7 +485,7 @@ impl Session {
                 Ok(result)
             }
             Statement::Delete { table, predicate } => {
-                let handle = self.catalog.get(&table)?.clone();
+                let handle = self.catalog.get(&table)?;
                 let schema = handle.schema().clone();
                 let binding = Binding::from_schema(&table, &schema);
                 let mut ctx = EvalContext::default();
@@ -573,7 +623,7 @@ impl Session {
             | Statement::Delete { table, predicate } => {
                 let is_update = matches!(stmt, Statement::Update { .. });
                 let op = if is_update { "UPDATE" } else { "DELETE" };
-                let handle = self.catalog.get(table)?.clone();
+                let handle = self.catalog.get(table)?;
                 lines.push((
                     "dml".into(),
                     format!("{op} {table} [{:?}]", handle.storage_kind()),
@@ -638,7 +688,7 @@ impl Session {
         use crate::expr::{normalize_numeric, GroupKey, HashableValue};
         use std::collections::{HashMap, HashSet};
 
-        let target_handle = self.catalog.get(target)?.clone();
+        let target_handle = self.catalog.get(target)?;
         let target_schema = target_handle.schema().clone();
         let source_handle = self.catalog.get(&source.name)?;
         let source_schema = source_handle.schema().clone();

@@ -70,6 +70,13 @@ type EntryStream = Box<dyn Iterator<Item = Result<(CellKey, Version)>> + Send>;
 
 struct State {
     memtable: MemTable,
+    /// Entries drained from the memtable by an in-flight flush, kept
+    /// visible to reads until the SSTable is published. Without this
+    /// slot a concurrent scan in the drain→publish window would see the
+    /// rows in neither place. Sorted by key (`drain_sorted` order);
+    /// empty when no flush is in flight (flushes are serialized by the
+    /// `maintenance` mutex, so one slot suffices).
+    flushing: Arc<Vec<(CellKey, Vec<Version>)>>,
     sstables: Vec<Arc<SsTable>>,
     next_file_no: u64,
     /// Segment the next WAL append goes to. Flush bumps it (rotation) so
@@ -214,6 +221,7 @@ impl Store {
                 stats,
                 state: RwLock::new(State {
                     memtable,
+                    flushing: Arc::new(Vec::new()),
                     sstables,
                     next_file_no,
                     wal_segment,
@@ -528,6 +536,9 @@ impl Store {
             .get(key)
             .map(<[Version]>::to_vec)
             .unwrap_or_default();
+        if let Ok(i) = state.flushing.binary_search_by(|(k, _)| k.cmp(key)) {
+            versions.extend_from_slice(&state.flushing[i].1);
+        }
         for table in &state.sstables {
             if table.may_contain_row(&key.row) {
                 self.inner.stats.record_seek();
@@ -551,16 +562,29 @@ impl Store {
         end: Option<&[u8]>,
         snapshot_ts: u64,
     ) -> Result<ScanIter> {
-        let (mem_entries, sstables) = {
+        let (mem_entries, flushing, sstables) = {
             let state = self.inner.state.read();
             let mem: Vec<(CellKey, Version)> = state
                 .memtable
                 .range(start, end)
                 .flat_map(|(k, vs)| vs.iter().map(move |v| (k.clone(), v.clone())))
                 .collect();
-            (mem, state.sstables.clone())
+            (mem, state.flushing.clone(), state.sstables.clone())
         };
         let mut streams: Vec<EntryStream> = vec![Box::new(mem_entries.into_iter().map(Ok))];
+        if !flushing.is_empty() {
+            // Mid-flush entries: already key-sorted, filter to the range.
+            let (start, end) = (start.map(<[u8]>::to_vec), end.map(<[u8]>::to_vec));
+            let in_flight: Vec<(CellKey, Version)> = flushing
+                .iter()
+                .filter(|(k, _)| {
+                    start.as_ref().is_none_or(|s| k.row >= *s)
+                        && end.as_ref().is_none_or(|e| k.row < *e)
+                })
+                .flat_map(|(k, vs)| vs.iter().map(move |v| (k.clone(), v.clone())))
+                .collect();
+            streams.push(Box::new(in_flight.into_iter().map(Ok)));
+        }
         for table in &sstables {
             streams.push(Box::new(
                 table.iter(start.map(<[u8]>::to_vec), end.map(<[u8]>::to_vec)),
@@ -596,11 +620,20 @@ impl Store {
             state.next_file_no += 1;
             let boundary = state.wal_segment;
             state.wal_segment += 1;
-            (state.memtable.drain_sorted(), name, boundary)
+            // Park the drained entries in the `flushing` slot so reads
+            // keep seeing them while the SSTable is written outside the
+            // lock; they leave the slot in the same critical section
+            // that publishes the table (or restores them on failure).
+            state.flushing = Arc::new(state.memtable.drain_sorted());
+            (state.flushing.clone(), name, boundary)
         };
         match self.write_sstable(&drained, &name) {
             Ok(table) => {
-                self.inner.state.write().sstables.push(table);
+                {
+                    let mut state = self.inner.state.write();
+                    state.sstables.push(table);
+                    state.flushing = Arc::new(Vec::new());
+                }
                 Wal::truncate_through(self.inner.env.as_ref(), boundary)
             }
             Err(e) => {
@@ -610,9 +643,10 @@ impl Store {
                 // insertion sort folds these back in regardless.
                 let _ = self.inner.env.delete(&name);
                 let mut state = self.inner.state.write();
-                for (key, versions) in drained {
+                state.flushing = Arc::new(Vec::new());
+                for (key, versions) in drained.iter() {
                     for version in versions {
-                        state.memtable.insert(key.clone(), version);
+                        state.memtable.insert(key.clone(), version.clone());
                     }
                 }
                 Err(e)
@@ -753,7 +787,8 @@ impl Store {
     pub fn entry_count(&self) -> u64 {
         let state = self.inner.state.read();
         let sst: u64 = state.sstables.iter().map(|t| t.entry_count()).sum();
-        sst + state.memtable.entry_count() as u64
+        let in_flight: usize = state.flushing.iter().map(|(_, vs)| vs.len()).sum();
+        sst + (state.memtable.entry_count() + in_flight) as u64
     }
 
     /// Number of SSTables currently live (for compaction tests).

@@ -1,0 +1,30 @@
+//! `dualtabled`: a served front door for the DualTable engine
+//! (DESIGN.md §14).
+//!
+//! The library crates execute statements in-process; this crate puts a
+//! TCP server in front of them with the robustness machinery a shared
+//! daemon needs:
+//!
+//! * **Admission control** — a bounded dispatch queue
+//!   ([`dt_engine::ServicePool`]); overload turns into a retryable
+//!   `SERVER_BUSY` refusal, never an unbounded backlog.
+//! * **Per-statement deadlines** — a [`dt_common::Deadline`] token
+//!   threaded through [`dt_hiveql::Session`] aborts long scans at
+//!   row-batch boundaries with a retryable `TIMEOUT` that does *not*
+//!   poison the session.
+//! * **Backpressure** — workers never touch sockets; a slow reader
+//!   stalls only its own connection thread.
+//! * **Crash-proof teardown** — a dropped connection rolls back its
+//!   open transaction and releases every snapshot pin; a panicking
+//!   statement is contained to an `INTERNAL` error on one connection.
+//!
+//! See [`protocol`] for the wire format, [`Server`] for the daemon and
+//! [`Client`] for the driver side.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, Response};
+pub use protocol::{ErrorCode, WireError};
+pub use server::{Server, ServerConfig};

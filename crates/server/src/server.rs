@@ -1,0 +1,500 @@
+//! The `dualtabled` server core (DESIGN.md §14).
+//!
+//! One thread per connection owns the socket end to end: it reads `Q`
+//! frames, routes statements to the shared [`ServicePool`], and writes
+//! every response frame itself. Workers never touch sockets, so a slow
+//! reader stalls only its own connection thread (backpressure), never a
+//! worker. The pool's bounded queue is the admission controller: a full
+//! queue sheds the statement with a retryable `SERVER_BUSY` instead of
+//! building an unbounded backlog.
+//!
+//! Teardown invariants (the "crash-proof" part):
+//!
+//! * A connection that dies mid-transaction — FIN, RST, or its thread
+//!   panicking — runs [`ConnGuard`]'s drop: the open transaction rolls
+//!   back, every snapshot pin releases (generation GC drains), and the
+//!   `conns_dropped_in_txn` counter records it.
+//! * A statement that panics on a worker is contained by
+//!   `catch_unwind`; the session's transaction is aborted and the
+//!   client gets a retryable-`false` `INTERNAL` error. The worker — and
+//!   every other session — keeps running.
+//! * Jobs still queued when their connection dies check the
+//!   connection's `alive` flag *under the session lock* and skip
+//!   execution, so teardown can never race a late statement into a
+//!   freshly rolled-back session.
+//!
+//! Graceful shutdown ([`Server::shutdown`]): stop accepting, refuse new
+//! statements (`SHUTTING_DOWN`, retryable), drain every accepted
+//! statement, then roll back whatever transactions remain open and join
+//! every thread. Accepted work is never dropped; refused work is
+//! counted as shed so `accepted + shed == submitted` stays exact.
+
+use std::io::{BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dt_common::{Deadline, Error, HealthCounters, Result};
+use dt_engine::{ServicePool, SubmitError};
+use dt_hiveql::{QueryResult, Session, SharedCatalog};
+use dualtable::DualTableEnv;
+use parking_lot::Mutex;
+
+use crate::protocol::{
+    self, encode_end, encode_error, encode_header, encode_rows, ErrorCode, Reader, FRAME_QUERY,
+    ROWS_PER_BATCH,
+};
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing statements.
+    pub workers: usize,
+    /// Dispatch-queue capacity; the admission-control bound.
+    pub queue_depth: usize,
+    /// Default per-statement deadline when the client sends `0`;
+    /// `0` here means no deadline at all.
+    pub default_deadline_ms: u64,
+    /// Test hook: a statement whose text contains this marker panics on
+    /// the worker after reaching it, exercising the contained-panic
+    /// teardown path. Never set in production.
+    #[doc(hidden)]
+    pub panic_marker: Option<String>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 16,
+            default_deadline_ms: 0,
+            panic_marker: None,
+        }
+    }
+}
+
+/// What a worker hands back to the connection thread for one statement.
+type StatementOutcome = (Result<QueryResult>, Vec<String>);
+
+/// Per-connection state shared between the connection thread and any
+/// queued worker jobs.
+struct ConnShared {
+    /// Cleared (before locking the session) when the connection is torn
+    /// down; queued jobs re-check it under the session lock and skip.
+    alive: AtomicBool,
+    /// The connection's session. Locked by at most one worker at a time
+    /// (strict request–response), and by teardown.
+    session: Mutex<Session>,
+}
+
+struct ConnHandle {
+    shared: Arc<ConnShared>,
+    /// A clone of the socket, used to unblock the reader at shutdown.
+    stream: TcpStream,
+    thread: JoinHandle<()>,
+}
+
+struct ServerShared {
+    config: ServerConfig,
+    env: DualTableEnv,
+    catalog: SharedCatalog,
+    pool: ServicePool,
+    health: Arc<HealthCounters>,
+    shutting_down: AtomicBool,
+    conns: Mutex<Vec<ConnHandle>>,
+}
+
+/// A running `dualtabled` instance. Dropping it without calling
+/// [`Server::shutdown`] performs the same graceful shutdown.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    shut: bool,
+}
+
+impl Server {
+    /// Binds `listen` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving `env`/`catalog`.
+    pub fn start(
+        listen: &str,
+        env: DualTableEnv,
+        catalog: SharedCatalog,
+        config: ServerConfig,
+    ) -> Result<Server> {
+        let listener = TcpListener::bind(listen).map_err(Error::Io)?;
+        let local_addr = listener.local_addr().map_err(Error::Io)?;
+        listener.set_nonblocking(true).map_err(Error::Io)?;
+        let health = Arc::clone(&env.server_health);
+        let shared = Arc::new(ServerShared {
+            pool: ServicePool::new(config.workers, config.queue_depth),
+            config,
+            env,
+            catalog,
+            health,
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("dtd-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .map_err(Error::Io)?;
+        Ok(Server {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            shut: false,
+        })
+    }
+
+    /// The bound address (for ephemeral-port tests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The serving-tier health counters (the `server` rows of
+    /// `SHOW HEALTH`).
+    pub fn health(&self) -> Arc<HealthCounters> {
+        Arc::clone(&self.shared.health)
+    }
+
+    /// Contained statement panics since start.
+    pub fn worker_panics(&self) -> u64 {
+        self.shared.pool.panics()
+    }
+
+    /// Graceful shutdown: refuse new work, drain accepted statements,
+    /// roll back remaining open transactions, join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shut {
+            return;
+        }
+        self.shut = true;
+        // 1. Refuse new connections and new statements.
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // 2. Drain every accepted statement. Connection threads waiting
+        //    on results are unblocked as their statements complete.
+        self.shared.pool.drain();
+        // 3. Tear every connection down: mark dead, unblock its reader,
+        //    join. The guard in each thread rolls back open transactions
+        //    and releases pins.
+        let conns = std::mem::take(&mut *self.shared.conns.lock());
+        for conn in &conns {
+            conn.shared.alive.store(false, Ordering::SeqCst);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+        for conn in conns {
+            let _ = conn.thread.join();
+        }
+        self.shared.health.set_queue_depth(0);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Err(e) = spawn_conn(stream, shared) {
+                    // Accept succeeded but setup failed (thread spawn /
+                    // socket clone): drop the connection, keep serving.
+                    let _ = e;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Reap finished connection threads so the registry stays
+                // bounded across long-lived servers.
+                shared.conns.lock().retain(|c| !c.thread.is_finished());
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn spawn_conn(stream: TcpStream, shared: &Arc<ServerShared>) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let conn_shared = Arc::new(ConnShared {
+        alive: AtomicBool::new(true),
+        session: Mutex::new(Session::with_shared(
+            shared.env.clone(),
+            shared.catalog.clone(),
+        )),
+    });
+    let thread_stream = stream.try_clone()?;
+    let server = Arc::clone(shared);
+    let conn_for_thread = Arc::clone(&conn_shared);
+    let thread = std::thread::Builder::new()
+        .name("dtd-conn".into())
+        .spawn(move || conn_loop(thread_stream, &conn_for_thread, &server))?;
+    shared.conns.lock().push(ConnHandle {
+        shared: conn_shared,
+        stream,
+        thread,
+    });
+    Ok(())
+}
+
+/// Runs the connection teardown exactly once, on every exit path of the
+/// connection thread — clean EOF, I/O error, or panic.
+struct ConnGuard<'a> {
+    conn: &'a Arc<ConnShared>,
+    health: &'a Arc<HealthCounters>,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        // Order matters: clear `alive` BEFORE taking the session lock.
+        // A queued job that wins the lock race will see the flag and
+        // skip; one that already holds the lock finishes its statement
+        // first, and we roll back after it.
+        self.conn.alive.store(false, Ordering::SeqCst);
+        let mut session = self.conn.session.lock();
+        if session.in_transaction() {
+            self.health.record_conn_dropped_in_txn();
+            session.abort_transaction();
+        }
+        self.health.session_closed();
+    }
+}
+
+fn conn_loop(stream: TcpStream, conn: &Arc<ConnShared>, server: &Arc<ServerShared>) {
+    server.health.session_opened();
+    let _guard = ConnGuard {
+        conn,
+        health: &server.health,
+    };
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match protocol::read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            // Clean EOF or any transport error: tear down. The guard
+            // rolls back whatever transaction is open.
+            Ok(None) | Err(_) => return,
+        };
+        if payload.is_empty() || payload[0] != FRAME_QUERY {
+            let _ = write_error_frame(
+                &mut writer,
+                ErrorCode::InvalidArgument,
+                false,
+                &[],
+                "expected a Q frame",
+            );
+            continue;
+        }
+        let mut r = Reader::new(&payload[1..]);
+        let (deadline_ms, sql) =
+            match (|| -> Result<(u32, String)> { Ok((r.u32()?, r.rest_utf8()?)) })() {
+                Ok(q) => q,
+                Err(e) => {
+                    let _ = write_error_frame(
+                        &mut writer,
+                        ErrorCode::InvalidArgument,
+                        false,
+                        &[],
+                        &e.to_string(),
+                    );
+                    continue;
+                }
+            };
+        if !handle_statement(&mut writer, conn, server, deadline_ms, &sql) {
+            return;
+        }
+    }
+}
+
+/// Admits, executes and answers one statement. Returns `false` when the
+/// connection should close (response could not be written).
+fn handle_statement(
+    writer: &mut BufWriter<TcpStream>,
+    conn: &Arc<ConnShared>,
+    server: &Arc<ServerShared>,
+    deadline_ms: u32,
+    sql: &str,
+) -> bool {
+    let health = &server.health;
+    health.record_stmt_submitted();
+
+    if server.shutting_down.load(Ordering::SeqCst) {
+        health.record_stmt_shed();
+        return write_error_frame(
+            writer,
+            ErrorCode::ShuttingDown,
+            true,
+            &[],
+            "server is shutting down",
+        )
+        .is_ok();
+    }
+
+    let effective_ms = if deadline_ms > 0 {
+        u64::from(deadline_ms)
+    } else {
+        server.config.default_deadline_ms
+    };
+    let deadline = if effective_ms > 0 {
+        Deadline::after_millis(effective_ms)
+    } else {
+        Deadline::never()
+    };
+
+    let (tx, rx) = mpsc::channel::<StatementOutcome>();
+    let job_conn = Arc::clone(conn);
+    let job_deadline = deadline.clone();
+    let job_sql = sql.to_string();
+    let marker = server.config.panic_marker.clone();
+    let job = Box::new(move || {
+        let mut session = job_conn.session.lock();
+        if !job_conn.alive.load(Ordering::SeqCst) {
+            // Connection torn down while this job sat in the queue: the
+            // transaction is already rolled back; executing now would
+            // resurrect state nobody can observe. Drop silently — the
+            // receiver is gone too.
+            return;
+        }
+        // Queue-wait expiry: refuse to *start* past the deadline, so a
+        // timed-out COMMIT provably never applied anything.
+        if let Err(e) = job_deadline.check() {
+            let _ = tx.send((Err(e), Vec::new()));
+            return;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(m) = &marker {
+                if job_sql.contains(m.as_str()) {
+                    panic!("panic marker hit");
+                }
+            }
+            session.execute_with_deadline(&job_sql, job_deadline)
+        }));
+        match outcome {
+            Ok(result) => {
+                let committed = session.last_partial_commit().to_vec();
+                let _ = tx.send((result, committed));
+            }
+            Err(panic) => {
+                // Contain the panic: roll the transaction back so the
+                // session is reusable, then report INTERNAL. Pins held
+                // by the transaction release here.
+                session.abort_transaction();
+                let _ = tx.send((
+                    Err(Error::Internal(
+                        "statement panicked; transaction rolled back".into(),
+                    )),
+                    Vec::new(),
+                ));
+                // Propagate so the pool's panic counter records it; the
+                // pool's own catch_unwind keeps the worker alive.
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+
+    match server.pool.try_submit(job) {
+        Ok(()) => {}
+        Err(SubmitError::Full(_)) => {
+            health.record_stmt_shed();
+            health.set_queue_depth(server.pool.queued());
+            return write_error_frame(
+                writer,
+                ErrorCode::ServerBusy,
+                true,
+                &[],
+                "dispatch queue full; retry with backoff",
+            )
+            .is_ok();
+        }
+        Err(SubmitError::Closed(_)) => {
+            health.record_stmt_shed();
+            return write_error_frame(
+                writer,
+                ErrorCode::ShuttingDown,
+                true,
+                &[],
+                "server is shutting down",
+            )
+            .is_ok();
+        }
+    }
+    health.record_stmt_accepted();
+    health.set_queue_depth(server.pool.queued());
+
+    // Block until the worker answers. Strict request–response: there is
+    // never more than one outstanding statement per connection.
+    let (result, committed) = match rx.recv() {
+        Ok(outcome) => outcome,
+        // Worker dropped the sender without an outcome — only possible
+        // when this connection was torn down concurrently.
+        Err(_) => return false,
+    };
+    write_outcome(writer, health, result, &committed).is_ok()
+}
+
+fn write_outcome(
+    writer: &mut BufWriter<TcpStream>,
+    health: &Arc<HealthCounters>,
+    result: Result<QueryResult>,
+    committed: &[String],
+) -> std::io::Result<()> {
+    match result {
+        Ok(qr) => {
+            if !qr.schema.is_empty() {
+                protocol::write_frame(writer, &encode_header(&qr.schema))?;
+                // Bounded batches: each write lands in the socket buffer
+                // before the next is built, so a reader that stops
+                // draining stalls exactly this thread, holding no locks
+                // and no worker.
+                for chunk in qr.rows().chunks(ROWS_PER_BATCH) {
+                    protocol::write_frame(writer, &encode_rows(chunk))?;
+                }
+            }
+            protocol::write_frame(
+                writer,
+                &encode_end(qr.affected, qr.message.as_deref().unwrap_or("")),
+            )?;
+            writer.flush()
+        }
+        Err(e) => {
+            if e.is_timeout() {
+                health.record_stmt_timed_out();
+            }
+            write_error_frame(
+                writer,
+                ErrorCode::from_error(&e),
+                e.is_transient(),
+                committed,
+                &e.to_string(),
+            )
+        }
+    }
+}
+
+fn write_error_frame(
+    writer: &mut BufWriter<TcpStream>,
+    code: ErrorCode,
+    retryable: bool,
+    committed: &[String],
+    message: &str,
+) -> std::io::Result<()> {
+    protocol::write_frame(writer, &encode_error(code, retryable, committed, message))?;
+    writer.flush()
+}

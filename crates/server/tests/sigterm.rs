@@ -1,0 +1,136 @@
+//! Graceful shutdown of the real `dualtabled` binary: SIGTERM under
+//! client load must drain in-flight statements, roll back the rest, and
+//! exit 0 — and the data directory must reopen cleanly afterwards.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dt_common::Value;
+use dt_server::Client;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dualtabled-sigterm-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn spawn_daemon(data: &std::path::Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dualtabled"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--data",
+            data.to_str().unwrap(),
+            "--workers",
+            "3",
+            "--queue-depth",
+            "8",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dualtabled");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("daemon exited before announcing its address")
+            .expect("read stdout");
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            break addr.to_string();
+        }
+    };
+    // Keep draining stdout so the daemon never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+#[test]
+fn sigterm_under_load_exits_zero_and_data_dir_reopens() {
+    let data = temp_dir("main");
+    let (mut child, addr) = spawn_daemon(&data);
+    let pid = child.id();
+
+    let mut setup = Client::connect_retry(addr.as_str(), Duration::from_secs(10)).expect("connect");
+    setup
+        .query("CREATE TABLE s (id BIGINT, v BIGINT) STORED AS DUALTABLE")
+        .unwrap();
+    setup.query("INSERT INTO s VALUES (1, 0), (2, 0)").unwrap();
+    drop(setup);
+
+    // Client storm: keep statements in flight while the signal lands.
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+    let mut storm = Vec::new();
+    for _ in 0..4 {
+        let stop = stop.clone();
+        let completed = completed.clone();
+        let addr = addr.clone();
+        storm.push(std::thread::spawn(move || {
+            let Ok(mut c) = Client::connect_retry(addr.as_str(), Duration::from_secs(5)) else {
+                return;
+            };
+            while !stop.load(Ordering::SeqCst) {
+                // Transport errors and retryable refusals are expected
+                // once the shutdown starts; statements that completed
+                // before it must have succeeded normally.
+                match c.query("SELECT COUNT(*) FROM s") {
+                    Ok(_) => {
+                        completed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(e) if e.is_retryable() => {}
+                    Err(e) => panic!("unexpected error under load: {e}"),
+                }
+            }
+        }));
+    }
+    // Let the storm actually produce load before the signal.
+    while completed.load(Ordering::SeqCst) < 50 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let status = Command::new("kill")
+        .args(["-TERM", &pid.to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success(), "kill -TERM failed");
+
+    let exit = child.wait().expect("wait for daemon");
+    stop.store(true, Ordering::SeqCst);
+    for t in storm {
+        t.join().expect("storm thread");
+    }
+    assert!(
+        exit.success(),
+        "daemon must exit 0 on SIGTERM under load, got {exit:?}"
+    );
+    assert!(completed.load(Ordering::SeqCst) >= 50, "storm never ran");
+
+    // The data directory reopens: a fresh daemon starts on it and
+    // serves statements. (The catalog is session-scoped, so tables are
+    // re-registered; the point is that shutdown left no wreckage that
+    // prevents reopening the store.)
+    let (mut child2, addr2) = spawn_daemon(&data);
+    let mut c = Client::connect_retry(addr2.as_str(), Duration::from_secs(10)).expect("reopen");
+    c.query("CREATE TABLE s2 (id BIGINT, v BIGINT) STORED AS DUALTABLE")
+        .unwrap();
+    c.query("INSERT INTO s2 VALUES (1, 7)").unwrap();
+    let r = c.query("SELECT v FROM s2 WHERE id = 1").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int64(7));
+    drop(c);
+
+    let status = Command::new("kill")
+        .args(["-TERM", &child2.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success());
+    assert!(child2.wait().expect("wait").success());
+    let _ = std::fs::remove_dir_all(&data);
+}

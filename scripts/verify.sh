@@ -110,3 +110,23 @@ run_gate group-commit cargo test -q -p dt-kvstore --locked --test group_commit -
 run_gate mvcc-stress cargo test -q -p dualtable --locked --test mvcc_stress -- --nocapture
 run_gate mvcc-gc-prop cargo test -q -p dualtable --locked --test prop_mvcc_gc -- --nocapture
 run_gate txn-sessions cargo test -q -p dt-hiveql --locked --test txn_sessions -- --nocapture
+
+# Serving layer (DESIGN.md §14): wire-protocol round trips, deadlines,
+# admission control, the crash-proof teardown invariants, and the
+# SIGTERM drain of the real dualtabled binary.
+run_gate server-basic cargo test -q -p dt-server --locked --test server_basic -- --nocapture
+run_gate server-teardown cargo test -q -p dt-server --locked --test server_teardown -- --nocapture
+run_gate server-sigterm cargo test -q -p dt-server --locked --test sigterm -- --nocapture
+
+# Fault-injected soak: client storm against a 3-worker pool with
+# transient storage faults, deliberate mid-transaction disconnects and
+# overload bursts, over 25 seeds (SOAK_SEEDS=N widens). The acked-commit
+# oracle must match the table exactly, pins must drain to zero, and the
+# admission ledger must balance: accepted + shed == submitted.
+run_gate server-soak cargo test -q -p dt-server --locked --test server_soak -- --nocapture
+
+# BENCH 6 smoke: short closed/open-loop runs against dualtabled.
+# Asserts the overload contract (2x offered load keeps the p99 of
+# accepted statements within 5x the unloaded p99, and actually sheds)
+# and refreshes BENCH_6.json.
+run_gate bench6-smoke env BENCH6_SMOKE=1 cargo bench -q -p dt-bench --locked --bench bench6_server
