@@ -70,7 +70,7 @@ fn bench_pool(workers: usize, step: Duration, sql: &str) -> PoolRun {
             // run asserts below.
             queue_depth: (workers / 2).max(1),
             default_deadline_ms: 0,
-            panic_marker: None,
+            ..ServerConfig::default()
         },
     )
     .expect("server start");

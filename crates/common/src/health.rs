@@ -43,6 +43,13 @@ pub struct HealthCounters {
     stmts_shed: AtomicU64,
     stmts_timed_out: AtomicU64,
     conns_dropped_in_txn: AtomicU64,
+    compactions_started: AtomicU64,
+    compactions_completed: AtomicU64,
+    compactions_lost_race: AtomicU64,
+    compactions_aborted: AtomicU64,
+    stale_gens_swept: AtomicU64,
+    compactor_throttled: AtomicU64,
+    compactor_parked: AtomicBool,
     degraded: AtomicBool,
 }
 
@@ -211,6 +218,56 @@ impl HealthCounters {
         self.conns_dropped_in_txn.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A background incremental compaction attempt began (picked files
+    /// and started building a folded generation off to the side).
+    /// Ledger invariant the chaos soak asserts:
+    /// `compactions_completed + compactions_lost_race +
+    /// compactions_aborted == compactions_started`.
+    pub fn record_compaction_started(&self) {
+        self.compactions_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An incremental compaction swung its folded generation in.
+    pub fn record_compaction_completed(&self) {
+        self.compactions_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An incremental compaction lost the generation-pointer race to a
+    /// concurrent commit and retired cleanly (a retry, not an error).
+    pub fn record_compaction_lost_race(&self) {
+        self.compactions_lost_race.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An incremental compaction aborted on a fault or panic before it
+    /// could attempt its swing.
+    pub fn record_compaction_aborted(&self) {
+        self.compactions_aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` abandoned rewrite generations were swept eagerly (lost-race
+    /// cleanup) instead of waiting for the next reopen.
+    pub fn record_stale_gens_swept(&self, n: u64) {
+        self.stale_gens_swept.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The compaction daemon skipped a cycle because the serving layer
+    /// was under load (queue depth / shed pressure).
+    pub fn record_compactor_throttled(&self) {
+        self.compactor_throttled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets or clears the parked flag: the compaction circuit breaker
+    /// opened after repeated permanent failures and background
+    /// compaction is disabled until explicitly resumed.
+    pub fn set_compactor_parked(&self, parked: bool) {
+        self.compactor_parked.store(parked, Ordering::Relaxed);
+    }
+
+    /// `true` while the compaction circuit breaker is open.
+    pub fn is_compactor_parked(&self) -> bool {
+        self.compactor_parked.load(Ordering::Relaxed)
+    }
+
     /// Sets or clears the degraded (read-only) flag for the tier.
     pub fn set_degraded(&self, degraded: bool) {
         self.degraded.store(degraded, Ordering::Relaxed);
@@ -253,6 +310,13 @@ impl HealthCounters {
             stmts_shed: self.stmts_shed.load(Ordering::Relaxed),
             stmts_timed_out: self.stmts_timed_out.load(Ordering::Relaxed),
             conns_dropped_in_txn: self.conns_dropped_in_txn.load(Ordering::Relaxed),
+            compactions_started: self.compactions_started.load(Ordering::Relaxed),
+            compactions_completed: self.compactions_completed.load(Ordering::Relaxed),
+            compactions_lost_race: self.compactions_lost_race.load(Ordering::Relaxed),
+            compactions_aborted: self.compactions_aborted.load(Ordering::Relaxed),
+            stale_gens_swept: self.stale_gens_swept.load(Ordering::Relaxed),
+            compactor_throttled: self.compactor_throttled.load(Ordering::Relaxed),
+            compactor_parked: self.compactor_parked.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
@@ -322,6 +386,20 @@ pub struct HealthSnapshot {
     /// Connections that died with an open transaction (rolled back by
     /// teardown).
     pub conns_dropped_in_txn: u64,
+    /// Background incremental compactions that began building.
+    pub compactions_started: u64,
+    /// Incremental compactions whose folded generation swung in.
+    pub compactions_completed: u64,
+    /// Incremental compactions that lost the swing race and retired.
+    pub compactions_lost_race: u64,
+    /// Incremental compactions aborted by a fault or panic pre-swing.
+    pub compactions_aborted: u64,
+    /// Abandoned rewrite generations swept eagerly after a lost race.
+    pub stale_gens_swept: u64,
+    /// Compaction cycles skipped under serving-layer load pressure.
+    pub compactor_throttled: u64,
+    /// Whether the compaction circuit breaker is currently open.
+    pub compactor_parked: bool,
     /// Whether the tier is currently read-only.
     pub degraded: bool,
 }
@@ -360,6 +438,13 @@ impl HealthSnapshot {
             ("stmts_shed", self.stmts_shed),
             ("stmts_timed_out", self.stmts_timed_out),
             ("conns_dropped_in_txn", self.conns_dropped_in_txn),
+            ("compactions_started", self.compactions_started),
+            ("compactions_completed", self.compactions_completed),
+            ("compactions_lost_race", self.compactions_lost_race),
+            ("compactions_aborted", self.compactions_aborted),
+            ("stale_gens_swept", self.stale_gens_swept),
+            ("compactor_throttled", self.compactor_throttled),
+            ("compactor_parked", u64::from(self.compactor_parked)),
             ("degraded", u64::from(self.degraded)),
         ]
     }
@@ -405,6 +490,13 @@ mod tests {
         h.record_stmt_shed();
         h.record_stmt_timed_out();
         h.record_conn_dropped_in_txn();
+        h.record_compaction_started();
+        h.record_compaction_started();
+        h.record_compaction_completed();
+        h.record_compaction_lost_race();
+        h.record_stale_gens_swept(2);
+        h.record_compactor_throttled();
+        h.set_compactor_parked(true);
         h.set_degraded(true);
         let s = h.snapshot();
         assert_eq!(s.retries, 2);
@@ -435,7 +527,16 @@ mod tests {
         assert_eq!(s.stmts_shed, 1);
         assert_eq!(s.stmts_timed_out, 1);
         assert_eq!(s.conns_dropped_in_txn, 1);
+        assert_eq!(s.compactions_started, 2);
+        assert_eq!(s.compactions_completed, 1);
+        assert_eq!(s.compactions_lost_race, 1);
+        assert_eq!(s.compactions_aborted, 0);
+        assert_eq!(s.stale_gens_swept, 2);
+        assert_eq!(s.compactor_throttled, 1);
+        assert!(s.compactor_parked);
         assert!(s.degraded);
+        h.set_compactor_parked(false);
+        assert!(!h.is_compactor_parked());
         h.set_degraded(false);
         assert!(!h.is_degraded());
     }
@@ -457,8 +558,15 @@ mod tests {
             ..HealthSnapshot::default()
         };
         let metrics = s.metrics();
-        assert_eq!(metrics.len(), 30);
+        assert_eq!(metrics.len(), 37);
         assert!(metrics.contains(&("degraded", 1)));
+        assert!(metrics.contains(&("compactions_started", 0)));
+        assert!(metrics.contains(&("compactions_completed", 0)));
+        assert!(metrics.contains(&("compactions_lost_race", 0)));
+        assert!(metrics.contains(&("compactions_aborted", 0)));
+        assert!(metrics.contains(&("stale_gens_swept", 0)));
+        assert!(metrics.contains(&("compactor_throttled", 0)));
+        assert!(metrics.contains(&("compactor_parked", 0)));
         assert!(metrics.contains(&("sessions_active", 0)));
         assert!(metrics.contains(&("queue_depth", 0)));
         assert!(metrics.contains(&("stmts_shed", 0)));

@@ -18,6 +18,33 @@ pub enum PlanMode {
     AlwaysOverwrite,
 }
 
+/// Background incremental compaction knobs (DESIGN.md §15).
+///
+/// These bound one *cycle* of the maintenance loop; the supervisor's
+/// restart/backoff/circuit-breaker policy lives with the supervisor
+/// (`dt_engine::Supervisor`), not per table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionConfig {
+    /// Upper bound on master files folded per incremental cycle: the
+    /// "pick the k dirtiest" of the fold score
+    /// ([`crate::cost::CostModel::fold_score`]). `0` disables
+    /// incremental folding entirely (every cycle is a no-op).
+    pub max_files_per_cycle: usize,
+    /// Files carrying fewer attached cells than this are never fold
+    /// candidates — folding them would pay a full rewrite to reclaim
+    /// almost nothing.
+    pub min_attached_cells: u64,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        CompactionConfig {
+            max_files_per_cycle: 2,
+            min_attached_cells: 1,
+        }
+    }
+}
+
 /// Per-table configuration.
 #[derive(Debug, Clone)]
 pub struct DualTableConfig {
@@ -59,6 +86,8 @@ pub struct DualTableConfig {
     /// `0` deletes dead generations as soon as they drain — the
     /// single-session behaviour.
     pub max_generations: usize,
+    /// Background incremental compaction knobs (DESIGN.md §15).
+    pub compaction: CompactionConfig,
 }
 
 impl Default for DualTableConfig {
@@ -79,6 +108,7 @@ impl Default for DualTableConfig {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             max_generations: 0,
+            compaction: CompactionConfig::default(),
         }
     }
 }

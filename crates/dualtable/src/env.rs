@@ -8,6 +8,7 @@ use dt_common::{HealthCounters, HealthSnapshot, Result};
 use dt_dfs::{Dfs, DfsConfig};
 use dt_kvstore::{KvCluster, KvConfig};
 
+use crate::compactor::CompactionController;
 use crate::meta::MetadataManager;
 use crate::mvcc::MvccRegistry;
 
@@ -70,6 +71,10 @@ pub struct DualTableEnv {
     /// admission control and teardown machinery and surfaced as the
     /// `server` tier of `SHOW HEALTH`. Idle (all zero) outside a server.
     pub server_health: Arc<HealthCounters>,
+    /// Background-compaction mode/state cell (DESIGN.md §15), shared by
+    /// every session (`SET COMPACTION`, `SHOW COMPACTION`) and the
+    /// server's maintenance daemon. Inert as a plain library.
+    pub compaction: Arc<CompactionController>,
 }
 
 impl DualTableEnv {
@@ -118,6 +123,7 @@ impl DualTableEnv {
             health: Arc::new(HealthCounters::new()),
             mvcc: Arc::new(MvccRegistry::new()),
             server_health: Arc::new(HealthCounters::new()),
+            compaction: Arc::new(CompactionController::new()),
         })
     }
 

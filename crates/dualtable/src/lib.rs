@@ -45,6 +45,7 @@
 //! ```
 
 mod attached;
+mod compactor;
 mod config;
 mod cost;
 mod env;
@@ -56,7 +57,8 @@ mod txn;
 mod union_read;
 
 pub use attached::{AttachedEntry, DELETE_MARKER_QUALIFIER};
-pub use config::{DualTableConfig, PlanMode};
+pub use compactor::{CompactionController, CompactionMode, CompactorState, FoldOutcome};
+pub use config::{CompactionConfig, DualTableConfig, PlanMode};
 pub use cost::{CostModel, PlanChoice, Rates, RatioHint};
 pub use env::{DualTableEnv, HealthReport};
 pub use meta::MetadataManager;

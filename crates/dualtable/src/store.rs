@@ -1,7 +1,7 @@
 //! The DualTable store: master + attached storage, DML plans, COMPACT.
 
 use std::borrow::Cow;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::ControlFlow;
 use std::sync::Arc;
 
@@ -12,6 +12,7 @@ use dt_orcfile::{
 use parking_lot::{Mutex, RwLock};
 
 use crate::attached::{delete_cell, update_cells};
+use crate::compactor::FoldOutcome;
 use crate::config::{DualTableConfig, PlanMode};
 use crate::cost::{CostModel, PlanChoice, RatioHint};
 use crate::env::DualTableEnv;
@@ -360,6 +361,7 @@ impl DualTableStore {
         if let Ok(gen) = store.current_gen() {
             store.cleanup_stale_generations(gen);
         }
+        store.sweep_fold_residue();
         Ok(store)
     }
 
@@ -420,6 +422,47 @@ impl DualTableStore {
                     self.inner.env.health.record_cleanup_failure();
                 }
             }
+        }
+    }
+
+    /// Sweeps attached-tier residue of an interrupted incremental fold: a
+    /// crash between a fold's generation swing and its attached-row
+    /// retirement leaves presence rows and data cells keyed to folded —
+    /// now nonexistent — master files. They are invisible to every scan
+    /// (no live file covers their record-ID ranges), but they would make
+    /// the presence index lie about files that no longer exist, so openers
+    /// retire them here. Skipped while any session still reads an older
+    /// generation — its files are absent from the current listing but are
+    /// not residue — and under the conservative pre-index fallback (no
+    /// index rows to reconcile).
+    fn sweep_fold_residue(&self) {
+        {
+            let st = self.inner.mvcc.lock();
+            if st.pin_count() > 0 || st.retired_count() > 0 {
+                return;
+            }
+        }
+        let Ok(gen) = self.current_gen() else {
+            return;
+        };
+        let Ok(attached) = self.attached() else {
+            return;
+        };
+        let Ok(Some(index)) = self.load_presence(&attached) else {
+            return;
+        };
+        let live: BTreeSet<u32> = self.master_file_ids_at(gen).into_iter().collect();
+        let orphans: Vec<u32> = index
+            .files
+            .keys()
+            .copied()
+            .filter(|id| !live.contains(id))
+            .collect();
+        if orphans.is_empty() {
+            return;
+        }
+        if self.collect_folded_attached(&orphans).is_err() {
+            self.inner.env.health.record_cleanup_failure();
         }
     }
 
@@ -536,32 +579,38 @@ impl DualTableStore {
     /// retired generations and torn uncommitted ones. Failed deletes are
     /// recorded as cleanup debt in the health counters (never swallowed
     /// silently) and retried on the next swap or table open; stale
-    /// generations are unreachable in the meantime. Returns how many
-    /// deletes failed.
-    fn cleanup_stale_generations(&self, current: u64) -> u64 {
+    /// generations are unreachable in the meantime. Returns
+    /// `(generations fully swept, deletes failed)`.
+    fn cleanup_stale_generations(&self, current: u64) -> (u64, u64) {
         // Generations pinned by live snapshots, parked for deferred GC or
         // being built off to the side are not stale, merely not current.
         let protected = self.inner.mvcc.lock().protected_gens();
         let prefix = format!("{}/gen-", Self::master_dir(&self.inner.name));
         let mut failed = 0u64;
+        // Per-generation sweep outcome: a generation counts as swept only
+        // if every one of its files was deleted.
+        let mut touched: BTreeMap<u64, bool> = BTreeMap::new();
         for path in self.inner.env.dfs.list(&prefix) {
-            let stale = path
+            let Some(gen) = path
                 .strip_prefix(&prefix)
                 .and_then(|rest| rest.split('/').next())
                 .and_then(|g| g.parse::<u64>().ok())
-                .is_some_and(|g| g != current && !protected.contains(&g));
-            if !stale {
+                .filter(|&g| g != current && !protected.contains(&g))
+            else {
                 continue;
-            }
+            };
             if self.inner.env.dfs.delete(&path).is_err() {
                 self.inner.env.health.record_cleanup_failure();
                 failed += 1;
+                touched.insert(gen, false);
             } else {
                 // The path can never be opened again; retire its footer.
                 self.inner.footers.invalidate_prefix(&path);
+                touched.entry(gen).or_insert(true);
             }
         }
-        failed
+        let swept = touched.values().filter(|&&ok| ok).count() as u64;
+        (swept, failed)
     }
 
     // ------------------------------------------------------------------
@@ -1834,6 +1883,44 @@ impl DualTableStore {
         Ok(())
     }
 
+    /// Deletes the attached-tier rows of explicitly folded (or orphaned)
+    /// master files: each file's presence row and its data rows, all in
+    /// ONE atomic delete batch. The atomicity is the crash-safety contract
+    /// of the incremental fold — the presence entries and the data cells
+    /// retire together, so no crash can leave an index claiming a file is
+    /// clean while its overlay cells survive, or vice versa.
+    fn collect_folded_attached(&self, folded: &[u32]) -> Result<()> {
+        let attached = self.attached()?;
+        if attached.is_empty() || folded.is_empty() {
+            return Ok(());
+        }
+        let mut rows: Vec<Vec<u8>> = Vec::new();
+        for &file_id in folded {
+            // The file's presence row {0, file_id} …
+            let scan = attached.scan_at(
+                Some(&presence_key(file_id)[..]),
+                Some(&presence_key(file_id.wrapping_add(1))[..]),
+                u64::MAX,
+            )?;
+            for row in scan {
+                rows.push(row?.row);
+            }
+            // … and its data rows {file_id, 0} .. {file_id + 1, 0}.
+            let scan = attached.scan_at(
+                Some(&RecordId::file_start(file_id).to_key()[..]),
+                Some(&RecordId::file_start(file_id.wrapping_add(1)).to_key()[..]),
+                u64::MAX,
+            )?;
+            for row in scan {
+                rows.push(row?.row);
+            }
+        }
+        if !rows.is_empty() {
+            attached.delete_rows(rows)?;
+        }
+        Ok(())
+    }
+
     /// COMPACT (paper §III-C): UNION READ everything into a fresh Master
     /// Table and clear the Attached Table. Blocks all other operations.
     ///
@@ -1853,6 +1940,300 @@ impl DualTableStore {
         // Identity transform: COMPACT materializes the UNION READ as-is.
         self.parallel_rewrite(next, &|_, row| Ok((Some(row), false)))?;
         self.commit_and_cleanup(next)
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental background compaction (DESIGN.md §15)
+    // ------------------------------------------------------------------
+
+    /// Scores every dirty master file with the §IV-derived fold score
+    /// ([`CostModel::fold_score`]) and returns the `max_files_per_cycle`
+    /// dirtiest, ascending by file ID (scan order). Files the presence
+    /// index proves clean never appear; under the conservative pre-index
+    /// fallback nothing is a candidate (there is no per-file accounting to
+    /// score with — a full `COMPACT` resolves that state).
+    pub fn fold_candidates(&self) -> Result<Vec<u32>> {
+        let _guard = self.inner.ops.read();
+        self.fold_candidates_at(self.current_gen()?, u64::MAX)
+    }
+
+    fn fold_candidates_at(&self, gen: u64, at_ts: u64) -> Result<Vec<u32>> {
+        let knobs = self.inner.config.compaction;
+        if knobs.max_files_per_cycle == 0 {
+            return Ok(Vec::new());
+        }
+        let attached = self.attached()?;
+        let Some(index) = self.load_presence(&attached)? else {
+            return Ok(Vec::new());
+        };
+        if index.files.is_empty() {
+            return Ok(Vec::new());
+        }
+        let live: BTreeSet<u32> = self.visible_files(gen, at_ts).into_iter().collect();
+        let model =
+            CostModel::with_parallelism(self.inner.config.rates, self.inner.config.write_threads);
+        let mut scored: Vec<(f64, u32)> = Vec::new();
+        for (&file_id, presence) in &index.files {
+            if !live.contains(&file_id) {
+                // Fold residue or a file staged after our snapshot — not
+                // ours to fold.
+                continue;
+            }
+            let cells = presence.delete_markers + presence.update_counts.values().sum::<u64>();
+            if cells < knobs.min_attached_cells.max(1) {
+                continue;
+            }
+            let rows = self.open_master(gen, file_id)?.num_rows();
+            let bytes = self.inner.env.dfs.len(&self.file_path_at(gen, file_id))?;
+            scored.push((
+                model.fold_score(cells, rows, bytes, self.inner.config.k_successive_reads),
+                file_id,
+            ));
+        }
+        // Dirtiest first; ties resolve to the lower file ID so cycles are
+        // deterministic.
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let mut picked: Vec<u32> = scored
+            .into_iter()
+            .take(knobs.max_files_per_cycle)
+            .map(|(_, id)| id)
+            .collect();
+        picked.sort_unstable();
+        Ok(picked)
+    }
+
+    /// Starts an incremental COMPACT: pins a snapshot, picks the k
+    /// dirtiest master files and folds ONLY those into a fresh generation
+    /// off to the side — every other file is byte-copied under its
+    /// original file ID, so its record IDs, attached overlays and presence
+    /// entries stay valid untouched. Returns `None` when nothing is dirty
+    /// enough to fold. Like [`DualTableStore::begin_compact`], concurrent
+    /// DML never blocks, and [`RewriteJob::finish`] loses with a retryable
+    /// [`Error::Conflict`] to anything that committed since the pin.
+    pub fn begin_incremental_compact(&self) -> Result<Option<RewriteJob>> {
+        self.begin_incremental_inner(|| {})
+    }
+
+    /// [`Self::begin_incremental_compact`] with a hook that fires exactly
+    /// when a build actually starts — after candidate selection found
+    /// work, before any byte is written. [`Self::compact_incremental`]
+    /// uses it to open its health ledger at the precise moment the cycle
+    /// stops being a no-op.
+    fn begin_incremental_inner(&self, on_build_start: impl FnOnce()) -> Result<Option<RewriteJob>> {
+        let snapshot = self.begin_snapshot()?;
+        let _guard = self.inner.ops.read();
+        let fold = self.fold_candidates_at(snapshot.generation(), snapshot.ts())?;
+        if fold.is_empty() {
+            return Ok(None);
+        }
+        on_build_start();
+        let next = self.next_generation()?;
+        self.inner.mvcc.lock().register_build(next);
+        match self.fold_build(&snapshot, next, &fold) {
+            Ok(written) => Ok(Some(RewriteJob::new_fold(snapshot, next, written, fold))),
+            Err(e) => {
+                self.abandon_rewrite(next);
+                Err(e)
+            }
+        }
+    }
+
+    /// Builds the incremental fold's generation: carried (not-folded)
+    /// files are byte-copied under their original file IDs; folded files
+    /// are UNION READ merged at the snapshot into fresh file IDs appended
+    /// past them. Returns total rows written (carried + folded).
+    fn fold_build(&self, snapshot: &Snapshot, next: u64, fold: &[u32]) -> Result<u64> {
+        let gen = snapshot.generation();
+        let at_ts = snapshot.ts();
+        let fold_set: BTreeSet<u32> = fold.iter().copied().collect();
+        // Reserve the folded rows' output file-ID range up front; footer
+        // row counts upper-bound the UNION READ output (the attached tier
+        // only updates or deletes rows, never adds them).
+        let rows_per_file = self.inner.config.rows_per_file.max(1) as u64;
+        let mut rows_bound = 0u64;
+        for &file_id in fold {
+            rows_bound += self.open_master(gen, file_id)?.num_rows();
+        }
+        let id_count = u32::try_from(rows_bound.div_ceil(rows_per_file).max(1))
+            .map_err(|_| Error::internal("incremental fold needs too many file IDs"))?;
+        let first_id = self
+            .inner
+            .env
+            .meta
+            .reserve_file_ids(&self.inner.name, id_count)?;
+        let mut written = 0u64;
+        for file_id in self.visible_files(gen, at_ts) {
+            if fold_set.contains(&file_id) {
+                continue;
+            }
+            // Carried file: byte-identical copy, same file ID. Its record
+            // IDs — and therefore its overlays and presence entry — stay
+            // valid in the new generation.
+            let bytes = self
+                .inner
+                .env
+                .dfs
+                .read_to_vec(&self.file_path_at(gen, file_id))?;
+            self.inner
+                .env
+                .dfs
+                .write_file(&self.file_path_at(next, file_id), &bytes)?;
+            written += self.open_master(gen, file_id)?.num_rows();
+        }
+        let projection: Vec<usize> = (0..self.inner.schema.len()).collect();
+        let attached_store = self.attached()?;
+        let mut sink = MasterWriteSink::reserved(self, next, first_id, id_count);
+        for &file_id in fold {
+            let reader = self.open_master(gen, file_id)?;
+            let attached = Some(attached_store.scan_at(
+                Some(&RecordId::file_start(file_id).to_key()[..]),
+                Some(&RecordId::file_start(file_id.wrapping_add(1)).to_key()[..]),
+                at_ts,
+            )?);
+            let flow = merge_file(
+                file_id,
+                &reader,
+                &projection,
+                None,
+                attached,
+                &mut |_, row| {
+                    sink.push(row)?;
+                    Ok(ControlFlow::Continue(()))
+                },
+            )?;
+            debug_assert!(flow.is_continue(), "fold never breaks");
+        }
+        written += sink.finish()?;
+        Ok(written)
+    }
+
+    /// One cycle of the background maintenance loop: pick the dirtiest
+    /// files, fold them off to the side, swing. Health-ledger exact —
+    /// every call that starts building ends as exactly one of completed,
+    /// lost-race or aborted, even across panics (a drop guard converts an
+    /// unwind into the aborted entry). The chaos soak asserts the ledger:
+    /// `compactions_completed + compactions_lost_race + compactions_aborted
+    /// == compactions_started`.
+    ///
+    /// A lost swing race is a clean retry, not an error: the abandoned
+    /// generation is already deleted, and the stale-directory sweep is
+    /// retried eagerly (counted by `stale_gens_swept`) rather than waiting
+    /// for the next reopen.
+    pub fn compact_incremental(&self) -> Result<FoldOutcome> {
+        struct AbortGuard {
+            health: Arc<dt_common::HealthCounters>,
+            armed: std::cell::Cell<bool>,
+        }
+        impl Drop for AbortGuard {
+            fn drop(&mut self) {
+                if self.armed.get() {
+                    self.health.record_compaction_aborted();
+                }
+            }
+        }
+        let guard = AbortGuard {
+            health: self.inner.env.health.clone(),
+            armed: std::cell::Cell::new(false),
+        };
+        let job = self.begin_incremental_inner(|| {
+            self.inner.env.health.record_compaction_started();
+            guard.armed.set(true);
+        })?;
+        let Some(job) = job else {
+            return Ok(FoldOutcome::Clean);
+        };
+        let files = job.folded_files().map_or(0, <[u32]>::len);
+        let rows = job.rows_written();
+        match job.finish() {
+            Ok(_) => {
+                guard.armed.set(false);
+                self.inner.env.health.record_compaction_completed();
+                Ok(FoldOutcome::Folded { files, rows })
+            }
+            Err(e) if e.is_conflict() => {
+                guard.armed.set(false);
+                self.inner.env.health.record_compaction_lost_race();
+                // Eagerly retry the sweep of any stale directory an
+                // earlier failure left behind, so leaks are observable
+                // and bounded instead of waiting for the next reopen.
+                if let Ok(gen) = self.current_gen() {
+                    let (swept, _) = self.cleanup_stale_generations(gen);
+                    if swept > 0 {
+                        self.inner.env.health.record_stale_gens_swept(swept);
+                    }
+                }
+                Ok(FoldOutcome::LostRace)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`DualTableStore::finish_rewrite`] for an incremental fold: same
+    /// conflict rules and swing, but the attached tier is retired only for
+    /// the folded files — never truncated — because carried files' record
+    /// IDs stay live and keep their overlays.
+    pub(crate) fn finish_fold(&self, next: u64, pin_ts: u64, folded: &[u32]) -> Result<()> {
+        let _guard = self.inner.ops.write();
+        let result = self.commit_generation_incremental(next, pin_ts, Some(pin_ts), folded);
+        if result.is_err() {
+            self.abandon_rewrite(next);
+        }
+        result
+    }
+
+    /// [`DualTableStore::commit_generation_mvcc`] for the incremental
+    /// fold. Identical swing protocol — conflict check, commit point,
+    /// swing stamp, floor, deferred GC — with one difference in step 3:
+    /// instead of the whole-table attached truncate, only the folded
+    /// files' presence and data rows are retired, in one atomic batch, and
+    /// only when no pinned reader of an older generation could still need
+    /// them. When retirement is gated off (or crashes), the residue is
+    /// unreachable either way — no live file covers those record-ID
+    /// ranges, and file IDs are never reused — and the open-time
+    /// [`Self::sweep_fold_residue`] settles it.
+    fn commit_generation_incremental(
+        &self,
+        next: u64,
+        snapshot_ts: u64,
+        own_pin_ts: Option<u64>,
+        folded: &[u32],
+    ) -> Result<()> {
+        let collect_ok;
+        {
+            let mut st = self.inner.mvcc.lock();
+            if st.conflict_since(snapshot_ts, &[]).is_some() || st.edits_since(snapshot_ts) {
+                self.inner.env.health.record_swing_conflict();
+                return Err(Error::conflict(format!(
+                    "incremental fold abandoned: writes committed after snapshot {snapshot_ts}"
+                )));
+            }
+            let old_gen = self.current_gen()?;
+            // The commit point (see `commit_generation_mvcc`).
+            self.inner
+                .env
+                .meta
+                .commit_generation(&self.inner.name, next)?;
+            let swing_ts = self.inner.env.kv.clock().tick();
+            let floor = self.generation_floor(next).unwrap_or_else(|_| {
+                self.inner.env.health.record_cleanup_failure();
+                0
+            });
+            let deferred = st.note_swing(old_gen, next, swing_ts, floor, own_pin_ts);
+            if deferred {
+                self.inner.env.health.record_generation_deferred();
+            }
+            collect_ok = !deferred && st.retired_count() == 0;
+        }
+        if collect_ok && self.collect_folded_attached(folded).is_err() {
+            self.inner.env.health.record_cleanup_failure();
+        }
+        self.cleanup_stale_generations(next);
+        self.sweep_gc();
+        Ok(())
     }
 
     // ------------------------------------------------------------------

@@ -364,6 +364,11 @@ pub struct RewriteJob {
     next: u64,
     written: u64,
     finished: bool,
+    /// `Some(file IDs)` for an incremental fold
+    /// ([`DualTableStore::begin_incremental_compact`]): the master files
+    /// the build folded, whose attached rows the swing retires. `None` for
+    /// full rewrites, whose swing truncates the whole attached tier.
+    folded: Option<Vec<u32>>,
 }
 
 impl RewriteJob {
@@ -373,6 +378,17 @@ impl RewriteJob {
             next,
             written,
             finished: false,
+            folded: None,
+        }
+    }
+
+    pub(crate) fn new_fold(snapshot: Snapshot, next: u64, written: u64, folded: Vec<u32>) -> Self {
+        RewriteJob {
+            snapshot,
+            next,
+            written,
+            finished: false,
+            folded: Some(folded),
         }
     }
 
@@ -391,6 +407,12 @@ impl RewriteJob {
         self.written
     }
 
+    /// The master files an incremental fold will retire; `None` for full
+    /// rewrites.
+    pub fn folded_files(&self) -> Option<&[u32]> {
+        self.folded.as_deref()
+    }
+
     /// Atomically swings the generation pointer to the built generation.
     /// Returns the rows written, or [`Error::Conflict`] if a commit raced
     /// the build (the built generation is deleted; retry from a fresh
@@ -398,7 +420,10 @@ impl RewriteJob {
     pub fn finish(mut self) -> Result<u64> {
         self.finished = true;
         let store = self.snapshot.store().clone();
-        store.finish_rewrite(self.next, self.snapshot.ts())?;
+        match &self.folded {
+            Some(folded) => store.finish_fold(self.next, self.snapshot.ts(), folded)?,
+            None => store.finish_rewrite(self.next, self.snapshot.ts())?,
+        }
         Ok(self.written)
     }
 

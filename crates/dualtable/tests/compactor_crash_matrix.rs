@@ -1,0 +1,444 @@
+//! Crash-point matrix for *incremental* background compaction
+//! (DESIGN.md §15), the maintenance-path companion to `crash_matrix.rs`.
+//!
+//! A seeded DML workload interleaves EDIT-plan updates/deletes with
+//! `compact_incremental()` cycles, so the fold machinery runs against
+//! realistic dirt. The record run learns each statement's `(start, end]`
+//! I/O-op range; every operation inside every fold statement then becomes
+//! a crash point — covering all four windows of an in-flight fold:
+//!
+//! * **pre-build** — snapshot pin, candidate scoring, file-ID reservation;
+//! * **mid-build** — carried-file byte copies and folded-file merges into
+//!   the side generation;
+//! * **pre-swing** — the conflict check and the commit-point write;
+//! * **post-swing / pre-sweep** — attached-tier retirement of the folded
+//!   files, stale-generation cleanup, deferred GC.
+//!
+//! After `crash_and_reopen` at each point the recovered table must (1)
+//! match the oracle at a whole-statement boundary (a fold is logically a
+//! no-op, so a torn fold must be invisible), (2) hold exactly one live
+//! master generation with no phantom pins or unsettled GC ledger, (3) pass
+//! fsck + scrub, and (4) **still be fully operational**: a fresh EDIT
+//! update followed by another incremental fold must behave exactly as on a
+//! never-crashed table — the half-folded presence index left by the crash
+//! may not hide or duplicate a row.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use dt_common::crash_matrix::{run_crash_matrix, select_crash_points};
+use dt_common::fault::{FaultKind, FaultPlan, IoOp};
+use dt_common::{DataType, Row, Schema, Value};
+use dt_dfs::DfsConfig;
+use dt_kvstore::KvConfig;
+use dualtable::{DualTableConfig, DualTableEnv, DualTableStore, FoldOutcome, PlanMode, RatioHint};
+
+const TABLE: &str = "fold_crash";
+const ROWS_PER_FILE: usize = 8;
+
+fn dfs_cfg() -> DfsConfig {
+    DfsConfig {
+        chunk_size: 64,
+        replication: 2,
+        checkpoint_interval: 16,
+        ..DfsConfig::default()
+    }
+}
+
+fn kv_cfg() -> KvConfig {
+    KvConfig {
+        memtable_flush_bytes: 512,
+        ..KvConfig::default()
+    }
+}
+
+fn table_cfg() -> DualTableConfig {
+    DualTableConfig {
+        rows_per_file: ROWS_PER_FILE,
+        plan_mode: PlanMode::CostBased,
+        write_threads: 2,
+        ..DualTableConfig::default()
+    }
+}
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[("id", DataType::Int64), ("v", DataType::Int64)])
+}
+
+/// One statement of the seeded maintenance workload. Updates/deletes hint
+/// a tiny ratio so the planner picks EDIT — the whole point is to grow the
+/// attached tier that the folds then drain.
+#[derive(Debug, Clone, Copy)]
+enum Stmt {
+    Insert {
+        count: u8,
+    },
+    Update {
+        divisor: i64,
+        rem: i64,
+        v: i64,
+    },
+    Delete {
+        divisor: i64,
+        rem: i64,
+    },
+    /// One background-maintenance cycle: `compact_incremental()`.
+    Fold,
+}
+
+const STMTS: &[Stmt] = &[
+    Stmt::Insert { count: 8 },
+    Stmt::Insert { count: 8 },
+    Stmt::Update {
+        divisor: 2,
+        rem: 0,
+        v: 7,
+    },
+    Stmt::Fold,
+    Stmt::Insert { count: 6 },
+    Stmt::Update {
+        divisor: 3,
+        rem: 1,
+        v: -3,
+    },
+    Stmt::Delete { divisor: 5, rem: 4 },
+    Stmt::Fold,
+    Stmt::Insert { count: 8 },
+    Stmt::Update {
+        divisor: 4,
+        rem: 2,
+        v: 11,
+    },
+    Stmt::Fold,
+    Stmt::Update {
+        divisor: 7,
+        rem: 5,
+        v: 20,
+    },
+    Stmt::Fold,
+];
+
+/// The in-memory oracle. A fold never changes logical content.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Model {
+    rows: Vec<(i64, i64)>,
+    next_id: i64,
+}
+
+impl Model {
+    fn step(&mut self, stmt: &Stmt) {
+        match *stmt {
+            Stmt::Insert { count } => {
+                for _ in 0..count {
+                    self.rows.push((self.next_id, self.next_id * 3));
+                    self.next_id += 1;
+                }
+            }
+            Stmt::Update { divisor, rem, v } => {
+                for (id, val) in self.rows.iter_mut() {
+                    if *id % divisor == rem {
+                        *val = v;
+                    }
+                }
+            }
+            Stmt::Delete { divisor, rem } => self.rows.retain(|(id, _)| id % divisor != rem),
+            Stmt::Fold => {}
+        }
+    }
+
+    fn sorted(&self) -> Vec<(i64, i64)> {
+        let mut v = self.rows.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+fn oracle_states() -> Vec<Vec<(i64, i64)>> {
+    let mut m = Model::default();
+    let mut states = vec![m.sorted()];
+    for stmt in STMTS {
+        m.step(stmt);
+        states.push(m.sorted());
+    }
+    states
+}
+
+/// Applies one statement; returns the fold outcome for `Stmt::Fold` so the
+/// record run can assert the workload actually folds.
+fn apply(
+    table: &DualTableStore,
+    model: &Model,
+    stmt: &Stmt,
+) -> dt_common::Result<Option<FoldOutcome>> {
+    match *stmt {
+        Stmt::Insert { count } => {
+            let rows: Vec<Row> = (0..count as i64)
+                .map(|i| {
+                    let id = model.next_id + i;
+                    vec![Value::Int64(id), Value::Int64(id * 3)]
+                })
+                .collect();
+            table.insert_rows(rows).map(|_| None)
+        }
+        Stmt::Update { divisor, rem, v } => table
+            .update(
+                move |row| row[0].as_i64().unwrap() % divisor == rem,
+                &[(1, Box::new(move |_| Value::Int64(v)))],
+                RatioHint::Explicit(0.01),
+            )
+            .map(|_| None),
+        Stmt::Delete { divisor, rem } => table
+            .delete(
+                move |row| row[0].as_i64().unwrap() % divisor == rem,
+                RatioHint::Explicit(0.01),
+            )
+            .map(|_| None),
+        Stmt::Fold => table.compact_incremental().map(Some),
+    }
+}
+
+fn scan_sorted(table: &DualTableStore) -> Result<Vec<(i64, i64)>, String> {
+    let scanned = table.scan_all().map_err(|e| format!("scan: {e}"))?;
+    let mut got: Vec<(i64, i64)> = scanned
+        .iter()
+        .map(|(_, row)| (row[0].as_i64().unwrap(), row[1].as_i64().unwrap()))
+        .collect();
+    got.sort_unstable();
+    Ok(got)
+}
+
+fn live_generations(env: &DualTableEnv) -> BTreeSet<String> {
+    env.dfs
+        .list(&format!("/warehouse/{TABLE}/"))
+        .into_iter()
+        .filter_map(|p| {
+            p.split('/')
+                .find(|seg| seg.starts_with("gen-"))
+                .map(String::from)
+        })
+        .collect()
+}
+
+#[test]
+fn compactor_crash_matrix() {
+    // ------------------------------------------------------------------
+    // Record run: learn the op horizon and each statement's op range, and
+    // prove the workload exercises real folds (not Clean no-ops).
+    // ------------------------------------------------------------------
+    let plan = Arc::new(FaultPlan::new(0xF01D));
+    plan.set_armed(false);
+    let env = DualTableEnv::in_memory_faulty_with(plan.clone(), dfs_cfg(), kv_cfg())
+        .expect("clean setup");
+    let table = DualTableStore::create(&env, TABLE, schema(), table_cfg()).expect("clean create");
+    plan.record_trace();
+    plan.set_armed(true);
+
+    let oracles = oracle_states();
+    let mut model = Model::default();
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    let mut folded_cycles = 0usize;
+    for stmt in STMTS {
+        let start = plan.ops_seen();
+        let outcome = apply(&table, &model, stmt).expect("record run must not fault");
+        if let Some(FoldOutcome::Folded { files, .. }) = outcome {
+            assert!(files >= 1);
+            folded_cycles += 1;
+        }
+        model.step(stmt);
+        ranges.push((start + 1, plan.ops_seen()));
+    }
+    plan.set_armed(false);
+    let trace = plan.take_trace();
+    let total_ops = trace.len() as u64;
+    assert_eq!(
+        scan_sorted(&table).unwrap(),
+        oracles[STMTS.len()],
+        "record run diverged from oracle"
+    );
+    assert!(
+        folded_cycles >= 3,
+        "only {folded_cycles} fold cycles did work — the workload is too clean"
+    );
+    // The in-process ledger must balance even on the clean run.
+    let h = env.health.snapshot();
+    assert_eq!(h.compactions_started, folded_cycles as u64);
+    assert_eq!(
+        h.compactions_completed + h.compactions_lost_race + h.compactions_aborted,
+        h.compactions_started
+    );
+
+    // Every fold statement's op range is a critical section.
+    let fold_ranges: Vec<(u64, u64)> = STMTS
+        .iter()
+        .zip(&ranges)
+        .filter(|(s, _)| matches!(s, Stmt::Fold))
+        .map(|(_, &r)| r)
+        .collect();
+    assert_eq!(fold_ranges.len(), 4);
+    assert!(fold_ranges.iter().all(|&(s, e)| s <= e));
+
+    // ------------------------------------------------------------------
+    // Point selection: a jittered spread over the whole horizon, plus
+    // EVERY operation inside every in-flight fold — that exhaustive core
+    // is what sweeps pre-build, mid-build, pre-swing and post-swing.
+    // ------------------------------------------------------------------
+    let full = std::env::var("CRASH_MATRIX_FULL").is_ok_and(|v| v != "0");
+    let target = if full { total_ops as usize } else { 120 };
+    let spread = select_crash_points(0x5EED_F01D, total_ops, target, &fold_ranges);
+    let mut points: BTreeSet<u64> = spread.into_iter().collect();
+    for &(s, e) in &fold_ranges {
+        points.extend(s..=e);
+    }
+    let points: Vec<u64> = points.into_iter().collect();
+    let in_fold = points
+        .iter()
+        .filter(|&&p| fold_ranges.iter().any(|&(s, e)| (s..=e).contains(&p)))
+        .count();
+    assert!(
+        in_fold >= 25,
+        "only {in_fold} crash points land inside an in-flight fold"
+    );
+
+    let report = run_crash_matrix(&points, |k| {
+        let kind = if trace[(k - 1) as usize] == IoOp::Write && k % 2 == 0 {
+            FaultKind::TornWrite
+        } else {
+            FaultKind::Crash
+        };
+        let plan = Arc::new(FaultPlan::new(0xF01DCAFE ^ k).fail_at(k, kind));
+        plan.set_armed(false);
+        let env = DualTableEnv::in_memory_faulty_with(plan.clone(), dfs_cfg(), kv_cfg())
+            .map_err(|e| format!("setup: {e}"))?;
+        let table = DualTableStore::create(&env, TABLE, schema(), table_cfg())
+            .map_err(|e| format!("create: {e}"))?;
+        plan.set_armed(true);
+
+        let mut model = Model::default();
+        let mut acked = 0usize;
+        let mut crashed = false;
+        for stmt in STMTS {
+            match apply(&table, &model, stmt) {
+                Ok(_) => {
+                    model.step(stmt);
+                    acked += 1;
+                    if plan.is_crashed() {
+                        crashed = true;
+                        break;
+                    }
+                }
+                Err(_) => {
+                    crashed = true;
+                    break;
+                }
+            }
+        }
+        if !crashed && !plan.is_crashed() {
+            return Ok(false); // self-healing absorbed the fault
+        }
+        // The in-process ledger must balance even mid-crash: an error
+        // return is the abort guard's job to account for.
+        let h = env.health.snapshot();
+        if h.compactions_completed + h.compactions_lost_race + h.compactions_aborted
+            != h.compactions_started
+        {
+            return Err(format!(
+                "fold ledger out of balance at the crash: {}+{}+{} != {}",
+                h.compactions_completed,
+                h.compactions_lost_race,
+                h.compactions_aborted,
+                h.compactions_started
+            ));
+        }
+
+        plan.heal_and_disarm();
+        env.crash_and_reopen()
+            .map_err(|e| format!("recovery: {e}"))?;
+        let table = DualTableStore::open(&env, TABLE, schema(), table_cfg())
+            .map_err(|e| format!("reopen: {e}"))?;
+
+        // Invariant 1: a whole-statement oracle state; a torn fold is
+        // logically invisible.
+        let got = scan_sorted(&table)?;
+        let committed_in_flight = acked + 1 < oracles.len() && got == oracles[acked + 1];
+        if got != oracles[acked] && !committed_in_flight {
+            return Err(format!(
+                "recovered table matches neither oracle({acked}) nor oracle({}): {} rows",
+                acked + 1,
+                got.len()
+            ));
+        }
+        if table.count().map_err(|e| format!("count: {e}"))? != got.len() as u64 {
+            return Err("count() disagrees with scan".into());
+        }
+
+        // Invariant 2: one live generation, no phantom pins, settled GC.
+        let gens = live_generations(&env);
+        if gens.len() > 1 {
+            return Err(format!("mixed master generations after recovery: {gens:?}"));
+        }
+        if table.pinned_snapshots() != 0 {
+            return Err("phantom pin survived the crash".into());
+        }
+        if table.retired_generations() != 0 {
+            return Err("deferred-GC ledger not settled by reopen".into());
+        }
+
+        // Invariant 3: physical hygiene.
+        let fsck = env.dfs.fsck().map_err(|e| format!("fsck: {e}"))?;
+        if !fsck.healthy() {
+            return Err(format!("fsck unhealthy after recovery: {fsck:?}"));
+        }
+        env.dfs.scrub().map_err(|e| format!("scrub: {e}"))?;
+        let after = env
+            .dfs
+            .fsck()
+            .map_err(|e| format!("post-scrub fsck: {e}"))?;
+        if after.orphan_blocks != 0 {
+            return Err(format!("{} orphans survived scrub", after.orphan_blocks));
+        }
+        if scan_sorted(&table)? != got {
+            return Err("scrub changed logical table content".into());
+        }
+
+        // Invariant 4: the recovered table is fully operational. An EDIT
+        // update must land on every surviving even-id row (the crash may
+        // have left a half-folded presence index; a stale entry would
+        // hide the overlay or resurrect a folded row), and another fold
+        // cycle must run clean on top of it.
+        table
+            .update(
+                |row| row[0].as_i64().unwrap() % 2 == 0,
+                &[(1, Box::new(|_: &Row| Value::Int64(777)))],
+                RatioHint::Explicit(0.01),
+            )
+            .map_err(|e| format!("post-recovery update: {e}"))?;
+        let expect: Vec<(i64, i64)> = got
+            .iter()
+            .map(|&(id, v)| (id, if id % 2 == 0 { 777 } else { v }))
+            .collect();
+        if scan_sorted(&table)? != expect {
+            return Err("post-recovery EDIT update produced wrong content".into());
+        }
+        table
+            .compact_incremental()
+            .map_err(|e| format!("post-recovery fold: {e}"))?;
+        if scan_sorted(&table)? != expect {
+            return Err("post-recovery fold changed logical content".into());
+        }
+        Ok(true)
+    });
+
+    assert!(
+        report.ok(),
+        "compactor crash matrix violations ({} of {} points):\n{:#?}",
+        report.violations.len(),
+        report.points,
+        report.violations
+    );
+    assert!(
+        report.crashes_injected * 10 >= report.points * 9,
+        "only {} of {} crash points fired",
+        report.crashes_injected,
+        report.points
+    );
+}

@@ -21,12 +21,19 @@
 //! long-lived workers behind a bounded dispatch queue with non-blocking
 //! admission — the execution substrate of the `dualtabled` server.
 
+//!
+//! For *maintenance* work, [`Supervisor`] keeps one background worker
+//! alive across panics and faults, with backoff and a circuit breaker —
+//! the restart substrate of `dualtabled`'s compaction daemon.
+
 mod counters;
 mod job;
 mod pool;
 mod service;
+mod supervisor;
 
 pub use counters::JobCounters;
 pub use job::{parallel_map, parallel_map_fallible, run_map_reduce, JobConfig};
 pub use pool::JobPool;
 pub use service::{ServiceJob, ServicePool, SubmitError};
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorStats, TickOutcome};

@@ -1,0 +1,535 @@
+//! A supervised background maintenance loop (DESIGN.md §15).
+//!
+//! [`Supervisor`] owns one long-lived worker thread that repeatedly runs a
+//! caller-supplied *tick* — for `dualtabled`, one incremental-compaction
+//! cycle across the catalog — and keeps running it no matter how the tick
+//! fails:
+//!
+//! * a **panic** is caught ([`std::panic::catch_unwind`]) and the worker
+//!   restarts on the next iteration — the supervisor thread itself never
+//!   dies;
+//! * a **transient** error ([`dt_common::Error::is_transient`]) backs off
+//!   on the [`RetryPolicy`] schedule and retries forever — a flaky disk
+//!   must never take maintenance down permanently;
+//! * a **permanent** error (or a panic) increments a consecutive-failure
+//!   count; at [`SupervisorConfig::breaker_threshold`] the circuit breaker
+//!   **parks** the loop in a degraded mode. A parked supervisor does no
+//!   work and burns no CPU beyond a slow poll of its reset levers:
+//!   [`Supervisor::resume`] or the caller's `unpark_when` predicate (wired
+//!   by the server to `SET COMPACTION = AUTO`).
+//!
+//! The tick outcome also drives pacing: [`TickOutcome::Worked`] re-ticks
+//! promptly (there may be more dirty files), `Idle`/`Throttled` sleep the
+//! longer idle interval. All sleeps are condvar waits, so
+//! [`Supervisor::stop`] interrupts them immediately — shutdown never waits
+//! out a backoff.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dt_common::{Result, RetryPolicy};
+
+/// What one supervised tick accomplished, as reported by the tick closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickOutcome {
+    /// Real work happened (e.g. a fold swung in, or lost its race after
+    /// building): re-tick after the short work interval.
+    Worked,
+    /// Nothing to do: sleep the idle interval.
+    Idle,
+    /// Work was skipped because the host is under load: sleep the idle
+    /// interval and let the pressure drain.
+    Throttled,
+}
+
+/// Pacing and fault policy for a [`Supervisor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Sleep after a [`TickOutcome::Worked`] tick, in milliseconds.
+    pub tick_interval_ms: u64,
+    /// Sleep after an `Idle`/`Throttled` tick — and the poll interval of a
+    /// parked breaker — in milliseconds.
+    pub idle_interval_ms: u64,
+    /// Backoff schedule for failed ticks. Only the schedule
+    /// ([`RetryPolicy::backoff_ticks`]) is used; the supervisor retries
+    /// transient failures without limit regardless of `max_attempts`.
+    pub backoff: RetryPolicy,
+    /// Real-time length of one logical backoff tick, in milliseconds.
+    pub backoff_tick_ms: u64,
+    /// Consecutive permanent failures or panics that trip the circuit
+    /// breaker and park the loop. Transient failures never count.
+    pub breaker_threshold: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            tick_interval_ms: 20,
+            idle_interval_ms: 200,
+            backoff: RetryPolicy::default(),
+            backoff_tick_ms: 1,
+            breaker_threshold: 3,
+        }
+    }
+}
+
+/// Point-in-time counters for a supervisor, for tests and `SHOW
+/// COMPACTION`-style introspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SupervisorStats {
+    /// Ticks started (parked polls not included).
+    pub ticks: u64,
+    /// Ticks that returned [`TickOutcome::Worked`].
+    pub worked: u64,
+    /// Ticks that failed with a transient error (retried on backoff).
+    pub transient_failures: u64,
+    /// Ticks that failed with a permanent/corrupt error.
+    pub permanent_failures: u64,
+    /// Ticks that panicked (worker restarted).
+    pub panics: u64,
+    /// Times the circuit breaker parked the loop.
+    pub parks: u64,
+    /// Times a parked loop was reset and resumed.
+    pub unparks: u64,
+}
+
+#[derive(Default)]
+struct StatsCells {
+    ticks: AtomicU64,
+    worked: AtomicU64,
+    transient_failures: AtomicU64,
+    permanent_failures: AtomicU64,
+    panics: AtomicU64,
+    parks: AtomicU64,
+    unparks: AtomicU64,
+}
+
+#[derive(Default)]
+struct Ctl {
+    stop: bool,
+    paused: bool,
+    /// Pending explicit [`Supervisor::resume`] calls — a reset lever for a
+    /// parked breaker, consumed (or discarded) at the next park check.
+    unpark_requests: u32,
+}
+
+struct Shared {
+    ctl: Mutex<Ctl>,
+    cv: Condvar,
+    parked: AtomicBool,
+    stats: StatsCells,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Ctl> {
+        self.ctl.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Condvar-waits up to `ms`; returns `true` iff stop was requested.
+    /// Spurious wakeups and notifications re-check and keep waiting, so a
+    /// `pause` notification cannot cut an idle sleep short.
+    fn wait_ms(&self, ms: u64) -> bool {
+        let deadline = Instant::now() + Duration::from_millis(ms);
+        let mut ctl = self.lock();
+        loop {
+            if ctl.stop {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            ctl = match self.cv.wait_timeout(ctl, deadline - now) {
+                Ok((g, _)) => g,
+                Err(e) => e.into_inner().0,
+            };
+        }
+    }
+}
+
+/// A supervised, restartable background worker. Dropping it stops and
+/// joins the worker thread.
+pub struct Supervisor {
+    shared: Arc<Shared>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Supervisor {
+    /// Spawns the worker thread and starts ticking immediately.
+    ///
+    /// * `tick` — one unit of maintenance work. May panic or fail; the
+    ///   supervisor absorbs both.
+    /// * `on_park` — called with `true` when the breaker parks the loop
+    ///   and `false` when it resumes; the server points this at the
+    ///   `compactor_parked` health gauge.
+    /// * `unpark_when` — polled (at the idle interval) while parked; when
+    ///   it returns `true` the breaker resets and the loop resumes. The
+    ///   server wires this to "`SET COMPACTION = AUTO` was issued since
+    ///   the park".
+    pub fn start(
+        name: &str,
+        config: SupervisorConfig,
+        mut tick: impl FnMut() -> Result<TickOutcome> + Send + 'static,
+        on_park: impl Fn(bool) + Send + 'static,
+        unpark_when: impl Fn() -> bool + Send + 'static,
+    ) -> Supervisor {
+        let shared = Arc::new(Shared {
+            ctl: Mutex::new(Ctl::default()),
+            cv: Condvar::new(),
+            parked: AtomicBool::new(false),
+            stats: StatsCells::default(),
+        });
+        let worker_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("supervisor-{name}"))
+            .spawn(move || Self::run(&worker_shared, config, &mut tick, &on_park, &unpark_when))
+            .expect("spawn supervisor thread");
+        Supervisor {
+            shared,
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    fn run(
+        shared: &Shared,
+        config: SupervisorConfig,
+        tick: &mut (impl FnMut() -> Result<TickOutcome> + Send),
+        on_park: &(impl Fn(bool) + Send),
+        unpark_when: &(impl Fn() -> bool + Send),
+    ) {
+        // Consecutive permanent failures/panics (breaker input) and
+        // consecutive failures of any class (backoff input). Both reset on
+        // any successful tick.
+        let mut hard_failures = 0u32;
+        let mut failures_in_row = 0u32;
+        loop {
+            {
+                let mut ctl = shared.lock();
+                while ctl.paused && !ctl.stop {
+                    ctl = match shared.cv.wait(ctl) {
+                        Ok(g) => g,
+                        Err(e) => e.into_inner(),
+                    };
+                }
+                if ctl.stop {
+                    return;
+                }
+            }
+
+            if shared.parked.load(Ordering::Acquire) {
+                let requested = {
+                    let mut ctl = shared.lock();
+                    std::mem::take(&mut ctl.unpark_requests) > 0
+                };
+                if requested || unpark_when() {
+                    hard_failures = 0;
+                    failures_in_row = 0;
+                    shared.parked.store(false, Ordering::Release);
+                    shared.stats.unparks.fetch_add(1, Ordering::Relaxed);
+                    on_park(false);
+                } else if shared.wait_ms(config.idle_interval_ms) {
+                    return;
+                }
+                continue;
+            }
+
+            shared.stats.ticks.fetch_add(1, Ordering::Relaxed);
+            let outcome = catch_unwind(AssertUnwindSafe(&mut *tick));
+            let mut hard_failure = || {
+                hard_failures += 1;
+                failures_in_row += 1;
+                if hard_failures >= config.breaker_threshold.max(1) {
+                    None
+                } else {
+                    Some(config.backoff_tick_ms * config.backoff.backoff_ticks(failures_in_row))
+                }
+            };
+            let delay_ms = match outcome {
+                Ok(Ok(TickOutcome::Worked)) => {
+                    hard_failures = 0;
+                    failures_in_row = 0;
+                    shared.stats.worked.fetch_add(1, Ordering::Relaxed);
+                    Some(config.tick_interval_ms)
+                }
+                Ok(Ok(TickOutcome::Idle)) | Ok(Ok(TickOutcome::Throttled)) => {
+                    hard_failures = 0;
+                    failures_in_row = 0;
+                    Some(config.idle_interval_ms)
+                }
+                Ok(Err(e)) if e.is_transient() => {
+                    // Flaky storage: back off and retry forever, without
+                    // ever arming the breaker.
+                    shared
+                        .stats
+                        .transient_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    failures_in_row += 1;
+                    Some(config.backoff_tick_ms * config.backoff.backoff_ticks(failures_in_row))
+                }
+                Ok(Err(_)) => {
+                    shared
+                        .stats
+                        .permanent_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    hard_failure()
+                }
+                Err(_) => {
+                    shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+                    hard_failure()
+                }
+            };
+            match delay_ms {
+                Some(ms) => {
+                    if shared.wait_ms(ms) {
+                        return;
+                    }
+                }
+                None => {
+                    // Breaker trip: park until a reset lever fires. Drop
+                    // any stale resume() issued before this park so it
+                    // cannot instantly undo it.
+                    shared.lock().unpark_requests = 0;
+                    shared.parked.store(true, Ordering::Release);
+                    shared.stats.parks.fetch_add(1, Ordering::Relaxed);
+                    on_park(true);
+                }
+            }
+        }
+    }
+
+    /// `true` while the circuit breaker holds the loop parked.
+    pub fn is_parked(&self) -> bool {
+        self.shared.parked.load(Ordering::Acquire)
+    }
+
+    /// Suspends ticking after the in-flight tick (if any) completes.
+    pub fn pause(&self) {
+        self.shared.lock().paused = true;
+        self.shared.cv.notify_all();
+    }
+
+    /// Resumes a paused loop; also resets a parked circuit breaker.
+    pub fn resume(&self) {
+        {
+            let mut ctl = self.shared.lock();
+            ctl.paused = false;
+            ctl.unpark_requests += 1;
+        }
+        self.shared.cv.notify_all();
+    }
+
+    /// Stops the worker and joins it. Interrupts any backoff or idle
+    /// sleep immediately; an in-flight tick runs to completion first.
+    /// Idempotent.
+    pub fn stop(&self) {
+        {
+            let mut ctl = self.shared.lock();
+            ctl.stop = true;
+        }
+        self.shared.cv.notify_all();
+        let handle = self.handle.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> SupervisorStats {
+        let s = &self.shared.stats;
+        SupervisorStats {
+            ticks: s.ticks.load(Ordering::Relaxed),
+            worked: s.worked.load(Ordering::Relaxed),
+            transient_failures: s.transient_failures.load(Ordering::Relaxed),
+            permanent_failures: s.permanent_failures.load(Ordering::Relaxed),
+            panics: s.panics.load(Ordering::Relaxed),
+            parks: s.parks.load(Ordering::Relaxed),
+            unparks: s.unparks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_common::Error;
+    use std::sync::atomic::AtomicU32;
+
+    fn fast_config(breaker_threshold: u32) -> SupervisorConfig {
+        SupervisorConfig {
+            tick_interval_ms: 1,
+            idle_interval_ms: 1,
+            backoff: RetryPolicy {
+                base_backoff_ticks: 1,
+                max_backoff_ticks: 2,
+                ..RetryPolicy::default()
+            },
+            backoff_tick_ms: 0,
+            breaker_threshold,
+        }
+    }
+
+    /// Polls `cond` for up to two seconds.
+    fn eventually(cond: impl Fn() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        false
+    }
+
+    #[test]
+    fn ticks_and_paces_on_outcome() {
+        let n = Arc::new(AtomicU32::new(0));
+        let tick_n = n.clone();
+        let sup = Supervisor::start(
+            "t",
+            fast_config(3),
+            move || {
+                if tick_n.fetch_add(1, Ordering::Relaxed) < 3 {
+                    Ok(TickOutcome::Worked)
+                } else {
+                    Ok(TickOutcome::Idle)
+                }
+            },
+            |_| {},
+            || false,
+        );
+        assert!(eventually(|| sup.stats().ticks >= 6));
+        let stats = sup.stats();
+        assert_eq!(stats.worked, 3);
+        assert_eq!(stats.panics + stats.parks, 0);
+        sup.stop();
+        let frozen = sup.stats().ticks;
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(sup.stats().ticks, frozen, "stopped loop stays stopped");
+    }
+
+    #[test]
+    fn panicking_worker_restarts_below_threshold() {
+        let n = Arc::new(AtomicU32::new(0));
+        let tick_n = n.clone();
+        let sup = Supervisor::start(
+            "p",
+            fast_config(5),
+            move || {
+                if tick_n.fetch_add(1, Ordering::Relaxed) < 2 {
+                    panic!("worker blew up");
+                }
+                Ok(TickOutcome::Worked)
+            },
+            |_| {},
+            || false,
+        );
+        assert!(eventually(|| sup.stats().worked >= 1));
+        assert!(!sup.is_parked(), "two panics stay under a threshold of 5");
+        assert_eq!(sup.stats().panics, 2);
+    }
+
+    #[test]
+    fn transient_failures_back_off_but_never_park() {
+        let n = Arc::new(AtomicU32::new(0));
+        let tick_n = n.clone();
+        let sup = Supervisor::start(
+            "tr",
+            fast_config(2),
+            move || {
+                if tick_n.fetch_add(1, Ordering::Relaxed) < 4 {
+                    Err(Error::unavailable("disk flapping"))
+                } else {
+                    Ok(TickOutcome::Worked)
+                }
+            },
+            |_| {},
+            || false,
+        );
+        assert!(eventually(|| sup.stats().worked >= 1));
+        let stats = sup.stats();
+        assert_eq!(stats.transient_failures, 4);
+        assert_eq!(stats.parks, 0, "4 transient errors > threshold 2, no park");
+        assert!(!sup.is_parked());
+    }
+
+    #[test]
+    fn breaker_parks_then_unpark_predicate_resumes() {
+        let healed = Arc::new(AtomicBool::new(false));
+        let park_gauge = Arc::new(AtomicBool::new(false));
+        let tick_healed = healed.clone();
+        let hook_gauge = park_gauge.clone();
+        let when_healed = healed.clone();
+        let sup = Supervisor::start(
+            "b",
+            fast_config(2),
+            move || {
+                if tick_healed.load(Ordering::Relaxed) {
+                    Ok(TickOutcome::Idle)
+                } else {
+                    Err(Error::corrupt("footer checksum mismatch"))
+                }
+            },
+            move |parked| hook_gauge.store(parked, Ordering::Relaxed),
+            move || when_healed.load(Ordering::Relaxed),
+        );
+        assert!(eventually(|| sup.is_parked()));
+        assert!(park_gauge.load(Ordering::Relaxed), "park hook fired");
+        let stats = sup.stats();
+        assert_eq!(stats.permanent_failures, 2);
+        assert_eq!(stats.parks, 1);
+        // Parked means parked: no ticks happen while the fault persists.
+        let frozen = stats.ticks;
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(sup.stats().ticks, frozen);
+
+        healed.store(true, Ordering::Relaxed);
+        assert!(eventually(|| !sup.is_parked() && sup.stats().ticks > frozen));
+        assert!(!park_gauge.load(Ordering::Relaxed), "park hook cleared");
+        assert_eq!(sup.stats().unparks, 1);
+    }
+
+    #[test]
+    fn explicit_resume_resets_a_parked_breaker() {
+        let sup = Supervisor::start(
+            "r",
+            fast_config(1),
+            || Err(Error::internal("wedged")),
+            |_| {},
+            || false,
+        );
+        assert!(eventually(|| sup.is_parked()));
+        let parks = sup.stats().parks;
+        sup.resume();
+        // The fault persists, so the loop re-parks after another failure —
+        // proving resume() really restarted ticking.
+        assert!(eventually(|| sup.stats().parks > parks));
+    }
+
+    #[test]
+    fn pause_suspends_and_resume_restarts() {
+        let sup = Supervisor::start(
+            "pp",
+            fast_config(3),
+            || Ok(TickOutcome::Idle),
+            |_| {},
+            || false,
+        );
+        assert!(eventually(|| sup.stats().ticks >= 2));
+        sup.pause();
+        std::thread::sleep(Duration::from_millis(10)); // drain in-flight tick
+        let frozen = sup.stats().ticks;
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(sup.stats().ticks, frozen, "paused loop does not tick");
+        sup.resume();
+        assert!(eventually(|| sup.stats().ticks > frozen));
+    }
+}

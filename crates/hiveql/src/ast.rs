@@ -63,11 +63,25 @@ pub enum Statement {
         /// Row filter.
         predicate: Option<Expr>,
     },
-    /// `COMPACT TABLE name` (DualTable extension)
+    /// `COMPACT TABLE name [INCREMENTAL]` (DualTable extension).
+    /// `INCREMENTAL` folds only the k dirtiest master files (DESIGN.md
+    /// §15) instead of rewriting the whole table.
     Compact {
         /// Target table.
         table: String,
+        /// Fold only the highest-scoring files instead of everything.
+        incremental: bool,
     },
+    /// `SET COMPACTION = AUTO | OFF` — flip the environment's background
+    /// maintenance mode; `AUTO` also resets a parked circuit breaker
+    /// (DESIGN.md §15).
+    SetCompaction {
+        /// `AUTO` (`true`) or `OFF` (`false`).
+        auto: bool,
+    },
+    /// `SHOW COMPACTION` — the maintenance daemon's mode, state and
+    /// lifecycle counters.
+    ShowCompaction,
     /// `BEGIN [TRANSACTION]` / `START TRANSACTION` — open a
     /// multi-statement snapshot-isolation transaction (DESIGN.md §13).
     /// DML on DUALTABLE storage is buffered until `COMMIT`.

@@ -272,6 +272,18 @@ impl TableHandle {
         }
     }
 
+    /// One incremental fold cycle (DESIGN.md §15): fold only the
+    /// highest-scoring dirty master files, without blocking DML. Only
+    /// DUALTABLE storage has a presence index to score.
+    pub fn compact_incremental(&self) -> Result<dualtable::FoldOutcome> {
+        match self {
+            TableHandle::Dual(t) => t.compact_incremental(),
+            _ => Err(Error::Unsupported(
+                "COMPACT … INCREMENTAL is only meaningful for DUALTABLE tables".into(),
+            )),
+        }
+    }
+
     /// Drops the storage.
     pub fn drop_storage(self) -> Result<()> {
         match self {

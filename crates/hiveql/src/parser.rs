@@ -111,8 +111,26 @@ impl Parser {
             if self.accept("health") {
                 return Ok(Statement::ShowHealth);
             }
+            if self.accept("compaction") {
+                return Ok(Statement::ShowCompaction);
+            }
             self.expect("tables")?;
             return Ok(Statement::ShowTables);
+        }
+        if self.accept("set") {
+            self.expect("compaction")?;
+            self.expect_token(&Token::Eq)?;
+            let mode = self.identifier()?;
+            let auto = match mode.as_str() {
+                "auto" => true,
+                "off" => false,
+                other => {
+                    return Err(Error::Parse(format!(
+                        "SET COMPACTION expects AUTO or OFF, got '{other}'"
+                    )))
+                }
+            };
+            return Ok(Statement::SetCompaction { auto });
         }
         if self.accept("describe") || self.accept("desc") {
             return Ok(Statement::Describe {
@@ -151,9 +169,9 @@ impl Parser {
         }
         if self.accept("compact") {
             self.expect("table")?;
-            return Ok(Statement::Compact {
-                table: self.identifier()?,
-            });
+            let table = self.identifier()?;
+            let incremental = self.accept("incremental");
+            return Ok(Statement::Compact { table, incremental });
         }
         if self.accept("merge") {
             return self.merge();
@@ -904,7 +922,30 @@ mod tests {
     fn parse_compact_and_misc() {
         assert!(matches!(
             parse("COMPACT TABLE t").unwrap(),
-            Statement::Compact { .. }
+            Statement::Compact {
+                incremental: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("COMPACT TABLE t INCREMENTAL").unwrap(),
+            Statement::Compact {
+                incremental: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("SET COMPACTION = AUTO").unwrap(),
+            Statement::SetCompaction { auto: true }
+        ));
+        assert!(matches!(
+            parse("set compaction = off").unwrap(),
+            Statement::SetCompaction { auto: false }
+        ));
+        assert!(parse("SET COMPACTION = SIDEWAYS").is_err());
+        assert!(matches!(
+            parse("SHOW COMPACTION").unwrap(),
+            Statement::ShowCompaction
         ));
         assert!(matches!(
             parse("SHOW TABLES").unwrap(),

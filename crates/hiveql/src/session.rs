@@ -5,7 +5,8 @@ use std::collections::BTreeMap;
 use dt_baselines::{HiveAcidTable, HiveHbaseTable, HiveHdfsTable};
 use dt_common::{Deadline, Error, Field, Result, Row, Schema, Value};
 use dualtable::{
-    Assignment, DualTableConfig, DualTableEnv, DualTableStore, RatioHint, Transaction,
+    Assignment, CompactionMode, DualTableConfig, DualTableEnv, DualTableStore, FoldOutcome,
+    RatioHint, Transaction,
 };
 
 use crate::ast::{InsertSource, Statement, StorageKind};
@@ -526,7 +527,7 @@ impl Session {
                 result.dml = outcome.report;
                 Ok(result)
             }
-            Statement::Compact { table } => {
+            Statement::Compact { table, incremental } => {
                 if self.txn.is_some() {
                     return Err(Error::Unsupported(
                         "COMPACT inside a transaction is not supported; COMMIT first \
@@ -534,8 +535,62 @@ impl Session {
                             .into(),
                     ));
                 }
+                if incremental {
+                    let outcome = self.catalog.get(&table)?.compact_incremental()?;
+                    return Ok(default_message_result(match outcome {
+                        FoldOutcome::Folded { files, rows } => format!(
+                            "incrementally compacted '{table}': folded {files} files ({rows} rows)"
+                        ),
+                        FoldOutcome::LostRace => format!(
+                            "incremental compaction of '{table}' lost its swing race to a \
+                             concurrent commit; safe to retry"
+                        ),
+                        FoldOutcome::Clean => {
+                            format!("'{table}' has nothing dirty enough to fold")
+                        }
+                    }));
+                }
                 self.catalog.get(&table)?.compact()?;
                 Ok(default_message_result(format!("compacted '{table}'")))
+            }
+            Statement::SetCompaction { auto } => {
+                let mode = if auto {
+                    CompactionMode::Auto
+                } else {
+                    CompactionMode::Off
+                };
+                self.env.compaction.set_mode(mode);
+                Ok(default_message_result(format!(
+                    "compaction mode set to {}",
+                    self.env.compaction.mode_name()
+                )))
+            }
+            Statement::ShowCompaction => {
+                let snap = self.env.health.snapshot();
+                let metrics: Vec<(&str, String)> = vec![
+                    ("mode", self.env.compaction.mode_name().to_string()),
+                    ("state", self.env.compaction.state_name().to_string()),
+                    ("started", snap.compactions_started.to_string()),
+                    ("completed", snap.compactions_completed.to_string()),
+                    ("lost_race", snap.compactions_lost_race.to_string()),
+                    ("aborted", snap.compactions_aborted.to_string()),
+                    ("stale_gens_swept", snap.stale_gens_swept.to_string()),
+                    ("throttled", snap.compactor_throttled.to_string()),
+                    ("parked", snap.compactor_parked.to_string()),
+                ];
+                let rows: Vec<Row> = metrics
+                    .into_iter()
+                    .map(|(metric, value)| {
+                        vec![Value::Utf8(metric.to_string()), Value::Utf8(value)]
+                    })
+                    .collect();
+                Ok(result_with_rows(
+                    Schema::from_pairs(&[
+                        ("metric", dt_common::DataType::Utf8),
+                        ("value", dt_common::DataType::Utf8),
+                    ]),
+                    rows,
+                ))
             }
             Statement::Merge {
                 target,

@@ -466,3 +466,66 @@ fn explain_statements() {
         .iter()
         .any(|row| row[1].as_str().unwrap_or("").contains("OVERWRITE")));
 }
+
+#[test]
+fn incremental_compaction_sql_surface() {
+    let mut s = Session::in_memory();
+    s.config.dualtable.rows_per_file = 8;
+    s.config.dualtable.plan_mode = PlanMode::AlwaysEdit;
+    s.config.dualtable.compaction.max_files_per_cycle = 1;
+    s.execute("CREATE TABLE m (id BIGINT, v DOUBLE) STORED AS DUALTABLE")
+        .unwrap();
+    let values: Vec<String> = (0..24).map(|i| format!("({i}, {i}.5)")).collect();
+    s.execute(&format!("INSERT INTO m VALUES {}", values.join(", ")))
+        .unwrap();
+    s.execute("UPDATE m SET v = -1.0 WHERE id >= 16").unwrap();
+
+    // The dirtiest file folds; the message reports what happened.
+    let r = s.execute("COMPACT TABLE m INCREMENTAL").unwrap();
+    assert!(
+        r.message.as_deref().unwrap().contains("folded 1 files"),
+        "got: {:?}",
+        r.message
+    );
+    // A second cycle finds nothing left to fold.
+    let r = s.execute("COMPACT TABLE m INCREMENTAL").unwrap();
+    assert!(r.message.as_deref().unwrap().contains("nothing dirty"));
+
+    // SHOW COMPACTION renders mode, state and the lifecycle ledger.
+    let show: std::collections::BTreeMap<String, String> = s
+        .execute("SHOW COMPACTION")
+        .unwrap()
+        .rows()
+        .iter()
+        .map(|row| {
+            (
+                row[0].as_str().unwrap().to_string(),
+                row[1].as_str().unwrap().to_string(),
+            )
+        })
+        .collect();
+    assert_eq!(show["mode"], "auto");
+    assert_eq!(show["state"], "idle");
+    assert_eq!(show["started"], "1");
+    assert_eq!(show["completed"], "1");
+    assert_eq!(show["parked"], "false");
+
+    s.execute("SET COMPACTION = OFF").unwrap();
+    let r = s.execute("SHOW COMPACTION").unwrap();
+    assert!(r
+        .rows()
+        .iter()
+        .any(|row| row[0].as_str() == Some("mode") && row[1].as_str() == Some("off")));
+    s.execute("SET COMPACTION = AUTO").unwrap();
+
+    // Folding is a DUALTABLE-only concept.
+    s.execute("CREATE TABLE o (id BIGINT) STORED AS ORC")
+        .unwrap();
+    assert!(s.execute("COMPACT TABLE o INCREMENTAL").is_err());
+
+    // The fold changed layout, never data.
+    let r = s.execute("SELECT COUNT(*) FROM m WHERE v = -1.0").unwrap();
+    assert_eq!(ints(&r, 0), vec![8]);
+    let r = s.execute("SELECT COUNT(*) FROM m").unwrap();
+    assert_eq!(ints(&r, 0), vec![24]);
+}

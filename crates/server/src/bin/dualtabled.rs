@@ -44,6 +44,8 @@ struct Args {
     workers: usize,
     queue_depth: usize,
     deadline_ms: u64,
+    compaction: bool,
+    compaction_interval_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +55,8 @@ fn parse_args() -> Result<Args, String> {
         workers: 4,
         queue_depth: 16,
         deadline_ms: 0,
+        compaction: true,
+        compaction_interval_ms: 20,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -76,10 +80,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--deadline-ms: {e}"))?;
             }
+            "--no-compaction" => args.compaction = false,
+            "--compaction-interval-ms" => {
+                args.compaction_interval_ms = value("--compaction-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--compaction-interval-ms: {e}"))?;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: dualtabled [--listen ADDR] [--data DIR | --mem] [--workers N] \
-                     [--queue-depth N] [--deadline-ms MS]"
+                     [--queue-depth N] [--deadline-ms MS] [--no-compaction] \
+                     [--compaction-interval-ms MS]"
                         .to_string(),
                 )
             }
@@ -113,6 +124,10 @@ fn main() -> ExitCode {
         workers: args.workers,
         queue_depth: args.queue_depth,
         default_deadline_ms: args.deadline_ms,
+        compaction: args.compaction,
+        compaction_interval_ms: args.compaction_interval_ms,
+        // Maintenance yields once foreground work fills half the queue.
+        compaction_queue_threshold: (args.queue_depth / 2).max(1),
         panic_marker: None,
     };
     let server = match Server::start(&args.listen, env, SharedCatalog::new(), config) {

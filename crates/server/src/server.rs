@@ -32,15 +32,15 @@
 use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use dt_common::{Deadline, Error, HealthCounters, Result};
-use dt_engine::{ServicePool, SubmitError};
+use dt_engine::{ServicePool, SubmitError, Supervisor, SupervisorConfig, TickOutcome};
 use dt_hiveql::{QueryResult, Session, SharedCatalog};
-use dualtable::DualTableEnv;
+use dualtable::{CompactionMode, CompactorState, DualTableEnv, FoldOutcome};
 use parking_lot::Mutex;
 
 use crate::protocol::{
@@ -58,6 +58,17 @@ pub struct ServerConfig {
     /// Default per-statement deadline when the client sends `0`;
     /// `0` here means no deadline at all.
     pub default_deadline_ms: u64,
+    /// Run the background incremental-compaction daemon (DESIGN.md §15):
+    /// a supervised maintenance thread that folds the dirtiest master
+    /// files of every DUALTABLE in the catalog. Off by default for
+    /// library embedders; the `dualtabled` binary turns it on.
+    pub compaction: bool,
+    /// Daemon cadence after a cycle that found work, in milliseconds.
+    /// Idle and throttled cycles sleep 5× this.
+    pub compaction_interval_ms: u64,
+    /// Dispatch-queue depth at or above which the daemon throttles —
+    /// foreground statements always outrank maintenance.
+    pub compaction_queue_threshold: usize,
     /// Test hook: a statement whose text contains this marker panics on
     /// the worker after reaching it, exercising the contained-panic
     /// teardown path. Never set in production.
@@ -71,6 +82,9 @@ impl Default for ServerConfig {
             workers: 4,
             queue_depth: 16,
             default_deadline_ms: 0,
+            compaction: false,
+            compaction_interval_ms: 20,
+            compaction_queue_threshold: 8,
             panic_marker: None,
         }
     }
@@ -113,6 +127,8 @@ pub struct Server {
     shared: Arc<ServerShared>,
     local_addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
+    /// The supervised compaction daemon (`config.compaction`).
+    maintenance: Option<Supervisor>,
     shut: bool,
 }
 
@@ -143,10 +159,12 @@ impl Server {
             .name("dtd-accept".into())
             .spawn(move || accept_loop(&listener, &accept_shared))
             .map_err(Error::Io)?;
+        let maintenance = shared.config.compaction.then(|| start_maintenance(&shared));
         Ok(Server {
             shared,
             local_addr,
             accept_thread: Some(accept_thread),
+            maintenance,
             shut: false,
         })
     }
@@ -178,6 +196,12 @@ impl Server {
             return;
         }
         self.shut = true;
+        // 0. Stop the compaction daemon first: no new fold starts during
+        //    the drain; an in-flight fold runs to completion (it is
+        //    crash-safe anyway, but a clean stop keeps counters exact).
+        if let Some(m) = self.maintenance.take() {
+            m.stop();
+        }
         // 1. Refuse new connections and new statements.
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         if let Some(t) = self.accept_thread.take() {
@@ -205,6 +229,100 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown_inner();
     }
+}
+
+/// Spawns the supervised compaction daemon (DESIGN.md §15). One tick =
+/// one maintenance sweep: consult the controller mode, check server load,
+/// then run one incremental fold cycle on every DUALTABLE in the catalog.
+/// The supervisor restarts the tick across panics, backs transient faults
+/// off, and parks on repeated permanent failures; `SET COMPACTION = AUTO`
+/// (a mode-epoch bump) is the operator's reset lever.
+fn start_maintenance(shared: &Arc<ServerShared>) -> Supervisor {
+    let controller = Arc::clone(&shared.env.compaction);
+    let table_health = Arc::clone(&shared.env.health);
+    let threshold = shared.config.compaction_queue_threshold as u64;
+    let interval = shared.config.compaction_interval_ms.max(1);
+
+    let tick_shared = Arc::clone(shared);
+    let tick_controller = Arc::clone(&controller);
+    let tick_health = Arc::clone(&table_health);
+    let mut last_shed = shared.health.snapshot().stmts_shed;
+    let tick = move || {
+        if tick_controller.mode() == CompactionMode::Off {
+            tick_controller.set_state(CompactorState::Idle);
+            return Ok(TickOutcome::Idle);
+        }
+        // Load-aware throttle: a deep dispatch queue or fresh admission
+        // shedding means the serving tier needs every core — maintenance
+        // yields and retries next tick.
+        let shed = tick_shared.health.snapshot().stmts_shed;
+        let queued = tick_shared.pool.queued();
+        if queued >= threshold || shed > last_shed {
+            last_shed = shed;
+            tick_health.record_compactor_throttled();
+            tick_controller.set_state(CompactorState::Throttled);
+            return Ok(TickOutcome::Throttled);
+        }
+        last_shed = shed;
+        tick_controller.set_state(CompactorState::Running);
+        let mut worked = false;
+        let mut result = Ok(());
+        for name in tick_shared.catalog.names() {
+            let Ok(handle) = tick_shared.catalog.get(&name) else {
+                continue; // dropped since names() — nothing to maintain
+            };
+            match handle.compact_incremental() {
+                Ok(FoldOutcome::Folded { .. } | FoldOutcome::LostRace) => worked = true,
+                Ok(FoldOutcome::Clean) => {}
+                Err(Error::Unsupported(_)) => {} // non-DUALTABLE storage
+                Err(e) => {
+                    // Surface the first failure to the supervisor (backoff
+                    // or breaker); later tables get their turn next tick.
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        tick_controller.set_state(CompactorState::Idle);
+        result.map(|()| {
+            if worked {
+                TickOutcome::Worked
+            } else {
+                TickOutcome::Idle
+            }
+        })
+    };
+
+    // The breaker's reset lever: record the controller's mode epoch at
+    // park time; any later SET COMPACTION = AUTO moves it and unparks.
+    let epoch_at_park = Arc::new(AtomicU64::new(0));
+    let park_epoch = Arc::clone(&epoch_at_park);
+    let park_controller = Arc::clone(&controller);
+    let on_park = move |parked: bool| {
+        table_health.set_compactor_parked(parked);
+        if parked {
+            park_epoch.store(park_controller.mode_epoch(), Ordering::SeqCst);
+            park_controller.set_state(CompactorState::Parked);
+        } else {
+            park_controller.set_state(CompactorState::Idle);
+        }
+    };
+    let unpark_when = move || {
+        controller.mode() == CompactionMode::Auto
+            && controller.mode_epoch() > epoch_at_park.load(Ordering::SeqCst)
+    };
+
+    Supervisor::start(
+        "compaction",
+        SupervisorConfig {
+            tick_interval_ms: interval,
+            idle_interval_ms: interval.saturating_mul(5),
+            ..SupervisorConfig::default()
+        },
+        tick,
+        on_park,
+        unpark_when,
+    )
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {

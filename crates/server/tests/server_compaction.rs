@@ -1,0 +1,164 @@
+//! The server's background compaction daemon (DESIGN.md §15): folds
+//! happen behind live traffic, `SET COMPACTION` flips the mode over the
+//! wire, and the load-aware throttle keeps maintenance off busy queues.
+
+use std::time::{Duration, Instant};
+
+use dt_common::Value;
+use dt_hiveql::SharedCatalog;
+use dt_server::{Client, Server, ServerConfig};
+use dualtable::DualTableEnv;
+
+fn connect(server: &Server) -> Client {
+    Client::connect_retry(server.local_addr(), Duration::from_secs(5)).expect("connect")
+}
+
+/// Polls `cond` for up to ten seconds.
+fn eventually(cond: impl Fn() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+fn daemon_config() -> ServerConfig {
+    ServerConfig {
+        compaction: true,
+        compaction_interval_ms: 5,
+        compaction_queue_threshold: 100, // effectively never throttle
+        ..ServerConfig::default()
+    }
+}
+
+/// Makes `t` exist with 50 rows and a handful of attached-tier updates —
+/// enough dirt for the fold score to pick the file up.
+fn dirty_table(c: &mut Client) {
+    c.query("CREATE TABLE t (id BIGINT, v DOUBLE) STORED AS DUALTABLE")
+        .unwrap();
+    let values: Vec<String> = (0..50).map(|i| format!("({i}, {i}.5)")).collect();
+    c.query(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+        .unwrap();
+    c.query("UPDATE t SET v = -1.0 WHERE id < 2").unwrap();
+}
+
+#[test]
+fn daemon_folds_dirty_tables_behind_live_traffic() {
+    let env = DualTableEnv::in_memory();
+    let server = Server::start(
+        "127.0.0.1:0",
+        env.clone(),
+        SharedCatalog::new(),
+        daemon_config(),
+    )
+    .expect("server start");
+    let mut c = connect(&server);
+    dirty_table(&mut c);
+
+    assert!(
+        eventually(|| env.health.snapshot().compactions_completed >= 1),
+        "daemon never folded: {:?}",
+        env.health.snapshot()
+    );
+
+    // The fold changed layout, never data — over the same wire.
+    let r = c.query("SELECT COUNT(*) FROM t WHERE v = -1.0").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int64(2));
+    let r = c.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int64(50));
+
+    // SHOW COMPACTION reflects the daemon's ledger.
+    let r = c.query("SHOW COMPACTION").unwrap();
+    let get = |metric: &str| -> String {
+        r.rows
+            .iter()
+            .find(|row| row[0] == Value::from(metric))
+            .map(|row| row[1].as_str().unwrap().to_string())
+            .unwrap_or_else(|| panic!("missing metric {metric}"))
+    };
+    assert_eq!(get("mode"), "auto");
+    assert_eq!(get("parked"), "false");
+    assert!(get("completed").parse::<u64>().unwrap() >= 1);
+
+    // Ledger exactness holds while the daemon keeps ticking.
+    let snap = env.health.snapshot();
+    assert_eq!(
+        snap.compactions_completed + snap.compactions_lost_race + snap.compactions_aborted,
+        snap.compactions_started
+    );
+    server.shutdown();
+}
+
+#[test]
+fn set_compaction_off_idles_the_daemon_and_auto_resumes_it() {
+    let env = DualTableEnv::in_memory();
+    let server = Server::start(
+        "127.0.0.1:0",
+        env.clone(),
+        SharedCatalog::new(),
+        daemon_config(),
+    )
+    .expect("server start");
+    let mut c = connect(&server);
+
+    c.query("SET COMPACTION = OFF").unwrap();
+    dirty_table(&mut c);
+    // Plenty of daemon ticks pass; none may open the ledger while OFF.
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        env.health.snapshot().compactions_started,
+        0,
+        "OFF mode must keep the daemon idle"
+    );
+
+    c.query("SET COMPACTION = AUTO").unwrap();
+    assert!(
+        eventually(|| env.health.snapshot().compactions_completed >= 1),
+        "daemon never resumed after SET COMPACTION = AUTO"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn loaded_queue_throttles_maintenance() {
+    let env = DualTableEnv::in_memory();
+    let server = Server::start(
+        "127.0.0.1:0",
+        env.clone(),
+        SharedCatalog::new(),
+        ServerConfig {
+            compaction: true,
+            compaction_interval_ms: 5,
+            // Zero threshold: the queue is always "too deep" — the
+            // degenerate standing-load case.
+            compaction_queue_threshold: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let mut c = connect(&server);
+    dirty_table(&mut c);
+
+    assert!(
+        eventually(|| env.health.snapshot().compactor_throttled >= 3),
+        "throttle never engaged"
+    );
+    assert_eq!(
+        env.health.snapshot().compactions_started,
+        0,
+        "a throttled daemon must not fold"
+    );
+    // The throttle is visible to operators.
+    let r = c.query("SHOW COMPACTION").unwrap();
+    let throttled: u64 = r
+        .rows
+        .iter()
+        .find(|row| row[0] == Value::from("throttled"))
+        .and_then(|row| row[1].as_str().unwrap().parse().ok())
+        .expect("throttled metric");
+    assert!(throttled >= 3);
+    server.shutdown();
+}

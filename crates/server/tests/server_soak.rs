@@ -133,7 +133,7 @@ fn soak_one_seed(seed: u64, total_shed: &AtomicU64) {
             workers: 3,
             queue_depth: 4,
             default_deadline_ms: 0,
-            panic_marker: None,
+            ..ServerConfig::default()
         },
     )
     .expect("server start");

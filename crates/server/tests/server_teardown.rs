@@ -138,6 +138,7 @@ fn panicking_statement_is_contained_and_never_blocks_gc() {
         queue_depth: 8,
         default_deadline_ms: 0,
         panic_marker: Some("POISON_PILL".to_string()),
+        ..ServerConfig::default()
     });
     let mut c = connect(&fx.server);
     c.query("CREATE TABLE p (id BIGINT, v BIGINT) STORED AS DUALTABLE")

@@ -46,7 +46,10 @@ run_gate() {
     CURRENT=""
 }
 
-run_gate build cargo build --release --locked
+# --workspace matters: at the root, a bare `cargo build` compiles only
+# the root façade package and silently skips every member binary
+# (dualtabled, dualtable-bench, ...).
+run_gate build cargo build --release --workspace --locked
 
 run_gate tests cargo test -q --workspace --locked
 
@@ -125,8 +128,35 @@ run_gate server-sigterm cargo test -q -p dt-server --locked --test sigterm -- --
 # admission ledger must balance: accepted + shed == submitted.
 run_gate server-soak cargo test -q -p dt-server --locked --test server_soak -- --nocapture
 
+# Compactor crash matrix (DESIGN.md §15): the incremental-fold workload
+# re-run with a crash at every operation inside every in-flight fold —
+# pre-build, mid-build, pre-swing and post-swing/pre-sweep — plus a
+# jittered spread over the whole horizon. Each recovery must land on a
+# whole-statement oracle state with one live generation, a balanced fold
+# ledger, clean fsck/scrub, and a still-fully-operational presence index.
+run_gate compactor-crash-matrix cargo test -q -p dualtable --locked --test compactor_crash_matrix -- --nocapture
+
+# Compactor chaos soak: the background fold loop racing three
+# transaction writers and two pinned readers under transient storage
+# faults, 25 seeds (COMPACTOR_SOAK_SEEDS=N widens). Exact acked-commit
+# oracle, zero leaked pins, drained GC ledger, and the exact maintenance
+# ledger: completed + lost_race + aborted == started.
+run_gate compactor-chaos cargo test -q -p dualtable --locked --test compactor_chaos -- --nocapture
+
+# Maintenance daemon wiring: the supervised compaction thread inside the
+# server folds dirty tables behind live traffic, SET COMPACTION = OFF
+# idles it (AUTO resumes), and a loaded admission queue throttles it.
+run_gate server-compaction cargo test -q -p dt-server --locked --test server_compaction -- --nocapture
+
 # BENCH 6 smoke: short closed/open-loop runs against dualtabled.
 # Asserts the overload contract (2x offered load keeps the p99 of
 # accepted statements within 5x the unloaded p99, and actually sheds)
 # and refreshes BENCH_6.json.
 run_gate bench6-smoke env BENCH6_SMOKE=1 cargo bench -q -p dt-bench --locked --bench bench6_server
+
+# BENCH 7 smoke: the three maintenance policies (off / incremental /
+# full COMPACT) under the same DML-plus-SELECT storm. Asserts the
+# incremental SELECT p99 stays within 2x the fully-compacted policy and
+# that background folding never stalls foreground DML beyond 2x the
+# no-maintenance tail; refreshes BENCH_7.json.
+run_gate bench7-smoke env BENCH7_SMOKE=1 cargo bench -q -p dt-bench --locked --bench bench7_compaction
