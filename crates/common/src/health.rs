@@ -450,6 +450,105 @@ impl HealthSnapshot {
     }
 }
 
+/// Counters for the range-sharding tier (DESIGN.md §16): shard routing,
+/// scatter-gather scans, range pruning and cross-shard commit outcomes.
+/// Kept separate from [`HealthCounters`] because they describe the
+/// sharding layer above the storage tiers, not a storage tier itself.
+#[derive(Debug, Default)]
+pub struct ShardHealthCounters {
+    shards_total: AtomicU64,
+    scatter_scans: AtomicU64,
+    shards_pruned_by_range: AtomicU64,
+    cross_shard_commits: AtomicU64,
+    cross_shard_partial_commits: AtomicU64,
+}
+
+impl ShardHealthCounters {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        ShardHealthCounters::default()
+    }
+
+    /// `n` shards were brought online (CREATE TABLE … SHARDED). Gauge:
+    /// paired with [`ShardHealthCounters::remove_shards`].
+    pub fn add_shards(&self, n: u64) {
+        self.shards_total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` shards were dropped with their table.
+    pub fn remove_shards(&self, n: u64) {
+        // Saturating: a stray double-drop must never wrap the gauge.
+        let _ = self
+            .shards_total
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// A scan fanned out across a sharded table (whether or not range
+    /// pruning then narrowed the fan-out).
+    pub fn record_scatter_scan(&self) {
+        self.scatter_scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` shards were excluded from a scan by their key range before any
+    /// I/O was issued against them.
+    pub fn record_shards_pruned(&self, n: u64) {
+        self.shards_pruned_by_range.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A transaction committed across two or more shards of one table.
+    pub fn record_cross_shard_commit(&self) {
+        self.cross_shard_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A cross-shard commit failed mid-way, leaving a durably committed
+    /// shard prefix (surfaced to the client like the multi-table case).
+    pub fn record_cross_shard_partial_commit(&self) {
+        self.cross_shard_partial_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ShardHealthSnapshot {
+        ShardHealthSnapshot {
+            shards_total: self.shards_total.load(Ordering::Relaxed),
+            scatter_scans: self.scatter_scans.load(Ordering::Relaxed),
+            shards_pruned_by_range: self.shards_pruned_by_range.load(Ordering::Relaxed),
+            cross_shard_commits: self.cross_shard_commits.load(Ordering::Relaxed),
+            cross_shard_partial_commits: self.cross_shard_partial_commits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`ShardHealthCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardHealthSnapshot {
+    /// Live shards across all range-sharded tables (gauge).
+    pub shards_total: u64,
+    /// Scans that fanned out across a sharded table.
+    pub scatter_scans: u64,
+    /// Shards excluded from scans by range pruning before any I/O.
+    pub shards_pruned_by_range: u64,
+    /// Transactions committed across two or more shards.
+    pub cross_shard_commits: u64,
+    /// Cross-shard commits that failed leaving a committed shard prefix.
+    pub cross_shard_partial_commits: u64,
+}
+
+impl ShardHealthSnapshot {
+    /// Metric rows as `(name, value)` pairs — the `shard` tier of
+    /// `SHOW HEALTH`.
+    pub fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("shards_total", self.shards_total),
+            ("scatter_scans", self.scatter_scans),
+            ("shards_pruned_by_range", self.shards_pruned_by_range),
+            ("cross_shard_commits", self.cross_shard_commits),
+            ("cross_shard_partial_commits", self.cross_shard_partial_commits),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -578,5 +677,35 @@ mod tests {
         assert!(metrics.contains(&("cache_hits", 0)));
         assert!(metrics.contains(&("group_commits", 0)));
         assert!(metrics.contains(&("write_workers_used", 0)));
+    }
+
+    #[test]
+    fn shard_counters_snapshot_and_metrics() {
+        let h = ShardHealthCounters::new();
+        h.add_shards(8);
+        h.record_scatter_scan();
+        h.record_scatter_scan();
+        h.record_shards_pruned(7);
+        h.record_cross_shard_commit();
+        h.record_cross_shard_partial_commit();
+        h.remove_shards(3);
+        let s = h.snapshot();
+        assert_eq!(s.shards_total, 5);
+        assert_eq!(s.scatter_scans, 2);
+        assert_eq!(s.shards_pruned_by_range, 7);
+        assert_eq!(s.cross_shard_commits, 1);
+        assert_eq!(s.cross_shard_partial_commits, 1);
+        let metrics = s.metrics();
+        assert_eq!(metrics.len(), 5, "shard tier exposes exactly its counters");
+        assert!(metrics.contains(&("shards_total", 5)));
+        assert!(metrics.contains(&("shards_pruned_by_range", 7)));
+    }
+
+    #[test]
+    fn shard_gauge_never_underflows() {
+        let h = ShardHealthCounters::new();
+        h.add_shards(2);
+        h.remove_shards(5);
+        assert_eq!(h.snapshot().shards_total, 0);
     }
 }

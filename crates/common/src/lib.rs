@@ -37,7 +37,7 @@ pub use crash_matrix::{run_crash_matrix, select_crash_points, CrashMatrixReport}
 pub use deadline::Deadline;
 pub use error::{Error, ErrorClass, Result};
 pub use fault::{FaultKind, FaultPlan, IoOp};
-pub use health::{HealthCounters, HealthSnapshot};
+pub use health::{HealthCounters, HealthSnapshot, ShardHealthCounters, ShardHealthSnapshot};
 pub use io_stats::{IoStats, IoStatsSnapshot};
 pub use lru::LruCache;
 pub use record_id::RecordId;

@@ -4,7 +4,9 @@
 use std::sync::Arc;
 
 use dt_common::fault::FaultPlan;
-use dt_common::{HealthCounters, HealthSnapshot, Result};
+use dt_common::{
+    HealthCounters, HealthSnapshot, Result, ShardHealthCounters, ShardHealthSnapshot,
+};
 use dt_dfs::{Dfs, DfsConfig};
 use dt_kvstore::{KvCluster, KvConfig};
 
@@ -29,10 +31,14 @@ pub struct HealthReport {
     /// timeouts, and connections torn down mid-transaction. All zero
     /// when the environment is used as a plain library.
     pub server: HealthSnapshot,
+    /// Sharding tier (DESIGN.md §16): live shards, scatter scans, range
+    /// pruning and cross-shard commit outcomes. All zero until a
+    /// range-sharded table is created.
+    pub shard: ShardHealthSnapshot,
 }
 
 impl HealthReport {
-    /// `(tier, metric, value)` triples over all four tiers, in a stable
+    /// `(tier, metric, value)` triples over all five tiers, in a stable
     /// order — the row source for `SHOW HEALTH`.
     pub fn metrics(&self) -> Vec<(&'static str, &'static str, u64)> {
         let mut out = Vec::new();
@@ -45,6 +51,9 @@ impl HealthReport {
             for (metric, value) in snap.metrics() {
                 out.push((tier, metric, value));
             }
+        }
+        for (metric, value) in self.shard.metrics() {
+            out.push(("shard", metric, value));
         }
         out
     }
@@ -75,6 +84,10 @@ pub struct DualTableEnv {
     /// every session (`SET COMPACTION`, `SHOW COMPACTION`) and the
     /// server's maintenance daemon. Inert as a plain library.
     pub compaction: Arc<CompactionController>,
+    /// Sharding-tier counters (DESIGN.md §16), bumped by the
+    /// [`ShardedTable`](crate::ShardedTable) routing layer and surfaced
+    /// as the `shard` tier of `SHOW HEALTH`. Idle without sharded tables.
+    pub shard_health: Arc<ShardHealthCounters>,
 }
 
 impl DualTableEnv {
@@ -124,16 +137,18 @@ impl DualTableEnv {
             mvcc: Arc::new(MvccRegistry::new()),
             server_health: Arc::new(HealthCounters::new()),
             compaction: Arc::new(CompactionController::new()),
+            shard_health: Arc::new(ShardHealthCounters::new()),
         })
     }
 
-    /// A point-in-time health report across all four tiers.
+    /// A point-in-time health report across all five tiers.
     pub fn health_report(&self) -> HealthReport {
         HealthReport {
             dfs: self.dfs.health().snapshot(),
             kv: self.kv.health_snapshot(),
             table: self.health.snapshot(),
             server: self.server_health.snapshot(),
+            shard: self.shard_health.snapshot(),
         }
     }
 

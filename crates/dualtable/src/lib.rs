@@ -52,6 +52,7 @@ mod env;
 mod meta;
 mod mvcc;
 mod presence;
+mod shard;
 mod store;
 mod txn;
 mod union_read;
@@ -64,6 +65,10 @@ pub use env::{DualTableEnv, HealthReport};
 pub use meta::MetadataManager;
 pub use mvcc::MvccRegistry;
 pub use presence::{FilePresence, PresenceIndex, PRESENCE_FILE_ID};
+pub use shard::{
+    ShardCommitFailure, ShardFoldStats, ShardMap, ShardSpec, ShardedDmlReport, ShardedTable,
+    ShardedTransaction,
+};
 pub use store::{Assignment, DmlReport, DualTableStore, PlanPreview, TableStats};
 pub use txn::{RewriteJob, Snapshot, Transaction};
 pub use union_read::UnionReadOptions;

@@ -1,0 +1,890 @@
+//! Range sharding (DESIGN.md §16): one logical table partitioned by
+//! primary-key range into N independent [`DualTableStore`] shards.
+//!
+//! Each shard is a *full* dualtable — its own master file set, attached
+//! KV table, record-ID space, presence index and MVCC generation chain —
+//! so the §IV cost model, the incremental compactor and the crash-recovery
+//! machinery all run per shard with zero new code. What this module adds
+//! is purely the layer above:
+//!
+//! * a [`ShardSpec`] (key column + strictly ascending split points) whose
+//!   durable form, the **shard map**, is a CRC-framed file written through
+//!   the DFS namenode edit log — shard topology survives crashes exactly
+//!   like every master file does;
+//! * **routing**: a row lands in the shard whose half-open range
+//!   `[lo, hi)` contains its key (a key equal to a split point belongs to
+//!   the shard *starting* at that split);
+//! * **scatter-gather scans** on the engine's job pool, with per-shard
+//!   range pruning: a predicate on the shard key eliminates whole shards
+//!   *before any I/O* — the pruned shards' masters and attached tables
+//!   are never opened;
+//! * **cross-shard transactions**: one statement touching k shards
+//!   commits shard-by-shard in shard order through the PR 6 multi-table
+//!   path; on a mid-sequence failure the caller gets the exact list of
+//!   durably committed shards (the committed-prefix contract).
+//!
+//! The gather step is a k-way ordered merge in its degenerate form:
+//! shard ranges are disjoint and scanned in ascending range order, so
+//! concatenating per-shard results (which `parallel_map_fallible` already
+//! yields in split order) *is* the merge by key range.
+
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dt_common::crc32::crc32;
+use dt_common::{DataType, Deadline, Error, Result, Row, Schema, Value};
+use dt_engine::JobConfig;
+use dt_orcfile::{ColumnPredicate, PredicateOp};
+
+use crate::config::DualTableConfig;
+use crate::cost::{PlanChoice, RatioHint};
+use crate::env::DualTableEnv;
+use crate::store::{Assignment, DmlReport, DualTableStore};
+use crate::txn::Transaction;
+use crate::union_read::UnionReadOptions;
+use crate::FoldOutcome;
+
+/// Rows between two deadline checks inside a shard scan (same cadence as
+/// the query layer's scans).
+const DEADLINE_CHECK_ROWS: usize = 1024;
+
+/// Magic + version prefix of the durable shard map.
+const SHARD_MAP_MAGIC: &[u8; 8] = b"DTSHARD1";
+
+/// How a table is partitioned: the key column and the ascending split
+/// points. N split points make N+1 shards; shard `i` covers
+/// `[split[i-1], split[i])` with open ends at both extremes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    key_column: usize,
+    split_points: Vec<i64>,
+}
+
+impl ShardSpec {
+    /// Validates and builds a spec. Split points must be strictly
+    /// ascending (equal or descending points would create empty or
+    /// ambiguous ranges by construction, not by data).
+    pub fn new(key_column: usize, split_points: Vec<i64>) -> Result<Self> {
+        for w in split_points.windows(2) {
+            if w[0] >= w[1] {
+                return Err(Error::invalid(format!(
+                    "shard split points must be strictly ascending ({} then {})",
+                    w[0], w[1]
+                )));
+            }
+        }
+        Ok(ShardSpec {
+            key_column,
+            split_points,
+        })
+    }
+
+    /// Ordinal of the shard key column.
+    pub fn key_column(&self) -> usize {
+        self.key_column
+    }
+
+    /// The split points, ascending.
+    pub fn split_points(&self) -> &[i64] {
+        &self.split_points
+    }
+
+    /// Number of shards (always ≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.split_points.len() + 1
+    }
+
+    /// The shard owning `key`. A key equal to a split point routes to the
+    /// shard whose range *starts* there (split points are inclusive lower
+    /// bounds).
+    pub fn shard_of(&self, key: i64) -> usize {
+        self.split_points.partition_point(|&s| s <= key)
+    }
+
+    /// Half-open range `[lo, hi)` of shard `i`; `None` is an open end.
+    pub fn bounds(&self, i: usize) -> (Option<i64>, Option<i64>) {
+        let lo = if i == 0 {
+            None
+        } else {
+            Some(self.split_points[i - 1])
+        };
+        let hi = self.split_points.get(i).copied();
+        (lo, hi)
+    }
+
+    /// `true` iff shard `i`'s range could contain a row satisfying every
+    /// predicate — the shard-level analogue of stripe skipping. Only
+    /// predicates on the key column with an `Int64` literal constrain the
+    /// range; everything else is conservatively "may match".
+    pub fn shard_may_match(&self, i: usize, predicates: &[ColumnPredicate]) -> bool {
+        let (lo, hi) = self.bounds(i);
+        predicates.iter().all(|p| {
+            if p.column != self.key_column {
+                return true;
+            }
+            let Value::Int64(v) = p.literal else {
+                return true;
+            };
+            // Evaluate in i128: `hi - 1` must not wrap at i64::MIN.
+            let (lo, hi, v) = (
+                lo.map(i128::from),
+                hi.map(i128::from),
+                i128::from(v),
+            );
+            match p.op {
+                PredicateOp::Eq => lo.is_none_or(|l| l <= v) && hi.is_none_or(|h| v < h),
+                // Shard holds keys in [lo, hi): some key < v iff lo < v.
+                PredicateOp::Lt => lo.is_none_or(|l| l < v),
+                PredicateOp::Le => lo.is_none_or(|l| l <= v),
+                // Largest possible key is hi - 1.
+                PredicateOp::Gt => hi.is_none_or(|h| h - 1 > v),
+                PredicateOp::Ge => hi.is_none_or(|h| h > v),
+            }
+        })
+    }
+
+    /// Durable encoding: magic, key column, split count, split points,
+    /// CRC-32 over all of the above.
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + 4 + 4 + 8 * self.split_points.len() + 4);
+        buf.extend_from_slice(SHARD_MAP_MAGIC);
+        buf.extend_from_slice(&(self.key_column as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.split_points.len() as u32).to_le_bytes());
+        for s in &self.split_points {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    fn decode(data: &[u8]) -> Result<Self> {
+        let err = |msg: &str| Error::corrupt(format!("shard map: {msg}"));
+        if data.len() < 8 + 4 + 4 + 4 {
+            return Err(err("truncated"));
+        }
+        if &data[..8] != SHARD_MAP_MAGIC {
+            return Err(err("bad magic"));
+        }
+        let (body, crc_bytes) = data.split_at(data.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte split"));
+        if crc32(body) != stored {
+            return Err(err("checksum mismatch"));
+        }
+        let key_column = u32::from_le_bytes(body[8..12].try_into().expect("slice")) as usize;
+        let n = u32::from_le_bytes(body[12..16].try_into().expect("slice")) as usize;
+        if body.len() != 16 + 8 * n {
+            return Err(err("length inconsistent with split count"));
+        }
+        let split_points = (0..n)
+            .map(|i| {
+                let off = 16 + 8 * i;
+                i64::from_le_bytes(body[off..off + 8].try_into().expect("slice"))
+            })
+            .collect();
+        ShardSpec::new(key_column, split_points)
+    }
+}
+
+/// Durable shard topology, persisted as a single CRC-framed DFS file so
+/// it flows through the namenode edit log / checkpoint machinery and
+/// survives crashes like every other piece of master-tier state.
+pub struct ShardMap;
+
+impl ShardMap {
+    fn path(table: &str) -> String {
+        format!("/warehouse/{table}/__shard_map")
+    }
+
+    fn tmp_path(table: &str) -> String {
+        format!("/warehouse/{table}/__shard_map.tmp")
+    }
+
+    /// `true` iff `table` has a durable shard map (i.e. was created
+    /// sharded).
+    pub fn exists(env: &DualTableEnv, table: &str) -> bool {
+        env.dfs.exists(&Self::path(table))
+    }
+
+    /// Persists the spec: write to a temp name, then the namenode's
+    /// atomic rename publishes it. A crash before the rename leaves only
+    /// the temp file (swept on the next create); after it, the map is
+    /// fully durable.
+    pub fn save(env: &DualTableEnv, table: &str, spec: &ShardSpec) -> Result<()> {
+        let tmp = Self::tmp_path(table);
+        if env.dfs.exists(&tmp) {
+            env.dfs.delete(&tmp)?;
+        }
+        env.dfs.write_file(&tmp, &spec.encode())?;
+        env.dfs.rename(&tmp, &Self::path(table))
+    }
+
+    /// Loads and validates the spec.
+    pub fn load(env: &DualTableEnv, table: &str) -> Result<ShardSpec> {
+        ShardSpec::decode(&env.dfs.read_to_vec(&Self::path(table))?)
+    }
+
+    fn delete(env: &DualTableEnv, table: &str) -> Result<()> {
+        env.dfs.delete(&Self::path(table))
+    }
+}
+
+/// Per-shard maintenance ledger, surfaced by `SHOW COMPACTION`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardFoldStats {
+    /// Fold probes the round-robin walk pointed at this shard.
+    pub attempted: u64,
+    /// Probes that folded at least one file.
+    pub folded: u64,
+    /// Probes that lost the fold race to a concurrent writer.
+    pub lost_race: u64,
+    /// Probes that found nothing worth folding.
+    pub clean: u64,
+}
+
+#[derive(Default)]
+struct ShardFoldCounters {
+    attempted: AtomicU64,
+    folded: AtomicU64,
+    lost_race: AtomicU64,
+    clean: AtomicU64,
+}
+
+impl ShardFoldCounters {
+    fn snapshot(&self) -> ShardFoldStats {
+        ShardFoldStats {
+            attempted: self.attempted.load(Ordering::Relaxed),
+            folded: self.folded.load(Ordering::Relaxed),
+            lost_race: self.lost_race.load(Ordering::Relaxed),
+            clean: self.clean.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Outcome of one sharded UPDATE/DELETE: the per-shard plan reports, so
+/// callers can see different key ranges independently landing on
+/// different sides of the EDIT/OVERWRITE crossover.
+#[derive(Debug, Clone)]
+pub struct ShardedDmlReport {
+    /// Total rows matched across executed shards.
+    pub rows_matched: u64,
+    /// Total rows scanned across executed shards.
+    pub rows_scanned: u64,
+    /// `(shard index, report)` for every shard the statement executed on
+    /// (range-pruned shards are absent).
+    pub per_shard: Vec<(usize, DmlReport)>,
+}
+
+impl ShardedDmlReport {
+    /// Human summary of the plans chosen, e.g. `"EDIT×2, OVERWRITE×1"`.
+    pub fn plan_summary(&self) -> String {
+        let edits = self
+            .per_shard
+            .iter()
+            .filter(|(_, r)| r.plan == PlanChoice::Edit)
+            .count();
+        let overwrites = self.per_shard.len() - edits;
+        match (edits, overwrites) {
+            (0, 0) => "no shards touched".to_string(),
+            (e, 0) => format!("EDIT×{e}"),
+            (0, o) => format!("OVERWRITE×{o}"),
+            (e, o) => format!("EDIT×{e}, OVERWRITE×{o}"),
+        }
+    }
+}
+
+/// A cross-shard commit that failed partway. `committed` is the exact
+/// prefix of shards (by store name, in shard order) whose commits are
+/// already durable — mirroring the multi-table commit contract: the
+/// client is told precisely what did happen.
+#[derive(Debug)]
+pub struct ShardCommitFailure {
+    /// Shard store names whose commits are durable.
+    pub committed: Vec<String>,
+    /// The shard store name whose commit failed.
+    pub failed: String,
+    /// The underlying error.
+    pub error: Error,
+}
+
+struct ShardedInner {
+    name: String,
+    schema: Schema,
+    env: DualTableEnv,
+    spec: ShardSpec,
+    shards: Vec<DualTableStore>,
+    /// Round-robin cursor of the maintenance walk.
+    cursor: AtomicUsize,
+    folds: Vec<ShardFoldCounters>,
+}
+
+/// One logical table backed by range shards. Cheap to clone (`Arc`).
+#[derive(Clone)]
+pub struct ShardedTable {
+    inner: Arc<ShardedInner>,
+}
+
+impl ShardedTable {
+    fn shard_store_name(table: &str, i: usize) -> String {
+        format!("{table}__s{i}")
+    }
+
+    fn validate_spec(schema: &Schema, spec: &ShardSpec) -> Result<()> {
+        let Some(field) = schema.fields().get(spec.key_column) else {
+            return Err(Error::schema(format!(
+                "shard key column {} out of range",
+                spec.key_column
+            )));
+        };
+        if field.data_type != DataType::Int64 {
+            return Err(Error::schema(format!(
+                "shard key column '{}' must be BIGINT (range sharding is by integer key)",
+                field.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Creates a sharded table: persists the shard map first (the map is
+    /// the table's durable existence marker), then creates every shard.
+    /// A crash between those steps leaves a map with missing shards;
+    /// [`ShardedTable::open`] heals that by creating the absentees — an
+    /// empty shard is indistinguishable from a never-written one.
+    pub fn create(
+        env: &DualTableEnv,
+        name: &str,
+        schema: Schema,
+        config: DualTableConfig,
+        spec: ShardSpec,
+    ) -> Result<Self> {
+        Self::validate_spec(&schema, &spec)?;
+        if ShardMap::exists(env, name) {
+            return Err(Error::AlreadyExists(format!("sharded table '{name}'")));
+        }
+        ShardMap::save(env, name, &spec)?;
+        let shards = (0..spec.shard_count())
+            .map(|i| {
+                DualTableStore::create(
+                    env,
+                    &Self::shard_store_name(name, i),
+                    schema.clone(),
+                    config.clone(),
+                )
+            })
+            .collect::<Result<Vec<_>>>()?;
+        env.shard_health.add_shards(shards.len() as u64);
+        Ok(Self::assemble(env, name, schema, spec, shards))
+    }
+
+    /// Opens a sharded table from its durable map, creating any shard a
+    /// create-time crash left missing. The shard gauge is not re-added on
+    /// open: it counts shards brought online by `create`, and a reopened
+    /// process starts a fresh counter anyway.
+    pub fn open(
+        env: &DualTableEnv,
+        name: &str,
+        schema: Schema,
+        config: DualTableConfig,
+    ) -> Result<Self> {
+        let spec = ShardMap::load(env, name)?;
+        Self::validate_spec(&schema, &spec)?;
+        let shards = (0..spec.shard_count())
+            .map(|i| {
+                DualTableStore::open_or_create(
+                    env,
+                    &Self::shard_store_name(name, i),
+                    schema.clone(),
+                    config.clone(),
+                )
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self::assemble(env, name, schema, spec, shards))
+    }
+
+    /// `true` iff a durable shard map exists for `name`.
+    pub fn exists(env: &DualTableEnv, name: &str) -> bool {
+        ShardMap::exists(env, name)
+    }
+
+    fn assemble(
+        env: &DualTableEnv,
+        name: &str,
+        schema: Schema,
+        spec: ShardSpec,
+        shards: Vec<DualTableStore>,
+    ) -> Self {
+        let folds = (0..shards.len()).map(|_| ShardFoldCounters::default()).collect();
+        ShardedTable {
+            inner: Arc::new(ShardedInner {
+                name: name.to_string(),
+                schema,
+                env: env.clone(),
+                spec,
+                shards,
+                cursor: AtomicUsize::new(0),
+                folds,
+            }),
+        }
+    }
+
+    /// Logical table name (shard stores are `{name}__s{i}`).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The table schema (identical across shards).
+    pub fn schema(&self) -> &Schema {
+        &self.inner.schema
+    }
+
+    /// The environment this table lives on.
+    pub fn env(&self) -> &DualTableEnv {
+        &self.inner.env
+    }
+
+    /// The shard topology.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.inner.spec
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The underlying shard stores, in range order.
+    pub fn shards(&self) -> &[DualTableStore] {
+        &self.inner.shards
+    }
+
+    /// Maintenance ledger of shard `i`.
+    pub fn fold_stats(&self, i: usize) -> ShardFoldStats {
+        self.inner.folds[i].snapshot()
+    }
+
+    /// The shard a key routes to.
+    pub fn shard_for_key(&self, key: i64) -> usize {
+        self.inner.spec.shard_of(key)
+    }
+
+    fn key_of(&self, row: &Row) -> Result<i64> {
+        match row.get(self.inner.spec.key_column()) {
+            Some(Value::Int64(k)) => Ok(*k),
+            _ => Err(Error::schema(format!(
+                "shard key column {} must be a non-NULL BIGINT in every row",
+                self.inner.spec.key_column()
+            ))),
+        }
+    }
+
+    /// Partitions rows into one bucket per shard (buckets may be empty).
+    fn partition(&self, rows: Vec<Row>) -> Result<Vec<Vec<Row>>> {
+        let mut buckets: Vec<Vec<Row>> = (0..self.shard_count()).map(|_| Vec::new()).collect();
+        for row in rows {
+            let shard = self.inner.spec.shard_of(self.key_of(&row)?);
+            buckets[shard].push(row);
+        }
+        Ok(buckets)
+    }
+
+    /// Shard indices whose range survives the predicates' key-range
+    /// constraints; everything else is pruned before any I/O.
+    pub fn shards_matching(&self, predicates: Option<&[ColumnPredicate]>) -> Vec<usize> {
+        (0..self.shard_count())
+            .filter(|&i| match predicates {
+                Some(p) => self.inner.spec.shard_may_match(i, p),
+                None => true,
+            })
+            .collect()
+    }
+
+    /// Routes an INSERT: each row goes to exactly one shard.
+    pub fn insert_rows(&self, rows: Vec<Row>) -> Result<u64> {
+        let buckets = self.partition(rows)?;
+        let mut n = 0u64;
+        for (i, bucket) in buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                n += self.inner.shards[i].insert_rows(bucket)?;
+            }
+        }
+        Ok(n)
+    }
+
+    /// INSERT OVERWRITE: every shard is rewritten, including shards whose
+    /// bucket is empty (their old content must vanish too).
+    pub fn insert_overwrite(&self, rows: Vec<Row>) -> Result<u64> {
+        let buckets = self.partition(rows)?;
+        let mut n = 0u64;
+        for (i, bucket) in buckets.into_iter().enumerate() {
+            n += self.inner.shards[i].insert_overwrite(bucket)?;
+        }
+        Ok(n)
+    }
+
+    /// Scatter-gather scan: range pruning first (pruned shards see zero
+    /// I/O — their files are never opened), then the surviving shards
+    /// scan in parallel on the engine's job pool, then the gather
+    /// concatenates in shard order (= ordered merge; see module docs).
+    pub fn scan_scatter(
+        &self,
+        projection: Option<&[usize]>,
+        predicates: Option<&[ColumnPredicate]>,
+        deadline: &Deadline,
+    ) -> Result<Vec<Row>> {
+        let health = &self.inner.env.shard_health;
+        health.record_scatter_scan();
+        let matched = self.shards_matching(predicates);
+        health.record_shards_pruned((self.shard_count() - matched.len()) as u64);
+        let mut opts = UnionReadOptions::all();
+        opts.projection = projection.map(<[usize]>::to_vec);
+        opts.predicates = predicates.map(<[ColumnPredicate]>::to_vec);
+        let per_shard = dt_engine::parallel_map_fallible(
+            &JobConfig::default(),
+            matched,
+            |i: usize| -> Result<Vec<Row>> {
+                let mut rows = Vec::new();
+                let mut since_check = 0usize;
+                self.inner.shards[i].for_each(&opts, |_, row| {
+                    since_check += 1;
+                    if since_check >= DEADLINE_CHECK_ROWS {
+                        since_check = 0;
+                        deadline.check()?;
+                    }
+                    rows.push(row);
+                    Ok(ControlFlow::Continue(()))
+                })?;
+                Ok(rows)
+            },
+        )?;
+        Ok(per_shard.into_iter().flatten().collect())
+    }
+
+    /// Total row count across shards.
+    pub fn count(&self) -> Result<u64> {
+        let mut n = 0u64;
+        for s in &self.inner.shards {
+            n += s.count()?;
+        }
+        Ok(n)
+    }
+
+    /// Sharded UPDATE: range pruning via `pushdown`, then each surviving
+    /// shard runs its own cost model — different ranges may independently
+    /// choose EDIT vs OVERWRITE.
+    pub fn update_keyed(
+        &self,
+        predicate: impl Fn(&Row) -> bool + Sync,
+        assignments: &[Assignment<'_>],
+        ratio: RatioHint,
+        statement_key: Option<&str>,
+        pushdown: Option<&[ColumnPredicate]>,
+    ) -> Result<ShardedDmlReport> {
+        let mut out = ShardedDmlReport {
+            rows_matched: 0,
+            rows_scanned: 0,
+            per_shard: Vec::new(),
+        };
+        for i in self.shards_matching(pushdown) {
+            let report =
+                self.inner.shards[i].update_keyed(&predicate, assignments, ratio, statement_key)?;
+            out.rows_matched += report.rows_matched;
+            out.rows_scanned += report.rows_scanned;
+            out.per_shard.push((i, report));
+        }
+        Ok(out)
+    }
+
+    /// Sharded DELETE (see [`ShardedTable::update_keyed`]).
+    pub fn delete_keyed(
+        &self,
+        predicate: impl Fn(&Row) -> bool + Sync,
+        ratio: RatioHint,
+        statement_key: Option<&str>,
+        pushdown: Option<&[ColumnPredicate]>,
+    ) -> Result<ShardedDmlReport> {
+        let mut out = ShardedDmlReport {
+            rows_matched: 0,
+            rows_scanned: 0,
+            per_shard: Vec::new(),
+        };
+        for i in self.shards_matching(pushdown) {
+            let report = self.inner.shards[i].delete_keyed(&predicate, ratio, statement_key)?;
+            out.rows_matched += report.rows_matched;
+            out.rows_scanned += report.rows_scanned;
+            out.per_shard.push((i, report));
+        }
+        Ok(out)
+    }
+
+    /// Full COMPACT of every shard.
+    pub fn compact(&self) -> Result<()> {
+        for s in &self.inner.shards {
+            s.compact()?;
+        }
+        Ok(())
+    }
+
+    /// One incremental maintenance step, walking shards round-robin: the
+    /// cursor advances one shard per probe, so in any window of
+    /// `shard_count` consecutive calls every shard is probed exactly once
+    /// — no shard is starved for more than one full cycle. Probing stops
+    /// at the first shard that actually had work (folded or lost a race);
+    /// clean shards just advance the cursor.
+    pub fn compact_incremental(&self) -> Result<FoldOutcome> {
+        let n = self.shard_count();
+        for _ in 0..n {
+            let i = self.inner.cursor.fetch_add(1, Ordering::Relaxed) % n;
+            let counters = &self.inner.folds[i];
+            counters.attempted.fetch_add(1, Ordering::Relaxed);
+            match self.inner.shards[i].compact_incremental()? {
+                FoldOutcome::Folded { files, rows } => {
+                    counters.folded.fetch_add(1, Ordering::Relaxed);
+                    return Ok(FoldOutcome::Folded { files, rows });
+                }
+                FoldOutcome::LostRace => {
+                    counters.lost_race.fetch_add(1, Ordering::Relaxed);
+                    return Ok(FoldOutcome::LostRace);
+                }
+                FoldOutcome::Clean => {
+                    counters.clean.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(FoldOutcome::Clean)
+    }
+
+    /// Opens a cross-shard transaction: every shard is pinned at a
+    /// snapshot up front, so the statement sees one consistent epoch per
+    /// shard and FCW conflict checks run per shard at commit.
+    pub fn begin_transaction(&self) -> Result<ShardedTransaction> {
+        let txns = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| s.begin_transaction())
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedTransaction {
+            table: self.clone(),
+            txns,
+        })
+    }
+
+    /// Drops every shard and the durable shard map.
+    pub fn drop_table(self) -> Result<()> {
+        let n = self.inner.shards.len() as u64;
+        // The Arc is uniquely held in practice (the catalog removed its
+        // handle); shards are owned stores, so drop each in turn.
+        let inner = Arc::try_unwrap(self.inner).map_err(|_| {
+            Error::invalid("cannot drop a sharded table while other handles are live")
+        })?;
+        for shard in inner.shards {
+            shard.drop_table()?;
+        }
+        ShardMap::delete(&inner.env, &inner.name)?;
+        inner.env.shard_health.remove_shards(n);
+        Ok(())
+    }
+}
+
+/// A transaction spanning every shard of one table. DML routes to the
+/// per-shard [`Transaction`]s; commit walks shards in range order and
+/// reports the committed prefix on partial failure.
+pub struct ShardedTransaction {
+    table: ShardedTable,
+    txns: Vec<Transaction>,
+}
+
+impl ShardedTransaction {
+    /// Buffers an INSERT, routing each row to its shard's transaction.
+    pub fn insert(&mut self, rows: Vec<Row>) -> Result<u64> {
+        let buckets = self.table.partition(rows)?;
+        let mut n = 0u64;
+        for (i, bucket) in buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                n += self.txns[i].insert(bucket)?;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Buffers an UPDATE against every shard; returns total matched.
+    pub fn update(
+        &mut self,
+        predicate: impl Fn(&Row) -> bool,
+        assignments: &[Assignment<'_>],
+    ) -> Result<u64> {
+        let mut n = 0u64;
+        for txn in &mut self.txns {
+            n += txn.update(&predicate, assignments)?;
+        }
+        Ok(n)
+    }
+
+    /// Buffers a DELETE against every shard; returns total matched.
+    pub fn delete(&mut self, predicate: impl Fn(&Row) -> bool) -> Result<u64> {
+        let mut n = 0u64;
+        for txn in &mut self.txns {
+            n += txn.delete(&predicate)?;
+        }
+        Ok(n)
+    }
+
+    /// Snapshot read across all shards, in range order.
+    pub fn rows(&self, projection: Option<&[usize]>) -> Result<Vec<Row>> {
+        let mut out = Vec::new();
+        for txn in &self.txns {
+            out.extend(txn.rows(projection)?);
+        }
+        Ok(out)
+    }
+
+    /// `true` iff no shard transaction buffered a write.
+    pub fn is_read_only(&self) -> bool {
+        self.txns.iter().all(Transaction::is_read_only)
+    }
+
+    /// Commits shard-by-shard in range order (read-only shards just
+    /// release their pins). Each shard's commit is its own FCW conflict
+    /// check and durable publish; once shard `i` commits there is no
+    /// undo, so a failure at shard `j` reports the exact durable prefix
+    /// `[..j)` — the same contract the multi-table session commit gives
+    /// across tables. Returns total rows written on full success.
+    pub fn commit(self) -> std::result::Result<u64, Box<ShardCommitFailure>> {
+        let table = self.table;
+        let mut committed: Vec<String> = Vec::new();
+        let mut wrote = 0usize;
+        let mut rows = 0u64;
+        for (i, txn) in self.txns.into_iter().enumerate() {
+            let name = table.inner.shards[i].name().to_string();
+            if txn.is_read_only() {
+                txn.rollback();
+                continue;
+            }
+            match txn.commit() {
+                Ok(n) => {
+                    rows += n;
+                    wrote += 1;
+                    committed.push(name);
+                }
+                Err(error) => {
+                    if !committed.is_empty() {
+                        table
+                            .inner
+                            .env
+                            .shard_health
+                            .record_cross_shard_partial_commit();
+                    }
+                    return Err(Box::new(ShardCommitFailure {
+                        committed,
+                        failed: name,
+                        error,
+                    }));
+                }
+            }
+        }
+        if wrote >= 2 {
+            table.inner.env.shard_health.record_cross_shard_commit();
+        }
+        Ok(rows)
+    }
+
+    /// Discards every shard's buffered writes and releases all pins.
+    pub fn rollback(self) {
+        for txn in self.txns {
+            txn.rollback();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(splits: &[i64]) -> ShardSpec {
+        ShardSpec::new(0, splits.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn split_points_route_to_right_shard() {
+        let s = spec(&[10, 20]);
+        assert_eq!(s.shard_count(), 3);
+        assert_eq!(s.shard_of(i64::MIN), 0);
+        assert_eq!(s.shard_of(9), 0);
+        assert_eq!(s.shard_of(10), 1, "key == split point starts the next shard");
+        assert_eq!(s.shard_of(19), 1);
+        assert_eq!(s.shard_of(20), 2);
+        assert_eq!(s.shard_of(i64::MAX), 2);
+    }
+
+    #[test]
+    fn bounds_are_half_open() {
+        let s = spec(&[10, 20]);
+        assert_eq!(s.bounds(0), (None, Some(10)));
+        assert_eq!(s.bounds(1), (Some(10), Some(20)));
+        assert_eq!(s.bounds(2), (Some(20), None));
+    }
+
+    #[test]
+    fn non_ascending_splits_rejected() {
+        assert!(ShardSpec::new(0, vec![10, 10]).is_err());
+        assert!(ShardSpec::new(0, vec![20, 10]).is_err());
+        assert!(ShardSpec::new(0, vec![]).is_ok(), "single shard is legal");
+    }
+
+    #[test]
+    fn shard_map_roundtrip_and_corruption() {
+        let s = ShardSpec::new(3, vec![-5, 0, 1_000_000]).unwrap();
+        let bytes = s.encode();
+        assert_eq!(ShardSpec::decode(&bytes).unwrap(), s);
+        // Flip one split-point byte: the CRC must catch it.
+        let mut bad = bytes.clone();
+        bad[20] ^= 0xFF;
+        assert!(ShardSpec::decode(&bad).is_err());
+        assert!(ShardSpec::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(ShardSpec::decode(b"NOTAMAP!").is_err());
+    }
+
+    fn pred(op: PredicateOp, v: i64) -> ColumnPredicate {
+        ColumnPredicate::new(0, op, Value::Int64(v))
+    }
+
+    #[test]
+    fn range_pruning_per_operator() {
+        let s = spec(&[10, 20]); // shards: (-inf,10) [10,20) [20,+inf)
+        let matches = |p: ColumnPredicate| -> Vec<usize> {
+            (0..3).filter(|&i| s.shard_may_match(i, std::slice::from_ref(&p))).collect()
+        };
+        assert_eq!(matches(pred(PredicateOp::Eq, 10)), vec![1]);
+        assert_eq!(matches(pred(PredicateOp::Eq, 9)), vec![0]);
+        assert_eq!(matches(pred(PredicateOp::Lt, 10)), vec![0]);
+        assert_eq!(matches(pred(PredicateOp::Le, 10)), vec![0, 1]);
+        assert_eq!(matches(pred(PredicateOp::Gt, 19)), vec![2]);
+        assert_eq!(matches(pred(PredicateOp::Gt, 18)), vec![1, 2]);
+        assert_eq!(matches(pred(PredicateOp::Ge, 19)), vec![1, 2]);
+        assert_eq!(matches(pred(PredicateOp::Ge, 20)), vec![2]);
+        // Conjunction with an empty intersection prunes everything.
+        let none: Vec<usize> = (0..3)
+            .filter(|&i| {
+                s.shard_may_match(i, &[pred(PredicateOp::Lt, 5), pred(PredicateOp::Gt, 25)])
+            })
+            .collect();
+        assert!(none.is_empty());
+        // Predicates on other columns never prune.
+        let other = ColumnPredicate::new(1, PredicateOp::Eq, Value::Int64(7));
+        assert_eq!(
+            (0..3).filter(|&i| s.shard_may_match(i, std::slice::from_ref(&other))).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn extreme_bounds_do_not_overflow() {
+        let s = spec(&[i64::MIN + 1, i64::MAX]);
+        // `hi - 1` at the extremes must not wrap.
+        assert!(s.shard_may_match(0, &[pred(PredicateOp::Ge, i64::MIN)]));
+        assert!(!s.shard_may_match(0, &[pred(PredicateOp::Ge, i64::MIN + 1)]));
+        assert!(s.shard_may_match(2, &[pred(PredicateOp::Ge, i64::MAX)]));
+        assert!(!s.shard_may_match(1, &[pred(PredicateOp::Gt, i64::MAX - 1)]));
+    }
+}

@@ -365,6 +365,25 @@ impl DualTableStore {
         Ok(store)
     }
 
+    /// Opens the table if its attached KV table exists, otherwise creates
+    /// it fresh. Used by sharded-table recovery: a crash between the
+    /// durable shard-map write and the creation of the shard stores
+    /// leaves some shards missing, and an empty shard is
+    /// indistinguishable from a never-written one, so creating the
+    /// absentee heals the topology.
+    pub fn open_or_create(
+        env: &DualTableEnv,
+        name: &str,
+        schema: Schema,
+        config: DualTableConfig,
+    ) -> Result<Self> {
+        if env.kv.table(&Self::attached_name(name)).is_ok() {
+            Self::open(env, name, schema, config)
+        } else {
+            Self::create(env, name, schema, config)
+        }
+    }
+
     /// Undoes a transactional insert interrupted between its durable
     /// intent write and its commit: the intent cell lists the master files
     /// the commit was about to publish; none of them committed, so delete

@@ -8,7 +8,8 @@ pub enum Statement {
     /// `EXPLAIN <statement>` — describe the plan without executing it.
     /// For DualTable DML this previews the cost-model decision.
     Explain(Box<Statement>),
-    /// `CREATE TABLE [IF NOT EXISTS] name (col TYPE, …) [STORED AS kind]`
+    /// `CREATE TABLE [IF NOT EXISTS] name (col TYPE, …) [STORED AS kind]
+    ///  [SHARDED BY RANGE (col) [SPLIT AT (expr, …)]]`
     CreateTable {
         /// Table name.
         name: String,
@@ -18,6 +19,8 @@ pub enum Statement {
         storage: StorageKind,
         /// Suppress the already-exists error.
         if_not_exists: bool,
+        /// Range-sharding clause (DUALTABLE storage only).
+        sharding: Option<ShardBy>,
     },
     /// `DROP TABLE [IF EXISTS] name`
     DropTable {
@@ -82,6 +85,9 @@ pub enum Statement {
     /// `SHOW COMPACTION` — the maintenance daemon's mode, state and
     /// lifecycle counters.
     ShowCompaction,
+    /// `SHOW SHARDS` — every range-sharded table's shard topology: key
+    /// ranges, row counts, storage footprint and fold ledger per shard.
+    ShowShards,
     /// `BEGIN [TRANSACTION]` / `START TRANSACTION` — open a
     /// multi-statement snapshot-isolation transaction (DESIGN.md §13).
     /// DML on DUALTABLE storage is buffered until `COMMIT`.
@@ -113,6 +119,16 @@ pub enum Statement {
         /// source row.
         not_matched_insert: Option<Vec<Expr>>,
     },
+}
+
+/// `SHARDED BY RANGE (col) [SPLIT AT (expr, …)]` — partition a DUALTABLE
+/// by key range. No `SPLIT AT` means a single shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardBy {
+    /// The shard key column (must be BIGINT).
+    pub column: String,
+    /// Split-point expressions, each evaluating to a constant BIGINT.
+    pub splits: Vec<Expr>,
 }
 
 /// Row source of an INSERT.

@@ -12,7 +12,9 @@ use std::sync::Arc;
 use dt_baselines::{HiveAcidTable, HiveHbaseTable, HiveHdfsTable};
 use dt_common::{Deadline, Error, Result, Row, Schema};
 use dt_orcfile::ColumnPredicate;
-use dualtable::{Assignment, DmlReport, DualTableStore, PlanChoice, RatioHint};
+use dualtable::{
+    Assignment, DmlReport, DualTableStore, PlanChoice, RatioHint, ShardedDmlReport, ShardedTable,
+};
 use parking_lot::RwLock;
 
 use crate::ast::StorageKind;
@@ -33,6 +35,9 @@ pub enum TableHandle {
     Dual(DualTableStore),
     /// Hive-ACID base+delta.
     Acid(HiveAcidTable),
+    /// A range-sharded dualtable (DESIGN.md §16): N independent
+    /// master/attached pairs behind a routing layer.
+    Sharded(ShardedTable),
 }
 
 /// Outcome of a DML statement, storage-agnostic.
@@ -44,6 +49,9 @@ pub struct DmlOutcome {
     pub rows_scanned: u64,
     /// DualTable's plan report, when the handler has a cost model.
     pub report: Option<DmlReport>,
+    /// Per-shard plan reports, when the handler is range-sharded (each
+    /// shard runs its own cost model).
+    pub sharded: Option<ShardedDmlReport>,
 }
 
 impl TableHandle {
@@ -54,6 +62,7 @@ impl TableHandle {
             TableHandle::HBase(t) => t.schema(),
             TableHandle::Dual(t) => t.schema(),
             TableHandle::Acid(t) => t.schema(),
+            TableHandle::Sharded(t) => t.schema(),
         }
     }
 
@@ -62,7 +71,7 @@ impl TableHandle {
         match self {
             TableHandle::Orc(_) => StorageKind::Orc,
             TableHandle::HBase(_) => StorageKind::HBase,
-            TableHandle::Dual(_) => StorageKind::DualTable,
+            TableHandle::Dual(_) | TableHandle::Sharded(_) => StorageKind::DualTable,
             TableHandle::Acid(_) => StorageKind::Acid,
         }
     }
@@ -130,6 +139,10 @@ impl TableHandle {
                 })?;
                 Ok(out)
             }
+            // Scatter-gather: range pruning drops whole shards before any
+            // I/O, survivors scan in parallel, results gather in range
+            // order. The deadline is checked inside each shard's scan.
+            TableHandle::Sharded(t) => t.scan_scatter(projection, predicates, deadline),
         }
     }
 
@@ -140,6 +153,7 @@ impl TableHandle {
             TableHandle::HBase(t) => t.count(),
             TableHandle::Dual(t) => t.count(),
             TableHandle::Acid(t) => t.count(),
+            TableHandle::Sharded(t) => t.count(),
         }
     }
 
@@ -153,6 +167,7 @@ impl TableHandle {
             TableHandle::HBase(t) => t.insert_rows(rows),
             TableHandle::Dual(t) => t.insert_rows(rows),
             TableHandle::Acid(t) => t.insert_rows(rows),
+            TableHandle::Sharded(t) => t.insert_rows(rows),
         }
     }
 
@@ -171,16 +186,21 @@ impl TableHandle {
                 t.delete(|_| true)?;
                 t.insert_rows(rows)
             }
+            TableHandle::Sharded(t) => t.insert_overwrite(rows),
         }
     }
 
-    /// Executes an UPDATE.
+    /// Executes an UPDATE. `pushdown` carries the WHERE clause's
+    /// column-vs-literal conjuncts; a range-sharded handler uses them to
+    /// prune whole shards before scanning (other handlers already receive
+    /// them through their own scan paths).
     pub fn update(
         &self,
         predicate: &(dyn Fn(&Row) -> bool + Sync),
         assignments: &[Assignment<'_>],
         ratio: RatioHint,
         statement_key: Option<&str>,
+        pushdown: Option<&[ColumnPredicate]>,
     ) -> Result<DmlOutcome> {
         match self {
             TableHandle::Orc(t) => {
@@ -189,6 +209,7 @@ impl TableHandle {
                     rows_matched: m,
                     rows_scanned: s,
                     report: None,
+                    sharded: None,
                 })
             }
             TableHandle::HBase(t) => {
@@ -197,6 +218,7 @@ impl TableHandle {
                     rows_matched: m,
                     rows_scanned: s,
                     report: None,
+                    sharded: None,
                 })
             }
             TableHandle::Acid(t) => {
@@ -205,6 +227,7 @@ impl TableHandle {
                     rows_matched: m,
                     rows_scanned: s,
                     report: None,
+                    sharded: None,
                 })
             }
             TableHandle::Dual(t) => {
@@ -213,17 +236,29 @@ impl TableHandle {
                     rows_matched: report.rows_matched,
                     rows_scanned: report.rows_scanned,
                     report: Some(report),
+                    sharded: None,
+                })
+            }
+            TableHandle::Sharded(t) => {
+                let report =
+                    t.update_keyed(predicate, assignments, ratio, statement_key, pushdown)?;
+                Ok(DmlOutcome {
+                    rows_matched: report.rows_matched,
+                    rows_scanned: report.rows_scanned,
+                    report: None,
+                    sharded: Some(report),
                 })
             }
         }
     }
 
-    /// Executes a DELETE.
+    /// Executes a DELETE (see [`TableHandle::update`] for `pushdown`).
     pub fn delete(
         &self,
         predicate: &(dyn Fn(&Row) -> bool + Sync),
         ratio: RatioHint,
         statement_key: Option<&str>,
+        pushdown: Option<&[ColumnPredicate]>,
     ) -> Result<DmlOutcome> {
         match self {
             TableHandle::Orc(t) => {
@@ -232,6 +267,7 @@ impl TableHandle {
                     rows_matched: m,
                     rows_scanned: s,
                     report: None,
+                    sharded: None,
                 })
             }
             TableHandle::HBase(t) => {
@@ -240,6 +276,7 @@ impl TableHandle {
                     rows_matched: m,
                     rows_scanned: s,
                     report: None,
+                    sharded: None,
                 })
             }
             TableHandle::Acid(t) => {
@@ -248,6 +285,7 @@ impl TableHandle {
                     rows_matched: m,
                     rows_scanned: s,
                     report: None,
+                    sharded: None,
                 })
             }
             TableHandle::Dual(t) => {
@@ -256,6 +294,16 @@ impl TableHandle {
                     rows_matched: report.rows_matched,
                     rows_scanned: report.rows_scanned,
                     report: Some(report),
+                    sharded: None,
+                })
+            }
+            TableHandle::Sharded(t) => {
+                let report = t.delete_keyed(predicate, ratio, statement_key, pushdown)?;
+                Ok(DmlOutcome {
+                    rows_matched: report.rows_matched,
+                    rows_scanned: report.rows_scanned,
+                    report: None,
+                    sharded: Some(report),
                 })
             }
         }
@@ -265,6 +313,7 @@ impl TableHandle {
     pub fn compact(&self) -> Result<()> {
         match self {
             TableHandle::Dual(t) => t.compact(),
+            TableHandle::Sharded(t) => t.compact(),
             TableHandle::Acid(t) => t.major_compact(),
             _ => Err(Error::Unsupported(
                 "COMPACT is only meaningful for DUALTABLE and ACID tables".into(),
@@ -278,6 +327,11 @@ impl TableHandle {
     pub fn compact_incremental(&self) -> Result<dualtable::FoldOutcome> {
         match self {
             TableHandle::Dual(t) => t.compact_incremental(),
+            // Sharded tables walk their shards round-robin: each call
+            // probes from the cursor and folds the first dirty shard, so
+            // the server's per-table maintenance pass is automatically
+            // fair across shards.
+            TableHandle::Sharded(t) => t.compact_incremental(),
             _ => Err(Error::Unsupported(
                 "COMPACT … INCREMENTAL is only meaningful for DUALTABLE tables".into(),
             )),
@@ -291,6 +345,7 @@ impl TableHandle {
             TableHandle::HBase(t) => t.drop_table(),
             TableHandle::Dual(t) => t.drop_table(),
             TableHandle::Acid(t) => t.drop_table(),
+            TableHandle::Sharded(t) => t.drop_table(),
         }
     }
 

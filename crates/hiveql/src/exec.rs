@@ -5,10 +5,11 @@ use std::collections::{BTreeMap, HashMap};
 use dt_common::{DataType, Deadline, Error, Field, Result, Row, Schema, Value};
 use dt_engine::{run_map_reduce, JobConfig, JobCounters};
 use dt_orcfile::{ColumnPredicate, PredicateOp};
-use dualtable::{RatioHint, Transaction};
+use dualtable::RatioHint;
 
 use crate::ast::*;
 use crate::catalog::SharedCatalog;
+use crate::session::SessionTxn;
 use crate::expr::{
     eval, is_true, normalize_numeric, Binding, EvalContext, GroupKey, HashableValue,
 };
@@ -98,12 +99,12 @@ pub struct Executor<'a> {
     /// Open transactions by table name (DESIGN.md §13). When a scanned
     /// table has one, reads go through its read-your-own-writes overlay
     /// instead of the committed store.
-    pub txns: Option<&'a BTreeMap<String, Transaction>>,
+    pub txns: Option<&'a BTreeMap<String, SessionTxn>>,
 }
 
 impl Executor<'_> {
     /// The open transaction covering `table`, if any.
-    fn txn_overlay(&self, table: &str) -> Option<&Transaction> {
+    fn txn_overlay(&self, table: &str) -> Option<&SessionTxn> {
         self.txns.and_then(|m| m.get(table))
     }
 

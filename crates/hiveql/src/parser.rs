@@ -114,6 +114,9 @@ impl Parser {
             if self.accept("compaction") {
                 return Ok(Statement::ShowCompaction);
             }
+            if self.accept("shards") {
+                return Ok(Statement::ShowShards);
+            }
             self.expect("tables")?;
             return Ok(Statement::ShowTables);
         }
@@ -213,11 +216,34 @@ impl Parser {
         } else {
             StorageKind::Orc
         };
+        let sharding = if self.accept("sharded") {
+            self.expect("by")?;
+            self.expect("range")?;
+            self.expect_token(&Token::LParen)?;
+            let column = self.identifier()?;
+            self.expect_token(&Token::RParen)?;
+            let mut splits = Vec::new();
+            if self.accept("split") {
+                self.expect("at")?;
+                self.expect_token(&Token::LParen)?;
+                loop {
+                    splits.push(self.expr()?);
+                    if !self.accept_token(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect_token(&Token::RParen)?;
+            }
+            Some(crate::ast::ShardBy { column, splits })
+        } else {
+            None
+        };
         Ok(Statement::CreateTable {
             name,
             columns,
             storage,
             if_not_exists,
+            sharding,
         })
     }
 
@@ -834,15 +860,46 @@ mod tests {
                 columns,
                 storage,
                 if_not_exists,
+                sharding,
             } => {
                 assert_eq!(name, "t");
                 assert_eq!(columns.len(), 3);
                 assert_eq!(columns[2], ("v".to_string(), DataType::Float64));
                 assert_eq!(storage, StorageKind::DualTable);
                 assert!(if_not_exists);
+                assert!(sharding.is_none());
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_sharded_create_table() {
+        let stmt = parse(
+            "CREATE TABLE m (id BIGINT, v DOUBLE) STORED AS DUALTABLE \
+             SHARDED BY RANGE (id) SPLIT AT (100, 200, 300)",
+        )
+        .unwrap();
+        let Statement::CreateTable { sharding, .. } = stmt else {
+            panic!("not a create");
+        };
+        let shard_by = sharding.expect("sharding clause parsed");
+        assert_eq!(shard_by.column, "id");
+        assert_eq!(shard_by.splits.len(), 3);
+        // Without SPLIT AT: a single shard.
+        let stmt = parse(
+            "CREATE TABLE m2 (id BIGINT) STORED AS DUALTABLE SHARDED BY RANGE (id)",
+        )
+        .unwrap();
+        let Statement::CreateTable { sharding, .. } = stmt else {
+            panic!("not a create");
+        };
+        assert!(sharding.expect("clause").splits.is_empty());
+    }
+
+    #[test]
+    fn parse_show_shards() {
+        assert_eq!(parse("SHOW SHARDS").unwrap(), Statement::ShowShards);
     }
 
     #[test]

@@ -6,14 +6,71 @@ use dt_baselines::{HiveAcidTable, HiveHbaseTable, HiveHdfsTable};
 use dt_common::{Deadline, Error, Field, Result, Row, Schema, Value};
 use dualtable::{
     Assignment, CompactionMode, DualTableConfig, DualTableEnv, DualTableStore, FoldOutcome,
-    RatioHint, Transaction,
+    RatioHint, ShardSpec, ShardedTable, ShardedTransaction, Transaction,
 };
 
-use crate::ast::{InsertSource, Statement, StorageKind};
+use crate::ast::{InsertSource, ShardBy, Statement, StorageKind};
 use crate::catalog::{SharedCatalog, TableHandle};
 use crate::exec::{ExecConfig, Executor, QueryResult};
 use crate::expr::{eval, is_true, Binding, EvalContext};
 use crate::parser::parse;
+
+/// One table's enrollment in an open session transaction: a plain
+/// [`Transaction`] for unsharded DUALTABLE storage, or a
+/// [`ShardedTransaction`] (one pinned snapshot per shard) for a
+/// range-sharded table. Both buffer DML until `COMMIT`.
+pub enum SessionTxn {
+    /// Unsharded DUALTABLE enrollment.
+    Single(Transaction),
+    /// Range-sharded enrollment (all shards pinned up front).
+    Sharded(ShardedTransaction),
+}
+
+impl SessionTxn {
+    /// Buffers an INSERT.
+    pub fn insert(&mut self, rows: Vec<Row>) -> Result<u64> {
+        match self {
+            SessionTxn::Single(t) => t.insert(rows),
+            SessionTxn::Sharded(t) => t.insert(rows),
+        }
+    }
+
+    /// Buffers an UPDATE; returns matched rows.
+    pub fn update(
+        &mut self,
+        predicate: impl Fn(&Row) -> bool,
+        assignments: &[Assignment<'_>],
+    ) -> Result<u64> {
+        match self {
+            SessionTxn::Single(t) => t.update(predicate, assignments),
+            SessionTxn::Sharded(t) => t.update(predicate, assignments),
+        }
+    }
+
+    /// Buffers a DELETE; returns matched rows.
+    pub fn delete(&mut self, predicate: impl Fn(&Row) -> bool) -> Result<u64> {
+        match self {
+            SessionTxn::Single(t) => t.delete(predicate),
+            SessionTxn::Sharded(t) => t.delete(predicate),
+        }
+    }
+
+    /// Snapshot read of the enrolled table (buffered writes visible).
+    pub fn rows(&self, projection: Option<&[usize]>) -> Result<Vec<Row>> {
+        match self {
+            SessionTxn::Single(t) => t.rows(projection),
+            SessionTxn::Sharded(t) => t.rows(projection),
+        }
+    }
+
+    /// `true` iff nothing was buffered.
+    pub fn is_read_only(&self) -> bool {
+        match self {
+            SessionTxn::Single(t) => t.is_read_only(),
+            SessionTxn::Sharded(t) => t.is_read_only(),
+        }
+    }
+}
 
 /// Session-level configuration.
 #[derive(Debug, Clone)]
@@ -51,11 +108,11 @@ pub struct Session {
     catalog: SharedCatalog,
     /// Session configuration; mutable between statements.
     pub config: SessionConfig,
-    /// Open transaction: table name → buffered [`Transaction`]. `None`
+    /// Open transaction: table name → buffered [`SessionTxn`]. `None`
     /// means autocommit; `Some` (even empty) means `BEGIN` was executed
     /// and DUALTABLE DML is buffered until `COMMIT` (DESIGN.md §13).
-    /// Tables enroll lazily, pinning their snapshot at first touch.
-    txn: Option<BTreeMap<String, Transaction>>,
+    /// Tables enroll lazily, pinning their snapshot(s) at first touch.
+    txn: Option<BTreeMap<String, SessionTxn>>,
     /// Tables durably committed by the most recent failed multi-table
     /// COMMIT (DESIGN.md §13): atomicity is per table, so a mid-COMMIT
     /// failure leaves earlier tables applied. Cleared at the start of
@@ -152,22 +209,24 @@ impl Session {
     }
 
     /// The open transaction for `table`, enrolling it (pinning a fresh
-    /// snapshot) on first touch. Callers must have checked
-    /// `self.txn.is_some()`.
-    fn txn_for(&mut self, table: &str) -> Result<&mut Transaction> {
+    /// snapshot — one per shard for sharded tables) on first touch.
+    /// Callers must have checked `self.txn.is_some()`.
+    fn txn_for(&mut self, table: &str) -> Result<&mut SessionTxn> {
         let handle = self.catalog.get(table)?;
-        let store = match handle {
-            TableHandle::Dual(store) => store,
-            other => {
-                return Err(Error::Unsupported(format!(
-                    "table '{table}' is stored as {:?}: transactions cover DUALTABLE storage only",
-                    other.storage_kind()
-                )))
-            }
-        };
         let map = self.txn.as_mut().expect("caller checked in_transaction");
         if !map.contains_key(table) {
-            map.insert(table.to_string(), store.begin_transaction()?);
+            let txn = match handle {
+                TableHandle::Dual(store) => SessionTxn::Single(store.begin_transaction()?),
+                TableHandle::Sharded(t) => SessionTxn::Sharded(t.begin_transaction()?),
+                other => {
+                    return Err(Error::Unsupported(format!(
+                        "table '{table}' is stored as {:?}: transactions cover DUALTABLE \
+                         storage only",
+                        other.storage_kind()
+                    )))
+                }
+            };
+            map.insert(table.to_string(), txn);
         }
         Ok(map.get_mut(table).expect("just inserted"))
     }
@@ -184,7 +243,10 @@ impl Session {
         let mut names = vec![from.name.clone()];
         names.extend(sel.joins.iter().map(|j| j.table.name.clone()));
         for name in names {
-            if matches!(self.catalog.get(&name), Ok(TableHandle::Dual(_))) {
+            if matches!(
+                self.catalog.get(&name),
+                Ok(TableHandle::Dual(_) | TableHandle::Sharded(_))
+            ) {
                 self.txn_for(&name)?;
             }
         }
@@ -222,34 +284,54 @@ impl Session {
                     if txn.is_read_only() {
                         continue;
                     }
-                    if let Err(e) = txn.commit() {
-                        self.last_partial_commit = committed.clone();
-                        let caveat = if committed.is_empty() {
-                            "no other table had committed".to_string()
-                        } else {
-                            format!(
-                                "already durably committed (not rolled back): {}",
-                                committed.join(", ")
-                            )
-                        };
-                        // Preserve the variant (it carries the
-                        // transient/permanent classification); only the
-                        // message grows the per-table context.
-                        return Err(match e {
-                            Error::Conflict(m) => {
-                                Error::Conflict(format!("table '{name}': {m}; {caveat}"))
+                    // A sharded table commits shard-by-shard through the
+                    // same per-unit path; on a mid-sequence failure its
+                    // durable shard prefix joins the committed list, so
+                    // the client sees exactly what applied.
+                    let (e, context) = match txn {
+                        SessionTxn::Single(t) => match t.commit() {
+                            Ok(_) => {
+                                affected += 1;
+                                committed.push(name);
+                                continue;
                             }
-                            Error::Unavailable(m) => {
-                                Error::Unavailable(format!("table '{name}': {m}; {caveat}"))
+                            Err(e) => (e, format!("table '{name}'")),
+                        },
+                        SessionTxn::Sharded(t) => match t.commit() {
+                            Ok(_) => {
+                                affected += 1;
+                                committed.push(name);
+                                continue;
                             }
-                            Error::Internal(m) => {
-                                Error::Internal(format!("table '{name}': {m}; {caveat}"))
+                            Err(f) => {
+                                committed.extend(f.committed.iter().cloned());
+                                (
+                                    f.error,
+                                    format!("table '{name}' shard '{}'", f.failed),
+                                )
                             }
-                            other => other,
-                        });
-                    }
-                    affected += 1;
-                    committed.push(name);
+                        },
+                    };
+                    self.last_partial_commit = committed.clone();
+                    let caveat = if committed.is_empty() {
+                        "no other table had committed".to_string()
+                    } else {
+                        format!(
+                            "already durably committed (not rolled back): {}",
+                            committed.join(", ")
+                        )
+                    };
+                    // Preserve the variant (it carries the
+                    // transient/permanent classification); only the
+                    // message grows the per-table context.
+                    return Err(match e {
+                        Error::Conflict(m) => Error::Conflict(format!("{context}: {m}; {caveat}")),
+                        Error::Unavailable(m) => {
+                            Error::Unavailable(format!("{context}: {m}; {caveat}"))
+                        }
+                        Error::Internal(m) => Error::Internal(format!("{context}: {m}; {caveat}")),
+                        other => other,
+                    });
                 }
                 let tables = committed.len();
                 Ok(dml_result(affected, format!("committed ({tables} tables)")))
@@ -329,6 +411,7 @@ impl Session {
                 columns,
                 storage,
                 if_not_exists,
+                sharding,
             } => {
                 if self.catalog.contains(&name) {
                     if if_not_exists {
@@ -344,11 +427,18 @@ impl Session {
                         .map(|(n, t)| Field::new(n.clone(), *t))
                         .collect(),
                 )?;
-                let handle = self.create_storage(&name, schema, storage)?;
+                let sharded = sharding.is_some();
+                let handle = self.create_storage(&name, schema, storage, sharding)?;
+                let shards = match &handle {
+                    TableHandle::Sharded(t) => t.shard_count(),
+                    _ => 0,
+                };
                 self.catalog.register(&name, handle)?;
-                Ok(default_message_result(format!(
-                    "created table '{name}' stored as {storage:?}"
-                )))
+                Ok(default_message_result(if sharded {
+                    format!("created table '{name}' stored as {storage:?} ({shards} shards)")
+                } else {
+                    format!("created table '{name}' stored as {storage:?}")
+                }))
             }
             Statement::DropTable { name, if_exists } => {
                 if self.txn.as_ref().is_some_and(|m| m.contains_key(&name)) {
@@ -466,20 +556,34 @@ impl Session {
                         format!("updated {matched} rows (buffered)"),
                     ));
                 }
+                // The WHERE conjuncts double as shard-range pruning hints
+                // for sharded handlers (non-key predicates are ignored).
+                let pushdown = predicate
+                    .as_ref()
+                    .map(|p| crate::exec::extract_pushdown(p, &binding, &schema));
                 let outcome = handle.update(
                     &pred_fn,
                     &assign_fns,
                     self.config.exec.ratio_hint,
                     Some(&statement_key(sql)),
+                    pushdown.as_deref(),
                 )?;
                 let mut result = dml_result(
                     outcome.rows_matched,
-                    match &outcome.report {
-                        Some(r) => format!(
+                    match (&outcome.report, &outcome.sharded) {
+                        (Some(r), _) => format!(
                             "updated {} rows via {:?} plan",
                             outcome.rows_matched, r.plan
                         ),
-                        None => format!("updated {} rows (full rewrite)", outcome.rows_matched),
+                        (None, Some(s)) => format!(
+                            "updated {} rows across {} shard(s) ({})",
+                            outcome.rows_matched,
+                            s.per_shard.len(),
+                            s.plan_summary()
+                        ),
+                        (None, None) => {
+                            format!("updated {} rows (full rewrite)", outcome.rows_matched)
+                        }
                     },
                 );
                 result.dml = outcome.report;
@@ -509,19 +613,31 @@ impl Session {
                         format!("deleted {matched} rows (buffered)"),
                     ));
                 }
+                let pushdown = predicate
+                    .as_ref()
+                    .map(|p| crate::exec::extract_pushdown(p, &binding, &schema));
                 let outcome = handle.delete(
                     &pred_fn,
                     self.config.exec.ratio_hint,
                     Some(&statement_key(sql)),
+                    pushdown.as_deref(),
                 )?;
                 let mut result = dml_result(
                     outcome.rows_matched,
-                    match &outcome.report {
-                        Some(r) => format!(
+                    match (&outcome.report, &outcome.sharded) {
+                        (Some(r), _) => format!(
                             "deleted {} rows via {:?} plan",
                             outcome.rows_matched, r.plan
                         ),
-                        None => format!("deleted {} rows (full rewrite)", outcome.rows_matched),
+                        (None, Some(s)) => format!(
+                            "deleted {} rows across {} shard(s) ({})",
+                            outcome.rows_matched,
+                            s.per_shard.len(),
+                            s.plan_summary()
+                        ),
+                        (None, None) => {
+                            format!("deleted {} rows (full rewrite)", outcome.rows_matched)
+                        }
                     },
                 );
                 result.dml = outcome.report;
@@ -567,27 +683,77 @@ impl Session {
             }
             Statement::ShowCompaction => {
                 let snap = self.env.health.snapshot();
-                let metrics: Vec<(&str, String)> = vec![
-                    ("mode", self.env.compaction.mode_name().to_string()),
-                    ("state", self.env.compaction.state_name().to_string()),
-                    ("started", snap.compactions_started.to_string()),
-                    ("completed", snap.compactions_completed.to_string()),
-                    ("lost_race", snap.compactions_lost_race.to_string()),
-                    ("aborted", snap.compactions_aborted.to_string()),
-                    ("stale_gens_swept", snap.stale_gens_swept.to_string()),
-                    ("throttled", snap.compactor_throttled.to_string()),
-                    ("parked", snap.compactor_parked.to_string()),
+                let mut metrics: Vec<(String, String)> = vec![
+                    ("mode".into(), self.env.compaction.mode_name().to_string()),
+                    ("state".into(), self.env.compaction.state_name().to_string()),
+                    ("started".into(), snap.compactions_started.to_string()),
+                    ("completed".into(), snap.compactions_completed.to_string()),
+                    ("lost_race".into(), snap.compactions_lost_race.to_string()),
+                    ("aborted".into(), snap.compactions_aborted.to_string()),
+                    ("stale_gens_swept".into(), snap.stale_gens_swept.to_string()),
+                    ("throttled".into(), snap.compactor_throttled.to_string()),
+                    ("parked".into(), snap.compactor_parked.to_string()),
                 ];
+                // Per-shard fold ledgers of every sharded table: the
+                // round-robin walk's fairness is observable here (the
+                // `attempted` counts differ by at most one full cycle).
+                for name in self.catalog.names() {
+                    if let Ok(TableHandle::Sharded(t)) = self.catalog.get(&name) {
+                        for i in 0..t.shard_count() {
+                            let f = t.fold_stats(i);
+                            metrics.push((
+                                format!("{name}.s{i}"),
+                                format!(
+                                    "attempted={} folded={} lost_race={} clean={}",
+                                    f.attempted, f.folded, f.lost_race, f.clean
+                                ),
+                            ));
+                        }
+                    }
+                }
                 let rows: Vec<Row> = metrics
                     .into_iter()
-                    .map(|(metric, value)| {
-                        vec![Value::Utf8(metric.to_string()), Value::Utf8(value)]
-                    })
+                    .map(|(metric, value)| vec![Value::Utf8(metric), Value::Utf8(value)])
                     .collect();
                 Ok(result_with_rows(
                     Schema::from_pairs(&[
                         ("metric", dt_common::DataType::Utf8),
                         ("value", dt_common::DataType::Utf8),
+                    ]),
+                    rows,
+                ))
+            }
+            Statement::ShowShards => {
+                let mut rows: Vec<Row> = Vec::new();
+                for name in self.catalog.names() {
+                    if let Ok(TableHandle::Sharded(t)) = self.catalog.get(&name) {
+                        for (i, shard) in t.shards().iter().enumerate() {
+                            let (lo, hi) = t.spec().bounds(i);
+                            let range = format!(
+                                "[{}, {})",
+                                lo.map_or_else(|| "-inf".to_string(), |v| v.to_string()),
+                                hi.map_or_else(|| "+inf".to_string(), |v| v.to_string()),
+                            );
+                            let stats = shard.stats()?;
+                            rows.push(vec![
+                                Value::Utf8(name.clone()),
+                                Value::Int64(i as i64),
+                                Value::Utf8(range),
+                                Value::Int64(shard.count()? as i64),
+                                Value::Int64(stats.master_files as i64),
+                                Value::Int64(stats.attached_entries as i64),
+                            ]);
+                        }
+                    }
+                }
+                Ok(result_with_rows(
+                    Schema::from_pairs(&[
+                        ("table_name", dt_common::DataType::Utf8),
+                        ("shard", dt_common::DataType::Int64),
+                        ("range", dt_common::DataType::Utf8),
+                        ("rows", dt_common::DataType::Int64),
+                        ("master_files", dt_common::DataType::Int64),
+                        ("attached_entries", dt_common::DataType::Int64),
                     ]),
                     rows,
                 ))
@@ -629,16 +795,31 @@ impl Session {
                         ),
                     ));
                     if sel.joins.is_empty() {
-                        if let Some(w) = &sel.where_clause {
-                            let binding =
-                                Binding::from_schema(from.binding_name(), handle.schema());
-                            let preds = extract_pushdown(w, &binding, handle.schema());
-                            if !preds.is_empty() {
-                                lines.push((
-                                    "pushdown".into(),
-                                    format!("{} stripe-skipping predicate(s)", preds.len()),
-                                ));
+                        let preds = match &sel.where_clause {
+                            Some(w) => {
+                                let binding =
+                                    Binding::from_schema(from.binding_name(), handle.schema());
+                                extract_pushdown(w, &binding, handle.schema())
                             }
+                            None => Vec::new(),
+                        };
+                        if !preds.is_empty() {
+                            lines.push((
+                                "pushdown".into(),
+                                format!("{} stripe-skipping predicate(s)", preds.len()),
+                            ));
+                        }
+                        if let TableHandle::Sharded(t) = &handle {
+                            let matched = t.shards_matching(Some(&preds));
+                            lines.push((
+                                "scatter".into(),
+                                format!(
+                                    "{} of {} shard(s) scanned in parallel ({} pruned by range)",
+                                    matched.len(),
+                                    t.shard_count(),
+                                    t.shard_count() - matched.len()
+                                ),
+                            ));
                         }
                     }
                     for join in &sel.joins {
@@ -708,6 +889,53 @@ impl Session {
                         ),
                     ));
                     lines.push(("plan".into(), format!("{:?}", preview.plan)));
+                } else if let TableHandle::Sharded(t) = &handle {
+                    // Each shard previews its own cost model: different
+                    // key ranges may land on different sides of the
+                    // EDIT/OVERWRITE crossover.
+                    let schema = t.schema().clone();
+                    let binding = Binding::from_schema(table, &schema);
+                    let mut ctx = EvalContext::default();
+                    let predicate = match predicate.clone() {
+                        Some(p) => Some(self.executor().plan_subqueries(p, &mut ctx)?),
+                        None => None,
+                    };
+                    let pushdown = predicate
+                        .as_ref()
+                        .map(|p| crate::exec::extract_pushdown(p, &binding, &schema));
+                    let pred_fn = |row: &Row| -> bool {
+                        match &predicate {
+                            None => true,
+                            Some(p) => eval(p, row, &binding, &ctx)
+                                .map(|v| is_true(&v))
+                                .unwrap_or(false),
+                        }
+                    };
+                    let matched = t.shards_matching(pushdown.as_deref());
+                    lines.push((
+                        "scatter".into(),
+                        format!(
+                            "{} of {} shard(s) ({} pruned by range)",
+                            matched.len(),
+                            t.shard_count(),
+                            t.shard_count() - matched.len()
+                        ),
+                    ));
+                    for i in matched {
+                        let (lo, hi) = t.spec().bounds(i);
+                        let preview = t.shards()[i].plan_preview(&pred_fn, is_update)?;
+                        lines.push((
+                            format!("shard {i}"),
+                            format!(
+                                "[{}, {}) → {:?} (ratio {:.4}, cost diff {:+.4}s)",
+                                lo.map_or_else(|| "-inf".to_string(), |v| v.to_string()),
+                                hi.map_or_else(|| "+inf".to_string(), |v| v.to_string()),
+                                preview.plan,
+                                preview.ratio,
+                                preview.cost_diff
+                            ),
+                        ));
+                    }
                 } else {
                     lines.push(("plan".into(), "full INSERT OVERWRITE rewrite".into()));
                 }
@@ -852,7 +1080,7 @@ impl Session {
                 })
                 .collect();
             let outcome =
-                target_handle.update(&pred, &assigns, self.config.exec.ratio_hint, None)?;
+                target_handle.update(&pred, &assigns, self.config.exec.ratio_hint, None, None)?;
             updated = outcome.rows_matched;
         }
 
@@ -897,7 +1125,39 @@ impl Session {
         name: &str,
         schema: Schema,
         storage: StorageKind,
+        sharding: Option<ShardBy>,
     ) -> Result<TableHandle> {
+        if let Some(shard_by) = &sharding {
+            if storage != StorageKind::DualTable {
+                return Err(Error::Unsupported(format!(
+                    "SHARDED BY RANGE requires STORED AS DUALTABLE, not {storage:?}"
+                )));
+            }
+            let key_column = schema.require(&shard_by.column)?;
+            // Split points are constant expressions (no row context).
+            let binding = Binding::default();
+            let ctx = EvalContext::default();
+            let empty: Row = Vec::new();
+            let mut splits = Vec::with_capacity(shard_by.splits.len());
+            for e in &shard_by.splits {
+                match eval(e, &empty, &binding, &ctx)? {
+                    Value::Int64(v) => splits.push(v),
+                    other => {
+                        return Err(Error::schema(format!(
+                            "SPLIT AT points must be BIGINT constants, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            let spec = ShardSpec::new(key_column, splits)?;
+            return Ok(TableHandle::Sharded(ShardedTable::create(
+                &self.env,
+                name,
+                schema,
+                self.config.dualtable.clone(),
+                spec,
+            )?));
+        }
         Ok(match storage {
             StorageKind::Orc => TableHandle::Orc(HiveHdfsTable::create(
                 &self.env.dfs,
@@ -929,6 +1189,11 @@ impl Session {
     /// build tables via the API, then query them via SQL).
     pub fn register_dualtable(&mut self, name: &str, store: DualTableStore) -> Result<()> {
         self.catalog.register(name, TableHandle::Dual(store))
+    }
+
+    /// Registers an externally-created sharded table under a name.
+    pub fn register_sharded(&mut self, name: &str, table: ShardedTable) -> Result<()> {
+        self.catalog.register(name, TableHandle::Sharded(table))
     }
 
     /// Overrides the ratio hint used for subsequent DualTable DML.

@@ -1,0 +1,244 @@
+//! The SQL surface of range-sharded tables: `SHARDED BY RANGE` DDL,
+//! routed DML with per-shard plan messages, `SHOW SHARDS`, the shard
+//! health tier, scatter/prune lines in EXPLAIN, and transactional
+//! cross-shard sessions.
+
+use dt_common::Value;
+use dt_hiveql::Session;
+
+fn ints(result: &dt_hiveql::QueryResult, col: usize) -> Vec<i64> {
+    result
+        .rows()
+        .iter()
+        .map(|r| r[col].as_i64().unwrap())
+        .collect()
+}
+
+fn setup() -> Session {
+    let mut s = Session::in_memory();
+    s.execute(
+        "CREATE TABLE t (id BIGINT, v BIGINT) STORED AS DUALTABLE \
+         SHARDED BY RANGE (id) SPLIT AT (100, 200)",
+    )
+    .unwrap();
+    let values: Vec<String> = (0..300).step_by(10).map(|i| format!("({i}, {i})")).collect();
+    s.execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+        .unwrap();
+    s
+}
+
+#[test]
+fn sharded_ddl_and_show_shards() {
+    let mut s = setup();
+    let r = s
+        .execute("CREATE TABLE empty3 (k BIGINT) STORED AS DUALTABLE SHARDED BY RANGE (k) SPLIT AT (5, 6)")
+        .unwrap();
+    assert!(
+        r.message.as_deref().unwrap().contains("(3 shards)"),
+        "DDL ack: {:?}",
+        r.message
+    );
+
+    let r = s.execute("SHOW SHARDS").unwrap();
+    let names: Vec<&str> = r
+        .schema
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    assert_eq!(
+        names,
+        vec![
+            "table_name",
+            "shard",
+            "range",
+            "rows",
+            "master_files",
+            "attached_entries"
+        ]
+    );
+    // 3 shards of `t` + 3 empty shards of `empty3`.
+    assert_eq!(r.rows().len(), 6);
+    let t_rows: Vec<&dt_common::Row> = r
+        .rows()
+        .iter()
+        .filter(|row| row[0] == Value::Utf8("t".into()))
+        .collect();
+    assert_eq!(t_rows.len(), 3);
+    assert_eq!(t_rows[0][2], Value::Utf8("[-inf, 100)".into()));
+    assert_eq!(t_rows[1][2], Value::Utf8("[100, 200)".into()));
+    assert_eq!(t_rows[2][2], Value::Utf8("[200, +inf)".into()));
+    // 0..300 step 10: 10 keys per shard range.
+    assert_eq!(t_rows.iter().map(|r| r[3].as_i64().unwrap()).sum::<i64>(), 30);
+
+    // Sharding requires DUALTABLE storage and an existing BIGINT column.
+    assert!(s
+        .execute("CREATE TABLE bad (k BIGINT) STORED AS ORC SHARDED BY RANGE (k)")
+        .is_err());
+    assert!(s
+        .execute("CREATE TABLE bad (k STRING) STORED AS DUALTABLE SHARDED BY RANGE (k)")
+        .is_err());
+    assert!(s
+        .execute("CREATE TABLE bad (k BIGINT) STORED AS DUALTABLE SHARDED BY RANGE (nope)")
+        .is_err());
+    // Split points must be strictly ascending.
+    assert!(s
+        .execute("CREATE TABLE bad (k BIGINT) STORED AS DUALTABLE SHARDED BY RANGE (k) SPLIT AT (5, 5)")
+        .is_err());
+}
+
+#[test]
+fn sharded_select_and_routed_dml() {
+    let mut s = setup();
+    let r = s
+        .execute("SELECT id FROM t WHERE id >= 100 AND id < 200 ORDER BY id")
+        .unwrap();
+    assert_eq!(ints(&r, 0), (100..200).step_by(10).collect::<Vec<i64>>());
+
+    // Point UPDATE routes to exactly one shard, reported in the message.
+    let r = s.execute("UPDATE t SET v = 1 WHERE id = 150").unwrap();
+    assert_eq!(r.affected, 1);
+    let msg = r.message.as_deref().unwrap();
+    assert!(
+        msg.contains("across 1 shard(s)"),
+        "point update message: {msg}"
+    );
+
+    // A full-table DELETE fans out to all three shards.
+    let r = s.execute("DELETE FROM t WHERE v >= 0").unwrap();
+    assert_eq!(r.affected, 30);
+    let msg = r.message.as_deref().unwrap();
+    assert!(msg.contains("across 3 shard(s)"), "fan-out message: {msg}");
+    let r = s.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(ints(&r, 0), vec![0]);
+}
+
+#[test]
+fn explain_shows_scatter_and_pruning() {
+    let mut s = setup();
+    let r = s
+        .execute("EXPLAIN SELECT * FROM t WHERE id >= 210")
+        .unwrap();
+    let text: Vec<String> = r
+        .rows()
+        .iter()
+        .map(|row| format!("{} {}", row[0].as_str().unwrap(), row[1].as_str().unwrap()))
+        .collect();
+    let scatter = text
+        .iter()
+        .find(|l| l.starts_with("scatter"))
+        .expect("EXPLAIN SELECT must have a scatter line");
+    assert!(
+        scatter.contains("1 of 3 shard(s)") && scatter.contains("2 pruned by range"),
+        "scatter line: {scatter}"
+    );
+
+    let r = s
+        .execute("EXPLAIN UPDATE t SET v = 0 WHERE id < 100")
+        .unwrap();
+    let text: Vec<String> = r
+        .rows()
+        .iter()
+        .map(|row| format!("{} {}", row[0].as_str().unwrap(), row[1].as_str().unwrap()))
+        .collect();
+    assert!(
+        text.iter().any(|l| l.contains("1 of 3 shard(s)")),
+        "EXPLAIN UPDATE prunes by range: {text:?}"
+    );
+    assert!(
+        text.iter().any(|l| l.starts_with("shard 0")),
+        "EXPLAIN UPDATE previews the matched shard: {text:?}"
+    );
+}
+
+#[test]
+fn show_health_has_shard_tier() {
+    let mut s = setup();
+    // One scatter scan with two shards pruned.
+    s.execute("SELECT * FROM t WHERE id >= 210").unwrap();
+    let r = s.execute("SHOW HEALTH").unwrap();
+    let metric = |name: &str| -> i64 {
+        r.rows()
+            .iter()
+            .find(|row| {
+                row[0] == Value::Utf8("shard".into()) && row[1] == Value::Utf8(name.into())
+            })
+            .unwrap_or_else(|| panic!("missing shard metric {name}"))[2]
+            .as_i64()
+            .unwrap()
+    };
+    assert_eq!(metric("shards_total"), 3);
+    assert!(metric("scatter_scans") >= 1);
+    assert!(metric("shards_pruned_by_range") >= 2);
+    assert_eq!(metric("cross_shard_partial_commits"), 0);
+
+    // A BEGIN/COMMIT touching several shards ticks the cross-shard
+    // commit counter.
+    s.execute("BEGIN").unwrap();
+    s.execute("INSERT INTO t VALUES (1, 1), (101, 1), (201, 1)")
+        .unwrap();
+    s.execute("COMMIT").unwrap();
+    let r = s.execute("SHOW HEALTH").unwrap();
+    let commits = r
+        .rows()
+        .iter()
+        .find(|row| {
+            row[0] == Value::Utf8("shard".into())
+                && row[1] == Value::Utf8("cross_shard_commits".into())
+        })
+        .unwrap()[2]
+        .as_i64()
+        .unwrap();
+    assert_eq!(commits, 1);
+    let r = s.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(ints(&r, 0), vec![33]);
+}
+
+#[test]
+fn transactions_and_compaction_counters() {
+    let mut s = setup();
+    // Snapshot isolation across shards: a transaction's reads don't see
+    // later autocommit writes... which must conflict at COMMIT only if
+    // they collide. Here the txn only reads, so COMMIT is clean.
+    s.execute("BEGIN").unwrap();
+    let r = s.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(ints(&r, 0), vec![30]);
+    s.execute("COMMIT").unwrap();
+
+    // Transactional cross-shard write: all-or-prefix, here all.
+    s.execute("BEGIN").unwrap();
+    s.execute("UPDATE t SET v = -1 WHERE id % 100 = 50").unwrap();
+    s.execute("COMMIT").unwrap();
+    let r = s.execute("SELECT COUNT(*) FROM t WHERE v = -1").unwrap();
+    assert_eq!(ints(&r, 0), vec![3]);
+
+    // SHOW COMPACTION carries one fold-ledger row per shard.
+    s.execute("COMPACT TABLE t").unwrap();
+    let r = s.execute("SHOW COMPACTION").unwrap();
+    let metrics: Vec<&str> = r
+        .rows()
+        .iter()
+        .map(|row| row[0].as_str().unwrap())
+        .collect();
+    for shard in ["t.s0", "t.s1", "t.s2"] {
+        assert!(
+            metrics.contains(&shard),
+            "SHOW COMPACTION missing {shard}: {metrics:?}"
+        );
+    }
+}
+
+#[test]
+fn sharded_drop_and_recreate() {
+    let mut s = setup();
+    s.execute("DROP TABLE t").unwrap();
+    assert!(s.execute("SELECT * FROM t").is_err());
+    // The shard map is gone too: the name is reusable, unsharded.
+    s.execute("CREATE TABLE t (id BIGINT) STORED AS DUALTABLE")
+        .unwrap();
+    s.execute("INSERT INTO t VALUES (7)").unwrap();
+    let r = s.execute("SELECT id FROM t").unwrap();
+    assert_eq!(ints(&r, 0), vec![7]);
+    let r = s.execute("SHOW SHARDS").unwrap();
+    assert!(r.rows().is_empty(), "unsharded table must not list shards");
+}

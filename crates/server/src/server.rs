@@ -234,6 +234,10 @@ impl Drop for Server {
 /// Spawns the supervised compaction daemon (DESIGN.md §15). One tick =
 /// one maintenance sweep: consult the controller mode, check server load,
 /// then run one incremental fold cycle on every DUALTABLE in the catalog.
+/// Sharded tables dispatch that cycle round-robin across their shards (the
+/// handle advances a per-table cursor), so no shard waits more than one
+/// full cycle behind its siblings and per-shard fold counters show up in
+/// SHOW COMPACTION.
 /// The supervisor restarts the tick across panics, backs transient faults
 /// off, and parks on repeated permanent failures; `SET COMPACTION = AUTO`
 /// (a mode-epoch bump) is the operator's reset lever.

@@ -160,3 +160,35 @@ run_gate bench6-smoke env BENCH6_SMOKE=1 cargo bench -q -p dt-bench --locked --b
 # that background folding never stalls foreground DML beyond 2x the
 # no-maintenance tail; refreshes BENCH_7.json.
 run_gate bench7-smoke env BENCH7_SMOKE=1 cargo bench -q -p dt-bench --locked --bench bench7_compaction
+
+# Shard routing (DESIGN.md §16): split-point keys route to the upper
+# shard, empty shards are harmless, a single-shard table is byte-
+# identical to unsharded, contradictory range predicates prune every
+# shard with zero DFS reads, one UPDATE diverges EDIT/OVERWRITE across
+# shards, and round-robin maintenance is cycle-fair.
+run_gate shard-routing cargo test -q -p dualtable --locked --test shard_routing -- --nocapture
+
+# Sharded crash matrix: >=200 crash points over a workload of
+# single-shard and cross-shard transactional statements (every
+# cross-shard commit range is a mandatory target). Each recovery must
+# show per-shard whole-statement states forming a committed prefix in
+# shard order, one generation per shard, and clean fsck/scrub.
+run_gate shard-crash-matrix cargo test -q -p dualtable --locked --test shard_crash_matrix -- --nocapture
+
+# Sharded chaos soak (short): cross-shard transactional writers, a
+# cross-shard pinned reader and round-robin maintenance under transient
+# faults; exact per-shard acked-commit oracle via the committed-prefix
+# contract. Nightly widens with SHARD_SOAK_SEEDS=200.
+run_gate shard-soak cargo test -q -p dualtable --locked --test shard_soak -- --nocapture
+
+# Sharded SQL surface: SHARDED BY RANGE DDL, SHOW SHARDS, routed DML
+# messages, EXPLAIN scatter/prune lines, the shard health tier, and
+# cross-shard BEGIN/COMMIT sessions.
+run_gate sharded-sql cargo test -q -p dt-hiveql --locked --test sharded_sql -- --nocapture
+
+# BENCH 8 smoke: scatter-gather SELECT scaling (1/2/4/8 shards) under
+# shuffled load order plus the sharded update-ratio grid. Asserts the
+# 8-shard range SELECT beats the single-shard table by >= 2.5x (pure
+# range pruning — file stats can't help) and that low-ratio sharded
+# UPDATEs scan strictly fewer rows; refreshes BENCH_8.json.
+run_gate bench8-smoke env BENCH8_SMOKE=1 cargo bench -q -p dt-bench --locked --bench bench8_sharding
