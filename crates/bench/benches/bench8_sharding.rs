@@ -77,9 +77,7 @@ fn rows_for(keys: &[i64]) -> Vec<Row> {
 
 /// Evenly spaced split points carving `[0, rows)` into `shards` ranges.
 fn splits(shards: usize, rows: usize) -> Vec<i64> {
-    (1..shards)
-        .map(|i| (rows * i / shards) as i64)
-        .collect()
+    (1..shards).map(|i| (rows * i / shards) as i64).collect()
 }
 
 fn build_sharded(env: &DualTableEnv, name: &str, shards: usize, keys: &[i64]) -> ShardedTable {

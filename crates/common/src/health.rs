@@ -49,6 +49,8 @@ pub struct HealthCounters {
     compactions_aborted: AtomicU64,
     stale_gens_swept: AtomicU64,
     compactor_throttled: AtomicU64,
+    delta_spills: AtomicU64,
+    delta_hits: AtomicU64,
     compactor_parked: AtomicBool,
     degraded: AtomicBool,
 }
@@ -256,6 +258,18 @@ impl HealthCounters {
         self.compactor_throttled.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The delta (shadow) tier spilled its entries into the LSM proper —
+    /// one atomic WAL record migrating the whole tier.
+    pub fn record_delta_spill(&self, _entries: u64) {
+        self.delta_spills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A read (get or scan) was served `n` version entries out of the
+    /// delta tier.
+    pub fn record_delta_hits(&self, n: u64) {
+        self.delta_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Sets or clears the parked flag: the compaction circuit breaker
     /// opened after repeated permanent failures and background
     /// compaction is disabled until explicitly resumed.
@@ -316,6 +330,11 @@ impl HealthCounters {
             compactions_aborted: self.compactions_aborted.load(Ordering::Relaxed),
             stale_gens_swept: self.stale_gens_swept.load(Ordering::Relaxed),
             compactor_throttled: self.compactor_throttled.load(Ordering::Relaxed),
+            delta_spills: self.delta_spills.load(Ordering::Relaxed),
+            delta_hits: self.delta_hits.load(Ordering::Relaxed),
+            // Not a counter: the owner (kvstore cluster) fills this in
+            // live from the stores' shadow tiers.
+            delta_bytes_used: 0,
             compactor_parked: self.compactor_parked.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
         }
@@ -398,6 +417,13 @@ pub struct HealthSnapshot {
     pub stale_gens_swept: u64,
     /// Compaction cycles skipped under serving-layer load pressure.
     pub compactor_throttled: u64,
+    /// Delta (shadow) tier spills into the LSM proper.
+    pub delta_spills: u64,
+    /// Version entries served out of the delta tier by gets and scans.
+    pub delta_hits: u64,
+    /// Live heap bytes held by delta tiers (gauge, filled by the owning
+    /// cluster at snapshot time — zero in a raw counter snapshot).
+    pub delta_bytes_used: u64,
     /// Whether the compaction circuit breaker is currently open.
     pub compactor_parked: bool,
     /// Whether the tier is currently read-only.
@@ -446,6 +472,17 @@ impl HealthSnapshot {
             ("compactor_throttled", self.compactor_throttled),
             ("compactor_parked", u64::from(self.compactor_parked)),
             ("degraded", u64::from(self.degraded)),
+        ]
+    }
+
+    /// Delta-tier metric rows, surfaced as their own `SHOW HEALTH` tier
+    /// (kept out of [`HealthSnapshot::metrics`] so the storage tiers'
+    /// tables stay unchanged).
+    pub fn delta_metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("delta_bytes_used", self.delta_bytes_used),
+            ("delta_spills", self.delta_spills),
+            ("delta_hits", self.delta_hits),
         ]
     }
 }
@@ -505,7 +542,8 @@ impl ShardHealthCounters {
     /// A cross-shard commit failed mid-way, leaving a durably committed
     /// shard prefix (surfaced to the client like the multi-table case).
     pub fn record_cross_shard_partial_commit(&self) {
-        self.cross_shard_partial_commits.fetch_add(1, Ordering::Relaxed);
+        self.cross_shard_partial_commits
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of every counter.
@@ -544,7 +582,10 @@ impl ShardHealthSnapshot {
             ("scatter_scans", self.scatter_scans),
             ("shards_pruned_by_range", self.shards_pruned_by_range),
             ("cross_shard_commits", self.cross_shard_commits),
-            ("cross_shard_partial_commits", self.cross_shard_partial_commits),
+            (
+                "cross_shard_partial_commits",
+                self.cross_shard_partial_commits,
+            ),
         ]
     }
 }
@@ -677,6 +718,25 @@ mod tests {
         assert!(metrics.contains(&("cache_hits", 0)));
         assert!(metrics.contains(&("group_commits", 0)));
         assert!(metrics.contains(&("write_workers_used", 0)));
+    }
+
+    #[test]
+    fn delta_metrics_are_their_own_tier() {
+        let h = HealthCounters::new();
+        h.record_delta_spill(4);
+        h.record_delta_hits(9);
+        let mut s = h.snapshot();
+        assert_eq!(s.delta_spills, 1, "one spill regardless of entry count");
+        assert_eq!(s.delta_hits, 9);
+        assert_eq!(s.delta_bytes_used, 0, "gauge is owner-filled");
+        s.delta_bytes_used = 123;
+        let metrics = s.delta_metrics();
+        assert_eq!(metrics.len(), 3);
+        assert!(metrics.contains(&("delta_bytes_used", 123)));
+        assert!(metrics.contains(&("delta_spills", 1)));
+        assert!(metrics.contains(&("delta_hits", 9)));
+        // The main tier table is unchanged by the delta counters.
+        assert_eq!(s.metrics().len(), 37);
     }
 
     #[test]

@@ -88,6 +88,13 @@ pub struct DualTableConfig {
     pub max_generations: usize,
     /// Background incremental compaction knobs (DESIGN.md §15).
     pub compaction: CompactionConfig,
+    /// Memory budget for the delta (shadow) tier in the attached kvstore
+    /// (DESIGN.md §17). EDIT-plan DML routes its cells through the
+    /// WAL-durable in-memory tier — no memtable or SSTable work on the
+    /// hot path — until the tier holds this many bytes, at which point it
+    /// spills into the LSM proper. `0` disables the delta tier and EDITs
+    /// write straight to the memtable (the pre-HTAP behaviour).
+    pub delta_bytes: usize,
 }
 
 impl Default for DualTableConfig {
@@ -109,6 +116,7 @@ impl Default for DualTableConfig {
                 .unwrap_or(1),
             max_generations: 0,
             compaction: CompactionConfig::default(),
+            delta_bytes: 0,
         }
     }
 }

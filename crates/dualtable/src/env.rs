@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use dt_common::fault::FaultPlan;
-use dt_common::{
-    HealthCounters, HealthSnapshot, Result, ShardHealthCounters, ShardHealthSnapshot,
-};
+use dt_common::{HealthCounters, HealthSnapshot, Result, ShardHealthCounters, ShardHealthSnapshot};
 use dt_dfs::{Dfs, DfsConfig};
 use dt_kvstore::{KvCluster, KvConfig};
 
@@ -51,6 +49,12 @@ impl HealthReport {
             for (metric, value) in snap.metrics() {
                 out.push((tier, metric, value));
             }
+        }
+        // The delta (HTAP) tier reports through the kv snapshot but as
+        // its own tier row group: `delta_bytes_used` is a live gauge the
+        // cluster fills at snapshot time (DESIGN.md §17).
+        for (metric, value) in self.kv.delta_metrics() {
+            out.push(("delta", metric, value));
         }
         for (metric, value) in self.shard.metrics() {
             out.push(("shard", metric, value));

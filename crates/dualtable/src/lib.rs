@@ -48,6 +48,7 @@ mod attached;
 mod compactor;
 mod config;
 mod cost;
+mod delta;
 mod env;
 mod meta;
 mod mvcc;

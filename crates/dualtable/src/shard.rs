@@ -127,11 +127,7 @@ impl ShardSpec {
                 return true;
             };
             // Evaluate in i128: `hi - 1` must not wrap at i64::MIN.
-            let (lo, hi, v) = (
-                lo.map(i128::from),
-                hi.map(i128::from),
-                i128::from(v),
-            );
+            let (lo, hi, v) = (lo.map(i128::from), hi.map(i128::from), i128::from(v));
             match p.op {
                 PredicateOp::Eq => lo.is_none_or(|l| l <= v) && hi.is_none_or(|h| v < h),
                 // Shard holds keys in [lo, hi): some key < v iff lo < v.
@@ -414,7 +410,9 @@ impl ShardedTable {
         spec: ShardSpec,
         shards: Vec<DualTableStore>,
     ) -> Self {
-        let folds = (0..shards.len()).map(|_| ShardFoldCounters::default()).collect();
+        let folds = (0..shards.len())
+            .map(|_| ShardFoldCounters::default())
+            .collect();
         ShardedTable {
             inner: Arc::new(ShardedInner {
                 name: name.to_string(),
@@ -811,7 +809,11 @@ mod tests {
         assert_eq!(s.shard_count(), 3);
         assert_eq!(s.shard_of(i64::MIN), 0);
         assert_eq!(s.shard_of(9), 0);
-        assert_eq!(s.shard_of(10), 1, "key == split point starts the next shard");
+        assert_eq!(
+            s.shard_of(10),
+            1,
+            "key == split point starts the next shard"
+        );
         assert_eq!(s.shard_of(19), 1);
         assert_eq!(s.shard_of(20), 2);
         assert_eq!(s.shard_of(i64::MAX), 2);
@@ -853,7 +855,9 @@ mod tests {
     fn range_pruning_per_operator() {
         let s = spec(&[10, 20]); // shards: (-inf,10) [10,20) [20,+inf)
         let matches = |p: ColumnPredicate| -> Vec<usize> {
-            (0..3).filter(|&i| s.shard_may_match(i, std::slice::from_ref(&p))).collect()
+            (0..3)
+                .filter(|&i| s.shard_may_match(i, std::slice::from_ref(&p)))
+                .collect()
         };
         assert_eq!(matches(pred(PredicateOp::Eq, 10)), vec![1]);
         assert_eq!(matches(pred(PredicateOp::Eq, 9)), vec![0]);
@@ -873,7 +877,9 @@ mod tests {
         // Predicates on other columns never prune.
         let other = ColumnPredicate::new(1, PredicateOp::Eq, Value::Int64(7));
         assert_eq!(
-            (0..3).filter(|&i| s.shard_may_match(i, std::slice::from_ref(&other))).count(),
+            (0..3)
+                .filter(|&i| s.shard_may_match(i, std::slice::from_ref(&other)))
+                .count(),
             3
         );
     }

@@ -15,6 +15,7 @@ use crate::attached::{delete_cell, update_cells};
 use crate::compactor::FoldOutcome;
 use crate::config::{DualTableConfig, PlanMode};
 use crate::cost::{CostModel, PlanChoice, RatioHint};
+use crate::delta::DeltaPolicy;
 use crate::env::DualTableEnv;
 use crate::mvcc::{
     decode_txn_intent, encode_txn_intent, Conflict, TableMvcc, TXN_INTENT_QUALIFIER,
@@ -528,6 +529,34 @@ impl DualTableStore {
             .env
             .kv
             .table(&Self::attached_name(&self.inner.name))
+    }
+
+    /// This table's delta-tier policy (DESIGN.md §17).
+    fn delta_policy(&self) -> DeltaPolicy {
+        DeltaPolicy::new(self.inner.config.delta_bytes)
+    }
+
+    /// The cost model for plan selection, reflecting whether EDIT cells
+    /// ride the delta tier (cheaper attached writes shift the crossover).
+    fn cost_model(&self) -> CostModel {
+        if self.delta_policy().enabled() {
+            CostModel::with_delta_tier(self.inner.config.rates, self.inner.config.write_threads)
+        } else {
+            CostModel::with_parallelism(self.inner.config.rates, self.inner.config.write_threads)
+        }
+    }
+
+    /// Live heap bytes held by this table's delta tier (0 when disabled
+    /// or fully spilled). Exposed for tests and the crash matrix.
+    pub fn delta_bytes_used(&self) -> Result<usize> {
+        Ok(self.attached()?.shadow_bytes())
+    }
+
+    /// Forces the delta tier to spill into the attached LSM regardless of
+    /// the budget; returns the number of entries migrated. A visibility
+    /// no-op (timestamps are preserved).
+    pub fn spill_delta(&self) -> Result<u64> {
+        self.attached()?.spill_shadow()
     }
 
     /// The committed master generation. Master files live under
@@ -1102,8 +1131,7 @@ impl DualTableStore {
     ) -> Result<PlanPreview> {
         let ratio = self.sample_ratio(predicate)?;
         let stats = self.stats()?;
-        let model =
-            CostModel::with_parallelism(self.inner.config.rates, self.inner.config.write_threads);
+        let model = self.cost_model();
         let k = self.inner.config.k_successive_reads;
         let (plan, cost_diff) = if is_update {
             (
@@ -1166,8 +1194,7 @@ impl DualTableStore {
         }
         let alpha = self.resolve_ratio(&ratio, statement_key, &predicate)?;
         let stats = self.stats()?;
-        let model =
-            CostModel::with_parallelism(self.inner.config.rates, self.inner.config.write_threads);
+        let model = self.cost_model();
         let k = self.inner.config.k_successive_reads;
         let (plan, cost_diff) = match self.inner.config.plan_mode {
             PlanMode::AlwaysEdit => (PlanChoice::Edit, None),
@@ -1303,11 +1330,27 @@ impl DualTableStore {
             };
             cells.push((key.to_vec(), qual.to_vec(), encode_count(current + n)));
         }
-        let ts = attached.put_batch(cells)?;
+        // With a delta budget the whole batch — data cells AND presence
+        // counts — rides the WAL-only shadow tier: same fsync'd record,
+        // no memtable/SSTable work on the hot path. Presence reads above
+        // see shadow entries (the store merges the tier into every read),
+        // so the read-modify-write stays correct across the routes.
+        let policy = self.delta_policy();
+        let ts = if policy.enabled() {
+            attached.put_shadow_batch(cells)?
+        } else {
+            attached.put_batch(cells)?
+        };
         // Autocommit EDITs enter the conflict window too: a transaction
         // pinned before this batch must not silently overwrite rows it
         // changed.
         st.note_edit_commit(touched.drain(..), ts);
+        drop(_presence_guard);
+        drop(st);
+        // Budget enforcement happens after the locks drop: the batch is
+        // already durable, so a failed spill costs nothing — the next
+        // commit retries it.
+        let _ = policy.maybe_spill(attached);
         Ok(ts)
     }
 
@@ -1393,8 +1436,7 @@ impl DualTableStore {
     ) -> Result<DmlReport> {
         let beta = self.resolve_ratio(&ratio, statement_key, &predicate)?;
         let stats = self.stats()?;
-        let model =
-            CostModel::with_parallelism(self.inner.config.rates, self.inner.config.write_threads);
+        let model = self.cost_model();
         let k = self.inner.config.k_successive_reads;
         let avg_row = stats
             .master_bytes
@@ -1989,8 +2031,7 @@ impl DualTableStore {
             return Ok(Vec::new());
         }
         let live: BTreeSet<u32> = self.visible_files(gen, at_ts).into_iter().collect();
-        let model =
-            CostModel::with_parallelism(self.inner.config.rates, self.inner.config.write_threads);
+        let model = self.cost_model();
         let mut scored: Vec<(f64, u32)> = Vec::new();
         for (&file_id, presence) in &index.files {
             if !live.contains(&file_id) {
@@ -2531,6 +2572,7 @@ impl DualTableStore {
         } else {
             vec![(intent_row.to_vec(), intent_qual.clone())]
         };
+        let policy = self.delta_policy();
         let applied = (|| -> Result<u64> {
             let _presence_guard = self.inner.presence_lock.lock();
             for ((file_id, column), n) in delta.drain() {
@@ -2542,12 +2584,20 @@ impl DualTableStore {
                 };
                 puts.push((key.to_vec(), qual.to_vec(), encode_count(current + n)));
             }
-            attached.mutate_batch(puts, deletes)
+            if policy.enabled() {
+                // Same WAL-atomic record: cells into the shadow tier, the
+                // intent clear as a regular tombstone.
+                attached.mutate_batch_shadow(puts, deletes)
+            } else {
+                attached.mutate_batch(puts, deletes)
+            }
         })();
         match applied {
             Ok(commit_ts) => {
                 st.note_edit_commit(write_set, commit_ts);
                 st.commit_files(pin_gen, staged, commit_ts);
+                drop(st);
+                let _ = policy.maybe_spill(&attached);
                 Ok(commit_ts)
             }
             Err(e) => {

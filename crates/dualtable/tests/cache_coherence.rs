@@ -486,6 +486,188 @@ fn pinned_reader_stays_warm_across_concurrent_swing() {
     );
 }
 
+// ----------------------------------------------------------------------
+// Delta (HTAP) tier: routing through the WAL-backed shadow runs is an
+// optimization, never a semantic (DESIGN.md §17). Scans must be
+// byte-identical with the tier on or off, across every scan variant.
+// ----------------------------------------------------------------------
+
+fn delta_cfg(delta_bytes: usize) -> DualTableConfig {
+    DualTableConfig {
+        delta_bytes,
+        ..table_cfg()
+    }
+}
+
+/// Runs the same EDIT-heavy workload on a delta-on and a delta-off stack,
+/// comparing sequential, parallel, predicated and projected scans after
+/// every round. `budget` small enough forces mid-workload spills, so the
+/// comparison covers entries in the shadow runs *and* entries migrated
+/// into the LSM.
+fn assert_delta_coherent(budget: usize) {
+    let env_on = env_with(true);
+    let env_off = env_with(true);
+    let on = DualTableStore::create(&env_on, "t", schema(), delta_cfg(budget)).unwrap();
+    let off = DualTableStore::create(&env_off, "t", schema(), delta_cfg(0)).unwrap();
+    for t in [&on, &off] {
+        t.insert_rows((0..160).map(row)).unwrap();
+    }
+    let job = dt_engine::JobConfig {
+        max_mappers: 4,
+        num_reducers: 2,
+    };
+    for round in 0..4i64 {
+        for t in [&on, &off] {
+            t.update(
+                move |r| r[0].as_i64().unwrap() % 4 == round % 4,
+                &[(
+                    1,
+                    Box::new(move |r: &Row| Value::Int64(r[0].as_i64().unwrap() * 100 + round)),
+                )],
+                RatioHint::Explicit(0.25),
+            )
+            .unwrap();
+            t.delete(
+                move |r| r[0].as_i64().unwrap() == 150 + round,
+                RatioHint::Explicit(0.01),
+            )
+            .unwrap();
+        }
+        let mut opts = UnionReadOptions::all();
+        opts.predicates = Some(vec![ColumnPredicate {
+            column: 0,
+            op: PredicateOp::Lt,
+            literal: Value::Int64(120),
+        }]);
+        for o in [UnionReadOptions::all(), opts] {
+            let expected = off.scan(&o).unwrap();
+            assert_eq!(
+                on.scan(&o).unwrap(),
+                expected,
+                "delta-on sequential scan diverged in round {round}"
+            );
+            assert_eq!(
+                on.scan_parallel(&o, &job).unwrap(),
+                expected,
+                "delta-on parallel scan diverged in round {round}"
+            );
+            let p = o.clone().with_projection(vec![1]);
+            assert_eq!(
+                on.scan_parallel(&p, &job).unwrap(),
+                off.scan(&p).unwrap(),
+                "projected delta-on parallel scan diverged in round {round}"
+            );
+        }
+        assert_eq!(on.count().unwrap(), off.count().unwrap());
+    }
+    assert_eq!(off.delta_bytes_used().unwrap(), 0, "delta-off stays empty");
+}
+
+/// Large budget: every EDIT cell stays resident in the shadow runs — the
+/// merge cursor itself must be coherent.
+#[test]
+fn delta_resident_scans_match_delta_off() {
+    assert_delta_coherent(1 << 20);
+}
+
+/// Tiny budget: the workload spills repeatedly, so scans see a mix of
+/// shadow-resident and LSM-migrated entries. Spilling must be invisible.
+#[test]
+fn delta_spilling_scans_match_delta_off() {
+    assert_delta_coherent(256);
+}
+
+/// The tier actually engages (bytes accounted, spill drains them), and an
+/// explicit spill is a read no-op.
+#[test]
+fn delta_tier_engages_and_explicit_spill_is_a_read_noop() {
+    let env = env_with(true);
+    let t = DualTableStore::create(&env, "t", schema(), delta_cfg(1 << 20)).unwrap();
+    t.insert_rows((0..96).map(row)).unwrap();
+    t.update(
+        |r| r[0].as_i64().unwrap() < 48,
+        &[(1, Box::new(|_| Value::Int64(-1)))],
+        RatioHint::Explicit(0.5),
+    )
+    .unwrap();
+    assert!(
+        t.delta_bytes_used().unwrap() > 0,
+        "EDIT cells must land in the delta tier"
+    );
+    let before = t.scan_all().unwrap();
+    let spilled = t.spill_delta().unwrap();
+    assert!(spilled > 0, "spill must migrate the resident entries");
+    assert_eq!(t.delta_bytes_used().unwrap(), 0);
+    assert_eq!(t.scan_all().unwrap(), before, "spill is a visibility no-op");
+}
+
+/// Scatter-gather over a sharded table with the delta tier enabled on
+/// every shard matches the delta-off sharded scan exactly: the shadow
+/// stream threads through the same projection/predicate path as the
+/// attached scan in every fan-out variant.
+#[test]
+fn delta_sharded_scatter_matches_delta_off() {
+    use dt_common::Deadline;
+    use dualtable::{ShardSpec, ShardedTable};
+
+    let spec = || ShardSpec::new(0, vec![40, 80]).unwrap();
+    let env_on = env_with(true);
+    let env_off = env_with(true);
+    let on = ShardedTable::create(&env_on, "s", schema(), delta_cfg(1 << 20), spec()).unwrap();
+    let off = ShardedTable::create(&env_off, "s", schema(), delta_cfg(0), spec()).unwrap();
+    for t in [&on, &off] {
+        t.insert_rows((0..120).map(row).collect()).unwrap();
+        t.update_keyed(
+            |r| r[0].as_i64().unwrap() % 3 == 0,
+            &[(1, Box::new(|r: &Row| Value::Int64(r[0].as_i64().unwrap())))],
+            RatioHint::Explicit(0.34),
+            None,
+            None,
+        )
+        .unwrap();
+        t.delete_keyed(
+            |r| r[0].as_i64().unwrap() == 77,
+            RatioHint::Explicit(0.01),
+            None,
+            None,
+        )
+        .unwrap();
+    }
+    assert!(
+        on.shards()
+            .iter()
+            .any(|s| s.delta_bytes_used().unwrap() > 0),
+        "at least one shard holds resident delta entries"
+    );
+    let expected = off.scan_scatter(None, None, &Deadline::never()).unwrap();
+    assert_eq!(
+        on.scan_scatter(None, None, &Deadline::never()).unwrap(),
+        expected,
+        "delta-on scatter diverged from delta-off"
+    );
+    // Range-pruned + projected scatter stays coherent too.
+    let preds = vec![
+        ColumnPredicate {
+            column: 0,
+            op: PredicateOp::Ge,
+            literal: Value::Int64(30),
+        },
+        ColumnPredicate {
+            column: 0,
+            op: PredicateOp::Lt,
+            literal: Value::Int64(90),
+        },
+    ];
+    let proj = [1usize];
+    assert_eq!(
+        on.scan_scatter(Some(&proj), Some(&preds), &Deadline::never())
+            .unwrap(),
+        off.scan_scatter(Some(&proj), Some(&preds), &Deadline::never())
+            .unwrap(),
+        "range-pruned delta-on scatter diverged"
+    );
+}
+
 /// Presence-index push-down must stay snapshot-scoped: a session that
 /// dirties a file's predicate column after a reader pinned may widen the
 /// set of stripes the pinned scan surfaces (push-down is withheld for

@@ -98,6 +98,10 @@ enum Stmt {
     /// INSERT OVERWRITE: every surviving row's `v` bumped by 1000.
     Overwrite,
     Compact,
+    /// Explicit delta-tier spill (DESIGN.md §17): migrates the resident
+    /// shadow runs into the LSM. A logical no-op — the oracle ignores it —
+    /// but its op range is a mandatory crash window in the delta matrix.
+    Spill,
 }
 
 const STMTS: &[Stmt] = &[
@@ -165,7 +169,7 @@ impl Model {
                     *val += 1000;
                 }
             }
-            Stmt::Compact => {}
+            Stmt::Compact | Stmt::Spill => {}
         }
     }
 
@@ -177,10 +181,10 @@ impl Model {
 }
 
 /// Oracle states after 0, 1, ..., N statements.
-fn oracle_states() -> Vec<Vec<(i64, i64)>> {
+fn oracle_states(stmts: &[Stmt]) -> Vec<Vec<(i64, i64)>> {
     let mut m = Model::default();
     let mut states = vec![m.sorted()];
-    for stmt in STMTS {
+    for stmt in stmts {
         m.step(stmt);
         states.push(m.sorted());
     }
@@ -222,6 +226,7 @@ fn apply(table: &DualTableStore, model: &Model, stmt: &Stmt) -> dt_common::Resul
             table.insert_overwrite(rows).map(|_| ())
         }
         Stmt::Compact => table.compact(),
+        Stmt::Spill => table.spill_delta().map(|_| ()),
     }
 }
 
@@ -264,7 +269,7 @@ fn crash_matrix_three_tiers() {
     plan.record_trace();
     plan.set_armed(true);
 
-    let oracles = oracle_states();
+    let oracles = oracle_states(STMTS);
     let mut model = Model::default();
     let mut ranges: Vec<(u64, u64)> = Vec::new();
     for stmt in STMTS {
@@ -431,6 +436,246 @@ fn crash_matrix_three_tiers() {
     );
     // Nearly every point must actually kill the workload; a small
     // remainder may be absorbed by replica failover.
+    assert!(
+        report.crashes_injected * 10 >= report.points * 9,
+        "only {} of {} crash points fired",
+        report.crashes_injected,
+        report.points
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Delta-tier crash matrix (DESIGN.md §17).
+//
+// The statement matrix above runs with the delta tier off. This one
+// re-runs a delta-heavy variant of the workload with EDIT cells routed
+// through the WAL-backed shadow runs, and makes every spill window — the
+// atomic WAL record carrying the migrated entries plus the retire marker,
+// the memtable inserts behind it, and the WAL-rotation carry-forward — a
+// mandatory crash range. Invariants are the statement matrix's three,
+// plus:
+//
+// 4. **Replay reaches the tier** — recovery reconstructs the un-spilled
+//    shadow entries from the WAL (the recovered scan equals the oracle,
+//    which it cannot without them), and the replayed tier stays
+//    *operable*: an explicit post-recovery spill drains it to zero bytes
+//    without changing a single visible byte.
+// ---------------------------------------------------------------------------
+
+/// Delta-heavy workload: every EDIT burst is followed by an explicit
+/// spill, and a COMPACT (which spills internally before folding) closes
+/// each act. No OVERWRITE — master rewrites don't touch the tier.
+const DSTMTS: &[Stmt] = &[
+    Stmt::Insert { count: 8 },
+    Stmt::Insert { count: 8 },
+    Stmt::Update {
+        divisor: 2,
+        rem: 0,
+        v: 7,
+    },
+    Stmt::Spill,
+    Stmt::Insert { count: 6 },
+    Stmt::Delete { divisor: 3, rem: 1 },
+    Stmt::Update {
+        divisor: 5,
+        rem: 2,
+        v: -3,
+    },
+    Stmt::Spill,
+    Stmt::Compact,
+    Stmt::Insert { count: 8 },
+    Stmt::Update {
+        divisor: 3,
+        rem: 0,
+        v: 11,
+    },
+    Stmt::Delete { divisor: 4, rem: 1 },
+    Stmt::Spill,
+    Stmt::Insert { count: 5 },
+    Stmt::Update {
+        divisor: 7,
+        rem: 3,
+        v: 21,
+    },
+];
+
+/// [`table_cfg`] with the delta tier on. The budget is big enough that
+/// spills happen only at the explicit [`Stmt::Spill`] points (and inside
+/// COMPACT), keeping every crash run's op trace aligned with the record
+/// run's.
+fn delta_table_cfg() -> DualTableConfig {
+    DualTableConfig {
+        delta_bytes: 1 << 20,
+        ..table_cfg()
+    }
+}
+
+#[test]
+fn crash_matrix_delta_tier() {
+    // Record run (disarmed setup, armed workload) — see the first matrix.
+    let plan = Arc::new(FaultPlan::new(0xD7A3));
+    plan.set_armed(false);
+    let env = DualTableEnv::in_memory_faulty_with(plan.clone(), dfs_cfg(), kv_cfg())
+        .expect("clean setup");
+    let table =
+        DualTableStore::create(&env, TABLE, schema(), delta_table_cfg()).expect("clean create");
+    plan.record_trace();
+    plan.set_armed(true);
+
+    let oracles = oracle_states(DSTMTS);
+    let mut model = Model::default();
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    for stmt in DSTMTS {
+        let start = plan.ops_seen();
+        apply(&table, &model, stmt).expect("record run must not fault");
+        model.step(stmt);
+        ranges.push((start + 1, plan.ops_seen()));
+    }
+    plan.set_armed(false);
+    let trace = plan.take_trace();
+    let total_ops = trace.len() as u64;
+    assert_eq!(
+        scan_sorted(&table).unwrap(),
+        oracles[DSTMTS.len()],
+        "record run diverged from oracle"
+    );
+    // The workload actually exercised the tier: the final EDIT burst left
+    // resident entries, and the earlier spills migrated some.
+    assert!(
+        table.delta_bytes_used().unwrap() > 0,
+        "trailing EDIT burst must leave resident delta entries"
+    );
+    assert!(
+        env.kv.health_snapshot().delta_spills >= 3,
+        "explicit spills did not reach the tier"
+    );
+    assert!(
+        total_ops >= 100,
+        "workload too small for the delta matrix ({total_ops} ops)"
+    );
+
+    // Every spill window is mandatory, as is the COMPACT (it spills
+    // internally before folding, then swings the generation).
+    let must_cover: Vec<(u64, u64)> = DSTMTS
+        .iter()
+        .zip(&ranges)
+        .filter(|(s, _)| matches!(s, Stmt::Spill | Stmt::Compact))
+        .map(|(_, &r)| r)
+        .collect();
+    assert_eq!(must_cover.len(), 4, "three spills + one compact");
+    assert!(
+        must_cover.iter().all(|&(s, e)| s <= e),
+        "empty spill critical range: {must_cover:?}"
+    );
+
+    let full = std::env::var("CRASH_MATRIX_FULL").is_ok_and(|v| v != "0");
+    let target = if full { total_ops as usize } else { 150 };
+    let points = select_crash_points(0x5EED_CA5D, total_ops, target, &must_cover);
+    for &(s, e) in &must_cover {
+        assert!(
+            points.iter().any(|&p| (s..=e).contains(&p)),
+            "no crash point inside critical range ({s}, {e}]"
+        );
+    }
+
+    let report = run_crash_matrix(&points, |k| {
+        let kind = if trace[(k - 1) as usize] == IoOp::Write && k % 2 == 0 {
+            FaultKind::TornWrite
+        } else {
+            FaultKind::Crash
+        };
+        let plan = Arc::new(FaultPlan::new(0xDE17A ^ k).fail_at(k, kind));
+        plan.set_armed(false);
+        let env = DualTableEnv::in_memory_faulty_with(plan.clone(), dfs_cfg(), kv_cfg())
+            .map_err(|e| format!("setup: {e}"))?;
+        let table = DualTableStore::create(&env, TABLE, schema(), delta_table_cfg())
+            .map_err(|e| format!("create: {e}"))?;
+        plan.set_armed(true);
+
+        let mut model = Model::default();
+        let mut acked = 0usize;
+        let mut crashed = false;
+        for stmt in DSTMTS {
+            match apply(&table, &model, stmt) {
+                Ok(()) => {
+                    model.step(stmt);
+                    acked += 1;
+                    if plan.is_crashed() {
+                        crashed = true;
+                        break;
+                    }
+                }
+                Err(_) => {
+                    crashed = true;
+                    break;
+                }
+            }
+        }
+        if !crashed && !plan.is_crashed() {
+            return Ok(false); // self-healing absorbed the fault
+        }
+
+        plan.heal_and_disarm();
+        env.crash_and_reopen()
+            .map_err(|e| format!("recovery: {e}"))?;
+        let table = DualTableStore::open(&env, TABLE, schema(), delta_table_cfg())
+            .map_err(|e| format!("reopen: {e}"))?;
+
+        // Invariant 1: oracle(acked) or oracle(acked + 1), never a mix —
+        // and the recovered scan can only match if WAL replay rebuilt the
+        // un-spilled shadow entries (the trailing EDIT bursts live nowhere
+        // else).
+        let got = scan_sorted(&table)?;
+        let committed_in_flight = acked + 1 < oracles.len() && got == oracles[acked + 1];
+        if got != oracles[acked] && !committed_in_flight {
+            return Err(format!(
+                "recovered table matches neither oracle({acked}) nor oracle({}): {} rows",
+                acked + 1,
+                got.len()
+            ));
+        }
+        if table.count().map_err(|e| format!("count: {e}"))? != got.len() as u64 {
+            return Err("count() disagrees with scan".into());
+        }
+
+        // Invariant 2: one surviving master generation.
+        let gens = live_generations(&env);
+        if gens.len() > 1 {
+            return Err(format!("mixed master generations after recovery: {gens:?}"));
+        }
+
+        // Invariant 3: physical hygiene.
+        let fsck = env.dfs.fsck().map_err(|e| format!("fsck: {e}"))?;
+        if !fsck.healthy() {
+            return Err(format!("fsck unhealthy after recovery: {fsck:?}"));
+        }
+        env.dfs.scrub().map_err(|e| format!("scrub: {e}"))?;
+
+        // Invariant 4: the replayed tier is operable — an explicit spill
+        // drains it completely and changes nothing visible.
+        table
+            .spill_delta()
+            .map_err(|e| format!("post-recovery spill: {e}"))?;
+        if table
+            .delta_bytes_used()
+            .map_err(|e| format!("delta gauge: {e}"))?
+            != 0
+        {
+            return Err("post-recovery spill left resident delta bytes".into());
+        }
+        if scan_sorted(&table)? != got {
+            return Err("post-recovery spill changed logical table content".into());
+        }
+        Ok(true)
+    });
+
+    assert!(
+        report.ok(),
+        "delta crash matrix violations ({} of {} points):\n{:#?}",
+        report.violations.len(),
+        report.points,
+        report.violations
+    );
     assert!(
         report.crashes_injected * 10 >= report.points * 9,
         "only {} of {} crash points fired",

@@ -27,9 +27,7 @@ use dt_common::fault::{FaultKind, FaultPlan, IoOp};
 use dt_common::{DataType, Row, Schema, Value};
 use dt_dfs::DfsConfig;
 use dt_kvstore::KvConfig;
-use dualtable::{
-    DualTableConfig, DualTableEnv, PlanMode, RatioHint, ShardSpec, ShardedTable,
-};
+use dualtable::{DualTableConfig, DualTableEnv, PlanMode, RatioHint, ShardSpec, ShardedTable};
 
 const TABLE: &str = "shard_crash";
 const SPLITS: [i64; 2] = [100, 200];
@@ -75,12 +73,25 @@ fn spec() -> ShardSpec {
 #[derive(Debug, Clone, Copy)]
 enum Stmt {
     /// `count` keys starting at `base`, all inside one shard.
-    Insert { base: i64, count: i64 },
+    Insert {
+        base: i64,
+        count: i64,
+    },
     /// `count` keys per shard (base, 100+base, 200+base, ...), committed
     /// through one cross-shard transaction.
-    CrossInsert { base: i64, count: i64 },
-    Update { divisor: i64, rem: i64, v: i64 },
-    Delete { divisor: i64, rem: i64 },
+    CrossInsert {
+        base: i64,
+        count: i64,
+    },
+    Update {
+        divisor: i64,
+        rem: i64,
+        v: i64,
+    },
+    Delete {
+        divisor: i64,
+        rem: i64,
+    },
     Compact,
 }
 
@@ -92,11 +103,17 @@ const STMTS: &[Stmt] = &[
         rem: 0,
         v: 7,
     },
-    Stmt::Insert { base: 110, count: 6 },
+    Stmt::Insert {
+        base: 110,
+        count: 6,
+    },
     Stmt::CrossInsert { base: 40, count: 5 },
     Stmt::Delete { divisor: 3, rem: 1 },
     Stmt::Compact,
-    Stmt::Insert { base: 210, count: 7 },
+    Stmt::Insert {
+        base: 210,
+        count: 7,
+    },
     Stmt::CrossInsert { base: 60, count: 3 },
     Stmt::Update {
         divisor: 5,
@@ -359,10 +376,7 @@ fn sharded_crash_matrix_committed_prefix() {
                 .filter(|&i| shard_slice(base_state, &sp, i) != shard_slice(ns, &sp, i))
                 .collect();
             let committed: Vec<bool> = touched.iter().map(|&i| next[i]).collect();
-            if committed
-                .windows(2)
-                .any(|w| !w[0] && w[1])
-            {
+            if committed.windows(2).any(|w| !w[0] && w[1]) {
                 return Err(format!(
                     "in-flight statement committed out of shard order: \
                      touched {touched:?}, committed {committed:?}"

@@ -196,7 +196,8 @@ fn range_pruning_skips_shard_io() {
     let env = DualTableEnv::in_memory();
     let spec = ShardSpec::new(0, vec![100, 200, 300]).unwrap();
     let t = ShardedTable::create(&env, "pruned", schema(), cfg(), spec).unwrap();
-    t.insert_rows((0..400).map(|k| row(k, k)).collect()).unwrap();
+    t.insert_rows((0..400).map(|k| row(k, k)).collect())
+        .unwrap();
 
     // Predicate covering only shard 1 ([100, 200)).
     let mid = [pred(PredicateOp::Ge, 120), pred(PredicateOp::Lt, 180)];
@@ -204,7 +205,9 @@ fn range_pruning_skips_shard_io() {
     // File-level pushdown is stripe-granular: every matching row comes
     // back (exact filtering is the query layer's job), and shard pruning
     // guarantees nothing outside shard 1's [100, 200) range is read.
-    let rows = t.scan_scatter(None, Some(&mid), &Deadline::never()).unwrap();
+    let rows = t
+        .scan_scatter(None, Some(&mid), &Deadline::never())
+        .unwrap();
     let ids = sorted_ids(&rows);
     assert!(ids.iter().all(|&id| (100..200).contains(&id)));
     assert!((120..180).all(|k| ids.binary_search(&k).is_ok()));
@@ -285,7 +288,8 @@ fn incremental_compaction_is_round_robin_fair() {
     let t = ShardedTable::create(&env, "fair", schema(), cfg(), spec).unwrap();
 
     // Dirty every shard (deletes leave attached-tier tombstones to fold).
-    t.insert_rows((0..300).map(|k| row(k, k)).collect()).unwrap();
+    t.insert_rows((0..300).map(|k| row(k, k)).collect())
+        .unwrap();
     t.delete_keyed(
         |r| r[0].as_i64().unwrap() % 2 == 0,
         RatioHint::Explicit(0.01),

@@ -127,9 +127,7 @@ fn run_writer(
             // row per shard, so the per-shard commits span master-file
             // creation too. Key layout keeps writers disjoint.
             let new_ids: Option<[i64; SHARDS]> = (round % 3 == 0).then(|| {
-                core::array::from_fn(|s| {
-                    s as i64 * 100 + 20 + w * 25 + inserted[s].len() as i64
-                })
+                core::array::from_fn(|s| s as i64 * 100 + 20 + w * 25 + inserted[s].len() as i64)
             });
             if let Some(ids) = new_ids {
                 let rows: Vec<Row> = ids

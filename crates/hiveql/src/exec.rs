@@ -9,10 +9,10 @@ use dualtable::RatioHint;
 
 use crate::ast::*;
 use crate::catalog::SharedCatalog;
-use crate::session::SessionTxn;
 use crate::expr::{
     eval, is_true, normalize_numeric, Binding, EvalContext, GroupKey, HashableValue,
 };
+use crate::session::SessionTxn;
 
 /// Result of executing one statement.
 #[derive(Debug, Clone)]

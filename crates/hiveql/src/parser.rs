@@ -887,10 +887,8 @@ mod tests {
         assert_eq!(shard_by.column, "id");
         assert_eq!(shard_by.splits.len(), 3);
         // Without SPLIT AT: a single shard.
-        let stmt = parse(
-            "CREATE TABLE m2 (id BIGINT) STORED AS DUALTABLE SHARDED BY RANGE (id)",
-        )
-        .unwrap();
+        let stmt =
+            parse("CREATE TABLE m2 (id BIGINT) STORED AS DUALTABLE SHARDED BY RANGE (id)").unwrap();
         let Statement::CreateTable { sharding, .. } = stmt else {
             panic!("not a create");
         };

@@ -305,10 +305,7 @@ impl Session {
                             }
                             Err(f) => {
                                 committed.extend(f.committed.iter().cloned());
-                                (
-                                    f.error,
-                                    format!("table '{name}' shard '{}'", f.failed),
-                                )
+                                (f.error, format!("table '{name}' shard '{}'", f.failed))
                             }
                         },
                     };

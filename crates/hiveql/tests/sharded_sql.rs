@@ -21,7 +21,10 @@ fn setup() -> Session {
          SHARDED BY RANGE (id) SPLIT AT (100, 200)",
     )
     .unwrap();
-    let values: Vec<String> = (0..300).step_by(10).map(|i| format!("({i}, {i})")).collect();
+    let values: Vec<String> = (0..300)
+        .step_by(10)
+        .map(|i| format!("({i}, {i})"))
+        .collect();
     s.execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
         .unwrap();
     s
@@ -40,12 +43,7 @@ fn sharded_ddl_and_show_shards() {
     );
 
     let r = s.execute("SHOW SHARDS").unwrap();
-    let names: Vec<&str> = r
-        .schema
-        .fields()
-        .iter()
-        .map(|f| f.name.as_str())
-        .collect();
+    let names: Vec<&str> = r.schema.fields().iter().map(|f| f.name.as_str()).collect();
     assert_eq!(
         names,
         vec![
@@ -69,7 +67,10 @@ fn sharded_ddl_and_show_shards() {
     assert_eq!(t_rows[1][2], Value::Utf8("[100, 200)".into()));
     assert_eq!(t_rows[2][2], Value::Utf8("[200, +inf)".into()));
     // 0..300 step 10: 10 keys per shard range.
-    assert_eq!(t_rows.iter().map(|r| r[3].as_i64().unwrap()).sum::<i64>(), 30);
+    assert_eq!(
+        t_rows.iter().map(|r| r[3].as_i64().unwrap()).sum::<i64>(),
+        30
+    );
 
     // Sharding requires DUALTABLE storage and an existing BIGINT column.
     assert!(s
@@ -83,7 +84,9 @@ fn sharded_ddl_and_show_shards() {
         .is_err());
     // Split points must be strictly ascending.
     assert!(s
-        .execute("CREATE TABLE bad (k BIGINT) STORED AS DUALTABLE SHARDED BY RANGE (k) SPLIT AT (5, 5)")
+        .execute(
+            "CREATE TABLE bad (k BIGINT) STORED AS DUALTABLE SHARDED BY RANGE (k) SPLIT AT (5, 5)"
+        )
         .is_err());
 }
 
@@ -160,9 +163,7 @@ fn show_health_has_shard_tier() {
     let metric = |name: &str| -> i64 {
         r.rows()
             .iter()
-            .find(|row| {
-                row[0] == Value::Utf8("shard".into()) && row[1] == Value::Utf8(name.into())
-            })
+            .find(|row| row[0] == Value::Utf8("shard".into()) && row[1] == Value::Utf8(name.into()))
             .unwrap_or_else(|| panic!("missing shard metric {name}"))[2]
             .as_i64()
             .unwrap()
@@ -207,7 +208,8 @@ fn transactions_and_compaction_counters() {
 
     // Transactional cross-shard write: all-or-prefix, here all.
     s.execute("BEGIN").unwrap();
-    s.execute("UPDATE t SET v = -1 WHERE id % 100 = 50").unwrap();
+    s.execute("UPDATE t SET v = -1 WHERE id % 100 = 50")
+        .unwrap();
     s.execute("COMMIT").unwrap();
     let r = s.execute("SELECT COUNT(*) FROM t WHERE v = -1").unwrap();
     assert_eq!(ints(&r, 0), vec![3]);

@@ -64,6 +64,24 @@ impl Mutation {
 
 const KIND_PUT: u8 = 0;
 const KIND_DELETE: u8 = 1;
+// WAL-only kinds: shadow-tier entries ride the group-commit log without
+// ever entering the memtable or an SSTable (DESIGN.md §17), so SSTable
+// decoding (`decode_entry`) rejects them.
+const KIND_SHADOW_PUT: u8 = 2;
+const KIND_SHADOW_DELETE: u8 = 3;
+const KIND_SHADOW_RETIRE: u8 = 4;
+
+/// One logical operation in a WAL record. `Data` entries replay into the
+/// memtable; `Shadow` entries replay into the in-memory shadow tier; a
+/// `ShadowRetire(t)` marker drops every shadow entry with `ts <= t` (the
+/// durable half of a spill, whose re-encoded `Data` copies precede it in
+/// the same record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum WalEntry {
+    Data(CellKey, Version),
+    Shadow(CellKey, Version),
+    ShadowRetire(u64),
+}
 
 /// Serializes one `(key, version)` entry (shared by the WAL and SSTables).
 pub(crate) fn encode_entry(buf: &mut Vec<u8>, key: &CellKey, version: &Version) {
@@ -96,6 +114,76 @@ pub(crate) fn decode_entry(buf: &[u8], pos: &mut usize) -> Result<(CellKey, Vers
     Ok((CellKey { row, qual }, Version { ts, mutation }))
 }
 
+/// Serializes one WAL operation. Data entries are byte-identical to
+/// [`encode_entry`], so logs written before the shadow tier existed replay
+/// unchanged.
+pub(crate) fn encode_wal_entry(buf: &mut Vec<u8>, entry: &WalEntry) {
+    match entry {
+        WalEntry::Data(key, version) => encode_entry(buf, key, version),
+        WalEntry::Shadow(key, version) => {
+            put_bytes(buf, &key.row);
+            put_bytes(buf, &key.qual);
+            put_uvarint(buf, version.ts);
+            match &version.mutation {
+                Mutation::Put(v) => {
+                    buf.push(KIND_SHADOW_PUT);
+                    put_bytes(buf, v);
+                }
+                Mutation::Delete => buf.push(KIND_SHADOW_DELETE),
+            }
+        }
+        WalEntry::ShadowRetire(ts) => {
+            put_bytes(buf, &[]);
+            put_bytes(buf, &[]);
+            put_uvarint(buf, *ts);
+            buf.push(KIND_SHADOW_RETIRE);
+        }
+    }
+}
+
+/// Inverse of [`encode_wal_entry`].
+pub(crate) fn decode_wal_entry(buf: &[u8], pos: &mut usize) -> Result<WalEntry> {
+    let row = get_bytes(buf, pos)?.to_vec();
+    let qual = get_bytes(buf, pos)?.to_vec();
+    let ts = get_uvarint(buf, pos)?;
+    let kind = *buf
+        .get(*pos)
+        .ok_or_else(|| Error::corrupt("truncated entry kind"))?;
+    *pos += 1;
+    Ok(match kind {
+        KIND_PUT => WalEntry::Data(
+            CellKey { row, qual },
+            Version {
+                ts,
+                mutation: Mutation::Put(get_bytes(buf, pos)?.to_vec()),
+            },
+        ),
+        KIND_DELETE => WalEntry::Data(
+            CellKey { row, qual },
+            Version {
+                ts,
+                mutation: Mutation::Delete,
+            },
+        ),
+        KIND_SHADOW_PUT => WalEntry::Shadow(
+            CellKey { row, qual },
+            Version {
+                ts,
+                mutation: Mutation::Put(get_bytes(buf, pos)?.to_vec()),
+            },
+        ),
+        KIND_SHADOW_DELETE => WalEntry::Shadow(
+            CellKey { row, qual },
+            Version {
+                ts,
+                mutation: Mutation::Delete,
+            },
+        ),
+        KIND_SHADOW_RETIRE => WalEntry::ShadowRetire(ts),
+        other => return Err(Error::corrupt(format!("unknown entry kind {other}"))),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +201,80 @@ mod tests {
             assert_eq!(v2, v);
             assert_eq!(pos, buf.len());
         }
+    }
+
+    #[test]
+    fn wal_entry_roundtrip_all_flavors() {
+        let key = CellKey::new(b"row".to_vec(), b"qual".to_vec());
+        let entries = vec![
+            WalEntry::Data(
+                key.clone(),
+                Version {
+                    ts: 7,
+                    mutation: Mutation::Put(b"v".to_vec()),
+                },
+            ),
+            WalEntry::Shadow(
+                key.clone(),
+                Version {
+                    ts: 8,
+                    mutation: Mutation::Put(b"w".to_vec()),
+                },
+            ),
+            WalEntry::Shadow(
+                key.clone(),
+                Version {
+                    ts: 9,
+                    mutation: Mutation::Delete,
+                },
+            ),
+            WalEntry::ShadowRetire(9),
+        ];
+        for entry in &entries {
+            let mut buf = Vec::new();
+            encode_wal_entry(&mut buf, entry);
+            let mut pos = 0;
+            assert_eq!(&decode_wal_entry(&buf, &mut pos).unwrap(), entry);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn data_wal_entry_is_byte_identical_to_legacy_encoding() {
+        // Pre-shadow logs must replay unchanged: the Data flavor's bytes
+        // ARE the legacy entry bytes.
+        let key = CellKey::new(b"r".to_vec(), b"q".to_vec());
+        let v = Version {
+            ts: 3,
+            mutation: Mutation::Put(b"x".to_vec()),
+        };
+        let mut legacy = Vec::new();
+        encode_entry(&mut legacy, &key, &v);
+        let mut modern = Vec::new();
+        encode_wal_entry(&mut modern, &WalEntry::Data(key.clone(), v.clone()));
+        assert_eq!(legacy, modern);
+        let mut pos = 0;
+        assert_eq!(
+            decode_wal_entry(&legacy, &mut pos).unwrap(),
+            WalEntry::Data(key, v)
+        );
+    }
+
+    #[test]
+    fn sstable_decoder_rejects_shadow_kinds() {
+        let mut buf = Vec::new();
+        encode_wal_entry(
+            &mut buf,
+            &WalEntry::Shadow(
+                CellKey::new(b"r".to_vec(), b"q".to_vec()),
+                Version {
+                    ts: 1,
+                    mutation: Mutation::Delete,
+                },
+            ),
+        );
+        let mut pos = 0;
+        assert!(decode_entry(&buf, &mut pos).is_err());
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod compaction;
 mod env;
 mod memtable;
 mod merge;
+mod shadow;
 mod sstable;
 mod store;
 mod wal;
@@ -128,10 +129,14 @@ impl KvCluster {
     /// A point-in-time view of the counters, with the degraded flag
     /// computed live: the cluster is degraded while *any* of its tables
     /// is refusing writes. A table reopen (e.g. [`Self::crash_and_reopen`])
-    /// therefore clears the flag.
+    /// therefore clears the flag. Likewise `delta_bytes_used` is summed
+    /// live over the open stores' shadow tiers (a gauge counter would
+    /// leak across reopen/truncate/destroy).
     pub fn health_snapshot(&self) -> HealthSnapshot {
         let mut snap = self.inner.health.snapshot();
-        snap.degraded = self.inner.tables.read().values().any(Store::is_degraded);
+        let tables = self.inner.tables.read();
+        snap.degraded = tables.values().any(Store::is_degraded);
+        snap.delta_bytes_used = tables.values().map(|s| s.shadow_bytes() as u64).sum();
         snap
     }
 

@@ -7,11 +7,12 @@ use std::sync::Arc;
 use dt_common::{Error, ErrorClass, HealthCounters, IoStats, LogicalClock, Result, RetryPolicy};
 use parking_lot::{Mutex, RwLock};
 
-use crate::cell::{CellKey, Mutation, Version, ROW_TOMBSTONE_QUALIFIER};
+use crate::cell::{CellKey, Mutation, Version, WalEntry, ROW_TOMBSTONE_QUALIFIER};
 use crate::compaction;
 use crate::env::Env;
 use crate::memtable::{visible_at, MemTable};
 use crate::merge::MergeScanner;
+use crate::shadow::ShadowTier;
 use crate::sstable::{SsTable, SsTableBuilder};
 use crate::wal::Wal;
 
@@ -82,12 +83,23 @@ struct State {
     /// Segment the next WAL append goes to. Flush bumps it (rotation) so
     /// it can later delete every segment at or below the old value.
     wal_segment: u64,
+    /// The shadow (delta) tier: WAL-durable entries held out of the
+    /// memtable and SSTables until spilled (DESIGN.md §17). Flush must
+    /// carry these forward before truncating segments.
+    shadow: ShadowTier,
+}
+
+/// A write before its timestamp is assigned: which tier the entry lands
+/// in once the leader commits its WAL record.
+enum WriteOp {
+    Data(CellKey, Mutation),
+    Shadow(CellKey, Mutation),
 }
 
 /// One caller batch awaiting durable commit, parked in the group-commit
 /// queue until a leader drains it (DESIGN.md §12).
 struct PendingCommit {
-    batch: Vec<(CellKey, Version)>,
+    ops: Vec<WalEntry>,
     ticket: Arc<CommitTicket>,
 }
 
@@ -180,6 +192,13 @@ impl Store {
             max_ts = max_ts.max(version.ts);
             memtable.insert(key, version);
         }
+        let mut shadow = ShadowTier::new();
+        if !recovery.shadow.is_empty() {
+            for (_, version) in &recovery.shadow {
+                max_ts = max_ts.max(version.ts);
+            }
+            shadow.insert_batch(recovery.shadow, config.max_versions);
+        }
         let wal_segment = recovery.next_segment;
         let mut sstables = Vec::new();
         let mut next_file_no = 0u64;
@@ -225,6 +244,7 @@ impl Store {
                     sstables,
                     next_file_no,
                     wal_segment,
+                    shadow,
                 }),
                 commit_queue: Mutex::new(VecDeque::new()),
                 maintenance: Mutex::new(()),
@@ -239,13 +259,49 @@ impl Store {
             // (crash-atomic: the log is untouched until the table is
             // live), then reset the log. A log that salvaged nothing is
             // all garbage and is simply dropped.
-            if store.inner.state.read().memtable.is_empty() {
+            let (mem_empty, shadow_empty) = {
+                let state = store.inner.state.read();
+                (state.memtable.is_empty(), state.shadow.is_empty())
+            };
+            if mem_empty && shadow_empty {
                 Wal::delete_all(store.inner.env.as_ref())?;
+            } else if mem_empty {
+                // Only shadow entries were salvaged: rewrite them into a
+                // fresh segment, then drop the torn ones (flush would
+                // no-op on an empty memtable and never truncate).
+                store.rewrite_shadow_segments()?;
             } else {
+                // Flush carries live shadow entries forward before it
+                // truncates, so both tiers stay durable.
                 store.flush()?;
             }
         }
         Ok(store)
+    }
+
+    /// Re-homes every live shadow entry into a fresh WAL segment and
+    /// deletes the segments at or below the old head — the salvage path
+    /// for a torn log whose only live entries are shadow-tier ones.
+    fn rewrite_shadow_segments(&self) -> Result<()> {
+        let boundary = {
+            let mut state = self.inner.state.write();
+            let boundary = state.wal_segment;
+            state.wal_segment += 1;
+            let carry: Vec<WalEntry> = state
+                .shadow
+                .snapshot()
+                .into_iter()
+                .map(|(k, v)| WalEntry::Shadow(k, v))
+                .collect();
+            let wal = Wal::new(
+                self.inner.env.clone(),
+                self.inner.stats.clone(),
+                state.wal_segment,
+            );
+            wal.append_batches(&[&carry])?;
+            boundary
+        };
+        Wal::truncate_through(self.inner.env.as_ref(), boundary)
     }
 
     /// Best-effort: preserves the bytes of an unopenable table under a
@@ -320,6 +376,114 @@ impl Store {
         self.apply(batch)
     }
 
+    /// Writes many cells into the **shadow (delta) tier**: durable via the
+    /// same group-commit WAL record as regular puts, but held in the
+    /// in-memory sorted-run tier instead of the memtable — no SSTable
+    /// build is ever triggered by these writes. Visibility is identical
+    /// to [`Store::put_batch`] (same clock, same snapshot rules); only
+    /// the residence differs until [`Store::spill_shadow`] migrates them.
+    pub fn put_shadow_batch(&self, cells: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>) -> Result<u64> {
+        let mut writes = Vec::with_capacity(cells.len());
+        for (row, qual, value) in cells {
+            Self::check_qualifier(&qual)?;
+            writes.push(WriteOp::Shadow(
+                CellKey::new(row, qual),
+                Mutation::Put(value),
+            ));
+        }
+        self.commit_ops(writes)
+    }
+
+    /// Shadow-tier analogue of [`Store::mutate_batch`]: the puts land in
+    /// the shadow tier while the deletes (transaction-intent clears) stay
+    /// regular memtable tombstones — all in one fsync'd WAL record, so
+    /// after a crash either every mutation is visible or none is.
+    pub fn mutate_batch_shadow(
+        &self,
+        puts: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
+        deletes: Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<u64> {
+        let mut writes = Vec::with_capacity(puts.len() + deletes.len());
+        for (row, qual, value) in puts {
+            Self::check_qualifier(&qual)?;
+            writes.push(WriteOp::Shadow(
+                CellKey::new(row, qual),
+                Mutation::Put(value),
+            ));
+        }
+        for (row, qual) in deletes {
+            Self::check_qualifier(&qual)?;
+            writes.push(WriteOp::Data(CellKey::new(row, qual), Mutation::Delete));
+        }
+        self.commit_ops(writes)
+    }
+
+    /// Migrates every shadow-tier entry into the memtable, preserving
+    /// timestamps — a visibility no-op. Durable as ONE atomic WAL record:
+    /// the entries re-encoded as data entries plus a retire marker, so a
+    /// crash at any point replays either the shadow entries (record torn)
+    /// or the data copies (record intact), never both live at once.
+    /// Returns the number of entries spilled.
+    pub fn spill_shadow(&self) -> Result<u64> {
+        if self.inner.degraded.load(Ordering::Acquire) {
+            return Err(Error::unavailable(
+                "store is in read-only degraded mode (write path failed permanently); \
+                 reopen the store to resume writes",
+            ));
+        }
+        let spilled = {
+            let mut state = self.inner.state.write();
+            if state.shadow.is_empty() {
+                return Ok(0);
+            }
+            let snapshot = state.shadow.snapshot();
+            let boundary = state.shadow.max_ts();
+            let mut ops: Vec<WalEntry> = snapshot
+                .iter()
+                .map(|(k, v)| WalEntry::Data(k.clone(), v.clone()))
+                .collect();
+            ops.push(WalEntry::ShadowRetire(boundary));
+            let wal = Wal::new(
+                self.inner.env.clone(),
+                self.inner.stats.clone(),
+                state.wal_segment,
+            );
+            if let Err(e) = wal.append_batches(&[&ops]) {
+                if e.class() == ErrorClass::Permanent {
+                    self.inner.degraded.store(true, Ordering::Release);
+                }
+                return Err(e);
+            }
+            for (key, version) in snapshot {
+                state.memtable.insert(key, version);
+            }
+            state.shadow.retire_through(boundary);
+            ops.len() as u64 - 1
+        };
+        self.inner.health.record_delta_spill(spilled);
+        // The memtable may have crossed its flush threshold in one jump;
+        // flush inline (no compaction — callers that want the full
+        // maintenance cycle run it themselves).
+        if self.inner.config.auto_maintenance
+            && self.inner.state.read().memtable.approx_bytes()
+                >= self.inner.config.memtable_flush_bytes
+        {
+            let _ = self.flush();
+        }
+        Ok(spilled)
+    }
+
+    /// Approximate heap bytes held by the shadow tier — what a delta
+    /// memory budget is enforced against.
+    pub fn shadow_bytes(&self) -> usize {
+        self.inner.state.read().shadow.bytes()
+    }
+
+    /// Number of version entries in the shadow tier.
+    pub fn shadow_entry_count(&self) -> u64 {
+        self.inner.state.read().shadow.entry_count() as u64
+    }
+
     /// Tombstones one cell.
     pub fn delete_cell(&self, row: &[u8], qual: &[u8]) -> Result<u64> {
         Self::check_qualifier(qual)?;
@@ -354,7 +518,19 @@ impl Store {
     }
 
     fn apply(&self, mutations: Vec<(CellKey, Mutation)>) -> Result<u64> {
-        if mutations.is_empty() {
+        self.commit_ops(
+            mutations
+                .into_iter()
+                .map(|(key, mutation)| WriteOp::Data(key, mutation))
+                .collect(),
+        )
+    }
+
+    /// Commits a batch of tier-tagged writes through group commit: one
+    /// fsync'd WAL record per group, `Data` ops into the memtable,
+    /// `Shadow` ops into the shadow tier — both durable the same way.
+    fn commit_ops(&self, writes: Vec<WriteOp>) -> Result<u64> {
+        if writes.is_empty() {
             return Ok(self.inner.clock.peek());
         }
         if self.inner.degraded.load(Ordering::Acquire) {
@@ -367,24 +543,26 @@ impl Store {
         // assigned under the queue lock so queue order, timestamp order
         // and WAL record order all agree.
         let ticket = Arc::new(CommitTicket::default());
-        let last_ts;
+        let mut last_ts = 0;
         {
             let mut queue = self.inner.commit_queue.lock();
-            let batch: Vec<(CellKey, Version)> = mutations
+            let ops: Vec<WalEntry> = writes
                 .into_iter()
-                .map(|(key, mutation)| {
-                    (
-                        key,
-                        Version {
-                            ts: self.inner.clock.tick(),
-                            mutation,
-                        },
-                    )
+                .map(|op| {
+                    let ts = self.inner.clock.tick();
+                    last_ts = ts;
+                    match op {
+                        WriteOp::Data(key, mutation) => {
+                            WalEntry::Data(key, Version { ts, mutation })
+                        }
+                        WriteOp::Shadow(key, mutation) => {
+                            WalEntry::Shadow(key, Version { ts, mutation })
+                        }
+                    }
                 })
                 .collect();
-            last_ts = batch.last().map(|(_, v)| v.ts).unwrap_or(0);
             queue.push_back(PendingCommit {
-                batch,
+                ops,
                 ticket: ticket.clone(),
             });
         }
@@ -423,8 +601,7 @@ impl Store {
                 self.inner.stats.clone(),
                 state.wal_segment,
             );
-            let batches: Vec<&[(CellKey, Version)]> =
-                group.iter().map(|p| p.batch.as_slice()).collect();
+            let batches: Vec<&[WalEntry]> = group.iter().map(|p| p.ops.as_slice()).collect();
             match wal.append_batches(&batches) {
                 Ok(()) => {
                     if group.len() > 1 {
@@ -432,8 +609,18 @@ impl Store {
                         self.inner.health.record_group_commit(group.len() as u64);
                     }
                     for pending in group {
-                        for (key, version) in pending.batch {
-                            state.memtable.insert(key, version);
+                        let mut shadow_batch: Vec<(CellKey, Version)> = Vec::new();
+                        for op in pending.ops {
+                            match op {
+                                WalEntry::Data(key, version) => state.memtable.insert(key, version),
+                                WalEntry::Shadow(key, version) => shadow_batch.push((key, version)),
+                                WalEntry::ShadowRetire(t) => state.shadow.retire_through(t),
+                            }
+                        }
+                        if !shadow_batch.is_empty() {
+                            state
+                                .shadow
+                                .insert_batch(shadow_batch, self.inner.config.max_versions);
                         }
                         pending.ticket.set(Ok(()));
                     }
@@ -528,7 +715,8 @@ impl Store {
             .collect())
     }
 
-    /// All versions of one cell across memtable and SSTables, newest first.
+    /// All versions of one cell across memtable, shadow tier and
+    /// SSTables, newest first.
     fn collect_versions(&self, key: &CellKey) -> Result<Vec<Version>> {
         let state = self.inner.state.read();
         let mut versions: Vec<Version> = state
@@ -536,6 +724,13 @@ impl Store {
             .get(key)
             .map(<[Version]>::to_vec)
             .unwrap_or_default();
+        let from_shadow = state.shadow.get(key);
+        if !from_shadow.is_empty() {
+            self.inner
+                .health
+                .record_delta_hits(from_shadow.len() as u64);
+            versions.extend(from_shadow);
+        }
         if let Ok(i) = state.flushing.binary_search_by(|(k, _)| k.cmp(key)) {
             versions.extend_from_slice(&state.flushing[i].1);
         }
@@ -562,16 +757,29 @@ impl Store {
         end: Option<&[u8]>,
         snapshot_ts: u64,
     ) -> Result<ScanIter> {
-        let (mem_entries, flushing, sstables) = {
+        let (mem_entries, shadow_entries, flushing, sstables) = {
             let state = self.inner.state.read();
             let mem: Vec<(CellKey, Version)> = state
                 .memtable
                 .range(start, end)
                 .flat_map(|(k, vs)| vs.iter().map(move |v| (k.clone(), v.clone())))
                 .collect();
-            (mem, state.flushing.clone(), state.sstables.clone())
+            (
+                mem,
+                state.shadow.range_entries(start, end),
+                state.flushing.clone(),
+                state.sstables.clone(),
+            )
         };
         let mut streams: Vec<EntryStream> = vec![Box::new(mem_entries.into_iter().map(Ok))];
+        if !shadow_entries.is_empty() {
+            // The delta tier is just one more key-sorted stream in the
+            // merge — same visibility rules as every other source.
+            self.inner
+                .health
+                .record_delta_hits(shadow_entries.len() as u64);
+            streams.push(Box::new(shadow_entries.into_iter().map(Ok)));
+        }
         if !flushing.is_empty() {
             // Mid-flush entries: already key-sorted, filter to the range.
             let (start, end) = (start.map(<[u8]>::to_vec), end.map(<[u8]>::to_vec));
@@ -633,6 +841,38 @@ impl Store {
                     let mut state = self.inner.state.write();
                     state.sstables.push(table);
                     state.flushing = Arc::new(Vec::new());
+                    // Shadow entries are durable ONLY in the WAL; before
+                    // the covered segments go away, carry every live one
+                    // forward into the fresh segment. Snapshotting under
+                    // the state lock serializes against spills, so the
+                    // carried set can never miss a concurrent retire. A
+                    // crash between this append and the truncation
+                    // replays some entries twice; the tier dedupes exact
+                    // `(key, ts)` duplicates on insert.
+                    if !state.shadow.is_empty() {
+                        let carry: Vec<WalEntry> = state
+                            .shadow
+                            .snapshot()
+                            .into_iter()
+                            .map(|(k, v)| WalEntry::Shadow(k, v))
+                            .collect();
+                        let wal = Wal::new(
+                            self.inner.env.clone(),
+                            self.inner.stats.clone(),
+                            state.wal_segment,
+                        );
+                        if let Err(e) = wal.append_batches(&[&carry]) {
+                            // Skip truncation: the old segments stay and
+                            // keep the shadow entries durable. Their data
+                            // entries replaying alongside the published
+                            // SSTable is harmless (same-timestamp
+                            // duplicates resolve identically).
+                            if e.class() == ErrorClass::Permanent {
+                                self.inner.degraded.store(true, Ordering::Release);
+                            }
+                            return Err(e);
+                        }
+                    }
                 }
                 Wal::truncate_through(self.inner.env.as_ref(), boundary)
             }
@@ -729,6 +969,11 @@ impl Store {
     /// Full compaction: merges all SSTables into one, dropping shadowed
     /// versions beyond `max_versions` and garbage-collecting tombstones.
     pub fn compact(&self) -> Result<()> {
+        // Spill the shadow tier first: full compaction garbage-collects
+        // tombstones, and a live shadow entry older than a GC'd row
+        // tombstone would resurrect deleted data. (minor_compact keeps
+        // all versions and tombstones, so it is safe with a live tier.)
+        self.spill_shadow()?;
         self.flush()?;
         let _guard = self.inner.maintenance.lock();
         let old = { self.inner.state.read().sstables.clone() };
@@ -771,7 +1016,7 @@ impl Store {
         Ok(())
     }
 
-    /// Approximate stored bytes (memtable + SSTable files).
+    /// Approximate stored bytes (memtable + shadow tier + SSTable files).
     pub fn approximate_bytes(&self) -> u64 {
         let state = self.inner.state.read();
         let sst: u64 = state
@@ -779,7 +1024,7 @@ impl Store {
             .iter()
             .map(|t| t.file_len().unwrap_or(0))
             .sum();
-        sst + state.memtable.approx_bytes() as u64
+        sst + (state.memtable.approx_bytes() + state.shadow.bytes()) as u64
     }
 
     /// Number of version entries currently stored (pre-resolution;
@@ -788,7 +1033,7 @@ impl Store {
         let state = self.inner.state.read();
         let sst: u64 = state.sstables.iter().map(|t| t.entry_count()).sum();
         let in_flight: usize = state.flushing.iter().map(|(_, vs)| vs.len()).sum();
-        sst + (state.memtable.entry_count() + in_flight) as u64
+        sst + (state.memtable.entry_count() + in_flight + state.shadow.entry_count()) as u64
     }
 
     /// Number of SSTables currently live (for compaction tests).
@@ -1484,5 +1729,272 @@ mod crash_tests {
         assert_eq!(plan.injected_count(), 1);
         assert!(s.get(b"a", b"q").unwrap().is_some());
         assert!(s.get(b"b", b"q").unwrap().is_some());
+    }
+}
+
+#[cfg(test)]
+mod shadow_store_tests {
+    use super::*;
+    use crate::env::MemEnv;
+
+    fn open_on(env: Arc<MemEnv>) -> Store {
+        Store::open(
+            env,
+            KvConfig {
+                memtable_flush_bytes: 1 << 20,
+                block_size: 256,
+                max_sstables: 64,
+                max_versions: 3,
+                auto_maintenance: false,
+                ..KvConfig::default()
+            },
+            LogicalClock::new(),
+            IoStats::new(),
+        )
+        .unwrap()
+    }
+
+    fn fresh() -> Store {
+        open_on(Arc::new(MemEnv::new()))
+    }
+
+    #[test]
+    fn shadow_writes_are_read_visible_without_touching_the_lsm() {
+        let s = fresh();
+        s.put(b"r1", b"q", b"base").unwrap();
+        let mem_entries = s.entry_count();
+        s.put_shadow_batch(vec![
+            (b"r1".to_vec(), b"q".to_vec(), b"hot".to_vec()),
+            (b"r2".to_vec(), b"q".to_vec(), b"new".to_vec()),
+        ])
+        .unwrap();
+        assert_eq!(s.shadow_entry_count(), 2);
+        assert!(s.shadow_bytes() > 0);
+        assert_eq!(s.entry_count(), mem_entries + 2);
+        // Point reads resolve newest-first across tiers.
+        assert_eq!(s.get(b"r1", b"q").unwrap().unwrap(), b"hot");
+        assert_eq!(s.get(b"r2", b"q").unwrap().unwrap(), b"new");
+        // Scans merge the shadow stream like any other source.
+        let rows = s.scan(None, None).unwrap().collect_rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].cells[0].2, b"hot");
+        // No flush happened: zero SSTables despite the writes.
+        assert_eq!(s.sstable_count(), 0);
+    }
+
+    #[test]
+    fn shadow_snapshot_reads_respect_timestamps() {
+        let s = fresh();
+        let t1 = s
+            .put_shadow_batch(vec![(b"r".to_vec(), b"q".to_vec(), b"v1".to_vec())])
+            .unwrap();
+        let t2 = s
+            .put_shadow_batch(vec![(b"r".to_vec(), b"q".to_vec(), b"v2".to_vec())])
+            .unwrap();
+        assert!(t2 > t1);
+        assert_eq!(s.get_at(b"r", b"q", t1).unwrap().unwrap(), b"v1");
+        assert_eq!(s.get_at(b"r", b"q", t2).unwrap().unwrap(), b"v2");
+        assert!(s.get_at(b"r", b"q", t1 - 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn spill_is_a_visibility_noop_with_preserved_timestamps() {
+        let s = fresh();
+        let ts = s
+            .put_shadow_batch(vec![
+                (b"a".to_vec(), b"q".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), b"q".to_vec(), b"2".to_vec()),
+            ])
+            .unwrap();
+        let before = s.scan(None, None).unwrap().collect_rows().unwrap();
+        assert_eq!(s.spill_shadow().unwrap(), 2);
+        assert_eq!(s.shadow_entry_count(), 0);
+        assert_eq!(s.shadow_bytes(), 0);
+        let after = s.scan(None, None).unwrap().collect_rows().unwrap();
+        assert_eq!(before, after, "spill must not change any visible row");
+        // Timestamps survived the migration.
+        assert_eq!(after[1].cells[0].1, ts);
+        // A second spill is a no-op.
+        assert_eq!(s.spill_shadow().unwrap(), 0);
+    }
+
+    #[test]
+    fn crash_recovery_replays_shadow_entries_into_the_tier() {
+        let env = Arc::new(MemEnv::new());
+        let s = open_on(env.clone());
+        s.put(b"base", b"q", b"d").unwrap();
+        s.put_shadow_batch(vec![(b"hot".to_vec(), b"q".to_vec(), b"s".to_vec())])
+            .unwrap();
+        drop(s);
+        let reopened = open_on(env);
+        assert_eq!(
+            reopened.shadow_entry_count(),
+            1,
+            "shadow entry recovered into the tier, not the memtable"
+        );
+        assert_eq!(reopened.get(b"hot", b"q").unwrap().unwrap(), b"s");
+        assert_eq!(reopened.get(b"base", b"q").unwrap().unwrap(), b"d");
+        // The clock advanced past the shadow timestamp: a new write must
+        // sort newer.
+        reopened.put(b"hot", b"q", b"newer").unwrap();
+        assert_eq!(reopened.get(b"hot", b"q").unwrap().unwrap(), b"newer");
+    }
+
+    #[test]
+    fn crash_after_spill_does_not_resurrect_shadow_entries() {
+        let env = Arc::new(MemEnv::new());
+        let s = open_on(env.clone());
+        s.put_shadow_batch(vec![(b"a".to_vec(), b"q".to_vec(), b"v".to_vec())])
+            .unwrap();
+        s.spill_shadow().unwrap();
+        drop(s);
+        let reopened = open_on(env);
+        assert_eq!(
+            reopened.shadow_entry_count(),
+            0,
+            "retire marker replays after the entries it covers"
+        );
+        assert_eq!(reopened.get(b"a", b"q").unwrap().unwrap(), b"v");
+    }
+
+    #[test]
+    fn flush_carries_shadow_entries_past_wal_truncation() {
+        let env = Arc::new(MemEnv::new());
+        let s = open_on(env.clone());
+        s.put(b"cold", b"q", b"c").unwrap();
+        s.put_shadow_batch(vec![(b"hot".to_vec(), b"q".to_vec(), b"h".to_vec())])
+            .unwrap();
+        s.flush().unwrap(); // truncates the segment both entries lived in
+        assert_eq!(s.shadow_entry_count(), 1, "flush does not spill");
+        drop(s);
+        let reopened = open_on(env);
+        assert_eq!(
+            reopened.shadow_entry_count(),
+            1,
+            "carry-forward kept the shadow entry durable across truncation"
+        );
+        assert_eq!(reopened.get(b"hot", b"q").unwrap().unwrap(), b"h");
+        assert_eq!(reopened.get(b"cold", b"q").unwrap().unwrap(), b"c");
+    }
+
+    #[test]
+    fn compact_spills_shadow_first_no_tombstone_resurrection() {
+        let s = fresh();
+        // An old value in an SSTable, then a shadow overwrite, then a row
+        // tombstone NEWER than the shadow entry. Full compaction GCs the
+        // tombstone; if the shadow entry were still live it would
+        // resurrect the row.
+        s.put(b"r", b"q", b"old").unwrap();
+        s.flush().unwrap();
+        s.put_shadow_batch(vec![(b"r".to_vec(), b"q".to_vec(), b"shadowed".to_vec())])
+            .unwrap();
+        s.delete_row(b"r").unwrap();
+        s.put(b"other", b"q", b"x").unwrap();
+        s.flush().unwrap();
+        s.compact().unwrap();
+        assert_eq!(s.shadow_entry_count(), 0, "compact spilled the tier");
+        assert!(
+            s.get(b"r", b"q").unwrap().is_none(),
+            "deleted row must stay deleted after GC"
+        );
+        assert_eq!(s.get(b"other", b"q").unwrap().unwrap(), b"x");
+    }
+
+    #[test]
+    fn mutate_batch_shadow_is_one_atomic_record() {
+        let env = Arc::new(MemEnv::new());
+        let s = open_on(env.clone());
+        s.put(b"txn", b"intent", b"pending").unwrap();
+        s.mutate_batch_shadow(
+            vec![(b"r".to_vec(), b"q".to_vec(), b"committed".to_vec())],
+            vec![(b"txn".to_vec(), b"intent".to_vec())],
+        )
+        .unwrap();
+        assert_eq!(s.shadow_entry_count(), 1, "put went to the shadow tier");
+        assert!(
+            s.get(b"txn", b"intent").unwrap().is_none(),
+            "intent cleared"
+        );
+        drop(s);
+        let reopened = open_on(env);
+        assert_eq!(reopened.get(b"r", b"q").unwrap().unwrap(), b"committed");
+        assert!(reopened.get(b"txn", b"intent").unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_log_with_only_shadow_entries_salvages_via_rewrite() {
+        let env = Arc::new(MemEnv::new());
+        let s = open_on(env.clone());
+        s.put_shadow_batch(vec![(b"a".to_vec(), b"q".to_vec(), b"v".to_vec())])
+            .unwrap();
+        drop(s);
+        // Torn tail: garbage after the intact record forces the salvage
+        // path with an empty memtable but a live shadow tier.
+        let wal_name = env
+            .list()
+            .into_iter()
+            .find(|n| n.starts_with("wal"))
+            .unwrap();
+        env.append(&wal_name, &[0xAB; 40]).unwrap();
+        let reopened = open_on(env.clone());
+        assert_eq!(reopened.shadow_entry_count(), 1);
+        assert_eq!(reopened.get(b"a", b"q").unwrap().unwrap(), b"v");
+        drop(reopened);
+        // The rewrite truncated the torn segment: the next open replays a
+        // clean log and still finds the entry.
+        let again = open_on(env);
+        assert_eq!(again.shadow_entry_count(), 1);
+        assert_eq!(again.get(b"a", b"q").unwrap().unwrap(), b"v");
+    }
+
+    #[test]
+    fn failed_wal_append_fails_the_shadow_write() {
+        use crate::env::FaultyEnv;
+        use dt_common::fault::{FaultKind, FaultPlan};
+        let plan = Arc::new(FaultPlan::new(23));
+        let env = Arc::new(FaultyEnv::new(Arc::new(MemEnv::new()), plan.clone()));
+        let s = Store::open(
+            env,
+            KvConfig {
+                auto_maintenance: false,
+                ..KvConfig::default()
+            },
+            LogicalClock::new(),
+            IoStats::new(),
+        )
+        .unwrap();
+        plan.fail_next(FaultKind::WriteError);
+        assert!(s
+            .put_shadow_batch(vec![(b"a".to_vec(), b"q".to_vec(), b"v".to_vec())])
+            .is_err());
+        assert_eq!(s.shadow_entry_count(), 0, "nothing acked, nothing inserted");
+        // A permanent WAL failure degrades the store for shadow writes
+        // exactly as it does for regular puts.
+        assert!(s.is_degraded());
+        assert!(s
+            .put_shadow_batch(vec![(b"a".to_vec(), b"q".to_vec(), b"v2".to_vec())])
+            .is_err());
+        assert!(s.get(b"a", b"q").unwrap().is_none());
+    }
+
+    #[test]
+    fn shadow_entries_survive_many_flush_cycles() {
+        let env = Arc::new(MemEnv::new());
+        let s = open_on(env.clone());
+        s.put_shadow_batch(vec![(b"pin".to_vec(), b"q".to_vec(), b"held".to_vec())])
+            .unwrap();
+        for i in 0..5u8 {
+            s.put(&[i], b"q", b"data").unwrap();
+            s.flush().unwrap();
+        }
+        assert_eq!(s.shadow_entry_count(), 1);
+        drop(s);
+        let reopened = open_on(env);
+        assert_eq!(
+            reopened.shadow_entry_count(),
+            1,
+            "repeated carry-forwards dedupe to one entry"
+        );
+        assert_eq!(reopened.get(b"pin", b"q").unwrap().unwrap(), b"held");
     }
 }

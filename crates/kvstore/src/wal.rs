@@ -20,7 +20,7 @@ use std::sync::Arc;
 use dt_common::crc32::crc32;
 use dt_common::{IoStats, Result};
 
-use crate::cell::{decode_entry, encode_entry, CellKey, Version};
+use crate::cell::{decode_wal_entry, encode_wal_entry, CellKey, Version, WalEntry};
 use crate::env::Env;
 
 /// Pre-segmentation log file; replayed (first) if present, never written.
@@ -55,11 +55,15 @@ impl Wal {
         }
     }
 
-    /// Durably appends a single batch (the group-commit path with a
+    /// Durably appends a single data batch (the group-commit path with a
     /// group of one; kept as a test convenience).
     #[cfg(test)]
     pub fn append_batch(&self, batch: &[(CellKey, Version)]) -> Result<()> {
-        self.append_batches(&[batch])
+        let ops: Vec<WalEntry> = batch
+            .iter()
+            .map(|(k, v)| WalEntry::Data(k.clone(), v.clone()))
+            .collect();
+        self.append_batches(&[&ops])
     }
 
     /// Durably appends several caller batches in **one** `env.append` —
@@ -69,14 +73,16 @@ impl Wal {
     /// a tear inside the combined write loses a record-aligned *suffix* of
     /// the group (those callers were never acknowledged) and every record
     /// before the tear survives whole. One append = one simulated fsync
-    /// shared by every batch in the group.
-    pub fn append_batches(&self, batches: &[&[(CellKey, Version)]]) -> Result<()> {
+    /// shared by every batch in the group. A batch may mix data, shadow
+    /// and retire entries (a spill's data copies + retire marker commit
+    /// atomically this way, DESIGN.md §17).
+    pub fn append_batches(&self, batches: &[&[WalEntry]]) -> Result<()> {
         let mut frames = Vec::new();
         for batch in batches {
             let mut payload = Vec::with_capacity(64 * batch.len());
             dt_common::codec::put_uvarint(&mut payload, batch.len() as u64);
-            for (key, version) in *batch {
-                encode_entry(&mut payload, key, version);
+            for entry in *batch {
+                encode_wal_entry(&mut payload, entry);
             }
             frames.extend_from_slice(&(payload.len() as u32).to_le_bytes());
             frames.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -187,12 +193,21 @@ impl Wal {
             }
             let mut p = 0usize;
             let entries_before = recovery.entries.len();
+            let shadow_before = recovery.shadow.clone();
             let Ok(count) = dt_common::codec::get_uvarint(payload, &mut p) else {
                 break;
             };
             for _ in 0..count {
-                match decode_entry(payload, &mut p) {
-                    Ok(entry) => recovery.entries.push(entry),
+                match decode_wal_entry(payload, &mut p) {
+                    Ok(WalEntry::Data(key, version)) => recovery.entries.push((key, version)),
+                    Ok(WalEntry::Shadow(key, version)) => recovery.shadow.push((key, version)),
+                    // A spill or carry-forward boundary: every shadow entry
+                    // appended before this marker with ts <= the boundary
+                    // now lives in the memtable stream (its data copies
+                    // precede the marker in this very record).
+                    Ok(WalEntry::ShadowRetire(ts)) => {
+                        recovery.shadow.retain(|(_, v)| v.ts > ts);
+                    }
                     Err(_) => {
                         // A record is all-or-nothing: bad entry ⇒ drop the
                         // whole record and stop (its frame passed CRC, so
@@ -200,6 +215,7 @@ impl Wal {
                         // window or a codec bug — either way nothing after
                         // it can be trusted).
                         recovery.entries.truncate(entries_before);
+                        recovery.shadow = shadow_before;
                         break 'records;
                     }
                 }
@@ -218,6 +234,10 @@ impl Wal {
 pub(crate) struct WalRecovery {
     /// Entries of every intact record, in append order.
     pub entries: Vec<(CellKey, Version)>,
+    /// Shadow-tier entries still live after applying every retire marker
+    /// seen in replay order — what the reopened store's shadow tier
+    /// rebuilds from (DESIGN.md §17).
+    pub shadow: Vec<(CellKey, Version)>,
     /// Intact records replayed.
     pub records: u64,
     /// Total bytes of intact records replayed across all log files.
@@ -268,7 +288,16 @@ mod tests {
         for batch in &batches {
             wal_a.append_batch(batch).unwrap();
         }
-        let refs: Vec<&[(CellKey, Version)]> = batches.iter().map(Vec::as_slice).collect();
+        let ops: Vec<Vec<WalEntry>> = batches
+            .iter()
+            .map(|b| {
+                b.iter()
+                    .cloned()
+                    .map(|(k, v)| WalEntry::Data(k, v))
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[WalEntry]> = ops.iter().map(Vec::as_slice).collect();
         let stats = IoStats::new();
         Wal::new(b.clone(), stats.clone(), 0)
             .append_batches(&refs)
@@ -285,8 +314,11 @@ mod tests {
     fn torn_tail_of_grouped_append_salvages_record_prefix() {
         let env = Arc::new(MemEnv::new());
         let wal = Wal::new(env.clone(), IoStats::new(), 0);
-        let batches: Vec<Vec<(CellKey, Version)>> = vec![vec![kv(1)], vec![kv(2)], vec![kv(3)]];
-        let refs: Vec<&[(CellKey, Version)]> = batches.iter().map(Vec::as_slice).collect();
+        let batches: Vec<Vec<WalEntry>> = vec![vec![kv(1)], vec![kv(2)], vec![kv(3)]]
+            .into_iter()
+            .map(|b| b.into_iter().map(|(k, v)| WalEntry::Data(k, v)).collect())
+            .collect();
+        let refs: Vec<&[WalEntry]> = batches.iter().map(Vec::as_slice).collect();
         wal.append_batches(&refs).unwrap();
         let full = env.read_file(&seg_name(0)).unwrap();
         // Tear the coalesced frame at every byte: replay must salvage
@@ -299,6 +331,63 @@ mod tests {
             let want: Vec<(CellKey, Version)> = (1..=r.records).map(kv).collect();
             assert_eq!(r.entries, want, "cut at {cut}");
         }
+    }
+
+    fn shadow(ts: u64) -> WalEntry {
+        let (k, v) = kv(ts);
+        WalEntry::Shadow(k, v)
+    }
+
+    #[test]
+    fn shadow_entries_replay_into_the_shadow_stream() {
+        let env = Arc::new(MemEnv::new());
+        let wal = Wal::new(env.clone(), IoStats::new(), 0);
+        let (dk, dv) = kv(1);
+        wal.append_batches(&[&[WalEntry::Data(dk.clone(), dv.clone()), shadow(2)]])
+            .unwrap();
+        wal.append_batches(&[&[shadow(3)]]).unwrap();
+        let r = Wal::replay_with_report(env.as_ref()).unwrap();
+        assert_eq!(r.entries, vec![(dk, dv)]);
+        assert_eq!(r.shadow.len(), 2);
+        assert_eq!(r.shadow[0].1.ts, 2);
+        assert_eq!(r.shadow[1].1.ts, 3);
+    }
+
+    #[test]
+    fn retire_marker_drops_covered_shadow_entries_in_replay_order() {
+        let env = Arc::new(MemEnv::new());
+        let wal = Wal::new(env.clone(), IoStats::new(), 0);
+        wal.append_batches(&[&[shadow(1), shadow(2)]]).unwrap();
+        // The spill record: the entries' data copies (original timestamps)
+        // plus the retire marker, one atomic record.
+        let (k1, v1) = kv(1);
+        let (k2, v2) = kv(2);
+        wal.append_batches(&[&[
+            WalEntry::Data(k1.clone(), v1.clone()),
+            WalEntry::Data(k2.clone(), v2.clone()),
+            WalEntry::ShadowRetire(2),
+        ]])
+        .unwrap();
+        wal.append_batches(&[&[shadow(5)]]).unwrap();
+        let r = Wal::replay_with_report(env.as_ref()).unwrap();
+        assert_eq!(r.entries, vec![(k1, v1), (k2, v2)]);
+        assert_eq!(r.shadow.len(), 1, "post-spill shadow entry survives");
+        assert_eq!(r.shadow[0].1.ts, 5);
+    }
+
+    #[test]
+    fn torn_shadow_record_rolls_back_whole_record() {
+        let env = Arc::new(MemEnv::new());
+        let wal = Wal::new(env.clone(), IoStats::new(), 0);
+        wal.append_batches(&[&[shadow(1)]]).unwrap();
+        wal.append_batches(&[&[shadow(2), shadow(3)]]).unwrap();
+        let data = env.read_file(&seg_name(0)).unwrap();
+        env.delete(&seg_name(0)).unwrap();
+        env.append(&seg_name(0), &data[..data.len() - 2]).unwrap();
+        let r = Wal::replay_with_report(env.as_ref()).unwrap();
+        assert_eq!(r.shadow.len(), 1, "only the intact record's entry");
+        assert_eq!(r.shadow[0].1.ts, 1);
+        assert!(r.dropped_bytes > 0);
     }
 
     #[test]

@@ -46,6 +46,7 @@ struct Args {
     deadline_ms: u64,
     compaction: bool,
     compaction_interval_ms: u64,
+    delta_bytes: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms: 0,
         compaction: true,
         compaction_interval_ms: 20,
+        delta_bytes: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -81,6 +83,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--deadline-ms: {e}"))?;
             }
             "--no-compaction" => args.compaction = false,
+            "--delta-bytes" => {
+                args.delta_bytes = value("--delta-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--delta-bytes: {e}"))?;
+            }
             "--compaction-interval-ms" => {
                 args.compaction_interval_ms = value("--compaction-interval-ms")?
                     .parse()
@@ -90,7 +97,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: dualtabled [--listen ADDR] [--data DIR | --mem] [--workers N] \
                      [--queue-depth N] [--deadline-ms MS] [--no-compaction] \
-                     [--compaction-interval-ms MS]"
+                     [--compaction-interval-ms MS] [--delta-bytes N]"
                         .to_string(),
                 )
             }
@@ -128,6 +135,11 @@ fn main() -> ExitCode {
         compaction_interval_ms: args.compaction_interval_ms,
         // Maintenance yields once foreground work fills half the queue.
         compaction_queue_threshold: (args.queue_depth / 2).max(1),
+        session: {
+            let mut session = dt_hiveql::SessionConfig::default();
+            session.dualtable.delta_bytes = args.delta_bytes;
+            session
+        },
         panic_marker: None,
     };
     let server = match Server::start(&args.listen, env, SharedCatalog::new(), config) {

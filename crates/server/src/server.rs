@@ -69,6 +69,11 @@ pub struct ServerConfig {
     /// Dispatch-queue depth at or above which the daemon throttles —
     /// foreground statements always outrank maintenance.
     pub compaction_queue_threshold: usize,
+    /// Session configuration handed to every connection (table defaults:
+    /// plan mode, cost-model rates, delta-tier budget, executor tuning).
+    /// A `delta_bytes` set here turns the HTAP delta tier on for every
+    /// table the server creates (DESIGN.md §17).
+    pub session: dt_hiveql::SessionConfig,
     /// Test hook: a statement whose text contains this marker panics on
     /// the worker after reaching it, exercising the contained-panic
     /// teardown path. Never set in production.
@@ -85,6 +90,7 @@ impl Default for ServerConfig {
             compaction: false,
             compaction_interval_ms: 20,
             compaction_queue_threshold: 8,
+            session: dt_hiveql::SessionConfig::default(),
             panic_marker: None,
         }
     }
@@ -352,12 +358,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
 
 fn spawn_conn(stream: TcpStream, shared: &Arc<ServerShared>) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
+    let mut session = Session::with_shared(shared.env.clone(), shared.catalog.clone());
+    session.config = shared.config.session.clone();
     let conn_shared = Arc::new(ConnShared {
         alive: AtomicBool::new(true),
-        session: Mutex::new(Session::with_shared(
-            shared.env.clone(),
-            shared.catalog.clone(),
-        )),
+        session: Mutex::new(session),
     });
     let thread_stream = stream.try_clone()?;
     let server = Arc::clone(shared);

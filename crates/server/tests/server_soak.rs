@@ -12,14 +12,20 @@
 //! and the admission ledger must balance to the statement:
 //! `accepted + shed == submitted`.
 //!
-//! Runs 25 seeds by default; override with `SOAK_SEEDS=N`.
+//! Half the seeds run with the HTAP delta tier on (a tiny budget, so the
+//! storm spills mid-flight); the acked-commit oracle and every ledger
+//! check are identical either way, and `SHOW HEALTH` must surface the
+//! delta tier over the wire.
+//!
+//! Runs 25 seeds by default; override with `SOAK_SEEDS=N`. A failing
+//! seed prints (and drops to `target/last_failed_seed.txt`) its repro.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use dt_common::{FaultKind, FaultPlan, Value};
-use dt_hiveql::{SharedCatalog, TableHandle};
+use dt_common::{seed_from_env, with_seed_repro, FaultKind, FaultPlan, Value};
+use dt_hiveql::{SessionConfig, SharedCatalog, TableHandle};
 use dt_server::{Client, ClientError, ErrorCode, Server, ServerConfig};
 use dualtable::DualTableEnv;
 
@@ -112,7 +118,7 @@ fn attempt_increment(client: &mut Client, id: i64) -> Result<bool, ClientError> 
     }
 }
 
-fn soak_one_seed(seed: u64, total_shed: &AtomicU64) {
+fn soak_one_seed(seed: u64, total_shed: &AtomicU64, delta: bool) {
     let plan = Arc::new(FaultPlan::seeded(
         seed,
         6,
@@ -125,6 +131,12 @@ fn soak_one_seed(seed: u64, total_shed: &AtomicU64) {
     plan.set_armed(false); // setup runs fault-free
     let env = DualTableEnv::in_memory_faulty(plan.clone()).expect("faulty env");
     let catalog = SharedCatalog::new();
+    let mut session = SessionConfig::default();
+    if delta {
+        // Tiny budget: the storm's EDIT commits overflow it repeatedly,
+        // so spills interleave with faults, disconnects and shedding.
+        session.dualtable.delta_bytes = 256;
+    }
     let server = Server::start(
         "127.0.0.1:0",
         env.clone(),
@@ -133,6 +145,7 @@ fn soak_one_seed(seed: u64, total_shed: &AtomicU64) {
             workers: 3,
             queue_depth: 4,
             default_deadline_ms: 0,
+            session,
             ..ServerConfig::default()
         },
     )
@@ -301,6 +314,27 @@ fn soak_one_seed(seed: u64, total_shed: &AtomicU64) {
             "seed {seed}: SHOW HEALTH missing server metric {want}"
         );
     }
+    // The delta tier reports as its own tier row group, and with the
+    // tiny budget the storm must actually have spilled at least once.
+    let delta_metric = |name: &str| -> u64 {
+        r.rows
+            .iter()
+            .find(|row| row[0] == Value::Utf8("delta".into()) && row[1] == Value::Utf8(name.into()))
+            .and_then(|row| row[2].as_i64())
+            .unwrap_or_else(|| panic!("seed {seed}: SHOW HEALTH missing delta metric {name}"))
+            as u64
+    };
+    let spills = delta_metric("delta_spills");
+    let _ = delta_metric("delta_bytes_used");
+    let _ = delta_metric("delta_hits");
+    if delta {
+        assert!(
+            spills > 0,
+            "seed {seed}: delta storm never spilled — the budget is not binding"
+        );
+    } else {
+        assert_eq!(spills, 0, "seed {seed}: delta-off run spilled");
+    }
     drop(check);
     server.shutdown();
 }
@@ -311,9 +345,20 @@ fn fault_injected_soak() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(25);
+    let base = seed_from_env(0);
     let total_shed = AtomicU64::new(0);
-    for seed in 0..seeds {
-        soak_one_seed(seed, &total_shed);
+    for seed in base..base + seeds {
+        with_seed_repro(
+            "dt-server",
+            "server_soak",
+            "fault_injected_soak",
+            seed,
+            |s| {
+                // Odd seeds run with the HTAP delta tier on; the oracle and
+                // every ledger check are identical either way.
+                soak_one_seed(s, &total_shed, s % 2 == 1);
+            },
+        );
     }
     // The bursts must actually have overloaded the pool at least once
     // across the run — otherwise the shedding path went untested.

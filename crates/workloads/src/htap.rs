@@ -1,0 +1,156 @@
+//! The mixed OLTP-scan (HTAP) smart-grid workload behind `bench9_htap`
+//! (DESIGN.md §17).
+//!
+//! Models the grid's real-time side: terminals stream meter readings in
+//! (INSERT batches), operators patch bad readings and flip terminal
+//! status in tight EDIT bursts (UPDATE/DELETE), while dashboards run
+//! analytical scans over the same table concurrently. The paper's
+//! batch-oriented workloads (Figures 4–18) never mix the two; this one
+//! exists to measure the delta tier's effect on the DML tail under
+//! concurrent analytics.
+//!
+//! Deterministic like every other generator here: the same seed yields
+//! the same rows and the same burst schedule on every platform.
+
+use dt_common::{DataType, Rng64, Row, Schema, Value};
+
+/// Readings table: terminal id, reading day, sampling rate, status code.
+/// Narrow on purpose — the HTAP hot path is dominated by row *count*, not
+/// row width, and a narrow schema keeps the bench's working set about
+/// DML/scan interleaving rather than codec throughput.
+pub fn readings_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("zdjh", DataType::Int64),   // terminal code
+        ("rq", DataType::Date),      // reading day
+        ("rcjl", DataType::Float64), // daily sampling rate
+        ("status", DataType::Int64), // quality/status code
+    ])
+}
+
+/// Seed readings: one row per terminal `0..n`, days uniform over
+/// [`crate::smartgrid::DAYS`], status 0 (clean).
+pub fn seed_rows(n: usize, seed: u64) -> impl Iterator<Item = Row> {
+    let mut rng = Rng64::new(seed ^ 0x117A_9B00);
+    (0..n).map(move |i| {
+        vec![
+            Value::Int64(i as i64),
+            Value::Date((crate::smartgrid::BASE_DATE + (i as i64) % crate::smartgrid::DAYS) as i32),
+            Value::Float64(rng.range_i64(90, 96) as f64),
+            Value::Int64(0),
+        ]
+    })
+}
+
+/// A batch of freshly streamed readings for terminals `next_id..next_id +
+/// batch`, mirroring [`seed_rows`]' distribution.
+pub fn ingest_batch(next_id: i64, batch: usize, seed: u64) -> Vec<Row> {
+    let mut rng = Rng64::new(seed ^ 0x16E5_7B41);
+    (0..batch as i64)
+        .map(|i| {
+            let id = next_id + i;
+            vec![
+                Value::Int64(id),
+                Value::Date((crate::smartgrid::BASE_DATE + id % crate::smartgrid::DAYS) as i32),
+                Value::Float64(rng.range_i64(90, 96) as f64),
+                Value::Int64(0),
+            ]
+        })
+        .collect()
+}
+
+/// One EDIT burst: flip `status` for the half-open terminal window
+/// `[lo, hi)` to `status`. The windows rotate over the seeded terminals
+/// so repeated bursts keep dirtying *different* master files — the
+/// attached tier grows instead of overwriting one hot row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditBurst {
+    pub lo: i64,
+    pub hi: i64,
+    pub status: i64,
+}
+
+/// The deterministic burst schedule: window `width`, rotating over
+/// `terminals`, status cycling 1..=9.
+pub fn edit_bursts(terminals: i64, width: i64, seed: u64) -> impl Iterator<Item = EditBurst> {
+    let mut rng = Rng64::new(seed ^ 0xED17_B57A);
+    let mut lo = 0i64;
+    std::iter::repeat_with(move || {
+        let burst = EditBurst {
+            lo,
+            hi: (lo + width).min(terminals),
+            status: rng.range_i64(1, 9),
+        };
+        lo = (lo + width) % terminals.max(1);
+        burst
+    })
+}
+
+/// The analytical side: count of distinct dirty (status != 0) terminals
+/// plus the mean sampling rate — a full-scan aggregate every dashboard
+/// refresh would run. Returns `(dirty_count, mean_rate)`.
+pub fn analyze(rows: &[(dt_common::RecordId, Row)]) -> (u64, f64) {
+    let mut dirty = 0u64;
+    let mut sum = 0.0f64;
+    for (_, row) in rows {
+        if row[3].as_i64().unwrap_or(0) != 0 {
+            dirty += 1;
+        }
+        sum += row[2].as_f64().unwrap_or(0.0);
+    }
+    let mean = if rows.is_empty() {
+        0.0
+    } else {
+        sum / rows.len() as f64
+    };
+    (dirty, mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_conform_to_the_schema() {
+        let schema = readings_schema();
+        for row in seed_rows(100, 7) {
+            schema.check_row(&row).unwrap();
+        }
+        for row in ingest_batch(100, 50, 7) {
+            schema.check_row(&row).unwrap();
+        }
+    }
+
+    #[test]
+    fn bursts_rotate_over_all_terminals() {
+        let bursts: Vec<EditBurst> = edit_bursts(256, 64, 1).take(8).collect();
+        // 4 bursts cover the full range once; the schedule then wraps.
+        let covered: std::collections::BTreeSet<i64> =
+            bursts.iter().flat_map(|b| b.lo..b.hi).collect();
+        assert_eq!(covered.len(), 256, "rotation must cover every terminal");
+        assert_eq!(bursts[0].lo, bursts[4].lo, "schedule wraps after a cycle");
+        assert!(bursts.iter().all(|b| (1..=9).contains(&b.status)));
+    }
+
+    #[test]
+    fn schedule_is_seed_deterministic() {
+        let a: Vec<EditBurst> = edit_bursts(512, 32, 42).take(20).collect();
+        let b: Vec<EditBurst> = edit_bursts(512, 32, 42).take(20).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn analyze_counts_dirty_terminals() {
+        let rows: Vec<(dt_common::RecordId, Row)> = seed_rows(10, 3)
+            .enumerate()
+            .map(|(i, mut row)| {
+                if i < 4 {
+                    row[3] = Value::Int64(5);
+                }
+                (dt_common::RecordId::new(1, i as u32), row)
+            })
+            .collect();
+        let (dirty, mean) = analyze(&rows);
+        assert_eq!(dirty, 4);
+        assert!((90.0..=96.0).contains(&mean));
+    }
+}

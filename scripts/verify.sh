@@ -192,3 +192,11 @@ run_gate sharded-sql cargo test -q -p dt-hiveql --locked --test sharded_sql -- -
 # range pruning — file stats can't help) and that low-ratio sharded
 # UPDATEs scan strictly fewer rows; refreshes BENCH_8.json.
 run_gate bench8-smoke env BENCH8_SMOKE=1 cargo bench -q -p dt-bench --locked --bench bench8_sharding
+
+# BENCH 9 smoke (DESIGN.md §17): the HTAP storm (streaming ingest + EDIT
+# bursts + concurrent analytical scans) with the delta tier on vs off at
+# equal durability. Asserts the delta-on EDIT-burst p99 stays under the
+# delta-off p99 (1.2x slack for the short smoke sample) and that
+# concurrent scans hold within 3x of the same state scanned solo;
+# refreshes BENCH_9.json.
+run_gate bench9-smoke env BENCH9_SMOKE=1 cargo bench -q -p dt-bench --locked --bench bench9_htap
